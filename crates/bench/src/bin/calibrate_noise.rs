@@ -1,0 +1,38 @@
+//! Calibration helper (not a paper experiment): sweeps the synthetic-generator noise
+//! level for each dataset and reports the resulting Huffman compression ratio at the
+//! paper's relative error bound of 1e-3, so the registry's `noise_sigma` values can be
+//! pinned to land near each dataset's paper compression ratio.
+
+use datasets::{all_datasets, generate};
+use huffdec_bench::{fmt_ratio, Table, BENCH_SEED};
+use huffdec_core::DecoderKind;
+use sz::{compress, ErrorBound, SzConfig};
+
+fn main() {
+    let elements: usize = std::env::var("HUFFDEC_BENCH_ELEMENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000);
+    let factors = [0.125, 0.25, 0.5, 0.75, 1.0, 1.5];
+    let mut table = Table::new(
+        "Noise calibration: Huffman CR vs noise scale (rel eb 1e-3)",
+        &["dataset", "paper CR", "x0.125", "x0.25", "x0.5", "x0.75", "x1.0", "x1.5"],
+    );
+    for spec in all_datasets() {
+        let mut row = vec![spec.name.to_string(), fmt_ratio(spec.paper_cr_1e3)];
+        for &f in &factors {
+            let mut s = spec.clone();
+            s.noise_sigma *= f;
+            let field = generate(&s, elements, BENCH_SEED);
+            let config = SzConfig {
+                error_bound: ErrorBound::Relative(1e-3),
+                alphabet_size: 1024,
+                decoder: DecoderKind::CuszBaseline,
+            };
+            let c = compress(&field, &config);
+            row.push(fmt_ratio(c.huffman_compression_ratio()));
+        }
+        table.push_row(row);
+    }
+    table.print();
+}

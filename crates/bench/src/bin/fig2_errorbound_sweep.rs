@@ -1,0 +1,45 @@
+//! Fig. 2 — decoding performance versus error bound on HACC for the *original* decoders.
+//!
+//! Sweeps the relative error bound (larger bound ⇒ higher compression ratio) and reports
+//! the simulated decoding throughput of the original self-synchronization decoder and the
+//! original (8-bit) gap-array decoder, plus the compression ratio at each point.
+//!
+//! Expected shape (paper): both decoders' throughput *drops* as the error bound grows and
+//! the data becomes more compressible — the motivation for the paper's optimizations.
+
+use datasets::dataset_by_name;
+use huffdec_bench::{fmt_gbs, fmt_ratio, workload_for, Table};
+use huffdec_core::{decode, decode_original_gap8, encode_gap8, DecoderKind};
+use sz::{quantize, DEFAULT_ALPHABET_SIZE};
+
+fn main() {
+    let spec = dataset_by_name("HACC").expect("HACC spec");
+    let w = workload_for(&spec);
+    let bytes = w.quant_code_bytes();
+
+    let mut table = Table::new(
+        "Fig. 2: original decoders vs relative error bound on HACC (GB/s, simulated)",
+        &["rel. error bound", "compr. ratio", "ori. self-sync GB/s", "ori. gap-array 8-bit GB/s"],
+    );
+
+    for &eb in &[1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
+        let payload = w.compress(DecoderKind::OriginalSelfSync, eb);
+        let cr = payload.huffman_compression_ratio();
+        let ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &payload.payload);
+        let ss_gbs = w.norm * ss.timings.throughput_gbs(bytes);
+
+        let eb_abs = eb * w.field.range_span() as f64;
+        let q = quantize(&w.field.data, w.field.dims, 2.0 * eb_abs, DEFAULT_ALPHABET_SIZE);
+        let g8 = encode_gap8(&q.codes, DEFAULT_ALPHABET_SIZE);
+        let (_s, gap_timings) = decode_original_gap8(&w.gpu, &g8);
+        let gap_gbs = w.norm * gap_timings.throughput_gbs(g8.symbols8.len() as u64);
+
+        table.push_row(vec![
+            format!("{:.0e}", eb),
+            fmt_ratio(cr),
+            fmt_gbs(ss_gbs),
+            fmt_gbs(gap_gbs),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,74 @@
+//! Fig. 3 — decode-and-write throughput versus shared-memory buffer size on HACC.
+//!
+//! Sweeps the staged decode/write kernel's buffer from 1024 to 8192 symbols (as the
+//! paper's brute-force search does) at relative error bound 1e-3 and reports the phase's
+//! simulated throughput, alongside the occupancy each size permits.
+//!
+//! Expected shape (paper): throughput peaks at an intermediate buffer size (5120 on the
+//! V100) — too small a buffer serializes the decode over more windows, too large a buffer
+//! cuts occupancy — with a spread of roughly 30% between best and worst.
+
+use datasets::dataset_by_name;
+use gpu_sim::DeviceBuffer;
+use huffdec_bench::{fmt_gbs, workload_for, Table};
+use huffdec_core::{
+    compute_output_index, run_decode_write, synchronize, CompressedPayload, DecoderKind,
+    SyncVariant, WriteStrategy,
+};
+
+fn main() {
+    let spec = dataset_by_name("HACC").expect("HACC spec");
+    let w = workload_for(&spec);
+    let bytes = w.quant_code_bytes();
+    let payload = w.compress(DecoderKind::OptimizedSelfSync, 1e-3);
+    let stream = match &payload.payload {
+        CompressedPayload::Flat(s) => s,
+        _ => unreachable!(),
+    };
+
+    let sync = synchronize(&w.gpu, stream, SyncVariant::Optimized);
+    let (oi, _) = compute_output_index(&w.gpu, &sync.infos);
+    let all_seqs: Vec<u32> = (0..stream.num_seqs() as u32).collect();
+
+    let mut table = Table::new(
+        "Fig. 3: decode-and-write throughput vs shared-memory buffer size (HACC, rel eb 1e-3)",
+        &["buffer (symbols)", "shared mem (bytes)", "blocks/SM", "decode+write GB/s"],
+    );
+
+    let mut best = (0u32, 0.0f64);
+    let mut worst = (0u32, f64::MAX);
+    for buffer_symbols in (1024..=8192).step_by(512) {
+        let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
+        let stats = run_decode_write(
+            &w.gpu,
+            stream,
+            &sync.infos,
+            &oi,
+            &output,
+            &all_seqs,
+            WriteStrategy::Staged { buffer_symbols },
+        );
+        let gbs = w.norm * stats.throughput_gbs(bytes);
+        if gbs > best.1 {
+            best = (buffer_symbols, gbs);
+        }
+        if gbs < worst.1 {
+            worst = (buffer_symbols, gbs);
+        }
+        table.push_row(vec![
+            buffer_symbols.to_string(),
+            (buffer_symbols * 2).to_string(),
+            stats.occupancy.blocks_per_sm.to_string(),
+            fmt_gbs(gbs),
+        ]);
+    }
+    table.print();
+    println!(
+        "best {} symbols at {:.1} GB/s; worst {} symbols at {:.1} GB/s; spread {:.0}% (paper: ~32%)",
+        best.0,
+        best.1,
+        worst.0,
+        worst.1,
+        100.0 * (best.1 - worst.1) / best.1
+    );
+}

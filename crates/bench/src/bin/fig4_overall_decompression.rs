@@ -1,0 +1,77 @@
+//! Fig. 4 — overall cuSZ decompression throughput (compressed data already on the GPU).
+//!
+//! For every dataset (relative error bound 1e-3), runs the full decompression pipeline
+//! (Huffman decode + reverse dual-quantization + outlier scatter) with the baseline
+//! decoder and with the two optimized decoders, and reports the simulated end-to-end
+//! throughput relative to the *uncompressed* data size.
+//!
+//! Expected shape (paper): substituting the optimized decoders speeds overall
+//! decompression up by ~2.1× (self-sync) and ~2.4× (gap-array) on average, because the
+//! baseline spends most of its decompression time (83% on HACC) in Huffman decoding.
+
+use datasets::all_datasets;
+use huffdec_bench::{fmt_gbs, fmt_ratio, geomean, workload_for, Table};
+use huffdec_core::DecoderKind;
+use sz::{compress, decompress, ErrorBound, SzConfig};
+
+fn main() {
+    let rel_eb = 1e-3;
+    let mut table = Table::new(
+        "Fig. 4: overall decompression throughput (GB/s of uncompressed data, simulated)",
+        &[
+            "dataset",
+            "baseline cuSZ",
+            "w/ opt. self-sync",
+            "w/ opt. gap-array",
+            "self-sync speedup",
+            "gap-array speedup",
+            "huffman share (baseline)",
+        ],
+    );
+
+    let mut ss_speedups = Vec::new();
+    let mut gap_speedups = Vec::new();
+    for spec in all_datasets() {
+        let w = workload_for(&spec);
+        let orig_bytes = w.original_bytes();
+        let mut gbs = Vec::new();
+        let mut huffman_share = 0.0;
+        for (i, decoder) in [
+            DecoderKind::CuszBaseline,
+            DecoderKind::OptimizedSelfSync,
+            DecoderKind::OptimizedGapArray,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let config = SzConfig {
+                error_bound: ErrorBound::Relative(rel_eb),
+                alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
+                decoder,
+            };
+            let compressed = compress(&w.field, &config);
+            let d = decompress(&w.gpu, &compressed);
+            if i == 0 {
+                huffman_share = d.stats.huffman.total_seconds() / d.stats.total_seconds;
+            }
+            gbs.push(w.norm * d.stats.overall_throughput_gbs(orig_bytes));
+        }
+        ss_speedups.push(gbs[1] / gbs[0]);
+        gap_speedups.push(gbs[2] / gbs[0]);
+        table.push_row(vec![
+            spec.name.to_string(),
+            fmt_gbs(gbs[0]),
+            fmt_gbs(gbs[1]),
+            fmt_gbs(gbs[2]),
+            format!("{}x", fmt_ratio(gbs[1] / gbs[0])),
+            format!("{}x", fmt_ratio(gbs[2] / gbs[0])),
+            format!("{:.0}%", 100.0 * huffman_share),
+        ]);
+    }
+    table.print();
+    println!(
+        "average overall decompression speedup: self-sync {:.2}x, gap-array {:.2}x (paper: 2.08x / 2.43x)",
+        geomean(&ss_speedups),
+        geomean(&gap_speedups)
+    );
+}

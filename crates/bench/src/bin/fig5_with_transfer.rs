@@ -1,0 +1,73 @@
+//! Fig. 5 — overall decompression throughput *including* the host-to-device transfer of
+//! the compressed data.
+//!
+//! Same pipeline as Fig. 4 but the compressed archive is first copied over PCIe, as in
+//! applications that stage compressed data in host memory.
+//!
+//! Expected shape (paper): the transfer compresses the speedups (from ~2.1×/2.4× down to
+//! ~1.5×/1.65×), and the datasets with the highest compression ratios keep the highest
+//! end-to-end throughput because they move the least data over the link.
+
+use datasets::all_datasets;
+use huffdec_bench::{fmt_gbs, fmt_ratio, geomean, workload_for, Table};
+use huffdec_core::DecoderKind;
+use sz::{compress, decompress_with_transfer, ErrorBound, SzConfig};
+
+fn main() {
+    let rel_eb = 1e-3;
+    let mut table = Table::new(
+        "Fig. 5: overall decompression throughput including host-to-device transfer (GB/s, simulated)",
+        &[
+            "dataset",
+            "baseline cuSZ",
+            "w/ opt. self-sync",
+            "w/ opt. gap-array",
+            "self-sync speedup",
+            "gap-array speedup",
+            "transfer share (gap)",
+        ],
+    );
+
+    let mut ss_speedups = Vec::new();
+    let mut gap_speedups = Vec::new();
+    for spec in all_datasets() {
+        let w = workload_for(&spec);
+        let orig_bytes = w.original_bytes();
+        let mut gbs = Vec::new();
+        let mut transfer_share = 0.0;
+        for decoder in [
+            DecoderKind::CuszBaseline,
+            DecoderKind::OptimizedSelfSync,
+            DecoderKind::OptimizedGapArray,
+        ] {
+            let config = SzConfig {
+                error_bound: ErrorBound::Relative(rel_eb),
+                alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
+                decoder,
+            };
+            let compressed = compress(&w.field, &config);
+            let d = decompress_with_transfer(&w.gpu, &compressed);
+            if decoder == DecoderKind::OptimizedGapArray {
+                transfer_share = d.stats.h2d_transfer_seconds / d.stats.total_seconds;
+            }
+            gbs.push(w.norm * d.stats.overall_throughput_gbs(orig_bytes));
+        }
+        ss_speedups.push(gbs[1] / gbs[0]);
+        gap_speedups.push(gbs[2] / gbs[0]);
+        table.push_row(vec![
+            spec.name.to_string(),
+            fmt_gbs(gbs[0]),
+            fmt_gbs(gbs[1]),
+            fmt_gbs(gbs[2]),
+            format!("{}x", fmt_ratio(gbs[1] / gbs[0])),
+            format!("{}x", fmt_ratio(gbs[2] / gbs[0])),
+            format!("{:.0}%", 100.0 * transfer_share),
+        ]);
+    }
+    table.print();
+    println!(
+        "average speedup with transfers: self-sync {:.2}x, gap-array {:.2}x (paper: 1.53x / 1.65x)",
+        geomean(&ss_speedups),
+        geomean(&gap_speedups)
+    );
+}

@@ -1,0 +1,93 @@
+//! Table I — online shared-memory tuning versus brute-force search.
+//!
+//! For every dataset (relative error bound 1e-3): runs the decode-and-write phase with
+//! every fixed buffer size from 1024 to 8192 symbols (the brute-force search), then with
+//! the online tuner (Algorithm 2), and reports tuned throughput, best/worst brute-force
+//! throughput, and the tuned throughput including the tuning overhead.
+//!
+//! Expected shape (paper): the tuned configuration lands within ~10% of the brute-force
+//! best (sometimes beating it, because different sequences get different buffers), avoids
+//! the up-to-40% worst-case penalty, and the tuning overhead weighs more on the smaller
+//! datasets (RTM, GAMESS).
+
+use datasets::all_datasets;
+use gpu_sim::DeviceBuffer;
+use huffdec_bench::{fmt_gbs, workload_for, Table};
+use huffdec_core::{
+    compute_output_index, run_decode_write, synchronize, tuned_decode_write, CompressedPayload,
+    DecoderKind, SyncVariant, WriteStrategy,
+};
+
+fn main() {
+    let mut table = Table::new(
+        "Table I: online shared-memory tuning vs brute-force search (decode+write phase, GB/s)",
+        &[
+            "dataset",
+            "tuned GB/s",
+            "best brute GB/s",
+            "best buffer",
+            "worst brute GB/s",
+            "worst buffer",
+            "tuned vs best %",
+            "tuning GB/s",
+            "tuned w/ overhead GB/s",
+        ],
+    );
+
+    for spec in all_datasets() {
+        let w = workload_for(&spec);
+        let bytes = w.quant_code_bytes();
+        let payload = w.compress(DecoderKind::OptimizedSelfSync, 1e-3);
+        let stream = match &payload.payload {
+            CompressedPayload::Flat(s) => s,
+            _ => unreachable!(),
+        };
+        let sync = synchronize(&w.gpu, stream, SyncVariant::Optimized);
+        let (oi, _) = compute_output_index(&w.gpu, &sync.infos);
+        let all_seqs: Vec<u32> = (0..stream.num_seqs() as u32).collect();
+
+        // Brute force over fixed buffer sizes.
+        let mut best = (0u32, 0.0f64);
+        let mut worst = (0u32, f64::MAX);
+        for buffer_symbols in (1024..=8192).step_by(512) {
+            let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
+            let stats = run_decode_write(
+                &w.gpu,
+                stream,
+                &sync.infos,
+                &oi,
+                &output,
+                &all_seqs,
+                WriteStrategy::Staged { buffer_symbols },
+            );
+            let gbs = w.norm * stats.throughput_gbs(bytes);
+            if gbs > best.1 {
+                best = (buffer_symbols, gbs);
+            }
+            if gbs < worst.1 {
+                worst = (buffer_symbols, gbs);
+            }
+        }
+
+        // Online tuner.
+        let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
+        let tuned = tuned_decode_write(&w.gpu, stream, &sync.infos, &oi, &output);
+        let tuned_gbs = w.norm * bytes as f64 / tuned.decode_phase.seconds / 1e9;
+        let tuning_gbs = w.norm * bytes as f64 / tuned.tune_phase.seconds / 1e9;
+        let tuned_with_overhead_gbs =
+            w.norm * bytes as f64 / (tuned.decode_phase.seconds + tuned.tune_phase.seconds) / 1e9;
+
+        table.push_row(vec![
+            spec.name.to_string(),
+            fmt_gbs(tuned_gbs),
+            fmt_gbs(best.1),
+            best.0.to_string(),
+            fmt_gbs(worst.1),
+            worst.0.to_string(),
+            format!("{:+.1}%", 100.0 * (best.1 - tuned_gbs) / best.1),
+            fmt_gbs(tuning_gbs),
+            fmt_gbs(tuned_with_overhead_gbs),
+        ]);
+    }
+    table.print();
+}

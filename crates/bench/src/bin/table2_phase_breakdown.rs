@@ -1,0 +1,85 @@
+//! Table II — per-phase breakdown of the fine-grained decoders.
+//!
+//! For each dataset (relative error bound 1e-3), reports the simulated throughput of every
+//! phase (GB/s relative to the quantization-code bytes, full-V100-normalized) for the
+//! original self-synchronization decoder, the optimized self-synchronization decoder, and
+//! the optimized gap-array decoder, plus the end-to-end decode throughput and the speedup
+//! over the cuSZ baseline.
+//!
+//! Expected shape (paper):
+//! * the decode-and-write phase of the *original* decoder collapses on high
+//!   compression-ratio datasets (CESM, Nyx, Hurricane, RTM, GAMESS);
+//! * the optimized intra-sequence synchronization is ~10–35% faster than the original,
+//!   with the larger gains on low compression-ratio datasets;
+//! * inter-sequence synchronization and the output-index phase are comparatively cheap;
+//! * shared-memory tuning is a small, roughly data-size-independent overhead.
+
+use datasets::all_datasets;
+use huffdec_bench::{fmt_gbs, fmt_ratio, workload_for, Table};
+use huffdec_core::{decode, DecoderKind, PhaseBreakdown};
+
+fn phase_gbs(b: &PhaseBreakdown, name: &str, bytes: u64, norm: f64) -> String {
+    b.phases()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| fmt_gbs(norm * p.throughput_gbs(bytes)))
+        .unwrap_or_else(|| "-".to_string())
+}
+
+fn main() {
+    let rel_eb = 1e-3;
+    let phases = [
+        "intra-seq sync.",
+        "inter-seq sync.",
+        "get output idx.",
+        "tune shared mem.",
+        "decode and write",
+    ];
+
+    for (kind, label) in [
+        (DecoderKind::OriginalSelfSync, "original self-sync"),
+        (DecoderKind::OptimizedSelfSync, "optimized self-sync"),
+        (DecoderKind::OptimizedGapArray, "optimized gap-array"),
+    ] {
+        let mut table = Table::new(
+            format!("Table II ({label}): per-phase throughput, GB/s (simulated, V100-normalized)"),
+            &[
+                "dataset",
+                "compr. ratio",
+                "intra-seq sync.",
+                "inter-seq sync.",
+                "get output idx.",
+                "tune shared mem.",
+                "decode and write",
+                "overall decode",
+                "speedup vs baseline",
+            ],
+        );
+
+        for spec in all_datasets() {
+            let w = workload_for(&spec);
+            let bytes = w.quant_code_bytes();
+
+            let baseline_payload = w.compress(DecoderKind::CuszBaseline, rel_eb);
+            let baseline = decode(&w.gpu, DecoderKind::CuszBaseline, &baseline_payload.payload);
+            let baseline_gbs = w.norm * baseline.timings.throughput_gbs(bytes);
+
+            let payload = w.compress(kind, rel_eb);
+            let result = decode(&w.gpu, kind, &payload.payload);
+            let overall = w.norm * result.timings.throughput_gbs(bytes);
+
+            let mut row = vec![
+                spec.name.to_string(),
+                fmt_ratio(payload.huffman_compression_ratio()),
+            ];
+            for phase in phases {
+                row.push(phase_gbs(&result.timings, phase, bytes, w.norm));
+            }
+            row.push(fmt_gbs(overall));
+            row.push(format!("{}x", fmt_ratio(overall / baseline_gbs)));
+            table.push_row(row);
+        }
+        table.print();
+        println!();
+    }
+}

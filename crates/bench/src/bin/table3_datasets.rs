@@ -1,0 +1,41 @@
+//! Table III — the evaluation datasets.
+//!
+//! Prints the dataset inventory: paper dimensions and snapshot sizes alongside the
+//! synthetic stand-in actually used at the current benchmark scale (see the
+//! scaled-device methodology in the crate docs).
+
+use datasets::all_datasets;
+use huffdec_bench::{fmt_ratio, workload_for, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "Table III: evaluation datasets (paper snapshot vs. synthetic benchmark slice)",
+        &[
+            "dataset",
+            "domain",
+            "paper dims",
+            "paper MiB",
+            "fields",
+            "example fields",
+            "bench dims",
+            "bench MiB",
+            "paper CR @1e-3",
+        ],
+    );
+    for spec in all_datasets() {
+        let w = workload_for(&spec);
+        let dims_str = |v: &[usize]| v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+        table.push_row(vec![
+            spec.name.to_string(),
+            format!("{:?}", spec.domain),
+            dims_str(&spec.full_dims.as_vec()),
+            format!("{:.1}", spec.paper_size_mib),
+            spec.num_fields.to_string(),
+            spec.example_fields.join(", "),
+            dims_str(&w.field.dims.as_vec()),
+            format!("{:.1}", w.field.bytes() as f64 / (1024.0 * 1024.0)),
+            fmt_ratio(spec.paper_cr_1e3),
+        ]);
+    }
+    table.print();
+}

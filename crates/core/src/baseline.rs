@@ -1,0 +1,175 @@
+//! cuSZ's baseline coarse-grained Huffman decoder.
+//!
+//! The decoder the paper sets out to replace (§III-A): the input is encoded in fixed-size
+//! chunks of thousands of codewords, and each CUDA *thread* decodes a whole chunk
+//! sequentially, bit by bit, writing symbols straight to global memory. Parallelism is
+//! therefore coarse (one thread per chunk), per-thread work is large, and both the unit
+//! loads and the symbol stores are heavily strided across the threads of a warp.
+
+use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, Gpu, LaunchConfig};
+use huffman::{BitReader, ChunkedEncoded, Codebook};
+
+use crate::phases::{DecodeResult, PhaseBreakdown};
+
+/// Threads per block used by the baseline decoder (as in cuSZ).
+const BLOCK_DIM: u32 = 128;
+
+/// The coarse-grained decode kernel: one thread per chunk.
+struct CoarseDecodeKernel<'a> {
+    encoded: &'a ChunkedEncoded,
+    codebook: &'a Codebook,
+    output: &'a DeviceBuffer<u16>,
+}
+
+impl BlockKernel for CoarseDecodeKernel<'_> {
+    fn name(&self) -> &str {
+        "cusz_baseline::coarse_decode"
+    }
+
+    fn block(&self, ctx: &mut BlockContext) {
+        let warp_size = ctx.config().warp_size;
+        let chunks = &self.encoded.chunks;
+        let base_chunk = (ctx.block_idx() * ctx.block_dim()) as usize;
+
+        for w in 0..ctx.warp_count() {
+            let warp_base = base_chunk + (w * warp_size) as usize;
+            if warp_base >= chunks.len() {
+                break;
+            }
+            let lanes = warp_size.min((chunks.len() - warp_base) as u32);
+
+            // Functional decode + per-lane work measurement.
+            let mut lane_bits: Vec<f64> = Vec::with_capacity(lanes as usize);
+            let mut lane_symbols: Vec<u64> = Vec::with_capacity(lanes as usize);
+            let mut lane_units: Vec<u64> = Vec::with_capacity(lanes as usize);
+            for lane in 0..lanes {
+                let chunk = &chunks[warp_base + lane as usize];
+                let start = chunk.unit_offset as usize;
+                let end = start + chunk.unit_count as usize;
+                let reader = BitReader::new(&self.encoded.units[start..end], chunk.bit_len);
+                let mut pos = 0u64;
+                for k in 0..chunk.num_symbols {
+                    let (sym, n) = self
+                        .codebook
+                        .decode_one(|p| reader.bit(p), pos)
+                        .expect("corrupt chunk in baseline decode");
+                    self.output.set((chunk.symbol_offset + k) as usize, sym);
+                    pos += n as u64;
+                }
+                lane_bits.push(chunk.bit_len as f64);
+                lane_symbols.push(chunk.num_symbols);
+                lane_units.push(chunk.unit_count);
+            }
+
+            // Cost model.
+            // Bit-by-bit decode: the warp advances in lock-step at the pace of the lane
+            // with the most bits.
+            let decode_cycles: Vec<f64> =
+                lane_bits.iter().map(|b| b * cost::DECODE_PER_BIT).collect();
+            ctx.compute_lanes(w, &decode_cycles);
+
+            // Unit loads: each lane streams its own chunk's units; lanes are separated by
+            // a whole chunk, so every warp-wide load round touches `lanes` distinct
+            // segments.
+            let max_units = lane_units.iter().cloned().max().unwrap_or(0);
+            let chunk_stride_units = self.encoded.chunks.first().map(|c| c.unit_count).unwrap_or(1).max(1);
+            for round in 0..max_units {
+                ctx.global_load_strided(
+                    w,
+                    (warp_base as u64 * chunk_stride_units + round) as u64,
+                    lanes,
+                    chunk_stride_units,
+                    4,
+                );
+            }
+
+            // Symbol stores: each lane writes to its own chunk's output range, so a
+            // warp-wide store round is strided by the chunk symbol count.
+            let max_symbols = lane_symbols.iter().cloned().max().unwrap_or(0);
+            let symbol_stride = self.encoded.chunk_symbols as u64;
+            for round in 0..max_symbols {
+                ctx.global_store_strided(
+                    w,
+                    warp_base as u64 * symbol_stride + round,
+                    lanes,
+                    symbol_stride,
+                    2,
+                );
+            }
+        }
+    }
+}
+
+/// Decodes a chunked (cuSZ-format) stream with the baseline coarse-grained decoder.
+pub fn decode_baseline(gpu: &Gpu, encoded: &ChunkedEncoded, codebook: &Codebook) -> DecodeResult {
+    let output = DeviceBuffer::<u16>::zeroed(encoded.num_symbols);
+    let kernel = CoarseDecodeKernel { encoded, codebook, output: &output };
+    let grid = (encoded.chunks.len() as u32).div_ceil(BLOCK_DIM).max(1);
+    let stats = gpu.launch(&kernel, LaunchConfig::new(grid, BLOCK_DIM));
+
+    let mut timings = PhaseBreakdown::default();
+    timings.decode_write = Some(gpu_sim::PhaseTime::from_kernel(stats));
+
+    DecodeResult { symbols: output.to_vec(), timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+    use huffman::encode_chunked;
+
+    fn quant_symbols(n: usize) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| {
+                let r = i.wrapping_mul(2654435761).rotate_left(9);
+                let mag = r.trailing_zeros().min(7) as i32;
+                (512 + if r & 1 == 1 { mag } else { -mag }) as u16
+            })
+            .collect()
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+    }
+
+    #[test]
+    fn baseline_decodes_exactly() {
+        let symbols = quant_symbols(50_000);
+        let cb = Codebook::from_symbols(&symbols, 1024);
+        let enc = encode_chunked(&cb, &symbols, 4096);
+        let result = decode_baseline(&gpu(), &enc, &cb);
+        assert_eq!(result.symbols, symbols);
+        assert!(result.timings.total_seconds() > 0.0);
+        assert!(result.timings.decode_write.is_some());
+        assert!(result.timings.intra_sync.is_none());
+    }
+
+    #[test]
+    fn baseline_handles_ragged_final_chunk() {
+        let symbols = quant_symbols(10_123);
+        let cb = Codebook::from_symbols(&symbols, 1024);
+        let enc = encode_chunked(&cb, &symbols, 1000);
+        let result = decode_baseline(&gpu(), &enc, &cb);
+        assert_eq!(result.symbols, symbols);
+    }
+
+    #[test]
+    fn baseline_stores_are_poorly_coalesced() {
+        let symbols = quant_symbols(100_000);
+        let cb = Codebook::from_symbols(&symbols, 1024);
+        let enc = encode_chunked(&cb, &symbols, 4096);
+        let result = decode_baseline(&gpu(), &enc, &cb);
+        let kernel = &result.timings.decode_write.as_ref().unwrap().kernels[0];
+        // Strided stores: efficiency well below a coalesced kernel's.
+        assert!(kernel.mem.efficiency(32) < 0.25, "efficiency = {}", kernel.mem.efficiency(32));
+    }
+
+    #[test]
+    fn empty_stream_decodes_to_nothing() {
+        let cb = Codebook::from_symbols(&[0u16], 4);
+        let enc = encode_chunked(&cb, &[], 4096);
+        let result = decode_baseline(&gpu(), &enc, &cb);
+        assert!(result.symbols.is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! The unified decoder API: one entry point per decoding method evaluated in the paper.
+//!
+//! | [`DecoderKind`]          | Encoding it consumes                  | Phases |
+//! |--------------------------|---------------------------------------|--------|
+//! | `CuszBaseline`           | chunked (coarse-grained) stream       | decode/write |
+//! | `OriginalSelfSync`       | flat stream                           | intra sync, inter sync, output idx, direct decode/write |
+//! | `OptimizedSelfSync`      | flat stream                           | optimized intra sync, inter sync, output idx, tune, staged decode/write |
+//! | `OptimizedGapArray`      | flat stream **with gap array**        | output idx (redundant decode + prefix sum), tune, staged decode/write |
+//!
+//! The original 8-bit gap-array baseline (Table V) lives in
+//! [`crate::gap_decode::decode_original_gap8`] because it decodes a different (trimmed)
+//! symbol stream.
+
+use gpu_sim::{DeviceBuffer, Gpu};
+use huffman::{encode_chunked, ChunkedEncoded, Codebook, DEFAULT_CHUNK_SYMBOLS};
+
+use crate::baseline::decode_baseline;
+use crate::decode_write::{run_decode_write, WriteStrategy};
+use crate::format::EncodedStream;
+use crate::gap_decode::gap_count_symbols;
+use crate::output_index::compute_output_index;
+use crate::phases::{DecodeResult, PhaseBreakdown};
+use crate::self_sync::{synchronize, SyncVariant};
+use crate::tuner::tuned_decode_write;
+
+/// The decoding methods compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderKind {
+    /// cuSZ's coarse-grained chunked decoder (the baseline of Tables IV/V and Figs. 4/5).
+    CuszBaseline,
+    /// Weißenberger & Schmidt's self-synchronization decoder, adapted to multi-byte
+    /// symbols but otherwise unoptimized.
+    OriginalSelfSync,
+    /// The paper's optimized self-synchronization decoder (§IV-A/B/C).
+    OptimizedSelfSync,
+    /// The paper's optimized multi-byte gap-array decoder (§IV-B/C).
+    OptimizedGapArray,
+}
+
+impl DecoderKind {
+    /// All decoder kinds, in the order the paper's tables list them.
+    pub fn all() -> [DecoderKind; 4] {
+        [
+            DecoderKind::CuszBaseline,
+            DecoderKind::OriginalSelfSync,
+            DecoderKind::OptimizedSelfSync,
+            DecoderKind::OptimizedGapArray,
+        ]
+    }
+
+    /// Display name matching the paper's table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderKind::CuszBaseline => "baseline cuSZ",
+            DecoderKind::OriginalSelfSync => "ori. self-sync",
+            DecoderKind::OptimizedSelfSync => "opt. self-sync",
+            DecoderKind::OptimizedGapArray => "opt. gap-array",
+        }
+    }
+
+    /// Whether the decoder requires the encoder to produce a gap array (and therefore
+    /// couples the encoder and decoder, §V-C).
+    pub fn requires_gap_array(&self) -> bool {
+        matches!(self, DecoderKind::OptimizedGapArray)
+    }
+
+    /// Whether the decoder consumes the coarse-grained chunked encoding.
+    pub fn uses_chunked_encoding(&self) -> bool {
+        matches!(self, DecoderKind::CuszBaseline)
+    }
+}
+
+/// A compressed Huffman payload in whichever format a decoder consumes.
+#[derive(Debug, Clone)]
+pub enum CompressedPayload {
+    /// cuSZ's chunked format (baseline decoder).
+    Chunked {
+        /// The chunked bitstream.
+        encoded: ChunkedEncoded,
+        /// The codebook used to encode it.
+        codebook: Codebook,
+    },
+    /// The flat format consumed by the fine-grained decoders (optionally with gap array).
+    Flat(EncodedStream),
+}
+
+impl CompressedPayload {
+    /// Compressed size in bytes (payload + codebook + metadata), used for compression
+    /// ratios (Table IV) and transfer modelling (Fig. 5).
+    pub fn compressed_bytes(&self) -> u64 {
+        match self {
+            CompressedPayload::Chunked { encoded, codebook } => {
+                encoded.payload_bytes() + codebook.alphabet_size() as u64 + 32
+            }
+            CompressedPayload::Flat(stream) => stream.compressed_bytes(),
+        }
+    }
+
+    /// Number of encoded symbols.
+    pub fn num_symbols(&self) -> usize {
+        match self {
+            CompressedPayload::Chunked { encoded, .. } => encoded.num_symbols,
+            CompressedPayload::Flat(stream) => stream.num_symbols,
+        }
+    }
+
+    /// Size of the uncompressed quantization codes in bytes (2 bytes per symbol).
+    pub fn original_bytes(&self) -> u64 {
+        self.num_symbols() as u64 * 2
+    }
+
+    /// Compression ratio (quantization-code bytes over compressed bytes).
+    pub fn compression_ratio(&self) -> f64 {
+        let c = self.compressed_bytes();
+        if c == 0 {
+            0.0
+        } else {
+            self.original_bytes() as f64 / c as f64
+        }
+    }
+}
+
+/// Encodes `symbols` in the format `kind` consumes.
+pub fn compress_for(kind: DecoderKind, symbols: &[u16], alphabet_size: usize) -> CompressedPayload {
+    let codebook = Codebook::from_symbols(symbols, alphabet_size);
+    match kind {
+        DecoderKind::CuszBaseline => CompressedPayload::Chunked {
+            encoded: encode_chunked(&codebook, symbols, DEFAULT_CHUNK_SYMBOLS),
+            codebook,
+        },
+        DecoderKind::OriginalSelfSync | DecoderKind::OptimizedSelfSync => {
+            CompressedPayload::Flat(EncodedStream::encode(&codebook, symbols))
+        }
+        DecoderKind::OptimizedGapArray => {
+            CompressedPayload::Flat(EncodedStream::encode_with_gap_array(&codebook, symbols))
+        }
+    }
+}
+
+/// Decodes `payload` with the method `kind`, returning the symbols and the simulated
+/// per-phase timing breakdown.
+///
+/// # Panics
+/// Panics if the payload format does not match the decoder (e.g. a chunked payload handed
+/// to a fine-grained decoder, or a gap-array decoder given a stream without a gap array).
+pub fn decode(gpu: &Gpu, kind: DecoderKind, payload: &CompressedPayload) -> DecodeResult {
+    match (kind, payload) {
+        (DecoderKind::CuszBaseline, CompressedPayload::Chunked { encoded, codebook }) => {
+            decode_baseline(gpu, encoded, codebook)
+        }
+        (DecoderKind::OriginalSelfSync, CompressedPayload::Flat(stream)) => {
+            decode_original_self_sync(gpu, stream)
+        }
+        (DecoderKind::OptimizedSelfSync, CompressedPayload::Flat(stream)) => {
+            decode_optimized_self_sync(gpu, stream)
+        }
+        (DecoderKind::OptimizedGapArray, CompressedPayload::Flat(stream)) => {
+            decode_optimized_gap_array(gpu, stream)
+        }
+        _ => panic!("payload format does not match decoder {:?}", kind),
+    }
+}
+
+/// Convenience: compress and decode in one call (used by tests and examples).
+pub fn roundtrip(gpu: &Gpu, kind: DecoderKind, symbols: &[u16], alphabet_size: usize) -> DecodeResult {
+    let payload = compress_for(kind, symbols, alphabet_size);
+    decode(gpu, kind, &payload)
+}
+
+fn decode_original_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
+    let sync = synchronize(gpu, stream, SyncVariant::Original);
+    let (oi, oi_phase) = compute_output_index(gpu, &sync.infos);
+    let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
+    let all_seqs: Vec<u32> = (0..stream.num_seqs() as u32).collect();
+    let stats =
+        run_decode_write(gpu, stream, &sync.infos, &oi, &output, &all_seqs, WriteStrategy::Direct);
+
+    let timings = PhaseBreakdown {
+        intra_sync: Some(sync.intra_phase),
+        inter_sync: Some(sync.inter_phase),
+        output_index: Some(oi_phase),
+        tune: None,
+        decode_write: Some(gpu_sim::PhaseTime::from_kernel(stats)),
+    };
+    DecodeResult { symbols: output.to_vec(), timings }
+}
+
+fn decode_optimized_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
+    let sync = synchronize(gpu, stream, SyncVariant::Optimized);
+    let (oi, oi_phase) = compute_output_index(gpu, &sync.infos);
+    let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
+    let tuned = tuned_decode_write(gpu, stream, &sync.infos, &oi, &output);
+
+    let timings = PhaseBreakdown {
+        intra_sync: Some(sync.intra_phase),
+        inter_sync: Some(sync.inter_phase),
+        output_index: Some(oi_phase),
+        tune: Some(tuned.tune_phase),
+        decode_write: Some(tuned.decode_phase),
+    };
+    DecodeResult { symbols: output.to_vec(), timings }
+}
+
+fn decode_optimized_gap_array(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
+    let (infos, count_phase) = gap_count_symbols(gpu, stream);
+    let (oi, prefix_phase) = compute_output_index(gpu, &infos);
+    let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
+    let tuned = tuned_decode_write(gpu, stream, &infos, &oi, &output);
+
+    let mut oi_phase = count_phase;
+    oi_phase.extend_serial(prefix_phase);
+    let timings = PhaseBreakdown {
+        intra_sync: None,
+        inter_sync: None,
+        output_index: Some(oi_phase),
+        tune: Some(tuned.tune_phase),
+        decode_write: Some(tuned.decode_phase),
+    };
+    DecodeResult { symbols: output.to_vec(), timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| {
+                let r = i.wrapping_mul(2654435761).rotate_left(9);
+                let mag = r.trailing_zeros().min(spread) as i32;
+                (512 + if (r >> 1) & 1 == 1 { mag } else { -mag }) as u16
+            })
+            .collect()
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+    }
+
+    #[test]
+    fn every_decoder_roundtrips_exactly() {
+        let symbols = quant_symbols(70_000, 7);
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let result = roundtrip(&g, kind, &symbols, 1024);
+            assert_eq!(result.symbols, symbols, "decoder {:?} mismatched", kind);
+            assert!(result.timings.total_seconds() > 0.0, "decoder {:?} has no time", kind);
+        }
+    }
+
+    #[test]
+    fn phase_structure_matches_decoder_kind() {
+        let symbols = quant_symbols(30_000, 6);
+        let g = gpu();
+
+        let baseline = roundtrip(&g, DecoderKind::CuszBaseline, &symbols, 1024);
+        assert!(baseline.timings.intra_sync.is_none());
+        assert!(baseline.timings.tune.is_none());
+
+        let ori = roundtrip(&g, DecoderKind::OriginalSelfSync, &symbols, 1024);
+        assert!(ori.timings.intra_sync.is_some());
+        assert!(ori.timings.inter_sync.is_some());
+        assert!(ori.timings.tune.is_none());
+
+        let opt = roundtrip(&g, DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        assert!(opt.timings.intra_sync.is_some());
+        assert!(opt.timings.tune.is_some());
+
+        let gap = roundtrip(&g, DecoderKind::OptimizedGapArray, &symbols, 1024);
+        assert!(gap.timings.intra_sync.is_none());
+        assert!(gap.timings.inter_sync.is_none());
+        assert!(gap.timings.output_index.is_some());
+        assert!(gap.timings.tune.is_some());
+    }
+
+    #[test]
+    fn optimized_decoders_beat_originals_on_compressible_data() {
+        // Highly compressible data is where the paper's optimizations matter most.
+        let symbols = quant_symbols(200_000, 1);
+        let g = gpu();
+        let ori = roundtrip(&g, DecoderKind::OriginalSelfSync, &symbols, 1024);
+        let opt = roundtrip(&g, DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        let gap = roundtrip(&g, DecoderKind::OptimizedGapArray, &symbols, 1024);
+        assert!(
+            opt.timings.total_seconds() < ori.timings.total_seconds(),
+            "optimized self-sync ({} s) should beat original ({} s)",
+            opt.timings.total_seconds(),
+            ori.timings.total_seconds()
+        );
+        assert!(
+            gap.timings.total_seconds() < opt.timings.total_seconds(),
+            "gap-array ({} s) should beat optimized self-sync ({} s)",
+            gap.timings.total_seconds(),
+            opt.timings.total_seconds()
+        );
+    }
+
+    #[test]
+    fn gap_array_payload_is_slightly_larger() {
+        let symbols = quant_symbols(100_000, 5);
+        let plain = compress_for(DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        let gapped = compress_for(DecoderKind::OptimizedGapArray, &symbols, 1024);
+        assert!(gapped.compressed_bytes() > plain.compressed_bytes());
+        assert!(gapped.compression_ratio() < plain.compression_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match decoder")]
+    fn mismatched_payload_panics() {
+        let symbols = quant_symbols(5_000, 5);
+        let payload = compress_for(DecoderKind::CuszBaseline, &symbols, 1024);
+        let _ = decode(&gpu(), DecoderKind::OptimizedSelfSync, &payload);
+    }
+
+    #[test]
+    fn decoder_metadata() {
+        assert!(DecoderKind::OptimizedGapArray.requires_gap_array());
+        assert!(!DecoderKind::OptimizedSelfSync.requires_gap_array());
+        assert!(DecoderKind::CuszBaseline.uses_chunked_encoding());
+        assert_eq!(DecoderKind::all().len(), 4);
+        for kind in DecoderKind::all() {
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Encoded-stream format shared by the fine-grained decoders.
+//!
+//! The paper divides the Huffman bitstream into a three-level geometry (§III-B):
+//!
+//! * a **unit** is an unsigned 32-bit number holding codeword bits;
+//! * a **subsequence** is the span of units one CUDA *thread* works on (4 units = 128
+//!   bits by default, matching the paper's footnote);
+//! * a **sequence** is the span one CUDA *thread block* works on (one subsequence per
+//!   thread, 128 threads per block by default — so a sequence is 16384 bits = 2048 bytes,
+//!   i.e. exactly 1024 would-be 16-bit symbols, which is why the paper's shared-memory
+//!   buffer sizes are `compression-ratio × 1024` symbols).
+//!
+//! [`EncodedStream`] bundles the flat Huffman bitstream, the codebook, the geometry, and
+//! (optionally) the gap array, plus the size accounting used to report compression ratios
+//! (Table IV).
+
+use huffman::{compute_gap_array, encode_flat, Codebook, FlatEncoded, GapArray};
+
+/// Default units per subsequence (4 × 32 bits = 128 bits), as in the paper.
+pub const DEFAULT_SUBSEQ_UNITS: u32 = 4;
+/// Default threads per block = subsequences per sequence.
+pub const DEFAULT_THREADS_PER_BLOCK: u32 = 128;
+
+/// Geometry of the stream decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamGeometry {
+    /// 32-bit units per subsequence.
+    pub subseq_units: u32,
+    /// Subsequences per sequence (= threads per block in the decode kernels).
+    pub subseqs_per_seq: u32,
+}
+
+impl Default for StreamGeometry {
+    fn default() -> Self {
+        StreamGeometry {
+            subseq_units: DEFAULT_SUBSEQ_UNITS,
+            subseqs_per_seq: DEFAULT_THREADS_PER_BLOCK,
+        }
+    }
+}
+
+impl StreamGeometry {
+    /// Bits per subsequence.
+    pub fn subseq_bits(&self) -> u64 {
+        self.subseq_units as u64 * 32
+    }
+
+    /// Bits per sequence.
+    pub fn seq_bits(&self) -> u64 {
+        self.subseq_bits() * self.subseqs_per_seq as u64
+    }
+
+    /// Number of subsequences needed to cover `bit_len` bits.
+    pub fn num_subseqs(&self, bit_len: u64) -> usize {
+        bit_len.div_ceil(self.subseq_bits()) as usize
+    }
+
+    /// Number of sequences needed to cover `bit_len` bits.
+    pub fn num_seqs(&self, bit_len: u64) -> usize {
+        bit_len.div_ceil(self.seq_bits()) as usize
+    }
+}
+
+/// A flat Huffman-encoded symbol stream plus everything the fine-grained GPU decoders
+/// need: codebook, geometry, and optional gap array.
+#[derive(Debug, Clone)]
+pub struct EncodedStream {
+    /// Packed 32-bit units of the bitstream.
+    pub units: Vec<u32>,
+    /// Number of valid bits in `units`.
+    pub bit_len: u64,
+    /// Number of symbols encoded.
+    pub num_symbols: usize,
+    /// The Huffman codebook (encode table + decode tree).
+    pub codebook: Codebook,
+    /// Stream decomposition geometry.
+    pub geometry: StreamGeometry,
+    /// The gap array, present only when the encoder was asked to produce one
+    /// (gap-array decoders require it; self-synchronization decoders must not use it).
+    pub gap_array: Option<GapArray>,
+}
+
+impl EncodedStream {
+    /// Encodes `symbols` with `codebook` using the default geometry, without a gap array
+    /// (the "pure Huffman code" the self-synchronization decoder consumes).
+    pub fn encode(codebook: &Codebook, symbols: &[u16]) -> Self {
+        Self::encode_with(codebook, symbols, StreamGeometry::default(), false)
+    }
+
+    /// Encodes `symbols` and additionally computes the gap array (the extra encoder work
+    /// the gap-array approach requires).
+    pub fn encode_with_gap_array(codebook: &Codebook, symbols: &[u16]) -> Self {
+        Self::encode_with(codebook, symbols, StreamGeometry::default(), true)
+    }
+
+    /// Encodes with explicit geometry.
+    pub fn encode_with(
+        codebook: &Codebook,
+        symbols: &[u16],
+        geometry: StreamGeometry,
+        with_gap_array: bool,
+    ) -> Self {
+        let FlatEncoded { units, bit_len, num_symbols, .. } = encode_flat(codebook, symbols);
+        let gap_array = if with_gap_array {
+            Some(compute_gap_array(codebook, &units, bit_len, geometry.subseq_bits()))
+        } else {
+            None
+        };
+        EncodedStream {
+            units,
+            bit_len,
+            num_symbols,
+            codebook: codebook.clone(),
+            geometry,
+            gap_array,
+        }
+    }
+
+    /// Number of subsequences in the stream.
+    pub fn num_subseqs(&self) -> usize {
+        self.geometry.num_subseqs(self.bit_len)
+    }
+
+    /// Number of sequences (decode thread blocks) in the stream.
+    pub fn num_seqs(&self) -> usize {
+        self.geometry.num_seqs(self.bit_len)
+    }
+
+    /// Size of the uncompressed symbol payload in bytes (u16 symbols).
+    pub fn original_bytes(&self) -> u64 {
+        self.num_symbols as u64 * 2
+    }
+
+    /// Size of the codebook when serialized as per-symbol code lengths (1 byte each),
+    /// which is how cuSZ ships canonical codebooks.
+    pub fn codebook_bytes(&self) -> u64 {
+        self.codebook.alphabet_size() as u64
+    }
+
+    /// Compressed size in bytes: bitstream units + codebook + per-stream header
+    /// + gap array if present.
+    pub fn compressed_bytes(&self) -> u64 {
+        let header = 32; // bit length, symbol count, geometry, alphabet size.
+        let gap = self.gap_array.as_ref().map(|g| g.storage_bytes()).unwrap_or(0);
+        self.units.len() as u64 * 4 + self.codebook_bytes() + header + gap
+    }
+
+    /// Compression ratio: original symbol bytes over compressed bytes. This is the ratio
+    /// Table IV reports (quantization codes vs. their Huffman encoding).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes() == 0 {
+            return 0.0;
+        }
+        self.original_bytes() as f64 / self.compressed_bytes() as f64
+    }
+
+    /// Per-sequence compression ratio estimates: decoded symbol bytes of each sequence
+    /// over the fixed compressed size of a sequence. Requires the per-subsequence symbol
+    /// counts (produced by the synchronization / output-index phases).
+    pub fn per_sequence_ratio(&self, subseq_symbol_counts: &[u64]) -> Vec<f64> {
+        let spb = self.geometry.subseqs_per_seq as usize;
+        let seq_bytes = self.geometry.seq_bits() as f64 / 8.0;
+        subseq_symbol_counts
+            .chunks(spb)
+            .map(|chunk| {
+                let symbols: u64 = chunk.iter().sum();
+                (symbols as f64 * 2.0) / seq_bytes
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huffman::Codebook;
+
+    fn symbols(n: usize) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| {
+                let r = i.wrapping_mul(2654435761).rotate_left(11);
+                let mag = r.trailing_zeros().min(8) as i32;
+                let sign = if r & 1 == 1 { 1 } else { -1 };
+                (512 + sign * mag) as u16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let g = StreamGeometry::default();
+        assert_eq!(g.subseq_bits(), 128);
+        assert_eq!(g.seq_bits(), 16384);
+        // One sequence worth of bits is exactly 1024 16-bit symbols.
+        assert_eq!(g.seq_bits() / 16, 1024);
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let g = StreamGeometry::default();
+        assert_eq!(g.num_subseqs(1), 1);
+        assert_eq!(g.num_subseqs(128), 1);
+        assert_eq!(g.num_subseqs(129), 2);
+        assert_eq!(g.num_seqs(16384), 1);
+        assert_eq!(g.num_seqs(16385), 2);
+        assert_eq!(g.num_seqs(0), 0);
+    }
+
+    #[test]
+    fn encode_roundtrip_size_accounting() {
+        let syms = symbols(50_000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let enc = EncodedStream::encode(&cb, &syms);
+        assert_eq!(enc.num_symbols, syms.len());
+        assert_eq!(enc.original_bytes(), 100_000);
+        assert!(enc.compressed_bytes() > 0);
+        assert!(enc.compression_ratio() > 1.0, "cr = {}", enc.compression_ratio());
+        assert!(enc.gap_array.is_none());
+        assert_eq!(enc.num_subseqs(), (enc.bit_len as usize).div_ceil(128));
+    }
+
+    #[test]
+    fn gap_array_lowers_compression_ratio() {
+        let syms = symbols(80_000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let plain = EncodedStream::encode(&cb, &syms);
+        let gapped = EncodedStream::encode_with_gap_array(&cb, &syms);
+        assert!(gapped.gap_array.is_some());
+        assert!(gapped.compressed_bytes() > plain.compressed_bytes());
+        assert!(gapped.compression_ratio() < plain.compression_ratio());
+        // But only slightly (the paper reports the gap array is small).
+        assert!(gapped.compression_ratio() > 0.90 * plain.compression_ratio());
+    }
+
+    #[test]
+    fn per_sequence_ratio_reflects_symbol_counts() {
+        let syms = symbols(10_000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let enc = EncodedStream::encode(&cb, &syms);
+        let n_sub = enc.num_subseqs();
+        // Pretend each subsequence decoded 20 symbols.
+        let counts = vec![20u64; n_sub];
+        let ratios = enc.per_sequence_ratio(&counts);
+        assert_eq!(ratios.len(), enc.num_seqs());
+        // Full sequences: 128 subseqs * 20 symbols * 2 bytes / 2048 bytes = 2.5.
+        assert!((ratios[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let cb = Codebook::from_symbols(&[0u16], 4);
+        let enc = EncodedStream::encode(&cb, &[]);
+        assert_eq!(enc.num_symbols, 0);
+        assert_eq!(enc.num_subseqs(), 0);
+        assert_eq!(enc.num_seqs(), 0);
+        assert_eq!(enc.compression_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Device-memory buffers.
+//!
+//! A [`DeviceBuffer`] stands in for a `cudaMalloc`'d allocation. Simulated kernels receive
+//! shared references to buffers and may read and write elements concurrently from many
+//! blocks, mirroring CUDA semantics where the programmer is responsible for ensuring that
+//! concurrently-executing threads write disjoint locations. Concurrent writes to the *same*
+//! element are a bug in the kernel (as they would be on a real GPU) and are not detected.
+
+use std::cell::UnsafeCell;
+
+/// A linear device-memory allocation of `Copy` elements with interior mutability.
+///
+/// The buffer is `Sync`, so simulated thread blocks running on different host threads can
+/// write into it simultaneously. Just like global memory on a real GPU, the simulator does
+/// not arbitrate conflicting writes: kernels must partition their output index ranges.
+pub struct DeviceBuffer<T> {
+    data: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: access discipline is delegated to kernel authors exactly as CUDA delegates it to
+// kernel authors; all types stored are `Copy` plain-old-data, and the simulator's kernels
+// write disjoint element ranges per block.
+unsafe impl<T: Send> Sync for DeviceBuffer<T> {}
+unsafe impl<T: Send> Send for DeviceBuffer<T> {}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// Allocates a buffer of `len` elements, each initialized to `init`.
+    pub fn filled(len: usize, init: T) -> Self {
+        let data: Vec<UnsafeCell<T>> = (0..len).map(|_| UnsafeCell::new(init)).collect();
+        DeviceBuffer { data: data.into_boxed_slice() }
+    }
+
+    /// Allocates a buffer holding a copy of `src` (the equivalent of `cudaMemcpy` H2D).
+    pub fn from_slice(src: &[T]) -> Self {
+        let data: Vec<UnsafeCell<T>> = src.iter().map(|&v| UnsafeCell::new(v)).collect();
+        DeviceBuffer { data: data.into_boxed_slice() }
+    }
+
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        assert!(i < self.data.len(), "DeviceBuffer read out of bounds: {} >= {}", i, self.data.len());
+        unsafe { *self.data[i].get() }
+    }
+
+    /// Writes `v` to element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        assert!(i < self.data.len(), "DeviceBuffer write out of bounds: {} >= {}", i, self.data.len());
+        unsafe { *self.data[i].get() = v };
+    }
+
+    /// Copies the buffer contents back to the host (the equivalent of `cudaMemcpy` D2H).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.data.len()).map(|i| unsafe { *self.data[i].get() }).collect()
+    }
+
+    /// Copies a sub-range `[start, start + out.len())` of the buffer into `out`.
+    pub fn copy_range_to(&self, start: usize, out: &mut [T]) {
+        assert!(start + out.len() <= self.data.len(), "copy_range_to out of bounds");
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = unsafe { *self.data[start + k].get() };
+        }
+    }
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    /// Allocates a zero/default-initialized buffer of `len` elements
+    /// (the equivalent of `cudaMalloc` + `cudaMemset`).
+    pub fn zeroed(len: usize) -> Self {
+        Self::filled(len, T::default())
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DeviceBuffer(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_from_slice() {
+        let src = vec![1u32, 2, 3, 4, 5];
+        let buf = DeviceBuffer::from_slice(&src);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.to_vec(), src);
+    }
+
+    #[test]
+    fn zeroed_and_set_get() {
+        let buf: DeviceBuffer<u16> = DeviceBuffer::zeroed(16);
+        assert!(buf.to_vec().iter().all(|&v| v == 0));
+        buf.set(3, 7);
+        assert_eq!(buf.get(3), 7);
+        assert_eq!(buf.get(2), 0);
+    }
+
+    #[test]
+    fn copy_range() {
+        let buf = DeviceBuffer::from_slice(&[10u32, 11, 12, 13, 14]);
+        let mut out = [0u32; 3];
+        buf.copy_range_to(1, &mut out);
+        assert_eq!(out, [11, 12, 13]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let buf: DeviceBuffer<u64> = DeviceBuffer::zeroed(1024);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let buf = &buf;
+                s.spawn(move |_| {
+                    for i in (t * 256)..((t + 1) * 256) {
+                        buf.set(i, i as u64 * 2);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let host = buf.to_vec();
+        for (i, v) in host.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let buf: DeviceBuffer<u8> = DeviceBuffer::zeroed(4);
+        let _ = buf.get(4);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let buf: DeviceBuffer<u32> = DeviceBuffer::zeroed(0);
+        assert!(buf.is_empty());
+        assert!(buf.to_vec().is_empty());
+    }
+}

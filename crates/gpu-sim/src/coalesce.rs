@@ -1,0 +1,196 @@
+//! Memory-coalescing analysis.
+//!
+//! On CUDA hardware, the 32 addresses issued by a warp's load or store instruction are
+//! combined into memory transactions. Addresses falling into the same 128-byte segment are
+//! serviced together, and DRAM traffic is counted in 32-byte sectors. A perfectly coalesced
+//! warp access of 4-byte elements therefore touches 1 segment (4 sectors = 128 bytes); a
+//! fully strided access can touch 32 segments (32 sectors = 1024 bytes of traffic for 128
+//! useful bytes). This asymmetry is the root cause of the performance collapse of the
+//! unoptimized fine-grained Huffman decoders on highly-compressible data (§IV-B of the
+//! paper), so the simulator models it explicitly.
+
+/// Result of coalescing a single warp-wide memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoalesceResult {
+    /// Number of distinct 128-byte segments touched (transaction count).
+    pub segments: u64,
+    /// Number of distinct 32-byte sectors touched (DRAM traffic = sectors * 32 bytes).
+    pub sectors: u64,
+    /// Bytes the warp actually requested (lanes * element size).
+    pub useful_bytes: u64,
+}
+
+impl CoalesceResult {
+    /// DRAM traffic in bytes implied by this access.
+    pub fn traffic_bytes(&self, sector_bytes: u32) -> u64 {
+        self.sectors * sector_bytes as u64
+    }
+
+    /// Efficiency of the access: useful bytes / traffic bytes. 1.0 for a perfectly
+    /// coalesced access of full sectors, approaching `elem_size / sector_bytes` for a
+    /// fully scattered access.
+    pub fn efficiency(&self, sector_bytes: u32) -> f64 {
+        if self.sectors == 0 {
+            return 1.0;
+        }
+        self.useful_bytes as f64 / self.traffic_bytes(sector_bytes) as f64
+    }
+
+    /// Merges another access into this one (summing counts).
+    pub fn merge(&mut self, other: &CoalesceResult) {
+        self.segments += other.segments;
+        self.sectors += other.sectors;
+        self.useful_bytes += other.useful_bytes;
+    }
+}
+
+/// Analyzes one warp-wide access given the *byte* addresses accessed by the active lanes.
+///
+/// `elem_bytes` is the per-lane access width. Addresses may repeat (broadcast) and need not
+/// be sorted. Inactive lanes are simply omitted from `byte_addrs`.
+pub fn coalesce_access(
+    byte_addrs: &[u64],
+    elem_bytes: u32,
+    sector_bytes: u32,
+    segment_bytes: u32,
+) -> CoalesceResult {
+    if byte_addrs.is_empty() {
+        return CoalesceResult::default();
+    }
+    debug_assert!(sector_bytes.is_power_of_two());
+    debug_assert!(segment_bytes.is_power_of_two());
+
+    // A warp has at most 32 lanes and each lane access spans at most two sectors
+    // (misaligned case), so a small sorted vector beats a hash set here.
+    let mut sectors: Vec<u64> = Vec::with_capacity(byte_addrs.len() * 2);
+    let mut segments: Vec<u64> = Vec::with_capacity(byte_addrs.len() * 2);
+    for &addr in byte_addrs {
+        let first_sector = addr / sector_bytes as u64;
+        let last_sector = (addr + elem_bytes as u64 - 1) / sector_bytes as u64;
+        for s in first_sector..=last_sector {
+            sectors.push(s);
+        }
+        let first_seg = addr / segment_bytes as u64;
+        let last_seg = (addr + elem_bytes as u64 - 1) / segment_bytes as u64;
+        for s in first_seg..=last_seg {
+            segments.push(s);
+        }
+    }
+    sectors.sort_unstable();
+    sectors.dedup();
+    segments.sort_unstable();
+    segments.dedup();
+
+    CoalesceResult {
+        segments: segments.len() as u64,
+        sectors: sectors.len() as u64,
+        useful_bytes: byte_addrs.len() as u64 * elem_bytes as u64,
+    }
+}
+
+/// Analyzes a warp access where lane `i` accesses element index `base_elem + i` of an array
+/// of `elem_bytes`-sized elements — the canonical coalesced pattern.
+pub fn coalesce_contiguous(
+    base_elem: u64,
+    lanes: u32,
+    elem_bytes: u32,
+    sector_bytes: u32,
+    segment_bytes: u32,
+) -> CoalesceResult {
+    let addrs: Vec<u64> =
+        (0..lanes as u64).map(|i| (base_elem + i) * elem_bytes as u64).collect();
+    coalesce_access(&addrs, elem_bytes, sector_bytes, segment_bytes)
+}
+
+/// Analyzes a warp access where lane `i` accesses element index `base + i * stride_elems` —
+/// the strided pattern exhibited by the unoptimized decoders' output writes, where the
+/// stride is the number of symbols each thread decodes.
+pub fn coalesce_strided(
+    base_elem: u64,
+    lanes: u32,
+    stride_elems: u64,
+    elem_bytes: u32,
+    sector_bytes: u32,
+    segment_bytes: u32,
+) -> CoalesceResult {
+    let addrs: Vec<u64> = (0..lanes as u64)
+        .map(|i| (base_elem + i * stride_elems) * elem_bytes as u64)
+        .collect();
+    coalesce_access(&addrs, elem_bytes, sector_bytes, segment_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECTOR: u32 = 32;
+    const SEGMENT: u32 = 128;
+
+    #[test]
+    fn fully_coalesced_u32_access_is_one_segment() {
+        let r = coalesce_contiguous(0, 32, 4, SECTOR, SEGMENT);
+        assert_eq!(r.segments, 1);
+        assert_eq!(r.sectors, 4);
+        assert_eq!(r.useful_bytes, 128);
+        assert!((r.efficiency(SECTOR) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_coalesced_u16_access_is_half_segment() {
+        // 32 lanes * 2 bytes = 64 bytes = 2 sectors, 1 segment.
+        let r = coalesce_contiguous(0, 32, 2, SECTOR, SEGMENT);
+        assert_eq!(r.segments, 1);
+        assert_eq!(r.sectors, 2);
+        assert_eq!(r.useful_bytes, 64);
+    }
+
+    #[test]
+    fn large_stride_touches_one_sector_per_lane() {
+        // Stride of 1024 elements of 2 bytes = 2048 bytes apart: every lane hits its own
+        // sector and segment. Efficiency collapses to 2/32.
+        let r = coalesce_strided(0, 32, 1024, 2, SECTOR, SEGMENT);
+        assert_eq!(r.segments, 32);
+        assert_eq!(r.sectors, 32);
+        assert!((r.efficiency(SECTOR) - 2.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_stride_partial_coalescing() {
+        // Stride of 4 u32 elements = 16 bytes: two lanes per sector, 8 lanes per segment.
+        let r = coalesce_strided(0, 32, 4, 4, SECTOR, SEGMENT);
+        assert_eq!(r.segments, 4);
+        assert_eq!(r.sectors, 16);
+    }
+
+    #[test]
+    fn broadcast_access_is_single_sector() {
+        let addrs = vec![256u64; 32];
+        let r = coalesce_access(&addrs, 4, SECTOR, SEGMENT);
+        assert_eq!(r.segments, 1);
+        assert_eq!(r.sectors, 1);
+    }
+
+    #[test]
+    fn misaligned_element_spans_two_sectors() {
+        // A 4-byte access at byte 30 crosses the sector boundary at 32.
+        let r = coalesce_access(&[30], 4, SECTOR, SEGMENT);
+        assert_eq!(r.sectors, 2);
+    }
+
+    #[test]
+    fn empty_access() {
+        let r = coalesce_access(&[], 4, SECTOR, SEGMENT);
+        assert_eq!(r, CoalesceResult::default());
+        assert!((r.efficiency(SECTOR) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = coalesce_contiguous(0, 32, 4, SECTOR, SEGMENT);
+        let b = coalesce_contiguous(32, 32, 4, SECTOR, SEGMENT);
+        a.merge(&b);
+        assert_eq!(a.segments, 2);
+        assert_eq!(a.sectors, 8);
+        assert_eq!(a.useful_bytes, 256);
+    }
+}

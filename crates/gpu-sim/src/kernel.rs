@@ -1,0 +1,263 @@
+//! Kernel launch machinery: the [`BlockKernel`] trait, [`LaunchConfig`], and the [`Gpu`]
+//! device which executes a grid of blocks functionally (in parallel on host threads) while
+//! accumulating the cost model.
+
+use crate::block::{BlockContext, BlockStats};
+use crate::config::GpuConfig;
+use crate::timing::{estimate_kernel_time, KernelStats};
+
+/// Launch configuration for a kernel, mirroring `<<<grid, block, shmem>>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Dynamic shared memory per block, in bytes.
+    pub shared_mem_bytes: u32,
+    /// Registers per thread (0 = ignore register pressure in the occupancy model).
+    pub regs_per_thread: u32,
+}
+
+impl LaunchConfig {
+    /// A launch with the given grid and block dimensions and no dynamic shared memory.
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        LaunchConfig { grid_dim, block_dim, shared_mem_bytes: 0, regs_per_thread: 0 }
+    }
+
+    /// Sets the dynamic shared-memory allocation.
+    pub fn with_shared_mem(mut self, bytes: u32) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-thread register estimate.
+    pub fn with_regs(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Grid size needed to cover `work_items` with `block_dim` threads each handling one.
+    pub fn covering(work_items: usize, block_dim: u32) -> Self {
+        let grid = (work_items as u64).div_ceil(block_dim as u64) as u32;
+        LaunchConfig::new(grid.max(1), block_dim)
+    }
+}
+
+/// A simulated CUDA kernel, written at thread-block granularity.
+///
+/// The `block` method is invoked once per block in the grid; it performs the block's real
+/// work (reads/writes of [`crate::DeviceBuffer`]s) and reports SIMT costs through the
+/// [`BlockContext`]. Blocks may execute concurrently on host threads, so implementations
+/// must only use `&self` state and must write disjoint output ranges, exactly as CUDA
+/// blocks must.
+pub trait BlockKernel: Sync {
+    /// A short name used in reports.
+    fn name(&self) -> &str;
+
+    /// Executes one thread block.
+    fn block(&self, ctx: &mut BlockContext);
+}
+
+/// The simulated GPU device: owns the configuration and executes kernel launches.
+pub struct Gpu {
+    config: GpuConfig,
+    host_threads: usize,
+}
+
+impl Gpu {
+    /// Creates a device with the given configuration, using all available host CPUs to
+    /// execute blocks in parallel.
+    pub fn new(config: GpuConfig) -> Self {
+        let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Gpu { config, host_threads }
+    }
+
+    /// Creates a device that simulates blocks on a fixed number of host threads.
+    pub fn with_host_threads(config: GpuConfig, host_threads: usize) -> Self {
+        Gpu { config, host_threads: host_threads.max(1) }
+    }
+
+    /// A V100-configured device (the paper's evaluation platform).
+    pub fn v100() -> Self {
+        Gpu::new(GpuConfig::v100())
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Launches a kernel and blocks until every thread block has executed.
+    ///
+    /// Returns the aggregated [`KernelStats`] including the estimated kernel time under
+    /// the device's cost model.
+    pub fn launch<K: BlockKernel>(&self, kernel: &K, cfg: LaunchConfig) -> KernelStats {
+        assert!(cfg.block_dim > 0, "block_dim must be positive");
+        assert!(
+            cfg.shared_mem_bytes <= self.config.max_shared_mem_per_block,
+            "kernel '{}' requests {} bytes of shared memory but the device maximum is {}",
+            kernel.name(),
+            cfg.shared_mem_bytes,
+            self.config.max_shared_mem_per_block
+        );
+        let grid = cfg.grid_dim;
+        if grid == 0 {
+            return estimate_kernel_time(
+                &self.config,
+                kernel.name(),
+                0,
+                cfg.block_dim,
+                cfg.shared_mem_bytes,
+                cfg.regs_per_thread,
+                &[],
+            );
+        }
+
+        let threads = self.host_threads.min(grid as usize).max(1);
+        let mut all_stats: Vec<BlockStats> = Vec::with_capacity(grid as usize);
+
+        if threads == 1 {
+            for b in 0..grid {
+                let mut ctx =
+                    BlockContext::new(&self.config, b, grid, cfg.block_dim, cfg.shared_mem_bytes);
+                kernel.block(&mut ctx);
+                all_stats.push(ctx.finish());
+            }
+        } else {
+            let chunk = (grid as usize).div_ceil(threads);
+            let results = crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let start = (t * chunk) as u32;
+                    let end = (((t + 1) * chunk) as u32).min(grid);
+                    if start >= end {
+                        break;
+                    }
+                    let config = &self.config;
+                    handles.push(s.spawn(move |_| {
+                        let mut local = Vec::with_capacity((end - start) as usize);
+                        for b in start..end {
+                            let mut ctx = BlockContext::new(
+                                config,
+                                b,
+                                grid,
+                                cfg.block_dim,
+                                cfg.shared_mem_bytes,
+                            );
+                            kernel.block(&mut ctx);
+                            local.push(ctx.finish());
+                        }
+                        local
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            })
+            .expect("block execution thread panicked");
+            for chunk_stats in results {
+                all_stats.extend(chunk_stats);
+            }
+        }
+
+        estimate_kernel_time(
+            &self.config,
+            kernel.name(),
+            grid,
+            cfg.block_dim,
+            cfg.shared_mem_bytes,
+            cfg.regs_per_thread,
+            &all_stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+
+    /// A kernel where every thread writes its global index, coalesced.
+    struct Iota<'a> {
+        out: &'a DeviceBuffer<u32>,
+    }
+
+    impl BlockKernel for Iota<'_> {
+        fn name(&self) -> &str {
+            "iota"
+        }
+        fn block(&self, ctx: &mut BlockContext) {
+            let bd = ctx.block_dim();
+            let base = ctx.block_idx() as u64 * bd as u64;
+            for w in 0..ctx.warp_count() {
+                let warp_base = base + (w * ctx.config().warp_size) as u64;
+                let lanes = (bd - w * ctx.config().warp_size).min(ctx.config().warp_size);
+                for lane in 0..lanes {
+                    let idx = warp_base + lane as u64;
+                    if (idx as usize) < self.out.len() {
+                        self.out.set(idx as usize, idx as u32);
+                    }
+                }
+                ctx.global_store_contiguous(w, warp_base, lanes, 4);
+                ctx.compute(w, 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn iota_kernel_functional_result() {
+        let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 4);
+        let n = 10_000usize;
+        let out = DeviceBuffer::<u32>::zeroed(n);
+        let stats = gpu.launch(&Iota { out: &out }, LaunchConfig::covering(n, 128));
+        let host = out.to_vec();
+        for (i, v) in host.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+        assert_eq!(stats.grid_dim, (n as u32).div_ceil(128));
+        assert!(stats.time_s > 0.0);
+        assert!(stats.mem.useful_store_bytes >= (n as u64) * 4);
+    }
+
+    #[test]
+    fn zero_grid_launch_is_cheap_and_safe() {
+        let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+        let out = DeviceBuffer::<u32>::zeroed(1);
+        let stats = gpu.launch(&Iota { out: &out }, LaunchConfig::new(0, 128));
+        assert_eq!(stats.grid_dim, 0);
+        assert_eq!(stats.mem.transactions(), 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree() {
+        let n = 4096usize;
+        let cfg = GpuConfig::test_tiny();
+        let out1 = DeviceBuffer::<u32>::zeroed(n);
+        let out2 = DeviceBuffer::<u32>::zeroed(n);
+        let serial = Gpu::with_host_threads(cfg.clone(), 1);
+        let parallel = Gpu::with_host_threads(cfg, 8);
+        let s1 = serial.launch(&Iota { out: &out1 }, LaunchConfig::covering(n, 64));
+        let s2 = parallel.launch(&Iota { out: &out2 }, LaunchConfig::covering(n, 64));
+        assert_eq!(out1.to_vec(), out2.to_vec());
+        assert!((s1.total_block_cycles - s2.total_block_cycles).abs() < 1e-6);
+        assert_eq!(s1.mem, s2.mem);
+        assert!((s1.time_s - s2.time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_shared_memory_panics() {
+        let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 1);
+        let out = DeviceBuffer::<u32>::zeroed(1);
+        gpu.launch(
+            &Iota { out: &out },
+            LaunchConfig::new(1, 32).with_shared_mem(1 << 20),
+        );
+    }
+
+    #[test]
+    fn covering_config_covers_all_items() {
+        let cfg = LaunchConfig::covering(1000, 128);
+        assert!(cfg.grid_dim * 128 >= 1000);
+        assert_eq!(LaunchConfig::covering(0, 128).grid_dim, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! # gpu-sim — a CUDA-like SIMT execution and performance model
+//!
+//! This crate is the GPU substrate for the reproduction of *"Optimizing Huffman Decoding
+//! for Error-Bounded Lossy Compression on GPUs"* (IPDPS 2022). The paper's contribution is
+//! a set of CUDA kernels and kernel-level optimizations evaluated on an NVIDIA V100; this
+//! environment has no GPU, so the decoders run on this simulator instead (see DESIGN.md
+//! for the substitution argument).
+//!
+//! The simulator has two halves:
+//!
+//! * **Functional execution** — kernels implement [`BlockKernel`] and are executed once
+//!   per thread block, in parallel across host CPU threads, reading and writing
+//!   [`DeviceBuffer`]s. The decoded output is real: every decoder in the workspace
+//!   produces bit-exact results that are checked against CPU reference decoders.
+//! * **Performance model** — kernels report their SIMT behaviour (warp-level memory
+//!   accesses, divergence, barriers) through [`BlockContext`]; the model aggregates this
+//!   into [`KernelStats`] using V100-calibrated parameters: memory-transaction coalescing
+//!   ([`coalesce`]), occupancy as a function of shared-memory allocation ([`occupancy`]),
+//!   latency hiding, and kernel launch overhead ([`timing`]). CUDA streams
+//!   ([`stream`]) and PCIe transfers ([`transfer`]) are modelled analytically.
+//!
+//! Device-wide primitives equivalent to the CUB routines the paper relies on (exclusive
+//! prefix sum, histogram, key-value radix sort, reductions) are provided in
+//! [`primitives`].
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::{BlockContext, BlockKernel, DeviceBuffer, Gpu, GpuConfig, LaunchConfig};
+//!
+//! /// Doubles every element of a buffer.
+//! struct Double<'a> {
+//!     data: &'a DeviceBuffer<u32>,
+//! }
+//!
+//! impl BlockKernel for Double<'_> {
+//!     fn name(&self) -> &str { "double" }
+//!     fn block(&self, ctx: &mut BlockContext) {
+//!         let tile = ctx.block_dim() as usize;
+//!         let start = ctx.block_idx() as usize * tile;
+//!         let end = (start + tile).min(self.data.len());
+//!         for i in start..end {
+//!             self.data.set(i, self.data.get(i) * 2);
+//!         }
+//!         for w in 0..ctx.warp_count() {
+//!             ctx.global_load_contiguous(w, start as u64, 32, 4);
+//!             ctx.global_store_contiguous(w, start as u64, 32, 4);
+//!             ctx.compute(w, 1.0);
+//!         }
+//!     }
+//! }
+//!
+//! let gpu = Gpu::new(GpuConfig::v100());
+//! let data = DeviceBuffer::from_slice(&[1u32, 2, 3, 4]);
+//! let stats = gpu.launch(&Double { data: &data }, LaunchConfig::covering(4, 256));
+//! assert_eq!(data.to_vec(), vec![2, 4, 6, 8]);
+//! assert!(stats.time_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod buffer;
+pub mod coalesce;
+pub mod config;
+pub mod kernel;
+pub mod occupancy;
+pub mod primitives;
+pub mod stream;
+pub mod timing;
+pub mod transfer;
+
+pub use block::{cost, BlockContext, BlockStats, MemStats};
+pub use buffer::DeviceBuffer;
+pub use coalesce::{coalesce_access, coalesce_contiguous, coalesce_strided, CoalesceResult};
+pub use config::GpuConfig;
+pub use kernel::{BlockKernel, Gpu, LaunchConfig};
+pub use occupancy::{Occupancy, OccupancyLimiter};
+pub use stream::{concurrent_time, ConcurrentStats};
+pub use timing::{estimate_kernel_time, KernelStats, PhaseTime};
+pub use transfer::{transfer_throughput_gbs, transfer_time_s, TransferDirection};

@@ -1,0 +1,207 @@
+//! Bit-packed streams of 32-bit units.
+//!
+//! The paper's decoders divide the input into sequences, subsequences, and *units*:
+//! "unsigned 32-bit numbers that contain the individual codewords". This module provides
+//! the unit-based bit writer/reader shared by every encoder and decoder in the workspace.
+//! Bits are packed MSB-first within each unit, and units are stored in order, so bit `i`
+//! of the stream is bit `31 - (i % 32)` of unit `i / 32`.
+
+/// Writes a bitstream into a vector of 32-bit units, MSB-first within each unit.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    units: Vec<u32>,
+    bit_len: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Appends the `len` low bits of `bits`, most significant of those bits first.
+    pub fn write_bits(&mut self, bits: u32, len: u8) {
+        assert!(len <= 32, "cannot write more than 32 bits at once");
+        for i in (0..len).rev() {
+            self.write_bit((bits >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        let unit_idx = (self.bit_len / 32) as usize;
+        let bit_in_unit = (self.bit_len % 32) as u32;
+        if unit_idx == self.units.len() {
+            self.units.push(0);
+        }
+        if bit {
+            self.units[unit_idx] |= 1u32 << (31 - bit_in_unit);
+        }
+        self.bit_len += 1;
+    }
+
+    /// Pads with zero bits up to the next unit boundary and returns the number of padding
+    /// bits added.
+    pub fn pad_to_unit(&mut self) -> u32 {
+        let rem = (self.bit_len % 32) as u32;
+        if rem == 0 {
+            return 0;
+        }
+        let pad = 32 - rem;
+        for _ in 0..pad {
+            self.write_bit(false);
+        }
+        pad
+    }
+
+    /// Finalizes the stream: returns the packed units and the number of valid bits.
+    pub fn finish(self) -> (Vec<u32>, u64) {
+        (self.units, self.bit_len)
+    }
+
+    /// The units written so far (the last unit may be partially filled).
+    pub fn units(&self) -> &[u32] {
+        &self.units
+    }
+}
+
+/// Reads bits from a unit-packed stream.
+#[derive(Debug, Clone, Copy)]
+pub struct BitReader<'a> {
+    units: &'a [u32],
+    bit_len: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a unit slice holding `bit_len` valid bits.
+    pub fn new(units: &'a [u32], bit_len: u64) -> Self {
+        assert!(
+            bit_len <= units.len() as u64 * 32,
+            "bit_len {} exceeds unit storage {}",
+            bit_len,
+            units.len() * 32
+        );
+        BitReader { units, bit_len }
+    }
+
+    /// Number of valid bits in the stream.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Reads bit `pos` of the stream; `None` past the end.
+    #[inline]
+    pub fn bit(&self, pos: u64) -> Option<bool> {
+        if pos >= self.bit_len {
+            return None;
+        }
+        let unit = self.units[(pos / 32) as usize];
+        let bit_in_unit = (pos % 32) as u32;
+        Some((unit >> (31 - bit_in_unit)) & 1 == 1)
+    }
+
+    /// Reads up to 32 bits starting at `pos` (fewer if the stream ends), MSB-first,
+    /// returning them right-aligned along with the count actually read.
+    pub fn peek_bits(&self, pos: u64, len: u8) -> (u32, u8) {
+        let len = len.min(32);
+        let avail = self.bit_len.saturating_sub(pos).min(len as u64) as u8;
+        let mut out = 0u32;
+        for i in 0..avail {
+            out = (out << 1) | self.bit(pos + i as u64).unwrap() as u32;
+        }
+        (out, avail)
+    }
+
+    /// The underlying unit slice.
+    pub fn units(&self) -> &'a [u32] {
+        self.units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_unit_msb_first_packing() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let (units, len) = w.finish();
+        assert_eq!(len, 4);
+        assert_eq!(units, vec![0b1011u32 << 28]);
+    }
+
+    #[test]
+    fn crosses_unit_boundary() {
+        let mut w = BitWriter::new();
+        for _ in 0..30 {
+            w.write_bit(false);
+        }
+        w.write_bits(0b1111, 4);
+        let (units, len) = w.finish();
+        assert_eq!(len, 34);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0] & 0b11, 0b11);
+        assert_eq!(units[1] >> 30, 0b11);
+    }
+
+    #[test]
+    fn reader_roundtrip_bits() {
+        let mut w = BitWriter::new();
+        let pattern: Vec<bool> = (0..100).map(|i| (i * 7) % 3 == 0).collect();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let (units, len) = w.finish();
+        let r = BitReader::new(&units, len);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(r.bit(i as u64), Some(b));
+        }
+        assert_eq!(r.bit(100), None);
+    }
+
+    #[test]
+    fn peek_bits_matches_written_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(0b101, 3);
+        let (units, len) = w.finish();
+        let r = BitReader::new(&units, len);
+        assert_eq!(r.peek_bits(0, 32), (0xDEAD_BEEF, 32));
+        assert_eq!(r.peek_bits(32, 3), (0b101, 3));
+        // Reading past the end truncates.
+        assert_eq!(r.peek_bits(32, 8), (0b101, 3));
+    }
+
+    #[test]
+    fn pad_to_unit_boundary() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let pad = w.pad_to_unit();
+        assert_eq!(pad, 31);
+        assert_eq!(w.bit_len(), 32);
+        assert_eq!(w.pad_to_unit(), 0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let (units, len) = BitWriter::new().finish();
+        assert!(units.is_empty());
+        assert_eq!(len, 0);
+        let r = BitReader::new(&units, len);
+        assert_eq!(r.bit(0), None);
+        assert_eq!(r.peek_bits(0, 8), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds unit storage")]
+    fn reader_rejects_inconsistent_length() {
+        let _ = BitReader::new(&[0u32], 64);
+    }
+}

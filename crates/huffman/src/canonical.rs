@@ -1,0 +1,159 @@
+//! Canonical Huffman code assignment.
+//!
+//! Given per-symbol code lengths, canonical assignment produces codewords that are
+//! numerically increasing within each length and across lengths. Canonical codes are what
+//! cuSZ's codebook construction produces: they make the encode table a dense array and
+//! allow compact decode tables (first-code / symbol-offset per length), and they are
+//! deterministic, which the tests rely on.
+
+use crate::tree::MAX_CODE_LEN;
+
+/// A canonical codeword: `len` low bits of `bits` hold the code, most significant code bit
+/// first (i.e. the first bit written to the stream is bit `len-1` of `bits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Codeword {
+    /// The code bits, right-aligned.
+    pub bits: u32,
+    /// The code length in bits; 0 means the symbol has no codeword.
+    pub len: u8,
+}
+
+/// Assigns canonical codewords for the given code lengths.
+///
+/// Symbols with length 0 receive no codeword. Codes are assigned shortest-first, and
+/// within a length in increasing symbol order.
+///
+/// # Panics
+/// Panics if any length exceeds [`MAX_CODE_LEN`] or if the lengths violate the Kraft
+/// inequality (no prefix-free code exists).
+pub fn assign_canonical(lengths: &[u8]) -> Vec<Codeword> {
+    let max_len = lengths.iter().cloned().max().unwrap_or(0);
+    assert!(max_len <= MAX_CODE_LEN, "code length {} exceeds maximum {}", max_len, MAX_CODE_LEN);
+    let mut codewords = vec![Codeword::default(); lengths.len()];
+    if max_len == 0 {
+        return codewords;
+    }
+
+    // bl_count[l] = number of symbols with length l.
+    let mut bl_count = vec![0u32; max_len as usize + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+
+    // Kraft check.
+    let kraft: u64 = bl_count
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(l, &c)| (c as u64) << (max_len as usize - l))
+        .sum();
+    assert!(
+        kraft <= 1u64 << max_len,
+        "code lengths violate the Kraft inequality (sum = {}/{})",
+        kraft,
+        1u64 << max_len
+    );
+
+    // next_code[l] = first canonical code of length l (RFC 1951 construction).
+    let mut next_code = vec![0u32; max_len as usize + 1];
+    let mut code = 0u32;
+    for l in 1..=max_len as usize {
+        code = (code + bl_count[l - 1]) << 1;
+        next_code[l] = code;
+    }
+
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codewords[sym] = Codeword { bits: next_code[l as usize], len: l };
+            next_code[l as usize] += 1;
+        }
+    }
+    codewords
+}
+
+/// Verifies that a set of codewords is prefix-free (no codeword is a prefix of another).
+/// Intended for tests and debug assertions; O(n²) in the number of coded symbols.
+pub fn is_prefix_free(codewords: &[Codeword]) -> bool {
+    let coded: Vec<&Codeword> = codewords.iter().filter(|c| c.len > 0).collect();
+    for (i, a) in coded.iter().enumerate() {
+        for b in coded.iter().skip(i + 1) {
+            let (short, long) = if a.len <= b.len { (a, b) } else { (b, a) };
+            let shift = long.len - short.len;
+            if (long.bits >> shift) == short.bits {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_assignment_example() {
+        // Lengths from the classic RFC 1951 example: A=3, B=3, C=3, D=3, E=3, F=2, G=4, H=4.
+        let lengths = vec![3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = assign_canonical(&lengths);
+        // Shortest code first: F (len 2) gets 00.
+        assert_eq!(codes[5], Codeword { bits: 0b00, len: 2 });
+        assert_eq!(codes[0], Codeword { bits: 0b010, len: 3 });
+        assert_eq!(codes[6], Codeword { bits: 0b1110, len: 4 });
+        assert_eq!(codes[7], Codeword { bits: 0b1111, len: 4 });
+        assert!(is_prefix_free(&codes));
+    }
+
+    #[test]
+    fn paper_style_small_codebook_is_prefix_free() {
+        // The example codebook from Fig. 1 of the paper: A=00, B=10, C=11, D=010, E=011.
+        // Canonical assignment reorders the codes but keeps the lengths.
+        let lengths = vec![2u8, 2, 2, 3, 3];
+        let codes = assign_canonical(&lengths);
+        assert!(is_prefix_free(&codes));
+        assert_eq!(codes.iter().filter(|c| c.len == 2).count(), 3);
+        assert_eq!(codes.iter().filter(|c| c.len == 3).count(), 2);
+    }
+
+    #[test]
+    fn zero_length_symbols_have_no_code() {
+        let lengths = vec![1u8, 0, 1, 0];
+        let codes = assign_canonical(&lengths);
+        assert_eq!(codes[1].len, 0);
+        assert_eq!(codes[3].len, 0);
+        assert!(is_prefix_free(&codes));
+    }
+
+    #[test]
+    fn all_zero_lengths() {
+        let codes = assign_canonical(&[0, 0, 0]);
+        assert!(codes.iter().all(|c| c.len == 0));
+    }
+
+    #[test]
+    fn codes_within_a_length_increase_with_symbol() {
+        let lengths = vec![3u8, 3, 3, 3, 3, 3, 3, 3];
+        let codes = assign_canonical(&lengths);
+        for w in codes.windows(2) {
+            assert_eq!(w[1].bits, w[0].bits + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Kraft")]
+    fn invalid_lengths_panic() {
+        // Three symbols of length 1 cannot form a prefix-free code.
+        let _ = assign_canonical(&[1, 1, 1]);
+    }
+
+    #[test]
+    fn prefix_free_detects_violation() {
+        let bad = vec![
+            Codeword { bits: 0b0, len: 1 },
+            Codeword { bits: 0b01, len: 2 },
+        ];
+        assert!(!is_prefix_free(&bad));
+    }
+}

@@ -1,0 +1,339 @@
+//! The Huffman codebook: encode table + decode structures.
+//!
+//! A [`Codebook`] bundles everything both the encoder and the decoders need:
+//!
+//! * the per-symbol canonical [`Codeword`]s (the encode table);
+//! * a flattened binary **decode tree** walked bit-by-bit, which is the structure the
+//!   GPU decoders keep in global memory ("the codebook that is used for decoding is kept
+//!   in global memory; since this codebook is shared across all thread blocks, it is kept
+//!   in cache" — §IV-B of the paper);
+//! * canonical first-code/offset tables for a faster table-driven CPU reference decoder.
+
+use crate::canonical::{assign_canonical, is_prefix_free, Codeword};
+use crate::freq::FrequencyTable;
+use crate::tree::{code_lengths, expected_length, kraft_sum, length_limited_code_lengths, MAX_CODE_LEN};
+
+/// A node of the flattened decode tree. Leaves carry the decoded symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeNode {
+    /// Internal node: indices of the children for bit 0 and bit 1.
+    Internal {
+        /// Child index followed on a 0 bit.
+        zero: u32,
+        /// Child index followed on a 1 bit.
+        one: u32,
+    },
+    /// Leaf node: the decoded symbol.
+    Leaf(u16),
+    /// Unreachable slot (present only in degenerate single-symbol codebooks).
+    Invalid,
+}
+
+/// A complete Huffman codebook over a `u16` alphabet.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    alphabet_size: usize,
+    codewords: Vec<Codeword>,
+    decode_tree: Vec<DecodeNode>,
+    max_len: u8,
+    avg_len_bits: f64,
+}
+
+impl Codebook {
+    /// Builds a codebook from symbol frequencies. Falls back to length-limited
+    /// construction if the unconstrained code would exceed [`MAX_CODE_LEN`] bits.
+    pub fn from_frequencies(freq: &FrequencyTable) -> Self {
+        let lengths = match code_lengths(freq) {
+            Some(l) => l,
+            None => length_limited_code_lengths(freq, MAX_CODE_LEN),
+        };
+        Self::from_lengths_and_freq(&lengths, Some(freq))
+    }
+
+    /// Builds a codebook from the symbols that will be encoded.
+    pub fn from_symbols(symbols: &[u16], alphabet_size: usize) -> Self {
+        let freq = FrequencyTable::from_symbols(symbols, alphabet_size);
+        Self::from_frequencies(&freq)
+    }
+
+    /// Builds a codebook directly from canonical code lengths (e.g. when reconstructing a
+    /// codebook shipped in a compressed archive header).
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        Self::from_lengths_and_freq(lengths, None)
+    }
+
+    fn from_lengths_and_freq(lengths: &[u8], freq: Option<&FrequencyTable>) -> Self {
+        debug_assert!(kraft_sum(lengths) <= 1.0 + 1e-9);
+        let codewords = assign_canonical(lengths);
+        debug_assert!(is_prefix_free(&codewords));
+        let decode_tree = build_decode_tree(&codewords);
+        let max_len = lengths.iter().cloned().max().unwrap_or(0);
+        let avg_len_bits = freq.map(|f| expected_length(f, lengths)).unwrap_or(0.0);
+        Codebook {
+            alphabet_size: lengths.len(),
+            codewords,
+            decode_tree,
+            max_len,
+            avg_len_bits,
+        }
+    }
+
+    /// The alphabet size the codebook was built for.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// The canonical codeword for a symbol (length 0 if the symbol has no code).
+    pub fn codeword(&self, symbol: u16) -> Codeword {
+        self.codewords[symbol as usize]
+    }
+
+    /// All codewords, indexed by symbol.
+    pub fn codewords(&self) -> &[Codeword] {
+        &self.codewords
+    }
+
+    /// The per-symbol code lengths.
+    pub fn lengths(&self) -> Vec<u8> {
+        self.codewords.iter().map(|c| c.len).collect()
+    }
+
+    /// The flattened decode tree (root at index 0).
+    pub fn decode_tree(&self) -> &[DecodeNode] {
+        &self.decode_tree
+    }
+
+    /// The longest codeword length in bits.
+    pub fn max_code_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Average code length in bits per symbol under the construction frequencies
+    /// (0 if the codebook was built from lengths only).
+    pub fn avg_code_len_bits(&self) -> f64 {
+        self.avg_len_bits
+    }
+
+    /// Size of the decode tree in bytes when serialized as two u32 words per node — the
+    /// global-memory footprint charged by the decoder kernels.
+    pub fn decode_tree_bytes(&self) -> u64 {
+        self.decode_tree.len() as u64 * 8
+    }
+
+    /// Decodes a single symbol by walking the decode tree, starting at bit `bit_pos` of
+    /// the `bit_at` accessor. Returns `(symbol, bits_consumed)`, or `None` if the walk
+    /// runs off the end of the stream (`bit_at` returns `None`).
+    pub fn decode_one<F: FnMut(u64) -> Option<bool>>(
+        &self,
+        mut bit_at: F,
+        bit_pos: u64,
+    ) -> Option<(u16, u8)> {
+        let mut node = 0u32;
+        let mut consumed = 0u8;
+        loop {
+            match self.decode_tree.get(node as usize)? {
+                DecodeNode::Leaf(sym) => return Some((*sym, consumed)),
+                DecodeNode::Invalid => return None,
+                DecodeNode::Internal { zero, one } => {
+                    let bit = bit_at(bit_pos + consumed as u64)?;
+                    node = if bit { *one } else { *zero };
+                    consumed += 1;
+                    if consumed > MAX_CODE_LEN {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the flattened decode tree from canonical codewords. The root is node 0; the tree
+/// for a single-symbol codebook has a root whose both children are the same leaf, so that
+/// one bit is always consumed (matching the encoder, which writes 1 bit per symbol).
+fn build_decode_tree(codewords: &[Codeword]) -> Vec<DecodeNode> {
+    let mut tree: Vec<DecodeNode> = vec![DecodeNode::Invalid];
+    let any_coded = codewords.iter().any(|c| c.len > 0);
+    if !any_coded {
+        return tree;
+    }
+    tree[0] = DecodeNode::Internal { zero: 0, one: 0 };
+    // Start with a root with placeholder children; children get filled as codes insert.
+    let mut root_children = (u32::MAX, u32::MAX);
+
+    for (sym, cw) in codewords.iter().enumerate() {
+        if cw.len == 0 {
+            continue;
+        }
+        let mut node = 0usize;
+        for depth in 0..cw.len {
+            let bit = (cw.bits >> (cw.len - 1 - depth)) & 1 == 1;
+            let is_last = depth + 1 == cw.len;
+            // Fetch current children of `node`.
+            let (mut zero, mut one) = match (node, tree[node]) {
+                (0, _) => root_children,
+                (_, DecodeNode::Internal { zero, one }) => (zero, one),
+                _ => (u32::MAX, u32::MAX),
+            };
+            let existing = if bit { one } else { zero };
+            let child = if existing == u32::MAX {
+                let idx = tree.len() as u32;
+                tree.push(if is_last {
+                    DecodeNode::Leaf(sym as u16)
+                } else {
+                    DecodeNode::Internal { zero: u32::MAX, one: u32::MAX }
+                });
+                idx
+            } else {
+                // Prefix-free codes never revisit a leaf slot on their last bit.
+                debug_assert!(!is_last, "prefix violation inserting symbol {}", sym);
+                existing
+            };
+            if bit {
+                one = child;
+            } else {
+                zero = child;
+            }
+            if node == 0 {
+                root_children = (zero, one);
+            } else {
+                tree[node] = DecodeNode::Internal { zero, one };
+            }
+            node = child as usize;
+        }
+    }
+
+    // Degenerate single-symbol codebook: both root children point at the single leaf.
+    if root_children.0 == u32::MAX {
+        root_children.0 = root_children.1;
+    }
+    if root_children.1 == u32::MAX {
+        root_children.1 = root_children.0;
+    }
+    tree[0] = DecodeNode::Internal { zero: root_children.0, one: root_children.1 };
+
+    // Replace any remaining unfilled children with Invalid sentinels pointing at slot 0's
+    // Invalid marker is not possible; instead point them at a dedicated Invalid node.
+    let invalid_idx = tree.len() as u32;
+    let mut needs_invalid = false;
+    for node in tree.iter_mut() {
+        if let DecodeNode::Internal { zero, one } = node {
+            if *zero == u32::MAX {
+                *zero = invalid_idx;
+                needs_invalid = true;
+            }
+            if *one == u32::MAX {
+                *one = invalid_idx;
+                needs_invalid = true;
+            }
+        }
+    }
+    if needs_invalid {
+        tree.push(DecodeNode::Invalid);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_of(stream: &[bool]) -> impl FnMut(u64) -> Option<bool> + '_ {
+        move |i| stream.get(i as usize).copied()
+    }
+
+    fn encode_to_bits(cb: &Codebook, symbols: &[u16]) -> Vec<bool> {
+        let mut out = Vec::new();
+        for &s in symbols {
+            let cw = cb.codeword(s);
+            assert!(cw.len > 0, "symbol {} has no code", s);
+            for d in 0..cw.len {
+                out.push((cw.bits >> (cw.len - 1 - d)) & 1 == 1);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_through_decode_tree() {
+        let symbols: Vec<u16> = vec![0, 1, 2, 3, 0, 0, 0, 2, 1, 0, 3, 3];
+        let cb = Codebook::from_symbols(&symbols, 4);
+        let bits = encode_to_bits(&cb, &symbols);
+        let mut pos = 0u64;
+        let mut decoded = Vec::new();
+        while (pos as usize) < bits.len() {
+            let (sym, n) = cb.decode_one(bits_of(&bits), pos).unwrap();
+            decoded.push(sym);
+            pos += n as u64;
+        }
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn single_symbol_codebook_roundtrip() {
+        let symbols = vec![7u16; 100];
+        let cb = Codebook::from_symbols(&symbols, 16);
+        assert_eq!(cb.codeword(7).len, 1);
+        let bits = encode_to_bits(&cb, &symbols);
+        assert_eq!(bits.len(), 100);
+        let (sym, n) = cb.decode_one(bits_of(&bits), 0).unwrap();
+        assert_eq!(sym, 7);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn decode_past_end_returns_none() {
+        let cb = Codebook::from_symbols(&[0, 1, 2, 3, 4, 5, 6, 7], 8);
+        let bits = vec![true];
+        // Codes are 3 bits; one bit is not enough.
+        assert!(cb.decode_one(bits_of(&bits), 0).is_none());
+    }
+
+    #[test]
+    fn skewed_codebook_properties() {
+        let mut symbols = vec![0u16; 10_000];
+        symbols.extend(vec![1u16; 100]);
+        symbols.extend(vec![2u16; 10]);
+        symbols.extend(vec![3u16; 1]);
+        let cb = Codebook::from_symbols(&symbols, 4);
+        assert_eq!(cb.codeword(0).len, 1);
+        assert!(cb.codeword(3).len >= cb.codeword(1).len);
+        assert!(cb.avg_code_len_bits() < 1.1);
+        assert!(cb.max_code_len() <= 3);
+        assert!(cb.decode_tree_bytes() > 0);
+    }
+
+    #[test]
+    fn from_lengths_reconstructs_same_codewords() {
+        let symbols: Vec<u16> = (0..1000u16).map(|i| i % 37).collect();
+        let cb = Codebook::from_symbols(&symbols, 64);
+        let cb2 = Codebook::from_lengths(&cb.lengths());
+        assert_eq!(cb.codewords(), cb2.codewords());
+    }
+
+    #[test]
+    fn alphabet_size_preserved() {
+        let cb = Codebook::from_symbols(&[0, 5, 9], 1024);
+        assert_eq!(cb.alphabet_size(), 1024);
+        assert_eq!(cb.codeword(100).len, 0);
+    }
+
+    #[test]
+    fn large_alphabet_quantization_like_roundtrip() {
+        // Gaussian-concentrated symbols around 512, alphabet 1024 — like cuSZ quant codes.
+        let mut symbols = Vec::new();
+        for i in 0..5000u32 {
+            let wobble = ((i as f64 * 0.37).sin() * 8.0) as i32;
+            symbols.push((512 + wobble) as u16);
+        }
+        let cb = Codebook::from_symbols(&symbols, 1024);
+        let bits = encode_to_bits(&cb, &symbols);
+        let mut pos = 0u64;
+        let mut decoded = Vec::new();
+        while (pos as usize) < bits.len() {
+            let (sym, n) = cb.decode_one(bits_of(&bits), pos).unwrap();
+            decoded.push(sym);
+            pos += n as u64;
+        }
+        assert_eq!(decoded, symbols);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: compress a synthetic scientific field with the cuSZ-style pipeline and
+//! decompress it with the paper's optimized gap-array Huffman decoder.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use huffdec::core_decoders::DecoderKind;
+use huffdec::datasets::{dataset_by_name, generate};
+use huffdec::gpu_sim::Gpu;
+use huffdec::sz::{compress, decompress, verify_error_bound, SzConfig};
+
+fn main() {
+    // 1. A synthetic stand-in for one HACC field (~2 million particles).
+    let spec = dataset_by_name("HACC").expect("HACC is a registered dataset");
+    let field = generate(&spec, 2_000_000, 42);
+    println!("field: {} ({} elements, {:.1} MiB)", field.name, field.len(), field.bytes() as f64 / 1048576.0);
+
+    // 2. Compress with a point-wise relative error bound of 1e-3 (the paper's setting),
+    //    targeting the optimized gap-array decoder.
+    let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
+    let compressed = compress(&field, &config);
+    println!(
+        "compressed: {:.2} MiB (overall ratio {:.2}x, Huffman ratio {:.2}x, {} outliers)",
+        compressed.compressed_bytes() as f64 / 1048576.0,
+        compressed.overall_compression_ratio(),
+        compressed.huffman_compression_ratio(),
+        compressed.outliers.len(),
+    );
+
+    // 3. Decompress on the simulated V100. The Huffman decoding runs as simulated GPU
+    //    kernels; the output is bit-exact and the timing breakdown is the paper's Table II
+    //    structure.
+    let gpu = Gpu::v100();
+    let decompressed = decompress(&gpu, &compressed);
+
+    let eb_abs = 1e-3 * field.range_span() as f64;
+    assert!(
+        verify_error_bound(&field.data, &decompressed.data, eb_abs).is_none(),
+        "error bound violated"
+    );
+    println!("error bound 1e-3 (abs {:.3e}) verified on all {} elements", eb_abs, field.len());
+
+    println!("\nsimulated decompression breakdown:");
+    for (name, phase) in decompressed.stats.huffman.phases() {
+        println!("  {:<18} {:>10.3} ms", name, phase.seconds * 1e3);
+    }
+    println!("  {:<18} {:>10.3} ms", "lorenzo reconstruct", decompressed.stats.reconstruct_seconds * 1e3);
+    println!(
+        "  total {:.3} ms -> {:.1} GB/s of uncompressed data",
+        decompressed.stats.total_seconds * 1e3,
+        decompressed.stats.overall_throughput_gbs(field.bytes())
+    );
+}

@@ -1,0 +1,7 @@
+//! Workspace facade crate. Re-exports the public API of all member crates so that
+//! examples and integration tests can use a single dependency.
+pub use datasets;
+pub use gpu_sim;
+pub use huffdec_core as core_decoders;
+pub use huffman;
+pub use sz;

@@ -1,0 +1,89 @@
+//! Cross-crate integration tests: the full compression pipeline over every synthetic
+//! dataset and every decoder must honour the error bound and reconstruct identically.
+
+use huffdec::core_decoders::DecoderKind;
+use huffdec::datasets::{all_datasets, generate};
+use huffdec::gpu_sim::{Gpu, GpuConfig};
+use huffdec::sz::{compress, decompress, verify_error_bound, ErrorBound, SzConfig};
+
+fn gpu() -> Gpu {
+    Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+}
+
+#[test]
+fn every_dataset_roundtrips_within_the_error_bound() {
+    let gpu = gpu();
+    for spec in all_datasets() {
+        let field = generate(&spec, 40_000, 11);
+        let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
+        let compressed = compress(&field, &config);
+        let decompressed = decompress(&gpu, &compressed);
+        let eb_abs = 1e-3 * field.range_span() as f64;
+        assert!(
+            verify_error_bound(&field.data, &decompressed.data, eb_abs).is_none(),
+            "{}: error bound violated",
+            spec.name
+        );
+        assert!(compressed.overall_compression_ratio() > 1.0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn all_decoders_produce_identical_reconstructions() {
+    let gpu = gpu();
+    let spec = huffdec::datasets::dataset_by_name("Hurricane").unwrap();
+    let field = generate(&spec, 60_000, 5);
+    let mut reference: Option<Vec<f32>> = None;
+    for decoder in DecoderKind::all() {
+        let config = SzConfig::paper_default(decoder);
+        let compressed = compress(&field, &config);
+        let decompressed = decompress(&gpu, &compressed);
+        match &reference {
+            None => reference = Some(decompressed.data),
+            Some(r) => assert_eq!(&decompressed.data, r, "{:?} reconstruction differs", decoder),
+        }
+    }
+}
+
+#[test]
+fn tighter_bounds_give_better_fidelity_and_lower_ratio() {
+    let gpu = gpu();
+    let spec = huffdec::datasets::dataset_by_name("Nyx").unwrap();
+    let field = generate(&spec, 50_000, 13);
+    let mut last_psnr = f64::NEG_INFINITY;
+    let mut last_cr = f64::INFINITY;
+    for eb in [1e-2, 1e-3, 1e-4] {
+        let config = SzConfig {
+            error_bound: ErrorBound::Relative(eb),
+            alphabet_size: 1024,
+            decoder: DecoderKind::OptimizedSelfSync,
+        };
+        let compressed = compress(&field, &config);
+        let decompressed = decompress(&gpu, &compressed);
+        let psnr = huffdec::sz::psnr(&field.data, &decompressed.data);
+        assert!(psnr > last_psnr, "PSNR should improve as the bound tightens");
+        assert!(compressed.huffman_compression_ratio() < last_cr);
+        last_psnr = psnr;
+        last_cr = compressed.huffman_compression_ratio();
+    }
+}
+
+#[test]
+fn compression_ratio_lands_near_the_paper_value_at_1e3() {
+    // The synthetic generators are calibrated so the Huffman compression ratio at the
+    // paper's error bound falls within a generous band of the paper's Table IV value.
+    for spec in all_datasets() {
+        let field = generate(&spec, 150_000, 0x5EED_CAFE);
+        let config = SzConfig::paper_default(DecoderKind::CuszBaseline);
+        let compressed = compress(&field, &config);
+        let cr = compressed.huffman_compression_ratio();
+        let paper = spec.paper_cr_1e3;
+        assert!(
+            cr > 0.55 * paper && cr < 1.45 * paper,
+            "{}: calibrated CR {:.2} too far from paper {:.2}",
+            spec.name,
+            cr,
+            paper
+        );
+    }
+}
