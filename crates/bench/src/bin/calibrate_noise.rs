@@ -16,7 +16,9 @@ fn main() {
     let factors = [0.125, 0.25, 0.5, 0.75, 1.0, 1.5];
     let mut table = Table::new(
         "Noise calibration: Huffman CR vs noise scale (rel eb 1e-3)",
-        &["dataset", "paper CR", "x0.125", "x0.25", "x0.5", "x0.75", "x1.0", "x1.5"],
+        &[
+            "dataset", "paper CR", "x0.125", "x0.25", "x0.5", "x0.75", "x1.0", "x1.5",
+        ],
     );
     for spec in all_datasets() {
         let mut row = vec![spec.name.to_string(), fmt_ratio(spec.paper_cr_1e3)];

@@ -19,7 +19,12 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 2: original decoders vs relative error bound on HACC (GB/s, simulated)",
-        &["rel. error bound", "compr. ratio", "ori. self-sync GB/s", "ori. gap-array 8-bit GB/s"],
+        &[
+            "rel. error bound",
+            "compr. ratio",
+            "ori. self-sync GB/s",
+            "ori. gap-array 8-bit GB/s",
+        ],
     );
 
     for &eb in &[1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
@@ -29,7 +34,12 @@ fn main() {
         let ss_gbs = w.norm * ss.timings.throughput_gbs(bytes);
 
         let eb_abs = eb * w.field.range_span() as f64;
-        let q = quantize(&w.field.data, w.field.dims, 2.0 * eb_abs, DEFAULT_ALPHABET_SIZE);
+        let q = quantize(
+            &w.field.data,
+            w.field.dims,
+            2.0 * eb_abs,
+            DEFAULT_ALPHABET_SIZE,
+        );
         let g8 = encode_gap8(&q.codes, DEFAULT_ALPHABET_SIZE);
         let (_s, gap_timings) = decode_original_gap8(&w.gpu, &g8);
         let gap_gbs = w.norm * gap_timings.throughput_gbs(g8.symbols8.len() as u64);

@@ -32,7 +32,12 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 3: decode-and-write throughput vs shared-memory buffer size (HACC, rel eb 1e-3)",
-        &["buffer (symbols)", "shared mem (bytes)", "blocks/SM", "decode+write GB/s"],
+        &[
+            "buffer (symbols)",
+            "shared mem (bytes)",
+            "blocks/SM",
+            "decode+write GB/s",
+        ],
     );
 
     let mut best = (0u32, 0.0f64);

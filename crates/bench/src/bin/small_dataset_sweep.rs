@@ -17,7 +17,13 @@ fn main() {
 
     let mut table = Table::new(
         "Small-dataset sweep: optimized gap-array speedup vs (full-scale-equivalent) dataset size",
-        &["equivalent size (MB)", "elements (slice)", "baseline GB/s", "opt. gap-array GB/s", "speedup"],
+        &[
+            "equivalent size (MB)",
+            "elements (slice)",
+            "baseline GB/s",
+            "opt. gap-array GB/s",
+            "speedup",
+        ],
     );
 
     // Equivalent full-scale sizes from ~10 MB to ~500 MB; the simulated slice is 1/norm

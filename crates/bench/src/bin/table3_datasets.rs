@@ -24,7 +24,12 @@ fn main() {
     );
     for spec in all_datasets() {
         let w = workload_for(&spec);
-        let dims_str = |v: &[usize]| v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+        let dims_str = |v: &[usize]| {
+            v.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        };
         table.push_row(vec![
             spec.name.to_string(),
             format!("{:?}", spec.domain),

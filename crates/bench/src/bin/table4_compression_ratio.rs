@@ -38,7 +38,12 @@ fn main() {
         // The original 8-bit gap-array method: trim the quantization codes to one byte,
         // then double the ratio for a fair comparison (as the paper does).
         let eb_abs = rel_eb * w.field.range_span() as f64;
-        let q = quantize(&w.field.data, w.field.dims, 2.0 * eb_abs, DEFAULT_ALPHABET_SIZE);
+        let q = quantize(
+            &w.field.data,
+            w.field.dims,
+            2.0 * eb_abs,
+            DEFAULT_ALPHABET_SIZE,
+        );
         let g8 = encode_gap8(&q.codes, DEFAULT_ALPHABET_SIZE);
         let gap8_ratio = 2.0 * g8.symbols8.len() as f64 / g8.stream.compressed_bytes() as f64;
 

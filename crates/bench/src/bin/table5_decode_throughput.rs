@@ -27,7 +27,11 @@ use sz::{quantize, DEFAULT_ALPHABET_SIZE};
 
 /// Decodes a flat stream with the optimized preparation phases but *direct* writes
 /// (the `--direct-write` ablation).
-fn decode_direct_ablation(w: &Workload, payload: &CompressedPayload, self_sync: bool) -> PhaseBreakdown {
+fn decode_direct_ablation(
+    w: &Workload,
+    payload: &CompressedPayload,
+    self_sync: bool,
+) -> PhaseBreakdown {
     let stream = match payload {
         CompressedPayload::Flat(s) => s,
         _ => unreachable!("ablation only applies to flat streams"),
@@ -43,8 +47,15 @@ fn decode_direct_ablation(w: &Workload, payload: &CompressedPayload, self_sync: 
     let (oi, oi_phase) = compute_output_index(gpu, &infos);
     let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
     let all_seqs: Vec<u32> = (0..stream.num_seqs() as u32).collect();
-    let stats =
-        run_decode_write(gpu, stream, &infos, &oi, &output, &all_seqs, WriteStrategy::Direct);
+    let stats = run_decode_write(
+        gpu,
+        stream,
+        &infos,
+        &oi,
+        &output,
+        &all_seqs,
+        WriteStrategy::Direct,
+    );
     let mut output_index = prep_phase.unwrap_or_default();
     output_index.extend_serial(oi_phase);
     let (intra, inter) = match sync_phases {
@@ -110,7 +121,12 @@ fn main() {
 
         // Original 8-bit gap array (throughput relative to the 8-bit codes).
         let eb_abs = rel_eb * w.field.range_span() as f64;
-        let q = quantize(&w.field.data, w.field.dims, 2.0 * eb_abs, DEFAULT_ALPHABET_SIZE);
+        let q = quantize(
+            &w.field.data,
+            w.field.dims,
+            2.0 * eb_abs,
+            DEFAULT_ALPHABET_SIZE,
+        );
         let g8 = encode_gap8(&q.codes, DEFAULT_ALPHABET_SIZE);
         let (_sym8, gap8_timings) = decode_original_gap8(&w.gpu, &g8);
         let gap8_gbs = w.norm * gap8_timings.throughput_gbs(g8.symbols8.len() as u64);

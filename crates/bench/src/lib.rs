@@ -35,7 +35,11 @@ pub const BENCH_SEED: u64 = 0x5EED_CAFE;
 
 /// Number of simulated SMs used by the harness.
 pub fn bench_sms() -> u32 {
-    std::env::var(SMS_ENV).ok().and_then(|v| v.parse().ok()).unwrap_or(2).clamp(1, 80)
+    std::env::var(SMS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .clamp(1, 80)
 }
 
 /// One dataset's benchmark workload: the scaled device, the scaled field, and the
@@ -100,7 +104,12 @@ pub fn workload_for(spec: &DatasetSpec) -> Workload {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| ((spec.full_elements() as f64 / scale) as usize).max(200_000));
     let field = generate(spec, elements, BENCH_SEED);
-    Workload { spec: spec.clone(), gpu: Gpu::new(cfg), field, norm: scale }
+    Workload {
+        spec: spec.clone(),
+        gpu: Gpu::new(cfg),
+        field,
+        norm: scale,
+    }
 }
 
 /// A plain-text table printer producing aligned columns (and optionally CSV).
@@ -123,7 +132,11 @@ impl Table {
 
     /// Appends a row (must match the header count).
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -181,7 +194,10 @@ impl Table {
     /// Prints the rendered table (and CSV if `HUFFDEC_BENCH_CSV=1`) to stdout.
     pub fn print(&self) {
         println!("{}", self.render());
-        if std::env::var("HUFFDEC_BENCH_CSV").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("HUFFDEC_BENCH_CSV")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             println!("{}", self.render_csv());
         }
     }

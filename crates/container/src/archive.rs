@@ -1,0 +1,383 @@
+//! Archive assembly: joining the header and sections into whole archives and back.
+//!
+//! [`ArchiveWriter`] and [`ArchiveReader`] are streaming — they operate over any
+//! [`std::io::Write`] / [`std::io::Read`] and multiple archives can be written
+//! back-to-back on one stream (each `read_archive` call consumes exactly one). The
+//! [`to_bytes`] / [`from_bytes`] pair covers the common whole-buffer case.
+
+use std::io::{Read, Write};
+
+use huffdec_core::{CompressedPayload, DecoderKind, EncodedStream};
+use sz::{Compressed, SzConfig};
+
+use crate::codec;
+use crate::error::{ContainerError, Result};
+use crate::header::{FieldMeta, Header, HEADER_WIRE_BYTES};
+use crate::section::{read_exact, read_section, write_section, SectionKind};
+
+/// One decoded archive: either a full sz-pipeline field compression or a bare Huffman
+/// payload.
+#[derive(Debug, Clone)]
+pub enum Archive {
+    /// A full field archive (header carried field metadata and an outlier section).
+    Field(Compressed),
+    /// A payload-only archive.
+    Payload {
+        /// The Huffman payload.
+        payload: CompressedPayload,
+        /// The decoder the payload targets.
+        decoder: DecoderKind,
+        /// The quantization alphabet the codebook was built over.
+        alphabet_size: usize,
+    },
+}
+
+impl Archive {
+    /// The decoder the archive targets.
+    pub fn decoder(&self) -> DecoderKind {
+        match self {
+            Archive::Field(c) => c.decoder,
+            Archive::Payload { decoder, .. } => *decoder,
+        }
+    }
+
+    /// The Huffman payload.
+    pub fn payload(&self) -> &CompressedPayload {
+        match self {
+            Archive::Field(c) => &c.payload,
+            Archive::Payload { payload, .. } => payload,
+        }
+    }
+
+    /// The field compression, if this is a field archive.
+    pub fn into_field(self) -> Option<Compressed> {
+        match self {
+            Archive::Field(c) => Some(c),
+            Archive::Payload { .. } => None,
+        }
+    }
+}
+
+/// Streaming archive writer.
+#[derive(Debug)]
+pub struct ArchiveWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    /// Wraps a sink.
+    pub fn new(inner: W) -> Self {
+        ArchiveWriter { inner }
+    }
+
+    /// Writes one full field archive; returns its size in bytes.
+    pub fn write_compressed(&mut self, compressed: &Compressed) -> Result<u64> {
+        let meta = FieldMeta {
+            error_bound: compressed.config.error_bound,
+            step: compressed.step,
+            dims: compressed.dims,
+        };
+        if compressed.payload.num_symbols() != compressed.dims.len() {
+            return Err(ContainerError::Invalid {
+                reason: "payload symbol count does not match the dimensions",
+            });
+        }
+        let header = Header {
+            decoder: compressed.decoder,
+            alphabet_size: compressed.alphabet_size as u32,
+            field: Some(meta),
+        };
+        let mut total =
+            self.write_header_and_payload(&header, &compressed.payload, compressed.decoder)?;
+        total += write_section(
+            &mut self.inner,
+            SectionKind::Outliers,
+            &codec::encode_outliers(&compressed.outliers),
+        )?;
+        total += write_section(&mut self.inner, SectionKind::End, &[])?;
+        Ok(total)
+    }
+
+    /// Writes one payload-only archive; returns its size in bytes.
+    ///
+    /// `decoder` must match the payload's stream format (the payload alone cannot
+    /// distinguish the two self-synchronization decoders).
+    pub fn write_payload(
+        &mut self,
+        payload: &CompressedPayload,
+        decoder: DecoderKind,
+    ) -> Result<u64> {
+        let alphabet_size = match payload {
+            CompressedPayload::Chunked { codebook, .. } => codebook.alphabet_size(),
+            CompressedPayload::Flat(stream) => stream.codebook.alphabet_size(),
+        };
+        let header = Header {
+            decoder,
+            alphabet_size: alphabet_size as u32,
+            field: None,
+        };
+        let mut total = self.write_header_and_payload(&header, payload, decoder)?;
+        total += write_section(&mut self.inner, SectionKind::End, &[])?;
+        Ok(total)
+    }
+
+    fn write_header_and_payload(
+        &mut self,
+        header: &Header,
+        payload: &CompressedPayload,
+        decoder: DecoderKind,
+    ) -> Result<u64> {
+        // Refuse to write anything the reader would reject: the header decoder enforces
+        // this range, so a write-then-read of accepted input must never fail.
+        if !(4..=65536).contains(&header.alphabet_size) {
+            return Err(ContainerError::Invalid {
+                reason: "alphabet size out of range",
+            });
+        }
+        match payload {
+            CompressedPayload::Chunked { .. } if !decoder.uses_chunked_encoding() => {
+                return Err(ContainerError::Invalid {
+                    reason: "chunked payload for a fine-grained decoder",
+                });
+            }
+            CompressedPayload::Flat(stream) => {
+                if decoder.uses_chunked_encoding() {
+                    return Err(ContainerError::Invalid {
+                        reason: "flat payload for the chunked baseline decoder",
+                    });
+                }
+                if decoder.requires_gap_array() != stream.gap_array.is_some() {
+                    return Err(ContainerError::Invalid {
+                        reason: "gap array presence does not match the decoder",
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        self.inner.write_all(&header.encode_with_crc())?;
+        let mut total = HEADER_WIRE_BYTES as u64;
+        match payload {
+            CompressedPayload::Chunked { encoded, codebook } => {
+                total += write_section(
+                    &mut self.inner,
+                    SectionKind::Codebook,
+                    &codec::encode_codebook(codebook),
+                )?;
+                total += write_section(
+                    &mut self.inner,
+                    SectionKind::ChunkedStream,
+                    &codec::encode_chunked_stream(encoded),
+                )?;
+            }
+            CompressedPayload::Flat(stream) => {
+                total += write_section(
+                    &mut self.inner,
+                    SectionKind::Codebook,
+                    &codec::encode_codebook(&stream.codebook),
+                )?;
+                total += write_section(
+                    &mut self.inner,
+                    SectionKind::FlatStream,
+                    &codec::encode_flat_stream(stream),
+                )?;
+                if let Some(gap) = &stream.gap_array {
+                    total += write_section(
+                        &mut self.inner,
+                        SectionKind::GapArray,
+                        &codec::encode_gap_array(gap),
+                    )?;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming archive reader.
+#[derive(Debug)]
+pub struct ArchiveReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> ArchiveReader<R> {
+    /// Wraps a source.
+    pub fn new(inner: R) -> Self {
+        ArchiveReader { inner }
+    }
+
+    /// Reads, checksums, validates, and reassembles exactly one archive.
+    pub fn read_archive(&mut self) -> Result<Archive> {
+        let mut header_bytes = [0u8; HEADER_WIRE_BYTES];
+        read_exact(&mut self.inner, &mut header_bytes, "header")?;
+        let header = Header::decode_with_crc(&header_bytes)?;
+
+        // Collect sections until the end marker, rejecting duplicates.
+        let mut codebook_payload: Option<Vec<u8>> = None;
+        let mut flat_payload: Option<Vec<u8>> = None;
+        let mut gap_payload: Option<Vec<u8>> = None;
+        let mut outlier_payload: Option<Vec<u8>> = None;
+        let mut chunked_payload: Option<Vec<u8>> = None;
+        loop {
+            let (kind, payload) = read_section(&mut self.inner)?;
+            let slot = match kind {
+                SectionKind::End => {
+                    if !payload.is_empty() {
+                        return Err(ContainerError::Invalid {
+                            reason: "end section carries a payload",
+                        });
+                    }
+                    break;
+                }
+                SectionKind::Codebook => &mut codebook_payload,
+                SectionKind::FlatStream => &mut flat_payload,
+                SectionKind::GapArray => &mut gap_payload,
+                SectionKind::Outliers => &mut outlier_payload,
+                SectionKind::ChunkedStream => &mut chunked_payload,
+            };
+            if slot.is_some() {
+                return Err(ContainerError::DuplicateSection { section: kind });
+            }
+            *slot = Some(payload);
+        }
+
+        let require = |payload: Option<Vec<u8>>, section: SectionKind| {
+            payload.ok_or(ContainerError::MissingSection { section })
+        };
+        let reject_if_present = |payload: &Option<Vec<u8>>, reason: &'static str| {
+            if payload.is_some() {
+                Err(ContainerError::Invalid { reason })
+            } else {
+                Ok(())
+            }
+        };
+
+        let codebook = codec::parse_codebook(
+            &require(codebook_payload, SectionKind::Codebook)?,
+            header.alphabet_size,
+        )?;
+
+        let payload = if header.decoder.uses_chunked_encoding() {
+            reject_if_present(&flat_payload, "flat stream in a chunked archive")?;
+            reject_if_present(&gap_payload, "gap array in a chunked archive")?;
+            let encoded = codec::parse_chunked_stream(&require(
+                chunked_payload,
+                SectionKind::ChunkedStream,
+            )?)?;
+            CompressedPayload::Chunked { encoded, codebook }
+        } else {
+            reject_if_present(&chunked_payload, "chunked stream in a fine-grained archive")?;
+            let parts = codec::parse_flat_stream(&require(flat_payload, SectionKind::FlatStream)?)?;
+            let gap_array = match (header.decoder.requires_gap_array(), gap_payload) {
+                (true, Some(payload)) => Some(codec::parse_gap_array(&payload)?),
+                (true, None) => {
+                    return Err(ContainerError::MissingSection {
+                        section: SectionKind::GapArray,
+                    })
+                }
+                (false, Some(_)) => {
+                    return Err(ContainerError::Invalid {
+                        reason: "gap array for a self-synchronization decoder",
+                    })
+                }
+                (false, None) => None,
+            };
+            let stream = EncodedStream::from_parts(
+                parts.units,
+                parts.bit_len,
+                parts.num_symbols,
+                codebook,
+                parts.geometry,
+                gap_array,
+            )
+            .map_err(|reason| ContainerError::Invalid { reason })?;
+            CompressedPayload::Flat(stream)
+        };
+
+        match header.field {
+            Some(meta) => {
+                let num_elements = meta.dims.len() as u64;
+                if payload.num_symbols() as u64 != num_elements {
+                    return Err(ContainerError::Invalid {
+                        reason: "symbol count does not match the dimensions",
+                    });
+                }
+                let outliers = codec::parse_outliers(
+                    &require(outlier_payload, SectionKind::Outliers)?,
+                    num_elements,
+                )?;
+                let config = SzConfig {
+                    error_bound: meta.error_bound,
+                    alphabet_size: header.alphabet_size as usize,
+                    decoder: header.decoder,
+                };
+                Ok(Archive::Field(Compressed {
+                    payload,
+                    outliers,
+                    dims: meta.dims,
+                    step: meta.step,
+                    alphabet_size: header.alphabet_size as usize,
+                    decoder: header.decoder,
+                    config,
+                }))
+            }
+            None => {
+                reject_if_present(&outlier_payload, "outliers in a payload-only archive")?;
+                Ok(Archive::Payload {
+                    payload,
+                    decoder: header.decoder,
+                    alphabet_size: header.alphabet_size as usize,
+                })
+            }
+        }
+    }
+
+    /// Returns the underlying source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+/// Serializes a field compression into a standalone archive buffer.
+pub fn to_bytes(compressed: &Compressed) -> Result<Vec<u8>> {
+    let mut writer = ArchiveWriter::new(Vec::new());
+    writer.write_compressed(compressed)?;
+    writer.into_inner()
+}
+
+/// Reads one archive from a buffer, requiring it to be a field archive and to contain
+/// nothing else.
+pub fn from_bytes(bytes: &[u8]) -> Result<Compressed> {
+    match read_one_archive(bytes)? {
+        Archive::Field(c) => Ok(c),
+        Archive::Payload { .. } => Err(ContainerError::Invalid {
+            reason: "expected a field archive, found payload-only",
+        }),
+    }
+}
+
+/// Serializes a bare Huffman payload into a standalone archive buffer.
+pub fn payload_to_bytes(payload: &CompressedPayload, decoder: DecoderKind) -> Result<Vec<u8>> {
+    let mut writer = ArchiveWriter::new(Vec::new());
+    writer.write_payload(payload, decoder)?;
+    writer.into_inner()
+}
+
+/// Reads one archive of either kind from a buffer, rejecting trailing bytes.
+pub fn read_one_archive(bytes: &[u8]) -> Result<Archive> {
+    let mut cursor = bytes;
+    let mut reader = ArchiveReader::new(&mut cursor);
+    let archive = reader.read_archive()?;
+    if !cursor.is_empty() {
+        return Err(ContainerError::Invalid {
+            reason: "trailing bytes after the archive",
+        });
+    }
+    Ok(archive)
+}

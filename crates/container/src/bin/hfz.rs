@@ -1,0 +1,413 @@
+//! `hfz` — the archive CLI of the huffdec workspace.
+//!
+//! Operates on `HFZ1` archives over raw little-endian f32 files or the synthetic
+//! dataset registry:
+//!
+//! ```text
+//! hfz compress   --dataset HACC --elements 200000 --seed 42 --output hacc.hfz
+//! hfz compress   --input field.f32 --dims 512,512 --output field.hfz --decoder gap --eb rel:1e-3
+//! hfz decompress hacc.hfz --output hacc.f32
+//! hfz inspect    hacc.hfz
+//! hfz verify     hacc.hfz --dataset HACC --elements 200000 --seed 42
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use datasets::{dataset_by_name, generate, Dims, Field};
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_container::{read_info, ArchiveReader, ArchiveWriter};
+use huffdec_core::DecoderKind;
+use sz::{compress, decompress, verify_error_bound, ErrorBound, SzConfig};
+
+/// `println!` that exits quietly instead of panicking when stdout has been closed
+/// (e.g. the output is piped into `head`).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand '{}'\n\n{}", other, USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("hfz: {}", message);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hfz — HFZ1 archive tool for error-bounded lossy compression
+
+USAGE:
+  hfz compress   (--input FILE --dims A[,B[,C[,D]]] | --dataset NAME --elements N [--seed S])
+                 --output FILE [--decoder KIND] [--eb MODE:VALUE] [--alphabet N]
+  hfz decompress ARCHIVE --output FILE
+  hfz inspect    ARCHIVE
+  hfz verify     ARCHIVE [--input FILE --dims ... | --dataset NAME --elements N [--seed S]]
+
+OPTIONS:
+  --decoder KIND   baseline | original-self-sync | self-sync | gap   (default: gap)
+  --eb MODE:VALUE  rel:1e-3 or abs:0.05                              (default: rel:1e-3)
+  --alphabet N     quantization bins, power of two >= 4              (default: 1024)
+  --seed S         synthetic dataset seed                            (default: 42)
+";
+
+/// Minimal flag parser: positionals plus `--flag value` pairs.
+struct Args {
+    positionals: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut positionals = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{} expects a value", name))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                positionals.push(arg.clone());
+            }
+        }
+        Ok(Args { positionals, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{}", name))
+    }
+}
+
+fn parse_decoder(name: &str) -> Result<DecoderKind, String> {
+    match name {
+        "baseline" | "cusz" => Ok(DecoderKind::CuszBaseline),
+        "original-self-sync" | "ori-self-sync" => Ok(DecoderKind::OriginalSelfSync),
+        "self-sync" | "optimized-self-sync" => Ok(DecoderKind::OptimizedSelfSync),
+        "gap" | "gap-array" => Ok(DecoderKind::OptimizedGapArray),
+        other => Err(format!("unknown decoder '{}'", other)),
+    }
+}
+
+fn parse_error_bound(spec: &str) -> Result<ErrorBound, String> {
+    let (mode, value) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("error bound '{}' is not MODE:VALUE", spec))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad error-bound value '{}'", value))?;
+    if !value.is_finite() || value <= 0.0 {
+        return Err(format!(
+            "error bound must be positive and finite, got {}",
+            value
+        ));
+    }
+    match mode {
+        "rel" | "relative" => Ok(ErrorBound::Relative(value)),
+        "abs" | "absolute" => Ok(ErrorBound::Absolute(value)),
+        other => Err(format!("unknown error-bound mode '{}'", other)),
+    }
+}
+
+fn parse_dims(spec: &str) -> Result<Dims, String> {
+    let extents: Vec<usize> = spec
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad dimension '{}'", p))
+        })
+        .collect::<Result<_, _>>()?;
+    if extents.is_empty() || extents.len() > 4 {
+        return Err("expected 1-4 comma-separated dimensions".to_string());
+    }
+    if extents.contains(&0) {
+        return Err("dimensions must be non-zero".to_string());
+    }
+    Ok(Dims::from_slice(&extents))
+}
+
+/// Loads the field named by `--input`/`--dims` or `--dataset`/`--elements`/`--seed`.
+fn load_field(args: &Args) -> Result<Field, String> {
+    match (args.get("input"), args.get("dataset")) {
+        (Some(path), None) => {
+            let dims = parse_dims(args.require("dims")?)?;
+            let mut bytes = Vec::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| format!("cannot read {}: {}", path, e))?;
+            if bytes.len() != dims.len() * 4 {
+                return Err(format!(
+                    "{} holds {} bytes but dims {:?} need {}",
+                    path,
+                    bytes.len(),
+                    dims.as_vec(),
+                    dims.len() * 4
+                ));
+            }
+            let data: Vec<f32> = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect();
+            if data.iter().any(|v| !v.is_finite()) {
+                return Err(format!("{} contains non-finite values", path));
+            }
+            Ok(Field::new(path.to_string(), dims, data))
+        }
+        (None, Some(name)) => {
+            let spec =
+                dataset_by_name(name).ok_or_else(|| format!("unknown dataset '{}'", name))?;
+            let elements: usize = args
+                .require("elements")?
+                .parse()
+                .map_err(|_| "bad --elements value".to_string())?;
+            let seed: u64 = args
+                .get("seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| "bad --seed value".to_string())?;
+            Ok(generate(&spec, elements, seed))
+        }
+        (Some(_), Some(_)) => Err("--input and --dataset are mutually exclusive".to_string()),
+        (None, None) => Err("provide either --input FILE --dims ... or --dataset NAME".to_string()),
+    }
+}
+
+fn cli_gpu() -> Gpu {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    Gpu::with_host_threads(GpuConfig::v100(), threads)
+}
+
+fn cmd_compress(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let field = load_field(&args)?;
+    let output = args.require("output")?;
+    let decoder = parse_decoder(args.get("decoder").unwrap_or("gap"))?;
+    let error_bound = parse_error_bound(args.get("eb").unwrap_or("rel:1e-3"))?;
+    let alphabet_size: usize = args
+        .get("alphabet")
+        .unwrap_or("1024")
+        .parse()
+        .map_err(|_| "bad --alphabet value".to_string())?;
+    if !(4..=65536).contains(&alphabet_size) || !alphabet_size.is_power_of_two() {
+        return Err("--alphabet must be a power of two in 4..=65536".to_string());
+    }
+
+    let config = SzConfig {
+        error_bound,
+        alphabet_size,
+        decoder,
+    };
+    let compressed = compress(&field, &config);
+
+    let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let mut writer = ArchiveWriter::new(BufWriter::new(file));
+    let written = writer
+        .write_compressed(&compressed)
+        .map_err(|e| e.to_string())?;
+    writer.into_inner().map_err(|e| e.to_string())?;
+
+    out!(
+        "{}: {} elements ({} bytes) -> {} ({} bytes, {:.2}x)",
+        field.name,
+        field.len(),
+        field.bytes(),
+        output,
+        written,
+        field.bytes() as f64 / written as f64
+    );
+    let file = File::open(output).map_err(|e| format!("cannot reopen {}: {}", output, e))?;
+    let info = read_info(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
+    out!("{}", info);
+    Ok(())
+}
+
+fn cmd_decompress(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let archive_path = args
+        .positionals
+        .first()
+        .ok_or_else(|| "expected an archive path".to_string())?;
+    let output = args.require("output")?;
+
+    let file =
+        File::open(archive_path).map_err(|e| format!("cannot open {}: {}", archive_path, e))?;
+    let mut reader = ArchiveReader::new(BufReader::new(file));
+    let compressed = reader
+        .read_archive()
+        .map_err(|e| e.to_string())?
+        .into_field()
+        .ok_or_else(|| "archive is payload-only; nothing to reconstruct".to_string())?;
+
+    let gpu = cli_gpu();
+    let decompressed = decompress(&gpu, &compressed);
+
+    let out = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let mut out = BufWriter::new(out);
+    for v in &decompressed.data {
+        out.write_all(&v.to_le_bytes())
+            .map_err(|e| format!("write failed: {}", e))?;
+    }
+    out.flush().map_err(|e| format!("write failed: {}", e))?;
+
+    out!(
+        "{} -> {}: {} elements, simulated decompression {:.3} ms ({:.1} GB/s overall)",
+        archive_path,
+        output,
+        decompressed.data.len(),
+        decompressed.stats.total_seconds * 1e3,
+        decompressed
+            .stats
+            .overall_throughput_gbs(compressed.original_bytes())
+    );
+    Ok(())
+}
+
+/// Reads a whole archive file so the CLI can insist the file holds exactly a sequence
+/// of archives and nothing else (trailing bytes after the last end marker are reported,
+/// unlike the streaming reader, which by design leaves the stream open for the next
+/// archive).
+fn read_archive_file(path: &str) -> Result<Vec<u8>, String> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("cannot open {}: {}", path, e))?;
+    Ok(bytes)
+}
+
+fn cmd_inspect(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let archive_path = args
+        .positionals
+        .first()
+        .ok_or_else(|| "expected an archive path".to_string())?;
+    let bytes = read_archive_file(archive_path)?;
+    let mut rest = bytes.as_slice();
+    let mut index = 0;
+    while !rest.is_empty() {
+        let info = read_info(&mut rest).map_err(|e| e.to_string())?;
+        if index > 0 {
+            out!();
+        }
+        out!("{}", info);
+        index += 1;
+    }
+    if index == 0 {
+        return Err("file is empty".to_string());
+    }
+    Ok(())
+}
+
+fn cmd_verify(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let archive_path = args
+        .positionals
+        .first()
+        .ok_or_else(|| "expected an archive path".to_string())?;
+    let bytes = read_archive_file(archive_path)?;
+
+    // Structural pass: framing and checksums of every archive in the file; anything
+    // left over after the last end marker is corruption, not slack.
+    let mut cursor = bytes.as_slice();
+    let mut count = 0;
+    while !cursor.is_empty() {
+        let info = read_info(&mut cursor).map_err(|e| e.to_string())?;
+        count += 1;
+        out!(
+            "structure: ok (archive {}: {} sections, {} bytes)",
+            count,
+            info.sections.len(),
+            info.total_bytes
+        );
+    }
+    if count == 0 {
+        return Err("file is empty".to_string());
+    }
+    if count > 1 {
+        out!(
+            "note: file concatenates {} archives; verifying the first",
+            count
+        );
+    }
+
+    // Semantic pass: full reassembly.
+    let archive = ArchiveReader::new(bytes.as_slice())
+        .read_archive()
+        .map_err(|e| e.to_string())?;
+    out!(
+        "contents:  ok ({} symbols, decoder {})",
+        archive.payload().num_symbols(),
+        archive.decoder().name()
+    );
+
+    let Some(compressed) = archive.into_field() else {
+        out!("payload-only archive: nothing further to verify");
+        return Ok(());
+    };
+
+    // Reconstruction pass: decode and check the error bound against the original when
+    // one is provided.
+    let gpu = cli_gpu();
+    let decompressed = decompress(&gpu, &compressed);
+    out!(
+        "decode:    ok ({} elements reconstructed)",
+        decompressed.data.len()
+    );
+
+    if args.get("input").is_some() || args.get("dataset").is_some() {
+        let field = load_field(&args)?;
+        if field.len() != decompressed.data.len() {
+            return Err(format!(
+                "original has {} elements, archive reconstructs {}",
+                field.len(),
+                decompressed.data.len()
+            ));
+        }
+        let bound = compressed
+            .config
+            .error_bound
+            .to_absolute(field.range_span() as f64);
+        match verify_error_bound(&field.data, &decompressed.data, bound) {
+            None => out!("bound:     ok (|error| <= {:e} everywhere)", bound),
+            Some(idx) => {
+                return Err(format!(
+                    "error bound {:e} violated at element {}: {} vs {}",
+                    bound, idx, field.data[idx], decompressed.data[idx]
+                ))
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,440 @@
+//! Encoding and defensive decoding of each section payload.
+//!
+//! Writers serialize trusted in-memory structures produced by the pipeline; parsers
+//! treat every field as hostile — each is bounds-checked, cross-validated against the
+//! structures it must agree with, and rejected with a typed error instead of a panic.
+
+use huffdec_core::{EncodedStream, StreamGeometry};
+use huffman::{ChunkMeta, ChunkedEncoded, Codebook, GapArray};
+use sz::Outlier;
+
+use crate::error::{ContainerError, Result};
+use crate::wire::{ByteCursor, ByteWriter};
+
+fn invalid(reason: &'static str) -> ContainerError {
+    ContainerError::Invalid { reason }
+}
+
+// --- Codebook --------------------------------------------------------------------------
+
+/// Encodes a codebook as `(symbol, code length)` pairs (count-prefixed).
+pub fn encode_codebook(codebook: &Codebook) -> Vec<u8> {
+    let pairs = codebook.length_pairs();
+    let mut w = ByteWriter::with_capacity(4 + pairs.len() * 3);
+    w.put_u32(pairs.len() as u32);
+    for (sym, len) in pairs {
+        w.put_u16(sym);
+        w.put_u8(len);
+    }
+    w.into_bytes()
+}
+
+/// Parses and validates a codebook payload for an alphabet of `alphabet_size` symbols.
+pub fn parse_codebook(payload: &[u8], alphabet_size: u32) -> Result<Codebook> {
+    let mut c = ByteCursor::new(payload, "codebook section");
+    let npairs = c.get_u32()? as usize;
+    if npairs > alphabet_size as usize {
+        return Err(invalid("more codebook entries than alphabet symbols"));
+    }
+    let mut pairs = Vec::with_capacity(npairs);
+    for _ in 0..npairs {
+        let sym = c.get_u16()?;
+        let len = c.get_u8()?;
+        pairs.push((sym, len));
+    }
+    c.expect_end("trailing bytes in codebook section")?;
+    Codebook::from_length_pairs(alphabet_size as usize, &pairs)
+        .map_err(|reason| ContainerError::Invalid { reason })
+}
+
+// --- Flat stream -----------------------------------------------------------------------
+
+/// Encodes the flat bitstream and its geometry (the gap array travels separately).
+pub fn encode_flat_stream(stream: &EncodedStream) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(32 + stream.units.len() * 4);
+    w.put_u64(stream.bit_len);
+    w.put_u64(stream.num_symbols as u64);
+    w.put_u32(stream.geometry.subseq_units);
+    w.put_u32(stream.geometry.subseqs_per_seq);
+    w.put_u64(stream.units.len() as u64);
+    for &unit in &stream.units {
+        w.put_u32(unit);
+    }
+    w.into_bytes()
+}
+
+/// Parsed flat-stream payload, not yet joined with its codebook and gap array.
+pub struct FlatStreamParts {
+    /// Packed 32-bit units.
+    pub units: Vec<u32>,
+    /// Valid bits in `units`.
+    pub bit_len: u64,
+    /// Encoded symbol count.
+    pub num_symbols: usize,
+    /// Stream decomposition geometry.
+    pub geometry: StreamGeometry,
+}
+
+/// Parses and validates a flat-stream payload.
+pub fn parse_flat_stream(payload: &[u8]) -> Result<FlatStreamParts> {
+    let mut c = ByteCursor::new(payload, "flat-stream section");
+    let bit_len = c.get_u64()?;
+    let num_symbols =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("symbol count exceeds usize"))?;
+    let subseq_units = c.get_u32()?;
+    let subseqs_per_seq = c.get_u32()?;
+    let geometry = StreamGeometry::checked(subseq_units, subseqs_per_seq)
+        .map_err(|reason| ContainerError::Invalid { reason })?;
+    let unit_count = c.get_u64()?;
+    if unit_count != bit_len.div_ceil(32) {
+        return Err(invalid("unit count does not cover the bit length"));
+    }
+    if num_symbols as u64 > bit_len {
+        return Err(invalid("more symbols than bits in the stream"));
+    }
+    let unit_count =
+        usize::try_from(unit_count).map_err(|_| invalid("unit count exceeds usize"))?;
+    // Bound the allocation by what the section can actually hold before reserving: a
+    // CRC-valid but hand-crafted count must not drive a huge allocation.
+    if unit_count > c.remaining() / 4 {
+        return Err(invalid("unit count exceeds the section size"));
+    }
+    let mut units = Vec::with_capacity(unit_count);
+    for _ in 0..unit_count {
+        units.push(c.get_u32()?);
+    }
+    c.expect_end("trailing bytes in flat-stream section")?;
+    Ok(FlatStreamParts {
+        units,
+        bit_len,
+        num_symbols,
+        geometry,
+    })
+}
+
+// --- Gap array -------------------------------------------------------------------------
+
+/// Encodes a gap array.
+pub fn encode_gap_array(gap: &GapArray) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(16 + gap.gaps.len());
+    w.put_u64(gap.subseq_bits);
+    w.put_u64(gap.gaps.len() as u64);
+    w.put_bytes(&gap.gaps);
+    w.into_bytes()
+}
+
+/// Parses a gap-array payload. Consistency with the stream geometry is checked when the
+/// stream is reassembled ([`EncodedStream::from_parts`]).
+pub fn parse_gap_array(payload: &[u8]) -> Result<GapArray> {
+    let mut c = ByteCursor::new(payload, "gap-array section");
+    let subseq_bits = c.get_u64()?;
+    if subseq_bits == 0 {
+        return Err(invalid("zero gap-array subsequence size"));
+    }
+    let count =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("gap array length exceeds usize"))?;
+    let gaps = c.get_bytes(count)?.to_vec();
+    c.expect_end("trailing bytes in gap-array section")?;
+    Ok(GapArray { gaps, subseq_bits })
+}
+
+// --- Outliers --------------------------------------------------------------------------
+
+/// Encodes the outlier list.
+pub fn encode_outliers(outliers: &[Outlier]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(8 + outliers.len() * 16);
+    w.put_u64(outliers.len() as u64);
+    for o in outliers {
+        w.put_u64(o.index);
+        w.put_i64(o.prequant);
+    }
+    w.into_bytes()
+}
+
+/// Parses the outlier list, requiring strictly increasing indices below `num_elements`
+/// (the order and range the reconstruction kernels rely on).
+pub fn parse_outliers(payload: &[u8], num_elements: u64) -> Result<Vec<Outlier>> {
+    let mut c = ByteCursor::new(payload, "outliers section");
+    let count =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("outlier count exceeds usize"))?;
+    if count as u64 > num_elements {
+        return Err(invalid("more outliers than elements"));
+    }
+    // Each outlier is 16 payload bytes; bound the allocation by the section size.
+    if count > c.remaining() / 16 {
+        return Err(invalid("outlier count exceeds the section size"));
+    }
+    let mut outliers = Vec::with_capacity(count);
+    let mut last: Option<u64> = None;
+    for _ in 0..count {
+        let index = c.get_u64()?;
+        let prequant = c.get_i64()?;
+        if index >= num_elements {
+            return Err(invalid("outlier index out of range"));
+        }
+        if last.is_some_and(|l| index <= l) {
+            return Err(invalid("outlier indices not strictly increasing"));
+        }
+        last = Some(index);
+        outliers.push(Outlier { index, prequant });
+    }
+    c.expect_end("trailing bytes in outliers section")?;
+    Ok(outliers)
+}
+
+// --- Chunked stream --------------------------------------------------------------------
+
+/// Encodes cuSZ's chunked bitstream with its per-chunk metadata.
+pub fn encode_chunked_stream(encoded: &ChunkedEncoded) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(32 + encoded.chunks.len() * 40 + encoded.units.len() * 4);
+    w.put_u64(encoded.chunk_symbols as u64);
+    w.put_u64(encoded.num_symbols as u64);
+    w.put_u64(encoded.chunks.len() as u64);
+    for chunk in &encoded.chunks {
+        w.put_u64(chunk.unit_offset);
+        w.put_u64(chunk.unit_count);
+        w.put_u64(chunk.bit_len);
+        w.put_u64(chunk.num_symbols);
+        w.put_u64(chunk.symbol_offset);
+    }
+    w.put_u64(encoded.units.len() as u64);
+    for &unit in &encoded.units {
+        w.put_u32(unit);
+    }
+    w.into_bytes()
+}
+
+/// Parses and validates a chunked-stream payload: chunks must tile the unit array
+/// contiguously and their symbol counts must sum to the stream total, so the baseline
+/// decoder can trust every offset.
+pub fn parse_chunked_stream(payload: &[u8]) -> Result<ChunkedEncoded> {
+    let mut c = ByteCursor::new(payload, "chunked-stream section");
+    let chunk_symbols =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("chunk size exceeds usize"))?;
+    if chunk_symbols == 0 {
+        return Err(invalid("zero chunk size"));
+    }
+    let num_symbols =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("symbol count exceeds usize"))?;
+    let num_chunks =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("chunk count exceeds usize"))?;
+    // Each chunk frame is 40 bytes; reject counts the payload cannot possibly hold
+    // before reserving space.
+    if num_chunks > payload.len() / 40 {
+        return Err(invalid("chunk count exceeds the section size"));
+    }
+
+    let mut chunks = Vec::with_capacity(num_chunks);
+    let mut expected_unit_offset = 0u64;
+    let mut expected_symbol_offset = 0u64;
+    for _ in 0..num_chunks {
+        let chunk = ChunkMeta {
+            unit_offset: c.get_u64()?,
+            unit_count: c.get_u64()?,
+            bit_len: c.get_u64()?,
+            num_symbols: c.get_u64()?,
+            symbol_offset: c.get_u64()?,
+        };
+        if chunk.unit_offset != expected_unit_offset {
+            return Err(invalid("chunks do not tile the unit array"));
+        }
+        if chunk.symbol_offset != expected_symbol_offset {
+            return Err(invalid("chunk symbol offsets are inconsistent"));
+        }
+        if chunk.bit_len > chunk.unit_count.saturating_mul(32) {
+            return Err(invalid("chunk bit length exceeds its units"));
+        }
+        if chunk.num_symbols > chunk.bit_len {
+            return Err(invalid("more symbols than bits in a chunk"));
+        }
+        expected_unit_offset = expected_unit_offset
+            .checked_add(chunk.unit_count)
+            .ok_or_else(|| invalid("unit offsets overflow"))?;
+        expected_symbol_offset = expected_symbol_offset
+            .checked_add(chunk.num_symbols)
+            .ok_or_else(|| invalid("symbol offsets overflow"))?;
+        chunks.push(chunk);
+    }
+    if expected_symbol_offset != num_symbols as u64 {
+        return Err(invalid(
+            "chunk symbol counts do not sum to the stream total",
+        ));
+    }
+
+    let unit_count = c.get_u64()?;
+    if unit_count != expected_unit_offset {
+        return Err(invalid("unit count does not match the chunk tiling"));
+    }
+    let unit_count =
+        usize::try_from(unit_count).map_err(|_| invalid("unit count exceeds usize"))?;
+    // Bound the allocation by what the section can actually hold before reserving.
+    if unit_count > c.remaining() / 4 {
+        return Err(invalid("unit count exceeds the section size"));
+    }
+    let mut units = Vec::with_capacity(unit_count);
+    for _ in 0..unit_count {
+        units.push(c.get_u32()?);
+    }
+    c.expect_end("trailing bytes in chunked-stream section")?;
+    Ok(ChunkedEncoded {
+        units,
+        chunks,
+        chunk_symbols,
+        num_symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huffman::encode_chunked;
+
+    fn symbols(n: usize) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| (512 + ((i.wrapping_mul(2654435761) >> 22) % 16) as i32 - 8) as u16)
+            .collect()
+    }
+
+    #[test]
+    fn codebook_roundtrip() {
+        let syms = symbols(5000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let payload = encode_codebook(&cb);
+        let back = parse_codebook(&payload, 1024).unwrap();
+        assert_eq!(back.codewords(), cb.codewords());
+    }
+
+    #[test]
+    fn codebook_with_symbol_outside_alphabet_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u16(5000); // beyond a 1024 alphabet
+        w.put_u8(3);
+        assert!(parse_codebook(&w.into_bytes(), 1024).is_err());
+    }
+
+    #[test]
+    fn codebook_kraft_violation_rejected() {
+        // Three 1-bit codes: kraft sum 1.5.
+        let mut w = ByteWriter::new();
+        w.put_u32(3);
+        for sym in 0..3u16 {
+            w.put_u16(sym);
+            w.put_u8(1);
+        }
+        assert!(parse_codebook(&w.into_bytes(), 16).is_err());
+    }
+
+    #[test]
+    fn flat_stream_roundtrip() {
+        let syms = symbols(20_000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let stream = EncodedStream::encode(&cb, &syms);
+        let payload = encode_flat_stream(&stream);
+        let parts = parse_flat_stream(&payload).unwrap();
+        assert_eq!(parts.units, stream.units);
+        assert_eq!(parts.bit_len, stream.bit_len);
+        assert_eq!(parts.num_symbols, stream.num_symbols);
+        assert_eq!(parts.geometry, stream.geometry);
+    }
+
+    #[test]
+    fn flat_stream_with_wrong_unit_count_rejected() {
+        let syms = symbols(1000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let stream = EncodedStream::encode(&cb, &syms);
+        let mut payload = encode_flat_stream(&stream);
+        // Halve the claimed bit length; the unit count no longer matches.
+        payload[0..8].copy_from_slice(&(stream.bit_len / 2).to_le_bytes());
+        assert!(parse_flat_stream(&payload).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_counts_rejected_before_allocating() {
+        // A tiny section claiming astronomically many units/outliers must be rejected
+        // by the size bound, not by attempting the allocation.
+        let huge = 1u64 << 45;
+        let mut w = ByteWriter::new();
+        w.put_u64(huge * 32); // bit_len consistent with the unit count
+        w.put_u64(100); // num_symbols
+        w.put_u32(4);
+        w.put_u32(128);
+        w.put_u64(huge); // unit count far beyond the payload size
+        assert!(parse_flat_stream(&w.into_bytes()).is_err());
+
+        let mut w = ByteWriter::new();
+        w.put_u64(huge); // outlier count
+        assert!(parse_outliers(&w.into_bytes(), u64::MAX).is_err());
+    }
+
+    #[test]
+    fn gap_array_roundtrip() {
+        let gap = GapArray {
+            gaps: vec![0, 3, 17, 0, 9],
+            subseq_bits: 128,
+        };
+        let parsed = parse_gap_array(&encode_gap_array(&gap)).unwrap();
+        assert_eq!(parsed.gaps, gap.gaps);
+        assert_eq!(parsed.subseq_bits, gap.subseq_bits);
+    }
+
+    #[test]
+    fn outliers_roundtrip_and_ordering() {
+        let outliers = vec![
+            Outlier {
+                index: 3,
+                prequant: -1000,
+            },
+            Outlier {
+                index: 77,
+                prequant: 123456789,
+            },
+        ];
+        let payload = encode_outliers(&outliers);
+        assert_eq!(parse_outliers(&payload, 100).unwrap(), outliers);
+        // Out-of-range index rejected.
+        assert!(parse_outliers(&payload, 50).is_err());
+        // Unsorted list rejected.
+        let unsorted = vec![
+            Outlier {
+                index: 77,
+                prequant: 1,
+            },
+            Outlier {
+                index: 3,
+                prequant: 2,
+            },
+        ];
+        assert!(parse_outliers(&encode_outliers(&unsorted), 100).is_err());
+    }
+
+    #[test]
+    fn chunked_stream_roundtrip() {
+        let syms = symbols(10_000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let enc = encode_chunked(&cb, &syms, 1024);
+        let parsed = parse_chunked_stream(&encode_chunked_stream(&enc)).unwrap();
+        assert_eq!(parsed.units, enc.units);
+        assert_eq!(parsed.chunks, enc.chunks);
+        assert_eq!(parsed.chunk_symbols, enc.chunk_symbols);
+        assert_eq!(parsed.num_symbols, enc.num_symbols);
+    }
+
+    #[test]
+    fn chunked_stream_with_gapped_tiling_rejected() {
+        let syms = symbols(5000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let mut enc = encode_chunked(&cb, &syms, 1024);
+        enc.chunks[1].unit_offset += 1;
+        assert!(parse_chunked_stream(&encode_chunked_stream(&enc)).is_err());
+    }
+
+    #[test]
+    fn chunked_stream_with_bad_symbol_total_rejected() {
+        let syms = symbols(5000);
+        let cb = Codebook::from_symbols(&syms, 1024);
+        let mut enc = encode_chunked(&cb, &syms, 1024);
+        enc.num_symbols += 1;
+        assert!(parse_chunked_stream(&encode_chunked_stream(&enc)).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! The fixed 64-byte `HFZ1` archive header.
+//!
+//! Layout (all integers little-endian):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `"HFZ1"` |
+//! | 4      | 2    | format version (currently 1) |
+//! | 6      | 1    | decoder kind tag ([`DecoderKind::tag`]) |
+//! | 7      | 1    | flags (bit 0: field metadata present) |
+//! | 8      | 1    | error-bound mode (0 absolute, 1 relative) |
+//! | 9      | 1    | number of dimensions (1–4; 0 for payload-only archives) |
+//! | 10     | 2    | reserved (zero) |
+//! | 12     | 4    | quantization alphabet size |
+//! | 16     | 8    | error-bound value (f64 bits) |
+//! | 24     | 8    | quantization step (f64 bits) |
+//! | 32     | 32   | dimensions, 4 × u64 (unused slots zero) |
+//!
+//! A *field archive* (flags bit 0 set) carries a full [`sz`]-pipeline compression:
+//! error-bound mode/value, quantization step, and dataset dimensions are meaningful, and
+//! an outlier section follows. A *payload-only archive* (bit 0 clear) stores just a
+//! Huffman-encoded symbol stream; those fields are zero.
+
+use datasets::Dims;
+use huffdec_core::DecoderKind;
+use sz::ErrorBound;
+
+use crate::error::{ContainerError, Result};
+use crate::wire::{ByteCursor, ByteWriter};
+
+/// The four magic bytes opening every archive.
+pub const MAGIC: [u8; 4] = *b"HFZ1";
+/// The format version this crate writes and the highest it reads.
+pub const FORMAT_VERSION: u16 = 1;
+/// Size of the fixed header in bytes.
+pub const HEADER_BYTES: usize = 64;
+/// Size of the header plus its trailing CRC32 as stored.
+pub const HEADER_WIRE_BYTES: usize = HEADER_BYTES + 4;
+
+/// Flag bit: the archive carries field metadata (error bound, step, dims, outliers).
+const FLAG_FIELD_METADATA: u8 = 0b0000_0001;
+/// Largest element count a header may claim — a storage-format sanity bound
+/// (2^40 f32 elements = 4 TiB) that keeps corrupted headers from driving huge
+/// allocations downstream.
+const MAX_ELEMENTS: u64 = 1 << 40;
+
+/// Compression metadata of a field archive (absent from payload-only archives).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldMeta {
+    /// The error bound the archive was compressed under.
+    pub error_bound: ErrorBound,
+    /// The quantization step (twice the absolute error bound used).
+    pub step: f64,
+    /// Dimensions of the compressed field.
+    pub dims: Dims,
+}
+
+/// The decoded archive header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Header {
+    /// Which Huffman decoder the archive's stream format targets.
+    pub decoder: DecoderKind,
+    /// Quantization alphabet size (number of Huffman symbols).
+    pub alphabet_size: u32,
+    /// Field metadata, when this is a full-pipeline archive.
+    pub field: Option<FieldMeta>,
+}
+
+impl Header {
+    /// Encodes the header into its fixed 64-byte form.
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut w = ByteWriter::with_capacity(HEADER_BYTES);
+        w.put_bytes(&MAGIC);
+        w.put_u16(FORMAT_VERSION);
+        w.put_u8(self.decoder.tag());
+        w.put_u8(if self.field.is_some() {
+            FLAG_FIELD_METADATA
+        } else {
+            0
+        });
+        match &self.field {
+            Some(meta) => {
+                let (eb_mode, eb_value) = meta.error_bound.wire_parts();
+                w.put_u8(eb_mode);
+                w.put_u8(meta.dims.ndim() as u8);
+                w.put_u16(0); // reserved
+                w.put_u32(self.alphabet_size);
+                w.put_f64(eb_value);
+                w.put_f64(meta.step);
+                let extents = meta.dims.as_vec();
+                for slot in 0..4 {
+                    w.put_u64(extents.get(slot).map(|&e| e as u64).unwrap_or(0));
+                }
+            }
+            None => {
+                w.put_u8(0);
+                w.put_u8(0);
+                w.put_u16(0); // reserved
+                w.put_u32(self.alphabet_size);
+                w.put_f64(0.0);
+                w.put_f64(0.0);
+                for _ in 0..4 {
+                    w.put_u64(0);
+                }
+            }
+        }
+        let bytes = w.into_bytes();
+        debug_assert_eq!(bytes.len(), HEADER_BYTES);
+        bytes.try_into().expect("header layout is 64 bytes")
+    }
+
+    /// Encodes the header followed by its CRC32, as stored on the wire.
+    pub fn encode_with_crc(&self) -> [u8; HEADER_WIRE_BYTES] {
+        let mut bytes = [0u8; HEADER_WIRE_BYTES];
+        bytes[..HEADER_BYTES].copy_from_slice(&self.encode());
+        let crc = crate::crc32::crc32(&bytes[..HEADER_BYTES]);
+        bytes[HEADER_BYTES..].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes a header and verifies its trailing CRC32. Magic and version are checked
+    /// *before* the checksum so a wrong file type or a future format version keep their
+    /// specific errors; any other header corruption fails the checksum.
+    pub fn decode_with_crc(bytes: &[u8; HEADER_WIRE_BYTES]) -> Result<Header> {
+        let header: &[u8; HEADER_BYTES] = bytes[..HEADER_BYTES].try_into().expect("header slice");
+        let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(ContainerError::BadMagic { found: magic });
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(ContainerError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let stored = u32::from_le_bytes(bytes[HEADER_BYTES..].try_into().expect("4 bytes"));
+        let computed = crate::crc32::crc32(header);
+        if stored != computed {
+            return Err(ContainerError::HeaderChecksumMismatch { stored, computed });
+        }
+        Header::decode(header)
+    }
+
+    /// Decodes and validates a header from its fixed 64-byte form.
+    pub fn decode(bytes: &[u8; HEADER_BYTES]) -> Result<Header> {
+        let mut c = ByteCursor::new(bytes, "header");
+        let magic: [u8; 4] = c.get_bytes(4)?.try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(ContainerError::BadMagic { found: magic });
+        }
+        let version = c.get_u16()?;
+        if version != FORMAT_VERSION {
+            return Err(ContainerError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let decoder_tag = c.get_u8()?;
+        let decoder = DecoderKind::from_tag(decoder_tag).ok_or(ContainerError::Invalid {
+            reason: "unknown decoder kind tag",
+        })?;
+        let flags = c.get_u8()?;
+        if flags & !FLAG_FIELD_METADATA != 0 {
+            return Err(ContainerError::Invalid {
+                reason: "unknown header flag bits",
+            });
+        }
+        let eb_mode = c.get_u8()?;
+        let ndim = c.get_u8()?;
+        let reserved = c.get_u16()?;
+        if reserved != 0 {
+            return Err(ContainerError::Invalid {
+                reason: "non-zero reserved header bytes",
+            });
+        }
+        let alphabet_size = c.get_u32()?;
+        if !(4..=65536).contains(&alphabet_size) {
+            return Err(ContainerError::Invalid {
+                reason: "alphabet size out of range",
+            });
+        }
+        let eb_value = c.get_f64()?;
+        let step = c.get_f64()?;
+        let mut raw_dims = [0u64; 4];
+        for slot in &mut raw_dims {
+            *slot = c.get_u64()?;
+        }
+
+        let field = if flags & FLAG_FIELD_METADATA != 0 {
+            let error_bound =
+                ErrorBound::from_wire_parts(eb_mode, eb_value).ok_or(ContainerError::Invalid {
+                    reason: "invalid error-bound encoding",
+                })?;
+            if !step.is_finite() || step <= 0.0 {
+                return Err(ContainerError::Invalid {
+                    reason: "non-positive quantization step",
+                });
+            }
+            if !(1..=4).contains(&ndim) {
+                return Err(ContainerError::Invalid {
+                    reason: "dimensionality out of range",
+                });
+            }
+            let extents = &raw_dims[..ndim as usize];
+            if extents.contains(&0) {
+                return Err(ContainerError::Invalid {
+                    reason: "zero-sized dimension",
+                });
+            }
+            if raw_dims[ndim as usize..].iter().any(|&e| e != 0) {
+                return Err(ContainerError::Invalid {
+                    reason: "non-zero unused dimension slot",
+                });
+            }
+            let mut product: u64 = 1;
+            for &e in extents {
+                product = product
+                    .checked_mul(e)
+                    .filter(|&p| p <= MAX_ELEMENTS)
+                    .ok_or(ContainerError::Invalid {
+                        reason: "element count overflows",
+                    })?;
+            }
+            let usized: Vec<usize> = extents
+                .iter()
+                .map(|&e| usize::try_from(e))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|_| ContainerError::Invalid {
+                    reason: "dimension exceeds usize",
+                })?;
+            Some(FieldMeta {
+                error_bound,
+                step,
+                dims: Dims::from_slice(&usized),
+            })
+        } else {
+            if eb_mode != 0 || ndim != 0 || eb_value != 0.0 || step != 0.0 {
+                return Err(ContainerError::Invalid {
+                    reason: "field metadata fields set without the field flag",
+                });
+            }
+            if raw_dims.iter().any(|&e| e != 0) {
+                return Err(ContainerError::Invalid {
+                    reason: "dimensions set without the field flag",
+                });
+            }
+            None
+        };
+
+        Ok(Header {
+            decoder,
+            alphabet_size,
+            field,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_field_header() -> Header {
+        Header {
+            decoder: DecoderKind::OptimizedGapArray,
+            alphabet_size: 1024,
+            field: Some(FieldMeta {
+                error_bound: ErrorBound::Relative(1e-3),
+                step: 0.002,
+                dims: Dims::D3(16, 32, 8),
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_field_header() {
+        let h = sample_field_header();
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn roundtrip_payload_header_for_every_decoder() {
+        for kind in DecoderKind::all() {
+            let h = Header {
+                decoder: kind,
+                alphabet_size: 4096,
+                field: None,
+            };
+            assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample_field_header().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample_field_header().encode();
+        bytes[4] = 0x02;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::UnsupportedVersion {
+                found: 2,
+                supported: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_decoder_tag_rejected() {
+        let mut bytes = sample_field_header().encode();
+        bytes[6] = 0x7F;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let mut bytes = sample_field_header().encode();
+        bytes[7] |= 0b1000_0000;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut h = sample_field_header();
+        if let Some(meta) = &mut h.field {
+            meta.dims = Dims::D2(0, 5);
+        }
+        let bytes = h.encode();
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_dims_rejected() {
+        let mut bytes = sample_field_header().encode();
+        for slot in 0..3 {
+            bytes[32 + slot * 8..40 + slot * 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        }
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn nonzero_step_without_flag_rejected() {
+        let h = Header {
+            decoder: DecoderKind::CuszBaseline,
+            alphabet_size: 1024,
+            field: None,
+        };
+        let mut bytes = h.encode();
+        bytes[24..32].copy_from_slice(&1.0f64.to_le_bytes());
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(ContainerError::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! Archive inspection: a structural walk that reports the header and the per-section
+//! size breakdown (and verifies every checksum on the way) without reassembling the
+//! decoder structures. This is what `hfz inspect` and `hfz verify` print.
+
+use std::fmt;
+use std::io::Read;
+
+use huffdec_core::DecoderKind;
+
+use crate::error::{ContainerError, Result};
+use crate::header::{FieldMeta, Header, HEADER_WIRE_BYTES};
+use crate::section::{read_exact, read_section, SectionKind, CRC_BYTES, FRAME_BYTES};
+use crate::wire::ByteCursor;
+
+/// Size and identity of one section as stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Which section.
+    pub kind: SectionKind,
+    /// Payload size in bytes (excluding the 16 bytes of framing and checksum).
+    pub payload_bytes: u64,
+}
+
+impl SectionInfo {
+    /// Total stored size including framing and checksum.
+    pub fn stored_bytes(&self) -> u64 {
+        self.payload_bytes + (FRAME_BYTES + CRC_BYTES) as u64
+    }
+}
+
+/// Everything `hfz inspect` reports about an archive.
+#[derive(Debug, Clone)]
+pub struct ArchiveInfo {
+    /// The decoder the archive targets.
+    pub decoder: DecoderKind,
+    /// Quantization alphabet size.
+    pub alphabet_size: u32,
+    /// Field metadata, when present.
+    pub field: Option<FieldMeta>,
+    /// Sections in storage order (excluding the end marker).
+    pub sections: Vec<SectionInfo>,
+    /// Number of encoded symbols (from the stream section).
+    pub num_symbols: u64,
+    /// Total archive size in bytes, header and end marker included.
+    pub total_bytes: u64,
+}
+
+impl ArchiveInfo {
+    /// Uncompressed size of what the archive reconstructs: f32 elements for field
+    /// archives, u16 quantization codes for payload-only archives.
+    pub fn original_bytes(&self) -> u64 {
+        match self.field {
+            Some(meta) => meta.dims.len() as u64 * 4,
+            None => self.num_symbols * 2,
+        }
+    }
+
+    /// Overall compression ratio of the archive as stored.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.original_bytes() as f64 / self.total_bytes as f64
+    }
+}
+
+impl fmt::Display for ArchiveInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "HFZ1 archive, {} bytes", self.total_bytes)?;
+        writeln!(f, "  decoder:       {}", self.decoder.name())?;
+        writeln!(f, "  alphabet:      {} symbols", self.alphabet_size)?;
+        writeln!(f, "  symbols:       {}", self.num_symbols)?;
+        match &self.field {
+            Some(meta) => {
+                let dims = meta
+                    .dims
+                    .as_vec()
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x");
+                writeln!(
+                    f,
+                    "  dims:          {} ({} elements)",
+                    dims,
+                    meta.dims.len()
+                )?;
+                let (mode, value) = meta.error_bound.wire_parts();
+                let mode = if mode == 0 { "absolute" } else { "relative" };
+                writeln!(f, "  error bound:   {} {:e}", mode, value)?;
+                writeln!(f, "  quant step:    {:e}", meta.step)?;
+            }
+            None => writeln!(f, "  payload-only archive (no field metadata)")?,
+        }
+        writeln!(f, "  sections:")?;
+        writeln!(
+            f,
+            "    {:<16} {:>12}  {:>7}",
+            "header", HEADER_WIRE_BYTES, ""
+        )?;
+        for s in &self.sections {
+            writeln!(
+                f,
+                "    {:<16} {:>12}  {:>6.2}%",
+                s.kind.to_string(),
+                s.stored_bytes(),
+                100.0 * s.stored_bytes() as f64 / self.total_bytes as f64
+            )?;
+        }
+        write!(
+            f,
+            "  compression:   {} -> {} bytes ({:.2}x)",
+            self.original_bytes(),
+            self.total_bytes,
+            self.compression_ratio()
+        )
+    }
+}
+
+/// Walks one archive, verifying framing and checksums, and reports its structure.
+///
+/// This performs the same integrity checks as a full read but skips reassembling the
+/// codebook and streams, so it is cheap and works on archives whose payload sections a
+/// future writer extended (as long as framing stays intact).
+pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
+    let mut header_bytes = [0u8; HEADER_WIRE_BYTES];
+    read_exact(r, &mut header_bytes, "header")?;
+    let header = Header::decode_with_crc(&header_bytes)?;
+
+    let mut sections = Vec::new();
+    let mut num_symbols = 0u64;
+    let mut total = HEADER_WIRE_BYTES as u64;
+    loop {
+        let (kind, payload) = read_section(r)?;
+        total += (FRAME_BYTES + CRC_BYTES) as u64 + payload.len() as u64;
+        if kind == SectionKind::End {
+            break;
+        }
+        // The symbol count sits at a fixed offset in both stream section layouts.
+        if kind == SectionKind::FlatStream {
+            let mut c = ByteCursor::new(&payload, "flat-stream section");
+            let _bit_len = c.get_u64()?;
+            num_symbols = c.get_u64()?;
+        } else if kind == SectionKind::ChunkedStream {
+            let mut c = ByteCursor::new(&payload, "chunked-stream section");
+            let _chunk_symbols = c.get_u64()?;
+            num_symbols = c.get_u64()?;
+        }
+        sections.push(SectionInfo {
+            kind,
+            payload_bytes: payload.len() as u64,
+        });
+    }
+
+    if !sections
+        .iter()
+        .any(|s| matches!(s.kind, SectionKind::FlatStream | SectionKind::ChunkedStream))
+    {
+        return Err(ContainerError::MissingSection {
+            section: SectionKind::FlatStream,
+        });
+    }
+
+    Ok(ArchiveInfo {
+        decoder: header.decoder,
+        alphabet_size: header.alphabet_size,
+        field: header.field,
+        sections,
+        num_symbols,
+        total_bytes: total,
+    })
+}

@@ -1,0 +1,106 @@
+//! # huffdec-container — the `HFZ1` on-disk archive format
+//!
+//! Everything upstream of this crate lives in memory: [`sz`] compresses fields into
+//! [`sz::Compressed`], [`huffdec_core`] decodes [`huffdec_core::CompressedPayload`]s.
+//! This crate gives those structures a persistent, versioned, integrity-checked binary
+//! form — the piece a real deployment of this pipeline (cuSZ-style compressors ship
+//! header + canonical codebook + bitstream + outliers archives) is defined by, and the
+//! prerequisite for serving compressed data between processes and machines.
+//!
+//! ## `HFZ1` format specification
+//!
+//! An archive is a fixed little-endian **header** (with its own trailing CRC32)
+//! followed by a sequence of framed **sections**, terminated by an end marker. Multiple
+//! archives may be concatenated on one stream.
+//!
+//! ### Header (64 bytes + 4-byte CRC32)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `"HFZ1"` |
+//! | 4      | 2    | format version (currently 1) |
+//! | 6      | 1    | decoder kind tag (0 baseline, 1 original self-sync, 2 optimized self-sync, 3 optimized gap-array) |
+//! | 7      | 1    | flags — bit 0: field metadata present |
+//! | 8      | 1    | error-bound mode (0 absolute, 1 relative) |
+//! | 9      | 1    | number of dimensions (1–4; 0 for payload-only archives) |
+//! | 10     | 2    | reserved, zero |
+//! | 12     | 4    | quantization alphabet size |
+//! | 16     | 8    | error-bound value (IEEE-754 f64 bits) |
+//! | 24     | 8    | quantization step (IEEE-754 f64 bits) |
+//! | 32     | 32   | dimensions, 4 × u64, unused slots zero |
+//! | 64     | 4    | CRC32 over bytes 0–63 |
+//!
+//! Magic and version are checked before the header checksum, so a wrong file type or a
+//! future format version report those specific errors; any other header bit flip fails
+//! the checksum.
+//!
+//! ### Sections
+//!
+//! Each section is framed as `tag (1) | reserved (3, zero) | payload length (u64) |
+//! payload | CRC32 (u32)`, where the CRC32 (IEEE 802.3 polynomial) covers the 12 frame
+//! bytes **and** the payload, so corruption of either is detected. Section tags:
+//!
+//! | tag | section | payload |
+//! |----:|---------|---------|
+//! | 0   | end     | empty; terminates the archive |
+//! | 1   | codebook | `count (u32)`, then `count` × (`symbol u16`, `code length u8`) — canonical codes rebuilt from lengths on read |
+//! | 2   | flat stream | `bit length u64`, `symbol count u64`, `subseq units u32`, `subseqs/seq u32`, `unit count u64`, units (u32 each) |
+//! | 3   | gap array | `subseq bits u64`, `count u64`, one gap byte per subsequence |
+//! | 4   | outliers | `count u64`, then `count` × (`index u64`, `prequant i64`), strictly increasing indices |
+//! | 5   | chunked stream | `chunk symbols u64`, `symbol count u64`, `chunk count u64`, per-chunk metadata (5 × u64), `unit count u64`, units |
+//!
+//! A *chunked* archive (baseline decoder) carries sections {codebook, chunked stream};
+//! a *flat* archive carries {codebook, flat stream} plus a gap array exactly when the
+//! decoder requires one. Field archives additionally carry {outliers}. Anything else —
+//! missing, duplicated, or format-mismatched sections — is rejected.
+//!
+//! ### Guarantees
+//!
+//! * **Round-trip fidelity** — `write → read` reproduces the in-memory structures
+//!   exactly: decoding a re-read archive is bit-identical to decoding the original,
+//!   and decompression honours the recorded error bound.
+//! * **No panics on malformed input** — truncation, bad magic, future versions, bit
+//!   flips, lying lengths, and semantically invalid fields (Kraft-violating codebooks,
+//!   out-of-range outliers, non-tiling chunks) all surface as typed
+//!   [`ContainerError`]s.
+//! * **Versioning** — readers reject archives with a format version they do not
+//!   understand instead of misparsing them; decoder and section tags are append-only.
+//!
+//! ## Example
+//!
+//! ```
+//! use datasets::{dataset_by_name, generate};
+//! use gpu_sim::Gpu;
+//! use huffdec_core::DecoderKind;
+//! use sz::{compress, decompress, SzConfig};
+//!
+//! let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, 1);
+//! let compressed = compress(&field, &SzConfig::paper_default(DecoderKind::OptimizedGapArray));
+//!
+//! // Serialize, then reconstruct from bytes alone.
+//! let bytes = huffdec_container::to_bytes(&compressed).unwrap();
+//! let restored = huffdec_container::from_bytes(&bytes).unwrap();
+//!
+//! let gpu = Gpu::with_host_threads(gpu_sim::GpuConfig::test_tiny(), 2);
+//! assert_eq!(decompress(&gpu, &restored).data, decompress(&gpu, &compressed).data);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod header;
+pub mod inspect;
+pub mod section;
+pub mod wire;
+
+pub use archive::{
+    from_bytes, payload_to_bytes, read_one_archive, to_bytes, Archive, ArchiveReader, ArchiveWriter,
+};
+pub use crc32::{crc32, Crc32};
+pub use error::{ContainerError, Result};
+pub use header::{FieldMeta, Header, FORMAT_VERSION, HEADER_BYTES, HEADER_WIRE_BYTES, MAGIC};
+pub use inspect::{read_info, ArchiveInfo, SectionInfo};
+pub use section::SectionKind;

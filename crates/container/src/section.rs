@@ -1,0 +1,254 @@
+//! Length-prefixed, CRC32-checksummed section framing.
+//!
+//! After the fixed header, an archive is a sequence of sections, each framed as:
+//!
+//! | size | field |
+//! |-----:|-------|
+//! | 1    | section tag ([`SectionKind`]) |
+//! | 3    | reserved (zero) |
+//! | 8    | payload length in bytes (u64 LE) |
+//! | *n*  | payload |
+//! | 4    | CRC32 over the 12 frame bytes and the payload |
+//!
+//! The sequence ends with an [`SectionKind::End`] section carrying an empty payload.
+//! Framing is defensive end to end: a frame that promises more bytes than the input
+//! holds surfaces as [`ContainerError::Truncated`] (payloads are read incrementally, so
+//! a corrupted length cannot drive a huge up-front allocation), and any bit flip in
+//! frame or payload fails the checksum.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::crc32::Crc32;
+use crate::error::{ContainerError, Result};
+
+/// Tags of the section types of format version 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// Terminates the section sequence (empty payload).
+    End,
+    /// Canonical codebook as compact `(symbol, code length)` pairs.
+    Codebook,
+    /// Flat Huffman bitstream with its geometry (fine-grained decoders).
+    FlatStream,
+    /// Gap array (required by gap-array decoders).
+    GapArray,
+    /// Outlier list of the sz pipeline.
+    Outliers,
+    /// cuSZ coarse-grained chunked bitstream (baseline decoder).
+    ChunkedStream,
+}
+
+impl SectionKind {
+    /// The wire tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            SectionKind::End => 0,
+            SectionKind::Codebook => 1,
+            SectionKind::FlatStream => 2,
+            SectionKind::GapArray => 3,
+            SectionKind::Outliers => 4,
+            SectionKind::ChunkedStream => 5,
+        }
+    }
+
+    /// Inverse of [`SectionKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<SectionKind> {
+        match tag {
+            0 => Some(SectionKind::End),
+            1 => Some(SectionKind::Codebook),
+            2 => Some(SectionKind::FlatStream),
+            3 => Some(SectionKind::GapArray),
+            4 => Some(SectionKind::Outliers),
+            5 => Some(SectionKind::ChunkedStream),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SectionKind::End => "end",
+            SectionKind::Codebook => "codebook",
+            SectionKind::FlatStream => "flat-stream",
+            SectionKind::GapArray => "gap-array",
+            SectionKind::Outliers => "outliers",
+            SectionKind::ChunkedStream => "chunked-stream",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Frame header size (tag + reserved + length).
+pub const FRAME_BYTES: usize = 12;
+/// Trailing checksum size.
+pub const CRC_BYTES: usize = 4;
+/// Hard ceiling on a single section payload (64 GiB) — far above anything the pipeline
+/// produces, low enough to reject nonsense lengths from corrupted frames outright.
+pub const MAX_SECTION_BYTES: u64 = 1 << 36;
+
+/// Granularity of incremental payload reads.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Writes one framed section; returns the total bytes written (frame + payload + CRC).
+pub fn write_section<W: Write>(w: &mut W, kind: SectionKind, payload: &[u8]) -> Result<u64> {
+    let mut frame = [0u8; FRAME_BYTES];
+    frame[0] = kind.tag();
+    frame[4..12].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&frame);
+    crc.update(payload);
+    w.write_all(&frame)?;
+    w.write_all(payload)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
+    Ok((FRAME_BYTES + payload.len() + CRC_BYTES) as u64)
+}
+
+/// Reads one framed section, verifying the checksum.
+pub fn read_section<R: Read>(r: &mut R) -> Result<(SectionKind, Vec<u8>)> {
+    let mut frame = [0u8; FRAME_BYTES];
+    read_exact(r, &mut frame, "section frame")?;
+    let kind =
+        SectionKind::from_tag(frame[0]).ok_or(ContainerError::UnknownSection { tag: frame[0] })?;
+    if frame[1..4] != [0, 0, 0] {
+        return Err(ContainerError::Invalid {
+            reason: "non-zero reserved frame bytes",
+        });
+    }
+    let len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    if len > MAX_SECTION_BYTES {
+        return Err(ContainerError::Invalid {
+            reason: "section length exceeds the format limit",
+        });
+    }
+
+    // Read the payload incrementally so a lying length hits EOF instead of allocating
+    // the claimed size up front.
+    let mut payload = Vec::new();
+    let mut left = len as usize;
+    let mut chunk = [0u8; READ_CHUNK];
+    while left > 0 {
+        let take = left.min(READ_CHUNK);
+        read_exact(r, &mut chunk[..take], "section payload")?;
+        payload.extend_from_slice(&chunk[..take]);
+        left -= take;
+    }
+
+    let mut stored = [0u8; CRC_BYTES];
+    read_exact(r, &mut stored, "section checksum")?;
+    let stored = u32::from_le_bytes(stored);
+    let mut crc = Crc32::new();
+    crc.update(&frame);
+    crc.update(&payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(ContainerError::ChecksumMismatch {
+            section: kind,
+            stored,
+            computed,
+        });
+    }
+    Ok((kind, payload))
+}
+
+/// `read_exact` with EOF mapped to [`ContainerError::Truncated`].
+pub fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ContainerError::Truncated { context }
+        } else {
+            ContainerError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for kind in [
+            SectionKind::End,
+            SectionKind::Codebook,
+            SectionKind::FlatStream,
+            SectionKind::GapArray,
+            SectionKind::Outliers,
+            SectionKind::ChunkedStream,
+        ] {
+            assert_eq!(SectionKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(SectionKind::from_tag(0xEE), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        let written = write_section(&mut buf, SectionKind::Codebook, &payload).unwrap();
+        assert_eq!(written as usize, buf.len());
+        let (kind, got) = read_section(&mut buf.as_slice()).unwrap();
+        assert_eq!(kind, SectionKind::Codebook);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_checksum() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, SectionKind::GapArray, &[1, 2, 3, 4]).unwrap();
+        buf[FRAME_BYTES + 2] ^= 0x10;
+        assert!(matches!(
+            read_section(&mut buf.as_slice()),
+            Err(ContainerError::ChecksumMismatch {
+                section: SectionKind::GapArray,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn frame_bit_flip_fails_checksum_or_tag() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, SectionKind::Outliers, &[9; 64]).unwrap();
+        // Flip the tag to another *valid* tag: the CRC covers the frame, so this is
+        // still detected.
+        buf[0] = SectionKind::Codebook.tag();
+        assert!(matches!(
+            read_section(&mut buf.as_slice()),
+            Err(ContainerError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_reports_truncation() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, SectionKind::FlatStream, &[7; 300]).unwrap();
+        buf.truncate(FRAME_BYTES + 100);
+        assert!(matches!(
+            read_section(&mut buf.as_slice()),
+            Err(ContainerError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        let mut buf = vec![SectionKind::Codebook.tag(), 0, 0, 0];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_section(&mut buf.as_slice()),
+            Err(ContainerError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, SectionKind::End, &[]).unwrap();
+        buf[0] = 0x3A;
+        assert!(matches!(
+            read_section(&mut buf.as_slice()),
+            Err(ContainerError::UnknownSection { tag: 0x3A })
+        ));
+    }
+}

@@ -1,0 +1,282 @@
+//! The corruption matrix of the `HFZ1` reader: every way an archive can be damaged must
+//! surface as a typed [`ContainerError`] — never a panic, never a silently wrong
+//! reconstruction — plus randomized round-trip property tests across every decoder kind.
+
+use datasets::{dataset_by_name, generate, Rng};
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_container::{
+    from_bytes, payload_to_bytes, read_info, read_one_archive, to_bytes, Archive, ContainerError,
+    HEADER_BYTES,
+};
+use huffdec_core::{compress_for, decode, DecoderKind};
+use sz::{compress, decompress, SzConfig};
+
+fn gpu() -> Gpu {
+    Gpu::with_host_threads(GpuConfig::test_tiny(), 2)
+}
+
+fn sample_archive(decoder: DecoderKind) -> Vec<u8> {
+    let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, 9);
+    let compressed = compress(&field, &SzConfig::paper_default(decoder));
+    to_bytes(&compressed).expect("serialization of a valid archive succeeds")
+}
+
+// --- Corruption matrix -----------------------------------------------------------------
+
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    let bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    // A representative set of cut points: inside the header, at the header boundary,
+    // inside each subsequent region, and one byte short of the end.
+    let cuts = [
+        0,
+        1,
+        HEADER_BYTES / 2,
+        HEADER_BYTES - 1,
+        HEADER_BYTES,
+        HEADER_BYTES + 5,
+        HEADER_BYTES + 100,
+        bytes.len() / 2,
+        bytes.len() - 1,
+    ];
+    for cut in cuts {
+        let truncated = &bytes[..cut];
+        match from_bytes(truncated) {
+            Err(ContainerError::Truncated { .. }) => {}
+            other => panic!(
+                "cut at {} byte(s): expected Truncated, got {:?}",
+                cut, other
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_possible_truncation_never_panics() {
+    let bytes = sample_archive(DecoderKind::OptimizedSelfSync);
+    for cut in 0..bytes.len() {
+        assert!(
+            from_bytes(&bytes[..cut]).is_err(),
+            "cut {} unexpectedly parsed",
+            cut
+        );
+    }
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let mut bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(ContainerError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn wrong_version_is_unsupported_version() {
+    let mut bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    bytes[4] = 0xFE;
+    bytes[5] = 0x00;
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(ContainerError::UnsupportedVersion {
+            found: 0xFE,
+            supported: 1
+        })
+    ));
+}
+
+#[test]
+fn every_single_bit_flip_errors_or_reconstructs_consistently() {
+    // Flip each bit of each byte across the archive prefix (header + codebook + start of
+    // the stream). Whatever the reader does, it must not panic; flips in section bodies
+    // must be caught by the CRC.
+    let bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    let probe = bytes.len().min(2000);
+    for byte in 0..probe {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            let _ = from_bytes(&corrupt); // must return, never panic
+        }
+    }
+}
+
+#[test]
+fn header_bit_flip_is_header_checksum_mismatch() {
+    let bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    // Flip bits across the whole header body (past magic and version, which have their
+    // own specific errors) and in the header CRC itself.
+    for byte in 6..HEADER_BYTES + 4 {
+        let mut corrupt = bytes.clone();
+        corrupt[byte] ^= 0x10;
+        if corrupt[byte] == bytes[byte] {
+            continue;
+        }
+        assert!(
+            matches!(
+                from_bytes(&corrupt),
+                Err(ContainerError::HeaderChecksumMismatch { .. })
+            ),
+            "flip at header byte {} not caught by the header checksum",
+            byte
+        );
+    }
+}
+
+#[test]
+fn section_body_bit_flip_is_checksum_mismatch() {
+    let bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    // Flip a bit inside a section payload (past the CRC'd header and the 12-byte frame).
+    let mut corrupt = bytes.clone();
+    corrupt[HEADER_BYTES + 4 + 20] ^= 0x04;
+    assert!(matches!(
+        from_bytes(&corrupt),
+        Err(ContainerError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn random_bit_flips_error_out_as_checksum_or_invalid() {
+    let bytes = sample_archive(DecoderKind::CuszBaseline);
+    let mut rng = Rng::seed_from_u64(0xBADC0DE);
+    for _ in 0..200 {
+        let mut corrupt = bytes.clone();
+        let pos = rng.gen_index(corrupt.len());
+        corrupt[pos] ^= 1 << rng.gen_index(8);
+        assert!(
+            from_bytes(&corrupt).is_err(),
+            "flip at byte {} went undetected",
+            pos
+        );
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xFACADE);
+    for round in 0..300 {
+        let len = rng.gen_index(600);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(
+            from_bytes(&garbage).is_err(),
+            "garbage round {} parsed",
+            round
+        );
+        assert!(read_info(&mut garbage.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn garbage_with_valid_magic_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    for _ in 0..300 {
+        let len = 6 + rng.gen_index(600);
+        let mut garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        garbage[..4].copy_from_slice(b"HFZ1");
+        garbage[4] = 1; // plausible version
+        garbage[5] = 0;
+        assert!(from_bytes(&garbage).is_err());
+    }
+}
+
+#[test]
+fn trailing_garbage_after_archive_rejected() {
+    let mut bytes = sample_archive(DecoderKind::OptimizedSelfSync);
+    bytes.push(0xAA);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(ContainerError::Invalid { .. })
+    ));
+}
+
+#[test]
+fn payload_archive_is_not_a_field_archive() {
+    let symbols: Vec<u16> = (0..10_000u32).map(|i| (512 + (i % 5)) as u16).collect();
+    let payload = compress_for(DecoderKind::OptimizedSelfSync, &symbols, 1024);
+    let bytes = payload_to_bytes(&payload, DecoderKind::OptimizedSelfSync).unwrap();
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(ContainerError::Invalid { .. })
+    ));
+    // But it reads fine as a generic archive.
+    assert!(matches!(
+        read_one_archive(&bytes),
+        Ok(Archive::Payload { .. })
+    ));
+}
+
+// --- Randomized round-trip property ----------------------------------------------------
+
+fn random_symbols(rng: &mut Rng, max_len: usize) -> Vec<u16> {
+    let len = 1 + rng.gen_index(max_len - 1);
+    let spread = rng.gen_index(9) as u32;
+    (0..len)
+        .map(|_| {
+            let r = (rng.next_u64() >> 32) as u32;
+            let mag = r.trailing_zeros().min(spread) as i32;
+            let sign = if (r >> 30) & 1 == 1 { 1 } else { -1 };
+            (512 + sign * mag).clamp(0, 1023) as u16
+        })
+        .collect()
+}
+
+#[test]
+fn randomized_payload_roundtrip_across_all_decoders() {
+    let g = gpu();
+    let mut rng = Rng::seed_from_u64(0x00F5_EED5);
+    for case in 0..12 {
+        let symbols = random_symbols(&mut rng, 30_000);
+        for kind in DecoderKind::all() {
+            let payload = compress_for(kind, &symbols, 1024);
+            let bytes = payload_to_bytes(&payload, kind).unwrap();
+            let Archive::Payload {
+                payload: restored,
+                decoder,
+                alphabet_size,
+            } = read_one_archive(&bytes).unwrap()
+            else {
+                panic!("expected payload archive");
+            };
+            assert_eq!(decoder, kind);
+            assert_eq!(alphabet_size, 1024);
+            assert_eq!(restored.num_symbols(), symbols.len());
+            // Decoding the re-read payload is bit-exact vs the original symbols.
+            let result = decode(&g, kind, &restored);
+            assert_eq!(result.symbols, symbols, "case {} decoder {:?}", case, kind);
+        }
+    }
+}
+
+#[test]
+fn field_roundtrip_across_all_datasets_and_decoders() {
+    let g = gpu();
+    let mut seed = 100u64;
+    for spec in datasets::all_datasets() {
+        for kind in DecoderKind::all() {
+            seed += 1;
+            let field = generate(&spec, 15_000, seed);
+            let compressed = compress(&field, &SzConfig::paper_default(kind));
+            let bytes = to_bytes(&compressed).unwrap();
+            let restored = from_bytes(&bytes).unwrap();
+
+            // The reconstruction from the archive must be bit-exact against the
+            // in-memory path and honour the error bound.
+            let from_memory = decompress(&g, &compressed);
+            let from_archive = decompress(&g, &restored);
+            assert_eq!(
+                from_archive.data, from_memory.data,
+                "{} / {:?}: archive path diverged",
+                spec.name, kind
+            );
+            let bound = 1e-3 * field.range_span() as f64;
+            assert!(
+                sz::verify_error_bound(&field.data, &from_archive.data, bound).is_none(),
+                "{} / {:?}: error bound violated after archive round-trip",
+                spec.name,
+                kind
+            );
+        }
+    }
+}

@@ -72,11 +72,17 @@ impl BlockKernel for CoarseDecodeKernel<'_> {
             // a whole chunk, so every warp-wide load round touches `lanes` distinct
             // segments.
             let max_units = lane_units.iter().cloned().max().unwrap_or(0);
-            let chunk_stride_units = self.encoded.chunks.first().map(|c| c.unit_count).unwrap_or(1).max(1);
+            let chunk_stride_units = self
+                .encoded
+                .chunks
+                .first()
+                .map(|c| c.unit_count)
+                .unwrap_or(1)
+                .max(1);
             for round in 0..max_units {
                 ctx.global_load_strided(
                     w,
-                    (warp_base as u64 * chunk_stride_units + round) as u64,
+                    warp_base as u64 * chunk_stride_units + round,
                     lanes,
                     chunk_stride_units,
                     4,
@@ -103,14 +109,23 @@ impl BlockKernel for CoarseDecodeKernel<'_> {
 /// Decodes a chunked (cuSZ-format) stream with the baseline coarse-grained decoder.
 pub fn decode_baseline(gpu: &Gpu, encoded: &ChunkedEncoded, codebook: &Codebook) -> DecodeResult {
     let output = DeviceBuffer::<u16>::zeroed(encoded.num_symbols);
-    let kernel = CoarseDecodeKernel { encoded, codebook, output: &output };
+    let kernel = CoarseDecodeKernel {
+        encoded,
+        codebook,
+        output: &output,
+    };
     let grid = (encoded.chunks.len() as u32).div_ceil(BLOCK_DIM).max(1);
     let stats = gpu.launch(&kernel, LaunchConfig::new(grid, BLOCK_DIM));
 
-    let mut timings = PhaseBreakdown::default();
-    timings.decode_write = Some(gpu_sim::PhaseTime::from_kernel(stats));
+    let timings = PhaseBreakdown {
+        decode_write: Some(gpu_sim::PhaseTime::from_kernel(stats)),
+        ..PhaseBreakdown::default()
+    };
 
-    DecodeResult { symbols: output.to_vec(), timings }
+    DecodeResult {
+        symbols: output.to_vec(),
+        timings,
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +177,11 @@ mod tests {
         let result = decode_baseline(&gpu(), &enc, &cb);
         let kernel = &result.timings.decode_write.as_ref().unwrap().kernels[0];
         // Strided stores: efficiency well below a coalesced kernel's.
-        assert!(kernel.mem.efficiency(32) < 0.25, "efficiency = {}", kernel.mem.efficiency(32));
+        assert!(
+            kernel.mem.efficiency(32) < 0.25,
+            "efficiency = {}",
+            kernel.mem.efficiency(32)
+        );
     }
 
     #[test]

@@ -148,11 +148,17 @@ impl BlockKernel for DecodeWriteKernel<'_> {
                             / (lane as u64 + 1).max(1))
                         .max(1);
                         let row_locality_penalty =
-                            ((stride as f64 / 24.0).powf(1.5).max(1.0)).min(10.0).round() as u64;
+                            (stride as f64 / 24.0).powf(1.5).clamp(1.0, 10.0).round() as u64;
                         let warp_out_base = self.output_index.offsets[first_sub + t - lane];
                         for round in 0..max_syms {
                             for _ in 0..row_locality_penalty {
-                                ctx.global_store_strided(warp, warp_out_base + round, active, stride, 2);
+                                ctx.global_store_strided(
+                                    warp,
+                                    warp_out_base + round,
+                                    active,
+                                    stride,
+                                    2,
+                                );
                             }
                         }
                     }
@@ -234,7 +240,14 @@ pub fn run_decode_write(
     seq_indices: &[u32],
     strategy: WriteStrategy,
 ) -> KernelStats {
-    let kernel = DecodeWriteKernel { stream, infos, output_index, output, seq_indices, strategy };
+    let kernel = DecodeWriteKernel {
+        stream,
+        infos,
+        output_index,
+        output,
+        seq_indices,
+        strategy,
+    };
     let cfg = LaunchConfig::new(seq_indices.len() as u32, stream.geometry.subseqs_per_seq)
         .with_shared_mem(strategy.shared_mem_bytes());
     gpu.launch(&kernel, cfg)
@@ -268,7 +281,11 @@ mod tests {
         (EncodedStream::encode(&cb, &symbols), symbols)
     }
 
-    fn decode_with(strategy: WriteStrategy, n: usize, spread: u32) -> (Vec<u16>, KernelStats, Vec<u16>) {
+    fn decode_with(
+        strategy: WriteStrategy,
+        n: usize,
+        spread: u32,
+    ) -> (Vec<u16>, KernelStats, Vec<u16>) {
         let (stream, symbols) = setup(n, spread);
         let g = gpu();
         let infos = reference_subseq_infos(&stream);
@@ -288,23 +305,39 @@ mod tests {
 
     #[test]
     fn staged_write_decodes_exactly() {
-        let (decoded, stats, symbols) =
-            decode_with(WriteStrategy::Staged { buffer_symbols: 4096 }, 60_000, 7);
+        let (decoded, stats, symbols) = decode_with(
+            WriteStrategy::Staged {
+                buffer_symbols: 4096,
+            },
+            60_000,
+            7,
+        );
         assert_eq!(decoded, symbols);
         assert_eq!(stats.shared_mem_bytes, 8192);
     }
 
     #[test]
     fn staged_write_with_tiny_buffer_still_correct() {
-        let (decoded, _, symbols) =
-            decode_with(WriteStrategy::Staged { buffer_symbols: 1024 }, 30_000, 7);
+        let (decoded, _, symbols) = decode_with(
+            WriteStrategy::Staged {
+                buffer_symbols: 1024,
+            },
+            30_000,
+            7,
+        );
         assert_eq!(decoded, symbols);
     }
 
     #[test]
     fn staged_write_is_more_memory_efficient_than_direct() {
         let (_, direct, _) = decode_with(WriteStrategy::Direct, 100_000, 3);
-        let (_, staged, _) = decode_with(WriteStrategy::Staged { buffer_symbols: 4096 }, 100_000, 3);
+        let (_, staged, _) = decode_with(
+            WriteStrategy::Staged {
+                buffer_symbols: 4096,
+            },
+            100_000,
+            3,
+        );
         let eff_direct = direct.mem.efficiency(32);
         let eff_staged = staged.mem.efficiency(32);
         assert!(
@@ -319,8 +352,13 @@ mod tests {
     fn highly_compressible_data_hurts_direct_writes_more() {
         // Spread 2 -> very short codes -> many symbols per subsequence -> large strides.
         let (_, direct_high_cr, _) = decode_with(WriteStrategy::Direct, 150_000, 1);
-        let (_, staged_high_cr, _) =
-            decode_with(WriteStrategy::Staged { buffer_symbols: 8192 }, 150_000, 1);
+        let (_, staged_high_cr, _) = decode_with(
+            WriteStrategy::Staged {
+                buffer_symbols: 8192,
+            },
+            150_000,
+            1,
+        );
         // The staged kernel's DRAM traffic should be much smaller.
         assert!(
             direct_high_cr.mem.dram_bytes(32) > 2 * staged_high_cr.mem.dram_bytes(32),
@@ -338,7 +376,9 @@ mod tests {
         let (oi, _) = compute_output_index(&g, &infos);
         let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
         // Only decode even sequences.
-        let seqs: Vec<u32> = (0..stream.num_seqs() as u32).filter(|s| s % 2 == 0).collect();
+        let seqs: Vec<u32> = (0..stream.num_seqs() as u32)
+            .filter(|s| s % 2 == 0)
+            .collect();
         run_decode_write(
             &g,
             &stream,
@@ -346,7 +386,9 @@ mod tests {
             &oi,
             &output,
             &seqs,
-            WriteStrategy::Staged { buffer_symbols: 2048 },
+            WriteStrategy::Staged {
+                buffer_symbols: 2048,
+            },
         );
         let decoded = output.to_vec();
         let spb = stream.geometry.subseqs_per_seq as usize;
@@ -357,7 +399,9 @@ mod tests {
         if stream.num_seqs() > 1 {
             let seq1_start = seq0_end;
             let seq1_end = oi.offsets[(2 * spb).min(oi.offsets.len() - 1)] as usize;
-            assert!(decoded[seq1_start..seq1_end].iter().any(|&v| v == 0 && symbols[seq1_start] != 0));
+            assert!(decoded[seq1_start..seq1_end]
+                .iter()
+                .any(|&v| v == 0 && symbols[seq1_start] != 0));
         }
     }
 }

@@ -68,6 +68,29 @@ impl DecoderKind {
     pub fn uses_chunked_encoding(&self) -> bool {
         matches!(self, DecoderKind::CuszBaseline)
     }
+
+    /// Stable one-byte wire tag used by serialized archive formats. Tags are append-only:
+    /// existing values never change meaning across format versions.
+    pub fn tag(&self) -> u8 {
+        match self {
+            DecoderKind::CuszBaseline => 0,
+            DecoderKind::OriginalSelfSync => 1,
+            DecoderKind::OptimizedSelfSync => 2,
+            DecoderKind::OptimizedGapArray => 3,
+        }
+    }
+
+    /// Inverse of [`DecoderKind::tag`]; `None` for unknown tags (e.g. from an archive
+    /// written by a newer format revision).
+    pub fn from_tag(tag: u8) -> Option<DecoderKind> {
+        match tag {
+            0 => Some(DecoderKind::CuszBaseline),
+            1 => Some(DecoderKind::OriginalSelfSync),
+            2 => Some(DecoderKind::OptimizedSelfSync),
+            3 => Some(DecoderKind::OptimizedGapArray),
+            _ => None,
+        }
+    }
 }
 
 /// A compressed Huffman payload in whichever format a decoder consumes.
@@ -162,7 +185,12 @@ pub fn decode(gpu: &Gpu, kind: DecoderKind, payload: &CompressedPayload) -> Deco
 }
 
 /// Convenience: compress and decode in one call (used by tests and examples).
-pub fn roundtrip(gpu: &Gpu, kind: DecoderKind, symbols: &[u16], alphabet_size: usize) -> DecodeResult {
+pub fn roundtrip(
+    gpu: &Gpu,
+    kind: DecoderKind,
+    symbols: &[u16],
+    alphabet_size: usize,
+) -> DecodeResult {
     let payload = compress_for(kind, symbols, alphabet_size);
     decode(gpu, kind, &payload)
 }
@@ -172,8 +200,15 @@ fn decode_original_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult 
     let (oi, oi_phase) = compute_output_index(gpu, &sync.infos);
     let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
     let all_seqs: Vec<u32> = (0..stream.num_seqs() as u32).collect();
-    let stats =
-        run_decode_write(gpu, stream, &sync.infos, &oi, &output, &all_seqs, WriteStrategy::Direct);
+    let stats = run_decode_write(
+        gpu,
+        stream,
+        &sync.infos,
+        &oi,
+        &output,
+        &all_seqs,
+        WriteStrategy::Direct,
+    );
 
     let timings = PhaseBreakdown {
         intra_sync: Some(sync.intra_phase),
@@ -182,7 +217,10 @@ fn decode_original_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult 
         tune: None,
         decode_write: Some(gpu_sim::PhaseTime::from_kernel(stats)),
     };
-    DecodeResult { symbols: output.to_vec(), timings }
+    DecodeResult {
+        symbols: output.to_vec(),
+        timings,
+    }
 }
 
 fn decode_optimized_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
@@ -198,7 +236,10 @@ fn decode_optimized_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult
         tune: Some(tuned.tune_phase),
         decode_write: Some(tuned.decode_phase),
     };
-    DecodeResult { symbols: output.to_vec(), timings }
+    DecodeResult {
+        symbols: output.to_vec(),
+        timings,
+    }
 }
 
 fn decode_optimized_gap_array(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
@@ -216,7 +257,10 @@ fn decode_optimized_gap_array(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult
         tune: Some(tuned.tune_phase),
         decode_write: Some(tuned.decode_phase),
     };
-    DecodeResult { symbols: output.to_vec(), timings }
+    DecodeResult {
+        symbols: output.to_vec(),
+        timings,
+    }
 }
 
 #[cfg(test)]
@@ -245,7 +289,11 @@ mod tests {
         for kind in DecoderKind::all() {
             let result = roundtrip(&g, kind, &symbols, 1024);
             assert_eq!(result.symbols, symbols, "decoder {:?} mismatched", kind);
-            assert!(result.timings.total_seconds() > 0.0, "decoder {:?} has no time", kind);
+            assert!(
+                result.timings.total_seconds() > 0.0,
+                "decoder {:?} has no time",
+                kind
+            );
         }
     }
 

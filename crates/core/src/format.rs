@@ -40,6 +40,21 @@ impl Default for StreamGeometry {
 }
 
 impl StreamGeometry {
+    /// Builds a geometry from untrusted values (e.g. a deserialized archive header),
+    /// rejecting degenerate or absurd decompositions instead of trusting them.
+    pub fn checked(subseq_units: u32, subseqs_per_seq: u32) -> Result<Self, &'static str> {
+        if subseq_units == 0 || subseqs_per_seq == 0 {
+            return Err("stream geometry must be non-zero");
+        }
+        if subseq_units > 1 << 16 || subseqs_per_seq > 1 << 16 {
+            return Err("stream geometry out of range");
+        }
+        Ok(StreamGeometry {
+            subseq_units,
+            subseqs_per_seq,
+        })
+    }
+
     /// Bits per subsequence.
     pub fn subseq_bits(&self) -> u64 {
         self.subseq_units as u64 * 32
@@ -100,9 +115,19 @@ impl EncodedStream {
         geometry: StreamGeometry,
         with_gap_array: bool,
     ) -> Self {
-        let FlatEncoded { units, bit_len, num_symbols, .. } = encode_flat(codebook, symbols);
+        let FlatEncoded {
+            units,
+            bit_len,
+            num_symbols,
+            ..
+        } = encode_flat(codebook, symbols);
         let gap_array = if with_gap_array {
-            Some(compute_gap_array(codebook, &units, bit_len, geometry.subseq_bits()))
+            Some(compute_gap_array(
+                codebook,
+                &units,
+                bit_len,
+                geometry.subseq_bits(),
+            ))
         } else {
             None
         };
@@ -114,6 +139,42 @@ impl EncodedStream {
             geometry,
             gap_array,
         }
+    }
+
+    /// Reassembles a stream from deserialized parts, validating the structural
+    /// invariants the decoders rely on instead of trusting the source (archives can be
+    /// truncated or corrupted): the unit count must exactly cover `bit_len`, and a gap
+    /// array, when present, must match the stream's subsequence decomposition.
+    pub fn from_parts(
+        units: Vec<u32>,
+        bit_len: u64,
+        num_symbols: usize,
+        codebook: Codebook,
+        geometry: StreamGeometry,
+        gap_array: Option<GapArray>,
+    ) -> Result<Self, &'static str> {
+        if units.len() as u64 != bit_len.div_ceil(32) {
+            return Err("unit count does not cover the bit length");
+        }
+        if num_symbols > 0 && bit_len == 0 {
+            return Err("symbols claimed in an empty bitstream");
+        }
+        if let Some(gap) = &gap_array {
+            if gap.subseq_bits != geometry.subseq_bits() {
+                return Err("gap array subsequence size does not match the geometry");
+            }
+            if gap.len() != geometry.num_subseqs(bit_len) {
+                return Err("gap array length does not match the stream");
+            }
+        }
+        Ok(EncodedStream {
+            units,
+            bit_len,
+            num_symbols,
+            codebook,
+            geometry,
+            gap_array,
+        })
     }
 
     /// Number of subsequences in the stream.
@@ -141,7 +202,11 @@ impl EncodedStream {
     /// + gap array if present.
     pub fn compressed_bytes(&self) -> u64 {
         let header = 32; // bit length, symbol count, geometry, alphabet size.
-        let gap = self.gap_array.as_ref().map(|g| g.storage_bytes()).unwrap_or(0);
+        let gap = self
+            .gap_array
+            .as_ref()
+            .map(|g| g.storage_bytes())
+            .unwrap_or(0);
         self.units.len() as u64 * 4 + self.codebook_bytes() + header + gap
     }
 
@@ -214,7 +279,11 @@ mod tests {
         assert_eq!(enc.num_symbols, syms.len());
         assert_eq!(enc.original_bytes(), 100_000);
         assert!(enc.compressed_bytes() > 0);
-        assert!(enc.compression_ratio() > 1.0, "cr = {}", enc.compression_ratio());
+        assert!(
+            enc.compression_ratio() > 1.0,
+            "cr = {}",
+            enc.compression_ratio()
+        );
         assert!(enc.gap_array.is_none());
         assert_eq!(enc.num_subseqs(), (enc.bit_len as usize).div_ceil(128));
     }

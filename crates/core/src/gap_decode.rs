@@ -47,7 +47,11 @@ impl BlockKernel for GapCountKernel<'_> {
             lane_cycles[lane] = 0.0;
             if sub < total_subs {
                 let start = self.starts[sub];
-                let end = self.starts.get(sub + 1).cloned().unwrap_or(self.stream.bit_len);
+                let end = self
+                    .starts
+                    .get(sub + 1)
+                    .cloned()
+                    .unwrap_or(self.stream.bit_len);
                 let mut pos = start;
                 let mut count = 0u64;
                 while pos < end {
@@ -97,11 +101,21 @@ pub fn gap_count_symbols(gpu: &Gpu, stream: &EncodedStream) -> (Vec<SubseqInfo>,
     if total_subs == 0 {
         return (Vec::new(), phase);
     }
-    assert_eq!(gap.len(), total_subs, "gap array does not match the stream geometry");
+    assert_eq!(
+        gap.len(),
+        total_subs,
+        "gap array does not match the stream geometry"
+    );
 
-    let starts: Vec<u64> = (0..total_subs).map(|i| gap.start_bit(i).min(stream.bit_len)).collect();
+    let starts: Vec<u64> = (0..total_subs)
+        .map(|i| gap.start_bit(i).min(stream.bit_len))
+        .collect();
     let counts = DeviceBuffer::<u64>::zeroed(total_subs);
-    let kernel = GapCountKernel { stream, starts: &starts, counts: &counts };
+    let kernel = GapCountKernel {
+        stream,
+        starts: &starts,
+        counts: &counts,
+    };
     let grid = (total_subs as u32).div_ceil(COUNT_BLOCK_DIM);
     phase.push_serial(gpu.launch(&kernel, LaunchConfig::new(grid, COUNT_BLOCK_DIM)));
 
@@ -109,7 +123,10 @@ pub fn gap_count_symbols(gpu: &Gpu, stream: &EncodedStream) -> (Vec<SubseqInfo>,
     let infos = starts
         .into_iter()
         .zip(counts)
-        .map(|(start_bit, num_symbols)| SubseqInfo { start_bit, num_symbols })
+        .map(|(start_bit, num_symbols)| SubseqInfo {
+            start_bit,
+            num_symbols,
+        })
         .collect();
     (infos, phase)
 }

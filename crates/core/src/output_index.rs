@@ -40,7 +40,10 @@ mod tests {
     fn offsets_are_exclusive_prefix_sums() {
         let infos: Vec<SubseqInfo> = [3u64, 0, 5, 2, 7]
             .iter()
-            .map(|&n| SubseqInfo { start_bit: 0, num_symbols: n })
+            .map(|&n| SubseqInfo {
+                start_bit: 0,
+                num_symbols: n,
+            })
             .collect();
         let (idx, phase) = compute_output_index(&gpu(), &infos);
         assert_eq!(idx.offsets, vec![0, 3, 3, 8, 10]);
@@ -59,7 +62,10 @@ mod tests {
     #[test]
     fn large_input_consistency() {
         let infos: Vec<SubseqInfo> = (0..10_000u64)
-            .map(|i| SubseqInfo { start_bit: 0, num_symbols: i % 37 })
+            .map(|i| SubseqInfo {
+                start_bit: 0,
+                num_symbols: i % 37,
+            })
             .collect();
         let (idx, _) = compute_output_index(&gpu(), &infos);
         let mut acc = 0u64;

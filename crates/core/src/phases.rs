@@ -67,7 +67,11 @@ impl PhaseBreakdown {
         self.phases()
             .into_iter()
             .map(|(name, p)| {
-                let gbs = if p.seconds <= 0.0 { 0.0 } else { useful_bytes as f64 / p.seconds / 1e9 };
+                let gbs = if p.seconds <= 0.0 {
+                    0.0
+                } else {
+                    useful_bytes as f64 / p.seconds / 1e9
+                };
                 (name, gbs)
             })
             .collect()
@@ -130,7 +134,10 @@ mod tests {
 
     #[test]
     fn throughput_is_bytes_over_time() {
-        let b = PhaseBreakdown { decode_write: Some(phase(0.5)), ..Default::default() };
+        let b = PhaseBreakdown {
+            decode_write: Some(phase(0.5)),
+            ..Default::default()
+        };
         assert!((b.throughput_gbs(1_000_000_000) - 2.0).abs() < 1e-9);
         let per_phase = b.phase_throughputs_gbs(1_000_000_000);
         assert_eq!(per_phase.len(), 1);
@@ -142,7 +149,10 @@ mod tests {
     fn decode_result_throughput_uses_two_bytes_per_symbol() {
         let r = DecodeResult {
             symbols: vec![0u16; 500_000_000],
-            timings: PhaseBreakdown { decode_write: Some(phase(1.0)), ..Default::default() },
+            timings: PhaseBreakdown {
+                decode_write: Some(phase(1.0)),
+                ..Default::default()
+            },
         };
         assert!((r.throughput_gbs() - 1.0).abs() < 1e-9);
     }

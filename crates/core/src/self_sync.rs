@@ -66,7 +66,13 @@ struct IntraSyncKernel<'a> {
 impl IntraSyncKernel<'_> {
     /// Decodes one subsequence from `start` and returns `(end, codewords)`.
     fn decode_one_subseq(&self, reader: &BitReader<'_>, start: u64, boundary: u64) -> (u64, u64) {
-        huffman::decode_subsequence(&self.stream.codebook, reader, start, boundary, self.stream.bit_len)
+        huffman::decode_subsequence(
+            &self.stream.codebook,
+            reader,
+            start,
+            boundary,
+            self.stream.bit_len,
+        )
     }
 }
 
@@ -92,7 +98,9 @@ impl BlockKernel for IntraSyncKernel<'_> {
         let warp_size = ctx.config().warp_size as usize;
 
         // Thread-local working state (the real kernel keeps this in shared memory).
-        let mut start: Vec<u64> = (0..n).map(|t| (first_sub + t) as u64 * subseq_bits).collect();
+        let mut start: Vec<u64> = (0..n)
+            .map(|t| (first_sub + t) as u64 * subseq_bits)
+            .collect();
         let mut end = vec![0u64; n];
         let mut count = vec![0u64; n];
         let mut needs_decode = vec![true; n];
@@ -111,7 +119,8 @@ impl BlockKernel for IntraSyncKernel<'_> {
                 let warp = (t / warp_size) as u32;
                 let lane = t % warp_size;
                 if needs_decode[t] {
-                    let boundary = ((first_sub + t + 1) as u64 * subseq_bits).min(self.stream.bit_len);
+                    let boundary =
+                        ((first_sub + t + 1) as u64 * subseq_bits).min(self.stream.bit_len);
                     let (e, c) = self.decode_one_subseq(&reader, start[t], boundary);
                     end[t] = e;
                     count[t] = c;
@@ -124,12 +133,17 @@ impl BlockKernel for IntraSyncKernel<'_> {
                 if lane == warp_size - 1 || t == n - 1 {
                     ctx.compute_lanes(warp, &warp_lane_cycles[..=lane]);
                     // Unit loads for the active lanes: strided by the subsequence size.
-                    let active = warp_lane_cycles[..=lane].iter().filter(|&&c| c > 0.0).count() as u32;
+                    let active = warp_lane_cycles[..=lane]
+                        .iter()
+                        .filter(|&&c| c > 0.0)
+                        .count() as u32;
                     if active > 0 {
                         for round in 0..geo.subseq_units as u64 {
                             ctx.global_load_strided(
                                 warp,
-                                (first_sub + t / warp_size * warp_size) as u64 * geo.subseq_units as u64 + round,
+                                (first_sub + t / warp_size * warp_size) as u64
+                                    * geo.subseq_units as u64
+                                    + round,
                                 active,
                                 geo.subseq_units as u64,
                                 4,
@@ -188,7 +202,12 @@ impl BlockKernel for IntraSyncKernel<'_> {
         }
         if ctx.warp_count() > 0 {
             for w in 0..ctx.warp_count() {
-                ctx.global_store_contiguous(w, (first_sub + w as usize * warp_size) as u64 * 3, warp_size as u32, 8);
+                ctx.global_store_contiguous(
+                    w,
+                    (first_sub + w as usize * warp_size) as u64 * 3,
+                    warp_size as u32,
+                    8,
+                );
             }
         }
     }
@@ -291,7 +310,11 @@ pub fn synchronize(gpu: &Gpu, stream: &EncodedStream, variant: SyncVariant) -> S
     };
 
     // Intra-sequence phase: one block per sequence.
-    let intra = IntraSyncKernel { stream, bufs: &bufs, variant };
+    let intra = IntraSyncKernel {
+        stream,
+        bufs: &bufs,
+        variant,
+    };
     let intra_stats = gpu.launch(
         &intra,
         LaunchConfig::new(num_seqs as u32, stream.geometry.subseqs_per_seq),
@@ -312,7 +335,9 @@ pub fn synchronize(gpu: &Gpu, stream: &EncodedStream, variant: SyncVariant) -> S
             bufs: &bufs,
             changed: &changed,
         };
-        let grid = ((num_seqs.saturating_sub(1)) as u32).div_ceil(INTER_BLOCK_DIM).max(1);
+        let grid = ((num_seqs.saturating_sub(1)) as u32)
+            .div_ceil(INTER_BLOCK_DIM)
+            .max(1);
         let stats = gpu.launch(&inter, LaunchConfig::new(grid, INTER_BLOCK_DIM));
         inter_phase.push_serial(stats);
         if changed.to_vec().iter().all(|&c| c == 0) {
@@ -325,10 +350,17 @@ pub fn synchronize(gpu: &Gpu, stream: &EncodedStream, variant: SyncVariant) -> S
     let infos: Vec<SubseqInfo> = starts
         .into_iter()
         .zip(counts)
-        .map(|(start_bit, num_symbols)| SubseqInfo { start_bit, num_symbols })
+        .map(|(start_bit, num_symbols)| SubseqInfo {
+            start_bit,
+            num_symbols,
+        })
         .collect();
 
-    SyncResult { infos, intra_phase, inter_phase }
+    SyncResult {
+        infos,
+        intra_phase,
+        inter_phase,
+    }
 }
 
 #[cfg(test)]

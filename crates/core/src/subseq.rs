@@ -33,7 +33,10 @@ pub fn reference_subseq_infos(stream: &EncodedStream) -> Vec<SubseqInfo> {
     );
     states
         .iter()
-        .map(|s| SubseqInfo { start_bit: s.start_bit, num_symbols: s.num_codewords })
+        .map(|s| SubseqInfo {
+            start_bit: s.start_bit,
+            num_symbols: s.num_codewords,
+        })
         .collect()
 }
 
@@ -62,7 +65,10 @@ pub fn decode_subseq_symbols(
 /// accounting): the distance from its start to the next subsequence's start.
 pub fn subseq_bits_consumed(infos: &[SubseqInfo], index: usize, stream_bit_len: u64) -> u64 {
     let start = infos[index].start_bit;
-    let end = infos.get(index + 1).map(|i| i.start_bit).unwrap_or(stream_bit_len);
+    let end = infos
+        .get(index + 1)
+        .map(|i| i.start_bit)
+        .unwrap_or(stream_bit_len);
     end.saturating_sub(start)
 }
 
@@ -118,8 +124,9 @@ mod tests {
     fn bits_consumed_partition_the_stream() {
         let s = stream(10_000);
         let infos = reference_subseq_infos(&s);
-        let total_bits: u64 =
-            (0..infos.len()).map(|i| subseq_bits_consumed(&infos, i, s.bit_len)).sum();
+        let total_bits: u64 = (0..infos.len())
+            .map(|i| subseq_bits_consumed(&infos, i, s.bit_len))
+            .sum();
         assert_eq!(total_bits, s.bit_len);
     }
 

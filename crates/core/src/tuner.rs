@@ -119,7 +119,11 @@ pub fn tuned_decode_write(
             let first = s * spb;
             let next = ((s + 1) * spb).min(infos.len());
             let start = output_index.offsets[first];
-            let end = if next < infos.len() { output_index.offsets[next] } else { total_symbols };
+            let end = if next < infos.len() {
+                output_index.offsets[next]
+            } else {
+                total_symbols
+            };
             end - start
         })
         .collect();
@@ -161,7 +165,13 @@ pub fn tuned_decode_write(
 
     // Step 5: one decode/write kernel per non-empty class, overlapped on streams.
     let buffer_symbols_of_class: Vec<u32> = (0..num_classes as u32)
-        .map(|c| if c < t_high { (c + 1) * 1024 } else { HIGH_CR_BUFFER_SYMBOLS })
+        .map(|c| {
+            if c < t_high {
+                (c + 1) * 1024
+            } else {
+                HIGH_CR_BUFFER_SYMBOLS
+            }
+        })
         .collect();
 
     let mut kernels: Vec<KernelStats> = Vec::new();
@@ -177,7 +187,9 @@ pub fn tuned_decode_write(
             output_index,
             output,
             seqs,
-            WriteStrategy::Staged { buffer_symbols: buffer_symbols_of_class[c] },
+            WriteStrategy::Staged {
+                buffer_symbols: buffer_symbols_of_class[c],
+            },
         );
         kernels.push(stats);
     }
@@ -186,7 +198,12 @@ pub fn tuned_decode_write(
     decode_phase.push_seconds(concurrent.time_s);
     decode_phase.kernels = kernels;
 
-    TunedDecode { tune_phase, decode_phase, class_of_seq, buffer_symbols_of_class }
+    TunedDecode {
+        tune_phase,
+        decode_phase,
+        class_of_seq,
+        buffer_symbols_of_class,
+    }
 }
 
 #[cfg(test)]
@@ -273,7 +290,10 @@ mod tests {
         for c in 0..t_high as usize {
             assert_eq!(tuned.buffer_symbols_of_class[c], (c as u32 + 1) * 1024);
         }
-        assert_eq!(tuned.buffer_symbols_of_class[t_high as usize], HIGH_CR_BUFFER_SYMBOLS);
+        assert_eq!(
+            tuned.buffer_symbols_of_class[t_high as usize],
+            HIGH_CR_BUFFER_SYMBOLS
+        );
     }
 
     #[test]

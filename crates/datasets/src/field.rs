@@ -81,7 +81,13 @@ impl Dims {
             }
             (((x as f64) * factor).round() as usize).clamp(4, x)
         };
-        Dims::from_slice(&self.as_vec().iter().map(|&x| scale_one(x)).collect::<Vec<_>>())
+        Dims::from_slice(
+            &self
+                .as_vec()
+                .iter()
+                .map(|&x| scale_one(x))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Scales the dimensions so the total element count lands near `target_elements`,
@@ -121,8 +127,16 @@ pub struct Field {
 impl Field {
     /// Creates a field, checking that the data length matches the dimensions.
     pub fn new(name: impl Into<String>, dims: Dims, data: Vec<f32>) -> Self {
-        assert_eq!(dims.len(), data.len(), "field data length must match dimensions");
-        Field { name: name.into(), dims, data }
+        assert_eq!(
+            dims.len(),
+            data.len(),
+            "field data length must match dimensions"
+        );
+        Field {
+            name: name.into(),
+            dims,
+            data,
+        }
     }
 
     /// Number of elements.
@@ -177,7 +191,12 @@ mod tests {
 
     #[test]
     fn dims_from_slice_roundtrip() {
-        for d in [Dims::D1(7), Dims::D2(5, 6), Dims::D3(3, 4, 5), Dims::D4(2, 3, 4, 5)] {
+        for d in [
+            Dims::D1(7),
+            Dims::D2(5, 6),
+            Dims::D3(3, 4, 5),
+            Dims::D4(2, 3, 4, 5),
+        ] {
             assert_eq!(Dims::from_slice(&d.as_vec()), d);
         }
     }

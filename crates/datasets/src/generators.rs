@@ -18,29 +18,30 @@
 //! run on scaled-down fields and still land in each dataset's compression-ratio regime
 //! (see DESIGN.md for the calibration). Physical realism of the values is a non-goal.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::field::{Dims, Field};
 use crate::registry::DatasetSpec;
+use crate::rng::Rng;
 
 /// A deterministic Gaussian sampler (Box–Muller over a seeded PRNG).
 struct Gaussian {
-    rng: StdRng,
+    rng: Rng,
     spare: Option<f64>,
 }
 
 impl Gaussian {
     fn new(seed: u64) -> Self {
-        Gaussian { rng: StdRng::seed_from_u64(seed), spare: None }
+        Gaussian {
+            rng: Rng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     fn sample(&mut self) -> f64 {
         if let Some(s) = self.spare.take() {
             return s;
         }
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1: f64 = self.rng.gen_range_f64(f64::EPSILON, 1.0);
+        let u2: f64 = self.rng.gen_range_f64(0.0, 1.0);
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -75,7 +76,7 @@ pub fn generate_with_dims(spec: &DatasetSpec, dims: Dims, seed: u64) -> Field {
     let extents = dims.as_vec();
     let ndim = extents.len();
 
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15E_A5E5_1234_5678);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xD15E_A5E5_1234_5678);
     let mut gauss = Gaussian::new(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
 
     // --- Features -----------------------------------------------------------------
@@ -87,7 +88,7 @@ pub fn generate_with_dims(spec: &DatasetSpec, dims: Dims, seed: u64) -> Field {
         let mut lo = [0usize; 4];
         let mut hi = [0usize; 4];
         for d in 0..ndim {
-            let c = rng.gen_range(0.0..extents[d] as f64);
+            let c = rng.gen_range_f64(0.0, extents[d] as f64);
             center[d] = c;
             let reach = (4.0 * width).ceil();
             lo[d] = (c - reach).max(0.0) as usize;
@@ -95,7 +96,11 @@ pub fn generate_with_dims(spec: &DatasetSpec, dims: Dims, seed: u64) -> Field {
         }
         // The first feature always has full amplitude so the value range is pinned at
         // ~1.0 regardless of how the remaining amplitudes are drawn.
-        let amplitude = if f == 0 { 1.0 } else { rng.gen_range(0.4..1.0) };
+        let amplitude = if f == 0 {
+            1.0
+        } else {
+            rng.gen_range_f64(0.4, 1.0)
+        };
         features.push(Feature {
             center,
             amplitude,
@@ -114,8 +119,8 @@ pub fn generate_with_dims(spec: &DatasetSpec, dims: Dims, seed: u64) -> Field {
     let mut data = vec![0.0f32; n];
     let inv_n = if n > 1 { 1.0 / (n as f64 - 1.0) } else { 0.0 };
     for (idx, value) in data.iter_mut().enumerate() {
-        let drift = drift_amplitude
-            * (std::f64::consts::TAU * drift_cycles * idx as f64 * inv_n).cos();
+        let drift =
+            drift_amplitude * (std::f64::consts::TAU * drift_cycles * idx as f64 * inv_n).cos();
         *value = (drift + spec.noise_sigma * gauss.sample()) as f32;
     }
 
@@ -132,7 +137,13 @@ pub fn generate_with_dims(spec: &DatasetSpec, dims: Dims, seed: u64) -> Field {
 }
 
 /// Adds one Gaussian bump to the field, iterating only over its bounding box.
-fn stamp_feature(data: &mut [f32], extents: &[usize], strides: &[usize], feat: &Feature, ndim: usize) {
+fn stamp_feature(
+    data: &mut [f32],
+    extents: &[usize],
+    strides: &[usize],
+    feat: &Feature,
+    ndim: usize,
+) {
     // Iterate the bounding box with an odometer over `ndim` coordinates.
     let mut coord = [0usize; 4];
     coord[..ndim].copy_from_slice(&feat.lo[..ndim]);
@@ -145,8 +156,8 @@ fn stamp_feature(data: &mut [f32], extents: &[usize], strides: &[usize], feat: &
     loop {
         // Distance^2 from the centre.
         let mut dist2 = 0.0f64;
-        for d in 0..ndim {
-            let delta = coord[d] as f64 - feat.center[d];
+        for (d, &c) in coord.iter().enumerate().take(ndim) {
+            let delta = c as f64 - feat.center[d];
             dist2 += delta * delta;
         }
         let contrib = feat.amplitude * (-dist2 * feat.inv_two_w2).exp();
@@ -202,10 +213,20 @@ mod tests {
         for spec in all_datasets() {
             let f = generate(&spec, 60_000, 7);
             assert_eq!(f.dims.ndim(), spec.full_dims.ndim(), "{}", spec.name);
-            assert!(f.len() > 10_000, "{} generated only {} elements", spec.name, f.len());
+            assert!(
+                f.len() > 10_000,
+                "{} generated only {} elements",
+                spec.name,
+                f.len()
+            );
             // The per-extent floor of 4 can inflate strongly anisotropic datasets
             // (e.g. CESM's 26-level dimension), but never unboundedly.
-            assert!(f.len() <= 4 * 60_000, "{} generated too many elements: {}", spec.name, f.len());
+            assert!(
+                f.len() <= 4 * 60_000,
+                "{} generated too many elements: {}",
+                spec.name,
+                f.len()
+            );
         }
     }
 
@@ -250,7 +271,11 @@ mod tests {
         let exaalt = generate(&dataset_by_name("EXAALT").unwrap(), 80_000, 5);
         let nyx = generate(&dataset_by_name("Nyx").unwrap(), 80_000, 5);
         let roughness = |f: &Field| {
-            let mut diffs: Vec<f64> = f.data.windows(2).map(|w| (w[1] - w[0]).abs() as f64).collect();
+            let mut diffs: Vec<f64> = f
+                .data
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs() as f64)
+                .collect();
             // Median, so the sparse features do not dominate.
             diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             diffs[diffs.len() / 2]
@@ -274,6 +299,10 @@ mod tests {
         // tiny fraction (they are sparse).
         let big = f.data.iter().filter(|&&v| v > 0.5).count();
         assert!(big > 0);
-        assert!((big as f64) < 0.02 * f.len() as f64, "features not sparse: {}", big);
+        assert!(
+            (big as f64) < 0.02 * f.len() as f64,
+            "features not sparse: {}",
+            big
+        );
     }
 }

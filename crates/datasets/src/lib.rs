@@ -16,7 +16,9 @@
 pub mod field;
 pub mod generators;
 pub mod registry;
+pub mod rng;
 
 pub use field::{Dims, Field};
 pub use generators::{generate, generate_with_dims};
 pub use registry::{all_datasets, dataset_by_name, DatasetSpec, ScienceDomain};
+pub use rng::Rng;

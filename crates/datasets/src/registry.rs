@@ -184,7 +184,9 @@ pub fn all_datasets() -> Vec<DatasetSpec> {
 
 /// Looks a dataset up by its (case-insensitive) paper name.
 pub fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
-    all_datasets().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    all_datasets()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -196,7 +198,16 @@ mod tests {
         let names: Vec<&str> = all_datasets().iter().map(|d| d.name).collect();
         assert_eq!(
             names,
-            vec!["HACC", "EXAALT", "CESM", "Nyx", "Hurricane", "QMCPack", "RTM", "GAMESS"]
+            vec![
+                "HACC",
+                "EXAALT",
+                "CESM",
+                "Nyx",
+                "Hurricane",
+                "QMCPack",
+                "RTM",
+                "GAMESS"
+            ]
         );
     }
 
@@ -213,7 +224,9 @@ mod tests {
         assert_eq!(nyx.full_dims, Dims::D3(512, 512, 512));
         assert_eq!(nyx.full_elements(), 512 * 512 * 512);
         // One 512^3 f32 field is exactly the 512 MiB snapshot the paper lists.
-        assert!((nyx.full_elements() as f64 * 4.0 / (1024.0 * 1024.0) - nyx.paper_size_mib).abs() < 1.0);
+        assert!(
+            (nyx.full_elements() as f64 * 4.0 / (1024.0 * 1024.0) - nyx.paper_size_mib).abs() < 1.0
+        );
     }
 
     #[test]

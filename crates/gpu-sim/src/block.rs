@@ -229,38 +229,100 @@ impl<'a> BlockContext<'a> {
     /// Records a warp-wide global-memory **load** given the byte addresses touched by the
     /// active lanes.
     pub fn global_load(&mut self, warp: u32, byte_addrs: &[u64], elem_bytes: u32) {
-        let r = coalesce_access(byte_addrs, elem_bytes, self.config.sector_bytes, self.config.segment_bytes);
+        let r = coalesce_access(
+            byte_addrs,
+            elem_bytes,
+            self.config.sector_bytes,
+            self.config.segment_bytes,
+        );
         self.charge_global(warp, r, false);
     }
 
     /// Records a warp-wide global-memory **store** given the byte addresses touched by the
     /// active lanes.
     pub fn global_store(&mut self, warp: u32, byte_addrs: &[u64], elem_bytes: u32) {
-        let r = coalesce_access(byte_addrs, elem_bytes, self.config.sector_bytes, self.config.segment_bytes);
+        let r = coalesce_access(
+            byte_addrs,
+            elem_bytes,
+            self.config.sector_bytes,
+            self.config.segment_bytes,
+        );
         self.charge_global(warp, r, true);
     }
 
     /// Records a perfectly contiguous warp load: lane `i` reads element `base_elem + i`.
-    pub fn global_load_contiguous(&mut self, warp: u32, base_elem: u64, lanes: u32, elem_bytes: u32) {
-        let r = coalesce_contiguous(base_elem, lanes, elem_bytes, self.config.sector_bytes, self.config.segment_bytes);
+    pub fn global_load_contiguous(
+        &mut self,
+        warp: u32,
+        base_elem: u64,
+        lanes: u32,
+        elem_bytes: u32,
+    ) {
+        let r = coalesce_contiguous(
+            base_elem,
+            lanes,
+            elem_bytes,
+            self.config.sector_bytes,
+            self.config.segment_bytes,
+        );
         self.charge_global(warp, r, false);
     }
 
     /// Records a perfectly contiguous warp store: lane `i` writes element `base_elem + i`.
-    pub fn global_store_contiguous(&mut self, warp: u32, base_elem: u64, lanes: u32, elem_bytes: u32) {
-        let r = coalesce_contiguous(base_elem, lanes, elem_bytes, self.config.sector_bytes, self.config.segment_bytes);
+    pub fn global_store_contiguous(
+        &mut self,
+        warp: u32,
+        base_elem: u64,
+        lanes: u32,
+        elem_bytes: u32,
+    ) {
+        let r = coalesce_contiguous(
+            base_elem,
+            lanes,
+            elem_bytes,
+            self.config.sector_bytes,
+            self.config.segment_bytes,
+        );
         self.charge_global(warp, r, true);
     }
 
     /// Records a strided warp load: lane `i` reads element `base_elem + i * stride_elems`.
-    pub fn global_load_strided(&mut self, warp: u32, base_elem: u64, lanes: u32, stride_elems: u64, elem_bytes: u32) {
-        let r = coalesce_strided(base_elem, lanes, stride_elems, elem_bytes, self.config.sector_bytes, self.config.segment_bytes);
+    pub fn global_load_strided(
+        &mut self,
+        warp: u32,
+        base_elem: u64,
+        lanes: u32,
+        stride_elems: u64,
+        elem_bytes: u32,
+    ) {
+        let r = coalesce_strided(
+            base_elem,
+            lanes,
+            stride_elems,
+            elem_bytes,
+            self.config.sector_bytes,
+            self.config.segment_bytes,
+        );
         self.charge_global(warp, r, false);
     }
 
     /// Records a strided warp store: lane `i` writes element `base_elem + i * stride_elems`.
-    pub fn global_store_strided(&mut self, warp: u32, base_elem: u64, lanes: u32, stride_elems: u64, elem_bytes: u32) {
-        let r = coalesce_strided(base_elem, lanes, stride_elems, elem_bytes, self.config.sector_bytes, self.config.segment_bytes);
+    pub fn global_store_strided(
+        &mut self,
+        warp: u32,
+        base_elem: u64,
+        lanes: u32,
+        stride_elems: u64,
+        elem_bytes: u32,
+    ) {
+        let r = coalesce_strided(
+            base_elem,
+            lanes,
+            stride_elems,
+            elem_bytes,
+            self.config.sector_bytes,
+            self.config.segment_bytes,
+        );
         self.charge_global(warp, r, true);
     }
 
@@ -303,7 +365,12 @@ impl<'a> BlockContext<'a> {
     pub fn finish(self) -> BlockStats {
         let cycles = self.warp_cycles.iter().cloned().fold(0.0, f64::max);
         let total: f64 = self.warp_cycles.iter().sum();
-        BlockStats { cycles, total_warp_cycles: total, mem: self.mem, barriers: self.barriers }
+        BlockStats {
+            cycles,
+            total_warp_cycles: total,
+            mem: self.mem,
+            barriers: self.barriers,
+        }
     }
 }
 
@@ -409,8 +476,16 @@ mod tests {
 
     #[test]
     fn mem_stats_merge_and_efficiency() {
-        let mut a = MemStats { load_sectors: 4, useful_load_bytes: 128, ..Default::default() };
-        let b = MemStats { store_sectors: 8, useful_store_bytes: 64, ..Default::default() };
+        let mut a = MemStats {
+            load_sectors: 4,
+            useful_load_bytes: 128,
+            ..Default::default()
+        };
+        let b = MemStats {
+            store_sectors: 8,
+            useful_store_bytes: 64,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.dram_bytes(32), 12 * 32);
         assert!((a.efficiency(32) - 192.0 / 384.0).abs() < 1e-12);

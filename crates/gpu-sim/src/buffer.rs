@@ -27,13 +27,17 @@ impl<T: Copy> DeviceBuffer<T> {
     /// Allocates a buffer of `len` elements, each initialized to `init`.
     pub fn filled(len: usize, init: T) -> Self {
         let data: Vec<UnsafeCell<T>> = (0..len).map(|_| UnsafeCell::new(init)).collect();
-        DeviceBuffer { data: data.into_boxed_slice() }
+        DeviceBuffer {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Allocates a buffer holding a copy of `src` (the equivalent of `cudaMemcpy` H2D).
     pub fn from_slice(src: &[T]) -> Self {
         let data: Vec<UnsafeCell<T>> = src.iter().map(|&v| UnsafeCell::new(v)).collect();
-        DeviceBuffer { data: data.into_boxed_slice() }
+        DeviceBuffer {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Number of elements in the buffer.
@@ -52,7 +56,12 @@ impl<T: Copy> DeviceBuffer<T> {
     /// Panics if `i` is out of bounds.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.data.len(), "DeviceBuffer read out of bounds: {} >= {}", i, self.data.len());
+        assert!(
+            i < self.data.len(),
+            "DeviceBuffer read out of bounds: {} >= {}",
+            i,
+            self.data.len()
+        );
         unsafe { *self.data[i].get() }
     }
 
@@ -62,18 +71,28 @@ impl<T: Copy> DeviceBuffer<T> {
     /// Panics if `i` is out of bounds.
     #[inline]
     pub fn set(&self, i: usize, v: T) {
-        assert!(i < self.data.len(), "DeviceBuffer write out of bounds: {} >= {}", i, self.data.len());
+        assert!(
+            i < self.data.len(),
+            "DeviceBuffer write out of bounds: {} >= {}",
+            i,
+            self.data.len()
+        );
         unsafe { *self.data[i].get() = v };
     }
 
     /// Copies the buffer contents back to the host (the equivalent of `cudaMemcpy` D2H).
     pub fn to_vec(&self) -> Vec<T> {
-        (0..self.data.len()).map(|i| unsafe { *self.data[i].get() }).collect()
+        (0..self.data.len())
+            .map(|i| unsafe { *self.data[i].get() })
+            .collect()
     }
 
     /// Copies a sub-range `[start, start + out.len())` of the buffer into `out`.
     pub fn copy_range_to(&self, start: usize, out: &mut [T]) {
-        assert!(start + out.len() <= self.data.len(), "copy_range_to out of bounds");
+        assert!(
+            start + out.len() <= self.data.len(),
+            "copy_range_to out of bounds"
+        );
         for (k, slot) in out.iter_mut().enumerate() {
             *slot = unsafe { *self.data[start + k].get() };
         }
@@ -126,17 +145,16 @@ mod tests {
     #[test]
     fn concurrent_disjoint_writes() {
         let buf: DeviceBuffer<u64> = DeviceBuffer::zeroed(1024);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let buf = &buf;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in (t * 256)..((t + 1) * 256) {
                         buf.set(i, i as u64 * 2);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let host = buf.to_vec();
         for (i, v) in host.iter().enumerate() {
             assert_eq!(*v, i as u64 * 2);

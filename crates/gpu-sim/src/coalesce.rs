@@ -97,8 +97,9 @@ pub fn coalesce_contiguous(
     sector_bytes: u32,
     segment_bytes: u32,
 ) -> CoalesceResult {
-    let addrs: Vec<u64> =
-        (0..lanes as u64).map(|i| (base_elem + i) * elem_bytes as u64).collect();
+    let addrs: Vec<u64> = (0..lanes as u64)
+        .map(|i| (base_elem + i) * elem_bytes as u64)
+        .collect();
     coalesce_access(&addrs, elem_bytes, sector_bytes, segment_bytes)
 }
 

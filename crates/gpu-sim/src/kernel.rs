@@ -22,7 +22,12 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// A launch with the given grid and block dimensions and no dynamic shared memory.
     pub fn new(grid_dim: u32, block_dim: u32) -> Self {
-        LaunchConfig { grid_dim, block_dim, shared_mem_bytes: 0, regs_per_thread: 0 }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+            shared_mem_bytes: 0,
+            regs_per_thread: 0,
+        }
     }
 
     /// Sets the dynamic shared-memory allocation.
@@ -69,13 +74,21 @@ impl Gpu {
     /// Creates a device with the given configuration, using all available host CPUs to
     /// execute blocks in parallel.
     pub fn new(config: GpuConfig) -> Self {
-        let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Gpu { config, host_threads }
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Gpu {
+            config,
+            host_threads,
+        }
     }
 
     /// Creates a device that simulates blocks on a fixed number of host threads.
     pub fn with_host_threads(config: GpuConfig, host_threads: usize) -> Self {
-        Gpu { config, host_threads: host_threads.max(1) }
+        Gpu {
+            config,
+            host_threads: host_threads.max(1),
+        }
     }
 
     /// A V100-configured device (the paper's evaluation platform).
@@ -126,7 +139,7 @@ impl Gpu {
             }
         } else {
             let chunk = (grid as usize).div_ceil(threads);
-            let results = crossbeam::thread::scope(|s| {
+            let results = std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
                     let start = (t * chunk) as u32;
@@ -135,7 +148,7 @@ impl Gpu {
                         break;
                     }
                     let config = &self.config;
-                    handles.push(s.spawn(move |_| {
+                    handles.push(s.spawn(move || {
                         let mut local = Vec::with_capacity((end - start) as usize);
                         for b in start..end {
                             let mut ctx = BlockContext::new(
@@ -151,9 +164,11 @@ impl Gpu {
                         local
                     }));
                 }
-                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
-            })
-            .expect("block execution thread panicked");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("block execution thread panicked"))
+                    .collect::<Vec<_>>()
+            });
             for chunk_stats in results {
                 all_stats.extend(chunk_stats);
             }

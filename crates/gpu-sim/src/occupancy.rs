@@ -53,11 +53,10 @@ impl Occupancy {
 
         let by_threads = cfg.max_threads_per_sm / block_dim.max(1);
         let by_blocks = cfg.max_blocks_per_sm;
-        let by_shmem = if shared_mem_per_block == 0 {
-            u32::MAX
-        } else {
-            cfg.shared_mem_per_sm / shared_mem_per_block
-        };
+        let by_shmem = cfg
+            .shared_mem_per_sm
+            .checked_div(shared_mem_per_block)
+            .unwrap_or(u32::MAX);
         let by_regs = if regs_per_thread == 0 {
             u32::MAX
         } else {

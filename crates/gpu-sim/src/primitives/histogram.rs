@@ -33,7 +33,12 @@ impl BlockKernel for PartialHistogramKernel<'_> {
         let mut local = vec![0u64; self.num_bins];
         for i in start..end {
             let k = self.keys.get(i) as usize;
-            assert!(k < self.num_bins, "histogram key {} out of range ({} bins)", k, self.num_bins);
+            assert!(
+                k < self.num_bins,
+                "histogram key {} out of range ({} bins)",
+                k,
+                self.num_bins
+            );
             local[k] += 1;
         }
         for (bin, &count) in local.iter().enumerate() {
@@ -58,7 +63,10 @@ impl BlockKernel for PartialHistogramKernel<'_> {
         if let Some(w0) = (ctx.warp_count() > 0).then_some(0) {
             let writes = self.num_bins as u32;
             ctx.global_store_contiguous(w0, base as u64, writes.min(ctx.config().warp_size), 8);
-            ctx.compute(w0, (writes as f64 / ctx.config().warp_size as f64).ceil() * cost::ALU);
+            ctx.compute(
+                w0,
+                (writes as f64 / ctx.config().warp_size as f64).ceil() * cost::ALU,
+            );
         }
         ctx.syncthreads();
         let _ = n;
@@ -90,7 +98,13 @@ impl BlockKernel for ReducePartialsKernel<'_> {
             self.out.set(bin, sum);
         }
         for w in 0..ctx.warp_count() {
-            ctx.global_load_strided(w, start_bin as u64, ctx.config().warp_size, self.num_bins as u64, 8);
+            ctx.global_load_strided(
+                w,
+                start_bin as u64,
+                ctx.config().warp_size,
+                self.num_bins as u64,
+                8,
+            );
             ctx.compute(w, self.num_partials as f64 * cost::ALU);
             ctx.global_store_contiguous(w, start_bin as u64, ctx.config().warp_size, 8);
         }
@@ -112,7 +126,11 @@ pub fn device_histogram(gpu: &Gpu, keys: &[u32], num_bins: usize) -> (Vec<u64>, 
     let d_partials = DeviceBuffer::<u64>::zeroed(grid as usize * num_bins);
     let d_out = DeviceBuffer::<u64>::zeroed(num_bins);
 
-    let k1 = PartialHistogramKernel { keys: &d_keys, partials: &d_partials, num_bins };
+    let k1 = PartialHistogramKernel {
+        keys: &d_keys,
+        partials: &d_partials,
+        num_bins,
+    };
     phase.push_serial(gpu.launch(&k1, LaunchConfig::new(grid, BLOCK_DIM)));
 
     let reduce_grid = (num_bins as u32).div_ceil(BLOCK_DIM).max(1);
@@ -152,7 +170,9 @@ mod tests {
     #[test]
     fn large_histogram_matches_reference() {
         let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 8);
-        let keys: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(i) % 16).collect();
+        let keys: Vec<u32> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(i) % 16)
+            .collect();
         let (h, _) = device_histogram(&gpu, &keys, 16);
         assert_eq!(h, reference_histogram(&keys, 16));
         assert_eq!(h.iter().sum::<u64>(), keys.len() as u64);

@@ -112,8 +112,18 @@ impl BlockKernel for DownsweepKernel<'_> {
                 let runs = (RADIX as u32).min(warp_size);
                 let per_run = warp_size / runs;
                 for r in 0..runs {
-                    ctx.global_store_contiguous(w, (lane_base + (r * per_run) as u64) * 2, per_run, 4);
-                    ctx.global_store_contiguous(w, (lane_base + (r * per_run) as u64) * 2, per_run, 4);
+                    ctx.global_store_contiguous(
+                        w,
+                        (lane_base + (r * per_run) as u64) * 2,
+                        per_run,
+                        4,
+                    );
+                    ctx.global_store_contiguous(
+                        w,
+                        (lane_base + (r * per_run) as u64) * 2,
+                        per_run,
+                        4,
+                    );
                 }
             }
         }
@@ -131,7 +141,11 @@ pub fn device_radix_sort_pairs(
     values: &[u32],
     max_key: u32,
 ) -> (Vec<u32>, Vec<u32>, PhaseTime) {
-    assert_eq!(keys.len(), values.len(), "keys and values must have equal length");
+    assert_eq!(
+        keys.len(),
+        values.len(),
+        "keys and values must have equal length"
+    );
     let mut phase = PhaseTime::empty();
     if keys.is_empty() {
         return (Vec::new(), Vec::new(), phase);
@@ -149,7 +163,11 @@ pub fn device_radix_sort_pairs(
     for pass in 0..passes {
         let shift = pass * RADIX_BITS;
         let counts = DeviceBuffer::<u64>::zeroed(grid as usize * RADIX);
-        let up = UpsweepKernel { keys: &cur_keys, counts: &counts, shift };
+        let up = UpsweepKernel {
+            keys: &cur_keys,
+            counts: &counts,
+            shift,
+        };
         phase.push_serial(gpu.launch(&up, LaunchConfig::new(grid, BLOCK_DIM)));
 
         // Exclusive scan over digit-major (digit, block) order to obtain stable global
@@ -193,7 +211,8 @@ mod tests {
         // Sorted by key.
         assert!(out_k.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
         // Same multiset of pairs, and stability: equal keys keep input order of values.
-        let mut expected: Vec<(u32, u32)> = keys.iter().cloned().zip(values.iter().cloned()).collect();
+        let mut expected: Vec<(u32, u32)> =
+            keys.iter().cloned().zip(values.iter().cloned()).collect();
         // Stable sort by key mirrors the expected output exactly.
         expected.sort_by_key(|&(k, _)| k);
         let got: Vec<(u32, u32)> = out_k.iter().cloned().zip(out_v.iter().cloned()).collect();
@@ -214,7 +233,9 @@ mod tests {
     #[test]
     fn sorts_wide_key_range_multiple_passes() {
         let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 4);
-        let keys: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
+        let keys: Vec<u32> = (0..20_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 100_000)
+            .collect();
         let values: Vec<u32> = (0..20_000u32).collect();
         let (ok, ov, phase) = device_radix_sort_pairs(&gpu, &keys, &values, 99_999);
         check_sorted_stable(&keys, &values, &ok, &ov);

@@ -76,7 +76,11 @@ fn device_reduce(gpu: &Gpu, input: &[u64], op: ReduceOp) -> (u64, PhaseTime) {
     let grid = input.len().div_ceil(tile) as u32;
     let d_partials = DeviceBuffer::<u64>::zeroed(grid as usize);
     let is_sum = matches!(op, ReduceOp::Sum);
-    let k = ReduceKernel { input: &d_in, partials: &d_partials, op };
+    let k = ReduceKernel {
+        input: &d_in,
+        partials: &d_partials,
+        op,
+    };
     phase.push_serial(gpu.launch(&k, LaunchConfig::new(grid, BLOCK_DIM)));
 
     // Final combine of the per-block partials (small; host-side, one launch charged).

@@ -119,7 +119,11 @@ pub fn device_exclusive_prefix_sum(gpu: &Gpu, input: &[u64]) -> (Vec<u64>, u64, 
     let grid = input.len().div_ceil(tile) as u32;
     let d_block_sums = DeviceBuffer::<u64>::zeroed(grid as usize);
 
-    let k1 = BlockScanKernel { input: &d_in, output: &d_out, block_sums: &d_block_sums };
+    let k1 = BlockScanKernel {
+        input: &d_in,
+        output: &d_out,
+        block_sums: &d_block_sums,
+    };
     phase.push_serial(gpu.launch(&k1, LaunchConfig::new(grid, BLOCK_DIM)));
 
     // Scan of block sums: done on the host here, standing in for the small single-block
@@ -133,7 +137,10 @@ pub fn device_exclusive_prefix_sum(gpu: &Gpu, input: &[u64]) -> (Vec<u64>, u64, 
     }
     phase.push_seconds(gpu.config().kernel_launch_overhead_us * 1e-6);
 
-    let k3 = AddOffsetsKernel { output: &d_out, block_offsets: &offsets };
+    let k3 = AddOffsetsKernel {
+        output: &d_out,
+        block_offsets: &offsets,
+    };
     phase.push_serial(gpu.launch(&k3, LaunchConfig::new(grid, BLOCK_DIM)));
 
     (d_out.to_vec(), running, phase)

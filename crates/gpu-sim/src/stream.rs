@@ -43,7 +43,11 @@ impl ConcurrentStats {
 /// assumed to overlap with each other up to the device capacity.
 pub fn concurrent_time(cfg: &GpuConfig, kernels: &[KernelStats]) -> ConcurrentStats {
     if kernels.is_empty() {
-        return ConcurrentStats { time_s: 0.0, serial_time_s: 0.0, kernels: Vec::new() };
+        return ConcurrentStats {
+            time_s: 0.0,
+            serial_time_s: 0.0,
+            kernels: Vec::new(),
+        };
     }
 
     let serial_time_s: f64 = kernels.iter().map(|k| k.time_s).sum();
@@ -53,7 +57,9 @@ pub fn concurrent_time(cfg: &GpuConfig, kernels: &[KernelStats]) -> ConcurrentSt
     let mut max_single = 0.0f64;
     for k in kernels {
         let active = k.occupancy.active_blocks_on_device(cfg).max(1) as f64;
-        let utilization = (k.grid_dim as f64 / active).min(1.0).max(1.0 / cfg.num_sms as f64);
+        let utilization = (k.grid_dim as f64 / active)
+            .min(1.0)
+            .max(1.0 / cfg.num_sms as f64);
         busy_device_seconds += k.exec_time_s() * utilization;
         max_single = max_single.max(k.exec_time_s());
     }
@@ -66,7 +72,11 @@ pub fn concurrent_time(cfg: &GpuConfig, kernels: &[KernelStats]) -> ConcurrentSt
     // Lower-bounded by the longest single kernel; upper-bounded by serial execution.
     let time_s = (busy_device_seconds.max(max_single) + max_launch).min(serial_time_s);
 
-    ConcurrentStats { time_s, serial_time_s, kernels: kernels.to_vec() }
+    ConcurrentStats {
+        time_s,
+        serial_time_s,
+        kernels: kernels.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +87,11 @@ mod tests {
 
     fn kernel_with(cfg: &GpuConfig, grid: u32, cycles_per_block: f64) -> KernelStats {
         let blocks: Vec<BlockStats> = (0..grid)
-            .map(|_| BlockStats { cycles: cycles_per_block, total_warp_cycles: cycles_per_block, ..Default::default() })
+            .map(|_| BlockStats {
+                cycles: cycles_per_block,
+                total_warp_cycles: cycles_per_block,
+                ..Default::default()
+            })
             .collect();
         estimate_kernel_time(cfg, "k", grid, 256, 0, 0, &blocks)
     }
@@ -93,7 +107,9 @@ mod tests {
     #[test]
     fn concurrent_never_slower_than_serial() {
         let cfg = GpuConfig::v100();
-        let ks: Vec<KernelStats> = (1..=9).map(|i| kernel_with(&cfg, i * 100, 5_000.0)).collect();
+        let ks: Vec<KernelStats> = (1..=9)
+            .map(|i| kernel_with(&cfg, i * 100, 5_000.0))
+            .collect();
         let s = concurrent_time(&cfg, &ks);
         assert!(s.time_s <= s.serial_time_s + 1e-12);
         assert!(s.overlap_speedup() >= 1.0);

@@ -80,7 +80,13 @@ pub fn estimate_kernel_time(
     regs_per_thread: u32,
     blocks: &[BlockStats],
 ) -> KernelStats {
-    let occupancy = Occupancy::calculate(cfg, grid_dim.max(1), block_dim, shared_mem_bytes, regs_per_thread);
+    let occupancy = Occupancy::calculate(
+        cfg,
+        grid_dim.max(1),
+        block_dim,
+        shared_mem_bytes,
+        regs_per_thread,
+    );
 
     let mut mem = MemStats::default();
     let mut total_cycles = 0.0f64;
@@ -154,7 +160,10 @@ impl PhaseTime {
 
     /// A phase consisting of a single kernel.
     pub fn from_kernel(k: KernelStats) -> Self {
-        PhaseTime { seconds: k.time_s, kernels: vec![k] }
+        PhaseTime {
+            seconds: k.time_s,
+            kernels: vec![k],
+        }
     }
 
     /// Adds a kernel executed serially after the existing work.
@@ -222,7 +231,9 @@ mod tests {
         let cfg = GpuConfig::v100();
         // 1 GiB of store traffic (mirrored by 1 GiB of loads in the fixture) at 900 GB/s.
         let sectors = (1u64 << 30) / 32;
-        let blocks: Vec<BlockStats> = (0..1000).map(|_| block(100.0, sectors / 1000, (1 << 30) / 1000)).collect();
+        let blocks: Vec<BlockStats> = (0..1000)
+            .map(|_| block(100.0, sectors / 1000, (1 << 30) / 1000))
+            .collect();
         let stats = estimate_kernel_time(&cfg, "k", 1000, 256, 0, 0, &blocks);
         let expected = 2.0 * (1u64 << 30) as f64 / (900.0 * 1e9);
         assert!(stats.mem_time_s > 0.9 * expected && stats.mem_time_s < 1.1 * expected);

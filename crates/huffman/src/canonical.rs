@@ -28,7 +28,12 @@ pub struct Codeword {
 /// inequality (no prefix-free code exists).
 pub fn assign_canonical(lengths: &[u8]) -> Vec<Codeword> {
     let max_len = lengths.iter().cloned().max().unwrap_or(0);
-    assert!(max_len <= MAX_CODE_LEN, "code length {} exceeds maximum {}", max_len, MAX_CODE_LEN);
+    assert!(
+        max_len <= MAX_CODE_LEN,
+        "code length {} exceeds maximum {}",
+        max_len,
+        MAX_CODE_LEN
+    );
     let mut codewords = vec![Codeword::default(); lengths.len()];
     if max_len == 0 {
         return codewords;
@@ -66,7 +71,10 @@ pub fn assign_canonical(lengths: &[u8]) -> Vec<Codeword> {
 
     for (sym, &l) in lengths.iter().enumerate() {
         if l > 0 {
-            codewords[sym] = Codeword { bits: next_code[l as usize], len: l };
+            codewords[sym] = Codeword {
+                bits: next_code[l as usize],
+                len: l,
+            };
             next_code[l as usize] += 1;
         }
     }
@@ -100,9 +108,27 @@ mod tests {
         let codes = assign_canonical(&lengths);
         // Shortest code first: F (len 2) gets 00.
         assert_eq!(codes[5], Codeword { bits: 0b00, len: 2 });
-        assert_eq!(codes[0], Codeword { bits: 0b010, len: 3 });
-        assert_eq!(codes[6], Codeword { bits: 0b1110, len: 4 });
-        assert_eq!(codes[7], Codeword { bits: 0b1111, len: 4 });
+        assert_eq!(
+            codes[0],
+            Codeword {
+                bits: 0b010,
+                len: 3
+            }
+        );
+        assert_eq!(
+            codes[6],
+            Codeword {
+                bits: 0b1110,
+                len: 4
+            }
+        );
+        assert_eq!(
+            codes[7],
+            Codeword {
+                bits: 0b1111,
+                len: 4
+            }
+        );
         assert!(is_prefix_free(&codes));
     }
 

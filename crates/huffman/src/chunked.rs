@@ -51,7 +51,11 @@ impl ChunkedEncoded {
 }
 
 /// Encodes `symbols` in independent fixed-size chunks of `chunk_symbols` symbols.
-pub fn encode_chunked(codebook: &Codebook, symbols: &[u16], chunk_symbols: usize) -> ChunkedEncoded {
+pub fn encode_chunked(
+    codebook: &Codebook,
+    symbols: &[u16],
+    chunk_symbols: usize,
+) -> ChunkedEncoded {
     assert!(chunk_symbols > 0, "chunk size must be positive");
     let mut units: Vec<u32> = Vec::new();
     let mut chunks = Vec::new();
@@ -78,7 +82,12 @@ pub fn encode_chunked(codebook: &Codebook, symbols: &[u16], chunk_symbols: usize
         symbol_offset += chunk.len() as u64;
     }
 
-    ChunkedEncoded { units, chunks, chunk_symbols, num_symbols: symbols.len() }
+    ChunkedEncoded {
+        units,
+        chunks,
+        chunk_symbols,
+        num_symbols: symbols.len(),
+    }
 }
 
 /// Sequentially decodes a chunked encoding (CPU reference for the baseline GPU decoder).
@@ -104,7 +113,9 @@ mod tests {
     use crate::encoder::encode_flat;
 
     fn symbols(n: usize) -> Vec<u16> {
-        (0..n as u32).map(|i| (512 + ((i.wrapping_mul(97) >> 3) % 20) as i32 - 10) as u16).collect()
+        (0..n as u32)
+            .map(|i| (512 + ((i.wrapping_mul(97) >> 3) % 20) as i32 - 10) as u16)
+            .collect()
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use crate::canonical::{assign_canonical, is_prefix_free, Codeword};
 use crate::freq::FrequencyTable;
-use crate::tree::{code_lengths, expected_length, kraft_sum, length_limited_code_lengths, MAX_CODE_LEN};
+use crate::tree::{
+    code_lengths, expected_length, kraft_sum, length_limited_code_lengths, MAX_CODE_LEN,
+};
 
 /// A node of the flattened decode tree. Leaves carry the decoded symbol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +122,63 @@ impl Codebook {
         self.decode_tree.len() as u64 * 8
     }
 
+    /// Serializes the codebook compactly as `(symbol, code length)` pairs for the symbols
+    /// that actually have codes, sorted by symbol. Canonical codes are fully determined
+    /// by their lengths, so this is all an archive needs to ship — typically a few dozen
+    /// pairs out of a 1024-entry alphabet for quantization-code streams.
+    pub fn length_pairs(&self) -> Vec<(u16, u8)> {
+        self.codewords
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.len > 0)
+            .map(|(sym, c)| (sym as u16, c.len))
+            .collect()
+    }
+
+    /// Rebuilds a codebook from compact `(symbol, length)` pairs over an alphabet of
+    /// `alphabet_size` symbols, validating the input instead of trusting it (the pairs
+    /// may come from a corrupted or hostile archive).
+    ///
+    /// Returns a static description of the defect when the pairs do not describe a valid
+    /// canonical code: symbol out of range, duplicate symbol, zero or oversized length,
+    /// or a length set violating the Kraft inequality.
+    pub fn from_length_pairs(
+        alphabet_size: usize,
+        pairs: &[(u16, u8)],
+    ) -> Result<Codebook, &'static str> {
+        if alphabet_size == 0 || alphabet_size > u16::MAX as usize + 1 {
+            return Err("alphabet size out of range");
+        }
+        let mut lengths = vec![0u8; alphabet_size];
+        for &(sym, len) in pairs {
+            if sym as usize >= alphabet_size {
+                return Err("codebook symbol outside the alphabet");
+            }
+            if len == 0 {
+                return Err("zero code length in codebook");
+            }
+            if len > MAX_CODE_LEN {
+                return Err("code length exceeds the maximum");
+            }
+            if lengths[sym as usize] != 0 {
+                return Err("duplicate symbol in codebook");
+            }
+            lengths[sym as usize] = len;
+        }
+        // Exact integer Kraft check (sum of 2^(MAX-len) against 2^MAX): a float
+        // comparison with tolerance would admit marginal violations (e.g. an excess of
+        // 2^-31) that the canonical code construction rejects with a panic.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err("code lengths violate the Kraft inequality");
+        }
+        Ok(Codebook::from_lengths(&lengths))
+    }
+
     /// Decodes a single symbol by walking the decode tree, starting at bit `bit_pos` of
     /// the `bit_at` accessor. Returns `(symbol, bits_consumed)`, or `None` if the walk
     /// runs off the end of the stream (`bit_at` returns `None`).
@@ -180,7 +239,10 @@ fn build_decode_tree(codewords: &[Codeword]) -> Vec<DecodeNode> {
                 tree.push(if is_last {
                     DecodeNode::Leaf(sym as u16)
                 } else {
-                    DecodeNode::Internal { zero: u32::MAX, one: u32::MAX }
+                    DecodeNode::Internal {
+                        zero: u32::MAX,
+                        one: u32::MAX,
+                    }
                 });
                 idx
             } else {
@@ -209,7 +271,10 @@ fn build_decode_tree(codewords: &[Codeword]) -> Vec<DecodeNode> {
     if root_children.1 == u32::MAX {
         root_children.1 = root_children.0;
     }
-    tree[0] = DecodeNode::Internal { zero: root_children.0, one: root_children.1 };
+    tree[0] = DecodeNode::Internal {
+        zero: root_children.0,
+        one: root_children.1,
+    };
 
     // Replace any remaining unfilled children with Invalid sentinels pointing at slot 0's
     // Invalid marker is not possible; instead point them at a dedicated Invalid node.
@@ -315,6 +380,39 @@ mod tests {
         let cb = Codebook::from_symbols(&[0, 5, 9], 1024);
         assert_eq!(cb.alphabet_size(), 1024);
         assert_eq!(cb.codeword(100).len, 0);
+    }
+
+    #[test]
+    fn length_pairs_roundtrip() {
+        let symbols: Vec<u16> = (0..3000u16).map(|i| 500 + i % 41).collect();
+        let cb = Codebook::from_symbols(&symbols, 1024);
+        let pairs = cb.length_pairs();
+        assert!(pairs.len() <= 41);
+        let cb2 = Codebook::from_length_pairs(1024, &pairs).unwrap();
+        assert_eq!(cb.codewords(), cb2.codewords());
+    }
+
+    #[test]
+    fn from_length_pairs_validates_untrusted_input() {
+        assert!(Codebook::from_length_pairs(16, &[(20, 3)]).is_err()); // out of alphabet
+        assert!(Codebook::from_length_pairs(16, &[(1, 0)]).is_err()); // zero length
+        assert!(Codebook::from_length_pairs(16, &[(1, 40)]).is_err()); // oversized length
+        assert!(Codebook::from_length_pairs(16, &[(1, 2), (1, 3)]).is_err()); // duplicate
+        assert!(Codebook::from_length_pairs(16, &[(0, 1), (1, 1), (2, 1)]).is_err());
+        // kraft
+    }
+
+    #[test]
+    fn marginal_kraft_violation_rejected_exactly() {
+        // One code of each length 1..=31 sums to exactly 1 - 2^-31; two extra 31-bit
+        // codes push the sum to 1 + 2^-31. A float comparison with a 1e-9 tolerance
+        // would admit this, and the canonical construction would then panic — the check
+        // must be exact.
+        let mut pairs: Vec<(u16, u8)> = (1..=31u8).map(|len| ((len - 1) as u16, len)).collect();
+        pairs.push((31, 31));
+        assert!(Codebook::from_length_pairs(64, &pairs).is_ok()); // exactly 1: fine
+        pairs.push((32, 31));
+        assert!(Codebook::from_length_pairs(64, &pairs).is_err()); // 1 + 2^-31: rejected
     }
 
     #[test]

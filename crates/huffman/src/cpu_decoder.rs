@@ -62,20 +62,15 @@ pub fn count_codewords_in_range(
 ) -> (u64, u64) {
     let mut pos = start_bit;
     let mut count = 0u64;
-    loop {
-        match codebook.decode_one(|p| reader.bit(p), pos) {
-            Some((_sym, n)) => {
-                let next = pos + n as u64;
-                if next > end_bit {
-                    break;
-                }
-                count += 1;
-                pos = next;
-                if next == end_bit {
-                    break;
-                }
-            }
-            None => break,
+    while let Some((_sym, n)) = codebook.decode_one(|p| reader.bit(p), pos) {
+        let next = pos + n as u64;
+        if next > end_bit {
+            break;
+        }
+        count += 1;
+        pos = next;
+        if next == end_bit {
+            break;
         }
     }
     (count, pos)
@@ -125,7 +120,8 @@ mod tests {
         let reader = BitReader::new(&enc.units, enc.bit_len);
         // Start one bit late: decoding desynchronizes but must hit a true codeword
         // boundary within a modest number of bits for this kind of data (self-sync).
-        let (_decoded, end) = decode_from_bit(&cb, &reader, offsets[100] + 1, enc.bit_len, usize::MAX);
+        let (_decoded, end) =
+            decode_from_bit(&cb, &reader, offsets[100] + 1, enc.bit_len, usize::MAX);
         // Decoding always ends somewhere at or before the end of the stream.
         assert!(end <= enc.bit_len);
         // And from wherever it ends, the remaining bits (if any) are less than a codeword.

@@ -52,17 +52,30 @@ pub fn encode_flat_with_offsets(codebook: &Codebook, symbols: &[u16]) -> FlatEnc
 
 fn encode_flat_inner(codebook: &Codebook, symbols: &[u16], with_offsets: bool) -> FlatEncoded {
     let mut w = BitWriter::new();
-    let mut offsets = if with_offsets { Some(Vec::with_capacity(symbols.len())) } else { None };
+    let mut offsets = if with_offsets {
+        Some(Vec::with_capacity(symbols.len()))
+    } else {
+        None
+    };
     for &s in symbols {
         let cw = codebook.codeword(s);
-        assert!(cw.len > 0, "symbol {} has no codeword (was it absent from the frequency table?)", s);
+        assert!(
+            cw.len > 0,
+            "symbol {} has no codeword (was it absent from the frequency table?)",
+            s
+        );
         if let Some(o) = offsets.as_mut() {
             o.push(w.bit_len());
         }
         w.write_bits(cw.bits, cw.len);
     }
     let (units, bit_len) = w.finish();
-    FlatEncoded { units, bit_len, num_symbols: symbols.len(), symbol_bit_offsets: offsets }
+    FlatEncoded {
+        units,
+        bit_len,
+        num_symbols: symbols.len(),
+        symbol_bit_offsets: offsets,
+    }
 }
 
 #[cfg(test)]

@@ -124,7 +124,11 @@ mod tests {
             );
             // And it is the *first* boundary at or after the subsequence start.
             let boundary = i as u64 * 128;
-            let first_after = boundaries.range(boundary..).next().cloned().unwrap_or(enc.bit_len);
+            let first_after = boundaries
+                .range(boundary..)
+                .next()
+                .cloned()
+                .unwrap_or(enc.bit_len);
             assert_eq!(start.min(enc.bit_len), first_after.min(enc.bit_len));
         }
     }

@@ -43,7 +43,9 @@ pub mod tree;
 
 pub use bitstream::{BitReader, BitWriter};
 pub use canonical::{assign_canonical, is_prefix_free, Codeword};
-pub use chunked::{decode_chunked, encode_chunked, ChunkMeta, ChunkedEncoded, DEFAULT_CHUNK_SYMBOLS};
+pub use chunked::{
+    decode_chunked, encode_chunked, ChunkMeta, ChunkedEncoded, DEFAULT_CHUNK_SYMBOLS,
+};
 pub use codebook::{Codebook, DecodeNode};
 pub use cpu_decoder::{count_codewords_in_range, decode_flat, decode_from_bit};
 pub use encoder::{encode_flat, encode_flat_with_offsets, FlatEncoded};
@@ -53,4 +55,6 @@ pub use selfsync::{
     decode_subsequence, reference_sync_states, subsequences_until_sync, sync_distance_bits,
     SubseqSync,
 };
-pub use tree::{code_lengths, expected_length, kraft_sum, length_limited_code_lengths, MAX_CODE_LEN};
+pub use tree::{
+    code_lengths, expected_length, kraft_sum, length_limited_code_lengths, MAX_CODE_LEN,
+};

@@ -67,8 +67,18 @@ pub fn reference_sync_states(
     let mut start = 0u64;
     for i in 0..num_subseqs {
         let boundary = ((i as u64) + 1) * subseq_bits;
-        let (end, count) = decode_subsequence(codebook, reader, start, boundary.min(stream_end), stream_end);
-        out.push(SubseqSync { start_bit: start, end_bit: end, num_codewords: count });
+        let (end, count) = decode_subsequence(
+            codebook,
+            reader,
+            start,
+            boundary.min(stream_end),
+            stream_end,
+        );
+        out.push(SubseqSync {
+            start_bit: start,
+            end_bit: end,
+            num_codewords: count,
+        });
         start = end;
     }
     out
@@ -93,7 +103,13 @@ pub fn subsequences_until_sync(
     let mut idx = subseq_index;
     loop {
         let boundary = ((idx as u64) + 1) * subseq_bits;
-        let (end, _count) = decode_subsequence(codebook, reader, start, boundary.min(stream_end), stream_end);
+        let (end, _count) = decode_subsequence(
+            codebook,
+            reader,
+            start,
+            boundary.min(stream_end),
+            stream_end,
+        );
         decoded += 1;
         idx += 1;
         if idx >= reference.len() || end >= stream_end {
@@ -174,8 +190,12 @@ mod tests {
         let symbols = quantlike_symbols(5_000);
         let cb = Codebook::from_symbols(&symbols, 1024);
         let enc = encode_flat_with_offsets(&cb, &symbols);
-        let boundaries: std::collections::BTreeSet<u64> =
-            enc.symbol_bit_offsets.clone().unwrap().into_iter().collect();
+        let boundaries: std::collections::BTreeSet<u64> = enc
+            .symbol_bit_offsets
+            .clone()
+            .unwrap()
+            .into_iter()
+            .collect();
         let reader = BitReader::new(&enc.units, enc.bit_len);
         let states = reference_sync_states(&cb, &reader, 128, enc.bit_len);
         for s in &states {
@@ -191,8 +211,12 @@ mod tests {
         let symbols = quantlike_symbols(50_000);
         let cb = Codebook::from_symbols(&symbols, 1024);
         let enc = encode_flat_with_offsets(&cb, &symbols);
-        let boundaries: std::collections::BTreeSet<u64> =
-            enc.symbol_bit_offsets.clone().unwrap().into_iter().collect();
+        let boundaries: std::collections::BTreeSet<u64> = enc
+            .symbol_bit_offsets
+            .clone()
+            .unwrap()
+            .into_iter()
+            .collect();
         let reader = BitReader::new(&enc.units, enc.bit_len);
 
         let mut total = 0u64;
@@ -205,7 +229,11 @@ mod tests {
         }
         assert!(samples > 20);
         let avg = total as f64 / samples as f64;
-        assert!(avg < 128.0, "average sync distance {} bits is unexpectedly large", avg);
+        assert!(
+            avg < 128.0,
+            "average sync distance {} bits is unexpectedly large",
+            avg
+        );
     }
 
     #[test]
@@ -233,6 +261,9 @@ mod tests {
         let reader = BitReader::new(&enc.units, enc.bit_len);
         let states = reference_sync_states(&cb, &reader, 128, enc.bit_len);
         // Subsequence 0 always starts aligned.
-        assert_eq!(subsequences_until_sync(&cb, &reader, &states, 0, 128, enc.bit_len), 1);
+        assert_eq!(
+            subsequences_until_sync(&cb, &reader, &states, 0, 128, enc.bit_len),
+            1
+        );
     }
 }

@@ -147,7 +147,11 @@ pub fn length_limited_code_lengths(freq: &FrequencyTable, max_len: u8) -> Vec<u8
 /// Checks the Kraft inequality for a set of code lengths: a prefix-free code with these
 /// lengths exists iff `sum(2^-len) <= 1` (equality for a complete/optimal code).
 pub fn kraft_sum(lengths: &[u8]) -> f64 {
-    lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum()
+    lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 2f64.powi(-(l as i32)))
+        .sum()
 }
 
 /// Expected code length in bits per symbol under the given frequencies.

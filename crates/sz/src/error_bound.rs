@@ -47,6 +47,28 @@ impl ErrorBound {
     pub fn is_relative(&self) -> bool {
         matches!(self, ErrorBound::Relative(_))
     }
+
+    /// Stable `(mode tag, value)` pair used by serialized archive formats
+    /// (0 = absolute, 1 = relative).
+    pub fn wire_parts(&self) -> (u8, f64) {
+        match *self {
+            ErrorBound::Absolute(v) => (0, v),
+            ErrorBound::Relative(v) => (1, v),
+        }
+    }
+
+    /// Inverse of [`ErrorBound::wire_parts`]; `None` for unknown tags or non-finite
+    /// values (which can only come from a corrupted archive).
+    pub fn from_wire_parts(tag: u8, value: f64) -> Option<ErrorBound> {
+        if !value.is_finite() {
+            return None;
+        }
+        match tag {
+            0 => Some(ErrorBound::Absolute(value)),
+            1 => Some(ErrorBound::Relative(value)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

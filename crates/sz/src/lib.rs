@@ -43,8 +43,7 @@ pub mod stats;
 pub use error_bound::ErrorBound;
 pub use lorenzo::{dequantize, quantize, Outlier, Quantized};
 pub use pipeline::{
-    compress, decompress, decompress_with_transfer, outlier_scatter_time,
-    reconstruct_kernel_time, roundtrip, Compressed, DecompressStats, Decompressed, SzConfig,
-    DEFAULT_ALPHABET_SIZE,
+    compress, decompress, decompress_with_transfer, outlier_scatter_time, reconstruct_kernel_time,
+    roundtrip, Compressed, DecompressStats, Decompressed, SzConfig, DEFAULT_ALPHABET_SIZE,
 };
 pub use stats::{max_abs_error, psnr, verify_error_bound};

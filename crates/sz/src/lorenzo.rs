@@ -105,7 +105,10 @@ fn lorenzo_predict(q: &[i64], coord: &[usize], extents: &[usize], strides: &[usi
 /// quantization bins (1024 in cuSZ by default).
 pub fn quantize(data: &[f32], dims: Dims, step: f64, alphabet_size: usize) -> Quantized {
     assert!(step > 0.0, "quantization step must be positive");
-    assert!(alphabet_size >= 4 && alphabet_size <= 65536, "alphabet size out of range");
+    assert!(
+        (4..=65536).contains(&alphabet_size),
+        "alphabet size out of range"
+    );
     assert_eq!(dims.len(), data.len(), "dims do not match data length");
 
     let radius = (alphabet_size / 2) as i64;
@@ -114,7 +117,10 @@ pub fn quantize(data: &[f32], dims: Dims, step: f64, alphabet_size: usize) -> Qu
     let ndim = extents.len();
 
     // Step 1: pre-quantization.
-    let prequant: Vec<i64> = data.iter().map(|&v| (v as f64 / step).round() as i64).collect();
+    let prequant: Vec<i64> = data
+        .iter()
+        .map(|&v| (v as f64 / step).round() as i64)
+        .collect();
 
     // Step 2: Lorenzo prediction + residual coding.
     let mut codes = vec![0u16; data.len()];
@@ -132,11 +138,20 @@ pub fn quantize(data: &[f32], dims: Dims, step: f64, alphabet_size: usize) -> Qu
             codes[idx] = (residual + radius) as u16;
         } else {
             codes[idx] = radius as u16; // placeholder: decoded as residual 0, then patched.
-            outliers.push(Outlier { index: idx as u64, prequant: prequant[idx] });
+            outliers.push(Outlier {
+                index: idx as u64,
+                prequant: prequant[idx],
+            });
         }
     }
 
-    Quantized { codes, outliers, alphabet_size, step, dims }
+    Quantized {
+        codes,
+        outliers,
+        alphabet_size,
+        step,
+        dims,
+    }
 }
 
 /// Reconstructs the field from quantization codes and outliers. The result satisfies the
@@ -157,7 +172,10 @@ pub fn dequantize(q: &Quantized) -> Vec<f32> {
             rem /= extents[d];
         }
         let pred = lorenzo_predict(&prequant, &coord, &extents, &strides);
-        let is_outlier = outlier_iter.peek().map(|o| o.index == idx as u64).unwrap_or(false);
+        let is_outlier = outlier_iter
+            .peek()
+            .map(|o| o.index == idx as u64)
+            .unwrap_or(false);
         prequant[idx] = if is_outlier {
             outlier_iter.next().unwrap().prequant
         } else {
@@ -165,7 +183,10 @@ pub fn dequantize(q: &Quantized) -> Vec<f32> {
         };
     }
 
-    prequant.iter().map(|&p| (p as f64 * q.step) as f32).collect()
+    prequant
+        .iter()
+        .map(|&p| (p as f64 * q.step) as f32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -198,7 +219,11 @@ mod tests {
         assert!(q.outlier_ratio() < 0.01);
         // Smooth data should produce codes concentrated around the radius.
         let radius = 512u16;
-        let near = q.codes.iter().filter(|&&c| (c as i32 - radius as i32).abs() <= 8).count();
+        let near = q
+            .codes
+            .iter()
+            .filter(|&&c| (c as i32 - radius as i32).abs() <= 8)
+            .count();
         assert!(near as f64 > 0.9 * q.codes.len() as f64);
     }
 
@@ -232,7 +257,9 @@ mod tests {
     #[test]
     fn roundtrip_4d() {
         let dims = Dims::D4(4, 6, 8, 10);
-        let data: Vec<f32> = (0..dims.len()).map(|i| ((i as f32) * 0.013).cos()).collect();
+        let data: Vec<f32> = (0..dims.len())
+            .map(|i| ((i as f32) * 0.013).cos())
+            .collect();
         check_roundtrip(&data, dims, 1e-3, 1024);
     }
 
@@ -240,7 +267,13 @@ mod tests {
     fn noisy_data_respects_bound_and_produces_outliers_when_needed() {
         // Large jumps relative to the tiny alphabet force outliers.
         let data: Vec<f32> = (0..2000)
-            .map(|i| if i % 100 == 0 { 100.0 } else { (i as f32 * 0.001).sin() })
+            .map(|i| {
+                if i % 100 == 0 {
+                    100.0
+                } else {
+                    (i as f32 * 0.001).sin()
+                }
+            })
             .collect();
         let q = check_roundtrip(&data, Dims::D1(2000), 1e-4, 16);
         assert!(!q.outliers.is_empty());
@@ -260,7 +293,11 @@ mod tests {
         let qr = quantize(&rough, Dims::D1(20_000), 2e-3, 1024);
         let spread = |q: &Quantized| {
             let mean = 512.0;
-            q.codes.iter().map(|&c| (c as f64 - mean).abs()).sum::<f64>() / q.codes.len() as f64
+            q.codes
+                .iter()
+                .map(|&c| (c as f64 - mean).abs())
+                .sum::<f64>()
+                / q.codes.len() as f64
         };
         assert!(spread(&qs) < spread(&qr));
     }

@@ -168,7 +168,8 @@ pub fn reconstruct_kernel_time(gpu: &Gpu, num_elements: usize) -> f64 {
     let cfg = gpu.config();
     let traffic_bytes = num_elements as f64 * 14.0;
     let mem_time = traffic_bytes / (cfg.mem_bandwidth_gbps * 1e9);
-    let compute_cycles = num_elements as f64 * 8.0 / (cfg.num_sms as f64 * cfg.issue_slots_per_sm as f64);
+    let compute_cycles =
+        num_elements as f64 * 8.0 / (cfg.num_sms as f64 * cfg.issue_slots_per_sm as f64);
     let compute_time = cfg.cycles_to_seconds(compute_cycles);
     mem_time.max(compute_time) + 2.0 * cfg.kernel_launch_overhead_us * 1e-6
 }
@@ -196,8 +197,11 @@ fn decompress_inner(gpu: &Gpu, c: &Compressed, include_transfer: bool) -> Decomp
 
     let reconstruct_seconds = reconstruct_kernel_time(gpu, data.len());
     let outlier_scatter_seconds = outlier_scatter_time(gpu, c.outliers.len());
-    let h2d_transfer_seconds =
-        transfer_time_s(gpu.config(), c.compressed_bytes(), TransferDirection::HostToDevice);
+    let h2d_transfer_seconds = transfer_time_s(
+        gpu.config(),
+        c.compressed_bytes(),
+        TransferDirection::HostToDevice,
+    );
 
     let mut total_seconds =
         decode_result.timings.total_seconds() + reconstruct_seconds + outlier_scatter_seconds;
@@ -265,7 +269,11 @@ mod tests {
         for decoder in DecoderKind::all() {
             let config = SzConfig::paper_default(decoder);
             let (compressed, decompressed) = roundtrip(&g, &field, &config);
-            assert!(compressed.overall_compression_ratio() > 1.0, "{:?}", decoder);
+            assert!(
+                compressed.overall_compression_ratio() > 1.0,
+                "{:?}",
+                decoder
+            );
             assert!(decompressed.stats.total_seconds > 0.0);
         }
     }
@@ -279,7 +287,10 @@ mod tests {
             let config = SzConfig::paper_default(DecoderKind::CuszBaseline);
             roundtrip(&g, &field, &config).1.data
         };
-        for decoder in [DecoderKind::OptimizedSelfSync, DecoderKind::OptimizedGapArray] {
+        for decoder in [
+            DecoderKind::OptimizedSelfSync,
+            DecoderKind::OptimizedGapArray,
+        ] {
             let config = SzConfig::paper_default(decoder);
             let (_, d) = roundtrip(&g, &field, &config);
             assert_eq!(d.data, reference, "{:?} reconstruction differs", decoder);
@@ -317,8 +328,11 @@ mod tests {
         assert!(with.stats.total_seconds > without.stats.total_seconds);
         assert_eq!(with.data, without.data);
         assert!(
-            with.stats.overall_throughput_gbs(compressed.original_bytes())
-                < without.stats.overall_throughput_gbs(compressed.original_bytes())
+            with.stats
+                .overall_throughput_gbs(compressed.original_bytes())
+                < without
+                    .stats
+                    .overall_throughput_gbs(compressed.original_bytes())
         );
     }
 

@@ -17,10 +17,13 @@ pub fn max_abs_error(original: &[f32], reconstructed: &[f32]) -> f64 {
 /// itself is enforced in exact arithmetic by the quantizer).
 pub fn verify_error_bound(original: &[f32], reconstructed: &[f32], bound: f64) -> Option<usize> {
     assert_eq!(original.len(), reconstructed.len());
-    original.iter().zip(reconstructed.iter()).position(|(&a, &b)| {
-        let tolerance = bound * (1.0 + 1e-4) + a.abs() as f64 * 1e-6 + 1e-9;
-        (a as f64 - b as f64).abs() > tolerance
-    })
+    original
+        .iter()
+        .zip(reconstructed.iter())
+        .position(|(&a, &b)| {
+            let tolerance = bound * (1.0 + 1e-4) + a.abs() as f64 * 1e-6 + 1e-9;
+            (a as f64 - b as f64).abs() > tolerance
+        })
 }
 
 /// Peak signal-to-noise ratio in dB, using the original data's value range as the peak.

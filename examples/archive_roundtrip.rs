@@ -1,0 +1,77 @@
+//! Archive round-trip: compress a synthetic field, persist it as an `HFZ1` archive
+//! file, read the file back, decompress on the simulated GPU, and verify the error
+//! bound — the full on-disk life cycle of one compressed field.
+//!
+//! Run with `cargo run --release --example archive_roundtrip`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use huffdec::container::{read_info, ArchiveReader, ArchiveWriter};
+use huffdec::core_decoders::DecoderKind;
+use huffdec::datasets::{dataset_by_name, generate};
+use huffdec::gpu_sim::Gpu;
+use huffdec::sz::{compress, decompress, verify_error_bound, SzConfig};
+
+fn main() {
+    // 1. A synthetic stand-in for one Nyx cosmology field.
+    let spec = dataset_by_name("Nyx").expect("Nyx is a registered dataset");
+    let field = generate(&spec, 500_000, 7);
+    println!(
+        "field: {} ({} elements, {:.1} MiB)",
+        field.name,
+        field.len(),
+        field.bytes() as f64 / 1048576.0
+    );
+
+    // 2. Compress at the paper's relative error bound, targeting the optimized
+    //    gap-array decoder.
+    let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
+    let compressed = compress(&field, &config);
+
+    // 3. Write the archive to disk.
+    let path = std::env::temp_dir().join("huffdec_archive_roundtrip.hfz");
+    let file = File::create(&path).expect("create archive file");
+    let mut writer = ArchiveWriter::new(BufWriter::new(file));
+    let written = writer
+        .write_compressed(&compressed)
+        .expect("serialize archive");
+    writer.into_inner().expect("flush archive");
+    println!(
+        "archive: {} ({} bytes, {:.2}x overall)",
+        path.display(),
+        written,
+        field.bytes() as f64 / written as f64
+    );
+
+    // 4. Inspect the stored layout.
+    let file = File::open(&path).expect("open archive");
+    let info = read_info(&mut BufReader::new(file)).expect("inspect archive");
+    println!("{}", info);
+
+    // 5. Read it back and decompress on the simulated V100.
+    let file = File::open(&path).expect("open archive");
+    let mut reader = ArchiveReader::new(BufReader::new(file));
+    let restored = reader
+        .read_archive()
+        .expect("read archive")
+        .into_field()
+        .expect("field archive");
+    let gpu = Gpu::v100();
+    let decompressed = decompress(&gpu, &restored);
+
+    // 6. The reconstruction from disk must honour the error bound against the original.
+    let bound = config.error_bound.to_absolute(field.range_span() as f64);
+    assert!(
+        verify_error_bound(&field.data, &decompressed.data, bound).is_none(),
+        "error bound violated after the on-disk round-trip"
+    );
+    println!(
+        "round-trip ok: {} elements within |error| <= {:.3e}; simulated decompression {:.3} ms",
+        decompressed.data.len(),
+        bound,
+        decompressed.stats.total_seconds * 1e3
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

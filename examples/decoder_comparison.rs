@@ -13,7 +13,9 @@ use huffdec::gpu_sim::Gpu;
 use huffdec::sz::{quantize, DEFAULT_ALPHABET_SIZE};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "CESM".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CESM".to_string());
     let spec = dataset_by_name(&name).unwrap_or_else(|| panic!("unknown dataset '{}'", name));
     let field = generate(&spec, 1_500_000, 7);
     let gpu = Gpu::v100();

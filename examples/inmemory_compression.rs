@@ -29,7 +29,10 @@ fn main() {
         let field = generate_with_dims(&spec, Dims::D1(BLOCK_ELEMENTS), 1000 + block_id as u64);
         original_bytes += field.bytes();
         let baseline = compress(&field, &SzConfig::paper_default(DecoderKind::CuszBaseline));
-        let optimized = compress(&field, &SzConfig::paper_default(DecoderKind::OptimizedGapArray));
+        let optimized = compress(
+            &field,
+            &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+        );
         archives.push((baseline, optimized));
     }
     let compressed_bytes: u64 = archives.iter().map(|(_, o)| o.compressed_bytes()).sum();

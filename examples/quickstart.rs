@@ -12,7 +12,12 @@ fn main() {
     // 1. A synthetic stand-in for one HACC field (~2 million particles).
     let spec = dataset_by_name("HACC").expect("HACC is a registered dataset");
     let field = generate(&spec, 2_000_000, 42);
-    println!("field: {} ({} elements, {:.1} MiB)", field.name, field.len(), field.bytes() as f64 / 1048576.0);
+    println!(
+        "field: {} ({} elements, {:.1} MiB)",
+        field.name,
+        field.len(),
+        field.bytes() as f64 / 1048576.0
+    );
 
     // 2. Compress with a point-wise relative error bound of 1e-3 (the paper's setting),
     //    targeting the optimized gap-array decoder.
@@ -37,13 +42,21 @@ fn main() {
         verify_error_bound(&field.data, &decompressed.data, eb_abs).is_none(),
         "error bound violated"
     );
-    println!("error bound 1e-3 (abs {:.3e}) verified on all {} elements", eb_abs, field.len());
+    println!(
+        "error bound 1e-3 (abs {:.3e}) verified on all {} elements",
+        eb_abs,
+        field.len()
+    );
 
     println!("\nsimulated decompression breakdown:");
     for (name, phase) in decompressed.stats.huffman.phases() {
         println!("  {:<18} {:>10.3} ms", name, phase.seconds * 1e3);
     }
-    println!("  {:<18} {:>10.3} ms", "lorenzo reconstruct", decompressed.stats.reconstruct_seconds * 1e3);
+    println!(
+        "  {:<18} {:>10.3} ms",
+        "lorenzo reconstruct",
+        decompressed.stats.reconstruct_seconds * 1e3
+    );
     println!(
         "  total {:.3} ms -> {:.1} GB/s of uncompressed data",
         decompressed.stats.total_seconds * 1e3,

@@ -2,6 +2,7 @@
 //! examples and integration tests can use a single dependency.
 pub use datasets;
 pub use gpu_sim;
+pub use huffdec_container as container;
 pub use huffdec_core as core_decoders;
 pub use huffman;
 pub use sz;

@@ -1,0 +1,62 @@
+//! Facade-level integration of the `HFZ1` container with the full pipeline: archives
+//! written through the streaming writer reconstruct bit-exactly through the streaming
+//! reader, including several archives concatenated on one stream.
+
+use huffdec::container::{ArchiveReader, ArchiveWriter};
+use huffdec::core_decoders::DecoderKind;
+use huffdec::datasets::{all_datasets, generate};
+use huffdec::gpu_sim::{Gpu, GpuConfig};
+use huffdec::sz::{compress, decompress, SzConfig};
+
+fn gpu() -> Gpu {
+    Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+}
+
+#[test]
+fn streamed_archives_concatenate_and_reconstruct() {
+    // Write one archive per dataset back-to-back on a single stream, then read them all
+    // back in order and check each reconstruction against its in-memory path.
+    let gpu = gpu();
+    let mut stream = Vec::new();
+    let mut writer = ArchiveWriter::new(&mut stream);
+    let mut originals = Vec::new();
+    for (i, spec) in all_datasets().into_iter().enumerate() {
+        let field = generate(&spec, 12_000, 500 + i as u64);
+        let decoder = DecoderKind::all()[i % DecoderKind::all().len()];
+        let compressed = compress(&field, &SzConfig::paper_default(decoder));
+        writer.write_compressed(&compressed).expect("write archive");
+        originals.push(compressed);
+    }
+    writer.into_inner().expect("flush");
+
+    let mut reader = ArchiveReader::new(stream.as_slice());
+    for original in &originals {
+        let restored = reader
+            .read_archive()
+            .expect("read archive")
+            .into_field()
+            .expect("field archive");
+        assert_eq!(restored.decoder, original.decoder);
+        assert_eq!(restored.dims, original.dims);
+        assert_eq!(
+            decompress(&gpu, &restored).data,
+            decompress(&gpu, original).data,
+            "archive reconstruction diverged for {:?}",
+            original.decoder
+        );
+    }
+}
+
+#[test]
+fn archive_size_accounting_matches_stream_position() {
+    let field = generate(&all_datasets()[0], 20_000, 3);
+    let compressed = compress(
+        &field,
+        &SzConfig::paper_default(DecoderKind::OptimizedSelfSync),
+    );
+    let mut stream = Vec::new();
+    let mut writer = ArchiveWriter::new(&mut stream);
+    let written = writer.write_compressed(&compressed).expect("write");
+    writer.into_inner().expect("flush");
+    assert_eq!(written, stream.len() as u64);
+}

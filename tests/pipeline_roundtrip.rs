@@ -24,7 +24,11 @@ fn every_dataset_roundtrips_within_the_error_bound() {
             "{}: error bound violated",
             spec.name
         );
-        assert!(compressed.overall_compression_ratio() > 1.0, "{}", spec.name);
+        assert!(
+            compressed.overall_compression_ratio() > 1.0,
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -40,7 +44,11 @@ fn all_decoders_produce_identical_reconstructions() {
         let decompressed = decompress(&gpu, &compressed);
         match &reference {
             None => reference = Some(decompressed.data),
-            Some(r) => assert_eq!(&decompressed.data, r, "{:?} reconstruction differs", decoder),
+            Some(r) => assert_eq!(
+                &decompressed.data, r,
+                "{:?} reconstruction differs",
+                decoder
+            ),
         }
     }
 }
@@ -61,7 +69,10 @@ fn tighter_bounds_give_better_fidelity_and_lower_ratio() {
         let compressed = compress(&field, &config);
         let decompressed = decompress(&gpu, &compressed);
         let psnr = huffdec::sz::psnr(&field.data, &decompressed.data);
-        assert!(psnr > last_psnr, "PSNR should improve as the bound tightens");
+        assert!(
+            psnr > last_psnr,
+            "PSNR should improve as the bound tightens"
+        );
         assert!(compressed.huffman_compression_ratio() < last_cr);
         last_psnr = psnr;
         last_cr = compressed.huffman_compression_ratio();
