@@ -30,7 +30,8 @@ fn main() {
     for &eb in &[1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
         let payload = w.compress(DecoderKind::OriginalSelfSync, eb);
         let cr = payload.huffman_compression_ratio();
-        let ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &payload.payload);
+        let ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &payload.payload)
+            .expect("payload matches decoder");
         let ss_gbs = w.norm * ss.timings.throughput_gbs(bytes);
 
         let eb_abs = eb * w.field.range_span() as f64;

@@ -50,7 +50,7 @@ fn main() {
                 decoder,
             };
             let compressed = compress(&w.field, &config);
-            let d = decompress(&w.gpu, &compressed);
+            let d = decompress(&w.gpu, &compressed).expect("payload matches decoder");
             if i == 0 {
                 huffman_share = d.stats.huffman.total_seconds() / d.stats.total_seconds;
             }

@@ -46,7 +46,7 @@ fn main() {
                 decoder,
             };
             let compressed = compress(&w.field, &config);
-            let d = decompress_with_transfer(&w.gpu, &compressed);
+            let d = decompress_with_transfer(&w.gpu, &compressed).expect("payload matches decoder");
             if decoder == DecoderKind::OptimizedGapArray {
                 transfer_share = d.stats.h2d_transfer_seconds / d.stats.total_seconds;
             }

@@ -41,7 +41,8 @@ fn main() {
                 decoder,
             };
             let compressed = compress(&field, &config);
-            let result = decode(&gpu, decoder, &compressed.payload);
+            let result =
+                decode(&gpu, decoder, &compressed.payload).expect("payload matches decoder");
             gbs.push(norm * result.timings.throughput_gbs(bytes));
         }
         table.push_row(vec![

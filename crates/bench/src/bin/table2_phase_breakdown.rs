@@ -61,11 +61,12 @@ fn main() {
             let bytes = w.quant_code_bytes();
 
             let baseline_payload = w.compress(DecoderKind::CuszBaseline, rel_eb);
-            let baseline = decode(&w.gpu, DecoderKind::CuszBaseline, &baseline_payload.payload);
+            let baseline = decode(&w.gpu, DecoderKind::CuszBaseline, &baseline_payload.payload)
+                .expect("payload matches decoder");
             let baseline_gbs = w.norm * baseline.timings.throughput_gbs(bytes);
 
             let payload = w.compress(kind, rel_eb);
-            let result = decode(&w.gpu, kind, &payload.payload);
+            let result = decode(&w.gpu, kind, &payload.payload).expect("payload matches decoder");
             let overall = w.norm * result.timings.throughput_gbs(bytes);
 
             let mut row = vec![

@@ -103,19 +103,23 @@ fn main() {
 
         // Baseline.
         let base_payload = w.compress(DecoderKind::CuszBaseline, rel_eb);
-        let base = decode(&w.gpu, DecoderKind::CuszBaseline, &base_payload.payload);
+        let base = decode(&w.gpu, DecoderKind::CuszBaseline, &base_payload.payload)
+            .expect("payload matches decoder");
         let base_gbs = w.norm * base.timings.throughput_gbs(bytes);
 
         // Original self-sync.
         let ss_payload = w.compress(DecoderKind::OriginalSelfSync, rel_eb);
-        let ori_ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &ss_payload.payload);
+        let ori_ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &ss_payload.payload)
+            .expect("payload matches decoder");
         let ori_ss_gbs = w.norm * ori_ss.timings.throughput_gbs(bytes);
 
         // Optimized self-sync.
         let opt_ss_timings = if direct_write_ablation {
             decode_direct_ablation(&w, &ss_payload.payload, true)
         } else {
-            decode(&w.gpu, DecoderKind::OptimizedSelfSync, &ss_payload.payload).timings
+            decode(&w.gpu, DecoderKind::OptimizedSelfSync, &ss_payload.payload)
+                .expect("payload matches decoder")
+                .timings
         };
         let opt_ss_gbs = w.norm * opt_ss_timings.throughput_gbs(bytes);
 
@@ -136,7 +140,9 @@ fn main() {
         let opt_gap_timings = if direct_write_ablation {
             decode_direct_ablation(&w, &gap_payload.payload, false)
         } else {
-            decode(&w.gpu, DecoderKind::OptimizedGapArray, &gap_payload.payload).timings
+            decode(&w.gpu, DecoderKind::OptimizedGapArray, &gap_payload.payload)
+                .expect("payload matches decoder")
+                .timings
         };
         let opt_gap_gbs = w.norm * opt_gap_timings.throughput_gbs(bytes);
 

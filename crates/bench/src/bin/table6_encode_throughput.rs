@@ -1,0 +1,96 @@
+//! Table VI (extension) — encoder throughput of the simulated-GPU parallel encode
+//! pipeline.
+//!
+//! The paper evaluates decoders only; cuSZ and "Revisiting Huffman Coding" (Tian et al.)
+//! make the encode side massively parallel, and this harness measures that pipeline on
+//! the same methodology as the decode tables: for five paper datasets (relative error
+//! bound 1e-3) and all three stream formats (chunked baseline, flat self-sync, flat +
+//! gap array), it reports the simulated per-phase encode times — histogram /
+//! tree+codebook / offset prefix-sum / scatter — and the end-to-end encoder throughput
+//! (GB/s relative to the quantization-code bytes, full-V100-normalized).
+//!
+//! The parallel encoder's output is bit-identical to the single-threaded host encoder
+//! (`compress_for`); this binary asserts that on every run, so the numbers always
+//! describe a correct encode.
+
+use datasets::dataset_by_name;
+use huffdec_bench::{fmt_gbs, geomean, workload_for, Table};
+use huffdec_core::{compress_on, CompressedPayload, DecoderKind};
+use sz::{quantize, DEFAULT_ALPHABET_SIZE};
+
+/// The datasets covered by the encode table.
+const DATASETS: [&str; 5] = ["HACC", "CESM", "Nyx", "RTM", "GAMESS"];
+
+/// The three stream formats, keyed by a decoder that consumes each.
+const FORMATS: [(DecoderKind, &str); 3] = [
+    (DecoderKind::CuszBaseline, "chunked"),
+    (DecoderKind::OptimizedSelfSync, "flat"),
+    (DecoderKind::OptimizedGapArray, "flat+gap"),
+];
+
+fn assert_bit_identical(kind: DecoderKind, parallel: &CompressedPayload, symbols: &[u16]) {
+    // `CompressedPayload` equality is bit-level (units, metadata, codebook, gap array).
+    let serial = huffdec_core::compress_for(kind, symbols, DEFAULT_ALPHABET_SIZE);
+    assert!(
+        *parallel == serial,
+        "parallel encode diverged from the host encoder ({:?})",
+        kind
+    );
+}
+
+fn main() {
+    let rel_eb = 1e-3;
+    let mut table = Table::new(
+        "Table VI: encoder throughput (GB/s, simulated, V100-normalized) per stream format",
+        &[
+            "dataset",
+            "format",
+            "histogram ms",
+            "tree+codebook ms",
+            "offsets ms",
+            "scatter ms",
+            "total ms",
+            "encode GB/s",
+        ],
+    );
+
+    let mut per_format: Vec<Vec<f64>> = vec![Vec::new(); FORMATS.len()];
+    for name in DATASETS {
+        let spec = dataset_by_name(name).expect("paper dataset");
+        let w = workload_for(&spec);
+        let bytes = w.quant_code_bytes();
+        let eb_abs = rel_eb * w.field.range_span() as f64;
+        let q = quantize(
+            &w.field.data,
+            w.field.dims,
+            2.0 * eb_abs,
+            DEFAULT_ALPHABET_SIZE,
+        );
+
+        for (f, (kind, format)) in FORMATS.iter().enumerate() {
+            let (payload, phases) = compress_on(&w.gpu, *kind, &q.codes, DEFAULT_ALPHABET_SIZE);
+            assert_bit_identical(*kind, &payload, &q.codes);
+            let gbs = w.norm * phases.throughput_gbs(bytes);
+            per_format[f].push(gbs);
+            table.push_row(vec![
+                spec.name.to_string(),
+                format.to_string(),
+                format!("{:.3}", phases.histogram.seconds * 1e3),
+                format!("{:.3}", phases.codebook.seconds * 1e3),
+                format!("{:.3}", phases.offsets.seconds * 1e3),
+                format!("{:.3}", phases.scatter.seconds * 1e3),
+                format!("{:.3}", phases.total_seconds() * 1e3),
+                fmt_gbs(gbs),
+            ]);
+        }
+    }
+
+    table.print();
+    for (f, (_, format)) in FORMATS.iter().enumerate() {
+        println!(
+            "geomean encode throughput ({}): {:.1} GB/s",
+            format,
+            geomean(&per_format[f])
+        );
+    }
+}

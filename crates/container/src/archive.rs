@@ -36,7 +36,7 @@ impl Archive {
     /// The decoder the archive targets.
     pub fn decoder(&self) -> DecoderKind {
         match self {
-            Archive::Field(c) => c.decoder,
+            Archive::Field(c) => c.decoder(),
             Archive::Payload { decoder, .. } => *decoder,
         }
     }
@@ -83,12 +83,12 @@ impl<W: Write> ArchiveWriter<W> {
             });
         }
         let header = Header {
-            decoder: compressed.decoder,
-            alphabet_size: compressed.alphabet_size as u32,
+            decoder: compressed.decoder(),
+            alphabet_size: compressed.alphabet_size() as u32,
             field: Some(meta),
         };
         let mut total =
-            self.write_header_and_payload(&header, &compressed.payload, compressed.decoder)?;
+            self.write_header_and_payload(&header, &compressed.payload, compressed.decoder())?;
         total += write_section(
             &mut self.inner,
             SectionKind::Outliers,
@@ -322,8 +322,6 @@ impl<R: Read> ArchiveReader<R> {
                     outliers,
                     dims: meta.dims,
                     step: meta.step,
-                    alphabet_size: header.alphabet_size as usize,
-                    decoder: header.decoder,
                     config,
                 }))
             }

@@ -17,9 +17,9 @@ use std::process::ExitCode;
 
 use datasets::{dataset_by_name, generate, Dims, Field};
 use gpu_sim::{Gpu, GpuConfig};
-use huffdec_container::{read_info, ArchiveReader, ArchiveWriter};
+use huffdec_container::{read_info, ArchiveReader, ArchiveWriter, ContainerError};
 use huffdec_core::DecoderKind;
-use sz::{compress, decompress, verify_error_bound, ErrorBound, SzConfig};
+use sz::{compress_on, decompress, verify_error_bound, ErrorBound, SzConfig};
 
 /// `println!` that exits quietly instead of panicking when stdout has been closed
 /// (e.g. the output is piped into `head`).
@@ -225,12 +225,19 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
         return Err("--alphabet must be a power of two in 4..=65536".to_string());
     }
 
+    if field.is_empty() {
+        return Err("input field is empty; nothing to compress".to_string());
+    }
+
     let config = SzConfig {
         error_bound,
         alphabet_size,
         decoder,
     };
-    let compressed = compress(&field, &config);
+    // Encode on the simulated GPU (bit-identical to the host encoder) so the encoder
+    // throughput can be reported alongside the archive.
+    let gpu = cli_gpu();
+    let (compressed, stats) = compress_on(&gpu, &field, &config);
 
     let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
     let mut writer = ArchiveWriter::new(BufWriter::new(file));
@@ -247,6 +254,20 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
         output,
         written,
         field.bytes() as f64 / written as f64
+    );
+    let phases = stats
+        .encode
+        .phases()
+        .iter()
+        .map(|(name, p)| format!("{} {:.3} ms", name, p.seconds * 1e3))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    out!(
+        "encode: {:.3} ms simulated ({:.1} GB/s on quant codes, {:.1} GB/s overall) [{}]",
+        stats.encode.total_seconds() * 1e3,
+        stats.encode_throughput_gbs(compressed.quant_code_bytes()),
+        stats.overall_throughput_gbs(compressed.original_bytes()),
+        phases
     );
     let file = File::open(output).map_err(|e| format!("cannot reopen {}: {}", output, e))?;
     let info = read_info(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -272,7 +293,10 @@ fn cmd_decompress(rest: &[String]) -> Result<(), String> {
         .ok_or_else(|| "archive is payload-only; nothing to reconstruct".to_string())?;
 
     let gpu = cli_gpu();
-    let decompressed = decompress(&gpu, &compressed);
+    // A CRC-valid archive whose payload disagrees with its decoder tag surfaces here as
+    // a typed error, reported through `ContainerError` like any other invalid archive.
+    let decompressed =
+        decompress(&gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
 
     let out = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
     let mut out = BufWriter::new(out);
@@ -380,7 +404,8 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     // Reconstruction pass: decode and check the error bound against the original when
     // one is provided.
     let gpu = cli_gpu();
-    let decompressed = decompress(&gpu, &compressed);
+    let decompressed =
+        decompress(&gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
     out!(
         "decode:    ok ({} elements reconstructed)",
         decompressed.data.len()

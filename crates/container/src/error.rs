@@ -130,6 +130,15 @@ impl From<std::io::Error> for ContainerError {
     }
 }
 
+impl From<huffdec_core::DecodeError> for ContainerError {
+    /// A decode-time payload/decoder mismatch surfaces as an invalid-archive error:
+    /// a CRC-valid archive whose section layout disagrees with its decoder tag must be
+    /// reported, not unwound through the stack.
+    fn from(e: huffdec_core::DecodeError) -> Self {
+        ContainerError::Invalid { reason: e.reason() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +178,15 @@ mod tests {
         let e: ContainerError = std::io::Error::other("disk on fire").into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn decode_error_maps_to_invalid() {
+        let e: ContainerError = huffdec_core::DecodeError::PayloadMismatch {
+            decoder: huffdec_core::DecoderKind::OptimizedGapArray,
+        }
+        .into();
+        assert!(matches!(e, ContainerError::Invalid { .. }));
+        assert!(e.to_string().contains("does not match"));
     }
 }

@@ -82,7 +82,10 @@
 //! let restored = huffdec_container::from_bytes(&bytes).unwrap();
 //!
 //! let gpu = Gpu::with_host_threads(gpu_sim::GpuConfig::test_tiny(), 2);
-//! assert_eq!(decompress(&gpu, &restored).data, decompress(&gpu, &compressed).data);
+//! assert_eq!(
+//!     decompress(&gpu, &restored).unwrap().data,
+//!     decompress(&gpu, &compressed).unwrap().data,
+//! );
 //! ```
 
 #![warn(missing_docs)]

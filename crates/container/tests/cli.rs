@@ -1,0 +1,119 @@
+//! End-to-end `hfz` CLI behaviour: degenerate inputs must surface as clean errors
+//! (exit code 1 + message), never as panics, and the compress path must report the
+//! simulated encoder throughput.
+
+use std::process::Command;
+
+fn hfz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hfz"))
+}
+
+#[test]
+fn zero_length_input_file_is_a_graceful_error() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("empty.f32");
+    std::fs::write(&input, b"").unwrap();
+    let output = dir.join("empty.hfz");
+
+    let result = hfz()
+        .args([
+            "compress",
+            "--input",
+            input.to_str().unwrap(),
+            "--dims",
+            "16",
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("hfz runs");
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("hfz:"),
+        "expected a clean CLI error, got: {}",
+        stderr
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "hfz must not panic on an empty input file: {}",
+        stderr
+    );
+    assert!(!output.exists(), "no archive should be written on error");
+}
+
+#[test]
+fn compress_reports_encoder_throughput() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-encode");
+    std::fs::create_dir_all(&dir).unwrap();
+    let output = dir.join("hacc.hfz");
+
+    let result = hfz()
+        .args([
+            "compress",
+            "--dataset",
+            "HACC",
+            "--elements",
+            "30000",
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("hfz runs");
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("encode:"), "stdout: {}", stdout);
+    assert!(stdout.contains("GB/s"), "stdout: {}", stdout);
+    for phase in ["histogram", "tree+codebook", "offset prefix-sum", "scatter"] {
+        assert!(
+            stdout.contains(phase),
+            "missing phase '{}': {}",
+            phase,
+            stdout
+        );
+    }
+}
+
+#[test]
+fn decompress_of_truncated_archive_is_a_graceful_error() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-trunc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let archive = dir.join("t.hfz");
+    let out = dir.join("t.f32");
+
+    // Produce a valid archive, then truncate it mid-section.
+    let ok = hfz()
+        .args([
+            "compress",
+            "--dataset",
+            "CESM",
+            "--elements",
+            "20000",
+            "--output",
+            archive.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(ok.success());
+    let bytes = std::fs::read(&archive).unwrap();
+    std::fs::write(&archive, &bytes[..bytes.len() / 2]).unwrap();
+
+    let result = hfz()
+        .args([
+            "decompress",
+            archive.to_str().unwrap(),
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+    assert!(stderr.contains("hfz:"), "stderr: {}", stderr);
+}

@@ -243,7 +243,7 @@ fn randomized_payload_roundtrip_across_all_decoders() {
             assert_eq!(alphabet_size, 1024);
             assert_eq!(restored.num_symbols(), symbols.len());
             // Decoding the re-read payload is bit-exact vs the original symbols.
-            let result = decode(&g, kind, &restored);
+            let result = decode(&g, kind, &restored).expect("payload matches decoder");
             assert_eq!(result.symbols, symbols, "case {} decoder {:?}", case, kind);
         }
     }
@@ -263,8 +263,8 @@ fn field_roundtrip_across_all_datasets_and_decoders() {
 
             // The reconstruction from the archive must be bit-exact against the
             // in-memory path and honour the error bound.
-            let from_memory = decompress(&g, &compressed);
-            let from_archive = decompress(&g, &restored);
+            let from_memory = decompress(&g, &compressed).unwrap();
+            let from_archive = decompress(&g, &restored).unwrap();
             assert_eq!(
                 from_archive.data, from_memory.data,
                 "{} / {:?}: archive path diverged",

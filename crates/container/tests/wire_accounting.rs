@@ -1,0 +1,67 @@
+//! The wire accounting mirrored in `huffdec_core::wire` (used by
+//! `Compressed::compressed_bytes` / `CompressedPayload::compressed_bytes` for Table IV
+//! ratios and Fig. 5 transfer costs) must match the `HFZ1` serialization byte for byte.
+//! Any drift between the formulas and the container layout fails here.
+
+use datasets::{dataset_by_name, generate};
+use huffdec_container::{payload_to_bytes, to_bytes};
+use huffdec_core::{compress_for, wire, DecoderKind};
+use sz::{compress, SzConfig};
+
+#[test]
+fn field_archive_size_matches_compressed_bytes_exactly() {
+    let mut seed = 7u64;
+    for name in ["HACC", "CESM", "Nyx", "RTM", "GAMESS"] {
+        let spec = dataset_by_name(name).unwrap();
+        for kind in DecoderKind::all() {
+            seed += 1;
+            let field = generate(&spec, 20_000, seed);
+            let compressed = compress(&field, &SzConfig::paper_default(kind));
+            let bytes = to_bytes(&compressed).unwrap();
+            assert_eq!(
+                compressed.compressed_bytes(),
+                bytes.len() as u64,
+                "{} / {:?}: accounted size diverges from the stored archive",
+                name,
+                kind
+            );
+        }
+    }
+}
+
+#[test]
+fn payload_archive_size_matches_payload_bytes_exactly() {
+    let symbols: Vec<u16> = (0..40_000u32)
+        .map(|i| (512 + ((i.wrapping_mul(2654435761) >> 22) % 24) as i32 - 12) as u16)
+        .collect();
+    for kind in DecoderKind::all() {
+        let payload = compress_for(kind, &symbols, 1024);
+        let bytes = payload_to_bytes(&payload, kind).unwrap();
+        // A payload-only archive is header + payload sections + end marker.
+        assert_eq!(
+            wire::ARCHIVE_HEADER + payload.compressed_bytes() + wire::END_SECTION,
+            bytes.len() as u64,
+            "{:?}: payload accounting diverges from the stored archive",
+            kind
+        );
+    }
+}
+
+#[test]
+fn accounting_tracks_outlier_count() {
+    // compressed_bytes must move with the stored outlier list, not a hardcoded stride.
+    let spec = dataset_by_name("EXAALT").unwrap();
+    let field = generate(&spec, 30_000, 3);
+    let compressed = compress(
+        &field,
+        &SzConfig::paper_default(DecoderKind::OptimizedSelfSync),
+    );
+    let with_outliers = compressed.compressed_bytes();
+    let mut trimmed = compressed.clone();
+    trimmed.outliers.clear();
+    assert_eq!(
+        with_outliers - trimmed.compressed_bytes(),
+        compressed.outliers.len() as u64 * 16,
+        "outlier accounting must be 16 bytes per stored outlier"
+    );
+}

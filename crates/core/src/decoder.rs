@@ -11,12 +11,14 @@
 //! [`crate::gap_decode::decode_original_gap8`] because it decodes a different (trimmed)
 //! symbol stream.
 
+use std::fmt;
+
 use gpu_sim::{DeviceBuffer, Gpu};
 use huffman::{encode_chunked, ChunkedEncoded, Codebook, DEFAULT_CHUNK_SYMBOLS};
 
 use crate::baseline::decode_baseline;
 use crate::decode_write::{run_decode_write, WriteStrategy};
-use crate::format::EncodedStream;
+use crate::format::{wire, EncodedStream};
 use crate::gap_decode::gap_count_symbols;
 use crate::output_index::compute_output_index;
 use crate::phases::{DecodeResult, PhaseBreakdown};
@@ -94,7 +96,10 @@ impl DecoderKind {
 }
 
 /// A compressed Huffman payload in whichever format a decoder consumes.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-level (units, metadata, codebook codewords, gap array), so
+/// `parallel == serial` is exactly the "bit-identical encoders" guarantee.
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompressedPayload {
     /// cuSZ's chunked format (baseline decoder).
     Chunked {
@@ -108,12 +113,14 @@ pub enum CompressedPayload {
 }
 
 impl CompressedPayload {
-    /// Compressed size in bytes (payload + codebook + metadata), used for compression
-    /// ratios (Table IV) and transfer modelling (Fig. 5).
+    /// Compressed size in bytes as the `HFZ1` container stores this payload (stream and
+    /// codebook sections with their framing and checksums, gap array included when
+    /// present), used for compression ratios (Table IV) and transfer modelling (Fig. 5).
     pub fn compressed_bytes(&self) -> u64 {
         match self {
             CompressedPayload::Chunked { encoded, codebook } => {
-                encoded.payload_bytes() + codebook.alphabet_size() as u64 + 32
+                wire::chunked_stream_section(encoded.chunks.len(), encoded.units.len())
+                    + wire::codebook_section(codebook.coded_symbols())
             }
             CompressedPayload::Flat(stream) => stream.compressed_bytes(),
         }
@@ -160,27 +167,71 @@ pub fn compress_for(kind: DecoderKind, symbols: &[u16], alphabet_size: usize) ->
     }
 }
 
+/// A decode request that cannot be executed. Unlike archive-level corruption (caught by
+/// the container's checksums and parsers), these defects describe structurally valid
+/// inputs handed to the wrong decoder, so they can surface even for CRC-valid archives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload's stream format does not match the requested decoder (a chunked
+    /// payload handed to a fine-grained decoder, a flat payload handed to the chunked
+    /// baseline, or a gap-array decoder given a stream without a gap array).
+    PayloadMismatch {
+        /// The decoder that was asked to run.
+        decoder: DecoderKind,
+    },
+}
+
+impl DecodeError {
+    /// A static description of the defect (used when mapping into container errors).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            DecodeError::PayloadMismatch { .. } => "payload format does not match the decoder",
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::PayloadMismatch { decoder } => {
+                write!(f, "payload format does not match decoder {:?}", decoder)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Decodes `payload` with the method `kind`, returning the symbols and the simulated
 /// per-phase timing breakdown.
 ///
-/// # Panics
-/// Panics if the payload format does not match the decoder (e.g. a chunked payload handed
-/// to a fine-grained decoder, or a gap-array decoder given a stream without a gap array).
-pub fn decode(gpu: &Gpu, kind: DecoderKind, payload: &CompressedPayload) -> DecodeResult {
+/// Returns [`DecodeError::PayloadMismatch`] when the payload's format does not match the
+/// decoder (e.g. a chunked payload handed to a fine-grained decoder, or a gap-array
+/// decoder given a stream without a gap array) instead of panicking — such payloads can
+/// reach this function from CRC-valid but inconsistent archives.
+pub fn decode(
+    gpu: &Gpu,
+    kind: DecoderKind,
+    payload: &CompressedPayload,
+) -> Result<DecodeResult, DecodeError> {
+    let mismatch = Err(DecodeError::PayloadMismatch { decoder: kind });
     match (kind, payload) {
         (DecoderKind::CuszBaseline, CompressedPayload::Chunked { encoded, codebook }) => {
-            decode_baseline(gpu, encoded, codebook)
+            Ok(decode_baseline(gpu, encoded, codebook))
         }
         (DecoderKind::OriginalSelfSync, CompressedPayload::Flat(stream)) => {
-            decode_original_self_sync(gpu, stream)
+            Ok(decode_original_self_sync(gpu, stream))
         }
         (DecoderKind::OptimizedSelfSync, CompressedPayload::Flat(stream)) => {
-            decode_optimized_self_sync(gpu, stream)
+            Ok(decode_optimized_self_sync(gpu, stream))
         }
         (DecoderKind::OptimizedGapArray, CompressedPayload::Flat(stream)) => {
-            decode_optimized_gap_array(gpu, stream)
+            if stream.gap_array.is_none() {
+                return mismatch;
+            }
+            Ok(decode_optimized_gap_array(gpu, stream))
         }
-        _ => panic!("payload format does not match decoder {:?}", kind),
+        _ => mismatch,
     }
 }
 
@@ -192,7 +243,7 @@ pub fn roundtrip(
     alphabet_size: usize,
 ) -> DecodeResult {
     let payload = compress_for(kind, symbols, alphabet_size);
-    decode(gpu, kind, &payload)
+    decode(gpu, kind, &payload).expect("compress_for produces a payload matching the decoder")
 }
 
 fn decode_original_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
@@ -354,11 +405,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match decoder")]
-    fn mismatched_payload_panics() {
+    fn mismatched_payload_is_a_typed_error() {
         let symbols = quant_symbols(5_000, 5);
-        let payload = compress_for(DecoderKind::CuszBaseline, &symbols, 1024);
-        let _ = decode(&gpu(), DecoderKind::OptimizedSelfSync, &payload);
+        let g = gpu();
+
+        // Chunked payload handed to every fine-grained decoder.
+        let chunked = compress_for(DecoderKind::CuszBaseline, &symbols, 1024);
+        for kind in [
+            DecoderKind::OriginalSelfSync,
+            DecoderKind::OptimizedSelfSync,
+            DecoderKind::OptimizedGapArray,
+        ] {
+            assert_eq!(
+                decode(&g, kind, &chunked).unwrap_err(),
+                DecodeError::PayloadMismatch { decoder: kind }
+            );
+        }
+
+        // Flat payload handed to the chunked baseline.
+        let flat = compress_for(DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        assert!(decode(&g, DecoderKind::CuszBaseline, &flat).is_err());
+
+        // Gap-array decoder given a stream without a gap array.
+        let err = decode(&g, DecoderKind::OptimizedGapArray, &flat).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::PayloadMismatch {
+                decoder: DecoderKind::OptimizedGapArray
+            }
+        );
+        assert!(!err.to_string().is_empty());
+        assert!(!err.reason().is_empty());
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! The simulated-GPU parallel encode pipeline.
+//!
+//! The host encoder ([`crate::decoder::compress_for`]) walks the symbol stream
+//! sequentially. cuSZ and "Revisiting Huffman Coding" (Tian et al.) instead encode on the
+//! GPU, and this module reproduces that pipeline on the `gpu-sim` primitives the decoders
+//! already use:
+//!
+//! 1. **histogram** — per-block privatized histograms merged by a reduction
+//!    ([`gpu_sim::primitives::device_histogram`]), producing the symbol frequencies;
+//! 2. **tree + codebook** — canonical codebook construction from the frequencies (the
+//!    alphabet is tiny, so this phase is launch-overhead dominated; its cost is charged
+//!    analytically);
+//! 3. **offsets** — a codeword-length kernel followed by a device-wide exclusive prefix
+//!    sum ([`gpu_sim::primitives::device_exclusive_prefix_sum`]) that assigns every
+//!    symbol its output bit offset (the canonical two-pass encode);
+//! 4. **scatter** — a parallel write of the codewords into the 32-bit unit stream. Each
+//!    thread *owns* a span of output units and gathers the codeword bits that land in
+//!    them (the gather formulation of the scatter: it needs no atomics, and blocks write
+//!    disjoint unit ranges as the simulator requires). Because the offsets pass already
+//!    produced every symbol's bit offset, the gap array of the gap-array format falls
+//!    out of a cheap per-subsequence binary search instead of a separate offset-tracking
+//!    encode.
+//!
+//! [`compress_on`] produces payloads **bit-identical** to the host encoder for all three
+//! stream formats (chunked, flat, flat + gap array); the equivalence suite in
+//! `tests/encoder_equivalence.rs` enforces this on every paper dataset.
+
+use gpu_sim::{
+    cost,
+    primitives::{device_exclusive_prefix_sum, device_histogram},
+    BlockContext, BlockKernel, DeviceBuffer, Gpu, GpuConfig, LaunchConfig, PhaseTime,
+};
+use huffman::{
+    ChunkMeta, ChunkedEncoded, Codebook, Codeword, FrequencyTable, GapArray, DEFAULT_CHUNK_SYMBOLS,
+};
+
+use crate::decoder::{CompressedPayload, DecoderKind};
+use crate::format::{EncodedStream, StreamGeometry};
+
+/// Work per thread (elements or units) in the encode kernels.
+const ITEMS_PER_THREAD: u32 = 4;
+/// Threads per block for the encode kernels.
+const BLOCK_DIM: u32 = 256;
+
+/// Per-phase timing breakdown of a parallel encode run (the encoder-side counterpart of
+/// [`crate::phases::PhaseBreakdown`]).
+#[derive(Debug, Clone, Default)]
+pub struct EncodePhaseBreakdown {
+    /// Per-block histogram plus the merging reduction.
+    pub histogram: PhaseTime,
+    /// Huffman tree and canonical codebook construction.
+    pub codebook: PhaseTime,
+    /// Codeword-length pass and the device prefix sum producing each symbol's output bit
+    /// offset (plus, for the chunked format, the per-chunk unit-offset scan and rebase).
+    pub offsets: PhaseTime,
+    /// Parallel codeword write into the 32-bit unit stream (plus gap-array construction
+    /// when the target decoder requires one).
+    pub scatter: PhaseTime,
+}
+
+impl EncodePhaseBreakdown {
+    /// Total encode time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases().iter().map(|(_, p)| p.seconds).sum()
+    }
+
+    /// Encoding throughput in GB/s relative to `useful_bytes` (conventionally the
+    /// quantization-code bytes, 2 per symbol, matching the decoder tables).
+    pub fn throughput_gbs(&self, useful_bytes: u64) -> f64 {
+        let t = self.total_seconds();
+        if t <= 0.0 {
+            0.0
+        } else {
+            useful_bytes as f64 / t / 1e9
+        }
+    }
+
+    /// The phases in execution order with their display names.
+    pub fn phases(&self) -> Vec<(&'static str, &PhaseTime)> {
+        vec![
+            ("histogram", &self.histogram),
+            ("tree+codebook", &self.codebook),
+            ("offset prefix-sum", &self.offsets),
+            ("scatter", &self.scatter),
+        ]
+    }
+
+    /// Total number of simulated kernel launches across all phases.
+    pub fn kernel_launches(&self) -> usize {
+        self.phases().iter().map(|(_, p)| p.kernels.len()).sum()
+    }
+}
+
+/// Analytic cost of the tree/codebook construction phase. The alphabet is at most 65536
+/// symbols (1024 in the cuSZ default), so the GPU codebook construction of "Revisiting
+/// Huffman Coding" is dominated by a sort of the frequencies and two short tree passes;
+/// the model charges `a·log2(a)` work plus two kernel launches.
+fn codebook_build_time(cfg: &GpuConfig, alphabet_size: usize) -> f64 {
+    let a = alphabet_size.max(2) as f64;
+    let cycles = a * a.log2() * 8.0 / cfg.issue_slots_per_sm as f64;
+    cfg.cycles_to_seconds(cycles) + 2.0 * cfg.kernel_launch_overhead_us * 1e-6
+}
+
+/// Kernel of the first offsets pass: map every symbol to its codeword length.
+struct CodeLengthKernel<'a> {
+    symbols: &'a DeviceBuffer<u16>,
+    codewords: &'a [Codeword],
+    lengths: &'a DeviceBuffer<u64>,
+}
+
+impl BlockKernel for CodeLengthKernel<'_> {
+    fn name(&self) -> &str {
+        "encode::code_lengths"
+    }
+
+    fn block(&self, ctx: &mut BlockContext) {
+        let tile = (ctx.block_dim() * ITEMS_PER_THREAD) as usize;
+        let start = ctx.block_idx() as usize * tile;
+        let end = (start + tile).min(self.symbols.len());
+        if start >= end {
+            return;
+        }
+        for i in start..end {
+            let s = self.symbols.get(i);
+            let cw = self.codewords[s as usize];
+            assert!(
+                cw.len > 0,
+                "symbol {} has no codeword (was it absent from the frequency table?)",
+                s
+            );
+            self.lengths.set(i, cw.len as u64);
+        }
+
+        // Cost: coalesced symbol loads, a cached codebook lookup, coalesced length
+        // stores.
+        let warp_size = ctx.config().warp_size;
+        for w in 0..ctx.warp_count() {
+            let lane_base = start as u64 + (w * warp_size * ITEMS_PER_THREAD) as u64;
+            if lane_base >= end as u64 {
+                break;
+            }
+            for item in 0..ITEMS_PER_THREAD {
+                ctx.global_load_contiguous(w, lane_base + (item * warp_size) as u64, warp_size, 2);
+                ctx.global_store_contiguous(w, lane_base + (item * warp_size) as u64, warp_size, 8);
+                ctx.compute(w, 2.0 * cost::ALU);
+            }
+        }
+    }
+}
+
+/// Kernel rebasing within-chunk bit offsets onto the chunk's padded unit region (chunked
+/// format only): `out[j] = 32·unit_offset(chunk(j)) + scan[j] - scan[chunk_start(j)]`.
+struct ChunkRebaseKernel<'a> {
+    scan: &'a DeviceBuffer<u64>,
+    out: &'a DeviceBuffer<u64>,
+    chunk_unit_offsets: &'a [u64],
+    chunk_symbols: usize,
+}
+
+impl BlockKernel for ChunkRebaseKernel<'_> {
+    fn name(&self) -> &str {
+        "encode::chunk_rebase"
+    }
+
+    fn block(&self, ctx: &mut BlockContext) {
+        let tile = (ctx.block_dim() * ITEMS_PER_THREAD) as usize;
+        let start = ctx.block_idx() as usize * tile;
+        let end = (start + tile).min(self.scan.len());
+        if start >= end {
+            return;
+        }
+        for j in start..end {
+            let c = j / self.chunk_symbols;
+            let chunk_start_bit = self.scan.get(c * self.chunk_symbols);
+            let rebased = self.chunk_unit_offsets[c] * 32 + (self.scan.get(j) - chunk_start_bit);
+            self.out.set(j, rebased);
+        }
+        let warp_size = ctx.config().warp_size;
+        for w in 0..ctx.warp_count() {
+            let lane_base = start as u64 + (w * warp_size * ITEMS_PER_THREAD) as u64;
+            if lane_base >= end as u64 {
+                break;
+            }
+            for item in 0..ITEMS_PER_THREAD {
+                ctx.global_load_contiguous(w, lane_base + (item * warp_size) as u64, warp_size, 8);
+                ctx.global_store_contiguous(w, lane_base + (item * warp_size) as u64, warp_size, 8);
+                ctx.compute(w, 3.0 * cost::ALU);
+            }
+        }
+    }
+}
+
+/// The scatter kernel: every thread owns [`ITEMS_PER_THREAD`] output units and gathers
+/// the codeword bits landing in them. `offsets` must be strictly increasing codeword
+/// start positions in output-bit space (which, for the chunked format, includes the
+/// per-chunk padding gaps); bits not covered by any codeword stay zero, which is exactly
+/// the serial encoder's padding.
+struct ScatterUnitsKernel<'a> {
+    symbols: &'a DeviceBuffer<u16>,
+    offsets: &'a DeviceBuffer<u64>,
+    codewords: &'a [Codeword],
+    units: &'a DeviceBuffer<u32>,
+}
+
+impl ScatterUnitsKernel<'_> {
+    /// Index of the last symbol whose codeword starts at or before `bit`.
+    fn covering_symbol(&self, bit: u64) -> usize {
+        let n = self.offsets.len();
+        // partition_point over the device offsets: first j with offsets[j] > bit.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.offsets.get(mid) <= bit {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.saturating_sub(1)
+    }
+}
+
+impl BlockKernel for ScatterUnitsKernel<'_> {
+    fn name(&self) -> &str {
+        "encode::scatter_units"
+    }
+
+    fn block(&self, ctx: &mut BlockContext) {
+        let tile = (ctx.block_dim() * ITEMS_PER_THREAD) as usize;
+        let ustart = ctx.block_idx() as usize * tile;
+        let uend = (ustart + tile).min(self.units.len());
+        if ustart >= uend {
+            return;
+        }
+        let n = self.offsets.len();
+        let start_bit = ustart as u64 * 32;
+        let end_bit = uend as u64 * 32;
+
+        let mut local = vec![0u32; uend - ustart];
+        let mut j = self.covering_symbol(start_bit);
+        let mut bits_written = 0u64;
+        while j < n {
+            let o = self.offsets.get(j);
+            if o >= end_bit {
+                break;
+            }
+            let cw = self.codewords[self.symbols.get(j) as usize];
+            for d in 0..cw.len as u64 {
+                let pos = o + d;
+                if pos < start_bit {
+                    continue;
+                }
+                if pos >= end_bit {
+                    break;
+                }
+                if (cw.bits >> (cw.len as u64 - 1 - d)) & 1 == 1 {
+                    local[((pos - start_bit) / 32) as usize] |= 1u32 << (31 - (pos % 32) as u32);
+                }
+                bits_written += 1;
+            }
+            j += 1;
+        }
+        for (k, v) in local.iter().enumerate() {
+            self.units.set(ustart + k, *v);
+        }
+
+        // Cost: a binary search per warp front (log2(n) dependent loads), quasi-
+        // contiguous loads of the offsets/symbols the block consumes, per-bit assembly
+        // work, and a coalesced store of the owned units.
+        let warp_size = ctx.config().warp_size;
+        let search_cycles = (n.max(2) as f64).log2().ceil() * 2.0 * cost::GLOBAL_SECTOR_ISSUE;
+        let units_covered = (uend - ustart) as u32;
+        let warps = ctx.warp_count();
+        for w in 0..warps {
+            let warp_units = units_covered.div_ceil(warps.max(1)).max(1);
+            let warp_bits = bits_written as f64 / warps.max(1) as f64;
+            ctx.compute(w, search_cycles + warp_bits * cost::ALU);
+            // Offsets + symbols of the consumed span, amortized over the warps.
+            ctx.global_load_contiguous(w, start_bit / 32 + (w * warp_units) as u64, warp_size, 8);
+            ctx.global_load_contiguous(w, start_bit / 32 + (w * warp_units) as u64, warp_size, 2);
+            ctx.global_store_contiguous(
+                w,
+                ustart as u64 + (w * warp_units) as u64,
+                warp_units.min(warp_size),
+                4,
+            );
+        }
+    }
+}
+
+/// Gap-array construction from the symbol bit offsets: for every subsequence boundary, a
+/// binary search finds the first codeword starting at or after it. This replaces the
+/// host encoder's sequential decode-walk ([`huffman::compute_gap_array`]) — the offsets
+/// are already on the device, so the gap array is a cheap by-product of the encode.
+struct GapFromOffsetsKernel<'a> {
+    offsets: &'a DeviceBuffer<u64>,
+    gaps: &'a DeviceBuffer<u8>,
+    subseq_bits: u64,
+    bit_len: u64,
+}
+
+impl BlockKernel for GapFromOffsetsKernel<'_> {
+    fn name(&self) -> &str {
+        "encode::gap_from_offsets"
+    }
+
+    fn block(&self, ctx: &mut BlockContext) {
+        let tile = (ctx.block_dim() * ITEMS_PER_THREAD) as usize;
+        let start = ctx.block_idx() as usize * tile;
+        let end = (start + tile).min(self.gaps.len());
+        if start >= end {
+            return;
+        }
+        let n = self.offsets.len();
+        for i in start..end {
+            let boundary = i as u64 * self.subseq_bits;
+            // First offset >= boundary (partition_point over offsets < boundary).
+            let mut lo = 0usize;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.offsets.get(mid) < boundary {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let target = if lo < n {
+                self.offsets.get(lo)
+            } else {
+                self.bit_len
+            };
+            let gap = target - boundary;
+            assert!(gap <= u8::MAX as u64, "gap {} does not fit in a byte", gap);
+            self.gaps.set(i, gap as u8);
+        }
+        let warp_size = ctx.config().warp_size;
+        let search_cycles = (n.max(2) as f64).log2().ceil() * 2.0 * cost::GLOBAL_SECTOR_ISSUE;
+        for w in 0..ctx.warp_count() {
+            let lane_base = start as u64 + (w * warp_size * ITEMS_PER_THREAD) as u64;
+            if lane_base >= end as u64 {
+                break;
+            }
+            for _ in 0..ITEMS_PER_THREAD {
+                ctx.compute(w, search_cycles + cost::ALU);
+            }
+            ctx.global_store_contiguous(w, lane_base, warp_size, 1);
+        }
+    }
+}
+
+/// Encodes `symbols` on the simulated GPU in the format `kind` consumes, returning the
+/// payload and the per-phase timing breakdown.
+///
+/// The payload is bit-identical to the host encoder's
+/// ([`crate::decoder::compress_for`]): same units, same chunk metadata, same gap array,
+/// same codebook.
+///
+/// # Panics
+/// Panics if a symbol is outside the alphabet (the host encoder panics identically).
+pub fn compress_on(
+    gpu: &Gpu,
+    kind: DecoderKind,
+    symbols: &[u16],
+    alphabet_size: usize,
+) -> (CompressedPayload, EncodePhaseBreakdown) {
+    // Phase 1: device histogram of the symbol stream.
+    let keys: Vec<u32> = symbols.iter().map(|&s| s as u32).collect();
+    let (counts, histogram) = device_histogram(gpu, &keys, alphabet_size);
+
+    // Phase 2: canonical codebook from the frequencies (identical to the host path,
+    // which counts the same frequencies from the same symbols).
+    let codebook = Codebook::from_frequencies(&FrequencyTable::from_counts(counts));
+    let mut codebook_phase = PhaseTime::empty();
+    if !symbols.is_empty() {
+        codebook_phase.push_seconds(codebook_build_time(gpu.config(), alphabet_size));
+    }
+
+    let mut offsets_phase = PhaseTime::empty();
+    let mut scatter_phase = PhaseTime::empty();
+
+    if symbols.is_empty() {
+        let payload = empty_payload(kind, codebook);
+        let breakdown = EncodePhaseBreakdown {
+            histogram,
+            codebook: codebook_phase,
+            offsets: offsets_phase,
+            scatter: scatter_phase,
+        };
+        return (payload, breakdown);
+    }
+
+    // Phase 3: codeword lengths, then the device prefix sum assigning every symbol its
+    // output bit offset.
+    let d_symbols = DeviceBuffer::from_slice(symbols);
+    let d_lengths = DeviceBuffer::<u64>::zeroed(symbols.len());
+    let length_kernel = CodeLengthKernel {
+        symbols: &d_symbols,
+        codewords: codebook.codewords(),
+        lengths: &d_lengths,
+    };
+    let tile = (BLOCK_DIM * ITEMS_PER_THREAD) as usize;
+    let grid = symbols.len().div_ceil(tile) as u32;
+    offsets_phase.push_serial(gpu.launch(&length_kernel, LaunchConfig::new(grid, BLOCK_DIM)));
+    let (scan, total_bits, scan_phase) = device_exclusive_prefix_sum(gpu, &d_lengths.to_vec());
+    offsets_phase.extend_serial(scan_phase);
+
+    let payload = match kind {
+        DecoderKind::CuszBaseline => {
+            // Chunked format: rebase the within-chunk offsets onto the per-chunk padded
+            // unit regions, then scatter into the concatenated units.
+            let chunk_symbols = DEFAULT_CHUNK_SYMBOLS;
+            let num_chunks = symbols.len().div_ceil(chunk_symbols);
+            let chunk_bit_len = |c: usize| {
+                let cs = c * chunk_symbols;
+                let ce = ((c + 1) * chunk_symbols).min(symbols.len());
+                let end = if ce < symbols.len() {
+                    scan[ce]
+                } else {
+                    total_bits
+                };
+                end - scan[cs]
+            };
+            let unit_counts: Vec<u64> = (0..num_chunks)
+                .map(|c| chunk_bit_len(c).div_ceil(32))
+                .collect();
+            let (chunk_unit_offsets, total_units, chunk_scan_phase) =
+                device_exclusive_prefix_sum(gpu, &unit_counts);
+            offsets_phase.extend_serial(chunk_scan_phase);
+
+            let d_scan = DeviceBuffer::from_slice(&scan);
+            let d_rebased = DeviceBuffer::<u64>::zeroed(symbols.len());
+            let rebase = ChunkRebaseKernel {
+                scan: &d_scan,
+                out: &d_rebased,
+                chunk_unit_offsets: &chunk_unit_offsets,
+                chunk_symbols,
+            };
+            offsets_phase.push_serial(gpu.launch(&rebase, LaunchConfig::new(grid, BLOCK_DIM)));
+
+            let d_units = DeviceBuffer::<u32>::zeroed(total_units as usize);
+            scatter_phase.push_serial(launch_scatter(
+                gpu,
+                &d_symbols,
+                &d_rebased,
+                codebook.codewords(),
+                &d_units,
+            ));
+
+            let chunks: Vec<ChunkMeta> = (0..num_chunks)
+                .map(|c| {
+                    let cs = c * chunk_symbols;
+                    let ce = ((c + 1) * chunk_symbols).min(symbols.len());
+                    ChunkMeta {
+                        unit_offset: chunk_unit_offsets[c],
+                        unit_count: unit_counts[c],
+                        bit_len: chunk_bit_len(c),
+                        num_symbols: (ce - cs) as u64,
+                        symbol_offset: cs as u64,
+                    }
+                })
+                .collect();
+            CompressedPayload::Chunked {
+                encoded: ChunkedEncoded {
+                    units: d_units.to_vec(),
+                    chunks,
+                    chunk_symbols,
+                    num_symbols: symbols.len(),
+                },
+                codebook,
+            }
+        }
+        DecoderKind::OriginalSelfSync
+        | DecoderKind::OptimizedSelfSync
+        | DecoderKind::OptimizedGapArray => {
+            let geometry = StreamGeometry::default();
+            let d_offsets = DeviceBuffer::from_slice(&scan);
+            let d_units = DeviceBuffer::<u32>::zeroed(total_bits.div_ceil(32) as usize);
+            scatter_phase.push_serial(launch_scatter(
+                gpu,
+                &d_symbols,
+                &d_offsets,
+                codebook.codewords(),
+                &d_units,
+            ));
+
+            let gap_array = if kind.requires_gap_array() {
+                let num_subseqs = geometry.num_subseqs(total_bits);
+                let d_gaps = DeviceBuffer::<u8>::zeroed(num_subseqs);
+                let gap_kernel = GapFromOffsetsKernel {
+                    offsets: &d_offsets,
+                    gaps: &d_gaps,
+                    subseq_bits: geometry.subseq_bits(),
+                    bit_len: total_bits,
+                };
+                let gap_grid = num_subseqs.div_ceil(tile) as u32;
+                scatter_phase
+                    .push_serial(gpu.launch(&gap_kernel, LaunchConfig::new(gap_grid, BLOCK_DIM)));
+                Some(GapArray {
+                    gaps: d_gaps.to_vec(),
+                    subseq_bits: geometry.subseq_bits(),
+                })
+            } else {
+                None
+            };
+
+            CompressedPayload::Flat(EncodedStream {
+                units: d_units.to_vec(),
+                bit_len: total_bits,
+                num_symbols: symbols.len(),
+                codebook,
+                geometry,
+                gap_array,
+            })
+        }
+    };
+
+    let breakdown = EncodePhaseBreakdown {
+        histogram,
+        codebook: codebook_phase,
+        offsets: offsets_phase,
+        scatter: scatter_phase,
+    };
+    (payload, breakdown)
+}
+
+fn launch_scatter(
+    gpu: &Gpu,
+    symbols: &DeviceBuffer<u16>,
+    offsets: &DeviceBuffer<u64>,
+    codewords: &[Codeword],
+    units: &DeviceBuffer<u32>,
+) -> gpu_sim::KernelStats {
+    let kernel = ScatterUnitsKernel {
+        symbols,
+        offsets,
+        codewords,
+        units,
+    };
+    let tile = (BLOCK_DIM * ITEMS_PER_THREAD) as usize;
+    let grid = units.len().div_ceil(tile).max(1) as u32;
+    gpu.launch(&kernel, LaunchConfig::new(grid, BLOCK_DIM))
+}
+
+/// The payload an empty symbol stream encodes to, matching the host encoder exactly.
+fn empty_payload(kind: DecoderKind, codebook: Codebook) -> CompressedPayload {
+    match kind {
+        DecoderKind::CuszBaseline => CompressedPayload::Chunked {
+            encoded: ChunkedEncoded {
+                units: Vec::new(),
+                chunks: Vec::new(),
+                chunk_symbols: DEFAULT_CHUNK_SYMBOLS,
+                num_symbols: 0,
+            },
+            codebook,
+        },
+        DecoderKind::OriginalSelfSync
+        | DecoderKind::OptimizedSelfSync
+        | DecoderKind::OptimizedGapArray => {
+            let geometry = StreamGeometry::default();
+            let gap_array = kind.requires_gap_array().then(|| GapArray {
+                gaps: Vec::new(),
+                subseq_bits: geometry.subseq_bits(),
+            });
+            CompressedPayload::Flat(EncodedStream {
+                units: Vec::new(),
+                bit_len: 0,
+                num_symbols: 0,
+                codebook,
+                geometry,
+                gap_array,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{compress_for, decode};
+    use gpu_sim::GpuConfig;
+
+    fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| {
+                let r = i.wrapping_mul(2654435761).rotate_left(9);
+                let mag = r.trailing_zeros().min(spread) as i32;
+                (512 + if (r >> 1) & 1 == 1 { mag } else { -mag }) as u16
+            })
+            .collect()
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+    }
+
+    /// Asserts the two payloads are bit-identical, via `CompressedPayload`'s bit-level
+    /// equality (units, metadata, codebook codewords, gap array).
+    pub(crate) fn assert_payloads_identical(a: &CompressedPayload, b: &CompressedPayload) {
+        assert_eq!(a, b, "payloads are not bit-identical");
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical_to_serial() {
+        let symbols = quant_symbols(70_000, 7);
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let serial = compress_for(kind, &symbols, 1024);
+            let (parallel, phases) = compress_on(&g, kind, &symbols, 1024);
+            assert_payloads_identical(&parallel, &serial);
+            assert!(
+                phases.total_seconds() > 0.0,
+                "{:?} has no encode time",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_encode_roundtrips_through_every_decoder() {
+        let symbols = quant_symbols(40_000, 6);
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let (payload, _) = compress_on(&g, kind, &symbols, 1024);
+            let result = decode(&g, kind, &payload).expect("matching payload");
+            assert_eq!(result.symbols, symbols, "{:?} roundtrip mismatch", kind);
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_is_fully_populated() {
+        let symbols = quant_symbols(30_000, 5);
+        let g = gpu();
+        let (_, phases) = compress_on(&g, DecoderKind::OptimizedGapArray, &symbols, 1024);
+        for (name, p) in phases.phases() {
+            assert!(p.seconds > 0.0, "phase '{}' has no time", name);
+        }
+        // Histogram: 2 kernels. Offsets: lengths + >= 2 scan kernels. Scatter: units +
+        // gap construction.
+        assert!(phases.histogram.kernels.len() == 2);
+        assert!(phases.offsets.kernels.len() >= 3);
+        assert!(phases.scatter.kernels.len() == 2);
+        assert!(phases.kernel_launches() >= 7);
+        assert!(phases.throughput_gbs(symbols.len() as u64 * 2) > 0.0);
+    }
+
+    #[test]
+    fn empty_symbol_stream_matches_serial() {
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let serial = compress_for(kind, &[], 1024);
+            let (parallel, phases) = compress_on(&g, kind, &[], 1024);
+            assert_payloads_identical(&parallel, &serial);
+            assert_eq!(phases.total_seconds(), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_distinct_symbol_matches_serial() {
+        let symbols = vec![512u16; 10_000];
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let serial = compress_for(kind, &symbols, 1024);
+            let (parallel, _) = compress_on(&g, kind, &symbols, 1024);
+            assert_payloads_identical(&parallel, &serial);
+        }
+    }
+
+    #[test]
+    fn chunked_encode_matches_across_ragged_final_chunk() {
+        // More than one chunk with a ragged tail (DEFAULT_CHUNK_SYMBOLS = 4096).
+        let symbols = quant_symbols(DEFAULT_CHUNK_SYMBOLS * 3 + 777, 6);
+        let g = gpu();
+        let serial = compress_for(DecoderKind::CuszBaseline, &symbols, 1024);
+        let (parallel, _) = compress_on(&g, DecoderKind::CuszBaseline, &symbols, 1024);
+        assert_payloads_identical(&parallel, &serial);
+    }
+
+    #[test]
+    fn serial_and_parallel_host_execution_agree() {
+        // The scatter kernel must not depend on block execution order.
+        let symbols = quant_symbols(50_000, 7);
+        let serial_gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 1);
+        let parallel_gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 8);
+        for kind in DecoderKind::all() {
+            let (a, _) = compress_on(&serial_gpu, kind, &symbols, 1024);
+            let (b, _) = compress_on(&parallel_gpu, kind, &symbols, 1024);
+            assert_payloads_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_alphabet_symbol_panics_like_serial() {
+        let _ = compress_on(&gpu(), DecoderKind::OptimizedSelfSync, &[5000u16], 1024);
+    }
+}

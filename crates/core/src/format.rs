@@ -21,6 +21,51 @@ pub const DEFAULT_SUBSEQ_UNITS: u32 = 4;
 /// Default threads per block = subsequences per sequence.
 pub const DEFAULT_THREADS_PER_BLOCK: u32 = 128;
 
+/// Wire-size accounting of the `HFZ1` container, mirrored here so compressed-size and
+/// transfer-cost figures (Table IV, Fig. 5) report the bytes an archive actually stores.
+/// The authoritative layout lives in `huffdec-container` (`section.rs`, `header.rs`,
+/// `codec.rs`); a cross-crate test there asserts these formulas match the serialized
+/// archives byte for byte, so any drift fails the build.
+pub mod wire {
+    /// Per-section framing overhead: 12-byte frame (tag + reserved + length) + CRC32.
+    pub const SECTION_OVERHEAD: u64 = 16;
+    /// Archive header as stored: 64 header bytes + CRC32.
+    pub const ARCHIVE_HEADER: u64 = 68;
+    /// The empty end-marker section (framing only).
+    pub const END_SECTION: u64 = SECTION_OVERHEAD;
+
+    /// Stored size of the codebook section for `coded_symbols` `(symbol, length)` pairs:
+    /// a u32 pair count plus 3 bytes per pair, plus framing.
+    pub fn codebook_section(coded_symbols: usize) -> u64 {
+        4 + coded_symbols as u64 * 3 + SECTION_OVERHEAD
+    }
+
+    /// Stored size of the flat-stream section: bit length, symbol count, geometry, unit
+    /// count (32 bytes) plus the packed units, plus framing.
+    pub fn flat_stream_section(num_units: usize) -> u64 {
+        32 + num_units as u64 * 4 + SECTION_OVERHEAD
+    }
+
+    /// Stored size of the gap-array section: subsequence size and gap count (16 bytes)
+    /// plus one byte per subsequence, plus framing.
+    pub fn gap_array_section(num_subseqs: usize) -> u64 {
+        16 + num_subseqs as u64 + SECTION_OVERHEAD
+    }
+
+    /// Stored size of the chunked-stream section: chunk size, symbol count, chunk count,
+    /// unit count (32 bytes), five u64 of metadata per chunk, and the packed units,
+    /// plus framing.
+    pub fn chunked_stream_section(num_chunks: usize, num_units: usize) -> u64 {
+        32 + num_chunks as u64 * 40 + num_units as u64 * 4 + SECTION_OVERHEAD
+    }
+
+    /// Stored size of the outlier section: a u64 count plus 16 bytes per outlier,
+    /// plus framing.
+    pub fn outliers_section(num_outliers: usize) -> u64 {
+        8 + num_outliers as u64 * 16 + SECTION_OVERHEAD
+    }
+}
+
 /// Geometry of the stream decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamGeometry {
@@ -78,7 +123,10 @@ impl StreamGeometry {
 
 /// A flat Huffman-encoded symbol stream plus everything the fine-grained GPU decoders
 /// need: codebook, geometry, and optional gap array.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-level: two streams are equal only if their units, geometry, codebook
+/// codewords, and gap arrays all match (used by the encoder equivalence suite).
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncodedStream {
     /// Packed 32-bit units of the bitstream.
     pub units: Vec<u32>,
@@ -192,22 +240,23 @@ impl EncodedStream {
         self.num_symbols as u64 * 2
     }
 
-    /// Size of the codebook when serialized as per-symbol code lengths (1 byte each),
-    /// which is how cuSZ ships canonical codebooks.
+    /// Size of the codebook as stored in an `HFZ1` archive: compact `(symbol, length)`
+    /// pairs for the coded symbols, section framing included.
     pub fn codebook_bytes(&self) -> u64 {
-        self.codebook.alphabet_size() as u64
+        wire::codebook_section(self.codebook.coded_symbols())
     }
 
-    /// Compressed size in bytes: bitstream units + codebook + per-stream header
-    /// + gap array if present.
+    /// Compressed size in bytes, as the `HFZ1` container stores this stream: the
+    /// flat-stream section (geometry header + packed units), the codebook section, and
+    /// the gap-array section when one is present — each including its framing and
+    /// checksum, so compression ratios and transfer costs use honest stored bytes.
     pub fn compressed_bytes(&self) -> u64 {
-        let header = 32; // bit length, symbol count, geometry, alphabet size.
         let gap = self
             .gap_array
             .as_ref()
-            .map(|g| g.storage_bytes())
+            .map(|g| wire::gap_array_section(g.len()))
             .unwrap_or(0);
-        self.units.len() as u64 * 4 + self.codebook_bytes() + header + gap
+        wire::flat_stream_section(self.units.len()) + self.codebook_bytes() + gap
     }
 
     /// Compression ratio: original symbol bytes over compressed bytes. This is the ratio

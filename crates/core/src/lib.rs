@@ -37,16 +37,21 @@
 //!
 //! let gpu = Gpu::v100();
 //! let payload = compress_for(DecoderKind::OptimizedGapArray, &symbols, 1024);
-//! let result = decode(&gpu, DecoderKind::OptimizedGapArray, &payload);
+//! let result = decode(&gpu, DecoderKind::OptimizedGapArray, &payload).unwrap();
 //! assert_eq!(result.symbols, symbols);
 //! println!("simulated decode throughput: {:.1} GB/s", result.throughput_gbs());
 //! ```
+//!
+//! The encode side has a matching simulated-GPU pipeline ([`encode::compress_on`]):
+//! device histogram → codebook → offset prefix-sum → parallel scatter, bit-identical to
+//! the host encoder and reporting an [`encode::EncodePhaseBreakdown`].
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod decode_write;
 pub mod decoder;
+pub mod encode;
 pub mod format;
 pub mod gap_decode;
 pub mod output_index;
@@ -56,8 +61,11 @@ pub mod subseq;
 pub mod tuner;
 
 pub use decode_write::{run_decode_write, DecodeWriteKernel, WriteStrategy};
-pub use decoder::{compress_for, decode, roundtrip, CompressedPayload, DecoderKind};
-pub use format::{EncodedStream, StreamGeometry, DEFAULT_SUBSEQ_UNITS, DEFAULT_THREADS_PER_BLOCK};
+pub use decoder::{compress_for, decode, roundtrip, CompressedPayload, DecodeError, DecoderKind};
+pub use encode::{compress_on, EncodePhaseBreakdown};
+pub use format::{
+    wire, EncodedStream, StreamGeometry, DEFAULT_SUBSEQ_UNITS, DEFAULT_THREADS_PER_BLOCK,
+};
 pub use gap_decode::{decode_original_gap8, encode_gap8, gap_count_symbols, Gap8Stream};
 pub use output_index::{compute_output_index, OutputIndex};
 pub use phases::{DecodeResult, PhaseBreakdown};

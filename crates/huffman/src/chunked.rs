@@ -15,7 +15,7 @@ use crate::codebook::Codebook;
 pub const DEFAULT_CHUNK_SYMBOLS: usize = 4096;
 
 /// A chunked Huffman encoding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkedEncoded {
     /// Packed units of all chunks, each chunk starting at a unit boundary.
     pub units: Vec<u32>,

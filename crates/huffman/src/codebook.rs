@@ -32,6 +32,10 @@ pub enum DecodeNode {
 }
 
 /// A complete Huffman codebook over a `u16` alphabet.
+///
+/// Equality compares the canonical codewords (and alphabet size): the decode tree and
+/// cached statistics are derived from them, so two codebooks with the same codewords
+/// decode identically.
 #[derive(Debug, Clone)]
 pub struct Codebook {
     alphabet_size: usize,
@@ -40,6 +44,14 @@ pub struct Codebook {
     max_len: u8,
     avg_len_bits: f64,
 }
+
+impl PartialEq for Codebook {
+    fn eq(&self, other: &Self) -> bool {
+        self.alphabet_size == other.alphabet_size && self.codewords == other.codewords
+    }
+}
+
+impl Eq for Codebook {}
 
 impl Codebook {
     /// Builds a codebook from symbol frequencies. Falls back to length-limited
@@ -120,6 +132,12 @@ impl Codebook {
     /// global-memory footprint charged by the decoder kernels.
     pub fn decode_tree_bytes(&self) -> u64 {
         self.decode_tree.len() as u64 * 8
+    }
+
+    /// Number of symbols that actually have a codeword (non-zero length) — the number of
+    /// `(symbol, length)` pairs [`Codebook::length_pairs`] serializes.
+    pub fn coded_symbols(&self) -> usize {
+        self.codewords.iter().filter(|c| c.len > 0).count()
     }
 
     /// Serializes the codebook compactly as `(symbol, code length)` pairs for the symbols
@@ -388,6 +406,7 @@ mod tests {
         let cb = Codebook::from_symbols(&symbols, 1024);
         let pairs = cb.length_pairs();
         assert!(pairs.len() <= 41);
+        assert_eq!(pairs.len(), cb.coded_symbols());
         let cb2 = Codebook::from_length_pairs(1024, &pairs).unwrap();
         assert_eq!(cb.codewords(), cb2.codewords());
     }

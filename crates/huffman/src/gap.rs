@@ -11,7 +11,7 @@ use crate::bitstream::BitReader;
 use crate::codebook::Codebook;
 
 /// The gap array and the subsequence geometry it was computed for.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GapArray {
     /// `gaps[i]` = number of bits to skip from the start of subsequence `i` to reach the
     /// first codeword boundary at or after it. The first subsequence always has gap 0.

@@ -27,7 +27,7 @@
 //!
 //! let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
 //! let compressed = compress(&field, &config);
-//! let decompressed = decompress(&gpu, &compressed);
+//! let decompressed = decompress(&gpu, &compressed).unwrap();
 //!
 //! assert_eq!(decompressed.data.len(), field.len());
 //! assert!(sz::verify_error_bound(&field.data, &decompressed.data, 1e-3 * field.range_span() as f64).is_none());
@@ -41,9 +41,11 @@ pub mod pipeline;
 pub mod stats;
 
 pub use error_bound::ErrorBound;
+pub use huffdec_core::DecodeError;
 pub use lorenzo::{dequantize, quantize, Outlier, Quantized};
 pub use pipeline::{
-    compress, decompress, decompress_with_transfer, outlier_scatter_time, reconstruct_kernel_time,
-    roundtrip, Compressed, DecompressStats, Decompressed, SzConfig, DEFAULT_ALPHABET_SIZE,
+    compress, compress_on, decompress, decompress_with_transfer, outlier_scatter_time,
+    quantize_kernel_time, reconstruct_kernel_time, roundtrip, CompressStats, Compressed,
+    DecompressStats, Decompressed, SzConfig, DEFAULT_ALPHABET_SIZE,
 };
 pub use stats::{max_abs_error, psnr, verify_error_bound};

@@ -11,7 +11,10 @@
 
 use datasets::Field;
 use gpu_sim::{transfer_time_s, Gpu, TransferDirection};
-use huffdec_core::{compress_for, decode, CompressedPayload, DecoderKind, PhaseBreakdown};
+use huffdec_core::{
+    compress_for, decode, wire, CompressedPayload, DecodeError, DecoderKind, EncodePhaseBreakdown,
+    PhaseBreakdown,
+};
 
 use crate::error_bound::ErrorBound;
 use crate::lorenzo::{dequantize, quantize, Outlier, Quantized};
@@ -51,6 +54,9 @@ impl Default for SzConfig {
 }
 
 /// A compressed field.
+///
+/// The decoder kind and alphabet size live only in [`Compressed::config`] — they were
+/// previously duplicated as standalone fields, which let the two copies diverge.
 #[derive(Debug, Clone)]
 pub struct Compressed {
     /// The Huffman-encoded quantization codes.
@@ -61,15 +67,22 @@ pub struct Compressed {
     pub dims: Dims,
     /// Quantization step (twice the absolute error bound used).
     pub step: f64,
-    /// Quantization alphabet size.
-    pub alphabet_size: usize,
-    /// The decoder this archive targets.
-    pub decoder: DecoderKind,
-    /// The configuration the archive was produced with.
+    /// The configuration the archive was produced with (the single source of truth for
+    /// the target decoder and the alphabet size).
     pub config: SzConfig,
 }
 
 impl Compressed {
+    /// The decoder this archive targets.
+    pub fn decoder(&self) -> DecoderKind {
+        self.config.decoder
+    }
+
+    /// Quantization alphabet size.
+    pub fn alphabet_size(&self) -> usize {
+        self.config.alphabet_size
+    }
+
     /// Number of data elements.
     pub fn num_elements(&self) -> usize {
         self.dims.len()
@@ -86,9 +99,16 @@ impl Compressed {
         self.num_elements() as u64 * 2
     }
 
-    /// Total compressed size in bytes: Huffman payload + outliers + header.
+    /// Total compressed size in bytes, as the `HFZ1` container stores this field: the
+    /// archive header, the payload sections (stream + codebook + optional gap array),
+    /// the outlier section, and the end marker — matching `huffdec_container::to_bytes`
+    /// byte for byte (a cross-crate test enforces this), so Table IV ratios and Fig. 5
+    /// transfer costs use the honest stored size.
     pub fn compressed_bytes(&self) -> u64 {
-        self.payload.compressed_bytes() + self.outliers.len() as u64 * 12 + 64
+        wire::ARCHIVE_HEADER
+            + self.payload.compressed_bytes()
+            + wire::outliers_section(self.outliers.len())
+            + wire::END_SECTION
     }
 
     /// Overall compression ratio (f32 input over compressed bytes).
@@ -140,22 +160,89 @@ pub struct Decompressed {
     pub stats: DecompressStats,
 }
 
-/// Compresses a field.
-pub fn compress(field: &Field, config: &SzConfig) -> Compressed {
+/// Timing breakdown of a compression run on the simulated GPU (produced by
+/// [`compress_on`]; the host path [`compress`] does not time itself).
+#[derive(Debug, Clone)]
+pub struct CompressStats {
+    /// Estimated time of the Lorenzo dual-quantization kernel.
+    pub quantize_seconds: f64,
+    /// The simulated Huffman encode phase breakdown
+    /// (histogram / tree+codebook / offset prefix-sum / scatter).
+    pub encode: EncodePhaseBreakdown,
+    /// Total compression time in seconds.
+    pub total_seconds: f64,
+}
+
+impl CompressStats {
+    /// Huffman encoding throughput in GB/s relative to the quantization-code bytes
+    /// (2 per element), the same denominator the decode tables use.
+    pub fn encode_throughput_gbs(&self, quant_code_bytes: u64) -> f64 {
+        self.encode.throughput_gbs(quant_code_bytes)
+    }
+
+    /// Overall compression throughput in GB/s relative to the uncompressed f32 bytes.
+    pub fn overall_throughput_gbs(&self, original_bytes: u64) -> f64 {
+        if self.total_seconds <= 0.0 {
+            0.0
+        } else {
+            original_bytes as f64 / self.total_seconds / 1e9
+        }
+    }
+}
+
+/// Estimated time of the Lorenzo dual-quantization kernel: one f32 read, one prediction
+/// neighbourhood re-read (cached, charged as half), and one 2-byte code write per
+/// element, a few cycles of compute, one launch.
+pub fn quantize_kernel_time(gpu: &Gpu, num_elements: usize) -> f64 {
+    let cfg = gpu.config();
+    let traffic_bytes = num_elements as f64 * 8.0;
+    let mem_time = traffic_bytes / (cfg.mem_bandwidth_gbps * 1e9);
+    let compute_cycles =
+        num_elements as f64 * 6.0 / (cfg.num_sms as f64 * cfg.issue_slots_per_sm as f64);
+    let compute_time = cfg.cycles_to_seconds(compute_cycles);
+    mem_time.max(compute_time) + cfg.kernel_launch_overhead_us * 1e-6
+}
+
+fn quantize_field(field: &Field, config: &SzConfig) -> (Quantized, f64) {
     let range = field.range_span() as f64;
     let eb_abs = config.error_bound.to_absolute(range);
     let step = 2.0 * eb_abs;
     let q = quantize(&field.data, field.dims, step, config.alphabet_size);
-    let payload = compress_for(config.decoder, &q.codes, config.alphabet_size);
+    (q, step)
+}
+
+fn assemble(q: Quantized, step: f64, config: &SzConfig, payload: CompressedPayload) -> Compressed {
     Compressed {
         payload,
         outliers: q.outliers,
         dims: q.dims,
         step,
-        alphabet_size: config.alphabet_size,
-        decoder: config.decoder,
         config: *config,
     }
+}
+
+/// Compresses a field with the single-threaded host encoder.
+pub fn compress(field: &Field, config: &SzConfig) -> Compressed {
+    let (q, step) = quantize_field(field, config);
+    let payload = compress_for(config.decoder, &q.codes, config.alphabet_size);
+    assemble(q, step, config, payload)
+}
+
+/// Compresses a field with the simulated-GPU parallel encode pipeline
+/// ([`huffdec_core::compress_on`]), returning the archive (bit-identical to
+/// [`compress`]) and the compression timing breakdown.
+pub fn compress_on(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, CompressStats) {
+    let (q, step) = quantize_field(field, config);
+    let (payload, encode) =
+        huffdec_core::compress_on(gpu, config.decoder, &q.codes, config.alphabet_size);
+    let quantize_seconds = quantize_kernel_time(gpu, field.len());
+    let total_seconds = quantize_seconds + encode.total_seconds();
+    let stats = CompressStats {
+        quantize_seconds,
+        encode,
+        total_seconds,
+    };
+    (assemble(q, step, config, payload), stats)
 }
 
 /// Estimated time of the reverse dual-quantization (Lorenzo reconstruction) kernels.
@@ -181,15 +268,21 @@ pub fn outlier_scatter_time(gpu: &Gpu, num_outliers: usize) -> f64 {
     traffic / (cfg.mem_bandwidth_gbps * 1e9) + cfg.kernel_launch_overhead_us * 1e-6
 }
 
-fn decompress_inner(gpu: &Gpu, c: &Compressed, include_transfer: bool) -> Decompressed {
-    // Huffman decode (simulated kernels, functional output).
-    let decode_result = decode(gpu, c.decoder, &c.payload);
+fn decompress_inner(
+    gpu: &Gpu,
+    c: &Compressed,
+    include_transfer: bool,
+) -> Result<Decompressed, DecodeError> {
+    // Huffman decode (simulated kernels, functional output). A hand-assembled
+    // `Compressed` whose payload format disagrees with its configured decoder surfaces
+    // as a typed error instead of a panic.
+    let decode_result = decode(gpu, c.decoder(), &c.payload)?;
 
     // Reverse dual-quantization on the host (functional), with an analytic kernel cost.
     let q = Quantized {
         codes: decode_result.symbols,
         outliers: c.outliers.clone(),
-        alphabet_size: c.alphabet_size,
+        alphabet_size: c.alphabet_size(),
         step: c.step,
         dims: c.dims,
     };
@@ -209,7 +302,7 @@ fn decompress_inner(gpu: &Gpu, c: &Compressed, include_transfer: bool) -> Decomp
         total_seconds += h2d_transfer_seconds;
     }
 
-    Decompressed {
+    Ok(Decompressed {
         data,
         stats: DecompressStats {
             huffman: decode_result.timings,
@@ -218,18 +311,24 @@ fn decompress_inner(gpu: &Gpu, c: &Compressed, include_transfer: bool) -> Decomp
             h2d_transfer_seconds,
             total_seconds,
         },
-    }
+    })
 }
 
 /// Decompresses an archive, assuming the compressed data is already resident in GPU
 /// memory (the in-memory-compression scenario of Fig. 4).
-pub fn decompress(gpu: &Gpu, c: &Compressed) -> Decompressed {
+///
+/// Returns [`DecodeError::PayloadMismatch`] if the payload's stream format does not
+/// match the archive's configured decoder.
+pub fn decompress(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError> {
     decompress_inner(gpu, c, false)
 }
 
 /// Decompresses an archive including the host-to-device transfer of the compressed data
 /// (the scenario of Fig. 5).
-pub fn decompress_with_transfer(gpu: &Gpu, c: &Compressed) -> Decompressed {
+///
+/// Returns [`DecodeError::PayloadMismatch`] if the payload's stream format does not
+/// match the archive's configured decoder.
+pub fn decompress_with_transfer(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError> {
     decompress_inner(gpu, c, true)
 }
 
@@ -237,7 +336,8 @@ pub fn decompress_with_transfer(gpu: &Gpu, c: &Compressed) -> Decompressed {
 /// archive and the reconstruction. Convenience for tests, examples, and benches.
 pub fn roundtrip(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, Decompressed) {
     let compressed = compress(field, config);
-    let decompressed = decompress(gpu, &compressed);
+    let decompressed =
+        decompress(gpu, &compressed).expect("compress produces a payload matching its decoder");
     let eb_abs = c_abs_bound(field, config);
     if let Some(idx) = verify_error_bound(&field.data, &decompressed.data, eb_abs) {
         panic!(
@@ -323,8 +423,8 @@ mod tests {
         let g = gpu();
         let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
         let compressed = compress(&field, &config);
-        let without = decompress(&g, &compressed);
-        let with = decompress_with_transfer(&g, &compressed);
+        let without = decompress(&g, &compressed).unwrap();
+        let with = decompress_with_transfer(&g, &compressed).unwrap();
         assert!(with.stats.total_seconds > without.stats.total_seconds);
         assert_eq!(with.data, without.data);
         assert!(
@@ -349,5 +449,60 @@ mod tests {
         // are rare; at least check both are > 1.
         assert!(compressed.huffman_compression_ratio() > 1.0);
         assert!(compressed.overall_compression_ratio() > 1.0);
+        // The stored size must account for every section the container writes: header,
+        // codebook, stream, outliers, end marker — so it strictly exceeds the payload.
+        assert!(compressed.compressed_bytes() > compressed.payload.compressed_bytes());
+    }
+
+    #[test]
+    fn gpu_compression_matches_host_compression() {
+        let spec = dataset_by_name("HACC").unwrap();
+        let field = generate(&spec, 50_000, 11);
+        let g = gpu();
+        for decoder in DecoderKind::all() {
+            let config = SzConfig::paper_default(decoder);
+            let host = compress(&field, &config);
+            let (dev, stats) = compress_on(&g, &field, &config);
+            assert_eq!(
+                dev.compressed_bytes(),
+                host.compressed_bytes(),
+                "{:?}",
+                decoder
+            );
+            assert_eq!(dev.outliers, host.outliers);
+            assert_eq!(dev.step, host.step);
+            assert!(stats.quantize_seconds > 0.0);
+            assert!(stats.encode.total_seconds() > 0.0);
+            assert!(stats.total_seconds > stats.encode.total_seconds());
+            assert!(stats.encode_throughput_gbs(dev.quant_code_bytes()) > 0.0);
+            assert!(stats.overall_throughput_gbs(dev.original_bytes()) > 0.0);
+            // The GPU-encoded archive decompresses to the same data.
+            let a = decompress(&g, &host).unwrap();
+            let b = decompress(&g, &dev).unwrap();
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn mismatched_payload_is_a_typed_error_not_a_panic() {
+        let spec = dataset_by_name("CESM").unwrap();
+        let field = generate(&spec, 30_000, 5);
+        let g = gpu();
+        // A flat self-sync payload relabelled as a chunked-baseline archive.
+        let mut compressed = compress(
+            &field,
+            &SzConfig::paper_default(DecoderKind::OptimizedSelfSync),
+        );
+        compressed.config.decoder = DecoderKind::CuszBaseline;
+        let err = decompress(&g, &compressed).unwrap_err();
+        assert_eq!(
+            err,
+            huffdec_core::DecodeError::PayloadMismatch {
+                decoder: DecoderKind::CuszBaseline
+            }
+        );
+        // A gap-array decoder pointed at a stream without a gap array.
+        compressed.config.decoder = DecoderKind::OptimizedGapArray;
+        assert!(decompress(&g, &compressed).is_err());
     }
 }

@@ -58,7 +58,7 @@ fn main() {
         .into_field()
         .expect("field archive");
     let gpu = Gpu::v100();
-    let decompressed = decompress(&gpu, &restored);
+    let decompressed = decompress(&gpu, &restored).expect("archive payload matches its decoder");
 
     // 6. The reconstruction from disk must honour the error bound against the original.
     let bound = config.error_bound.to_absolute(field.range_span() as f64);

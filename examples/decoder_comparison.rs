@@ -34,7 +34,7 @@ fn main() {
 
     for kind in DecoderKind::all() {
         let payload = compress_for(kind, &q.codes, DEFAULT_ALPHABET_SIZE);
-        let result = decode(&gpu, kind, &payload);
+        let result = decode(&gpu, kind, &payload).expect("payload matches decoder");
         assert_eq!(result.symbols, q.codes, "{:?} decoded incorrectly", kind);
 
         println!(

@@ -50,8 +50,8 @@ fn main() {
     let mut optimized_seconds = 0.0;
     for i in 0..CONSUMPTIONS {
         let (baseline, optimized) = &archives[i % NUM_BLOCKS];
-        baseline_seconds += decompress(&gpu, baseline).stats.total_seconds;
-        optimized_seconds += decompress(&gpu, optimized).stats.total_seconds;
+        baseline_seconds += decompress(&gpu, baseline).unwrap().stats.total_seconds;
+        optimized_seconds += decompress(&gpu, optimized).unwrap().stats.total_seconds;
     }
 
     println!(

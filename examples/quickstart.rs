@@ -35,7 +35,7 @@ fn main() {
     //    kernels; the output is bit-exact and the timing breakdown is the paper's Table II
     //    structure.
     let gpu = Gpu::v100();
-    let decompressed = decompress(&gpu, &compressed);
+    let decompressed = decompress(&gpu, &compressed).expect("payload matches decoder");
 
     let eb_abs = 1e-3 * field.range_span() as f64;
     assert!(

@@ -36,13 +36,13 @@ fn streamed_archives_concatenate_and_reconstruct() {
             .expect("read archive")
             .into_field()
             .expect("field archive");
-        assert_eq!(restored.decoder, original.decoder);
+        assert_eq!(restored.decoder(), original.decoder());
         assert_eq!(restored.dims, original.dims);
         assert_eq!(
-            decompress(&gpu, &restored).data,
-            decompress(&gpu, original).data,
+            decompress(&gpu, &restored).unwrap().data,
+            decompress(&gpu, original).unwrap().data,
             "archive reconstruction diverged for {:?}",
-            original.decoder
+            original.decoder()
         );
     }
 }

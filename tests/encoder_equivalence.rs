@@ -1,0 +1,132 @@
+//! Encoder equivalence suite: the simulated-GPU parallel encode pipeline
+//! (`huffdec_core::compress_on`) must be bit-identical to the single-threaded host
+//! encoder (`compress_for`) — same units, same metadata, same gap arrays, same codebook —
+//! for all three stream formats on every paper dataset, plus the degenerate inputs.
+
+use huffdec::core_decoders::{compress_for, compress_on, decode, CompressedPayload, DecoderKind};
+use huffdec::datasets::{dataset_by_name, generate};
+use huffdec::gpu_sim::{Gpu, GpuConfig};
+use huffdec::sz::{quantize, DEFAULT_ALPHABET_SIZE};
+
+const PAPER_DATASETS: [&str; 5] = ["HACC", "CESM", "Nyx", "RTM", "GAMESS"];
+
+fn gpu() -> Gpu {
+    Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+}
+
+fn assert_identical(kind: DecoderKind, parallel: &CompressedPayload, serial: &CompressedPayload) {
+    match (parallel, serial) {
+        (
+            CompressedPayload::Chunked {
+                encoded: a,
+                codebook: ca,
+            },
+            CompressedPayload::Chunked {
+                encoded: b,
+                codebook: cb,
+            },
+        ) => {
+            assert_eq!(a.units, b.units, "{:?}: chunked units differ", kind);
+            assert_eq!(a.chunks, b.chunks, "{:?}: chunk metadata differs", kind);
+            assert_eq!(a.chunk_symbols, b.chunk_symbols);
+            assert_eq!(a.num_symbols, b.num_symbols);
+            assert_eq!(
+                ca.codewords(),
+                cb.codewords(),
+                "{:?}: codebooks differ",
+                kind
+            );
+        }
+        (CompressedPayload::Flat(a), CompressedPayload::Flat(b)) => {
+            assert_eq!(a.units, b.units, "{:?}: flat units differ", kind);
+            assert_eq!(a.bit_len, b.bit_len, "{:?}: bit lengths differ", kind);
+            assert_eq!(a.num_symbols, b.num_symbols);
+            assert_eq!(a.geometry, b.geometry);
+            assert_eq!(a.codebook.codewords(), b.codebook.codewords());
+            match (&a.gap_array, &b.gap_array) {
+                (None, None) => {}
+                (Some(ga), Some(gb)) => {
+                    assert_eq!(ga.gaps, gb.gaps, "{:?}: gap arrays differ", kind);
+                    assert_eq!(ga.subseq_bits, gb.subseq_bits);
+                }
+                _ => panic!("{:?}: gap array presence differs", kind),
+            }
+        }
+        _ => panic!("{:?}: payload formats differ", kind),
+    }
+    // The field-by-field asserts above exist for readable failure diagnostics; this is
+    // the authoritative bit-level check, so the helper can never drift weaker than the
+    // `CompressedPayload` equality the encoder guarantees.
+    assert_eq!(
+        parallel, serial,
+        "{:?}: payloads are not bit-identical",
+        kind
+    );
+}
+
+#[test]
+fn parallel_encode_is_bit_identical_on_every_paper_dataset() {
+    let g = gpu();
+    let mut seed = 0x7AB1E6u64;
+    for name in PAPER_DATASETS {
+        let spec = dataset_by_name(name).expect("paper dataset");
+        seed += 1;
+        let field = generate(&spec, 40_000, seed);
+        // Quantize exactly as the pipeline does at the paper's error bound.
+        let eb_abs = 1e-3 * field.range_span() as f64;
+        let q = quantize(&field.data, field.dims, 2.0 * eb_abs, DEFAULT_ALPHABET_SIZE);
+        for kind in DecoderKind::all() {
+            let serial = compress_for(kind, &q.codes, DEFAULT_ALPHABET_SIZE);
+            let (parallel, phases) = compress_on(&g, kind, &q.codes, DEFAULT_ALPHABET_SIZE);
+            assert_identical(kind, &parallel, &serial);
+            assert!(
+                phases.total_seconds() > 0.0,
+                "{} / {:?}: no simulated encode time",
+                name,
+                kind
+            );
+            // The parallel-encoded payload decodes back to the quantization codes.
+            let decoded = decode(&g, kind, &parallel).expect("matching payload");
+            assert_eq!(decoded.symbols, q.codes, "{} / {:?}", name, kind);
+        }
+    }
+}
+
+#[test]
+fn empty_symbol_stream_is_equivalent() {
+    let g = gpu();
+    for kind in DecoderKind::all() {
+        let serial = compress_for(kind, &[], DEFAULT_ALPHABET_SIZE);
+        let (parallel, phases) = compress_on(&g, kind, &[], DEFAULT_ALPHABET_SIZE);
+        assert_identical(kind, &parallel, &serial);
+        assert_eq!(phases.total_seconds(), 0.0);
+        assert_eq!(parallel.num_symbols(), 0);
+    }
+}
+
+#[test]
+fn single_distinct_symbol_field_is_equivalent() {
+    let g = gpu();
+    let symbols = vec![512u16; 20_000];
+    for kind in DecoderKind::all() {
+        let serial = compress_for(kind, &symbols, DEFAULT_ALPHABET_SIZE);
+        let (parallel, _) = compress_on(&g, kind, &symbols, DEFAULT_ALPHABET_SIZE);
+        assert_identical(kind, &parallel, &serial);
+        let decoded = decode(&g, kind, &parallel).expect("matching payload");
+        assert_eq!(decoded.symbols, symbols, "{:?}", kind);
+    }
+}
+
+#[test]
+fn encode_phase_breakdown_names_match_the_paper_pipeline() {
+    let g = gpu();
+    let symbols: Vec<u16> = (0..30_000u32)
+        .map(|i| (512 + ((i.wrapping_mul(2654435761) >> 23) % 16) as i32 - 8) as u16)
+        .collect();
+    let (_, phases) = compress_on(&g, DecoderKind::OptimizedGapArray, &symbols, 1024);
+    let names: Vec<&str> = phases.phases().iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        vec!["histogram", "tree+codebook", "offset prefix-sum", "scatter"]
+    );
+}

@@ -17,7 +17,7 @@ fn every_dataset_roundtrips_within_the_error_bound() {
         let field = generate(&spec, 40_000, 11);
         let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
         let compressed = compress(&field, &config);
-        let decompressed = decompress(&gpu, &compressed);
+        let decompressed = decompress(&gpu, &compressed).expect("payload matches decoder");
         let eb_abs = 1e-3 * field.range_span() as f64;
         assert!(
             verify_error_bound(&field.data, &decompressed.data, eb_abs).is_none(),
@@ -41,7 +41,7 @@ fn all_decoders_produce_identical_reconstructions() {
     for decoder in DecoderKind::all() {
         let config = SzConfig::paper_default(decoder);
         let compressed = compress(&field, &config);
-        let decompressed = decompress(&gpu, &compressed);
+        let decompressed = decompress(&gpu, &compressed).expect("payload matches decoder");
         match &reference {
             None => reference = Some(decompressed.data),
             Some(r) => assert_eq!(
@@ -67,7 +67,7 @@ fn tighter_bounds_give_better_fidelity_and_lower_ratio() {
             decoder: DecoderKind::OptimizedSelfSync,
         };
         let compressed = compress(&field, &config);
-        let decompressed = decompress(&gpu, &compressed);
+        let decompressed = decompress(&gpu, &compressed).expect("payload matches decoder");
         let psnr = huffdec::sz::psnr(&field.data, &decompressed.data);
         assert!(
             psnr > last_psnr,
