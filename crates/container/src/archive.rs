@@ -94,6 +94,13 @@ impl<W: Write> ArchiveWriter<W> {
             SectionKind::Outliers,
             &codec::encode_outliers(&compressed.outliers),
         )?;
+        if let Some(crc) = compressed.decoded_crc {
+            total += write_section(
+                &mut self.inner,
+                SectionKind::DecodedCrc,
+                &codec::encode_decoded_crc(compressed.payload.num_symbols() as u64, crc),
+            )?;
+        }
         total += write_section(&mut self.inner, SectionKind::End, &[])?;
         Ok(total)
     }
@@ -224,6 +231,7 @@ impl<R: Read> ArchiveReader<R> {
         let mut gap_payload: Option<Vec<u8>> = None;
         let mut outlier_payload: Option<Vec<u8>> = None;
         let mut chunked_payload: Option<Vec<u8>> = None;
+        let mut decoded_crc_payload: Option<Vec<u8>> = None;
         loop {
             let (kind, payload) = read_section(&mut self.inner)?;
             let slot = match kind {
@@ -240,6 +248,7 @@ impl<R: Read> ArchiveReader<R> {
                 SectionKind::GapArray => &mut gap_payload,
                 SectionKind::Outliers => &mut outlier_payload,
                 SectionKind::ChunkedStream => &mut chunked_payload,
+                SectionKind::DecodedCrc => &mut decoded_crc_payload,
             };
             if slot.is_some() {
                 return Err(ContainerError::DuplicateSection { section: kind });
@@ -312,6 +321,9 @@ impl<R: Read> ArchiveReader<R> {
                     &require(outlier_payload, SectionKind::Outliers)?,
                     num_elements,
                 )?;
+                let decoded_crc = decoded_crc_payload
+                    .map(|p| codec::parse_decoded_crc(&p, payload.num_symbols() as u64))
+                    .transpose()?;
                 let config = SzConfig {
                     error_bound: meta.error_bound,
                     alphabet_size: header.alphabet_size as usize,
@@ -323,10 +335,15 @@ impl<R: Read> ArchiveReader<R> {
                     dims: meta.dims,
                     step: meta.step,
                     config,
+                    decoded_crc,
                 }))
             }
             None => {
                 reject_if_present(&outlier_payload, "outliers in a payload-only archive")?;
+                reject_if_present(
+                    &decoded_crc_payload,
+                    "decoded-crc trailer in a payload-only archive",
+                )?;
                 Ok(Archive::Payload {
                     payload,
                     decoder: header.decoder,
@@ -378,4 +395,28 @@ pub fn read_one_archive(bytes: &[u8]) -> Result<Archive> {
         });
     }
     Ok(archive)
+}
+
+/// Parses every archive concatenated in `bytes`, pairing each reassembled [`Archive`]
+/// with its structural summary ([`crate::ArchiveInfo`]: header fields, section table,
+/// stored sizes).
+///
+/// This is the load-time path for long-running consumers: the `hfzd` daemon calls it
+/// once when an archive file is loaded and keeps the results in memory, so *serving a
+/// request* never re-parses (or re-checksums) the file. The load itself walks each
+/// archive twice — a cheap structural pass for the summary, then the reassembly pass —
+/// which is the right trade at load frequency. An empty input yields an empty vector;
+/// any corruption anywhere in the file fails the whole load.
+pub fn read_archives_with_info(bytes: &[u8]) -> Result<Vec<(crate::ArchiveInfo, Archive)>> {
+    let mut remaining = bytes;
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        let mut info_cursor = remaining;
+        let info = crate::inspect::read_info(&mut info_cursor)?;
+        let mut archive_cursor = remaining;
+        let archive = ArchiveReader::new(&mut archive_cursor).read_archive()?;
+        remaining = archive_cursor;
+        out.push((info, archive));
+    }
+    Ok(out)
 }

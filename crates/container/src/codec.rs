@@ -182,6 +182,32 @@ pub fn parse_outliers(payload: &[u8], num_elements: u64) -> Result<Vec<Outlier>>
     Ok(outliers)
 }
 
+// --- Decoded-stream digest -------------------------------------------------------------
+
+/// Encodes the decoded-CRC trailer: the number of symbols the digest covers and the
+/// CRC32 of the decoded symbol stream (LE u16 serialization).
+pub fn encode_decoded_crc(num_symbols: u64, crc: u32) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(12);
+    w.put_u64(num_symbols);
+    w.put_u32(crc);
+    w.into_bytes()
+}
+
+/// Parses the decoded-CRC trailer, requiring its symbol count to match the stream's
+/// (a digest over a different stream length can never validate anything).
+pub fn parse_decoded_crc(payload: &[u8], stream_symbols: u64) -> Result<u32> {
+    let mut c = ByteCursor::new(payload, "decoded-crc section");
+    let num_symbols = c.get_u64()?;
+    let crc = c.get_u32()?;
+    c.expect_end("trailing bytes in decoded-crc section")?;
+    if num_symbols != stream_symbols {
+        return Err(invalid(
+            "decoded-crc symbol count does not match the stream",
+        ));
+    }
+    Ok(crc)
+}
+
 // --- Chunked stream --------------------------------------------------------------------
 
 /// Encodes cuSZ's chunked bitstream with its per-chunk metadata.
@@ -406,6 +432,19 @@ mod tests {
             },
         ];
         assert!(parse_outliers(&encode_outliers(&unsorted), 100).is_err());
+    }
+
+    #[test]
+    fn decoded_crc_roundtrip_and_count_check() {
+        let payload = encode_decoded_crc(12_345, 0xDEAD_BEEF);
+        assert_eq!(parse_decoded_crc(&payload, 12_345).unwrap(), 0xDEAD_BEEF);
+        // A digest claiming a different stream length is rejected.
+        assert!(parse_decoded_crc(&payload, 12_346).is_err());
+        // Truncated / oversized payloads are rejected.
+        assert!(parse_decoded_crc(&payload[..8], 12_345).is_err());
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(parse_decoded_crc(&long, 12_345).is_err());
     }
 
     #[test]

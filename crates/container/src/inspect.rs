@@ -41,6 +41,9 @@ pub struct ArchiveInfo {
     pub sections: Vec<SectionInfo>,
     /// Number of encoded symbols (from the stream section).
     pub num_symbols: u64,
+    /// CRC32 over the decoded symbol stream, when the archive carries the optional
+    /// decoded-CRC trailer (deep verification).
+    pub decoded_crc: Option<u32>,
     /// Total archive size in bytes, header and end marker included.
     pub total_bytes: u64,
 }
@@ -61,6 +64,68 @@ impl ArchiveInfo {
             return 0.0;
         }
         self.original_bytes() as f64 / self.total_bytes as f64
+    }
+
+    /// Renders the archive structure as a single JSON object — the machine-readable
+    /// form behind `hfz inspect --json` and the daemon's `LIST` response, so tooling
+    /// and tests can consume archive metadata without screen-scraping the human report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str(&format!("\"total_bytes\":{}", self.total_bytes));
+        s.push_str(&format!(
+            ",\"decoder\":\"{}\",\"decoder_tag\":{}",
+            json_escape(self.decoder.name()),
+            self.decoder.tag()
+        ));
+        s.push_str(&format!(",\"alphabet_size\":{}", self.alphabet_size));
+        s.push_str(&format!(",\"num_symbols\":{}", self.num_symbols));
+        s.push_str(&format!(",\"original_bytes\":{}", self.original_bytes()));
+        s.push_str(&format!(
+            ",\"compression_ratio\":{:.6}",
+            self.compression_ratio()
+        ));
+        match self.decoded_crc {
+            Some(crc) => s.push_str(&format!(",\"decoded_crc\":{}", crc)),
+            None => s.push_str(",\"decoded_crc\":null"),
+        }
+        match &self.field {
+            Some(meta) => {
+                let (mode, value) = meta.error_bound.wire_parts();
+                let mode = if mode == 0 { "absolute" } else { "relative" };
+                let dims = meta
+                    .dims
+                    .as_vec()
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                s.push_str(&format!(
+                    ",\"field\":{{\"dims\":[{}],\"elements\":{},\"error_bound_mode\":\"{}\",\
+                     \"error_bound\":{:e},\"quant_step\":{:e}}}",
+                    dims,
+                    meta.dims.len(),
+                    mode,
+                    value,
+                    meta.step
+                ));
+            }
+            None => s.push_str(",\"field\":null"),
+        }
+        s.push_str(",\"sections\":[");
+        for (i, sec) in self.sections.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"kind\":\"{}\",\"payload_bytes\":{},\"stored_bytes\":{}}}",
+                json_escape(&sec.kind.to_string()),
+                sec.payload_bytes,
+                sec.stored_bytes()
+            ));
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -91,6 +156,9 @@ impl fmt::Display for ArchiveInfo {
                 writeln!(f, "  quant step:    {:e}", meta.step)?;
             }
             None => writeln!(f, "  payload-only archive (no field metadata)")?,
+        }
+        if let Some(crc) = self.decoded_crc {
+            writeln!(f, "  decoded crc:   {:08x}", crc)?;
         }
         writeln!(f, "  sections:")?;
         writeln!(
@@ -129,6 +197,7 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
 
     let mut sections = Vec::new();
     let mut num_symbols = 0u64;
+    let mut decoded_crc = None;
     let mut total = HEADER_WIRE_BYTES as u64;
     loop {
         let (kind, payload) = read_section(r)?;
@@ -145,6 +214,10 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
             let mut c = ByteCursor::new(&payload, "chunked-stream section");
             let _chunk_symbols = c.get_u64()?;
             num_symbols = c.get_u64()?;
+        } else if kind == SectionKind::DecodedCrc {
+            let mut c = ByteCursor::new(&payload, "decoded-crc section");
+            let _covered_symbols = c.get_u64()?;
+            decoded_crc = Some(c.get_u32()?);
         }
         sections.push(SectionInfo {
             kind,
@@ -167,6 +240,24 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
         field: header.field,
         sections,
         num_symbols,
+        decoded_crc,
         total_bytes: total,
     })
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

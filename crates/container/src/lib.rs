@@ -48,10 +48,14 @@
 //! | 3   | gap array | `subseq bits u64`, `count u64`, one gap byte per subsequence |
 //! | 4   | outliers | `count u64`, then `count` × (`index u64`, `prequant i64`), strictly increasing indices |
 //! | 5   | chunked stream | `chunk symbols u64`, `symbol count u64`, `chunk count u64`, per-chunk metadata (5 × u64), `unit count u64`, units |
+//! | 6   | decoded crc | `symbol count u64`, `CRC32 u32` over the decoded symbol stream (optional trailer; deep verification) |
 //!
 //! A *chunked* archive (baseline decoder) carries sections {codebook, chunked stream};
 //! a *flat* archive carries {codebook, flat stream} plus a gap array exactly when the
-//! decoder requires one. Field archives additionally carry {outliers}. Anything else —
+//! decoder requires one. Field archives additionally carry {outliers} and, since the
+//! trailer was introduced, {decoded crc} — a digest over the *decoded* quantization
+//! codes, which `hfz verify --deep` checks so that archives whose sections are
+//! individually CRC-valid but decode to the wrong symbols are caught. Anything else —
 //! missing, duplicated, or format-mismatched sections — is rejected.
 //!
 //! ### Guarantees
@@ -100,10 +104,11 @@ pub mod section;
 pub mod wire;
 
 pub use archive::{
-    from_bytes, payload_to_bytes, read_one_archive, to_bytes, Archive, ArchiveReader, ArchiveWriter,
+    from_bytes, payload_to_bytes, read_archives_with_info, read_one_archive, to_bytes, Archive,
+    ArchiveReader, ArchiveWriter,
 };
-pub use crc32::{crc32, Crc32};
+pub use crc32::{crc32, crc32_symbols, Crc32};
 pub use error::{ContainerError, Result};
 pub use header::{FieldMeta, Header, FORMAT_VERSION, HEADER_BYTES, HEADER_WIRE_BYTES, MAGIC};
-pub use inspect::{read_info, ArchiveInfo, SectionInfo};
+pub use inspect::{json_escape, read_info, ArchiveInfo, SectionInfo};
 pub use section::SectionKind;

@@ -37,6 +37,8 @@ pub enum SectionKind {
     Outliers,
     /// cuSZ coarse-grained chunked bitstream (baseline decoder).
     ChunkedStream,
+    /// CRC32 over the decoded symbol stream (optional trailer; deep verification).
+    DecodedCrc,
 }
 
 impl SectionKind {
@@ -49,6 +51,7 @@ impl SectionKind {
             SectionKind::GapArray => 3,
             SectionKind::Outliers => 4,
             SectionKind::ChunkedStream => 5,
+            SectionKind::DecodedCrc => 6,
         }
     }
 
@@ -61,6 +64,7 @@ impl SectionKind {
             3 => Some(SectionKind::GapArray),
             4 => Some(SectionKind::Outliers),
             5 => Some(SectionKind::ChunkedStream),
+            6 => Some(SectionKind::DecodedCrc),
             _ => None,
         }
     }
@@ -75,6 +79,7 @@ impl fmt::Display for SectionKind {
             SectionKind::GapArray => "gap-array",
             SectionKind::Outliers => "outliers",
             SectionKind::ChunkedStream => "chunked-stream",
+            SectionKind::DecodedCrc => "decoded-crc",
         };
         f.write_str(name)
     }
@@ -176,6 +181,7 @@ mod tests {
             SectionKind::GapArray,
             SectionKind::Outliers,
             SectionKind::ChunkedStream,
+            SectionKind::DecodedCrc,
         ] {
             assert_eq!(SectionKind::from_tag(kind.tag()), Some(kind));
         }

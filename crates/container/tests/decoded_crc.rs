@@ -1,0 +1,125 @@
+//! The decoded-CRC trailer section: round-trip, accounting, and tamper detection.
+//!
+//! Section-level CRCs catch bit rot in the *stored* bytes; the decoded-CRC trailer
+//! digests the *decoded symbol stream*, so a semantically wrong but structurally valid
+//! archive (e.g. one whose codebook and stream were both swapped consistently) can still
+//! be caught by deep verification.
+
+use datasets::{dataset_by_name, generate};
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_container::{from_bytes, to_bytes, ContainerError, SectionKind};
+use huffdec_core::DecoderKind;
+use sz::{compress, decode_codes, SzConfig};
+
+fn gpu() -> Gpu {
+    Gpu::with_host_threads(GpuConfig::test_tiny(), 2)
+}
+
+#[test]
+fn digest_survives_the_container_roundtrip() {
+    let field = generate(&dataset_by_name("GAMESS").unwrap(), 30_000, 11);
+    for kind in DecoderKind::all() {
+        let compressed = compress(&field, &SzConfig::paper_default(kind));
+        assert!(compressed.decoded_crc.is_some());
+        let bytes = to_bytes(&compressed).unwrap();
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.decoded_crc, compressed.decoded_crc, "{:?}", kind);
+        // The restored digest validates the restored archive's decoded codes.
+        let decoded = decode_codes(&gpu(), &restored).unwrap();
+        assert_eq!(restored.matches_decoded_crc(&decoded.symbols), Some(true));
+    }
+}
+
+#[test]
+fn archives_without_a_digest_still_read() {
+    // Pre-trailer archives simply lack the section; the reader must not require it.
+    let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, 5);
+    let mut compressed = compress(
+        &field,
+        &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+    );
+    compressed.decoded_crc = None;
+    let bytes = to_bytes(&compressed).unwrap();
+    let restored = from_bytes(&bytes).unwrap();
+    assert_eq!(restored.decoded_crc, None);
+    assert_eq!(restored.matches_decoded_crc(&[]), None);
+}
+
+#[test]
+fn digest_section_is_covered_by_its_frame_checksum() {
+    let field = generate(&dataset_by_name("CESM").unwrap(), 20_000, 9);
+    let compressed = compress(
+        &field,
+        &SzConfig::paper_default(DecoderKind::OptimizedSelfSync),
+    );
+    let bytes = to_bytes(&compressed).unwrap();
+
+    // Find the decoded-crc section frame (tag 6) and flip a payload bit.
+    let tag = SectionKind::DecodedCrc.tag();
+    let pos = bytes
+        .windows(12)
+        .enumerate()
+        .rev()
+        .find(|(_, w)| w[0] == tag && w[1..4] == [0, 0, 0] && w[4..12] == 12u64.to_le_bytes())
+        .map(|(i, _)| i)
+        .expect("digest section frame present");
+    let mut tampered = bytes.clone();
+    tampered[pos + 12 + 8] ^= 0x01; // first CRC byte of the digest payload
+    match from_bytes(&tampered) {
+        Err(ContainerError::ChecksumMismatch { section, .. }) => {
+            assert_eq!(section, SectionKind::DecodedCrc)
+        }
+        other => panic!("tampered digest must fail its section CRC, got {:?}", other),
+    }
+
+    // A consistent rewrite of the digest payload (valid frame CRC, wrong digest value)
+    // is accepted structurally — that is exactly the case deep verification exists for.
+    let mut forged = bytes.clone();
+    forged[pos + 12 + 8] ^= 0x01;
+    let mut crc = huffdec_container::Crc32::new();
+    crc.update(&forged[pos..pos + 12 + 12]);
+    forged[pos + 24..pos + 28].copy_from_slice(&crc.finish().to_le_bytes());
+    let restored = from_bytes(&forged).expect("forged digest is structurally valid");
+    let decoded = decode_codes(&gpu(), &restored).unwrap();
+    assert_eq!(
+        restored.matches_decoded_crc(&decoded.symbols),
+        Some(false),
+        "deep verification must catch the forged digest"
+    );
+}
+
+#[test]
+fn indexed_bulk_read_parses_concatenated_archives_once() {
+    let specs = ["HACC", "GAMESS", "Nyx"];
+    let mut stream = Vec::new();
+    let mut references = Vec::new();
+    for (i, name) in specs.iter().enumerate() {
+        let field = generate(&dataset_by_name(name).unwrap(), 15_000 + i * 1000, i as u64);
+        let compressed = compress(
+            &field,
+            &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+        );
+        stream.extend_from_slice(&to_bytes(&compressed).unwrap());
+        references.push(compressed);
+    }
+    let parsed = huffdec_container::read_archives_with_info(&stream).unwrap();
+    assert_eq!(parsed.len(), specs.len());
+    let mut offset = 0u64;
+    for ((info, archive), reference) in parsed.iter().zip(&references) {
+        assert_eq!(info.num_symbols as usize, reference.payload.num_symbols());
+        assert_eq!(info.decoded_crc, reference.decoded_crc);
+        assert_eq!(info.total_bytes, reference.compressed_bytes());
+        let field = archive.clone().into_field().expect("field archive");
+        assert_eq!(field.decoded_crc, reference.decoded_crc);
+        assert_eq!(field.dims, reference.dims);
+        offset += info.total_bytes;
+    }
+    assert_eq!(offset, stream.len() as u64);
+
+    // Truncation anywhere fails the whole load.
+    assert!(huffdec_container::read_archives_with_info(&stream[..stream.len() - 3]).is_err());
+    // Empty input is an empty load.
+    assert!(huffdec_container::read_archives_with_info(&[])
+        .unwrap()
+        .is_empty());
+}

@@ -14,11 +14,15 @@ use crate::phases::{DecodeResult, PhaseBreakdown};
 /// Threads per block used by the baseline decoder (as in cuSZ).
 const BLOCK_DIM: u32 = 128;
 
-/// The coarse-grained decode kernel: one thread per chunk.
+/// The coarse-grained decode kernel: one thread per *selected* chunk. Thread `i` decodes
+/// `chunks[chunk_indices[i]]`, so a launch can cover the whole stream (`decode_baseline`)
+/// or just the chunks overlapping a requested symbol range (`decode_baseline_chunks`,
+/// used by the partial-decode path of the serving layer).
 struct CoarseDecodeKernel<'a> {
     encoded: &'a ChunkedEncoded,
     codebook: &'a Codebook,
     output: &'a DeviceBuffer<u16>,
+    chunk_indices: &'a [u32],
 }
 
 impl BlockKernel for CoarseDecodeKernel<'_> {
@@ -29,21 +33,22 @@ impl BlockKernel for CoarseDecodeKernel<'_> {
     fn block(&self, ctx: &mut BlockContext) {
         let warp_size = ctx.config().warp_size;
         let chunks = &self.encoded.chunks;
+        let selected = self.chunk_indices;
         let base_chunk = (ctx.block_idx() * ctx.block_dim()) as usize;
 
         for w in 0..ctx.warp_count() {
             let warp_base = base_chunk + (w * warp_size) as usize;
-            if warp_base >= chunks.len() {
+            if warp_base >= selected.len() {
                 break;
             }
-            let lanes = warp_size.min((chunks.len() - warp_base) as u32);
+            let lanes = warp_size.min((selected.len() - warp_base) as u32);
 
             // Functional decode + per-lane work measurement.
             let mut lane_bits: Vec<f64> = Vec::with_capacity(lanes as usize);
             let mut lane_symbols: Vec<u64> = Vec::with_capacity(lanes as usize);
             let mut lane_units: Vec<u64> = Vec::with_capacity(lanes as usize);
             for lane in 0..lanes {
-                let chunk = &chunks[warp_base + lane as usize];
+                let chunk = &chunks[selected[warp_base + lane as usize] as usize];
                 let start = chunk.unit_offset as usize;
                 let end = start + chunk.unit_count as usize;
                 let reader = BitReader::new(&self.encoded.units[start..end], chunk.bit_len);
@@ -109,13 +114,8 @@ impl BlockKernel for CoarseDecodeKernel<'_> {
 /// Decodes a chunked (cuSZ-format) stream with the baseline coarse-grained decoder.
 pub fn decode_baseline(gpu: &Gpu, encoded: &ChunkedEncoded, codebook: &Codebook) -> DecodeResult {
     let output = DeviceBuffer::<u16>::zeroed(encoded.num_symbols);
-    let kernel = CoarseDecodeKernel {
-        encoded,
-        codebook,
-        output: &output,
-    };
-    let grid = (encoded.chunks.len() as u32).div_ceil(BLOCK_DIM).max(1);
-    let stats = gpu.launch(&kernel, LaunchConfig::new(grid, BLOCK_DIM));
+    let all_chunks: Vec<u32> = (0..encoded.chunks.len() as u32).collect();
+    let stats = decode_baseline_chunks(gpu, encoded, codebook, &all_chunks, &output);
 
     let timings = PhaseBreakdown {
         decode_write: Some(gpu_sim::PhaseTime::from_kernel(stats)),
@@ -126,6 +126,27 @@ pub fn decode_baseline(gpu: &Gpu, encoded: &ChunkedEncoded, codebook: &Codebook)
         symbols: output.to_vec(),
         timings,
     }
+}
+
+/// Decodes only the given chunks of a chunked stream into `output` (which must span the
+/// whole stream: each chunk writes at its recorded `symbol_offset`). This is the
+/// baseline decoder's partial-decode entry point: a serving layer answering a range
+/// request launches one thread per *overlapping* chunk instead of decoding the field.
+pub fn decode_baseline_chunks(
+    gpu: &Gpu,
+    encoded: &ChunkedEncoded,
+    codebook: &Codebook,
+    chunk_indices: &[u32],
+    output: &DeviceBuffer<u16>,
+) -> gpu_sim::KernelStats {
+    let kernel = CoarseDecodeKernel {
+        encoded,
+        codebook,
+        output,
+        chunk_indices,
+    };
+    let grid = (chunk_indices.len() as u32).div_ceil(BLOCK_DIM).max(1);
+    gpu.launch(&kernel, LaunchConfig::new(grid, BLOCK_DIM))
 }
 
 #[cfg(test)]
@@ -182,6 +203,32 @@ mod tests {
             "efficiency = {}",
             kernel.mem.efficiency(32)
         );
+    }
+
+    #[test]
+    fn chunk_subset_decodes_only_those_chunks() {
+        let symbols = quant_symbols(20_000);
+        let cb = Codebook::from_symbols(&symbols, 1024);
+        let enc = encode_chunked(&cb, &symbols, 1000);
+        assert!(enc.chunks.len() >= 3);
+        let output = DeviceBuffer::<u16>::zeroed(enc.num_symbols);
+        // Decode only chunks 1 and 3.
+        let stats = decode_baseline_chunks(&gpu(), &enc, &cb, &[1, 3], &output);
+        assert!(stats.time_s > 0.0);
+        let decoded = output.to_vec();
+        for (i, chunk) in enc.chunks.iter().enumerate() {
+            let lo = chunk.symbol_offset as usize;
+            let hi = lo + chunk.num_symbols as usize;
+            if i == 1 || i == 3 {
+                assert_eq!(&decoded[lo..hi], &symbols[lo..hi], "chunk {} mismatched", i);
+            } else {
+                assert!(
+                    decoded[lo..hi].iter().all(|&s| s == 0),
+                    "chunk {} was decoded but not selected",
+                    i
+                );
+            }
+        }
     }
 
     #[test]

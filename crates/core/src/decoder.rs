@@ -179,6 +179,15 @@ pub enum DecodeError {
         /// The decoder that was asked to run.
         decoder: DecoderKind,
     },
+    /// A partial-decode request addressed symbols beyond the end of the stream.
+    RangeOutOfBounds {
+        /// First requested symbol index.
+        start: u64,
+        /// Requested symbol count.
+        len: u64,
+        /// Number of symbols the stream actually encodes.
+        num_symbols: u64,
+    },
 }
 
 impl DecodeError {
@@ -186,6 +195,7 @@ impl DecodeError {
     pub fn reason(&self) -> &'static str {
         match self {
             DecodeError::PayloadMismatch { .. } => "payload format does not match the decoder",
+            DecodeError::RangeOutOfBounds { .. } => "requested symbol range is out of bounds",
         }
     }
 }
@@ -196,6 +206,17 @@ impl fmt::Display for DecodeError {
             DecodeError::PayloadMismatch { decoder } => {
                 write!(f, "payload format does not match decoder {:?}", decoder)
             }
+            DecodeError::RangeOutOfBounds {
+                start,
+                len,
+                num_symbols,
+            } => write!(
+                f,
+                "symbol range [{}, {}) is out of bounds for a stream of {} symbols",
+                start,
+                start + len,
+                num_symbols
+            ),
         }
     }
 }

@@ -64,6 +64,12 @@ pub mod wire {
     pub fn outliers_section(num_outliers: usize) -> u64 {
         8 + num_outliers as u64 * 16 + SECTION_OVERHEAD
     }
+
+    /// Stored size of the decoded-CRC trailer section: a u64 symbol count plus a u32
+    /// CRC32 over the decoded symbol stream, plus framing.
+    pub const fn decoded_crc_section() -> u64 {
+        12 + SECTION_OVERHEAD
+    }
 }
 
 /// Geometry of the stream decomposition.

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod crc32;
 pub mod decode_write;
 pub mod decoder;
 pub mod encode;
@@ -56,10 +57,13 @@ pub mod format;
 pub mod gap_decode;
 pub mod output_index;
 pub mod phases;
+pub mod range;
 pub mod self_sync;
 pub mod subseq;
 pub mod tuner;
 
+pub use baseline::decode_baseline_chunks;
+pub use crc32::{crc32, crc32_symbols, Crc32};
 pub use decode_write::{run_decode_write, DecodeWriteKernel, WriteStrategy};
 pub use decoder::{compress_for, decode, roundtrip, CompressedPayload, DecodeError, DecoderKind};
 pub use encode::{compress_on, EncodePhaseBreakdown};
@@ -69,6 +73,7 @@ pub use format::{
 pub use gap_decode::{decode_original_gap8, encode_gap8, gap_count_symbols, Gap8Stream};
 pub use output_index::{compute_output_index, OutputIndex};
 pub use phases::{DecodeResult, PhaseBreakdown};
+pub use range::{decode_range, prepare_decode, PreparedDecode, RangeDecode};
 pub use self_sync::{synchronize, SyncResult, SyncVariant};
 pub use subseq::{decode_subseq_symbols, reference_subseq_infos, SubseqInfo};
 pub use tuner::{tuned_decode_write, TunedDecode, HIGH_CR_BUFFER_SYMBOLS};

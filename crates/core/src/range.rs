@@ -1,0 +1,408 @@
+//! Partial-range decoding: serve a slice of the decoded symbol stream without decoding
+//! the whole field.
+//!
+//! The serving workload of the paper's §V GAMESS scenario (snapshots held compressed in
+//! memory, fields decoded on demand) rarely needs a whole field at once. Every decoder's
+//! stream format already carries enough structure to decode just the blocks that overlap
+//! a requested symbol range:
+//!
+//! * the **chunked** (baseline) format records per-chunk `symbol_offset`/`num_symbols`,
+//!   so the overlapping chunks are found by binary search and decoded independently;
+//! * the **flat** formats reduce, after their preparation phases (self-synchronization
+//!   or gap-array counting + output-index prefix sum), to per-subsequence
+//!   [`SubseqInfo`]s and an [`OutputIndex`] — which map any symbol index back to the
+//!   sequence (thread block) that produces it, so only those blocks need a
+//!   decode/write launch.
+//!
+//! The preparation work is factored into [`prepare_decode`] and the per-request work
+//! into [`decode_range`]: a server computes the [`PreparedDecode`] index once per hot
+//! field and then answers arbitrarily many range requests by launching the
+//! decode/write kernel over only the overlapping blocks.
+
+use gpu_sim::{DeviceBuffer, Gpu};
+
+use crate::baseline::decode_baseline_chunks;
+use crate::decode_write::{run_decode_write, WriteStrategy};
+use crate::decoder::{CompressedPayload, DecodeError, DecoderKind};
+use crate::gap_decode::gap_count_symbols;
+use crate::output_index::{compute_output_index, OutputIndex};
+use crate::phases::PhaseBreakdown;
+use crate::self_sync::{synchronize, SyncVariant};
+use crate::subseq::SubseqInfo;
+use crate::tuner::HIGH_CR_BUFFER_SYMBOLS;
+
+/// The reusable per-field decode index: everything the range-decode path needs that does
+/// not depend on the requested range.
+#[derive(Debug, Clone)]
+enum PreparedIndex {
+    /// Chunked streams carry their index (per-chunk offsets) in the payload itself.
+    Chunked,
+    /// Flat streams need the converged per-subsequence state and the output index.
+    Flat {
+        infos: Vec<SubseqInfo>,
+        output_index: OutputIndex,
+    },
+}
+
+/// The one-time preparation result of [`prepare_decode`].
+///
+/// For flat streams this holds the synchronization/counting result and the output-index
+/// prefix sums; for chunked streams it is a marker (the chunk table in the payload *is*
+/// the index). `timings` records the simulated cost of the preparation phases — charged
+/// once, however many range requests the index later serves.
+#[derive(Debug, Clone)]
+pub struct PreparedDecode {
+    index: PreparedIndex,
+    /// Simulated timing of the preparation phases (empty for chunked streams).
+    pub timings: PhaseBreakdown,
+}
+
+/// The result of one partial decode.
+#[derive(Debug, Clone)]
+pub struct RangeDecode {
+    /// Exactly the requested symbols (`len` of them).
+    pub symbols: Vec<u16>,
+    /// Simulated timing of this request's decode/write launch (preparation is *not*
+    /// included — it lives in [`PreparedDecode::timings`] and is paid once).
+    pub timings: PhaseBreakdown,
+    /// Decode blocks (sequences or chunks) this request actually launched.
+    pub decoded_blocks: usize,
+    /// Total decode blocks in the stream (what a full decode would launch).
+    pub total_blocks: usize,
+}
+
+/// Runs the range-independent preparation phases for `payload` and returns the reusable
+/// decode index.
+///
+/// Returns [`DecodeError::PayloadMismatch`] when the payload's format does not match the
+/// decoder, exactly as [`crate::decode`] would.
+pub fn prepare_decode(
+    gpu: &Gpu,
+    kind: DecoderKind,
+    payload: &CompressedPayload,
+) -> Result<PreparedDecode, DecodeError> {
+    let mismatch = Err(DecodeError::PayloadMismatch { decoder: kind });
+    match (kind, payload) {
+        (DecoderKind::CuszBaseline, CompressedPayload::Chunked { .. }) => Ok(PreparedDecode {
+            index: PreparedIndex::Chunked,
+            timings: PhaseBreakdown::default(),
+        }),
+        (DecoderKind::OriginalSelfSync, CompressedPayload::Flat(stream))
+        | (DecoderKind::OptimizedSelfSync, CompressedPayload::Flat(stream)) => {
+            let variant = if kind == DecoderKind::OriginalSelfSync {
+                SyncVariant::Original
+            } else {
+                SyncVariant::Optimized
+            };
+            let sync = synchronize(gpu, stream, variant);
+            let (output_index, oi_phase) = compute_output_index(gpu, &sync.infos);
+            let timings = PhaseBreakdown {
+                intra_sync: Some(sync.intra_phase),
+                inter_sync: Some(sync.inter_phase),
+                output_index: Some(oi_phase),
+                ..PhaseBreakdown::default()
+            };
+            Ok(PreparedDecode {
+                index: PreparedIndex::Flat {
+                    infos: sync.infos,
+                    output_index,
+                },
+                timings,
+            })
+        }
+        (DecoderKind::OptimizedGapArray, CompressedPayload::Flat(stream)) => {
+            if stream.gap_array.is_none() {
+                return mismatch;
+            }
+            let (infos, count_phase) = gap_count_symbols(gpu, stream);
+            let (output_index, prefix_phase) = compute_output_index(gpu, &infos);
+            let mut oi_phase = count_phase;
+            oi_phase.extend_serial(prefix_phase);
+            let timings = PhaseBreakdown {
+                output_index: Some(oi_phase),
+                ..PhaseBreakdown::default()
+            };
+            Ok(PreparedDecode {
+                index: PreparedIndex::Flat {
+                    infos,
+                    output_index,
+                },
+                timings,
+            })
+        }
+        _ => mismatch,
+    }
+}
+
+/// Decodes symbols `[start, start + len)` of `payload`, launching the decode/write
+/// kernel only over the blocks that overlap the range.
+///
+/// `prepared` must come from [`prepare_decode`] over the *same* payload and decoder.
+/// Returns [`DecodeError::RangeOutOfBounds`] when the range does not fit the stream.
+pub fn decode_range(
+    gpu: &Gpu,
+    kind: DecoderKind,
+    payload: &CompressedPayload,
+    prepared: &PreparedDecode,
+    start: u64,
+    len: u64,
+) -> Result<RangeDecode, DecodeError> {
+    let num_symbols = payload.num_symbols() as u64;
+    let end = start.checked_add(len).filter(|&e| e <= num_symbols).ok_or(
+        DecodeError::RangeOutOfBounds {
+            start,
+            len,
+            num_symbols,
+        },
+    )?;
+
+    match (payload, &prepared.index) {
+        (CompressedPayload::Chunked { encoded, codebook }, PreparedIndex::Chunked) => {
+            let total_blocks = encoded.chunks.len();
+            if len == 0 {
+                return Ok(empty_range(total_blocks));
+            }
+            // Chunks are sorted by symbol_offset and tile the symbol space, so the
+            // overlapping run is a contiguous window found by binary search.
+            let first = encoded
+                .chunks
+                .partition_point(|c| c.symbol_offset + c.num_symbols <= start);
+            let chunk_indices: Vec<u32> = encoded.chunks[first..]
+                .iter()
+                .take_while(|c| c.symbol_offset < end)
+                .enumerate()
+                .map(|(i, _)| (first + i) as u32)
+                .collect();
+            let output = DeviceBuffer::<u16>::zeroed(encoded.num_symbols);
+            let stats = decode_baseline_chunks(gpu, encoded, codebook, &chunk_indices, &output);
+            let timings = PhaseBreakdown {
+                decode_write: Some(gpu_sim::PhaseTime::from_kernel(stats)),
+                ..PhaseBreakdown::default()
+            };
+            Ok(RangeDecode {
+                symbols: slice_range(&output, start, end),
+                timings,
+                decoded_blocks: chunk_indices.len(),
+                total_blocks,
+            })
+        }
+        (
+            CompressedPayload::Flat(stream),
+            PreparedIndex::Flat {
+                infos,
+                output_index,
+            },
+        ) => {
+            debug_assert_eq!(infos.len(), stream.num_subseqs(), "index/payload mismatch");
+            let total_blocks = stream.num_seqs();
+            if len == 0 {
+                return Ok(empty_range(total_blocks));
+            }
+            // A sequence's output span is [offsets[first subseq], offsets[next seq's
+            // first subseq]); pick the sequences whose span overlaps the request.
+            let spb = stream.geometry.subseqs_per_seq as usize;
+            let seq_start = |s: usize| output_index.offsets[s * spb];
+            let seq_end = |s: usize| {
+                output_index
+                    .offsets
+                    .get((s + 1) * spb)
+                    .copied()
+                    .unwrap_or(output_index.total)
+            };
+            let seq_indices: Vec<u32> = (0..total_blocks)
+                .filter(|&s| seq_start(s) < end && seq_end(s) > start)
+                .map(|s| s as u32)
+                .collect();
+            let output = DeviceBuffer::<u16>::zeroed(output_index.total as usize);
+            // The optimized decoders stage through shared memory; the original
+            // self-sync decoder keeps its direct (strided) writes, as in a full decode.
+            let strategy = if kind == DecoderKind::OriginalSelfSync {
+                WriteStrategy::Direct
+            } else {
+                WriteStrategy::Staged {
+                    buffer_symbols: HIGH_CR_BUFFER_SYMBOLS,
+                }
+            };
+            let stats = run_decode_write(
+                gpu,
+                stream,
+                infos,
+                output_index,
+                &output,
+                &seq_indices,
+                strategy,
+            );
+            let timings = PhaseBreakdown {
+                decode_write: Some(gpu_sim::PhaseTime::from_kernel(stats)),
+                ..PhaseBreakdown::default()
+            };
+            Ok(RangeDecode {
+                symbols: slice_range(&output, start, end),
+                timings,
+                decoded_blocks: seq_indices.len(),
+                total_blocks,
+            })
+        }
+        _ => Err(DecodeError::PayloadMismatch { decoder: kind }),
+    }
+}
+
+fn empty_range(total_blocks: usize) -> RangeDecode {
+    RangeDecode {
+        symbols: Vec::new(),
+        timings: PhaseBreakdown::default(),
+        decoded_blocks: 0,
+        total_blocks,
+    }
+}
+
+fn slice_range(output: &DeviceBuffer<u16>, start: u64, end: u64) -> Vec<u16> {
+    // Copy only the requested window back to the host: a small range over a huge field
+    // must not pay a full-field D2H transfer on top of its partial decode.
+    let mut out = vec![0u16; (end - start) as usize];
+    output.copy_range_to(start as usize, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{compress_for, decode};
+    use gpu_sim::GpuConfig;
+
+    fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| {
+                let r = i.wrapping_mul(2654435761).rotate_left(9);
+                let mag = r.trailing_zeros().min(spread) as i32;
+                (512 + if (r >> 1) & 1 == 1 { mag } else { -mag }) as u16
+            })
+            .collect()
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+    }
+
+    #[test]
+    fn range_decode_matches_full_decode_for_every_decoder() {
+        let symbols = quant_symbols(60_000, 7);
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let payload = compress_for(kind, &symbols, 1024);
+            let full = decode(&g, kind, &payload).unwrap().symbols;
+            let prepared = prepare_decode(&g, kind, &payload).unwrap();
+            for (start, len) in [
+                (0u64, 100u64),
+                (1_000, 5_000),
+                (59_000, 1_000),
+                (0, symbols.len() as u64),
+                (31_337, 1),
+            ] {
+                let r = decode_range(&g, kind, &payload, &prepared, start, len).unwrap();
+                assert_eq!(
+                    r.symbols,
+                    &full[start as usize..(start + len) as usize],
+                    "{:?} range [{}, {})",
+                    kind,
+                    start,
+                    start + len
+                );
+                assert!(r.decoded_blocks <= r.total_blocks);
+                if len > 0 {
+                    assert!(r.decoded_blocks > 0);
+                    assert!(r.timings.total_seconds() > 0.0, "{:?}", kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_ranges_decode_few_blocks() {
+        let symbols = quant_symbols(120_000, 3);
+        let g = gpu();
+        for kind in DecoderKind::all() {
+            let payload = compress_for(kind, &symbols, 1024);
+            let prepared = prepare_decode(&g, kind, &payload).unwrap();
+            let r = decode_range(&g, kind, &payload, &prepared, 40_000, 64).unwrap();
+            assert!(
+                r.decoded_blocks * 4 <= r.total_blocks,
+                "{:?}: a 64-symbol range decoded {}/{} blocks",
+                kind,
+                r.decoded_blocks,
+                r.total_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn partial_decode_is_cheaper_than_full() {
+        let symbols = quant_symbols(200_000, 2);
+        let g = gpu();
+        let kind = DecoderKind::OptimizedGapArray;
+        let payload = compress_for(kind, &symbols, 1024);
+        let prepared = prepare_decode(&g, kind, &payload).unwrap();
+        let small = decode_range(&g, kind, &payload, &prepared, 100_000, 512).unwrap();
+        let full = decode_range(&g, kind, &payload, &prepared, 0, symbols.len() as u64).unwrap();
+        assert!(
+            small.timings.total_seconds() < full.timings.total_seconds(),
+            "range decode ({} s) should be cheaper than full ({} s)",
+            small.timings.total_seconds(),
+            full.timings.total_seconds()
+        );
+    }
+
+    #[test]
+    fn prepare_timings_cover_the_preparation_phases() {
+        let symbols = quant_symbols(30_000, 5);
+        let g = gpu();
+        // Gap array: counting + prefix sum.
+        let payload = compress_for(DecoderKind::OptimizedGapArray, &symbols, 1024);
+        let p = prepare_decode(&g, DecoderKind::OptimizedGapArray, &payload).unwrap();
+        assert!(p.timings.output_index.is_some());
+        assert!(p.timings.intra_sync.is_none());
+        // Self-sync: both synchronization phases plus the prefix sum.
+        let payload = compress_for(DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        let p = prepare_decode(&g, DecoderKind::OptimizedSelfSync, &payload).unwrap();
+        assert!(p.timings.intra_sync.is_some());
+        assert!(p.timings.inter_sync.is_some());
+        assert!(p.timings.output_index.is_some());
+        // Chunked: the payload carries its own index; preparation is free.
+        let payload = compress_for(DecoderKind::CuszBaseline, &symbols, 1024);
+        let p = prepare_decode(&g, DecoderKind::CuszBaseline, &payload).unwrap();
+        assert_eq!(p.timings.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_and_mismatches_are_typed_errors() {
+        let symbols = quant_symbols(10_000, 5);
+        let g = gpu();
+        let kind = DecoderKind::OptimizedGapArray;
+        let payload = compress_for(kind, &symbols, 1024);
+        let prepared = prepare_decode(&g, kind, &payload).unwrap();
+
+        let err = decode_range(&g, kind, &payload, &prepared, 9_999, 2).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::RangeOutOfBounds {
+                start: 9_999,
+                len: 2,
+                num_symbols: 10_000
+            }
+        );
+        assert!(!err.to_string().is_empty());
+        // Overflowing start + len must not wrap around into a "valid" range.
+        assert!(decode_range(&g, kind, &payload, &prepared, u64::MAX, 2).is_err());
+        // Empty range at the very end is fine.
+        let r = decode_range(&g, kind, &payload, &prepared, 10_000, 0).unwrap();
+        assert!(r.symbols.is_empty());
+        assert_eq!(r.decoded_blocks, 0);
+
+        // Wrong payload kind for the decoder.
+        let chunked = compress_for(DecoderKind::CuszBaseline, &symbols, 1024);
+        assert!(prepare_decode(&g, kind, &chunked).is_err());
+        // A flat stream without a gap array handed to the gap-array decoder.
+        let plain = compress_for(DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        assert!(prepare_decode(&g, DecoderKind::OptimizedGapArray, &plain).is_err());
+    }
+}

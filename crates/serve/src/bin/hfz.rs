@@ -1,14 +1,23 @@
-//! `hfz` — the archive CLI of the huffdec workspace.
+//! `hfz` — the archive and serving CLI of the huffdec workspace.
 //!
-//! Operates on `HFZ1` archives over raw little-endian f32 files or the synthetic
-//! dataset registry:
+//! Local archive operations work on `HFZ1` files; remote operations talk to a running
+//! `hfzd` daemon (`hfz serve` starts one in the foreground):
 //!
 //! ```text
 //! hfz compress   --dataset HACC --elements 200000 --seed 42 --output hacc.hfz
 //! hfz compress   --input field.f32 --dims 512,512 --output field.hfz --decoder gap --eb rel:1e-3
 //! hfz decompress hacc.hfz --output hacc.f32
-//! hfz inspect    hacc.hfz
-//! hfz verify     hacc.hfz --dataset HACC --elements 200000 --seed 42
+//! hfz inspect    hacc.hfz [--json]
+//! hfz verify     hacc.hfz [--deep] [--dataset HACC --elements 200000 --seed 42]
+//!
+//! hfz serve      --listen tcp:127.0.0.1:4806 --cache-bytes 268435456 --load hacc=hacc.hfz
+//! hfz get        --addr tcp:127.0.0.1:4806 --archive hacc [--field 0] [--codes]
+//!                [--range START:LEN] --output hacc.f32
+//! hfz list       --addr tcp:127.0.0.1:4806
+//! hfz stats      --addr tcp:127.0.0.1:4806
+//! hfz load       --addr tcp:127.0.0.1:4806 --name gamess --path gamess.hfz
+//! hfz verify     --addr tcp:127.0.0.1:4806 --archive hacc
+//! hfz shutdown   --addr tcp:127.0.0.1:4806
 //! ```
 
 use std::fs::File;
@@ -19,6 +28,10 @@ use datasets::{dataset_by_name, generate, Dims, Field};
 use gpu_sim::{Gpu, GpuConfig};
 use huffdec_container::{read_info, ArchiveReader, ArchiveWriter, ContainerError};
 use huffdec_core::DecoderKind;
+use huffdec_serve::client::Client;
+use huffdec_serve::daemon::{run as run_daemon, DaemonOptions};
+use huffdec_serve::net::ListenAddr;
+use huffdec_serve::protocol::GetKind;
 use sz::{compress_on, decompress, verify_error_bound, ErrorBound, SzConfig};
 
 /// `println!` that exits quietly instead of panicking when stdout has been closed
@@ -39,6 +52,12 @@ fn main() -> ExitCode {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("get") => cmd_get(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -55,27 +74,44 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-hfz — HFZ1 archive tool for error-bounded lossy compression
+hfz — HFZ1 archive and serving tool for error-bounded lossy compression
 
 USAGE:
   hfz compress   (--input FILE --dims A[,B[,C[,D]]] | --dataset NAME --elements N [--seed S])
                  --output FILE [--decoder KIND] [--eb MODE:VALUE] [--alphabet N]
   hfz decompress ARCHIVE --output FILE
-  hfz inspect    ARCHIVE
-  hfz verify     ARCHIVE [--input FILE --dims ... | --dataset NAME --elements N [--seed S]]
+  hfz inspect    ARCHIVE [--json]
+  hfz verify     ARCHIVE [--deep] [--digest HEX]
+                 [--input FILE --dims ... | --dataset NAME --elements N [--seed S]]
+  hfz verify     --addr ADDR --archive NAME       (remote: daemon-side deep verify)
+
+  hfz serve      [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]...
+  hfz get        --addr ADDR --archive NAME [--field I] [--codes] [--range START:LEN]
+                 --output FILE
+  hfz list       --addr ADDR
+  hfz stats      --addr ADDR
+  hfz load       --addr ADDR --name NAME --path FILE
+  hfz shutdown   --addr ADDR
 
 OPTIONS:
   --decoder KIND   baseline | original-self-sync | self-sync | gap   (default: gap)
   --eb MODE:VALUE  rel:1e-3 or abs:0.05                              (default: rel:1e-3)
   --alphabet N     quantization bins, power of two >= 4              (default: 1024)
   --seed S         synthetic dataset seed                            (default: 42)
+  --deep           also decode and check the decoded-stream CRC32 trailer
+  --digest HEX     expected decoded-stream CRC32 (overrides the stored trailer)
+  ADDR             tcp:HOST:PORT or unix:PATH
 ";
 
-/// Minimal flag parser: positionals plus `--flag value` pairs.
+/// Minimal flag parser: positionals plus `--flag value` pairs (and bare `--flag`
+/// switches from `SWITCHES`).
 struct Args {
     positionals: Vec<String>,
     flags: Vec<(String, String)>,
 }
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["json", "deep", "codes"];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, String> {
@@ -84,6 +120,10 @@ impl Args {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    flags.push((name.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{} expects a value", name))?;
@@ -101,6 +141,10 @@ impl Args {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
@@ -208,6 +252,11 @@ fn cli_gpu() -> Gpu {
         .map(|n| n.get())
         .unwrap_or(4);
     Gpu::with_host_threads(GpuConfig::v100(), threads)
+}
+
+fn connect(args: &Args) -> Result<Client, String> {
+    let addr = ListenAddr::parse(args.require("addr")?)?;
+    Client::connect(&addr).map_err(|e| format!("cannot connect to {}: {}", addr, e))
 }
 
 fn cmd_compress(rest: &[String]) -> Result<(), String> {
@@ -338,24 +387,40 @@ fn cmd_inspect(rest: &[String]) -> Result<(), String> {
         .first()
         .ok_or_else(|| "expected an archive path".to_string())?;
     let bytes = read_archive_file(archive_path)?;
+    let json = args.has("json");
     let mut rest = bytes.as_slice();
-    let mut index = 0;
+    let mut infos = Vec::new();
     while !rest.is_empty() {
-        let info = read_info(&mut rest).map_err(|e| e.to_string())?;
-        if index > 0 {
-            out!();
-        }
-        out!("{}", info);
-        index += 1;
+        infos.push(read_info(&mut rest).map_err(|e| e.to_string())?);
     }
-    if index == 0 {
+    if infos.is_empty() {
         return Err("file is empty".to_string());
+    }
+    if json {
+        // One JSON array with one object per archive in the file, machine-readable for
+        // hfzd tooling and tests (no screen-scraping).
+        let body = infos
+            .iter()
+            .map(|i| i.to_json())
+            .collect::<Vec<_>>()
+            .join(",");
+        out!("[{}]", body);
+    } else {
+        for (i, info) in infos.iter().enumerate() {
+            if i > 0 {
+                out!();
+            }
+            out!("{}", info);
+        }
     }
     Ok(())
 }
 
 fn cmd_verify(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
+    if args.has("addr") {
+        return cmd_verify_remote(&args);
+    }
     let archive_path = args
         .positionals
         .first()
@@ -396,6 +461,42 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
         archive.decoder().name()
     );
 
+    let deep = args.has("deep");
+    let expected_digest = args
+        .get("digest")
+        .map(|hex| u32::from_str_radix(hex.trim_start_matches("0x"), 16))
+        .transpose()
+        .map_err(|_| "bad --digest value (expected hex CRC32)".to_string())?;
+    let gpu = cli_gpu();
+
+    // Deep pass: decode the symbol stream and check it against the decoded-stream
+    // digest (the stored trailer, or a caller-supplied --digest). This catches archives
+    // whose sections are individually CRC-valid but decode to the wrong codes.
+    if deep || expected_digest.is_some() {
+        let decoded = huffdec_core::decode(&gpu, archive.decoder(), archive.payload())
+            .map_err(|e| ContainerError::from(e).to_string())?;
+        let computed = huffdec_core::crc32_symbols(&decoded.symbols);
+        let stored = match &archive {
+            huffdec_container::Archive::Field(c) => c.decoded_crc,
+            huffdec_container::Archive::Payload { .. } => None,
+        };
+        let expected = expected_digest.or(stored).ok_or_else(|| {
+            "archive stores no decoded-stream digest; pass --digest HEX to check against one"
+                .to_string()
+        })?;
+        if computed != expected {
+            return Err(format!(
+                "deep verification failed: decoded stream digests to {:08x}, expected {:08x}",
+                computed, expected
+            ));
+        }
+        out!(
+            "deep:      ok (decoded CRC32 {:08x} over {} symbols)",
+            computed,
+            decoded.symbols.len()
+        );
+    }
+
     let Some(compressed) = archive.into_field() else {
         out!("payload-only archive: nothing further to verify");
         return Ok(());
@@ -403,7 +504,6 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
 
     // Reconstruction pass: decode and check the error bound against the original when
     // one is provided.
-    let gpu = cli_gpu();
     let decompressed =
         decompress(&gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
     out!(
@@ -434,5 +534,111 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_verify_remote(args: &Args) -> Result<(), String> {
+    let archive = args.require("archive")?;
+    let mut client = connect(args)?;
+    let report = client.verify(archive).map_err(|e| e.to_string())?;
+    out!("{}", report.trim_end());
+    if report.contains("DIGEST MISMATCH") {
+        return Err("remote deep verification reported digest failures".to_string());
+    }
+    Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let options = DaemonOptions::parse(rest)?;
+    run_daemon(&options)
+}
+
+fn parse_range(spec: &str) -> Result<(u64, u64), String> {
+    let (start, len) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("range '{}' is not START:LEN", spec))?;
+    let start: u64 = start.parse().map_err(|_| "bad range start".to_string())?;
+    let len: u64 = len.parse().map_err(|_| "bad range length".to_string())?;
+    Ok((start, len))
+}
+
+fn cmd_get(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let archive = args.require("archive")?;
+    let output = args.require("output")?;
+    let field: u32 = args
+        .get("field")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --field value".to_string())?;
+    let kind = if args.has("codes") {
+        GetKind::Codes
+    } else {
+        GetKind::Data
+    };
+    let range = args.get("range").map(parse_range).transpose()?;
+
+    let mut client = connect(&args)?;
+    let result = client
+        .get(archive, field, kind, range)
+        .map_err(|e| e.to_string())?;
+
+    let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let mut file = BufWriter::new(file);
+    file.write_all(&result.bytes)
+        .and_then(|_| file.flush())
+        .map_err(|e| format!("write failed: {}", e))?;
+
+    out!(
+        "{}[{}] -> {}: {} {} elements ({} bytes){}{}",
+        archive,
+        field,
+        output,
+        result.elements,
+        if result.kind == GetKind::Data {
+            "f32"
+        } else {
+            "code"
+        },
+        result.bytes.len(),
+        if result.from_cache { ", cached" } else { "" },
+        if result.partial {
+            ", partial decode"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_list(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let mut client = connect(&args)?;
+    out!("{}", client.list().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let mut client = connect(&args)?;
+    out!("{}", client.stats().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_load(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let name = args.require("name")?;
+    let path = args.require("path")?;
+    let mut client = connect(&args)?;
+    let fields = client.load(name, path).map_err(|e| e.to_string())?;
+    out!("loaded '{}' from {} ({} fields)", name, path, fields);
+    Ok(())
+}
+
+fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let mut client = connect(&args)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    out!("daemon is shutting down");
     Ok(())
 }

@@ -1,0 +1,35 @@
+//! `hfzd` — the block-decode daemon.
+//!
+//! ```text
+//! hfzd --listen tcp:127.0.0.1:4806 --cache-bytes 268435456 --load hacc=/data/hacc.hfz
+//! ```
+//!
+//! Serves `LIST`/`GET`/`STATS`/`VERIFY`/`LOAD`/`SHUTDOWN` until a client sends
+//! `SHUTDOWN` (`hfz shutdown --addr ...`). `hfz serve` is the same daemon spelled as a
+//! CLI subcommand.
+
+use std::process::ExitCode;
+
+use huffdec_serve::daemon::{run, DaemonOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--help")
+        || args.first().map(String::as_str) == Some("-h")
+    {
+        eprintln!(
+            "hfzd — HFZ1 block-decode daemon\n\n\
+             USAGE:\n  hfzd [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]... [--host-threads N]\n\n\
+             ADDR is tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH; default {}",
+            huffdec_serve::daemon::DEFAULT_LISTEN
+        );
+        return ExitCode::SUCCESS;
+    }
+    match DaemonOptions::parse(&args).and_then(|options| run(&options)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("hfzd: {}", message);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Client side of the `hfzd` protocol: one connection, synchronous request/response.
+//!
+//! Used by the `hfz` remote subcommands (`get`, `list`, `stats`, `load`, `shutdown`,
+//! `verify --addr`), the CI smoke job, and the concurrency tests — each test thread
+//! holds its own [`Client`].
+
+use crate::net::{connect, Conn, ListenAddr};
+use crate::protocol::{
+    read_frame, write_frame, GetKind, ProtocolError, Request, Response, MAX_REQUEST_BYTES,
+    MAX_RESPONSE_BYTES,
+};
+
+/// Everything a request can fail with on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Protocol(ProtocolError),
+    /// The daemon answered with an error message.
+    Remote(String),
+    /// The daemon answered with a response of the wrong shape.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{}", e),
+            ClientError::Remote(message) => write!(f, "daemon error: {}", message),
+            ClientError::UnexpectedResponse => write!(f, "daemon sent an unexpected response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// The result of a `GET`.
+#[derive(Debug, Clone)]
+pub struct GetResult {
+    /// What the bytes are (data = f32 LE, codes = u16 LE).
+    pub kind: GetKind,
+    /// Whether the daemon served the bytes from its decoded-field cache.
+    pub from_cache: bool,
+    /// Whether a partial (range-limited) decode produced them.
+    pub partial: bool,
+    /// Number of elements returned.
+    pub elements: u64,
+    /// The raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl GetResult {
+    /// Decodes the payload as little-endian f32s (data requests).
+    pub fn as_f32(&self) -> Vec<f32> {
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect()
+    }
+
+    /// Decodes the payload as little-endian u16s (code requests).
+    pub fn as_u16(&self) -> Vec<u16> {
+        self.bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+            .collect()
+    }
+}
+
+/// One connection to a daemon.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Dials the daemon at `addr`.
+    pub fn connect(addr: &ListenAddr) -> Result<Client, ClientError> {
+        Ok(Client {
+            conn: connect(addr)?,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, &request.encode(), MAX_REQUEST_BYTES)?;
+        let body = read_frame(&mut self.conn, MAX_RESPONSE_BYTES)?.ok_or(ClientError::Protocol(
+            ProtocolError::Malformed("connection closed before the response"),
+        ))?;
+        let response = Response::decode(&body)?;
+        if let Response::Error(message) = response {
+            return Err(ClientError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    /// `LIST`: the archive/field metadata JSON document.
+    pub fn list(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::List)? {
+            Response::List(json) => Ok(json),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// `STATS`: the counters JSON document.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// `GET`: (a range of) a decoded field.
+    pub fn get(
+        &mut self,
+        archive: &str,
+        field: u32,
+        kind: GetKind,
+        range: Option<(u64, u64)>,
+    ) -> Result<GetResult, ClientError> {
+        let request = Request::Get {
+            archive: archive.to_string(),
+            field,
+            kind,
+            range,
+        };
+        match self.request(&request)? {
+            Response::Get {
+                kind,
+                from_cache,
+                partial,
+                elements,
+                bytes,
+            } => Ok(GetResult {
+                kind,
+                from_cache,
+                partial,
+                elements,
+                bytes,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// `LOAD`: loads an archive file on the daemon; returns its field count.
+    pub fn load(&mut self, name: &str, path: &str) -> Result<u32, ClientError> {
+        let request = Request::Load {
+            name: name.to_string(),
+            path: path.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Loaded { fields } => Ok(fields),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// `VERIFY`: decodes every field of an archive on the daemon and checks digests.
+    /// Returns the report; `Ok` does not imply the digests matched — check the report
+    /// (the last line counts failures).
+    pub fn verify(&mut self, archive: &str) -> Result<String, ClientError> {
+        let request = Request::Verify {
+            archive: archive.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Verify(report) => Ok(report),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// `SHUTDOWN`: stops the daemon.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}

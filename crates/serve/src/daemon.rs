@@ -1,0 +1,178 @@
+//! Daemon entry point shared by the `hfzd` binary and `hfz serve`.
+//!
+//! ```text
+//! hfzd --listen tcp:127.0.0.1:4806 --cache-bytes 268435456 --load hacc=/data/hacc.hfz
+//! ```
+//!
+//! Flags:
+//! * `--listen ADDR` — `tcp:HOST:PORT` (port 0 = ephemeral, resolved address printed)
+//!   or `unix:PATH`; default `tcp:127.0.0.1:4806`;
+//! * `--cache-bytes N` — decoded-field LRU budget; default 256 MiB;
+//! * `--load NAME=PATH` — preload an archive file (repeatable); more can be loaded at
+//!   runtime via the `LOAD` command (`hfz load`);
+//! * `--host-threads N` — host threads backing the simulated device.
+//!
+//! The daemon prints one `listening on <addr>` line once it is accepting (the smoke
+//! jobs and tests wait for it), then serves until a `SHUTDOWN` request.
+
+use gpu_sim::GpuConfig;
+
+use crate::net::ListenAddr;
+use crate::server::{Server, ServerConfig};
+
+/// Default listen address when `--listen` is absent.
+pub const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:4806";
+
+/// Default decoded-field cache budget (256 MiB).
+pub const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+/// Parsed daemon options.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Where to listen.
+    pub listen: ListenAddr,
+    /// Cache budget in bytes.
+    pub cache_bytes: u64,
+    /// `(name, path)` archives to preload.
+    pub preload: Vec<(String, String)>,
+    /// Host threads for the simulated device.
+    pub host_threads: usize,
+}
+
+impl DaemonOptions {
+    /// Parses `--listen/--cache-bytes/--load/--host-threads` flags.
+    pub fn parse(args: &[String]) -> Result<DaemonOptions, String> {
+        let mut listen = ListenAddr::parse(DEFAULT_LISTEN).expect("default parses");
+        let mut cache_bytes = DEFAULT_CACHE_BYTES;
+        let mut preload = Vec::new();
+        let mut host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {} expects a value", name))
+            };
+            match arg.as_str() {
+                "--listen" => listen = ListenAddr::parse(&value("--listen")?)?,
+                "--cache-bytes" => {
+                    cache_bytes = value("--cache-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --cache-bytes value".to_string())?
+                }
+                "--host-threads" => {
+                    host_threads = value("--host-threads")?
+                        .parse()
+                        .map_err(|_| "bad --host-threads value".to_string())?;
+                    if host_threads == 0 {
+                        return Err("--host-threads must be positive".to_string());
+                    }
+                }
+                "--load" => {
+                    let spec = value("--load")?;
+                    let (name, path) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("--load '{}' is not NAME=PATH", spec))?;
+                    if name.is_empty() || path.is_empty() {
+                        return Err("--load needs a non-empty NAME=PATH".to_string());
+                    }
+                    preload.push((name.to_string(), path.to_string()));
+                }
+                other => return Err(format!("unknown daemon flag '{}'", other)),
+            }
+        }
+        Ok(DaemonOptions {
+            listen,
+            cache_bytes,
+            preload,
+            host_threads,
+        })
+    }
+}
+
+/// Binds, preloads, prints the `listening on` line, and serves until shutdown.
+pub fn run(options: &DaemonOptions) -> Result<(), String> {
+    let config = ServerConfig {
+        cache_bytes: options.cache_bytes,
+        gpu: GpuConfig::v100(),
+        host_threads: options.host_threads,
+    };
+    let server = Server::bind(&options.listen, &config)
+        .map_err(|e| format!("cannot bind {}: {}", options.listen, e))?;
+    let state = server.state();
+    for (name, path) in &options.preload {
+        let loaded = state
+            .store()
+            .load(name, path)
+            .map_err(|e| format!("cannot load '{}': {}", name, e))?;
+        eprintln!(
+            "hfzd: loaded '{}' from {} ({} fields)",
+            name,
+            path,
+            loaded.fields.len()
+        );
+    }
+    // Printed on stdout and flushed: start-up scripts wait for this line.
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(
+            out,
+            "hfzd: listening on {} (cache budget {} bytes)",
+            server.local_addr(),
+            options.cache_bytes
+        );
+        let _ = out.flush();
+    }
+    server.run().map_err(|e| format!("server failed: {}", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let opts = DaemonOptions::parse(&s(&[
+            "--listen",
+            "tcp:127.0.0.1:9000",
+            "--cache-bytes",
+            "1024",
+            "--load",
+            "a=/tmp/a.hfz",
+            "--load",
+            "b=/tmp/b.hfz",
+            "--host-threads",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(opts.listen, ListenAddr::Tcp("127.0.0.1:9000".into()));
+        assert_eq!(opts.cache_bytes, 1024);
+        assert_eq!(opts.host_threads, 3);
+        assert_eq!(
+            opts.preload,
+            vec![
+                ("a".to_string(), "/tmp/a.hfz".to_string()),
+                ("b".to_string(), "/tmp/b.hfz".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn defaults_and_bad_flags() {
+        let opts = DaemonOptions::parse(&[]).unwrap();
+        assert_eq!(opts.cache_bytes, DEFAULT_CACHE_BYTES);
+        assert_eq!(opts.listen, ListenAddr::parse(DEFAULT_LISTEN).unwrap());
+        assert!(DaemonOptions::parse(&s(&["--load", "nopath"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--cache-bytes", "x"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--host-threads", "0"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--bogus"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--listen"])).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # huffdec-serve — the `hfzd` block-decode daemon
+//!
+//! The serving layer of the workspace: a long-running daemon that holds `HFZ1` archives
+//! *compressed in memory* and serves decoded fields (or ranges of them) to clients over
+//! a Unix-domain or TCP socket. This is the paper's §V GAMESS scenario — decompression
+//! latency, not compression, is the bottleneck when snapshots live compressed and
+//! fields are decoded on demand — built as the cuSZ-style "compression service around
+//! the kernel" rather than a one-shot CLI.
+//!
+//! The crate splits into:
+//!
+//! * [`protocol`] — the length-prefixed binary request/response format
+//!   (`LIST`/`GET`/`STATS`/`VERIFY`/`LOAD`/`SHUTDOWN`);
+//! * [`net`] — `tcp:HOST:PORT` / `unix:PATH` transport;
+//! * [`store`] — the parse-once archive store: section tables, decode structures, and
+//!   lazily built range-decode indexes, all cached per loaded archive;
+//! * [`cache`] — the decoded-field LRU: bytes-budgeted, shared across client threads;
+//! * [`server`] — the daemon itself: thread-per-connection over one shared state;
+//! * [`client`] — the synchronous client used by `hfz get` and friends;
+//! * [`daemon`] — flag parsing and the run loop shared by `hfzd` and `hfz serve`.
+//!
+//! ## Request flow
+//!
+//! A full-field `GET` checks the LRU first; on a miss it decodes on the simulated GPU
+//! (outside every lock), inserts, and serves. A *ranged* code request that misses the
+//! cache takes the partial path instead: the field's decode index (subsequence states +
+//! output-index prefix sums, built once) maps the symbol range to the decode blocks
+//! that produce it, and only those blocks are decoded — `huffdec_core::decode_range`.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use huffdec_serve::client::Client;
+//! use huffdec_serve::net::ListenAddr;
+//! use huffdec_serve::protocol::GetKind;
+//!
+//! let addr = ListenAddr::parse("tcp:127.0.0.1:4806").unwrap();
+//! let mut client = Client::connect(&addr).unwrap();
+//! client.load("hacc", "/data/hacc.hfz").unwrap();
+//! let field = client.get("hacc", 0, GetKind::Data, None).unwrap();
+//! println!("{} elements, cached: {}", field.elements, field.from_cache);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use cache::{CacheKey, CacheStats, DecodedLru};
+pub use client::{Client, ClientError, GetResult};
+pub use net::{ListenAddr, Listener};
+pub use protocol::{GetKind, ProtocolError, Request, Response};
+pub use server::{ServeStats, Server, ServerConfig, ServerState};
+pub use store::{ArchiveStore, LoadedArchive, LoadedField, StoreError};

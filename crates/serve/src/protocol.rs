@@ -1,0 +1,668 @@
+//! The `hfzd` wire protocol: a small length-prefixed binary request/response format.
+//!
+//! Every message is one **frame**: a little-endian `u32` body length followed by the
+//! body. A request body is `version (u8) | opcode (u8) | operands`; a response body is
+//! `version (u8) | status (u8) | operands`. Strings are `u16` length + UTF-8; bulk
+//! byte payloads are `u64` length + bytes. The commands:
+//!
+//! | opcode | command | request operands | ok-response operands |
+//! |-------:|---------|------------------|----------------------|
+//! | 1 | `LIST` | — | JSON document (archives, fields, metadata) |
+//! | 2 | `GET`  | archive, field, kind, optional range | kind, `from_cache`, `partial`, element count, bytes |
+//! | 3 | `STATS` | — | JSON document (cache + decode counters) |
+//! | 4 | `VERIFY` | archive | text report, one line per field |
+//! | 5 | `SHUTDOWN` | — | — (the daemon stops accepting and drains) |
+//! | 6 | `LOAD` | name, path | field count |
+//!
+//! `GET` serves either the reconstructed field (`kind` = data: little-endian f32s,
+//! field archives only) or the decoded quantization codes (`kind` = codes: little-endian
+//! u16s, any archive). A range addresses *elements* (= symbols for codes); ranged code
+//! requests decode only the overlapping blocks on a cache miss.
+//!
+//! Frames are bounded ([`MAX_REQUEST_BYTES`] / [`MAX_RESPONSE_BYTES`]) so a corrupt or
+//! hostile peer cannot drive an unbounded allocation, mirroring the container's
+//! defensive-parsing stance: every malformed body surfaces as a typed
+//! [`ProtocolError`], never a panic.
+
+use std::io::{Read, Write};
+
+/// Protocol version; bumped on any incompatible change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a request frame (requests carry only names and ranges).
+pub const MAX_REQUEST_BYTES: u32 = 1 << 20;
+
+/// Hard ceiling on a response frame (responses carry decoded fields).
+pub const MAX_RESPONSE_BYTES: u32 = 1 << 30;
+
+/// What a `GET` asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GetKind {
+    /// The reconstructed field: little-endian f32s (field archives only).
+    Data,
+    /// The decoded quantization codes: little-endian u16s (any archive).
+    Codes,
+}
+
+impl GetKind {
+    /// Bytes one element of this kind occupies on the wire.
+    pub fn element_bytes(&self) -> u64 {
+        match self {
+            GetKind::Data => 4,
+            GetKind::Codes => 2,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            GetKind::Data => 0,
+            GetKind::Codes => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<GetKind, ProtocolError> {
+        match tag {
+            0 => Ok(GetKind::Data),
+            1 => Ok(GetKind::Codes),
+            _ => Err(ProtocolError::Malformed("unknown GET kind")),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Describe the loaded archives and their fields.
+    List,
+    /// Fetch (a range of) a decoded field.
+    Get {
+        /// Name the archive was loaded under.
+        archive: String,
+        /// Field index within the archive file (files may concatenate archives).
+        field: u32,
+        /// Data or codes.
+        kind: GetKind,
+        /// Optional element range `(start, len)`; `None` fetches the whole field.
+        range: Option<(u64, u64)>,
+    },
+    /// Fetch cache and decode counters.
+    Stats,
+    /// Decode every field of an archive and check its stored decoded-stream digest.
+    Verify {
+        /// Name the archive was loaded under.
+        archive: String,
+    },
+    /// Stop the daemon.
+    Shutdown,
+    /// Load an archive file into memory under a name.
+    Load {
+        /// Name to serve the archive under.
+        name: String,
+        /// Filesystem path of the `HFZ1` file.
+        path: String,
+    },
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request failed; the message says why.
+    Error(String),
+    /// `LIST` result: a JSON document.
+    List(String),
+    /// `GET` result.
+    Get {
+        /// What the bytes are.
+        kind: GetKind,
+        /// Whether the bytes came from the decoded-field cache.
+        from_cache: bool,
+        /// Whether a partial (range-limited) decode produced them.
+        partial: bool,
+        /// Number of elements returned.
+        elements: u64,
+        /// The raw little-endian bytes.
+        bytes: Vec<u8>,
+    },
+    /// `STATS` result: a JSON document.
+    Stats(String),
+    /// `VERIFY` result: a human-readable report, one line per field.
+    Verify(String),
+    /// `LOAD` result: how many fields the archive file contains.
+    Loaded {
+        /// Field count.
+        fields: u32,
+    },
+    /// `SHUTDOWN` acknowledged.
+    ShuttingDown,
+}
+
+/// Everything that can go wrong speaking the protocol.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// An underlying socket error.
+    Io(std::io::Error),
+    /// A frame exceeded its size ceiling.
+    FrameTooLarge {
+        /// The length the frame claimed.
+        claimed: u32,
+        /// The applicable ceiling.
+        limit: u32,
+    },
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version found in the frame.
+        found: u8,
+    },
+    /// A structurally invalid body.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "socket error: {}", e),
+            ProtocolError::FrameTooLarge { claimed, limit } => {
+                write!(f, "frame of {} bytes exceeds the {} limit", claimed, limit)
+            }
+            ProtocolError::VersionMismatch { found } => write!(
+                f,
+                "protocol version {} (this build speaks {})",
+                found, PROTOCOL_VERSION
+            ),
+            ProtocolError::Malformed(reason) => write!(f, "malformed message: {}", reason),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+// --- Framing ---------------------------------------------------------------------------
+
+/// Writes one frame (length prefix + body), refusing bodies over `limit` — a length
+/// prefix must never wrap (`as u32`) or promise more than the peer will accept, or the
+/// stream desynchronizes.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8], limit: u32) -> Result<(), ProtocolError> {
+    if body.len() as u64 > limit as u64 {
+        return Err(ProtocolError::FrameTooLarge {
+            claimed: body.len().min(u32::MAX as usize) as u32,
+            limit,
+        });
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing `limit`. Returns `None` on a clean EOF at the frame
+/// boundary (the peer closed the connection).
+pub fn read_frame<R: Read>(r: &mut R, limit: u32) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > limit {
+        return Err(ProtocolError::FrameTooLarge {
+            claimed: len,
+            limit,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// --- Body encoding ---------------------------------------------------------------------
+
+struct BodyWriter {
+    buf: Vec<u8>,
+}
+
+impl BodyWriter {
+    fn new(opcode_or_status: u8) -> Self {
+        BodyWriter {
+            buf: vec![PROTOCOL_VERSION, opcode_or_status],
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str16(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        debug_assert!(bytes.len() <= u16::MAX as usize);
+        self.buf
+            .extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn blob(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn text(&mut self, s: &str) {
+        self.blob(s.as_bytes());
+    }
+}
+
+struct BodyReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> BodyReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.rest.len() < n {
+            return Err(ProtocolError::Malformed("body ends early"));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Result<String, ProtocolError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ProtocolError::Malformed("string is not UTF-8"))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| ProtocolError::Malformed("blob too long"))?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn text(&mut self) -> Result<String, ProtocolError> {
+        String::from_utf8(self.blob()?).map_err(|_| ProtocolError::Malformed("text is not UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed("trailing bytes in body"))
+        }
+    }
+}
+
+fn check_version(r: &mut BodyReader<'_>) -> Result<(), ProtocolError> {
+    let found = r.u8()?;
+    if found != PROTOCOL_VERSION {
+        return Err(ProtocolError::VersionMismatch { found });
+    }
+    Ok(())
+}
+
+const OP_LIST: u8 = 1;
+const OP_GET: u8 = 2;
+const OP_STATS: u8 = 3;
+const OP_VERIFY: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+const OP_LOAD: u8 = 6;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+
+impl Request {
+    /// Serializes the request into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::List => BodyWriter::new(OP_LIST).buf,
+            Request::Get {
+                archive,
+                field,
+                kind,
+                range,
+            } => {
+                let mut w = BodyWriter::new(OP_GET);
+                w.str16(archive);
+                w.u32(*field);
+                w.u8(kind.tag());
+                match range {
+                    Some((start, len)) => {
+                        w.u8(1);
+                        w.u64(*start);
+                        w.u64(*len);
+                    }
+                    None => {
+                        w.u8(0);
+                        w.u64(0);
+                        w.u64(0);
+                    }
+                }
+                w.buf
+            }
+            Request::Stats => BodyWriter::new(OP_STATS).buf,
+            Request::Verify { archive } => {
+                let mut w = BodyWriter::new(OP_VERIFY);
+                w.str16(archive);
+                w.buf
+            }
+            Request::Shutdown => BodyWriter::new(OP_SHUTDOWN).buf,
+            Request::Load { name, path } => {
+                let mut w = BodyWriter::new(OP_LOAD);
+                w.str16(name);
+                w.str16(path);
+                w.buf
+            }
+        }
+    }
+
+    /// Parses a frame body into a request.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = BodyReader { rest: body };
+        check_version(&mut r)?;
+        let opcode = r.u8()?;
+        let request = match opcode {
+            OP_LIST => Request::List,
+            OP_GET => {
+                let archive = r.str16()?;
+                let field = r.u32()?;
+                let kind = GetKind::from_tag(r.u8()?)?;
+                let has_range = r.u8()?;
+                let start = r.u64()?;
+                let len = r.u64()?;
+                let range = match has_range {
+                    0 => None,
+                    1 => Some((start, len)),
+                    _ => return Err(ProtocolError::Malformed("bad range marker")),
+                };
+                Request::Get {
+                    archive,
+                    field,
+                    kind,
+                    range,
+                }
+            }
+            OP_STATS => Request::Stats,
+            OP_VERIFY => Request::Verify {
+                archive: r.str16()?,
+            },
+            OP_SHUTDOWN => Request::Shutdown,
+            OP_LOAD => Request::Load {
+                name: r.str16()?,
+                path: r.str16()?,
+            },
+            _ => return Err(ProtocolError::Malformed("unknown opcode")),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+const RESP_LIST: u8 = 1;
+const RESP_GET: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_VERIFY: u8 = 4;
+const RESP_SHUTDOWN: u8 = 5;
+const RESP_LOADED: u8 = 6;
+
+impl Response {
+    /// Serializes the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        if let Response::Error(message) = self {
+            let mut w = BodyWriter::new(STATUS_ERROR);
+            w.text(message);
+            return w.buf;
+        }
+        let mut w = BodyWriter::new(STATUS_OK);
+        match self {
+            Response::Error(_) => unreachable!("handled above"),
+            Response::List(json) => {
+                w.u8(RESP_LIST);
+                w.text(json);
+            }
+            Response::Get {
+                kind,
+                from_cache,
+                partial,
+                elements,
+                bytes,
+            } => {
+                w.u8(RESP_GET);
+                w.u8(kind.tag());
+                w.u8(*from_cache as u8);
+                w.u8(*partial as u8);
+                w.u64(*elements);
+                w.blob(bytes);
+            }
+            Response::Stats(json) => {
+                w.u8(RESP_STATS);
+                w.text(json);
+            }
+            Response::Verify(report) => {
+                w.u8(RESP_VERIFY);
+                w.text(report);
+            }
+            Response::Loaded { fields } => {
+                w.u8(RESP_LOADED);
+                w.u32(*fields);
+            }
+            Response::ShuttingDown => {
+                w.u8(RESP_SHUTDOWN);
+            }
+        }
+        w.buf
+    }
+
+    /// Parses a frame body into a response.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = BodyReader { rest: body };
+        check_version(&mut r)?;
+        let status = r.u8()?;
+        if status == STATUS_ERROR {
+            let message = r.text()?;
+            r.finish()?;
+            return Ok(Response::Error(message));
+        }
+        if status != STATUS_OK {
+            return Err(ProtocolError::Malformed("unknown status"));
+        }
+        let tag = r.u8()?;
+        let response = match tag {
+            RESP_LIST => Response::List(r.text()?),
+            RESP_GET => {
+                let kind = GetKind::from_tag(r.u8()?)?;
+                let from_cache = r.u8()? != 0;
+                let partial = r.u8()? != 0;
+                let elements = r.u64()?;
+                let bytes = r.blob()?;
+                // Checked: `elements` is wire data — an absurd count must not overflow
+                // past validation (or panic) before the mismatch is reported.
+                let expected = elements.checked_mul(kind.element_bytes());
+                if expected != Some(bytes.len() as u64) {
+                    return Err(ProtocolError::Malformed("byte count disagrees with count"));
+                }
+                Response::Get {
+                    kind,
+                    from_cache,
+                    partial,
+                    elements,
+                    bytes,
+                }
+            }
+            RESP_STATS => Response::Stats(r.text()?),
+            RESP_VERIFY => Response::Verify(r.text()?),
+            RESP_LOADED => Response::Loaded { fields: r.u32()? },
+            RESP_SHUTDOWN => Response::ShuttingDown,
+            _ => return Err(ProtocolError::Malformed("unknown response tag")),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = vec![
+            Request::List,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Verify {
+                archive: "hacc".into(),
+            },
+            Request::Load {
+                name: "gamess".into(),
+                path: "/tmp/gamess.hfz".into(),
+            },
+            Request::Get {
+                archive: "hacc".into(),
+                field: 2,
+                kind: GetKind::Data,
+                range: None,
+            },
+            Request::Get {
+                archive: "hacc".into(),
+                field: 0,
+                kind: GetKind::Codes,
+                range: Some((1024, 4096)),
+            },
+        ];
+        for req in cases {
+            let body = req.encode();
+            assert_eq!(Request::decode(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = vec![
+            Response::Error("no such archive".into()),
+            Response::List("{\"archives\":[]}".into()),
+            Response::Stats("{}".into()),
+            Response::Verify("field 0: ok".into()),
+            Response::Loaded { fields: 3 },
+            Response::ShuttingDown,
+            Response::Get {
+                kind: GetKind::Codes,
+                from_cache: true,
+                partial: false,
+                elements: 3,
+                bytes: vec![1, 0, 2, 0, 3, 0],
+            },
+        ];
+        for resp in cases {
+            let body = resp.encode();
+            assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", 1024).unwrap();
+        write_frame(&mut buf, b"", 1024).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = buf.as_slice();
+        assert!(matches!(
+            read_frame(&mut r, MAX_REQUEST_BYTES),
+            Err(ProtocolError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_refused_before_writing() {
+        // A body over the limit must not be serialized at all — a wrapped or
+        // over-limit length prefix would desynchronize the stream.
+        let mut buf = Vec::new();
+        let body = vec![0u8; 11];
+        assert!(matches!(
+            write_frame(&mut buf, &body, 10),
+            Err(ProtocolError::FrameTooLarge {
+                claimed: 11,
+                limit: 10
+            })
+        ));
+        assert!(buf.is_empty(), "nothing was written");
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors() {
+        // Wrong version.
+        assert!(matches!(
+            Request::decode(&[99, OP_LIST]),
+            Err(ProtocolError::VersionMismatch { found: 99 })
+        ));
+        // Unknown opcode.
+        assert!(Request::decode(&[PROTOCOL_VERSION, 200]).is_err());
+        // Truncated GET.
+        let mut body = Request::Get {
+            archive: "a".into(),
+            field: 0,
+            kind: GetKind::Data,
+            range: None,
+        }
+        .encode();
+        body.truncate(body.len() - 3);
+        assert!(Request::decode(&body).is_err());
+        // Trailing garbage.
+        let mut body = Request::List.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        // GET response whose byte count disagrees with its element count.
+        let resp = Response::Get {
+            kind: GetKind::Codes,
+            from_cache: false,
+            partial: false,
+            elements: 5,
+            bytes: vec![0; 4],
+        };
+        assert!(Response::decode(&resp.encode()).is_err());
+        // An element count whose byte size overflows u64 must be a typed error, not an
+        // overflow panic (debug) or a wrapped pass (release).
+        let resp = Response::Get {
+            kind: GetKind::Codes,
+            from_cache: false,
+            partial: false,
+            elements: u64::MAX,
+            bytes: Vec::new(),
+        };
+        assert!(matches!(
+            Response::decode(&resp.encode()),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+}

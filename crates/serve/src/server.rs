@@ -1,0 +1,598 @@
+//! The `hfzd` daemon: holds hot archives in memory and serves decoded blocks.
+//!
+//! This is the paper's §V GAMESS scenario turned into a long-running component:
+//! archives stay compressed in memory (loaded once, parsed once), clients request
+//! decoded fields or ranges over the socket protocol, and a shared bytes-budgeted LRU
+//! ([`DecodedLru`]) absorbs the hot set so repeated `GET`s of the same field cost a
+//! memcpy while cold fields pay one (simulated-GPU) decode.
+//!
+//! Concurrency model: one OS thread per connection, all sharing one [`ServerState`].
+//! The store uses an `RwLock` (loads are rare, lookups constant), the cache and the
+//! counters use `Mutex`es held only for bookkeeping — decodes run outside every lock,
+//! so N clients can decode N different cold fields in parallel while cache hits stream
+//! past them. The `Gpu` itself is a value-typed simulator and is shared immutably.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_container::{json_escape, Archive};
+use huffdec_core::{decode, DecoderKind};
+
+use crate::cache::{CacheKey, CacheStats, DecodedLru};
+use crate::net::{connect, Conn, ListenAddr, Listener};
+use crate::protocol::{
+    read_frame, write_frame, GetKind, Request, Response, MAX_REQUEST_BYTES, MAX_RESPONSE_BYTES,
+};
+use crate::store::{ArchiveStore, LoadedArchive, LoadedField};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Byte budget of the decoded-field LRU cache.
+    pub cache_bytes: u64,
+    /// Simulated device configuration.
+    pub gpu: GpuConfig,
+    /// Host threads backing the simulated device's block execution.
+    pub host_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_bytes: 256 << 20,
+            gpu: GpuConfig::v100(),
+            host_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Per-decoder decode accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeCounter {
+    /// Number of decode runs.
+    pub count: u64,
+    /// Accumulated simulated decode time.
+    pub simulated_seconds: f64,
+}
+
+/// Request-level counters (the cache keeps its own).
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Total requests handled.
+    pub requests: u64,
+    /// `GET` requests handled.
+    pub gets: u64,
+    /// Full-field decodes, per decoder kind (indexed by [`DecoderKind::tag`]).
+    pub full_decodes: [DecodeCounter; 4],
+    /// Range-decode index builds, per decoder kind.
+    pub index_builds: [DecodeCounter; 4],
+    /// Partial (range-limited) decodes, per decoder kind.
+    pub partial_decodes: [DecodeCounter; 4],
+    /// Blocks actually decoded by partial decodes.
+    pub partial_blocks_decoded: u64,
+    /// Blocks a full decode would have run for those same requests.
+    pub partial_blocks_total: u64,
+}
+
+/// Shared state of a running daemon.
+pub struct ServerState {
+    gpu: Gpu,
+    store: ArchiveStore,
+    cache: Mutex<DecodedLru>,
+    stats: Mutex<ServeStats>,
+    shutdown: AtomicBool,
+    addr: ListenAddr,
+}
+
+impl ServerState {
+    /// The simulated device requests decode on.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The archive store (load archives directly through this before/while serving).
+    pub fn store(&self) -> &ArchiveStore {
+        &self.store
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock poisoned").stats()
+    }
+
+    /// Current cache occupancy in bytes.
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.cache.lock().expect("cache lock poisoned").used_bytes()
+    }
+
+    /// Snapshot of the request counters.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.stats.lock().expect("stats lock poisoned").clone()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes the accept loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway connection unblocks it.
+        let _ = connect(&self.addr);
+    }
+
+    fn with_stats<R>(&self, f: impl FnOnce(&mut ServeStats) -> R) -> R {
+        f(&mut self.stats.lock().expect("stats lock poisoned"))
+    }
+
+    /// Handles one request. Public so in-process consumers (tests, examples) can drive
+    /// the daemon without a socket.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.with_stats(|s| s.requests += 1);
+        match request {
+            Request::List => Response::List(self.list_json()),
+            Request::Stats => Response::Stats(self.stats_json()),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::ShuttingDown
+            }
+            Request::Load { name, path } => match self.store.load(name, path) {
+                Ok(loaded) => {
+                    // A re-load under the same name must not serve stale decodes.
+                    self.cache
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .invalidate_archive(name);
+                    Response::Loaded {
+                        fields: loaded.fields.len() as u32,
+                    }
+                }
+                Err(e) => Response::Error(format!("cannot load '{}': {}", name, e)),
+            },
+            Request::Verify { archive } => match self.verify(archive) {
+                Ok(report) => Response::Verify(report),
+                Err(message) => Response::Error(message),
+            },
+            Request::Get {
+                archive,
+                field,
+                kind,
+                range,
+            } => {
+                self.with_stats(|s| s.gets += 1);
+                match self.get(archive, *field, *kind, *range) {
+                    Ok(response) => response,
+                    Err(message) => Response::Error(message),
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, archive: &str, field: u32) -> Result<(Arc<LoadedArchive>, usize), String> {
+        let loaded = self
+            .store
+            .get(archive)
+            .ok_or_else(|| format!("no archive named '{}' is loaded", archive))?;
+        let index = field as usize;
+        if index >= loaded.fields.len() {
+            return Err(format!(
+                "archive '{}' has {} fields; field {} does not exist",
+                archive,
+                loaded.fields.len(),
+                field
+            ));
+        }
+        Ok((loaded, index))
+    }
+
+    fn record_decode(
+        &self,
+        slot: fn(&mut ServeStats) -> &mut [DecodeCounter; 4],
+        kind: DecoderKind,
+        seconds: f64,
+    ) {
+        self.with_stats(|s| {
+            let counter = &mut slot(s)[kind.tag() as usize];
+            counter.count += 1;
+            counter.simulated_seconds += seconds;
+        });
+    }
+
+    /// Decodes the full representation `kind` of a field (cache-filling slow path).
+    fn decode_full(&self, field: &LoadedField, kind: GetKind) -> Result<Vec<u8>, String> {
+        let decoder = field.archive.decoder();
+        match kind {
+            GetKind::Data => {
+                let compressed = match &field.archive {
+                    Archive::Field(c) => c,
+                    Archive::Payload { .. } => {
+                        return Err(
+                            "archive is payload-only; request codes instead of data".to_string()
+                        )
+                    }
+                };
+                let decompressed = sz::decompress(&self.gpu, compressed)
+                    .map_err(|e| format!("decode failed: {}", e))?;
+                self.record_decode(
+                    |s| &mut s.full_decodes,
+                    decoder,
+                    decompressed.stats.total_seconds,
+                );
+                let mut bytes = Vec::with_capacity(decompressed.data.len() * 4);
+                for v in &decompressed.data {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                Ok(bytes)
+            }
+            GetKind::Codes => {
+                let result = decode(&self.gpu, decoder, field.archive.payload())
+                    .map_err(|e| format!("decode failed: {}", e))?;
+                self.record_decode(
+                    |s| &mut s.full_decodes,
+                    decoder,
+                    result.timings.total_seconds(),
+                );
+                let mut bytes = Vec::with_capacity(result.symbols.len() * 2);
+                for s in &result.symbols {
+                    bytes.extend_from_slice(&s.to_le_bytes());
+                }
+                Ok(bytes)
+            }
+        }
+    }
+
+    fn get(
+        &self,
+        archive: &str,
+        field_index: u32,
+        kind: GetKind,
+        range: Option<(u64, u64)>,
+    ) -> Result<Response, String> {
+        let (loaded, index) = self.lookup(archive, field_index)?;
+        let field = &loaded.fields[index];
+        let elements = match kind {
+            GetKind::Data => field.data_elements().ok_or_else(|| {
+                "archive is payload-only; request codes instead of data".to_string()
+            })?,
+            GetKind::Codes => field.code_elements(),
+        };
+        if let Some((start, len)) = range {
+            let valid = start
+                .checked_add(len)
+                .map(|end| end <= elements)
+                .unwrap_or(false);
+            if !valid {
+                return Err(format!(
+                    "range [{}, {}+{}) exceeds the field's {} elements",
+                    start, start, len, elements
+                ));
+            }
+        }
+        let key = CacheKey {
+            archive: archive.to_string(),
+            generation: loaded.generation,
+            field: field_index,
+            kind,
+        };
+
+        // Fast path: the full representation is cached; any range is a slice of it.
+        let cached = self.cache.lock().expect("cache lock poisoned").get(&key);
+        if let Some(bytes) = cached {
+            return Ok(slice_response(&bytes, kind, range, elements, true, false));
+        }
+
+        // Miss. Ranged code requests take the partial path: decode only the
+        // overlapping blocks via the field's (cached) decode index. The result is not
+        // inserted — it is a fragment, and caching fragments would let a sweep of
+        // small ranges evict whole hot fields.
+        if let (GetKind::Codes, Some((start, len))) = (kind, range) {
+            let decoder = field.archive.decoder();
+            let built_before = field.prepared_ready();
+            let prepared = field
+                .prepared(&self.gpu)
+                .map_err(|e| format!("decode index failed: {}", e))?;
+            if !built_before {
+                self.record_decode(
+                    |s| &mut s.index_builds,
+                    decoder,
+                    prepared.timings.total_seconds(),
+                );
+            }
+            let r = huffdec_core::decode_range(
+                &self.gpu,
+                decoder,
+                field.archive.payload(),
+                prepared,
+                start,
+                len,
+            )
+            .map_err(|e| format!("range decode failed: {}", e))?;
+            self.record_decode(
+                |s| &mut s.partial_decodes,
+                decoder,
+                r.timings.total_seconds(),
+            );
+            self.with_stats(|s| {
+                s.partial_blocks_decoded += r.decoded_blocks as u64;
+                s.partial_blocks_total += r.total_blocks as u64;
+            });
+            let mut bytes = Vec::with_capacity(r.symbols.len() * 2);
+            for sym in &r.symbols {
+                bytes.extend_from_slice(&sym.to_le_bytes());
+            }
+            return Ok(Response::Get {
+                kind,
+                from_cache: false,
+                partial: true,
+                elements: len,
+                bytes,
+            });
+        }
+
+        // Full decode (data requests also land here for ranges: Lorenzo reconstruction
+        // is a prefix scan, so a data range needs the whole field once — after which
+        // the cache serves every later range as a slice).
+        let bytes = self.decode_full(field, kind)?;
+        let bytes = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, bytes);
+        Ok(slice_response(&bytes, kind, range, elements, false, false))
+    }
+
+    fn verify(&self, archive: &str) -> Result<String, String> {
+        let loaded = self
+            .store
+            .get(archive)
+            .ok_or_else(|| format!("no archive named '{}' is loaded", archive))?;
+        let mut report = String::new();
+        let mut failures = 0;
+        for (i, field) in loaded.fields.iter().enumerate() {
+            let decoder = field.archive.decoder();
+            let result = decode(&self.gpu, decoder, field.archive.payload())
+                .map_err(|e| format!("field {}: decode failed: {}", i, e))?;
+            self.record_decode(
+                |s| &mut s.full_decodes,
+                decoder,
+                result.timings.total_seconds(),
+            );
+            let line = match &field.archive {
+                Archive::Field(c) => match c.matches_decoded_crc(&result.symbols) {
+                    Some(true) => format!(
+                        "field {}: ok ({} symbols, digest {:08x})",
+                        i,
+                        result.symbols.len(),
+                        c.decoded_crc.expect("digest present")
+                    ),
+                    Some(false) => {
+                        failures += 1;
+                        format!(
+                            "field {}: DIGEST MISMATCH (stored {:08x}, decoded {:08x})",
+                            i,
+                            c.decoded_crc.expect("digest present"),
+                            huffdec_core::crc32_symbols(&result.symbols)
+                        )
+                    }
+                    None => format!(
+                        "field {}: ok ({} symbols, no stored digest)",
+                        i,
+                        result.symbols.len()
+                    ),
+                },
+                Archive::Payload { .. } => format!(
+                    "field {}: ok ({} symbols, payload-only)",
+                    i,
+                    result.symbols.len()
+                ),
+            };
+            report.push_str(&line);
+            report.push('\n');
+        }
+        report.push_str(&format!(
+            "{}: {} fields, {} digest failures\n",
+            archive,
+            loaded.fields.len(),
+            failures
+        ));
+        Ok(report)
+    }
+
+    fn list_json(&self) -> String {
+        let mut s = String::from("{\"archives\":[");
+        for (i, loaded) in self.store.list().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"path\":\"{}\",\"fields\":[",
+                json_escape(&loaded.name),
+                json_escape(&loaded.path)
+            ));
+            for (j, field) in loaded.fields.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&field.info.to_json());
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    fn stats_json(&self) -> String {
+        let cache = {
+            let c = self.cache.lock().expect("cache lock poisoned");
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{},\
+                 \"uncacheable\":{},\"used_bytes\":{},\"budget_bytes\":{},\"entries\":{}}}",
+                c.stats().hits,
+                c.stats().misses,
+                c.stats().evictions,
+                c.stats().insertions,
+                c.stats().uncacheable,
+                c.used_bytes(),
+                c.budget_bytes(),
+                c.len()
+            )
+        };
+        let stats = self.serve_stats();
+        let decoder_json = |counters: &[DecodeCounter; 4]| {
+            let mut s = String::from("{");
+            for (i, kind) in DecoderKind::all().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let c = counters[kind.tag() as usize];
+                s.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"simulated_seconds\":{:e}}}",
+                    json_escape(kind.name()),
+                    c.count,
+                    c.simulated_seconds
+                ));
+            }
+            s.push('}');
+            s
+        };
+        format!(
+            "{{\"requests\":{},\"gets\":{},\"archives_loaded\":{},\"cache\":{},\
+             \"full_decodes\":{},\"index_builds\":{},\"partial_decodes\":{},\
+             \"partial_blocks_decoded\":{},\"partial_blocks_total\":{}}}",
+            stats.requests,
+            stats.gets,
+            self.store.len(),
+            cache,
+            decoder_json(&stats.full_decodes),
+            decoder_json(&stats.index_builds),
+            decoder_json(&stats.partial_decodes),
+            stats.partial_blocks_decoded,
+            stats.partial_blocks_total,
+        )
+    }
+}
+
+fn slice_response(
+    bytes: &[u8],
+    kind: GetKind,
+    range: Option<(u64, u64)>,
+    elements: u64,
+    from_cache: bool,
+    partial: bool,
+) -> Response {
+    match range {
+        None => Response::Get {
+            kind,
+            from_cache,
+            partial,
+            elements,
+            bytes: bytes.to_vec(),
+        },
+        Some((start, len)) => {
+            let eb = kind.element_bytes();
+            let lo = (start * eb) as usize;
+            let hi = ((start + len) * eb) as usize;
+            Response::Get {
+                kind,
+                from_cache,
+                partial,
+                elements: len,
+                bytes: bytes[lo..hi].to_vec(),
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: Listener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` and builds the shared state. The daemon does not accept
+    /// connections until [`Server::run`].
+    pub fn bind(addr: &ListenAddr, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = Listener::bind(addr)?;
+        let resolved = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            gpu: Gpu::with_host_threads(config.gpu.clone(), config.host_threads),
+            store: ArchiveStore::new(),
+            cache: Mutex::new(DecodedLru::new(config.cache_bytes)),
+            stats: Mutex::new(ServeStats::default()),
+            shutdown: AtomicBool::new(false),
+            addr: resolved,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The resolved listen address (report this to clients; for `tcp:...:0` it carries
+    /// the actual port).
+    pub fn local_addr(&self) -> ListenAddr {
+        self.state.addr.clone()
+    }
+
+    /// Handle to the shared state (for in-process loading, stats, and tests).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until a `SHUTDOWN` request arrives, then drains the worker threads.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            let conn = self.listener.accept()?;
+            if self.state.is_shutting_down() {
+                break;
+            }
+            // Reap finished connection threads as we go: a long-running daemon must
+            // not accumulate one JoinHandle per connection it ever served.
+            workers.retain(|worker| !worker.is_finished());
+            let state = Arc::clone(&self.state);
+            workers.push(std::thread::spawn(move || serve_connection(state, conn)));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Runs one connection's request loop: frames in, frames out, until EOF or shutdown.
+fn serve_connection(state: Arc<ServerState>, mut conn: Conn) {
+    loop {
+        let body = match read_frame(&mut conn, MAX_REQUEST_BYTES) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // protocol violation: drop the connection
+        };
+        let response = match Request::decode(&body) {
+            Ok(request) => state.handle(&request),
+            Err(e) => Response::Error(format!("bad request: {}", e)),
+        };
+        let shutting_down = matches!(response, Response::ShuttingDown);
+        // A response that does not fit a frame (a field decoding past the 1 GiB
+        // response ceiling) degrades to a typed error instead of desyncing the stream.
+        let mut body = response.encode();
+        if body.len() as u64 > MAX_RESPONSE_BYTES as u64 {
+            body = Response::Error(format!(
+                "response of {} bytes exceeds the {} frame limit; request a range",
+                body.len(),
+                MAX_RESPONSE_BYTES
+            ))
+            .encode();
+        }
+        if write_frame(&mut conn, &body, MAX_RESPONSE_BYTES).is_err() {
+            return;
+        }
+        if shutting_down {
+            let _ = conn.flush();
+            return;
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The in-memory archive store: parse once at `LOAD`, serve many.
+//!
+//! Before the daemon existed, every consumer of an `HFZ1` file re-read and re-parsed it
+//! per request (the CLI decompress path opens, checksums, and reassembles the whole
+//! archive every time). The store fixes that for the serving path: loading an archive
+//! file runs [`huffdec_container::read_archives_with_info`] exactly once, and every
+//! field keeps three levels of cached state:
+//!
+//! 1. the parsed **section table / header** ([`ArchiveInfo`]) — metadata queries
+//!    (`LIST`) never touch the file again;
+//! 2. the reassembled **decode structures** ([`Archive`]: codebook, stream, gap array,
+//!    outliers) — `GET`s decode straight from memory;
+//! 3. the lazily built **decode index** ([`PreparedDecode`]: converged subsequence
+//!    state + output-index prefix sums) — built by the first range request and reused
+//!    by all later ones, so a range `GET` launches only the overlapping blocks.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use gpu_sim::Gpu;
+use huffdec_container::{read_archives_with_info, Archive, ArchiveInfo, ContainerError};
+use huffdec_core::{prepare_decode, DecodeError, PreparedDecode};
+
+/// One field of a loaded archive file, with all per-field cached state.
+#[derive(Debug)]
+pub struct LoadedField {
+    /// Parsed header and section table (cached; `LIST` and bounds checks read this).
+    pub info: ArchiveInfo,
+    /// The reassembled decode structures.
+    pub archive: Archive,
+    /// The lazily built range-decode index.
+    prepared: OnceLock<Result<PreparedDecode, DecodeError>>,
+}
+
+impl LoadedField {
+    /// Number of elements a `data` request addresses (f32 elements; field archives
+    /// only — payload-only archives have no reconstruction).
+    pub fn data_elements(&self) -> Option<u64> {
+        self.info.field.map(|meta| meta.dims.len() as u64)
+    }
+
+    /// Number of elements a `codes` request addresses (decoded symbols).
+    pub fn code_elements(&self) -> u64 {
+        self.info.num_symbols
+    }
+
+    /// The range-decode index, built on first use and cached for the field's lifetime.
+    /// The preparation cost (synchronization or gap counting + prefix sum) is paid by
+    /// whichever request gets here first; everyone after decodes only their blocks.
+    pub fn prepared(&self, gpu: &Gpu) -> Result<&PreparedDecode, DecodeError> {
+        self.prepared
+            .get_or_init(|| prepare_decode(gpu, self.archive.decoder(), self.archive.payload()))
+            .as_ref()
+            .map_err(|e| *e)
+    }
+
+    /// Whether the decode index has been built yet (observability for `STATS`).
+    pub fn prepared_ready(&self) -> bool {
+        self.prepared.get().is_some()
+    }
+}
+
+/// One loaded archive file: a name, its source path, and its parsed fields.
+#[derive(Debug)]
+pub struct LoadedArchive {
+    /// Name requests address the archive by.
+    pub name: String,
+    /// Filesystem path the archive was loaded from.
+    pub path: String,
+    /// Monotonic load generation, unique per `load` call. Cache keys carry it so a
+    /// decode of a *replaced* archive that races its re-load can never be served to
+    /// requests addressing the new one.
+    pub generation: u64,
+    /// The fields, in file order.
+    pub fields: Vec<LoadedField>,
+}
+
+/// Everything that can go wrong loading an archive file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file is not a valid sequence of `HFZ1` archives.
+    Container(ContainerError),
+    /// The file holds no archives at all.
+    Empty,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "cannot read archive file: {}", e),
+            StoreError::Container(e) => write!(f, "invalid archive file: {}", e),
+            StoreError::Empty => write!(f, "archive file holds no archives"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The daemon's set of loaded archives, shared across client threads.
+#[derive(Debug, Default)]
+pub struct ArchiveStore {
+    archives: RwLock<HashMap<String, Arc<LoadedArchive>>>,
+    next_generation: std::sync::atomic::AtomicU64,
+}
+
+impl ArchiveStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ArchiveStore::default()
+    }
+
+    /// Loads (or replaces) the archive file at `path` under `name`, parsing it exactly
+    /// once. Returns the loaded handle; the caller is responsible for invalidating any
+    /// cache entries of a replaced archive.
+    pub fn load(&self, name: &str, path: &str) -> Result<Arc<LoadedArchive>, StoreError> {
+        let bytes = std::fs::read(path).map_err(StoreError::Io)?;
+        let parsed = read_archives_with_info(&bytes).map_err(StoreError::Container)?;
+        if parsed.is_empty() {
+            return Err(StoreError::Empty);
+        }
+        let fields = parsed
+            .into_iter()
+            .map(|(info, archive)| LoadedField {
+                info,
+                archive,
+                prepared: OnceLock::new(),
+            })
+            .collect();
+        let loaded = Arc::new(LoadedArchive {
+            name: name.to_string(),
+            path: path.to_string(),
+            generation: self
+                .next_generation
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            fields,
+        });
+        self.archives
+            .write()
+            .expect("store lock poisoned")
+            .insert(name.to_string(), Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    /// Looks up a loaded archive by name.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedArchive>> {
+        self.archives
+            .read()
+            .expect("store lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// All loaded archives, sorted by name (stable `LIST` output).
+    pub fn list(&self) -> Vec<Arc<LoadedArchive>> {
+        let mut all: Vec<_> = self
+            .archives
+            .read()
+            .expect("store lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Number of loaded archives.
+    pub fn len(&self) -> usize {
+        self.archives.read().expect("store lock poisoned").len()
+    }
+
+    /// Whether no archive has been loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{dataset_by_name, generate};
+    use gpu_sim::GpuConfig;
+    use huffdec_container::ArchiveWriter;
+    use huffdec_core::DecoderKind;
+    use sz::{compress, SzConfig};
+
+    fn write_archive_file(path: &std::path::Path, seeds: &[u64]) {
+        let file = std::fs::File::create(path).unwrap();
+        let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));
+        for &seed in seeds {
+            let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, seed);
+            let compressed = compress(
+                &field,
+                &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+            );
+            writer.write_compressed(&compressed).unwrap();
+        }
+        writer.into_inner().unwrap();
+    }
+
+    #[test]
+    fn load_parses_once_and_serves_from_memory() {
+        let dir = std::env::temp_dir().join("hfzd-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("multi.hfz");
+        write_archive_file(&path, &[1, 2, 3]);
+
+        let store = ArchiveStore::new();
+        let loaded = store.load("multi", path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.fields.len(), 3);
+        assert_eq!(store.len(), 1);
+
+        // Metadata queries come from the cached section table.
+        for field in &loaded.fields {
+            assert_eq!(field.code_elements(), 20_000);
+            assert_eq!(field.data_elements(), Some(20_000));
+            assert!(!field.prepared_ready());
+        }
+
+        // Deleting the file does not affect an already-loaded archive: everything is
+        // in memory.
+        std::fs::remove_file(&path).unwrap();
+        let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+        let prepared = loaded.fields[0].prepared(&gpu).unwrap();
+        assert!(prepared.timings.total_seconds() >= 0.0);
+        assert!(loaded.fields[0].prepared_ready());
+
+        // The prepared index is built once: the same allocation comes back.
+        let again = loaded.fields[0].prepared(&gpu).unwrap();
+        assert!(std::ptr::eq(prepared, again));
+    }
+
+    #[test]
+    fn reloads_get_fresh_generations() {
+        let dir = std::env::temp_dir().join("hfzd-store-test-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.hfz");
+        write_archive_file(&path, &[9]);
+        let store = ArchiveStore::new();
+        let first = store.load("gen", path.to_str().unwrap()).unwrap();
+        let second = store.load("gen", path.to_str().unwrap()).unwrap();
+        assert_ne!(
+            first.generation, second.generation,
+            "every load is a distinct generation"
+        );
+        assert_eq!(store.len(), 1, "same name replaces, not duplicates");
+        assert_eq!(
+            store.get("gen").unwrap().generation,
+            second.generation,
+            "the store serves the latest load"
+        );
+    }
+
+    #[test]
+    fn load_errors_are_typed() {
+        let store = ArchiveStore::new();
+        assert!(matches!(
+            store.load("nope", "/definitely/not/here.hfz"),
+            Err(StoreError::Io(_))
+        ));
+        let dir = std::env::temp_dir().join("hfzd-store-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.hfz");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(matches!(
+            store.load("empty", empty.to_str().unwrap()),
+            Err(StoreError::Empty)
+        ));
+        let garbage = dir.join("garbage.hfz");
+        std::fs::write(&garbage, b"not an archive at all").unwrap();
+        assert!(matches!(
+            store.load("garbage", garbage.to_str().unwrap()),
+            Err(StoreError::Container(_))
+        ));
+        assert!(store.is_empty(), "failed loads must not register anything");
+    }
+}

@@ -1,0 +1,333 @@
+//! End-to-end `hfz` CLI behaviour: degenerate inputs must surface as clean errors
+//! (exit code 1 + message), never as panics; the compress path must report the
+//! simulated encoder throughput; and the serving subcommands must round-trip through
+//! a real `hfz serve` daemon process.
+
+use std::io::BufRead;
+use std::process::{Command, Stdio};
+
+fn hfz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hfz"))
+}
+
+#[test]
+fn zero_length_input_file_is_a_graceful_error() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("empty.f32");
+    std::fs::write(&input, b"").unwrap();
+    let output = dir.join("empty.hfz");
+
+    let result = hfz()
+        .args([
+            "compress",
+            "--input",
+            input.to_str().unwrap(),
+            "--dims",
+            "16",
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("hfz runs");
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("hfz:"),
+        "expected a clean CLI error, got: {}",
+        stderr
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "hfz must not panic on an empty input file: {}",
+        stderr
+    );
+    assert!(!output.exists(), "no archive should be written on error");
+}
+
+#[test]
+fn compress_reports_encoder_throughput() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-encode");
+    std::fs::create_dir_all(&dir).unwrap();
+    let output = dir.join("hacc.hfz");
+
+    let result = hfz()
+        .args([
+            "compress",
+            "--dataset",
+            "HACC",
+            "--elements",
+            "30000",
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("hfz runs");
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("encode:"), "stdout: {}", stdout);
+    assert!(stdout.contains("GB/s"), "stdout: {}", stdout);
+    for phase in ["histogram", "tree+codebook", "offset prefix-sum", "scatter"] {
+        assert!(
+            stdout.contains(phase),
+            "missing phase '{}': {}",
+            phase,
+            stdout
+        );
+    }
+}
+
+#[test]
+fn decompress_of_truncated_archive_is_a_graceful_error() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-trunc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let archive = dir.join("t.hfz");
+    let out = dir.join("t.f32");
+
+    // Produce a valid archive, then truncate it mid-section.
+    let ok = hfz()
+        .args([
+            "compress",
+            "--dataset",
+            "CESM",
+            "--elements",
+            "20000",
+            "--output",
+            archive.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(ok.success());
+    let bytes = std::fs::read(&archive).unwrap();
+    std::fs::write(&archive, &bytes[..bytes.len() / 2]).unwrap();
+
+    let result = hfz()
+        .args([
+            "decompress",
+            archive.to_str().unwrap(),
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+    assert!(stderr.contains("hfz:"), "stderr: {}", stderr);
+}
+
+fn compress_dataset(
+    dir: &std::path::Path,
+    name: &str,
+    dataset: &str,
+    decoder: &str,
+) -> std::path::PathBuf {
+    let path = dir.join(format!("{}.hfz", name));
+    let status = hfz()
+        .args([
+            "compress",
+            "--dataset",
+            dataset,
+            "--elements",
+            "20000",
+            "--decoder",
+            decoder,
+            "--output",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .expect("hfz runs");
+    assert!(status.success());
+    path
+}
+
+#[test]
+fn verify_deep_checks_the_decoded_stream_digest() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-deep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let archive = compress_dataset(&dir, "deep", "HACC", "gap");
+
+    // Deep verification passes on a fresh archive and reports the digest.
+    let result = hfz()
+        .args(["verify", archive.to_str().unwrap(), "--deep"])
+        .output()
+        .unwrap();
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("deep:"), "stdout: {}", stdout);
+    assert!(stdout.contains("decoded CRC32"), "stdout: {}", stdout);
+
+    // A wrong caller-supplied digest fails cleanly.
+    let result = hfz()
+        .args(["verify", archive.to_str().unwrap(), "--digest", "deadbeef"])
+        .output()
+        .unwrap();
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("deep verification failed"),
+        "stderr: {}",
+        stderr
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+}
+
+#[test]
+fn inspect_json_is_machine_readable() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let archive = compress_dataset(&dir, "json", "CESM", "self-sync");
+
+    let result = hfz()
+        .args(["inspect", archive.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(result.status.success());
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    let doc = stdout.trim();
+    // One JSON array of archive objects with the fields tooling needs — and none of
+    // the human report's prose.
+    assert!(doc.starts_with('[') && doc.ends_with(']'), "{}", doc);
+    for key in [
+        "\"total_bytes\":",
+        "\"decoder\":\"opt. self-sync\"",
+        "\"decoder_tag\":2",
+        "\"num_symbols\":",
+        "\"decoded_crc\":",
+        "\"field\":{\"dims\":[",
+        "\"sections\":[{\"kind\":\"codebook\"",
+    ] {
+        assert!(doc.contains(key), "missing {} in {}", key, doc);
+    }
+    assert!(
+        !doc.contains("compression:"),
+        "human report leaked: {}",
+        doc
+    );
+}
+
+#[test]
+fn serve_and_get_roundtrip_through_the_daemon() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let hacc = compress_dataset(&dir, "hacc", "HACC", "gap");
+    let gamess = compress_dataset(&dir, "gamess", "GAMESS", "baseline");
+
+    // Ephemeral port: the daemon prints the resolved address on stdout.
+    let mut daemon = hfz()
+        .args([
+            "serve",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--cache-bytes",
+            "1000000",
+            "--load",
+            &format!("hacc={}", hacc.display()),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let stdout = daemon.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its banner")
+        .expect("banner reads");
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("tcp:"))
+        .expect("banner names the address")
+        .to_string();
+
+    let run = |args: &[&str]| {
+        let result = hfz().args(args).output().expect("hfz runs");
+        assert!(
+            result.status.success(),
+            "hfz {:?} failed: {}",
+            args,
+            String::from_utf8_lossy(&result.stderr)
+        );
+        String::from_utf8_lossy(&result.stdout).into_owned()
+    };
+
+    run(&[
+        "load",
+        "--addr",
+        &addr,
+        "--name",
+        "gamess",
+        "--path",
+        gamess.to_str().unwrap(),
+    ]);
+    let list = run(&["list", "--addr", &addr]);
+    assert!(list.contains("\"hacc\"") && list.contains("\"gamess\""));
+
+    // Served bytes are identical to a direct decompress.
+    let served = dir.join("served.f32");
+    let direct = dir.join("direct.f32");
+    let get_out = run(&[
+        "get",
+        "--addr",
+        &addr,
+        "--archive",
+        "hacc",
+        "--output",
+        served.to_str().unwrap(),
+    ]);
+    assert!(get_out.contains("f32 elements"), "{}", get_out);
+    run(&[
+        "decompress",
+        hacc.to_str().unwrap(),
+        "--output",
+        direct.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read(&served).unwrap(),
+        std::fs::read(&direct).unwrap(),
+        "served bytes must equal the direct decode"
+    );
+
+    // Second fetch is a cache hit; a ranged code fetch is a partial decode.
+    let again = run(&[
+        "get",
+        "--addr",
+        &addr,
+        "--archive",
+        "hacc",
+        "--output",
+        served.to_str().unwrap(),
+    ]);
+    assert!(again.contains("cached"), "{}", again);
+    let range_out = dir.join("range.u16");
+    let ranged = run(&[
+        "get",
+        "--addr",
+        &addr,
+        "--archive",
+        "gamess",
+        "--codes",
+        "--range",
+        "500:128",
+        "--output",
+        range_out.to_str().unwrap(),
+    ]);
+    assert!(ranged.contains("partial decode"), "{}", ranged);
+    assert_eq!(std::fs::metadata(&range_out).unwrap().len(), 256);
+
+    // Remote deep verify and stats, then a clean shutdown.
+    let report = run(&["verify", "--addr", &addr, "--archive", "hacc"]);
+    assert!(report.contains("0 digest failures"), "{}", report);
+    let stats = run(&["stats", "--addr", &addr]);
+    assert!(stats.contains("\"hits\":"), "{}", stats);
+    run(&["shutdown", "--addr", &addr]);
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon must exit cleanly after SHUTDOWN");
+}

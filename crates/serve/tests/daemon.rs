@@ -1,0 +1,265 @@
+//! End-to-end daemon test: the acceptance scenario of the serving layer.
+//!
+//! Loads two archives, hammers the daemon with concurrent `GET`s from four client
+//! threads, and asserts: every response is byte-identical to a direct `sz` decode, the
+//! cache reports hits, misses, and (under a deliberately small byte budget) at least
+//! one eviction, the byte budget is never exceeded, and the daemon shuts down cleanly.
+
+use std::sync::Arc;
+
+use datasets::{dataset_by_name, generate, Field};
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_container::ArchiveWriter;
+use huffdec_core::DecoderKind;
+use huffdec_serve::client::Client;
+use huffdec_serve::net::ListenAddr;
+use huffdec_serve::protocol::GetKind;
+use huffdec_serve::server::{Server, ServerConfig};
+use sz::{compress, decode_codes, decompress, Compressed, SzConfig};
+
+const ELEMENTS: usize = 20_000;
+
+struct TestArchive {
+    name: &'static str,
+    path: std::path::PathBuf,
+    compressed: Compressed,
+    reference_data: Vec<f32>,
+    reference_codes: Vec<u16>,
+    /// Actual element count (generators may round the request to fit their dims).
+    elements: u64,
+}
+
+fn build_archive(
+    dir: &std::path::Path,
+    gpu: &Gpu,
+    name: &'static str,
+    dataset: &str,
+    decoder: DecoderKind,
+    seed: u64,
+) -> TestArchive {
+    let field: Field = generate(&dataset_by_name(dataset).unwrap(), ELEMENTS, seed);
+    let compressed = compress(&field, &SzConfig::paper_default(decoder));
+    let path = dir.join(format!("{}.hfz", name));
+    let file = std::fs::File::create(&path).unwrap();
+    let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));
+    writer.write_compressed(&compressed).unwrap();
+    writer.into_inner().unwrap();
+    let reference_data = decompress(gpu, &compressed).unwrap().data;
+    let reference_codes = decode_codes(gpu, &compressed).unwrap().symbols;
+    let elements = reference_data.len() as u64;
+    TestArchive {
+        name,
+        path,
+        compressed,
+        reference_data,
+        reference_codes,
+        elements,
+    }
+}
+
+fn f32_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+#[test]
+fn daemon_serves_concurrent_clients_with_eviction() {
+    let dir = std::env::temp_dir().join("hfzd-daemon-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+
+    // Two archives with different decoders; one decoded field is 80 KB of f32s, so a
+    // 100 KB budget can never hold both — the hammer must evict.
+    let archives = Arc::new(vec![
+        build_archive(
+            &dir,
+            &gpu,
+            "hacc",
+            "HACC",
+            DecoderKind::OptimizedGapArray,
+            1,
+        ),
+        build_archive(
+            &dir,
+            &gpu,
+            "gamess",
+            "GAMESS",
+            DecoderKind::OptimizedSelfSync,
+            2,
+        ),
+    ]);
+    // 1.25 decoded fields: both can never be resident at once, so the hammer evicts.
+    let field_bytes = archives.iter().map(|a| a.elements * 4).max().unwrap();
+    let budget = field_bytes + field_bytes / 4;
+
+    let config = ServerConfig {
+        cache_bytes: budget,
+        gpu: GpuConfig::test_tiny(),
+        host_threads: 2,
+    };
+    let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
+    let server = Server::bind(&addr, &config).unwrap();
+    let addr = server.local_addr();
+    let state = server.state();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Load both archives over the protocol (the runtime LOAD path).
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        for archive in archives.iter() {
+            let fields = client
+                .load(archive.name, archive.path.to_str().unwrap())
+                .unwrap();
+            assert_eq!(fields, 1);
+        }
+        let list = client.list().unwrap();
+        assert!(list.contains("\"hacc\"") && list.contains("\"gamess\""));
+    }
+
+    // Four client threads, each alternating archives and request shapes.
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let addr = addr.clone();
+        let archives = Arc::clone(&archives);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            for i in 0..12u64 {
+                let archive = &archives[((t + i) % 2) as usize];
+                match i % 3 {
+                    // Full data fetch: byte-identical to the direct decode.
+                    0 | 1 => {
+                        let r = client.get(archive.name, 0, GetKind::Data, None).unwrap();
+                        assert_eq!(r.elements, archive.elements);
+                        assert_eq!(r.bytes, f32_bytes(&archive.reference_data));
+                    }
+                    // Ranged data fetch: a slice of the same bytes.
+                    _ => {
+                        let start = (t * 997 + i * 131) % (archive.elements - 256);
+                        let r = client
+                            .get(archive.name, 0, GetKind::Data, Some((start, 256)))
+                            .unwrap();
+                        assert_eq!(r.elements, 256);
+                        let lo = start as usize;
+                        assert_eq!(r.bytes, f32_bytes(&archive.reference_data[lo..lo + 256]));
+                    }
+                }
+            }
+            // Ranged code fetches exercise the partial-decode path.
+            for i in 0..4u64 {
+                let archive = &archives[(i % 2) as usize];
+                let start = (t * 3301 + i * 577) % (archive.elements - 512);
+                let r = client
+                    .get(archive.name, 0, GetKind::Codes, Some((start, 512)))
+                    .unwrap();
+                let lo = start as usize;
+                let expected: Vec<u8> = archive.reference_codes[lo..lo + 512]
+                    .iter()
+                    .flat_map(|s| s.to_le_bytes())
+                    .collect();
+                assert_eq!(r.bytes, expected);
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    // The cache behaved: hits and misses both happened, at least one eviction under
+    // the deliberately small budget, and the budget held at all times (the cache's
+    // invariant check runs inside insert; here we check the final accounting too).
+    let cache = state.cache_stats();
+    assert!(cache.hits > 0, "no cache hits: {:?}", cache);
+    assert!(cache.misses > 0, "no cache misses: {:?}", cache);
+    assert!(cache.evictions >= 1, "no evictions: {:?}", cache);
+    assert!(state.cache_used_bytes() <= budget);
+
+    let stats = state.serve_stats();
+    assert!(stats.gets >= 4 * 16);
+    let partials: u64 = stats.partial_decodes.iter().map(|c| c.count).sum();
+    assert!(partials > 0, "partial decodes must have run");
+    assert!(stats.partial_blocks_decoded < stats.partial_blocks_total);
+
+    // The STATS document agrees with the in-process snapshot on evictions.
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        let json = client.stats().unwrap();
+        assert!(
+            json.contains(&format!("\"evictions\":{}", cache.evictions)),
+            "stats JSON must report the evictions: {}",
+            json
+        );
+        // VERIFY over the wire: both archives pass their digests.
+        for archive in archives.iter() {
+            let report = client.verify(archive.name).unwrap();
+            assert!(report.contains("0 digest failures"), "{}", report);
+        }
+        assert_eq!(
+            archives[0]
+                .compressed
+                .matches_decoded_crc(&archives[0].reference_codes),
+            Some(true)
+        );
+        client.shutdown().unwrap();
+    }
+    server_thread.join().unwrap();
+
+    // After shutdown the address no longer accepts (give the OS a beat to close).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        Client::connect(&addr).is_err(),
+        "daemon must stop accepting"
+    );
+}
+
+#[test]
+fn daemon_rejects_bad_requests_cleanly() {
+    let config = ServerConfig {
+        cache_bytes: 1 << 20,
+        gpu: GpuConfig::test_tiny(),
+        host_threads: 2,
+    };
+    let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
+    let server = Server::bind(&addr, &config).unwrap();
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let dir = std::env::temp_dir().join("hfzd-daemon-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+    let archive = build_archive(&dir, &gpu, "solo", "CESM", DecoderKind::CuszBaseline, 3);
+
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .load(archive.name, archive.path.to_str().unwrap())
+        .unwrap();
+
+    // Unknown archive, bad field index, out-of-range request, unloadable path: all are
+    // remote errors, and the connection stays usable after each.
+    assert!(client.get("nope", 0, GetKind::Data, None).is_err());
+    assert!(client.get("solo", 5, GetKind::Data, None).is_err());
+    assert!(client
+        .get("solo", 0, GetKind::Data, Some((archive.elements, 1)))
+        .is_err());
+    assert!(client
+        .get("solo", 0, GetKind::Codes, Some((u64::MAX, 2)))
+        .is_err());
+    assert!(client.load("bad", "/no/such/file.hfz").is_err());
+    assert!(client.verify("nope").is_err());
+
+    // The baseline (chunked) decoder serves ranges through per-chunk metadata.
+    let r = client
+        .get("solo", 0, GetKind::Codes, Some((4_000, 100)))
+        .unwrap();
+    assert!(r.partial);
+    assert_eq!(
+        r.as_u16(),
+        &archive.reference_codes[4_000..4_100],
+        "chunked partial decode must match the reference"
+    );
+
+    // And the connection still serves a clean full fetch before shutdown.
+    let r = client.get("solo", 0, GetKind::Data, None).unwrap();
+    assert_eq!(r.bytes, f32_bytes(&archive.reference_data));
+
+    client.shutdown().unwrap();
+    server_thread.join().unwrap();
+}

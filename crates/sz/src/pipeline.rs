@@ -70,6 +70,12 @@ pub struct Compressed {
     /// The configuration the archive was produced with (the single source of truth for
     /// the target decoder and the alphabet size).
     pub config: SzConfig,
+    /// CRC32 over the decoded symbol stream (the quantization codes, serialized LE).
+    /// Stamped by [`compress`] / [`compress_on`] and stored by the container as the
+    /// decoded-CRC trailer section, so deep verification can catch archives whose
+    /// sections are individually CRC-valid but decode to the wrong codes. `None` for
+    /// archives written before the trailer existed.
+    pub decoded_crc: Option<u32>,
 }
 
 impl Compressed {
@@ -105,10 +111,24 @@ impl Compressed {
     /// byte for byte (a cross-crate test enforces this), so Table IV ratios and Fig. 5
     /// transfer costs use the honest stored size.
     pub fn compressed_bytes(&self) -> u64 {
+        let digest = if self.decoded_crc.is_some() {
+            wire::decoded_crc_section()
+        } else {
+            0
+        };
         wire::ARCHIVE_HEADER
             + self.payload.compressed_bytes()
             + wire::outliers_section(self.outliers.len())
+            + digest
             + wire::END_SECTION
+    }
+
+    /// Checks `symbols` against the stored decoded-stream digest: `Some(true)` when the
+    /// digest matches, `Some(false)` when it does not, `None` when the archive carries
+    /// no digest.
+    pub fn matches_decoded_crc(&self, symbols: &[u16]) -> Option<bool> {
+        self.decoded_crc
+            .map(|stored| stored == huffdec_core::crc32_symbols(symbols))
     }
 
     /// Overall compression ratio (f32 input over compressed bytes).
@@ -212,12 +232,14 @@ fn quantize_field(field: &Field, config: &SzConfig) -> (Quantized, f64) {
 }
 
 fn assemble(q: Quantized, step: f64, config: &SzConfig, payload: CompressedPayload) -> Compressed {
+    let decoded_crc = Some(huffdec_core::crc32_symbols(&q.codes));
     Compressed {
         payload,
         outliers: q.outliers,
         dims: q.dims,
         step,
         config: *config,
+        decoded_crc,
     }
 }
 
@@ -312,6 +334,17 @@ fn decompress_inner(
             total_seconds,
         },
     })
+}
+
+/// Decodes just the quantization codes of an archive (the Huffman stage alone, no
+/// reverse quantization). This is what code-level consumers — the serving daemon's
+/// `codes` requests and `hfz verify --deep` — use: the returned symbols are exactly
+/// what [`Compressed::matches_decoded_crc`] digests.
+pub fn decode_codes(
+    gpu: &Gpu,
+    c: &Compressed,
+) -> Result<huffdec_core::phases::DecodeResult, DecodeError> {
+    decode(gpu, c.decoder(), &c.payload)
 }
 
 /// Decompresses an archive, assuming the compressed data is already resident in GPU
@@ -480,6 +513,41 @@ mod tests {
             let a = decompress(&g, &host).unwrap();
             let b = decompress(&g, &dev).unwrap();
             assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn compress_stamps_a_decoded_stream_digest() {
+        let spec = dataset_by_name("HACC").unwrap();
+        let field = generate(&spec, 40_000, 13);
+        let g = gpu();
+        for decoder in DecoderKind::all() {
+            let config = SzConfig::paper_default(decoder);
+            let compressed = compress(&field, &config);
+            assert!(compressed.decoded_crc.is_some(), "{:?}", decoder);
+            let decoded = decode_codes(&g, &compressed).unwrap();
+            assert_eq!(
+                compressed.matches_decoded_crc(&decoded.symbols),
+                Some(true),
+                "{:?}: decoded codes must match the stamped digest",
+                decoder
+            );
+            // A corrupted symbol stream fails the digest.
+            let mut wrong = decoded.symbols;
+            wrong[7] ^= 1;
+            assert_eq!(compressed.matches_decoded_crc(&wrong), Some(false));
+            // The GPU encoder stamps the identical digest (same codes).
+            let (dev, _) = compress_on(&g, &field, &config);
+            assert_eq!(dev.decoded_crc, compressed.decoded_crc);
+            // Digest-less archives (pre-trailer) report None.
+            let mut stripped = compressed.clone();
+            stripped.decoded_crc = None;
+            assert_eq!(stripped.matches_decoded_crc(&wrong), None);
+            assert_eq!(
+                compressed.compressed_bytes() - stripped.compressed_bytes(),
+                28,
+                "digest trailer accounts for 28 stored bytes"
+            );
         }
     }
 

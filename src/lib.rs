@@ -4,5 +4,6 @@ pub use datasets;
 pub use gpu_sim;
 pub use huffdec_container as container;
 pub use huffdec_core as core_decoders;
+pub use huffdec_serve as serve;
 pub use huffman;
 pub use sz;
