@@ -1,0 +1,162 @@
+//! Snapshot batch-decode throughput — serial field-by-field decompression vs. the
+//! batched wave ([`sz::decompress_batch`]).
+//!
+//! Builds a multi-field snapshot archive (manifest + shards, mixed stream formats, the
+//! many-field shape of the paper's HACC/GAMESS/QMCPACK workloads), reads every field
+//! back through manifest seeks, and decodes the whole snapshot twice: once serially
+//! (N independent `sz::decompress` runs, the pre-batching behaviour) and once as a
+//! single batched wave across the shared worker pool. Reports per-field serial times
+//! and the end-to-end serial vs. batched throughput.
+//!
+//! Self-verifying: the batched outputs must be bit-identical to the serial outputs and
+//! every decode must match the archive's decoded-CRC digest; the batched wave must
+//! never be slower than serial (the stream model guarantees it, and CI gates on it).
+//!
+//! Pass `--json` to also write `BENCH_snapshot_batch_throughput.json`.
+
+use huffdec_bench::{
+    bench_sms, fmt_gbs, fmt_ratio, json_requested, scaled_v100, write_bench_json, Table,
+    BENCH_SEED, ELEMENTS_ENV,
+};
+use huffdec_container::{snapshot_to_bytes, Archive, Snapshot};
+use huffdec_core::DecoderKind;
+use sz::{compress, decompress, decompress_batch, Compressed, ErrorBound, SzConfig};
+
+/// The snapshot's fields: dataset × stream format (all three formats exercised).
+const FIELDS: [(&str, DecoderKind); 5] = [
+    ("HACC", DecoderKind::OptimizedGapArray),
+    ("CESM", DecoderKind::OptimizedSelfSync),
+    ("GAMESS", DecoderKind::CuszBaseline),
+    ("Nyx", DecoderKind::OptimizedGapArray),
+    ("RTM", DecoderKind::OptimizedSelfSync),
+];
+
+fn main() {
+    let rel_eb = 1e-3;
+    let sms = bench_sms();
+    let (cfg, scale) = scaled_v100(sms);
+    let gpu = gpu_sim::Gpu::new(cfg);
+    let elements: usize = std::env::var(ELEMENTS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    // Compress every field and pack one sharded snapshot archive.
+    let compressed: Vec<(String, Compressed)> = FIELDS
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, decoder))| {
+            let spec = datasets::dataset_by_name(name).expect("paper dataset");
+            let field = datasets::generate(&spec, elements, BENCH_SEED + i as u64);
+            let config = SzConfig {
+                error_bound: ErrorBound::Relative(rel_eb),
+                alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
+                decoder,
+            };
+            (name.to_string(), compress(&field, &config))
+        })
+        .collect();
+    let refs: Vec<(&str, &Compressed)> = compressed
+        .iter()
+        .map(|(name, c)| (name.as_str(), c))
+        .collect();
+    let bytes = snapshot_to_bytes(&refs).expect("snapshot serializes");
+
+    // Read every field back through manifest seeks — the decode below consumes exactly
+    // what a snapshot consumer would.
+    let snapshot = Snapshot::parse(&bytes).expect("snapshot parses");
+    let manifest = snapshot.manifest().expect("snapshot carries a manifest");
+    let fields: Vec<Compressed> = manifest
+        .entries()
+        .iter()
+        .map(|entry| {
+            match snapshot
+                .read_field_by_name(&entry.name)
+                .expect("manifest seek succeeds")
+            {
+                Archive::Field(c) => c,
+                Archive::Payload { .. } => unreachable!("snapshot fields carry metadata"),
+            }
+        })
+        .collect();
+
+    // Serial: N independent decompressions, one after another.
+    let serial: Vec<sz::Decompressed> = fields
+        .iter()
+        .map(|c| decompress(&gpu, c).expect("payload matches decoder"))
+        .collect();
+
+    // Batched: one wave across the shared worker pool.
+    let field_refs: Vec<&Compressed> = fields.iter().collect();
+    let (batched, stats) = decompress_batch(&gpu, &field_refs).expect("batch decodes");
+
+    // Self-verification: batched output bit-identical to serial, and both match the
+    // encoder-stamped decoded-stream digests (via the archive round-trip).
+    for ((name, original), (s, b)) in compressed.iter().zip(serial.iter().zip(&batched)) {
+        assert_eq!(
+            s.data, b.data,
+            "self-verification failed: batched decode of '{}' diverged from serial",
+            name
+        );
+        let codes = sz::decode_codes(&gpu, original).expect("payload matches decoder");
+        assert_eq!(
+            original.matches_decoded_crc(&codes.symbols),
+            Some(true),
+            "self-verification failed: '{}' decode does not match its stamped digest",
+            name
+        );
+    }
+    assert!(
+        stats.batched_seconds <= stats.serial_seconds + 1e-15,
+        "batched wave ({} s) must never be slower than serial ({} s)",
+        stats.batched_seconds,
+        stats.serial_seconds
+    );
+
+    let mut table = Table::new(
+        "Snapshot batch decode: serial field-by-field vs. one batched wave (simulated, V100-normalized)",
+        &["field", "format", "elements", "huffman ms", "total ms"],
+    );
+    for (i, ((name, _), d)) in compressed.iter().zip(&serial).enumerate() {
+        table.push_row(vec![
+            name.clone(),
+            fields[i].decoder().name().to_string(),
+            d.data.len().to_string(),
+            format!("{:.3}", d.stats.huffman.total_seconds() * 1e3),
+            format!("{:.3}", d.stats.total_seconds * 1e3),
+        ]);
+    }
+    table.print();
+
+    let original_bytes: u64 = fields.iter().map(|c| c.original_bytes()).sum();
+    let serial_gbs = scale * stats.serial_throughput_gbs(original_bytes);
+    let batched_gbs = scale * stats.batched_throughput_gbs(original_bytes);
+    println!(
+        "snapshot: {} fields, {} original bytes, {} stored bytes",
+        fields.len(),
+        original_bytes,
+        bytes.len()
+    );
+    println!(
+        "serial decode: {:.3} ms ({} GB/s)  |  batched wave: {:.3} ms ({} GB/s)  |  speedup {}x",
+        stats.serial_seconds * 1e3,
+        fmt_gbs(serial_gbs),
+        stats.batched_seconds * 1e3,
+        fmt_gbs(batched_gbs),
+        fmt_ratio(stats.overlap_speedup())
+    );
+
+    if json_requested() {
+        write_bench_json(
+            "snapshot_batch_throughput",
+            true,
+            &table,
+            &[
+                ("fields", fields.len().to_string()),
+                ("serial_gbs", format!("{:.6}", serial_gbs)),
+                ("batched_gbs", format!("{:.6}", batched_gbs)),
+                ("speedup", format!("{:.6}", stats.overlap_speedup())),
+            ],
+        );
+    }
+}

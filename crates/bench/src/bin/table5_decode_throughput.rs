@@ -17,7 +17,9 @@
 
 use datasets::all_datasets;
 use gpu_sim::DeviceBuffer;
-use huffdec_bench::{fmt_gbs, fmt_ratio, geomean, workload_for, Table, Workload};
+use huffdec_bench::{
+    fmt_gbs, fmt_ratio, geomean, json_requested, workload_for, write_bench_json, Table, Workload,
+};
 use huffdec_core::{
     compute_output_index, decode, decode_original_gap8, encode_gap8, gap_count_symbols,
     run_decode_write, synchronize, CompressedPayload, DecoderKind, PhaseBreakdown, SyncVariant,
@@ -101,25 +103,41 @@ fn main() {
         let w = workload_for(&spec);
         let bytes = w.quant_code_bytes();
 
+        // Self-verification: every non-ablated decode must reproduce the symbol stream
+        // the encoder stamped (decoded-CRC digest). A silent mismatch would make every
+        // number in the table describe a wrong decode.
+        let verify = |payload: &sz::Compressed, symbols: &[u16], decoder: &str| {
+            assert_eq!(
+                payload.matches_decoded_crc(symbols),
+                Some(true),
+                "self-verification failed: {} decode of {} diverged from the encoded stream",
+                decoder,
+                spec.name
+            );
+        };
+
         // Baseline.
         let base_payload = w.compress(DecoderKind::CuszBaseline, rel_eb);
         let base = decode(&w.gpu, DecoderKind::CuszBaseline, &base_payload.payload)
             .expect("payload matches decoder");
+        verify(&base_payload, &base.symbols, "baseline");
         let base_gbs = w.norm * base.timings.throughput_gbs(bytes);
 
         // Original self-sync.
         let ss_payload = w.compress(DecoderKind::OriginalSelfSync, rel_eb);
         let ori_ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &ss_payload.payload)
             .expect("payload matches decoder");
+        verify(&ss_payload, &ori_ss.symbols, "original self-sync");
         let ori_ss_gbs = w.norm * ori_ss.timings.throughput_gbs(bytes);
 
         // Optimized self-sync.
         let opt_ss_timings = if direct_write_ablation {
             decode_direct_ablation(&w, &ss_payload.payload, true)
         } else {
-            decode(&w.gpu, DecoderKind::OptimizedSelfSync, &ss_payload.payload)
-                .expect("payload matches decoder")
-                .timings
+            let result = decode(&w.gpu, DecoderKind::OptimizedSelfSync, &ss_payload.payload)
+                .expect("payload matches decoder");
+            verify(&ss_payload, &result.symbols, "optimized self-sync");
+            result.timings
         };
         let opt_ss_gbs = w.norm * opt_ss_timings.throughput_gbs(bytes);
 
@@ -140,9 +158,10 @@ fn main() {
         let opt_gap_timings = if direct_write_ablation {
             decode_direct_ablation(&w, &gap_payload.payload, false)
         } else {
-            decode(&w.gpu, DecoderKind::OptimizedGapArray, &gap_payload.payload)
-                .expect("payload matches decoder")
-                .timings
+            let result = decode(&w.gpu, DecoderKind::OptimizedGapArray, &gap_payload.payload)
+                .expect("payload matches decoder");
+            verify(&gap_payload, &result.symbols, "optimized gap-array");
+            result.timings
         };
         let opt_gap_gbs = w.norm * opt_gap_timings.throughput_gbs(bytes);
 
@@ -167,4 +186,17 @@ fn main() {
         geomean(&ss_speedups),
         geomean(&gap_speedups)
     );
+    if json_requested() {
+        write_bench_json(
+            "table5_decode_throughput",
+            // Ablation runs skip the optimized decoders' digest checks, so only the
+            // normal run counts as fully self-verified.
+            !direct_write_ablation,
+            &table,
+            &[
+                ("opt_ss_speedup", format!("{:.6}", geomean(&ss_speedups))),
+                ("opt_gap_speedup", format!("{:.6}", geomean(&gap_speedups))),
+            ],
+        );
+    }
 }

@@ -14,7 +14,7 @@
 //! describe a correct encode.
 
 use datasets::dataset_by_name;
-use huffdec_bench::{fmt_gbs, geomean, workload_for, Table};
+use huffdec_bench::{fmt_gbs, geomean, json_requested, workload_for, write_bench_json, Table};
 use huffdec_core::{compress_on, CompressedPayload, DecoderKind};
 use sz::{quantize, DEFAULT_ALPHABET_SIZE};
 
@@ -92,5 +92,15 @@ fn main() {
             format,
             geomean(&per_format[f])
         );
+    }
+    if json_requested() {
+        let extra: Vec<(&str, String)> = FORMATS
+            .iter()
+            .enumerate()
+            .map(|(f, (_, format))| (*format, format!("{:.6}", geomean(&per_format[f]))))
+            .collect();
+        // Every row above passed `assert_bit_identical`, so reaching this point means
+        // the parallel encoder was verified against the host encoder.
+        write_bench_json("table6_encode_throughput", true, &table, &extra);
     }
 }

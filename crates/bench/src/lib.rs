@@ -201,6 +201,73 @@ impl Table {
             println!("{}", self.render_csv());
         }
     }
+
+    /// Renders the table as a JSON object: `{"title", "headers", "rows"}`, every cell a
+    /// string exactly as printed.
+    pub fn to_json(&self) -> String {
+        let quote_row = |cells: &[String]| {
+            format!(
+                "[{}]",
+                cells
+                    .iter()
+                    .map(|c| format!("\"{}\"", huffdec_container::json_escape(c)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        format!(
+            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+            huffdec_container::json_escape(&self.title),
+            quote_row(&self.headers),
+            self.rows
+                .iter()
+                .map(|r| quote_row(r))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Whether the invoking bench binary was passed `--json`.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// The machine-readable result of one bench binary: the rendered table plus bin-specific
+/// summary metrics, written as `BENCH_<name>.json` by [`write_bench_json`]. Every bin
+/// sets `verified` only after its self-verification (decoded output checked against the
+/// reference) has passed, so CI can gate on it.
+pub fn bench_json(name: &str, verified: bool, table: &Table, extra: &[(&str, String)]) -> String {
+    let mut s = String::with_capacity(512);
+    s.push_str(&format!(
+        "{{\"name\":\"{}\",\"verified\":{},\"sms\":{},\"elements_env\":{}",
+        huffdec_container::json_escape(name),
+        verified,
+        bench_sms(),
+        std::env::var(ELEMENTS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    ));
+    for (key, value) in extra {
+        s.push_str(&format!(
+            ",\"{}\":{}",
+            huffdec_container::json_escape(key),
+            value
+        ));
+    }
+    s.push_str(&format!(",\"table\":{}}}", table.to_json()));
+    s
+}
+
+/// Writes `BENCH_<name>.json` into the working directory (the CI bench-smoke job parses
+/// it). Panics on I/O failure — a bench that cannot record its result must not pass.
+pub fn write_bench_json(name: &str, verified: bool, table: &Table, extra: &[(&str, String)]) {
+    let path = format!("BENCH_{}.json", name);
+    std::fs::write(&path, bench_json(name, verified, table, extra))
+        .unwrap_or_else(|e| panic!("cannot write {}: {}", path, e));
+    println!("wrote {}", path);
 }
 
 /// Formats a GB/s value the way the paper's tables do.

@@ -13,6 +13,7 @@ use sz::{Compressed, SzConfig};
 use crate::codec;
 use crate::error::{ContainerError, Result};
 use crate::header::{FieldMeta, Header, HEADER_WIRE_BYTES};
+use crate::manifest::{manifest_leads, ManifestEntry, SnapshotManifest};
 use crate::section::{read_exact, read_section, write_section, SectionKind};
 
 /// One decoded archive: either a full sz-pipeline field compression or a bare Huffman
@@ -200,6 +201,50 @@ impl<W: Write> ArchiveWriter<W> {
         Ok(total)
     }
 
+    /// Writes a snapshot-manifest section. Only valid at the very start of a file,
+    /// before any archive (readers reject a manifest anywhere else).
+    pub fn write_manifest(&mut self, manifest: &SnapshotManifest) -> Result<u64> {
+        write_section(
+            &mut self.inner,
+            SectionKind::Manifest,
+            &codec::encode_manifest(manifest),
+        )
+    }
+
+    /// Writes a whole snapshot: a manifest section indexing every field, followed by
+    /// each field's archive as a contiguous shard. Returns the total bytes written.
+    ///
+    /// Field names must be unique and non-empty; each field's shard is byte-identical
+    /// to what [`ArchiveWriter::write_compressed`] would produce on its own, so a field
+    /// extracted by a manifest seek decodes exactly like a standalone archive.
+    pub fn write_snapshot(&mut self, fields: &[(&str, &Compressed)]) -> Result<u64> {
+        let mut shards = Vec::with_capacity(fields.len());
+        let mut entries = Vec::with_capacity(fields.len());
+        let mut offset = 0u64;
+        for (name, compressed) in fields {
+            let shard = to_bytes(compressed)?;
+            entries.push(ManifestEntry {
+                name: name.to_string(),
+                offset,
+                length: shard.len() as u64,
+                decoder: compressed.decoder(),
+                alphabet_size: compressed.alphabet_size() as u32,
+                num_symbols: compressed.payload.num_symbols() as u64,
+                dims: Some(compressed.dims),
+                decoded_crc: compressed.decoded_crc,
+            });
+            offset += shard.len() as u64;
+            shards.push(shard);
+        }
+        let manifest = SnapshotManifest::new(entries)?;
+        let mut total = self.write_manifest(&manifest)?;
+        for shard in &shards {
+            self.inner.write_all(shard)?;
+            total += shard.len() as u64;
+        }
+        Ok(total)
+    }
+
     /// Flushes and returns the underlying sink.
     pub fn into_inner(mut self) -> Result<W> {
         self.inner.flush()?;
@@ -249,6 +294,11 @@ impl<R: Read> ArchiveReader<R> {
                 SectionKind::Outliers => &mut outlier_payload,
                 SectionKind::ChunkedStream => &mut chunked_payload,
                 SectionKind::DecodedCrc => &mut decoded_crc_payload,
+                SectionKind::Manifest => {
+                    return Err(ContainerError::Invalid {
+                        reason: "manifest section inside an archive",
+                    })
+                }
             };
             if slot.is_some() {
                 return Err(ContainerError::DuplicateSection { section: kind });
@@ -419,4 +469,187 @@ pub fn read_archives_with_info(bytes: &[u8]) -> Result<Vec<(crate::ArchiveInfo, 
         out.push((info, archive));
     }
     Ok(out)
+}
+
+/// Serializes a snapshot — a manifest section plus one shard per named field — into a
+/// standalone buffer. See [`ArchiveWriter::write_snapshot`].
+pub fn snapshot_to_bytes(fields: &[(&str, &Compressed)]) -> Result<Vec<u8>> {
+    let mut writer = ArchiveWriter::new(Vec::new());
+    writer.write_snapshot(fields)?;
+    writer.into_inner()
+}
+
+/// A parsed view of a snapshot (or plain concatenated) archive buffer.
+///
+/// When the file leads with a manifest section, field reads **seek**: a
+/// [`Snapshot::read_field`] slices the named shard directly and parses only that
+/// archive. Manifest-less files (everything written before the manifest existed) still
+/// read — field access falls back to the sequential scan the streaming reader always
+/// supported, and name-based access reports a typed error.
+#[derive(Debug)]
+pub struct Snapshot<'a> {
+    manifest: Option<SnapshotManifest>,
+    /// The archive region: everything after the manifest section (the whole buffer for
+    /// manifest-less files).
+    shards: &'a [u8],
+}
+
+impl<'a> Snapshot<'a> {
+    /// Parses the manifest prologue (verifying its framing and checksum) and validates
+    /// its shard extents against the actual file size. The shards themselves are *not*
+    /// parsed — that is the point of the manifest.
+    pub fn parse(bytes: &'a [u8]) -> Result<Snapshot<'a>> {
+        if !manifest_leads(bytes) {
+            return Ok(Snapshot {
+                manifest: None,
+                shards: bytes,
+            });
+        }
+        let mut cursor = bytes;
+        let (kind, payload) = read_section(&mut cursor)?;
+        debug_assert_eq!(kind, SectionKind::Manifest);
+        let manifest = codec::parse_manifest(&payload)?;
+        // Every shard must lie inside the file, and the shards must cover it exactly —
+        // a manifest pointing past EOF (truncated file, corrupted length) is corruption.
+        if manifest.shard_bytes() != cursor.len() as u64 {
+            return Err(ContainerError::Invalid {
+                reason: "manifest shard extents disagree with the file size",
+            });
+        }
+        Ok(Snapshot {
+            manifest: Some(manifest),
+            shards: cursor,
+        })
+    }
+
+    /// The manifest, when the file carries one.
+    pub fn manifest(&self) -> Option<&SnapshotManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// The archive region (everything after the manifest section). Sequential
+    /// consumers — `hfz verify`, the structural inspection walk — read from here.
+    pub fn archive_bytes(&self) -> &'a [u8] {
+        self.shards
+    }
+
+    /// Number of fields. Manifest-backed snapshots answer from the index; plain files
+    /// pay one structural scan.
+    pub fn field_count(&self) -> Result<usize> {
+        if let Some(m) = &self.manifest {
+            return Ok(m.len());
+        }
+        let mut rest = self.shards;
+        let mut count = 0;
+        while !rest.is_empty() {
+            crate::inspect::read_info(&mut rest)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Reads field `index`, seeking via the manifest when present (sequential scan
+    /// otherwise). The reassembled archive is cross-checked against the manifest entry.
+    pub fn read_field(&self, index: usize) -> Result<Archive> {
+        match &self.manifest {
+            Some(manifest) => {
+                let entry =
+                    manifest
+                        .entries()
+                        .get(index)
+                        .ok_or_else(|| ContainerError::FieldNotFound {
+                            name: format!("#{}", index),
+                        })?;
+                self.read_shard(entry)
+            }
+            None => {
+                // Sequential scan. Running out of archives at a clean boundary is a
+                // missing field; an error *inside* an archive is genuine corruption
+                // and propagates as such.
+                let mut remaining = self.shards;
+                let mut seen = 0;
+                loop {
+                    if remaining.is_empty() {
+                        return Err(ContainerError::FieldNotFound {
+                            name: format!("#{}", index),
+                        });
+                    }
+                    let archive = ArchiveReader::new(&mut remaining).read_archive()?;
+                    if seen == index {
+                        return Ok(archive);
+                    }
+                    seen += 1;
+                }
+            }
+        }
+    }
+
+    /// Reads a field by its manifest name. Manifest-less files report a typed error —
+    /// they carry no names to look up.
+    pub fn read_field_by_name(&self, name: &str) -> Result<Archive> {
+        let manifest = self.manifest.as_ref().ok_or(ContainerError::Invalid {
+            reason: "archive carries no snapshot manifest; address fields by index",
+        })?;
+        let (_, entry) = manifest
+            .find(name)
+            .ok_or_else(|| ContainerError::FieldNotFound {
+                name: name.to_string(),
+            })?;
+        self.read_shard(entry)
+    }
+
+    fn read_shard(&self, entry: &ManifestEntry) -> Result<Archive> {
+        // Extents were validated against the buffer in `parse`; slice and parse just
+        // this shard. The shard must hold exactly one archive.
+        let lo = entry.offset as usize;
+        let hi = (entry.offset + entry.length) as usize;
+        let archive = read_one_archive(&self.shards[lo..hi])?;
+        // Cross-check the index against what the shard actually holds: a manifest that
+        // disagrees with its shards must never be trusted for decode planning.
+        let matches = archive.decoder() == entry.decoder
+            && archive.payload().num_symbols() as u64 == entry.num_symbols
+            && match &archive {
+                Archive::Field(c) => {
+                    c.decoded_crc == entry.decoded_crc
+                        && Some(c.dims) == entry.dims
+                        && c.alphabet_size() as u32 == entry.alphabet_size
+                }
+                Archive::Payload { alphabet_size, .. } => {
+                    entry.dims.is_none() && *alphabet_size as u32 == entry.alphabet_size
+                }
+            };
+        if !matches {
+            return Err(ContainerError::Invalid {
+                reason: "manifest entry disagrees with its shard",
+            });
+        }
+        Ok(archive)
+    }
+}
+
+/// Parses a whole snapshot file for long-running consumers (the daemon's load path):
+/// the optional manifest plus every field's `(ArchiveInfo, Archive)` pair, in shard
+/// order. Manifest-backed files additionally verify that each shard's recorded length
+/// matches the bytes its archive actually consumed.
+#[allow(clippy::type_complexity)]
+pub fn read_snapshot_with_info(
+    bytes: &[u8],
+) -> Result<(Option<SnapshotManifest>, Vec<(crate::ArchiveInfo, Archive)>)> {
+    let snapshot = Snapshot::parse(bytes)?;
+    let fields = read_archives_with_info(snapshot.archive_bytes())?;
+    if let Some(manifest) = snapshot.manifest() {
+        if manifest.len() != fields.len() {
+            return Err(ContainerError::Invalid {
+                reason: "manifest field count disagrees with the archives",
+            });
+        }
+        for (entry, (info, _)) in manifest.entries().iter().zip(&fields) {
+            if entry.length != info.total_bytes {
+                return Err(ContainerError::Invalid {
+                    reason: "manifest shard length disagrees with its archive",
+                });
+            }
+        }
+    }
+    Ok((snapshot.manifest, fields))
 }

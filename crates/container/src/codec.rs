@@ -208,6 +208,136 @@ pub fn parse_decoded_crc(payload: &[u8], stream_symbols: u64) -> Result<u32> {
     Ok(crc)
 }
 
+// --- Snapshot manifest -----------------------------------------------------------------
+
+/// Fixed wire bytes per manifest entry, excluding the name bytes: name length (u16) +
+/// offset/length (2 × u64) + decoder tag (u8) + alphabet (u32) + symbol count (u64) +
+/// dimensionality (u8) + dims (4 × u64) + CRC presence flag (u8) + CRC (u32).
+const MANIFEST_ENTRY_FIXED_BYTES: usize = 2 + 8 + 8 + 1 + 4 + 8 + 1 + 32 + 1 + 4;
+
+/// Encodes the snapshot manifest section (count-prefixed entries).
+pub fn encode_manifest(manifest: &crate::manifest::SnapshotManifest) -> Vec<u8> {
+    let entries = manifest.entries();
+    let mut w = ByteWriter::with_capacity(4 + entries.len() * (MANIFEST_ENTRY_FIXED_BYTES + 16));
+    w.put_u32(entries.len() as u32);
+    for e in entries {
+        w.put_u16(e.name.len() as u16);
+        w.put_bytes(e.name.as_bytes());
+        w.put_u64(e.offset);
+        w.put_u64(e.length);
+        w.put_u8(e.decoder.tag());
+        w.put_u32(e.alphabet_size);
+        w.put_u64(e.num_symbols);
+        match &e.dims {
+            Some(dims) => {
+                w.put_u8(dims.ndim() as u8);
+                let extents = dims.as_vec();
+                for slot in 0..4 {
+                    w.put_u64(extents.get(slot).map(|&x| x as u64).unwrap_or(0));
+                }
+            }
+            None => {
+                w.put_u8(0);
+                for _ in 0..4 {
+                    w.put_u64(0);
+                }
+            }
+        }
+        match e.decoded_crc {
+            Some(crc) => {
+                w.put_u8(1);
+                w.put_u32(crc);
+            }
+            None => {
+                w.put_u8(0);
+                w.put_u32(0);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Parses and validates a snapshot-manifest payload. Field-level invariants (unique
+/// names, contiguous shard tiling) are enforced by
+/// [`SnapshotManifest::new`](crate::manifest::SnapshotManifest::new); this parser adds
+/// the byte-level checks (bounded counts, valid tags, consistent dimension slots).
+pub fn parse_manifest(payload: &[u8]) -> Result<crate::manifest::SnapshotManifest> {
+    let mut c = ByteCursor::new(payload, "manifest section");
+    let count = c.get_u32()? as usize;
+    // Bound the allocation by what the section can actually hold before reserving.
+    if count > payload.len() / MANIFEST_ENTRY_FIXED_BYTES {
+        return Err(invalid("manifest entry count exceeds the section size"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = c.get_u16()? as usize;
+        let name = std::str::from_utf8(c.get_bytes(name_len)?)
+            .map_err(|_| invalid("manifest field name is not UTF-8"))?
+            .to_string();
+        let offset = c.get_u64()?;
+        let length = c.get_u64()?;
+        let decoder = huffdec_core::DecoderKind::from_tag(c.get_u8()?)
+            .ok_or_else(|| invalid("unknown decoder kind tag in the manifest"))?;
+        let alphabet_size = c.get_u32()?;
+        if !(4..=65536).contains(&alphabet_size) {
+            return Err(invalid("manifest alphabet size out of range"));
+        }
+        let num_symbols = c.get_u64()?;
+        let ndim = c.get_u8()?;
+        let mut raw_dims = [0u64; 4];
+        for slot in &mut raw_dims {
+            *slot = c.get_u64()?;
+        }
+        let dims = if ndim == 0 {
+            if raw_dims.iter().any(|&x| x != 0) {
+                return Err(invalid("manifest dimensions set without a dimensionality"));
+            }
+            None
+        } else {
+            if !(1..=4).contains(&ndim) {
+                return Err(invalid("manifest dimensionality out of range"));
+            }
+            let extents = &raw_dims[..ndim as usize];
+            if extents.contains(&0) {
+                return Err(invalid("zero-sized manifest dimension"));
+            }
+            if raw_dims[ndim as usize..].iter().any(|&x| x != 0) {
+                return Err(invalid("non-zero unused manifest dimension slot"));
+            }
+            let usized: Vec<usize> = extents
+                .iter()
+                .map(|&x| usize::try_from(x))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|_| invalid("manifest dimension exceeds usize"))?;
+            Some(datasets::Dims::from_slice(&usized))
+        };
+        let crc_present = c.get_u8()?;
+        let crc_value = c.get_u32()?;
+        let decoded_crc = match crc_present {
+            0 => {
+                if crc_value != 0 {
+                    return Err(invalid("manifest CRC value set without its flag"));
+                }
+                None
+            }
+            1 => Some(crc_value),
+            _ => return Err(invalid("bad manifest CRC presence flag")),
+        };
+        entries.push(crate::manifest::ManifestEntry {
+            name,
+            offset,
+            length,
+            decoder,
+            alphabet_size,
+            num_symbols,
+            dims,
+            decoded_crc,
+        });
+    }
+    c.expect_end("trailing bytes in manifest section")?;
+    crate::manifest::SnapshotManifest::new(entries)
+}
+
 // --- Chunked stream --------------------------------------------------------------------
 
 /// Encodes cuSZ's chunked bitstream with its per-chunk metadata.
@@ -445,6 +575,49 @@ mod tests {
         let mut long = payload.clone();
         long.push(0);
         assert!(parse_decoded_crc(&long, 12_345).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        use crate::manifest::{ManifestEntry, SnapshotManifest};
+        use datasets::Dims;
+        use huffdec_core::DecoderKind;
+
+        let manifest = SnapshotManifest::new(vec![
+            ManifestEntry {
+                name: "xx".into(),
+                offset: 0,
+                length: 100,
+                decoder: DecoderKind::OptimizedGapArray,
+                alphabet_size: 1024,
+                num_symbols: 5000,
+                dims: Some(Dims::D2(50, 100)),
+                decoded_crc: Some(0x1234_5678),
+            },
+            ManifestEntry {
+                name: "yy".into(),
+                offset: 100,
+                length: 64,
+                decoder: DecoderKind::CuszBaseline,
+                alphabet_size: 256,
+                num_symbols: 77,
+                dims: None,
+                decoded_crc: None,
+            },
+        ])
+        .unwrap();
+        let payload = encode_manifest(&manifest);
+        assert_eq!(parse_manifest(&payload).unwrap(), manifest);
+
+        // Truncated payloads are typed errors.
+        for cut in [0, 3, 10, payload.len() - 1] {
+            assert!(parse_manifest(&payload[..cut]).is_err(), "cut {}", cut);
+        }
+        // A tiny section claiming astronomically many entries is rejected before any
+        // allocation is attempted.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        assert!(parse_manifest(&w.into_bytes()).is_err());
     }
 
     #[test]

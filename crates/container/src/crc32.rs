@@ -1,6 +1,6 @@
 //! CRC-32 (IEEE 802.3, the zlib/gzip polynomial).
 //!
-//! The implementation lives in [`huffdec_core::crc32`] so the pipeline can digest
+//! The implementation lives in [`huffdec_core::crc32`](mod@huffdec_core::crc32) so the pipeline can digest
 //! decoded symbol streams without depending on this crate; the container re-exports it
 //! here because every frame of the `HFZ1` format is checksummed with it and historical
 //! users import it from `huffdec_container::crc32`.

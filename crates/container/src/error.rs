@@ -70,6 +70,11 @@ pub enum ContainerError {
         /// Description of the defect.
         reason: &'static str,
     },
+    /// A snapshot field lookup named a field the manifest does not contain.
+    FieldNotFound {
+        /// The requested field name (or `#index` for positional lookups).
+        name: String,
+    },
 }
 
 impl fmt::Display for ContainerError {
@@ -111,6 +116,9 @@ impl fmt::Display for ContainerError {
                 write!(f, "missing required {} section", section)
             }
             ContainerError::Invalid { reason } => write!(f, "invalid archive: {}", reason),
+            ContainerError::FieldNotFound { name } => {
+                write!(f, "snapshot has no field '{}'", name)
+            }
         }
     }
 }

@@ -205,6 +205,13 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
         if kind == SectionKind::End {
             break;
         }
+        if kind == SectionKind::Manifest {
+            // The manifest is a file prologue, not an archive section; one inside an
+            // archive's section sequence is corruption.
+            return Err(ContainerError::Invalid {
+                reason: "manifest section inside an archive",
+            });
+        }
         // The symbol count sits at a fixed offset in both stream section layouts.
         if kind == SectionKind::FlatStream {
             let mut c = ByteCursor::new(&payload, "flat-stream section");

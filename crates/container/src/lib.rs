@@ -11,7 +11,10 @@
 //!
 //! An archive is a fixed little-endian **header** (with its own trailing CRC32)
 //! followed by a sequence of framed **sections**, terminated by an end marker. Multiple
-//! archives may be concatenated on one stream.
+//! archives may be concatenated on one stream. A **snapshot archive** additionally
+//! leads with a framed [`SectionKind::Manifest`] section indexing every following
+//! archive by name and byte extent, so readers seek straight to any field (see
+//! [`manifest`] and [`Snapshot`]); manifest-less files keep reading unchanged.
 //!
 //! ### Header (64 bytes + 4-byte CRC32)
 //!
@@ -49,6 +52,7 @@
 //! | 4   | outliers | `count u64`, then `count` × (`index u64`, `prequant i64`), strictly increasing indices |
 //! | 5   | chunked stream | `chunk symbols u64`, `symbol count u64`, `chunk count u64`, per-chunk metadata (5 × u64), `unit count u64`, units |
 //! | 6   | decoded crc | `symbol count u64`, `CRC32 u32` over the decoded symbol stream (optional trailer; deep verification) |
+//! | 7   | manifest | `count u32`, then per field: `name (u16 len + UTF-8)`, `shard offset u64`, `shard length u64`, `decoder tag u8`, `alphabet u32`, `symbol count u64`, `ndim u8` + 4 × u64 dims, `CRC flag u8` + `CRC32 u32` — snapshot index; valid only as a file prologue |
 //!
 //! A *chunked* archive (baseline decoder) carries sections {codebook, chunked stream};
 //! a *flat* archive carries {codebook, flat stream} plus a gap array exactly when the
@@ -100,15 +104,18 @@ pub mod crc32;
 pub mod error;
 pub mod header;
 pub mod inspect;
+pub mod manifest;
 pub mod section;
 pub mod wire;
 
 pub use archive::{
-    from_bytes, payload_to_bytes, read_archives_with_info, read_one_archive, to_bytes, Archive,
-    ArchiveReader, ArchiveWriter,
+    from_bytes, payload_to_bytes, read_archives_with_info, read_one_archive,
+    read_snapshot_with_info, snapshot_to_bytes, to_bytes, Archive, ArchiveReader, ArchiveWriter,
+    Snapshot,
 };
 pub use crc32::{crc32, crc32_symbols, Crc32};
 pub use error::{ContainerError, Result};
 pub use header::{FieldMeta, Header, FORMAT_VERSION, HEADER_BYTES, HEADER_WIRE_BYTES, MAGIC};
 pub use inspect::{json_escape, read_info, ArchiveInfo, SectionInfo};
+pub use manifest::{manifest_leads, ManifestEntry, SnapshotManifest};
 pub use section::SectionKind;

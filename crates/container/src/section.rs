@@ -39,6 +39,9 @@ pub enum SectionKind {
     ChunkedStream,
     /// CRC32 over the decoded symbol stream (optional trailer; deep verification).
     DecodedCrc,
+    /// Snapshot manifest: per-field name, shard offset/length, and decode metadata.
+    /// Only valid as a file prologue (before the first archive), never inside one.
+    Manifest,
 }
 
 impl SectionKind {
@@ -52,6 +55,7 @@ impl SectionKind {
             SectionKind::Outliers => 4,
             SectionKind::ChunkedStream => 5,
             SectionKind::DecodedCrc => 6,
+            SectionKind::Manifest => 7,
         }
     }
 
@@ -65,6 +69,7 @@ impl SectionKind {
             4 => Some(SectionKind::Outliers),
             5 => Some(SectionKind::ChunkedStream),
             6 => Some(SectionKind::DecodedCrc),
+            7 => Some(SectionKind::Manifest),
             _ => None,
         }
     }
@@ -80,6 +85,7 @@ impl fmt::Display for SectionKind {
             SectionKind::Outliers => "outliers",
             SectionKind::ChunkedStream => "chunked-stream",
             SectionKind::DecodedCrc => "decoded-crc",
+            SectionKind::Manifest => "manifest",
         };
         f.write_str(name)
     }
@@ -182,6 +188,7 @@ mod tests {
             SectionKind::Outliers,
             SectionKind::ChunkedStream,
             SectionKind::DecodedCrc,
+            SectionKind::Manifest,
         ] {
             assert_eq!(SectionKind::from_tag(kind.tag()), Some(kind));
         }

@@ -2,7 +2,7 @@
 //!
 //! [`ByteWriter`] builds a payload in memory; [`ByteCursor`] parses one defensively —
 //! every read is bounds-checked and failures surface as
-//! [`ContainerError::Truncated`](crate::ContainerError::Truncated) with the context of
+//! [`ContainerError::Truncated`] with the context of
 //! the structure being read, never a panic.
 
 use crate::error::{ContainerError, Result};

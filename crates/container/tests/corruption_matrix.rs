@@ -5,11 +5,11 @@
 use datasets::{dataset_by_name, generate, Rng};
 use gpu_sim::{Gpu, GpuConfig};
 use huffdec_container::{
-    from_bytes, payload_to_bytes, read_info, read_one_archive, to_bytes, Archive, ContainerError,
-    HEADER_BYTES,
+    from_bytes, payload_to_bytes, read_info, read_one_archive, read_snapshot_with_info,
+    snapshot_to_bytes, to_bytes, Archive, ContainerError, Snapshot, HEADER_BYTES,
 };
 use huffdec_core::{compress_for, decode, DecoderKind};
-use sz::{compress, decompress, SzConfig};
+use sz::{compress, decompress, Compressed, SzConfig};
 
 fn gpu() -> Gpu {
     Gpu::with_host_threads(GpuConfig::test_tiny(), 2)
@@ -205,6 +205,229 @@ fn payload_archive_is_not_a_field_archive() {
         read_one_archive(&bytes),
         Ok(Archive::Payload { .. })
     ));
+}
+
+// --- Snapshot manifest corruption matrix -----------------------------------------------
+
+fn sample_snapshot() -> (Vec<(String, Compressed)>, Vec<u8>) {
+    let decoders = [
+        DecoderKind::OptimizedGapArray,
+        DecoderKind::OptimizedSelfSync,
+        DecoderKind::CuszBaseline,
+    ];
+    let fields: Vec<(String, Compressed)> = ["xx", "yy", "zz"]
+        .iter()
+        .zip(decoders)
+        .enumerate()
+        .map(|(i, (name, decoder))| {
+            let field = generate(&dataset_by_name("HACC").unwrap(), 12_000, 50 + i as u64);
+            (
+                name.to_string(),
+                compress(&field, &SzConfig::paper_default(decoder)),
+            )
+        })
+        .collect();
+    let refs: Vec<(&str, &Compressed)> = fields.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    let bytes = snapshot_to_bytes(&refs).unwrap();
+    (fields, bytes)
+}
+
+/// Byte length of the leading manifest section (frame + payload + CRC).
+fn manifest_section_len(bytes: &[u8]) -> usize {
+    assert!(huffdec_container::manifest_leads(bytes));
+    let payload_len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    12 + payload_len + 4
+}
+
+#[test]
+fn truncated_manifest_is_typed_at_every_cut() {
+    let (_, bytes) = sample_snapshot();
+    let end = manifest_section_len(&bytes);
+    for cut in 0..end {
+        match Snapshot::parse(&bytes[..cut]) {
+            // A cut inside the manifest section is truncation; a cut so early that the
+            // prologue no longer looks like a manifest leaves a file whose shard
+            // extents cannot match.
+            Err(_) => {}
+            Ok(snapshot) => assert!(
+                snapshot.manifest().is_none() && snapshot.read_field(0).is_err(),
+                "cut at {} parsed a manifest from a truncated prologue",
+                cut
+            ),
+        }
+    }
+}
+
+#[test]
+fn manifest_bit_flip_fails_the_section_checksum() {
+    let (_, bytes) = sample_snapshot();
+    let end = manifest_section_len(&bytes);
+    // Flip bits across the manifest payload (past the 12-byte frame) and in its CRC.
+    for byte in 12..end {
+        let mut corrupt = bytes.clone();
+        corrupt[byte] ^= 0x20;
+        assert!(
+            matches!(
+                Snapshot::parse(&corrupt),
+                Err(ContainerError::ChecksumMismatch {
+                    section: huffdec_container::SectionKind::Manifest,
+                    ..
+                })
+            ),
+            "flip at manifest byte {} not caught by the section checksum",
+            byte
+        );
+    }
+}
+
+#[test]
+fn manifest_shard_past_eof_rejected() {
+    let (fields, bytes) = sample_snapshot();
+    // Drop the last shard: the manifest now points past the end of the file.
+    let (_, infos) = read_snapshot_with_info(&bytes).unwrap();
+    let last = infos.last().unwrap().0.total_bytes as usize;
+    let truncated = &bytes[..bytes.len() - last];
+    assert!(matches!(
+        Snapshot::parse(truncated),
+        Err(ContainerError::Invalid { .. })
+    ));
+    // Extra trailing bytes beyond the last shard are equally corruption.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0u8; 16]);
+    assert!(Snapshot::parse(&padded).is_err());
+    let _ = fields;
+}
+
+#[test]
+fn duplicate_field_names_rejected_at_write_and_read() {
+    let field = generate(&dataset_by_name("CESM").unwrap(), 10_000, 3);
+    let compressed = compress(
+        &field,
+        &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+    );
+    // The writer refuses duplicates outright.
+    assert!(matches!(
+        snapshot_to_bytes(&[("dup", &compressed), ("dup", &compressed)]),
+        Err(ContainerError::Invalid { .. })
+    ));
+    // A hand-crafted manifest with duplicate names is rejected by the parser even with
+    // a valid section CRC: rewrite a valid 2-field snapshot's second name to collide.
+    let bytes = snapshot_to_bytes(&[("aa", &compressed), ("bb", &compressed)]).unwrap();
+    let payload_len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    let mut payload = bytes[12..12 + payload_len].to_vec();
+    let pos = payload
+        .windows(2)
+        .position(|w| w == b"bb")
+        .expect("second field name present");
+    payload[pos..pos + 2].copy_from_slice(b"aa");
+    let mut corrupt = Vec::new();
+    huffdec_container::section::write_section(
+        &mut corrupt,
+        huffdec_container::SectionKind::Manifest,
+        &payload,
+    )
+    .unwrap();
+    corrupt.extend_from_slice(&bytes[12 + payload_len + 4..]);
+    assert!(matches!(
+        Snapshot::parse(&corrupt),
+        Err(ContainerError::Invalid { .. })
+    ));
+}
+
+#[test]
+fn manifest_inside_an_archive_rejected() {
+    // Splice a (CRC-valid) manifest section into an archive's section sequence: the
+    // reader must reject it — manifests are file prologues only.
+    let bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    let (_, snapshot_bytes) = sample_snapshot();
+    let m_end = manifest_section_len(&snapshot_bytes);
+    let header_end = HEADER_BYTES + 4;
+    let mut spliced = Vec::new();
+    spliced.extend_from_slice(&bytes[..header_end]);
+    spliced.extend_from_slice(&snapshot_bytes[..m_end]);
+    spliced.extend_from_slice(&bytes[header_end..]);
+    assert!(matches!(
+        from_bytes(&spliced),
+        Err(ContainerError::Invalid { .. })
+    ));
+    assert!(read_info(&mut spliced.as_slice()).is_err());
+}
+
+#[test]
+fn snapshot_bit_flips_and_garbage_never_panic() {
+    let (_, bytes) = sample_snapshot();
+    let mut rng = Rng::seed_from_u64(0x5A5A_0FF5);
+    for _ in 0..200 {
+        let mut corrupt = bytes.clone();
+        let pos = rng.gen_index(corrupt.len());
+        corrupt[pos] ^= 1 << rng.gen_index(8);
+        // Either the parse fails, or (flip landed in an unread shard) field reads
+        // catch it; nothing panics and nothing silently misparses the flipped shard.
+        if let Ok(snapshot) = Snapshot::parse(&corrupt) {
+            let manifest = snapshot.manifest().cloned();
+            if let Some(m) = manifest {
+                for i in 0..m.len() {
+                    let _ = snapshot.read_field(i);
+                }
+            }
+        }
+        let _ = read_snapshot_with_info(&corrupt);
+    }
+}
+
+// --- Snapshot randomized round-trip ----------------------------------------------------
+
+#[test]
+fn randomized_multi_field_snapshot_roundtrip() {
+    let g = gpu();
+    let mut rng = Rng::seed_from_u64(0x54AB_5EED);
+    let all_specs = datasets::all_datasets();
+    for case in 0..6 {
+        let field_count = 2 + rng.gen_index(4); // 2..=5 fields
+        let fields: Vec<(String, Compressed)> = (0..field_count)
+            .map(|i| {
+                let spec = &all_specs[rng.gen_index(all_specs.len())];
+                let decoder = DecoderKind::all()[rng.gen_index(4)];
+                let elements = 5_000 + rng.gen_index(15_000);
+                let data = generate(spec, elements, rng.next_u64());
+                (
+                    format!("{}-{}", spec.name, i),
+                    compress(&data, &SzConfig::paper_default(decoder)),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &Compressed)> = fields.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        let bytes = snapshot_to_bytes(&refs).unwrap();
+        let snapshot = Snapshot::parse(&bytes).unwrap();
+        let manifest = snapshot.manifest().expect("snapshot carries a manifest");
+        assert_eq!(manifest.len(), field_count);
+        assert_eq!(snapshot.field_count().unwrap(), field_count);
+
+        for (index, (name, original)) in fields.iter().enumerate() {
+            // Manifest seek (by name) and sequential position agree, and both decode
+            // bit-identically to the original in-memory archive.
+            let by_name = snapshot.read_field_by_name(name).unwrap();
+            let by_index = snapshot.read_field(index).unwrap();
+            for archive in [by_name, by_index] {
+                let restored = archive.into_field().expect("field archive");
+                assert_eq!(restored.decoded_crc, original.decoded_crc);
+                let a = decompress(&g, &restored).unwrap();
+                let b = decompress(&g, original).unwrap();
+                assert_eq!(
+                    a.data, b.data,
+                    "case {} field '{}': snapshot round-trip diverged",
+                    case, name
+                );
+            }
+        }
+        assert!(snapshot.read_field_by_name("no-such-field").is_err());
+        assert!(snapshot.read_field(field_count).is_err());
+
+        // The load-time path sees the same manifest and fields.
+        let (loaded_manifest, loaded) = read_snapshot_with_info(&bytes).unwrap();
+        assert_eq!(loaded_manifest.as_ref(), Some(manifest));
+        assert_eq!(loaded.len(), field_count);
+    }
 }
 
 // --- Randomized round-trip property ----------------------------------------------------

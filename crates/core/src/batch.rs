@@ -1,0 +1,264 @@
+//! Batched multi-field decoding: N fields' decodes scheduled as one wave.
+//!
+//! Snapshot archives pack many fields (HACC particle arrays, GAMESS integral blocks)
+//! into one file; decoding them one-after-another leaves the device under-occupied
+//! whenever a single field's grid cannot fill it, and pays every kernel's launch
+//! overhead on the critical path. [`decode_batch`] instead runs the fields' block
+//! decodes across the shared `gpu-sim` worker pool concurrently (the functional side)
+//! and models the timing as kernels launched on independent CUDA streams (the
+//! performance side, [`gpu_sim::concurrent_time`]) — the same multi-field batching
+//! direction cuSZ takes to keep the GPU saturated across fields.
+//!
+//! The model is conservative in both directions: the batched wave can never beat the
+//! longest single field's serial phase chain (phases within a field are dependent), and
+//! can never be slower than decoding the fields serially.
+
+use gpu_sim::{concurrent_time, Gpu, KernelStats};
+
+use crate::decoder::{decode, CompressedPayload, DecodeError, DecoderKind};
+use crate::phases::DecodeResult;
+
+/// Aggregate timing of one batched decode wave. Per-field phase breakdowns stay in the
+/// corresponding [`DecodeResult::timings`]; this aggregates them into the serial
+/// baseline and the batched wave estimate.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Number of fields in the wave.
+    pub fields: usize,
+    /// Total simulated kernel launches across all fields.
+    pub kernel_launches: usize,
+    /// What decoding the fields one-after-another would cost (sum of per-field totals).
+    pub serial_seconds: f64,
+    /// Estimated time of the batched wave: all fields' kernels overlapped on
+    /// independent streams, bounded below by the longest single field's phase chain.
+    pub batched_seconds: f64,
+}
+
+impl BatchStats {
+    /// Speedup of the batched wave over serial decoding (≥ 1 by construction).
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.batched_seconds <= 0.0 {
+            1.0
+        } else {
+            self.serial_seconds / self.batched_seconds
+        }
+    }
+
+    /// Serial-decode throughput in GB/s relative to `useful_bytes`.
+    pub fn serial_throughput_gbs(&self, useful_bytes: u64) -> f64 {
+        throughput(useful_bytes, self.serial_seconds)
+    }
+
+    /// Batched-decode throughput in GB/s relative to `useful_bytes`.
+    pub fn batched_throughput_gbs(&self, useful_bytes: u64) -> f64 {
+        throughput(useful_bytes, self.batched_seconds)
+    }
+}
+
+fn throughput(useful_bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        useful_bytes as f64 / seconds / 1e9
+    }
+}
+
+/// Decodes `items` as one batch: every field's payload with its decoder, functionally
+/// in parallel on the shared worker pool, with the timing aggregated into a
+/// [`BatchStats`]. Results are returned in input order.
+///
+/// Payload/decoder mismatches are validated **before** any decode runs, so a bad item
+/// fails the whole batch without wasted work, with the same typed
+/// [`DecodeError::PayloadMismatch`] the single-field path reports.
+pub fn decode_batch(
+    gpu: &Gpu,
+    items: &[(DecoderKind, &CompressedPayload)],
+) -> Result<(Vec<DecodeResult>, BatchStats), DecodeError> {
+    for &(kind, payload) in items {
+        validate(kind, payload)?;
+    }
+    if items.is_empty() {
+        return Ok((Vec::new(), BatchStats::default()));
+    }
+
+    // Functional side: a bounded worker pool shares the simulated device (its
+    // launches already fan blocks out over host threads; fields add a second axis of
+    // parallelism on top, exactly like kernels from independent streams would). The
+    // worker count is capped — a 1000-field batch must never spawn 1000 OS threads —
+    // and workers pull fields off a shared atomic cursor, so results stay in input
+    // order regardless of which worker decodes what.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<DecodeResult, DecodeError>>>> = (0..items.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let (kind, payload) = items[i];
+                *slots[i].lock().expect("batch slot poisoned") = Some(decode(gpu, kind, payload));
+            });
+        }
+    });
+    let mut fields = Vec::with_capacity(items.len());
+    for slot in slots {
+        let result = slot
+            .into_inner()
+            .expect("batch slot poisoned")
+            .expect("every field was decoded");
+        fields.push(result?);
+    }
+
+    let stats = batch_stats(gpu, &fields);
+    Ok((fields, stats))
+}
+
+/// Aggregates per-field decode timings into the serial baseline and the batched wave
+/// estimate. Exposed so consumers that already hold [`DecodeResult`]s (e.g. a cache
+/// layer replaying breakdowns) can compute the same statistics.
+pub fn batch_stats(gpu: &Gpu, fields: &[DecodeResult]) -> BatchStats {
+    let mut kernels: Vec<KernelStats> = Vec::new();
+    let mut host_seconds = 0.0f64;
+    let mut serial_seconds = 0.0f64;
+    let mut longest_field = 0.0f64;
+    for field in fields {
+        let total = field.timings.total_seconds();
+        serial_seconds += total;
+        longest_field = longest_field.max(total);
+        for (_, phase) in field.timings.phases() {
+            kernels.extend(phase.kernels.iter().cloned());
+            // Phase seconds beyond the kernel times are host/transfer work that does
+            // not overlap in the stream model.
+            host_seconds +=
+                (phase.seconds - phase.kernels.iter().map(|k| k.time_s).sum::<f64>()).max(0.0);
+        }
+    }
+    let wave = concurrent_time(gpu.config(), &kernels);
+    // Within a field the phases are serially dependent, so the wave can never undercut
+    // the longest single field; across fields everything may overlap.
+    let batched_seconds = (wave.time_s + host_seconds)
+        .max(longest_field)
+        .min(serial_seconds);
+    BatchStats {
+        fields: fields.len(),
+        kernel_launches: kernels.len(),
+        serial_seconds,
+        batched_seconds,
+    }
+}
+
+/// The same payload/decoder compatibility check `decode` performs, hoisted so a batch
+/// can fail fast before spawning workers.
+fn validate(kind: DecoderKind, payload: &CompressedPayload) -> Result<(), DecodeError> {
+    let ok = match (kind, payload) {
+        (DecoderKind::CuszBaseline, CompressedPayload::Chunked { .. }) => true,
+        (DecoderKind::OriginalSelfSync, CompressedPayload::Flat(_)) => true,
+        (DecoderKind::OptimizedSelfSync, CompressedPayload::Flat(_)) => true,
+        (DecoderKind::OptimizedGapArray, CompressedPayload::Flat(stream)) => {
+            stream.gap_array.is_some()
+        }
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(DecodeError::PayloadMismatch { decoder: kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::compress_for;
+    use gpu_sim::GpuConfig;
+
+    fn quant_symbols(n: usize, salt: u32) -> Vec<u16> {
+        (0..n as u32)
+            .map(|i| {
+                let r = (i ^ salt).wrapping_mul(2654435761).rotate_left(9);
+                (512 + (r.trailing_zeros().min(6) as i32) * if (r >> 1) & 1 == 1 { 1 } else { -1 })
+                    as u16
+            })
+            .collect()
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(GpuConfig::test_tiny(), 4)
+    }
+
+    #[test]
+    fn batch_matches_serial_decodes_bit_exactly() {
+        let g = gpu();
+        let fields: Vec<(DecoderKind, Vec<u16>)> = vec![
+            (DecoderKind::OptimizedGapArray, quant_symbols(40_000, 1)),
+            (DecoderKind::OptimizedSelfSync, quant_symbols(25_000, 2)),
+            (DecoderKind::CuszBaseline, quant_symbols(30_000, 3)),
+            (DecoderKind::OriginalSelfSync, quant_symbols(10_000, 4)),
+        ];
+        let payloads: Vec<_> = fields
+            .iter()
+            .map(|(kind, symbols)| (*kind, compress_for(*kind, symbols, 1024)))
+            .collect();
+        let items: Vec<_> = payloads.iter().map(|(k, p)| (*k, p)).collect();
+        let (results, stats) = decode_batch(&g, &items).unwrap();
+        assert_eq!(results.len(), fields.len());
+        for ((_, symbols), result) in fields.iter().zip(&results) {
+            assert_eq!(&result.symbols, symbols);
+        }
+        assert_eq!(stats.fields, 4);
+        assert!(stats.kernel_launches > 0);
+        assert!(stats.serial_seconds > 0.0);
+        assert!(stats.batched_seconds > 0.0);
+        // The wave is never slower than serial and never faster than the longest field.
+        assert!(stats.batched_seconds <= stats.serial_seconds + 1e-15);
+        let longest = results
+            .iter()
+            .map(|r| r.timings.total_seconds())
+            .fold(0.0f64, f64::max);
+        assert!(stats.batched_seconds >= longest - 1e-15);
+        assert!(stats.overlap_speedup() >= 1.0);
+        let bytes: u64 = results.iter().map(|r| r.symbols.len() as u64 * 2).sum();
+        assert!(stats.batched_throughput_gbs(bytes) >= stats.serial_throughput_gbs(bytes));
+        // Per-field breakdowns agree with a standalone decode of the same payload.
+        let solo = decode(&g, items[0].0, items[0].1).unwrap();
+        assert!((solo.timings.total_seconds() - results[0].timings.total_seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let (results, stats) = decode_batch(&gpu(), &[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.fields, 0);
+        assert_eq!(stats.overlap_speedup(), 1.0);
+        assert_eq!(stats.batched_throughput_gbs(100), 0.0);
+    }
+
+    #[test]
+    fn mismatched_item_fails_the_batch_before_decoding() {
+        let g = gpu();
+        let symbols = quant_symbols(5_000, 9);
+        let good = compress_for(DecoderKind::OptimizedGapArray, &symbols, 1024);
+        let flat_no_gap = compress_for(DecoderKind::OptimizedSelfSync, &symbols, 1024);
+        let err = decode_batch(
+            &g,
+            &[
+                (DecoderKind::OptimizedGapArray, &good),
+                (DecoderKind::OptimizedGapArray, &flat_no_gap),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::PayloadMismatch {
+                decoder: DecoderKind::OptimizedGapArray
+            }
+        );
+    }
+}

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod crc32;
 pub mod decode_write;
 pub mod decoder;
@@ -63,6 +64,7 @@ pub mod subseq;
 pub mod tuner;
 
 pub use baseline::decode_baseline_chunks;
+pub use batch::{batch_stats, decode_batch, BatchStats};
 pub use crc32::{crc32, crc32_symbols, Crc32};
 pub use decode_write::{run_decode_write, DecodeWriteKernel, WriteStrategy};
 pub use decoder::{compress_for, decode, roundtrip, CompressedPayload, DecodeError, DecoderKind};

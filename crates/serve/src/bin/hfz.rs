@@ -6,7 +6,10 @@
 //! ```text
 //! hfz compress   --dataset HACC --elements 200000 --seed 42 --output hacc.hfz
 //! hfz compress   --input field.f32 --dims 512,512 --output field.hfz --decoder gap --eb rel:1e-3
+//! hfz compress   --snapshot --dataset HACC,GAMESS,CESM --elements 200000 --output snap.hfz
 //! hfz decompress hacc.hfz --output hacc.f32
+//! hfz decompress snap.hfz --field GAMESS --output gamess.f32
+//! hfz decompress snap.hfz --all --output-dir out/
 //! hfz inspect    hacc.hfz [--json]
 //! hfz verify     hacc.hfz [--deep] [--dataset HACC --elements 200000 --seed 42]
 //!
@@ -26,13 +29,13 @@ use std::process::ExitCode;
 
 use datasets::{dataset_by_name, generate, Dims, Field};
 use gpu_sim::{Gpu, GpuConfig};
-use huffdec_container::{read_info, ArchiveReader, ArchiveWriter, ContainerError};
+use huffdec_container::{read_info, ArchiveWriter, ContainerError, Snapshot};
 use huffdec_core::DecoderKind;
 use huffdec_serve::client::Client;
 use huffdec_serve::daemon::{run as run_daemon, DaemonOptions};
 use huffdec_serve::net::ListenAddr;
 use huffdec_serve::protocol::GetKind;
-use sz::{compress_on, decompress, verify_error_bound, ErrorBound, SzConfig};
+use sz::{compress_on, decompress, verify_error_bound, Compressed, ErrorBound, SzConfig};
 
 /// `println!` that exits quietly instead of panicking when stdout has been closed
 /// (e.g. the output is piped into `head`).
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("get") => cmd_get(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
@@ -79,7 +83,9 @@ hfz — HFZ1 archive and serving tool for error-bounded lossy compression
 USAGE:
   hfz compress   (--input FILE --dims A[,B[,C[,D]]] | --dataset NAME --elements N [--seed S])
                  --output FILE [--decoder KIND] [--eb MODE:VALUE] [--alphabet N]
-  hfz decompress ARCHIVE --output FILE
+  hfz compress   --snapshot --dataset NAME[,NAME...] --elements N [--seed S] --output FILE
+                 (one sharded snapshot archive with a manifest; field i uses seed S+i)
+  hfz decompress ARCHIVE [--field NAME|INDEX | --all --output-dir DIR] --output FILE
   hfz inspect    ARCHIVE [--json]
   hfz verify     ARCHIVE [--deep] [--digest HEX]
                  [--input FILE --dims ... | --dataset NAME --elements N [--seed S]]
@@ -88,6 +94,8 @@ USAGE:
   hfz serve      [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]...
   hfz get        --addr ADDR --archive NAME [--field I] [--codes] [--range START:LEN]
                  --output FILE
+  hfz batch      --addr ADDR --archive NAME --fields I[,I...] [--codes]
+                 --output-prefix PATH            (writes PATH.<index> per field)
   hfz list       --addr ADDR
   hfz stats      --addr ADDR
   hfz load       --addr ADDR --name NAME --path FILE
@@ -111,7 +119,7 @@ struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["json", "deep", "codes"];
+const SWITCHES: &[&str] = &["json", "deep", "codes", "snapshot", "all"];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, String> {
@@ -259,10 +267,8 @@ fn connect(args: &Args) -> Result<Client, String> {
     Client::connect(&addr).map_err(|e| format!("cannot connect to {}: {}", addr, e))
 }
 
-fn cmd_compress(rest: &[String]) -> Result<(), String> {
-    let args = Args::parse(rest)?;
-    let field = load_field(&args)?;
-    let output = args.require("output")?;
+/// Parses and validates the shared compression options (`--decoder/--eb/--alphabet`).
+fn parse_sz_config(args: &Args) -> Result<SzConfig, String> {
     let decoder = parse_decoder(args.get("decoder").unwrap_or("gap"))?;
     let error_bound = parse_error_bound(args.get("eb").unwrap_or("rel:1e-3"))?;
     let alphabet_size: usize = args
@@ -273,20 +279,49 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
     if !(4..=65536).contains(&alphabet_size) || !alphabet_size.is_power_of_two() {
         return Err("--alphabet must be a power of two in 4..=65536".to_string());
     }
+    Ok(SzConfig {
+        error_bound,
+        alphabet_size,
+        decoder,
+    })
+}
+
+fn compress_one(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, String) {
+    let (compressed, stats) = compress_on(gpu, field, config);
+    let phases = stats
+        .encode
+        .phases()
+        .iter()
+        .map(|(name, p)| format!("{} {:.3} ms", name, p.seconds * 1e3))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    let report = format!(
+        "encode: {:.3} ms simulated ({:.1} GB/s on quant codes, {:.1} GB/s overall) [{}]",
+        stats.encode.total_seconds() * 1e3,
+        stats.encode_throughput_gbs(compressed.quant_code_bytes()),
+        stats.overall_throughput_gbs(compressed.original_bytes()),
+        phases
+    );
+    (compressed, report)
+}
+
+fn cmd_compress(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    if args.has("snapshot") {
+        return cmd_compress_snapshot(&args);
+    }
+    let field = load_field(&args)?;
+    let output = args.require("output")?;
+    let config = parse_sz_config(&args)?;
 
     if field.is_empty() {
         return Err("input field is empty; nothing to compress".to_string());
     }
 
-    let config = SzConfig {
-        error_bound,
-        alphabet_size,
-        decoder,
-    };
     // Encode on the simulated GPU (bit-identical to the host encoder) so the encoder
     // throughput can be reported alongside the archive.
     let gpu = cli_gpu();
-    let (compressed, stats) = compress_on(&gpu, &field, &config);
+    let (compressed, encode_report) = compress_one(&gpu, &field, &config);
 
     let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
     let mut writer = ArchiveWriter::new(BufWriter::new(file));
@@ -304,23 +339,112 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
         written,
         field.bytes() as f64 / written as f64
     );
-    let phases = stats
-        .encode
-        .phases()
-        .iter()
-        .map(|(name, p)| format!("{} {:.3} ms", name, p.seconds * 1e3))
-        .collect::<Vec<_>>()
-        .join(" | ");
-    out!(
-        "encode: {:.3} ms simulated ({:.1} GB/s on quant codes, {:.1} GB/s overall) [{}]",
-        stats.encode.total_seconds() * 1e3,
-        stats.encode_throughput_gbs(compressed.quant_code_bytes()),
-        stats.overall_throughput_gbs(compressed.original_bytes()),
-        phases
-    );
+    out!("{}", encode_report);
     let file = File::open(output).map_err(|e| format!("cannot reopen {}: {}", output, e))?;
     let info = read_info(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
     out!("{}", info);
+    Ok(())
+}
+
+/// `hfz compress --snapshot`: packs several dataset fields into one sharded snapshot
+/// archive with a manifest. Field *i* is generated with `--seed + i`, so any field can
+/// be reproduced standalone (`hfz compress --dataset NAME --seed S+i`) and compared
+/// byte-for-byte against a manifest-seek extraction.
+fn cmd_compress_snapshot(args: &Args) -> Result<(), String> {
+    let names: Vec<&str> = args.require("dataset")?.split(',').collect();
+    if names.len() < 2 {
+        return Err("--snapshot expects at least two comma-separated datasets".to_string());
+    }
+    let output = args.require("output")?;
+    let config = parse_sz_config(args)?;
+    let elements: usize = args
+        .require("elements")?
+        .parse()
+        .map_err(|_| "bad --elements value".to_string())?;
+    let seed: u64 = args
+        .get("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed value".to_string())?;
+
+    let gpu = cli_gpu();
+    let mut fields: Vec<(String, Compressed)> = Vec::with_capacity(names.len());
+    for (i, name) in names.iter().enumerate() {
+        let spec = dataset_by_name(name).ok_or_else(|| format!("unknown dataset '{}'", name))?;
+        let field = generate(&spec, elements, seed + i as u64);
+        let (compressed, encode_report) = compress_one(&gpu, &field, &config);
+        out!(
+            "field {} '{}': {} elements, {}",
+            i,
+            spec.name,
+            field.len(),
+            encode_report
+        );
+        fields.push((spec.name.to_string(), compressed));
+    }
+    let refs: Vec<(&str, &Compressed)> = fields
+        .iter()
+        .map(|(name, compressed)| (name.as_str(), compressed))
+        .collect();
+
+    let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let mut writer = ArchiveWriter::new(BufWriter::new(file));
+    let written = writer.write_snapshot(&refs).map_err(|e| e.to_string())?;
+    writer.into_inner().map_err(|e| e.to_string())?;
+
+    let original: u64 = fields.iter().map(|(_, c)| c.original_bytes()).sum();
+    out!(
+        "snapshot {}: {} fields, {} -> {} bytes ({:.2}x)",
+        output,
+        fields.len(),
+        original,
+        written,
+        original as f64 / written as f64
+    );
+    let bytes = read_archive_file(output)?;
+    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
+    out!(
+        "{}",
+        snapshot.manifest().expect("snapshot writes a manifest")
+    );
+    Ok(())
+}
+
+fn write_f32(path: &str, data: &[f32]) -> Result<(), String> {
+    let out = File::create(path).map_err(|e| format!("cannot create {}: {}", path, e))?;
+    let mut out = BufWriter::new(out);
+    for v in data {
+        out.write_all(&v.to_le_bytes())
+            .map_err(|e| format!("write failed: {}", e))?;
+    }
+    out.flush().map_err(|e| format!("write failed: {}", e))
+}
+
+/// Decompresses one already-read field archive to `output` and reports the timing.
+fn decompress_to(
+    gpu: &Gpu,
+    archive: huffdec_container::Archive,
+    label: &str,
+    output: &str,
+) -> Result<(), String> {
+    let compressed = archive
+        .into_field()
+        .ok_or_else(|| format!("{} is payload-only; nothing to reconstruct", label))?;
+    // A CRC-valid archive whose payload disagrees with its decoder tag surfaces here as
+    // a typed error, reported through `ContainerError` like any other invalid archive.
+    let decompressed =
+        decompress(gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
+    write_f32(output, &decompressed.data)?;
+    out!(
+        "{} -> {}: {} elements, simulated decompression {:.3} ms ({:.1} GB/s overall)",
+        label,
+        output,
+        decompressed.data.len(),
+        decompressed.stats.total_seconds * 1e3,
+        decompressed
+            .stats
+            .overall_throughput_gbs(compressed.original_bytes())
+    );
     Ok(())
 }
 
@@ -330,42 +454,61 @@ fn cmd_decompress(rest: &[String]) -> Result<(), String> {
         .positionals
         .first()
         .ok_or_else(|| "expected an archive path".to_string())?;
-    let output = args.require("output")?;
-
-    let file =
-        File::open(archive_path).map_err(|e| format!("cannot open {}: {}", archive_path, e))?;
-    let mut reader = ArchiveReader::new(BufReader::new(file));
-    let compressed = reader
-        .read_archive()
-        .map_err(|e| e.to_string())?
-        .into_field()
-        .ok_or_else(|| "archive is payload-only; nothing to reconstruct".to_string())?;
-
+    let bytes = read_archive_file(archive_path)?;
+    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
     let gpu = cli_gpu();
-    // A CRC-valid archive whose payload disagrees with its decoder tag surfaces here as
-    // a typed error, reported through `ContainerError` like any other invalid archive.
-    let decompressed =
-        decompress(&gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
 
-    let out = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
-    let mut out = BufWriter::new(out);
-    for v in &decompressed.data {
-        out.write_all(&v.to_le_bytes())
-            .map_err(|e| format!("write failed: {}", e))?;
+    // `--all`: every field into --output-dir, named by the manifest (or by index for
+    // manifest-less files).
+    if args.has("all") {
+        let dir = args.require("output-dir")?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {}", dir, e))?;
+        let count = snapshot.field_count().map_err(|e| e.to_string())?;
+        for index in 0..count {
+            let name = snapshot
+                .manifest()
+                .map(|m| m.entries()[index].name.clone())
+                .unwrap_or_else(|| format!("field{}", index));
+            let archive = snapshot.read_field(index).map_err(|e| e.to_string())?;
+            let output = format!("{}/{}.f32", dir.trim_end_matches('/'), name);
+            decompress_to(
+                &gpu,
+                archive,
+                &format!("{}[{}]", archive_path, name),
+                &output,
+            )?;
+        }
+        return Ok(());
     }
-    out.flush().map_err(|e| format!("write failed: {}", e))?;
 
-    out!(
-        "{} -> {}: {} elements, simulated decompression {:.3} ms ({:.1} GB/s overall)",
-        archive_path,
-        output,
-        decompressed.data.len(),
-        decompressed.stats.total_seconds * 1e3,
-        decompressed
-            .stats
-            .overall_throughput_gbs(compressed.original_bytes())
-    );
-    Ok(())
+    let output = args.require("output")?;
+    // `--field NAME|INDEX`: seek straight to one field via the manifest.
+    if let Some(field) = args.get("field") {
+        let archive = match field.parse::<usize>() {
+            Ok(index) => snapshot.read_field(index),
+            Err(_) => snapshot.read_field_by_name(field),
+        }
+        .map_err(|e| e.to_string())?;
+        return decompress_to(
+            &gpu,
+            archive,
+            &format!("{}[{}]", archive_path, field),
+            output,
+        );
+    }
+
+    // Bare decompress: the whole file must be (or start with) a single field. A
+    // multi-field snapshot without a field selector is ambiguous — refuse it.
+    if let Some(manifest) = snapshot.manifest() {
+        if manifest.len() > 1 {
+            return Err(format!(
+                "snapshot has {} fields; pass --field NAME or --all --output-dir DIR",
+                manifest.len()
+            ));
+        }
+    }
+    let archive = snapshot.read_field(0).map_err(|e| e.to_string())?;
+    decompress_to(&gpu, archive, archive_path, output)
 }
 
 /// Reads a whole archive file so the CLI can insist the file holds exactly a sequence
@@ -388,7 +531,8 @@ fn cmd_inspect(rest: &[String]) -> Result<(), String> {
         .ok_or_else(|| "expected an archive path".to_string())?;
     let bytes = read_archive_file(archive_path)?;
     let json = args.has("json");
-    let mut rest = bytes.as_slice();
+    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
+    let mut rest = snapshot.archive_bytes();
     let mut infos = Vec::new();
     while !rest.is_empty() {
         infos.push(read_info(&mut rest).map_err(|e| e.to_string())?);
@@ -397,15 +541,27 @@ fn cmd_inspect(rest: &[String]) -> Result<(), String> {
         return Err("file is empty".to_string());
     }
     if json {
-        // One JSON array with one object per archive in the file, machine-readable for
-        // hfzd tooling and tests (no screen-scraping).
+        // Machine-readable for hfzd tooling and tests (no screen-scraping): plain files
+        // keep the one-object-per-archive array; snapshot files wrap it with their
+        // manifest.
         let body = infos
             .iter()
             .map(|i| i.to_json())
             .collect::<Vec<_>>()
             .join(",");
-        out!("[{}]", body);
+        match snapshot.manifest() {
+            Some(manifest) => out!(
+                "{{\"manifest\":{},\"archives\":[{}]}}",
+                manifest.to_json(),
+                body
+            ),
+            None => out!("[{}]", body),
+        }
     } else {
+        if let Some(manifest) = snapshot.manifest() {
+            out!("{}", manifest);
+            out!();
+        }
         for (i, info) in infos.iter().enumerate() {
             if i > 0 {
                 out!();
@@ -427,9 +583,20 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
         .ok_or_else(|| "expected an archive path".to_string())?;
     let bytes = read_archive_file(archive_path)?;
 
+    // Manifest pass (snapshot archives): framing, checksum, and shard-extent
+    // validation of the index happen inside `Snapshot::parse`.
+    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
+    if let Some(manifest) = snapshot.manifest() {
+        out!(
+            "manifest:  ok ({} fields, {} shard bytes)",
+            manifest.len(),
+            manifest.shard_bytes()
+        );
+    }
+
     // Structural pass: framing and checksums of every archive in the file; anything
     // left over after the last end marker is corruption, not slack.
-    let mut cursor = bytes.as_slice();
+    let mut cursor = snapshot.archive_bytes();
     let mut count = 0;
     while !cursor.is_empty() {
         let info = read_info(&mut cursor).map_err(|e| e.to_string())?;
@@ -444,22 +611,12 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     if count == 0 {
         return Err("file is empty".to_string());
     }
-    if count > 1 {
+    if count > 1 && snapshot.manifest().is_none() {
         out!(
             "note: file concatenates {} archives; verifying the first",
             count
         );
     }
-
-    // Semantic pass: full reassembly.
-    let archive = ArchiveReader::new(bytes.as_slice())
-        .read_archive()
-        .map_err(|e| e.to_string())?;
-    out!(
-        "contents:  ok ({} symbols, decoder {})",
-        archive.payload().num_symbols(),
-        archive.decoder().name()
-    );
 
     let deep = args.has("deep");
     let expected_digest = args
@@ -468,6 +625,70 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|_| "bad --digest value (expected hex CRC32)".to_string())?;
     let gpu = cli_gpu();
+
+    // Multi-field snapshots: reassemble every field (cross-checked against its
+    // manifest entry), and — under --deep — decode each and check its stored digest.
+    // A semantically corrupt field anywhere in the snapshot must fail verification,
+    // exactly as the daemon's VERIFY does.
+    if snapshot.manifest().map(|m| m.len() > 1).unwrap_or(false) {
+        if expected_digest.is_some() {
+            return Err(
+                "--digest applies to single-field archives; use --deep for snapshots".to_string(),
+            );
+        }
+        if args.get("input").is_some() || args.get("dataset").is_some() {
+            return Err(
+                "--input/--dataset bound checks apply to single-field archives".to_string(),
+            );
+        }
+        let manifest = snapshot.manifest().expect("checked above");
+        for (index, entry) in manifest.entries().iter().enumerate() {
+            let archive = snapshot.read_field(index).map_err(|e| e.to_string())?;
+            out!(
+                "contents:  ok (field '{}': {} symbols, decoder {})",
+                entry.name,
+                archive.payload().num_symbols(),
+                archive.decoder().name()
+            );
+            if deep {
+                let decoded = huffdec_core::decode(&gpu, archive.decoder(), archive.payload())
+                    .map_err(|e| ContainerError::from(e).to_string())?;
+                let computed = huffdec_core::crc32_symbols(&decoded.symbols);
+                let stored = match &archive {
+                    huffdec_container::Archive::Field(c) => c.decoded_crc,
+                    huffdec_container::Archive::Payload { .. } => None,
+                };
+                match stored {
+                    Some(expected) if computed != expected => {
+                        return Err(format!(
+                            "deep verification failed: field '{}' digests to {:08x}, expected {:08x}",
+                            entry.name, computed, expected
+                        ));
+                    }
+                    Some(_) => out!(
+                        "deep:      ok (field '{}': decoded CRC32 {:08x} over {} symbols)",
+                        entry.name,
+                        computed,
+                        decoded.symbols.len()
+                    ),
+                    None => out!(
+                        "deep:      field '{}' stores no decoded-stream digest",
+                        entry.name
+                    ),
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Semantic pass: full reassembly (cross-checked against the manifest entry when
+    // the file carries one).
+    let archive = snapshot.read_field(0).map_err(|e| e.to_string())?;
+    out!(
+        "contents:  ok ({} symbols, decoder {})",
+        archive.payload().num_symbols(),
+        archive.decoder().name()
+    );
 
     // Deep pass: decode the symbol stream and check it against the decoded-stream
     // digest (the stored trailer, or a caller-supplied --digest). This catches archives
@@ -607,6 +828,64 @@ fn cmd_get(rest: &[String]) -> Result<(), String> {
         } else {
             ""
         }
+    );
+    Ok(())
+}
+
+/// `hfz batch`: one `GETBATCH` round trip fetching several whole fields; the daemon
+/// decodes every cache miss as a single batched wave. Each field lands in
+/// `PREFIX.<index>`.
+fn cmd_batch(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let archive = args.require("archive")?;
+    let prefix = args.require("output-prefix")?;
+    let fields: Vec<u32> = args
+        .require("fields")?
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad field index '{}'", p))
+        })
+        .collect::<Result<_, _>>()?;
+    if fields.is_empty() {
+        return Err("--fields expects at least one index".to_string());
+    }
+    let kind = if args.has("codes") {
+        GetKind::Codes
+    } else {
+        GetKind::Data
+    };
+
+    let mut client = connect(&args)?;
+    let items = client
+        .get_batch(archive, kind, &fields)
+        .map_err(|e| e.to_string())?;
+    let mut cached = 0u32;
+    for (field, item) in fields.iter().zip(&items) {
+        let output = format!("{}.{}", prefix, field);
+        let file = File::create(&output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(&item.bytes)
+            .and_then(|_| file.flush())
+            .map_err(|e| format!("write failed: {}", e))?;
+        cached += item.from_cache as u32;
+        out!(
+            "{}[{}] -> {}: {} {} elements ({} bytes){}",
+            archive,
+            field,
+            output,
+            item.elements,
+            if kind == GetKind::Data { "f32" } else { "code" },
+            item.bytes.len(),
+            if item.from_cache { ", cached" } else { "" }
+        );
+    }
+    out!(
+        "batch: {} fields, {} cached, {} decoded as one wave",
+        items.len(),
+        cached,
+        items.len() as u32 - cached
     );
     Ok(())
 }

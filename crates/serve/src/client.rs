@@ -6,8 +6,8 @@
 
 use crate::net::{connect, Conn, ListenAddr};
 use crate::protocol::{
-    read_frame, write_frame, GetKind, ProtocolError, Request, Response, MAX_REQUEST_BYTES,
-    MAX_RESPONSE_BYTES,
+    read_frame, write_frame, BatchGetItem, GetKind, ProtocolError, Request, Response,
+    MAX_REQUEST_BYTES, MAX_RESPONSE_BYTES,
 };
 
 /// Everything a request can fail with on the client side.
@@ -148,6 +148,26 @@ impl Client {
                 elements,
                 bytes,
             }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// `GETBATCH`: fetches several whole decoded fields of one archive in a single
+    /// round trip; the daemon decodes every cache miss as one batched wave. Items come
+    /// back in the order `fields` named them.
+    pub fn get_batch(
+        &mut self,
+        archive: &str,
+        kind: GetKind,
+        fields: &[u32],
+    ) -> Result<Vec<BatchGetItem>, ClientError> {
+        let request = Request::GetBatch {
+            archive: archive.to_string(),
+            kind,
+            fields: fields.to_vec(),
+        };
+        match self.request(&request)? {
+            Response::GetBatch { items, .. } => Ok(items),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }

@@ -13,6 +13,12 @@
 //! | 4 | `VERIFY` | archive | text report, one line per field |
 //! | 5 | `SHUTDOWN` | — | — (the daemon stops accepting and drains) |
 //! | 6 | `LOAD` | name, path | field count |
+//! | 7 | `GETBATCH` | archive, kind, field-index list | per field: `from_cache`, element count, bytes |
+//!
+//! `GETBATCH` fetches several whole fields of one archive in a single round trip; the
+//! daemon decodes every cache miss as **one batched wave** (shared worker pool,
+//! overlapped kernels) instead of N serial decodes, then fills the same LRU single-field
+//! `GET`s hit.
 //!
 //! `GET` serves either the reconstructed field (`kind` = data: little-endian f32s,
 //! field archives only) or the decoded quantization codes (`kind` = codes: little-endian
@@ -101,7 +107,20 @@ pub enum Request {
         /// Filesystem path of the `HFZ1` file.
         path: String,
     },
+    /// Fetch several whole decoded fields of one archive in a single round trip; cold
+    /// fields are decoded as one batched wave.
+    GetBatch {
+        /// Name the archive was loaded under.
+        archive: String,
+        /// Data or codes (applies to every requested field).
+        kind: GetKind,
+        /// Field indices to fetch, in response order.
+        fields: Vec<u32>,
+    },
 }
+
+/// Hard ceiling on the number of fields one `GETBATCH` may request.
+pub const MAX_BATCH_FIELDS: usize = 1024;
 
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +153,25 @@ pub enum Response {
     },
     /// `SHUTDOWN` acknowledged.
     ShuttingDown,
+    /// `GETBATCH` result: one item per requested field, in request order.
+    GetBatch {
+        /// What every item's bytes are.
+        kind: GetKind,
+        /// The fetched fields.
+        items: Vec<BatchGetItem>,
+    },
+}
+
+/// One field of a `GETBATCH` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchGetItem {
+    /// Whether the bytes came from the decoded-field cache (misses were decoded in the
+    /// request's batched wave).
+    pub from_cache: bool,
+    /// Number of elements returned.
+    pub elements: u64,
+    /// The raw little-endian bytes.
+    pub bytes: Vec<u8>,
 }
 
 /// Everything that can go wrong speaking the protocol.
@@ -329,6 +367,7 @@ const OP_STATS: u8 = 3;
 const OP_VERIFY: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_LOAD: u8 = 6;
+const OP_GET_BATCH: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
@@ -375,6 +414,20 @@ impl Request {
                 w.str16(path);
                 w.buf
             }
+            Request::GetBatch {
+                archive,
+                kind,
+                fields,
+            } => {
+                let mut w = BodyWriter::new(OP_GET_BATCH);
+                w.str16(archive);
+                w.u8(kind.tag());
+                w.u32(fields.len() as u32);
+                for &f in fields {
+                    w.u32(f);
+                }
+                w.buf
+            }
         }
     }
 
@@ -413,6 +466,23 @@ impl Request {
                 name: r.str16()?,
                 path: r.str16()?,
             },
+            OP_GET_BATCH => {
+                let archive = r.str16()?;
+                let kind = GetKind::from_tag(r.u8()?)?;
+                let count = r.u32()? as usize;
+                if count > MAX_BATCH_FIELDS {
+                    return Err(ProtocolError::Malformed("batch requests too many fields"));
+                }
+                let mut fields = Vec::with_capacity(count);
+                for _ in 0..count {
+                    fields.push(r.u32()?);
+                }
+                Request::GetBatch {
+                    archive,
+                    kind,
+                    fields,
+                }
+            }
             _ => return Err(ProtocolError::Malformed("unknown opcode")),
         };
         r.finish()?;
@@ -426,6 +496,7 @@ const RESP_STATS: u8 = 3;
 const RESP_VERIFY: u8 = 4;
 const RESP_SHUTDOWN: u8 = 5;
 const RESP_LOADED: u8 = 6;
+const RESP_GET_BATCH: u8 = 7;
 
 impl Response {
     /// Serializes the response into a frame body.
@@ -471,6 +542,16 @@ impl Response {
             Response::ShuttingDown => {
                 w.u8(RESP_SHUTDOWN);
             }
+            Response::GetBatch { kind, items } => {
+                w.u8(RESP_GET_BATCH);
+                w.u8(kind.tag());
+                w.u32(items.len() as u32);
+                for item in items {
+                    w.u8(item.from_cache as u8);
+                    w.u64(item.elements);
+                    w.blob(&item.bytes);
+                }
+            }
         }
         w.buf
     }
@@ -515,6 +596,30 @@ impl Response {
             RESP_VERIFY => Response::Verify(r.text()?),
             RESP_LOADED => Response::Loaded { fields: r.u32()? },
             RESP_SHUTDOWN => Response::ShuttingDown,
+            RESP_GET_BATCH => {
+                let kind = GetKind::from_tag(r.u8()?)?;
+                let count = r.u32()? as usize;
+                if count > MAX_BATCH_FIELDS {
+                    return Err(ProtocolError::Malformed("batch response too large"));
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let from_cache = r.u8()? != 0;
+                    let elements = r.u64()?;
+                    let bytes = r.blob()?;
+                    // Same wire-data check as single GET: an absurd element count must
+                    // surface as a typed mismatch, never an overflow.
+                    if elements.checked_mul(kind.element_bytes()) != Some(bytes.len() as u64) {
+                        return Err(ProtocolError::Malformed("byte count disagrees with count"));
+                    }
+                    items.push(BatchGetItem {
+                        from_cache,
+                        elements,
+                        bytes,
+                    });
+                }
+                Response::GetBatch { kind, items }
+            }
             _ => return Err(ProtocolError::Malformed("unknown response tag")),
         };
         r.finish()?;
@@ -551,6 +656,16 @@ mod tests {
                 kind: GetKind::Codes,
                 range: Some((1024, 4096)),
             },
+            Request::GetBatch {
+                archive: "snap".into(),
+                kind: GetKind::Data,
+                fields: vec![0, 2, 1],
+            },
+            Request::GetBatch {
+                archive: "snap".into(),
+                kind: GetKind::Codes,
+                fields: vec![],
+            },
         ];
         for req in cases {
             let body = req.encode();
@@ -573,6 +688,21 @@ mod tests {
                 partial: false,
                 elements: 3,
                 bytes: vec![1, 0, 2, 0, 3, 0],
+            },
+            Response::GetBatch {
+                kind: GetKind::Codes,
+                items: vec![
+                    BatchGetItem {
+                        from_cache: true,
+                        elements: 2,
+                        bytes: vec![1, 0, 2, 0],
+                    },
+                    BatchGetItem {
+                        from_cache: false,
+                        elements: 0,
+                        bytes: vec![],
+                    },
+                ],
             },
         ];
         for resp in cases {
@@ -659,6 +789,29 @@ mod tests {
             partial: false,
             elements: u64::MAX,
             bytes: Vec::new(),
+        };
+        assert!(matches!(
+            Response::decode(&resp.encode()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // A batch naming more fields than the protocol ceiling is a typed error.
+        let oversized = Request::GetBatch {
+            archive: "a".into(),
+            kind: GetKind::Data,
+            fields: vec![0; MAX_BATCH_FIELDS + 1],
+        };
+        assert!(matches!(
+            Request::decode(&oversized.encode()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // A batch item whose byte count disagrees with its element count is rejected.
+        let resp = Response::GetBatch {
+            kind: GetKind::Data,
+            items: vec![BatchGetItem {
+                from_cache: false,
+                elements: 3,
+                bytes: vec![0; 8],
+            }],
         };
         assert!(matches!(
             Response::decode(&resp.encode()),

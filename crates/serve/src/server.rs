@@ -23,7 +23,8 @@ use huffdec_core::{decode, DecoderKind};
 use crate::cache::{CacheKey, CacheStats, DecodedLru};
 use crate::net::{connect, Conn, ListenAddr, Listener};
 use crate::protocol::{
-    read_frame, write_frame, GetKind, Request, Response, MAX_REQUEST_BYTES, MAX_RESPONSE_BYTES,
+    read_frame, write_frame, BatchGetItem, GetKind, Request, Response, MAX_REQUEST_BYTES,
+    MAX_RESPONSE_BYTES,
 };
 use crate::store::{ArchiveStore, LoadedArchive, LoadedField};
 
@@ -76,6 +77,16 @@ pub struct ServeStats {
     pub partial_blocks_decoded: u64,
     /// Blocks a full decode would have run for those same requests.
     pub partial_blocks_total: u64,
+    /// `GETBATCH` requests handled.
+    pub batch_gets: u64,
+    /// Fields requested across all batch requests (cache hits included).
+    pub batch_fields: u64,
+    /// Cold fields decoded inside batched waves.
+    pub batch_decoded_fields: u64,
+    /// What those batched decodes would have cost run serially (simulated seconds).
+    pub batch_serial_seconds: f64,
+    /// What the batched waves actually cost (simulated seconds).
+    pub batch_batched_seconds: f64,
 }
 
 /// Shared state of a running daemon.
@@ -170,6 +181,14 @@ impl ServerState {
                     Err(message) => Response::Error(message),
                 }
             }
+            Request::GetBatch {
+                archive,
+                kind,
+                fields,
+            } => match self.get_batch(archive, *kind, fields) {
+                Ok(response) => response,
+                Err(message) => Response::Error(message),
+            },
         }
     }
 
@@ -346,6 +365,163 @@ impl ServerState {
         Ok(slice_response(&bytes, kind, range, elements, false, false))
     }
 
+    /// Serves a multi-field fetch: cache hits stream straight out, and *all* misses are
+    /// decoded as one batched wave ([`sz::decompress_batch`] /
+    /// [`huffdec_core::decode_batch`]) instead of N serial decodes, then inserted into
+    /// the same LRU single-field `GET`s use.
+    fn get_batch(
+        &self,
+        archive: &str,
+        kind: GetKind,
+        field_indices: &[u32],
+    ) -> Result<Response, String> {
+        self.with_stats(|s| {
+            s.batch_gets += 1;
+            s.batch_fields += field_indices.len() as u64;
+        });
+        let loaded = self
+            .store
+            .get(archive)
+            .ok_or_else(|| format!("no archive named '{}' is loaded", archive))?;
+        for &f in field_indices {
+            if f as usize >= loaded.fields.len() {
+                return Err(format!(
+                    "archive '{}' has {} fields; field {} does not exist",
+                    archive,
+                    loaded.fields.len(),
+                    f
+                ));
+            }
+            if kind == GetKind::Data && loaded.fields[f as usize].data_elements().is_none() {
+                return Err(format!(
+                    "field {} is payload-only; request codes instead of data",
+                    f
+                ));
+            }
+        }
+        let key = |field: u32| CacheKey {
+            archive: archive.to_string(),
+            generation: loaded.generation,
+            field,
+            kind,
+        };
+
+        // One cache pass for the whole request.
+        let cached: Vec<Option<Arc<Vec<u8>>>> = {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            field_indices.iter().map(|&f| cache.get(&key(f))).collect()
+        };
+
+        // Unique cold fields, decoded as one wave.
+        let mut missing: Vec<u32> = Vec::new();
+        for (&f, hit) in field_indices.iter().zip(&cached) {
+            if hit.is_none() && !missing.contains(&f) {
+                missing.push(f);
+            }
+        }
+        let mut decoded: Vec<(u32, Arc<Vec<u8>>)> = Vec::with_capacity(missing.len());
+        if !missing.is_empty() {
+            let produced: Vec<Vec<u8>> = match kind {
+                GetKind::Data => {
+                    let archives: Vec<&sz::Compressed> = missing
+                        .iter()
+                        .map(|&f| match &loaded.fields[f as usize].archive {
+                            Archive::Field(c) => c,
+                            Archive::Payload { .. } => unreachable!("validated above"),
+                        })
+                        .collect();
+                    let (fields, stats) = sz::decompress_batch(&self.gpu, &archives)
+                        .map_err(|e| format!("batch decode failed: {}", e))?;
+                    self.record_batch_wave(stats.serial_seconds, stats.batched_seconds);
+                    for (&f, d) in missing.iter().zip(&fields) {
+                        self.record_decode(
+                            |s| &mut s.full_decodes,
+                            loaded.fields[f as usize].archive.decoder(),
+                            d.stats.total_seconds,
+                        );
+                    }
+                    fields
+                        .into_iter()
+                        .map(|d| {
+                            let mut bytes = Vec::with_capacity(d.data.len() * 4);
+                            for v in &d.data {
+                                bytes.extend_from_slice(&v.to_le_bytes());
+                            }
+                            bytes
+                        })
+                        .collect()
+                }
+                GetKind::Codes => {
+                    let items: Vec<_> = missing
+                        .iter()
+                        .map(|&f| {
+                            let field = &loaded.fields[f as usize];
+                            (field.archive.decoder(), field.archive.payload())
+                        })
+                        .collect();
+                    let (results, stats) = huffdec_core::decode_batch(&self.gpu, &items)
+                        .map_err(|e| format!("batch decode failed: {}", e))?;
+                    self.record_batch_wave(stats.serial_seconds, stats.batched_seconds);
+                    for (&f, r) in missing.iter().zip(&results) {
+                        self.record_decode(
+                            |s| &mut s.full_decodes,
+                            loaded.fields[f as usize].archive.decoder(),
+                            r.timings.total_seconds(),
+                        );
+                    }
+                    results
+                        .into_iter()
+                        .map(|r| {
+                            let mut bytes = Vec::with_capacity(r.symbols.len() * 2);
+                            for sym in &r.symbols {
+                                bytes.extend_from_slice(&sym.to_le_bytes());
+                            }
+                            bytes
+                        })
+                        .collect()
+                }
+            };
+            self.with_stats(|s| s.batch_decoded_fields += missing.len() as u64);
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            for (&f, bytes) in missing.iter().zip(produced) {
+                decoded.push((f, cache.insert(key(f), bytes)));
+            }
+        }
+
+        let items: Vec<BatchGetItem> = field_indices
+            .iter()
+            .zip(&cached)
+            .map(|(&f, hit)| {
+                let (bytes, from_cache) = match hit {
+                    Some(bytes) => (Arc::clone(bytes), true),
+                    None => (
+                        Arc::clone(
+                            &decoded
+                                .iter()
+                                .find(|(idx, _)| *idx == f)
+                                .expect("every miss was decoded")
+                                .1,
+                        ),
+                        false,
+                    ),
+                };
+                BatchGetItem {
+                    from_cache,
+                    elements: bytes.len() as u64 / kind.element_bytes(),
+                    bytes: bytes.to_vec(),
+                }
+            })
+            .collect();
+        Ok(Response::GetBatch { kind, items })
+    }
+
+    fn record_batch_wave(&self, serial_seconds: f64, batched_seconds: f64) {
+        self.with_stats(|s| {
+            s.batch_serial_seconds += serial_seconds;
+            s.batch_batched_seconds += batched_seconds;
+        });
+    }
+
     fn verify(&self, archive: &str) -> Result<String, String> {
         let loaded = self
             .store
@@ -418,7 +594,17 @@ impl ServerState {
                 if j > 0 {
                     s.push(',');
                 }
-                s.push_str(&field.info.to_json());
+                // Prefix each field object with its manifest name (snapshot archives)
+                // so clients can resolve names to indices without re-reading the file.
+                let info = field.info.to_json();
+                match &field.name {
+                    Some(name) => s.push_str(&format!(
+                        "{{\"name\":\"{}\",{}",
+                        json_escape(name),
+                        &info[1..]
+                    )),
+                    None => s.push_str(&info),
+                }
             }
             s.push_str("]}");
         }
@@ -463,7 +649,9 @@ impl ServerState {
         format!(
             "{{\"requests\":{},\"gets\":{},\"archives_loaded\":{},\"cache\":{},\
              \"full_decodes\":{},\"index_builds\":{},\"partial_decodes\":{},\
-             \"partial_blocks_decoded\":{},\"partial_blocks_total\":{}}}",
+             \"partial_blocks_decoded\":{},\"partial_blocks_total\":{},\
+             \"batch\":{{\"gets\":{},\"fields\":{},\"decoded_fields\":{},\
+             \"serial_seconds\":{:e},\"batched_seconds\":{:e}}}}}",
             stats.requests,
             stats.gets,
             self.store.len(),
@@ -473,6 +661,11 @@ impl ServerState {
             decoder_json(&stats.partial_decodes),
             stats.partial_blocks_decoded,
             stats.partial_blocks_total,
+            stats.batch_gets,
+            stats.batch_fields,
+            stats.batch_decoded_fields,
+            stats.batch_serial_seconds,
+            stats.batch_batched_seconds,
         )
     }
 }

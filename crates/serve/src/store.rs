@@ -18,12 +18,17 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use gpu_sim::Gpu;
-use huffdec_container::{read_archives_with_info, Archive, ArchiveInfo, ContainerError};
+use huffdec_container::{
+    read_snapshot_with_info, Archive, ArchiveInfo, ContainerError, SnapshotManifest,
+};
 use huffdec_core::{prepare_decode, DecodeError, PreparedDecode};
 
 /// One field of a loaded archive file, with all per-field cached state.
 #[derive(Debug)]
 pub struct LoadedField {
+    /// Manifest field name, when the file is a snapshot archive (`None` for plain
+    /// concatenated files, which carry no names).
+    pub name: Option<String>,
     /// Parsed header and section table (cached; `LIST` and bounds checks read this).
     pub info: ArchiveInfo,
     /// The reassembled decode structures.
@@ -71,8 +76,20 @@ pub struct LoadedArchive {
     /// decode of a *replaced* archive that races its re-load can never be served to
     /// requests addressing the new one.
     pub generation: u64,
+    /// The snapshot manifest, when the file carries one.
+    pub manifest: Option<SnapshotManifest>,
     /// The fields, in file order.
     pub fields: Vec<LoadedField>,
+}
+
+impl LoadedArchive {
+    /// Resolves a manifest field name to its index (manifest-backed archives only).
+    pub fn field_index_by_name(&self, name: &str) -> Option<u32> {
+        self.manifest
+            .as_ref()
+            .and_then(|m| m.find(name))
+            .map(|(i, _)| i as u32)
+    }
 }
 
 /// Everything that can go wrong loading an archive file.
@@ -116,13 +133,15 @@ impl ArchiveStore {
     /// cache entries of a replaced archive.
     pub fn load(&self, name: &str, path: &str) -> Result<Arc<LoadedArchive>, StoreError> {
         let bytes = std::fs::read(path).map_err(StoreError::Io)?;
-        let parsed = read_archives_with_info(&bytes).map_err(StoreError::Container)?;
+        let (manifest, parsed) = read_snapshot_with_info(&bytes).map_err(StoreError::Container)?;
         if parsed.is_empty() {
             return Err(StoreError::Empty);
         }
         let fields = parsed
             .into_iter()
-            .map(|(info, archive)| LoadedField {
+            .enumerate()
+            .map(|(i, (info, archive))| LoadedField {
+                name: manifest.as_ref().map(|m| m.entries()[i].name.clone()),
                 info,
                 archive,
                 prepared: OnceLock::new(),
@@ -134,6 +153,7 @@ impl ArchiveStore {
             generation: self
                 .next_generation
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            manifest,
             fields,
         });
         self.archives
@@ -229,6 +249,39 @@ mod tests {
         // The prepared index is built once: the same allocation comes back.
         let again = loaded.fields[0].prepared(&gpu).unwrap();
         assert!(std::ptr::eq(prepared, again));
+    }
+
+    #[test]
+    fn snapshot_files_load_with_manifest_names() {
+        let dir = std::env::temp_dir().join("hfzd-store-test-snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hfz");
+        let fields: Vec<(String, sz::Compressed)> = [("xx", 5u64), ("yy", 6), ("zz", 7)]
+            .iter()
+            .map(|&(name, seed)| {
+                let field = generate(&dataset_by_name("HACC").unwrap(), 15_000, seed);
+                (
+                    name.to_string(),
+                    compress(
+                        &field,
+                        &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+                    ),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &sz::Compressed)> =
+            fields.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        std::fs::write(&path, huffdec_container::snapshot_to_bytes(&refs).unwrap()).unwrap();
+
+        let store = ArchiveStore::new();
+        let loaded = store.load("snap", path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.fields.len(), 3);
+        assert!(loaded.manifest.is_some());
+        assert_eq!(loaded.field_index_by_name("yy"), Some(1));
+        assert_eq!(loaded.field_index_by_name("nope"), None);
+        for (field, (name, _)) in loaded.fields.iter().zip(&fields) {
+            assert_eq!(field.name.as_deref(), Some(name.as_str()));
+        }
     }
 
     #[test]

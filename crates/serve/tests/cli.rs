@@ -331,3 +331,195 @@ fn serve_and_get_roundtrip_through_the_daemon() {
     let status = daemon.wait().expect("daemon exits");
     assert!(status.success(), "daemon must exit cleanly after SHUTDOWN");
 }
+
+#[test]
+fn snapshot_compress_extract_roundtrips_byte_identically() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("snap.hfz");
+
+    // Pack a 3-field snapshot; field i is generated with seed 7+i, so the GAMESS field
+    // (index 1) is reproducible standalone with seed 8.
+    let status = hfz()
+        .args([
+            "compress",
+            "--snapshot",
+            "--dataset",
+            "HACC,GAMESS,CESM",
+            "--elements",
+            "20000",
+            "--seed",
+            "7",
+            "--output",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("hfz runs");
+    assert!(
+        status.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("snapshot manifest: 3 fields"), "{}", stdout);
+
+    // inspect --json wraps the archive list with the manifest.
+    let result = hfz()
+        .args(["inspect", snap.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(result.status.success());
+    let doc = String::from_utf8_lossy(&result.stdout);
+    let doc = doc.trim();
+    assert!(doc.starts_with("{\"manifest\":"), "{}", doc);
+    assert!(doc.contains("\"name\":\"GAMESS\""), "{}", doc);
+    assert!(doc.contains("\"archives\":["), "{}", doc);
+
+    // Extract by name (manifest seek) and compare against the standalone compress of
+    // the same field.
+    let from_snap = dir.join("snap-gamess.f32");
+    let result = hfz()
+        .args([
+            "decompress",
+            snap.to_str().unwrap(),
+            "--field",
+            "GAMESS",
+            "--output",
+            from_snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let solo = dir.join("solo.hfz");
+    let solo_out = dir.join("solo.f32");
+    assert!(hfz()
+        .args([
+            "compress",
+            "--dataset",
+            "GAMESS",
+            "--elements",
+            "20000",
+            "--seed",
+            "8",
+            "--output",
+            solo.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(hfz()
+        .args([
+            "decompress",
+            solo.to_str().unwrap(),
+            "--output",
+            solo_out.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::read(&from_snap).unwrap(),
+        std::fs::read(&solo_out).unwrap(),
+        "manifest-seek extraction must be byte-identical to the standalone decompress"
+    );
+
+    // A bare decompress of a multi-field snapshot is ambiguous: typed error, exit 1.
+    let result = hfz()
+        .args([
+            "decompress",
+            snap.to_str().unwrap(),
+            "--output",
+            dir.join("x.f32").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("--field"), "stderr: {}", stderr);
+    assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+}
+
+#[test]
+fn unknown_field_and_malformed_archive_are_typed_errors_with_nonzero_exit() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-field-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("snap.hfz");
+    assert!(hfz()
+        .args([
+            "compress",
+            "--snapshot",
+            "--dataset",
+            "HACC,CESM",
+            "--elements",
+            "15000",
+            "--output",
+            snap.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // Unknown field name: typed message naming the field, exit 1, no Debug panic.
+    let result = hfz()
+        .args([
+            "decompress",
+            snap.to_str().unwrap(),
+            "--field",
+            "NOPE",
+            "--output",
+            dir.join("x.f32").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(result.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("hfz:") && stderr.contains("no field 'NOPE'"),
+        "stderr: {}",
+        stderr
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+
+    // Out-of-range field index: same contract.
+    let result = hfz()
+        .args([
+            "decompress",
+            snap.to_str().unwrap(),
+            "--field",
+            "9",
+            "--output",
+            dir.join("x.f32").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(result.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("hfz:"), "stderr: {}", stderr);
+    assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+
+    // A corrupted manifest (bit flip in the prologue) fails every snapshot-aware
+    // subcommand with a clean checksum error, not a panic or a Debug dump.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    bytes[20] ^= 0x40;
+    let bad = dir.join("bad.hfz");
+    std::fs::write(&bad, &bytes).unwrap();
+    for subcommand in ["inspect", "verify"] {
+        let result = hfz()
+            .args([subcommand, bad.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(result.status.code(), Some(1), "{} must fail", subcommand);
+        let stderr = String::from_utf8_lossy(&result.stderr);
+        assert!(
+            stderr.contains("hfz:") && stderr.contains("checksum mismatch"),
+            "{} stderr: {}",
+            subcommand,
+            stderr
+        );
+        assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
+    }
+}

@@ -263,3 +263,120 @@ fn daemon_rejects_bad_requests_cleanly() {
     client.shutdown().unwrap();
     server_thread.join().unwrap();
 }
+
+#[test]
+fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
+    let dir = std::env::temp_dir().join("hfzd-daemon-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+
+    // A 3-field snapshot archive (manifest + shards) with mixed decoders.
+    let specs = [
+        ("xx", "HACC", DecoderKind::OptimizedGapArray, 11u64),
+        ("vv", "GAMESS", DecoderKind::OptimizedSelfSync, 12),
+        ("qq", "CESM", DecoderKind::CuszBaseline, 13),
+    ];
+    let fields: Vec<(&str, Compressed, Vec<f32>, Vec<u16>)> = specs
+        .iter()
+        .map(|&(name, dataset, decoder, seed)| {
+            let field = generate(&dataset_by_name(dataset).unwrap(), ELEMENTS, seed);
+            let compressed = compress(&field, &SzConfig::paper_default(decoder));
+            let data = decompress(&gpu, &compressed).unwrap().data;
+            let codes = decode_codes(&gpu, &compressed).unwrap().symbols;
+            (name, compressed, data, codes)
+        })
+        .collect();
+    let refs: Vec<(&str, &Compressed)> = fields.iter().map(|(n, c, _, _)| (*n, c)).collect();
+    let path = dir.join("snap.hfz");
+    std::fs::write(&path, huffdec_container::snapshot_to_bytes(&refs).unwrap()).unwrap();
+
+    let config = ServerConfig {
+        cache_bytes: 4 << 20,
+        gpu: GpuConfig::test_tiny(),
+        host_threads: 2,
+    };
+    let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
+    let server = Server::bind(&addr, &config).unwrap();
+    let addr = server.local_addr();
+    let state = server.state();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.load("snap", path.to_str().unwrap()).unwrap(), 3);
+
+    // LIST exposes the manifest names.
+    let list = client.list().unwrap();
+    for (name, ..) in &fields {
+        assert!(
+            list.contains(&format!("\"name\":\"{}\"", name)),
+            "LIST must carry manifest field names: {}",
+            list
+        );
+    }
+
+    // Cold batch: every field decoded in one wave, byte-identical to direct decodes.
+    let items = client.get_batch("snap", GetKind::Data, &[0, 1, 2]).unwrap();
+    assert_eq!(items.len(), 3);
+    for ((_, _, data, _), item) in fields.iter().zip(&items) {
+        assert!(!item.from_cache, "cold batch must decode, not hit");
+        assert_eq!(item.bytes, f32_bytes(data), "batched field diverged");
+        assert_eq!(item.elements as usize, data.len());
+    }
+
+    // Warm batch (reordered, with a duplicate): everything is a cache hit now, served
+    // in request order.
+    let items = client.get_batch("snap", GetKind::Data, &[2, 0, 2]).unwrap();
+    assert_eq!(items.len(), 3);
+    for (item, expect) in items.iter().zip([&fields[2].2, &fields[0].2, &fields[2].2]) {
+        assert!(item.from_cache, "warm batch must hit the cache");
+        assert_eq!(item.bytes, f32_bytes(expect));
+    }
+
+    // A codes batch decodes through the same wave path (mixed decoders included).
+    let items = client.get_batch("snap", GetKind::Codes, &[1, 2]).unwrap();
+    assert_eq!(
+        items[0].bytes,
+        fields[1]
+            .3
+            .iter()
+            .flat_map(|s| s.to_le_bytes())
+            .collect::<Vec<u8>>()
+    );
+    assert!(!items[0].from_cache);
+
+    // Errors are typed and leave the connection usable: unknown archive, out-of-range
+    // index, empty batch is fine.
+    assert!(client.get_batch("nope", GetKind::Data, &[0]).is_err());
+    assert!(client.get_batch("snap", GetKind::Data, &[7]).is_err());
+    assert!(client
+        .get_batch("snap", GetKind::Data, &[])
+        .unwrap()
+        .is_empty());
+
+    // Stats report the batched waves, and the wave is never slower than serial.
+    let stats = state.serve_stats();
+    assert_eq!(
+        stats.batch_gets, 6,
+        "every GETBATCH request counts, errors included"
+    );
+    assert_eq!(
+        stats.batch_decoded_fields, 5,
+        "3 data + 2 codes cold decodes"
+    );
+    assert!(stats.batch_serial_seconds > 0.0);
+    assert!(stats.batch_batched_seconds > 0.0);
+    assert!(stats.batch_batched_seconds <= stats.batch_serial_seconds + 1e-15);
+    let json = {
+        let mut c = Client::connect(&addr).unwrap();
+        c.stats().unwrap()
+    };
+    assert!(json.contains("\"batch\":{"), "stats JSON: {}", json);
+    assert!(
+        json.contains("\"decoded_fields\":5"),
+        "stats JSON: {}",
+        json
+    );
+
+    client.shutdown().unwrap();
+    server_thread.join().unwrap();
+}

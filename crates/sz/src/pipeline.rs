@@ -299,7 +299,18 @@ fn decompress_inner(
     // `Compressed` whose payload format disagrees with its configured decoder surfaces
     // as a typed error instead of a panic.
     let decode_result = decode(gpu, c.decoder(), &c.payload)?;
+    Ok(reconstruct(gpu, c, decode_result, include_transfer))
+}
 
+/// Everything downstream of the Huffman decode: reverse dual-quantization, outlier
+/// patching, and the analytic kernel/transfer costs. Shared by the single-field and
+/// batched decompression paths so both report identical per-field statistics.
+fn reconstruct(
+    gpu: &Gpu,
+    c: &Compressed,
+    decode_result: huffdec_core::phases::DecodeResult,
+    include_transfer: bool,
+) -> Decompressed {
     // Reverse dual-quantization on the host (functional), with an analytic kernel cost.
     let q = Quantized {
         codes: decode_result.symbols,
@@ -324,7 +335,7 @@ fn decompress_inner(
         total_seconds += h2d_transfer_seconds;
     }
 
-    Ok(Decompressed {
+    Decompressed {
         data,
         stats: DecompressStats {
             huffman: decode_result.timings,
@@ -333,7 +344,7 @@ fn decompress_inner(
             h2d_transfer_seconds,
             total_seconds,
         },
-    })
+    }
 }
 
 /// Decodes just the quantization codes of an archive (the Huffman stage alone, no
@@ -363,6 +374,80 @@ pub fn decompress(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError
 /// match the archive's configured decoder.
 pub fn decompress_with_transfer(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError> {
     decompress_inner(gpu, c, true)
+}
+
+/// Timing breakdown of a batched multi-field decompression
+/// ([`decompress_batch`]): the Huffman wave statistics plus the analytic cost of the
+/// per-field reconstruction kernels.
+#[derive(Debug, Clone)]
+pub struct BatchDecompressStats {
+    /// The batched Huffman decode statistics (serial baseline vs. overlapped wave).
+    pub huffman: huffdec_core::BatchStats,
+    /// Total reconstruction cost across fields (reverse dual-quantization + outlier
+    /// scatter), charged identically to both the serial and the batched estimate.
+    pub reconstruct_seconds: f64,
+    /// End-to-end cost of decompressing the fields one-after-another.
+    pub serial_seconds: f64,
+    /// End-to-end cost with the Huffman decodes batched as one wave.
+    pub batched_seconds: f64,
+}
+
+impl BatchDecompressStats {
+    /// Speedup of the batched pipeline over serial decompression (≥ 1).
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.batched_seconds <= 0.0 {
+            1.0
+        } else {
+            self.serial_seconds / self.batched_seconds
+        }
+    }
+
+    /// Serial decompression throughput in GB/s relative to `original_bytes`.
+    pub fn serial_throughput_gbs(&self, original_bytes: u64) -> f64 {
+        if self.serial_seconds <= 0.0 {
+            0.0
+        } else {
+            original_bytes as f64 / self.serial_seconds / 1e9
+        }
+    }
+
+    /// Batched decompression throughput in GB/s relative to `original_bytes`.
+    pub fn batched_throughput_gbs(&self, original_bytes: u64) -> f64 {
+        if self.batched_seconds <= 0.0 {
+            0.0
+        } else {
+            original_bytes as f64 / self.batched_seconds / 1e9
+        }
+    }
+}
+
+/// Decompresses several fields as one batch: the Huffman decodes run as a single wave
+/// across the shared worker pool ([`huffdec_core::decode_batch`]), then each field is
+/// reconstructed. Outputs are returned in input order and are bit-identical to
+/// [`decompress`] field by field (each [`Decompressed`] carries the same per-field
+/// statistics the serial path reports).
+pub fn decompress_batch(
+    gpu: &Gpu,
+    archives: &[&Compressed],
+) -> Result<(Vec<Decompressed>, BatchDecompressStats), DecodeError> {
+    let items: Vec<_> = archives.iter().map(|c| (c.decoder(), &c.payload)).collect();
+    let (decoded, huffman) = huffdec_core::decode_batch(gpu, &items)?;
+    let fields: Vec<Decompressed> = archives
+        .iter()
+        .zip(decoded)
+        .map(|(c, result)| reconstruct(gpu, c, result, false))
+        .collect();
+    let reconstruct_seconds: f64 = fields
+        .iter()
+        .map(|d| d.stats.reconstruct_seconds + d.stats.outlier_scatter_seconds)
+        .sum();
+    let stats = BatchDecompressStats {
+        serial_seconds: huffman.serial_seconds + reconstruct_seconds,
+        batched_seconds: huffman.batched_seconds + reconstruct_seconds,
+        huffman,
+        reconstruct_seconds,
+    };
+    Ok((fields, stats))
 }
 
 /// Compresses and decompresses a field, asserting the error bound holds. Returns the
@@ -549,6 +634,47 @@ mod tests {
                 "digest trailer accounts for 28 stored bytes"
             );
         }
+    }
+
+    #[test]
+    fn batched_decompression_matches_serial_and_is_never_slower() {
+        let g = gpu();
+        let specs = ["HACC", "CESM", "GAMESS"];
+        let decoders = [
+            DecoderKind::OptimizedGapArray,
+            DecoderKind::OptimizedSelfSync,
+            DecoderKind::CuszBaseline,
+        ];
+        let archives: Vec<Compressed> = specs
+            .iter()
+            .zip(decoders)
+            .enumerate()
+            .map(|(i, (name, decoder))| {
+                let field = generate(&dataset_by_name(name).unwrap(), 30_000, 40 + i as u64);
+                compress(&field, &SzConfig::paper_default(decoder))
+            })
+            .collect();
+        let refs: Vec<&Compressed> = archives.iter().collect();
+        let (batched, stats) = decompress_batch(&g, &refs).unwrap();
+        assert_eq!(batched.len(), 3);
+        let original_bytes: u64 = archives.iter().map(|c| c.original_bytes()).sum();
+        for (c, d) in archives.iter().zip(&batched) {
+            let serial = decompress(&g, c).unwrap();
+            assert_eq!(d.data, serial.data, "batched field diverged from serial");
+            assert!((d.stats.total_seconds - serial.stats.total_seconds).abs() < 1e-12);
+        }
+        assert_eq!(stats.huffman.fields, 3);
+        assert!(stats.reconstruct_seconds > 0.0);
+        assert!(stats.batched_seconds <= stats.serial_seconds + 1e-15);
+        assert!(stats.overlap_speedup() >= 1.0);
+        assert!(
+            stats.batched_throughput_gbs(original_bytes)
+                >= stats.serial_throughput_gbs(original_bytes)
+        );
+        // A mismatched archive fails the whole batch with a typed error.
+        let mut broken = archives[1].clone();
+        broken.config.decoder = DecoderKind::CuszBaseline;
+        assert!(decompress_batch(&g, &[&archives[0], &broken]).is_err());
     }
 
     #[test]
