@@ -5,8 +5,9 @@
 
 use datasets::{all_datasets, generate};
 use huffdec_bench::{fmt_ratio, Table, BENCH_SEED};
+use huffdec_codec::Codec;
 use huffdec_core::DecoderKind;
-use sz::{compress, ErrorBound, SzConfig};
+use sz::ErrorBound;
 
 fn main() {
     let elements: usize = std::env::var("HUFFDEC_BENCH_ELEMENTS")
@@ -14,6 +15,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(300_000);
     let factors = [0.125, 0.25, 0.5, 0.75, 1.0, 1.5];
+    let codec = Codec::builder()
+        .decoder(DecoderKind::CuszBaseline)
+        .error_bound(ErrorBound::Relative(1e-3))
+        .build()
+        .expect("bench codec configuration is valid");
     let mut table = Table::new(
         "Noise calibration: Huffman CR vs noise scale (rel eb 1e-3)",
         &[
@@ -26,12 +32,7 @@ fn main() {
             let mut s = spec.clone();
             s.noise_sigma *= f;
             let field = generate(&s, elements, BENCH_SEED);
-            let config = SzConfig {
-                error_bound: ErrorBound::Relative(1e-3),
-                alphabet_size: 1024,
-                decoder: DecoderKind::CuszBaseline,
-            };
-            let c = compress(&field, &config);
+            let c = codec.compress_archive(&field).expect("non-empty field");
             row.push(fmt_ratio(c.huffman_compression_ratio()));
         }
         table.push_row(row);

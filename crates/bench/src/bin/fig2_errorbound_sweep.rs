@@ -9,7 +9,7 @@
 
 use datasets::dataset_by_name;
 use huffdec_bench::{fmt_gbs, fmt_ratio, workload_for, Table};
-use huffdec_core::{decode, decode_original_gap8, encode_gap8, DecoderKind};
+use huffdec_core::{encode_gap8, DecoderKind};
 use sz::{quantize, DEFAULT_ALPHABET_SIZE};
 
 fn main() {
@@ -28,9 +28,11 @@ fn main() {
     );
 
     for &eb in &[1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
+        let codec = w.codec(DecoderKind::OriginalSelfSync, eb);
         let payload = w.compress(DecoderKind::OriginalSelfSync, eb);
         let cr = payload.huffman_compression_ratio();
-        let ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &payload.payload)
+        let ss = codec
+            .decode_payload(&payload.payload)
             .expect("payload matches decoder");
         let ss_gbs = w.norm * ss.timings.throughput_gbs(bytes);
 
@@ -42,7 +44,7 @@ fn main() {
             DEFAULT_ALPHABET_SIZE,
         );
         let g8 = encode_gap8(&q.codes, DEFAULT_ALPHABET_SIZE);
-        let (_s, gap_timings) = decode_original_gap8(&w.gpu, &g8);
+        let (_s, gap_timings) = codec.decode_gap8(&g8);
         let gap_gbs = w.norm * gap_timings.throughput_gbs(g8.symbols8.len() as u64);
 
         table.push_row(vec![

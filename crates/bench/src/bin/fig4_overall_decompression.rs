@@ -12,7 +12,6 @@
 use datasets::all_datasets;
 use huffdec_bench::{fmt_gbs, fmt_ratio, geomean, workload_for, Table};
 use huffdec_core::DecoderKind;
-use sz::{compress, decompress, ErrorBound, SzConfig};
 
 fn main() {
     let rel_eb = 1e-3;
@@ -44,13 +43,11 @@ fn main() {
         .into_iter()
         .enumerate()
         {
-            let config = SzConfig {
-                error_bound: ErrorBound::Relative(rel_eb),
-                alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
-                decoder,
-            };
-            let compressed = compress(&w.field, &config);
-            let d = decompress(&w.gpu, &compressed).expect("payload matches decoder");
+            let codec = w.codec(decoder, rel_eb);
+            let compressed = codec.compress_archive(&w.field).expect("non-empty field");
+            let d = codec
+                .decompress(&compressed)
+                .expect("payload matches decoder");
             if i == 0 {
                 huffman_share = d.stats.huffman.total_seconds() / d.stats.total_seconds;
             }

@@ -7,13 +7,13 @@
 
 use datasets::{dataset_by_name, generate_with_dims, Dims};
 use huffdec_bench::{bench_sms, fmt_gbs, fmt_ratio, scaled_v100, Table, BENCH_SEED};
-use huffdec_core::{decode, DecoderKind};
-use sz::{compress, ErrorBound, SzConfig};
+use huffdec_codec::Codec;
+use huffdec_core::DecoderKind;
+use sz::ErrorBound;
 
 fn main() {
     let spec = dataset_by_name("HACC").expect("HACC spec");
     let (cfg, norm) = scaled_v100(bench_sms());
-    let gpu = gpu_sim::Gpu::new(cfg);
 
     let mut table = Table::new(
         "Small-dataset sweep: optimized gap-array speedup vs (full-scale-equivalent) dataset size",
@@ -35,14 +35,16 @@ fn main() {
 
         let mut gbs = Vec::new();
         for decoder in [DecoderKind::CuszBaseline, DecoderKind::OptimizedGapArray] {
-            let config = SzConfig {
-                error_bound: ErrorBound::Relative(1e-3),
-                alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
-                decoder,
-            };
-            let compressed = compress(&field, &config);
-            let result =
-                decode(&gpu, decoder, &compressed.payload).expect("payload matches decoder");
+            let codec = Codec::builder()
+                .gpu_config(cfg.clone())
+                .decoder(decoder)
+                .error_bound(ErrorBound::Relative(1e-3))
+                .build()
+                .expect("bench codec configuration is valid");
+            let compressed = codec.compress_archive(&field).expect("non-empty field");
+            let result = codec
+                .decode_payload(&compressed.payload)
+                .expect("payload matches decoder");
             gbs.push(norm * result.timings.throughput_gbs(bytes));
         }
         table.push_row(vec![

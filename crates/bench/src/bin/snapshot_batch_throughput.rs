@@ -1,10 +1,10 @@
 //! Snapshot batch-decode throughput — serial field-by-field decompression vs. the
-//! batched wave ([`sz::decompress_batch`]).
+//! batched wave (`Codec::decompress_batch`).
 //!
 //! Builds a multi-field snapshot archive (manifest + shards, mixed stream formats, the
 //! many-field shape of the paper's HACC/GAMESS/QMCPACK workloads), reads every field
 //! back through manifest seeks, and decodes the whole snapshot twice: once serially
-//! (N independent `sz::decompress` runs, the pre-batching behaviour) and once as a
+//! (N independent `Codec::decompress` runs, the pre-batching behaviour) and once as a
 //! single batched wave across the shared worker pool. Reports per-field serial times
 //! and the end-to-end serial vs. batched throughput.
 //!
@@ -18,9 +18,10 @@ use huffdec_bench::{
     bench_sms, fmt_gbs, fmt_ratio, json_requested, scaled_v100, write_bench_json, Table,
     BENCH_SEED, ELEMENTS_ENV,
 };
-use huffdec_container::{snapshot_to_bytes, Archive, Snapshot};
+use huffdec_codec::Codec;
+use huffdec_container::snapshot_to_bytes;
 use huffdec_core::DecoderKind;
-use sz::{compress, decompress, decompress_batch, Compressed, ErrorBound, SzConfig};
+use sz::{Compressed, ErrorBound};
 
 /// The snapshot's fields: dataset × stream format (all three formats exercised).
 const FIELDS: [(&str, DecoderKind); 5] = [
@@ -35,7 +36,12 @@ fn main() {
     let rel_eb = 1e-3;
     let sms = bench_sms();
     let (cfg, scale) = scaled_v100(sms);
-    let gpu = gpu_sim::Gpu::new(cfg);
+    // One decode-side session for the whole benchmark; the decoder each archive needs
+    // is carried by the archive itself.
+    let codec = Codec::builder()
+        .gpu_config(cfg.clone())
+        .build()
+        .expect("bench codec configuration is valid");
     let elements: usize = std::env::var(ELEMENTS_ENV)
         .ok()
         .and_then(|v| v.parse().ok())
@@ -48,12 +54,14 @@ fn main() {
         .map(|(i, &(name, decoder))| {
             let spec = datasets::dataset_by_name(name).expect("paper dataset");
             let field = datasets::generate(&spec, elements, BENCH_SEED + i as u64);
-            let config = SzConfig {
-                error_bound: ErrorBound::Relative(rel_eb),
-                alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
-                decoder,
-            };
-            (name.to_string(), compress(&field, &config))
+            let encoder = Codec::builder()
+                .gpu_config(cfg.clone())
+                .decoder(decoder)
+                .error_bound(ErrorBound::Relative(rel_eb))
+                .build()
+                .expect("bench codec configuration is valid");
+            let archive = encoder.compress_archive(&field).expect("non-empty field");
+            (name.to_string(), archive)
         })
         .collect();
     let refs: Vec<(&str, &Compressed)> = compressed
@@ -62,33 +70,40 @@ fn main() {
         .collect();
     let bytes = snapshot_to_bytes(&refs).expect("snapshot serializes");
 
-    // Read every field back through manifest seeks — the decode below consumes exactly
-    // what a snapshot consumer would.
-    let snapshot = Snapshot::parse(&bytes).expect("snapshot parses");
-    let manifest = snapshot.manifest().expect("snapshot carries a manifest");
-    let fields: Vec<Compressed> = manifest
+    // Read every field back through the facade's snapshot session — the decode below
+    // consumes exactly what a snapshot consumer would.
+    let snapshot = codec
+        .open_snapshot_bytes(&bytes)
+        .expect("snapshot parses with a manifest");
+    let names: Vec<String> = snapshot
+        .manifest()
+        .expect("snapshot carries a manifest")
         .entries()
         .iter()
-        .map(|entry| {
-            match snapshot
-                .read_field_by_name(&entry.name)
-                .expect("manifest seek succeeds")
-            {
-                Archive::Field(c) => c,
-                Archive::Payload { .. } => unreachable!("snapshot fields carry metadata"),
-            }
+        .map(|entry| entry.name.clone())
+        .collect();
+    let fields: Vec<Compressed> = names
+        .iter()
+        .map(|name| {
+            snapshot
+                .field_by_name(name)
+                .expect("manifest lookup succeeds")
+                .compressed()
+                .expect("snapshot fields carry metadata")
+                .clone()
         })
         .collect();
 
     // Serial: N independent decompressions, one after another.
-    let serial: Vec<sz::Decompressed> = fields
+    let serial: Vec<huffdec_codec::DecodeOutcome> = fields
         .iter()
-        .map(|c| decompress(&gpu, c).expect("payload matches decoder"))
+        .map(|c| codec.decompress(c).expect("payload matches decoder"))
         .collect();
 
     // Batched: one wave across the shared worker pool.
     let field_refs: Vec<&Compressed> = fields.iter().collect();
-    let (batched, stats) = decompress_batch(&gpu, &field_refs).expect("batch decodes");
+    let batch = codec.decompress_batch(&field_refs).expect("batch decodes");
+    let (batched, stats) = (batch.fields, batch.stats);
 
     // Self-verification: batched output bit-identical to serial, and both match the
     // encoder-stamped decoded-stream digests (via the archive round-trip).
@@ -98,7 +113,9 @@ fn main() {
             "self-verification failed: batched decode of '{}' diverged from serial",
             name
         );
-        let codes = sz::decode_codes(&gpu, original).expect("payload matches decoder");
+        let codes = codec
+            .decode_codes(original)
+            .expect("payload matches decoder");
         assert_eq!(
             original.matches_decoded_crc(&codes.symbols),
             Some(true),

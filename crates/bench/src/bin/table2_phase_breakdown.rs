@@ -16,7 +16,7 @@
 
 use datasets::all_datasets;
 use huffdec_bench::{fmt_gbs, fmt_ratio, workload_for, Table};
-use huffdec_core::{decode, DecoderKind, PhaseBreakdown};
+use huffdec_core::{DecoderKind, PhaseBreakdown};
 
 fn phase_gbs(b: &PhaseBreakdown, name: &str, bytes: u64, norm: f64) -> String {
     b.phases()
@@ -61,12 +61,17 @@ fn main() {
             let bytes = w.quant_code_bytes();
 
             let baseline_payload = w.compress(DecoderKind::CuszBaseline, rel_eb);
-            let baseline = decode(&w.gpu, DecoderKind::CuszBaseline, &baseline_payload.payload)
+            let baseline = w
+                .codec(DecoderKind::CuszBaseline, rel_eb)
+                .decode_payload(&baseline_payload.payload)
                 .expect("payload matches decoder");
             let baseline_gbs = w.norm * baseline.timings.throughput_gbs(bytes);
 
             let payload = w.compress(kind, rel_eb);
-            let result = decode(&w.gpu, kind, &payload.payload).expect("payload matches decoder");
+            let result = w
+                .codec(kind, rel_eb)
+                .decode_payload(&payload.payload)
+                .expect("payload matches decoder");
             let overall = w.norm * result.timings.throughput_gbs(bytes);
 
             let mut row = vec![

@@ -21,9 +21,8 @@ use huffdec_bench::{
     fmt_gbs, fmt_ratio, geomean, json_requested, workload_for, write_bench_json, Table, Workload,
 };
 use huffdec_core::{
-    compute_output_index, decode, decode_original_gap8, encode_gap8, gap_count_symbols,
-    run_decode_write, synchronize, CompressedPayload, DecoderKind, PhaseBreakdown, SyncVariant,
-    WriteStrategy,
+    compute_output_index, encode_gap8, gap_count_symbols, run_decode_write, synchronize,
+    CompressedPayload, DecoderKind, PhaseBreakdown, SyncVariant, WriteStrategy,
 };
 use sz::{quantize, DEFAULT_ALPHABET_SIZE};
 
@@ -118,14 +117,18 @@ fn main() {
 
         // Baseline.
         let base_payload = w.compress(DecoderKind::CuszBaseline, rel_eb);
-        let base = decode(&w.gpu, DecoderKind::CuszBaseline, &base_payload.payload)
+        let base = w
+            .codec(DecoderKind::CuszBaseline, rel_eb)
+            .decode_payload(&base_payload.payload)
             .expect("payload matches decoder");
         verify(&base_payload, &base.symbols, "baseline");
         let base_gbs = w.norm * base.timings.throughput_gbs(bytes);
 
         // Original self-sync.
         let ss_payload = w.compress(DecoderKind::OriginalSelfSync, rel_eb);
-        let ori_ss = decode(&w.gpu, DecoderKind::OriginalSelfSync, &ss_payload.payload)
+        let ori_ss = w
+            .codec(DecoderKind::OriginalSelfSync, rel_eb)
+            .decode_payload(&ss_payload.payload)
             .expect("payload matches decoder");
         verify(&ss_payload, &ori_ss.symbols, "original self-sync");
         let ori_ss_gbs = w.norm * ori_ss.timings.throughput_gbs(bytes);
@@ -134,7 +137,9 @@ fn main() {
         let opt_ss_timings = if direct_write_ablation {
             decode_direct_ablation(&w, &ss_payload.payload, true)
         } else {
-            let result = decode(&w.gpu, DecoderKind::OptimizedSelfSync, &ss_payload.payload)
+            let result = w
+                .codec(DecoderKind::OptimizedSelfSync, rel_eb)
+                .decode_payload(&ss_payload.payload)
                 .expect("payload matches decoder");
             verify(&ss_payload, &result.symbols, "optimized self-sync");
             result.timings
@@ -150,7 +155,9 @@ fn main() {
             DEFAULT_ALPHABET_SIZE,
         );
         let g8 = encode_gap8(&q.codes, DEFAULT_ALPHABET_SIZE);
-        let (_sym8, gap8_timings) = decode_original_gap8(&w.gpu, &g8);
+        let (_sym8, gap8_timings) = w
+            .codec(DecoderKind::OptimizedGapArray, rel_eb)
+            .decode_gap8(&g8);
         let gap8_gbs = w.norm * gap8_timings.throughput_gbs(g8.symbols8.len() as u64);
 
         // Optimized gap array.
@@ -158,7 +165,9 @@ fn main() {
         let opt_gap_timings = if direct_write_ablation {
             decode_direct_ablation(&w, &gap_payload.payload, false)
         } else {
-            let result = decode(&w.gpu, DecoderKind::OptimizedGapArray, &gap_payload.payload)
+            let result = w
+                .codec(DecoderKind::OptimizedGapArray, rel_eb)
+                .decode_payload(&gap_payload.payload)
                 .expect("payload matches decoder");
             verify(&gap_payload, &result.symbols, "optimized gap-array");
             result.timings

@@ -15,7 +15,7 @@
 
 use datasets::dataset_by_name;
 use huffdec_bench::{fmt_gbs, geomean, json_requested, workload_for, write_bench_json, Table};
-use huffdec_core::{compress_on, CompressedPayload, DecoderKind};
+use huffdec_core::{CompressedPayload, DecoderKind};
 use sz::{quantize, DEFAULT_ALPHABET_SIZE};
 
 /// The datasets covered by the encode table.
@@ -68,7 +68,7 @@ fn main() {
         );
 
         for (f, (kind, format)) in FORMATS.iter().enumerate() {
-            let (payload, phases) = compress_on(&w.gpu, *kind, &q.codes, DEFAULT_ALPHABET_SIZE);
+            let (payload, phases) = w.codec(*kind, rel_eb).encode_symbols(&q.codes);
             assert_bit_identical(*kind, &payload, &q.codes);
             let gbs = w.norm * phases.throughput_gbs(bytes);
             per_format[f].push(gbs);

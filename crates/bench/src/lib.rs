@@ -22,8 +22,9 @@
 
 use datasets::{generate, DatasetSpec, Field};
 use gpu_sim::{Gpu, GpuConfig};
+use huffdec_codec::Codec;
 use huffdec_core::DecoderKind;
-use sz::{compress, Compressed, ErrorBound, SzConfig};
+use sz::{Compressed, ErrorBound};
 
 /// Environment variable overriding the number of simulated SMs (default 2).
 pub const SMS_ENV: &str = "HUFFDEC_BENCH_SMS";
@@ -68,15 +69,25 @@ impl Workload {
         self.field.bytes()
     }
 
+    /// Builds a codec session on this workload's scaled device for the given decoder
+    /// and relative error bound. The session carries the same `GpuConfig` as
+    /// [`Workload::gpu`], and the performance model depends only on the configuration,
+    /// so timings through either handle are identical.
+    pub fn codec(&self, decoder: DecoderKind, rel_eb: f64) -> Codec {
+        Codec::builder()
+            .gpu_config(self.gpu.config().clone())
+            .decoder(decoder)
+            .error_bound(ErrorBound::Relative(rel_eb))
+            .build()
+            .expect("bench codec configuration is valid")
+    }
+
     /// Compresses the workload field for the given decoder at the given relative error
-    /// bound.
+    /// bound (host encoder — same bytes as the timed pipeline).
     pub fn compress(&self, decoder: DecoderKind, rel_eb: f64) -> Compressed {
-        let config = SzConfig {
-            error_bound: ErrorBound::Relative(rel_eb),
-            alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
-            decoder,
-        };
-        compress(&self.field, &config)
+        self.codec(decoder, rel_eb)
+            .compress_archive(&self.field)
+            .expect("bench fields are non-empty")
     }
 }
 

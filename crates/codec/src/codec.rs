@@ -1,0 +1,656 @@
+//! The session API: [`CodecBuilder`] → [`Codec`].
+//!
+//! A [`Codec`] owns everything one compression session needs — the simulated device,
+//! the worker-thread budget, and the compression configuration (decoder kind, error
+//! bound, alphabet size, transfer modeling) — so consumers stop threading `&Gpu` +
+//! config tuples through every call. Compression uses the session configuration;
+//! decompression always derives its parameters from the archive itself (archives are
+//! self-describing), so one codec can decode archives produced under any
+//! configuration.
+
+use datasets::Field;
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_core::{
+    BatchStats, CompressedPayload, DecodeResult, DecoderKind, EncodePhaseBreakdown, Gap8Stream,
+    PhaseBreakdown, PreparedDecode, RangeDecode,
+};
+use sz::{BatchDecompressStats, CompressStats, Compressed, DecompressStats, ErrorBound, SzConfig};
+
+use crate::error::{HfzError, Result};
+use crate::handle::{ArchiveHandle, FieldHandle};
+
+/// A compressed field together with its simulated encode timing — what
+/// [`Codec::compress`] returns instead of the old `(Compressed, CompressStats)` tuple.
+#[derive(Debug, Clone)]
+pub struct EncodeOutcome {
+    /// The compressed archive (bit-identical to the host encoder's output).
+    pub archive: Compressed,
+    /// The simulated compression timing (quantize + per-phase encode breakdown).
+    pub stats: CompressStats,
+}
+
+impl EncodeOutcome {
+    /// Huffman encoding throughput in GB/s over the quantization-code bytes.
+    pub fn encode_throughput_gbs(&self) -> f64 {
+        self.stats
+            .encode_throughput_gbs(self.archive.quant_code_bytes())
+    }
+
+    /// Overall compression throughput in GB/s over the uncompressed f32 bytes.
+    pub fn overall_throughput_gbs(&self) -> f64 {
+        self.stats
+            .overall_throughput_gbs(self.archive.original_bytes())
+    }
+}
+
+/// A reconstructed field together with its simulated decompression timing — what
+/// [`Codec::decompress`] returns.
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// The reconstructed data.
+    pub data: Vec<f32>,
+    /// The simulated decompression timing (Huffman phases + reconstruction kernels,
+    /// plus the PCIe transfer when the codec models it).
+    pub stats: DecompressStats,
+}
+
+impl DecodeOutcome {
+    /// Overall decompression throughput in GB/s over `original_bytes`.
+    pub fn overall_throughput_gbs(&self, original_bytes: u64) -> f64 {
+        self.stats.overall_throughput_gbs(original_bytes)
+    }
+
+    fn from_sz(d: sz::Decompressed) -> Self {
+        DecodeOutcome {
+            data: d.data,
+            stats: d.stats,
+        }
+    }
+}
+
+/// The result of a batched multi-field decompression ([`Codec::decompress_batch`]):
+/// per-field outcomes in input order plus the serial-vs-wave statistics.
+#[derive(Debug, Clone)]
+pub struct BatchDecodeOutcome {
+    /// Per-field reconstructions, in input order, bit-identical to serial
+    /// [`Codec::decompress`] field by field.
+    pub fields: Vec<DecodeOutcome>,
+    /// The batched timing: serial baseline vs. one overlapped wave.
+    pub stats: BatchDecompressStats,
+}
+
+/// Configures and builds a [`Codec`].
+///
+/// Defaults are the paper's headline setup: a simulated V100, the optimized gap-array
+/// decoder, relative error bound `1e-3`, 1024 quantization bins, no transfer modeling.
+///
+/// ```
+/// use huffdec_codec::Codec;
+/// use huffdec_core::DecoderKind;
+///
+/// let codec = Codec::builder()
+///     .decoder(DecoderKind::OptimizedSelfSync)
+///     .host_threads(2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(codec.decoder(), DecoderKind::OptimizedSelfSync);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodecBuilder {
+    gpu: GpuConfig,
+    host_threads: Option<usize>,
+    decoder: DecoderKind,
+    error_bound: ErrorBound,
+    alphabet_size: usize,
+    model_transfer: bool,
+}
+
+impl Default for CodecBuilder {
+    fn default() -> Self {
+        CodecBuilder {
+            gpu: GpuConfig::v100(),
+            host_threads: None,
+            decoder: DecoderKind::OptimizedGapArray,
+            error_bound: ErrorBound::paper_default(),
+            alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
+            model_transfer: false,
+        }
+    }
+}
+
+impl CodecBuilder {
+    /// Starts from the paper defaults.
+    pub fn new() -> Self {
+        CodecBuilder::default()
+    }
+
+    /// The simulated device configuration (default: V100).
+    pub fn gpu_config(mut self, config: GpuConfig) -> Self {
+        self.gpu = config;
+        self
+    }
+
+    /// Host threads backing the simulated device's block execution (default: all
+    /// available CPUs).
+    pub fn host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = Some(threads);
+        self
+    }
+
+    /// The Huffman decoder archives produced by this session target — this decides the
+    /// stream format: chunked for the baseline, flat for self-sync, flat + gap array
+    /// for gap-array decoding (default: optimized gap-array).
+    pub fn decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// The error bound compression honours (default: relative `1e-3`).
+    pub fn error_bound(mut self, error_bound: ErrorBound) -> Self {
+        self.error_bound = error_bound;
+        self
+    }
+
+    /// Number of quantization bins (default: 1024; must be a power of two in
+    /// `4..=65536`, validated by [`CodecBuilder::build`]).
+    pub fn alphabet_size(mut self, alphabet_size: usize) -> Self {
+        self.alphabet_size = alphabet_size;
+        self
+    }
+
+    /// Whether decompression timing includes the host-to-device transfer of the
+    /// compressed archive (the Fig. 5 scenario; default: off, the in-memory Fig. 4
+    /// scenario).
+    pub fn model_transfer(mut self, on: bool) -> Self {
+        self.model_transfer = on;
+        self
+    }
+
+    /// Validates the configuration and builds the session handle.
+    pub fn build(self) -> Result<Codec> {
+        if !(4..=65536).contains(&self.alphabet_size) || !self.alphabet_size.is_power_of_two() {
+            return Err(HfzError::Usage(format!(
+                "alphabet size must be a power of two in 4..=65536, got {}",
+                self.alphabet_size
+            )));
+        }
+        let value = match self.error_bound {
+            ErrorBound::Absolute(v) | ErrorBound::Relative(v) => v,
+        };
+        if !value.is_finite() || value <= 0.0 {
+            return Err(HfzError::Usage(format!(
+                "error bound must be positive and finite, got {}",
+                value
+            )));
+        }
+        let gpu = match self.host_threads {
+            Some(threads) => Gpu::with_host_threads(self.gpu, threads),
+            None => Gpu::new(self.gpu),
+        };
+        Ok(Codec {
+            gpu,
+            config: SzConfig {
+                error_bound: self.error_bound,
+                alphabet_size: self.alphabet_size,
+                decoder: self.decoder,
+            },
+            model_transfer: self.model_transfer,
+        })
+    }
+}
+
+/// A stateful compression session: owns the simulated device and the configuration,
+/// and exposes the whole pipeline — compress, decompress, batch, ranged decode, and
+/// archive sessions with cached decode state.
+///
+/// ```
+/// use datasets::{dataset_by_name, generate};
+/// use huffdec_codec::Codec;
+///
+/// let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, 42);
+/// let codec = Codec::builder()
+///     .gpu_config(gpu_sim::GpuConfig::test_tiny())
+///     .host_threads(2)
+///     .build()
+///     .unwrap();
+///
+/// let encoded = codec.compress(&field).unwrap();
+/// let decoded = codec.decompress(&encoded.archive).unwrap();
+/// assert_eq!(decoded.data.len(), field.len());
+/// ```
+#[derive(Debug)]
+pub struct Codec {
+    gpu: Gpu,
+    config: SzConfig,
+    model_transfer: bool,
+}
+
+impl Codec {
+    /// Starts building a codec (see [`CodecBuilder`] for the defaults).
+    pub fn builder() -> CodecBuilder {
+        CodecBuilder::new()
+    }
+
+    /// The paper's headline configuration on a simulated V100.
+    pub fn paper_default() -> Codec {
+        CodecBuilder::new()
+            .build()
+            .expect("paper defaults are valid")
+    }
+
+    /// The simulated device this session runs on. Exposed for low-level consumers
+    /// (kernel-level benchmarks and ablations) that drive `gpu_sim` directly.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The session's compression configuration.
+    pub fn config(&self) -> &SzConfig {
+        &self.config
+    }
+
+    /// The decoder archives produced by this session target.
+    pub fn decoder(&self) -> DecoderKind {
+        self.config.decoder
+    }
+
+    /// Whether decompression timing includes the host-to-device transfer.
+    pub fn models_transfer(&self) -> bool {
+        self.model_transfer
+    }
+
+    // ----- compression (uses the session configuration) -----
+
+    /// Compresses a field on the simulated-GPU parallel encode pipeline, returning the
+    /// archive (bit-identical to the host encoder) and the encode timing breakdown.
+    pub fn compress(&self, field: &Field) -> Result<EncodeOutcome> {
+        self.check_nonempty(field)?;
+        let (archive, stats) = sz::compress_on(&self.gpu, field, &self.config);
+        Ok(EncodeOutcome { archive, stats })
+    }
+
+    /// Compresses a field with the single-threaded host encoder — the same archive as
+    /// [`Codec::compress`], bit for bit, without simulating the encode kernels. For
+    /// tests and benchmarks that only need the archive.
+    pub fn compress_archive(&self, field: &Field) -> Result<Compressed> {
+        self.check_nonempty(field)?;
+        Ok(sz::compress(field, &self.config))
+    }
+
+    /// Compresses several fields, returning one [`EncodeOutcome`] per field in input
+    /// order.
+    pub fn compress_batch(&self, fields: &[&Field]) -> Result<Vec<EncodeOutcome>> {
+        fields.iter().map(|field| self.compress(field)).collect()
+    }
+
+    /// Encodes a bare symbol stream into this session's stream format on the simulated
+    /// encode pipeline (no quantization — the Huffman stage alone, as the encode
+    /// benchmarks measure it).
+    pub fn encode_symbols(&self, symbols: &[u16]) -> (CompressedPayload, EncodePhaseBreakdown) {
+        huffdec_core::compress_on(
+            &self.gpu,
+            self.config.decoder,
+            symbols,
+            self.config.alphabet_size,
+        )
+    }
+
+    fn check_nonempty(&self, field: &Field) -> Result<()> {
+        if field.is_empty() {
+            return Err(HfzError::Usage(
+                "input field is empty; nothing to compress".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    // ----- decompression (parameters come from the archive itself) -----
+
+    /// Decompresses an archive to its f32 field. The archive's own configuration
+    /// (decoder, alphabet, error bound) drives the decode; when the codec was built
+    /// with [`CodecBuilder::model_transfer`], the timing includes the host-to-device
+    /// copy of the compressed bytes.
+    pub fn decompress(&self, c: &Compressed) -> Result<DecodeOutcome> {
+        let d = if self.model_transfer {
+            sz::decompress_with_transfer(&self.gpu, c)?
+        } else {
+            sz::decompress(&self.gpu, c)?
+        };
+        Ok(DecodeOutcome::from_sz(d))
+    }
+
+    /// Decompresses several archives as one batch: all Huffman decodes run as a single
+    /// overlapped wave across the shared worker pool, then each field is
+    /// reconstructed. Outputs are bit-identical to serial [`Codec::decompress`].
+    pub fn decompress_batch(&self, archives: &[&Compressed]) -> Result<BatchDecodeOutcome> {
+        let (fields, stats) = sz::decompress_batch(&self.gpu, archives)?;
+        Ok(BatchDecodeOutcome {
+            fields: fields.into_iter().map(DecodeOutcome::from_sz).collect(),
+            stats,
+        })
+    }
+
+    /// Decodes just the quantization codes of an archive (the Huffman stage alone, no
+    /// reverse quantization) — what digest verification and the daemon's `codes`
+    /// requests consume.
+    pub fn decode_codes(&self, c: &Compressed) -> Result<DecodeResult> {
+        Ok(sz::decode_codes(&self.gpu, c)?)
+    }
+
+    /// Decodes a bare payload with this session's configured decoder. Benchmark-level
+    /// access for streams that never went through the field pipeline.
+    pub fn decode_payload(&self, payload: &CompressedPayload) -> Result<DecodeResult> {
+        Ok(huffdec_core::decode(
+            &self.gpu,
+            self.config.decoder,
+            payload,
+        )?)
+    }
+
+    /// Decodes an original 8-bit gap-array stream (the Yamamoto et al. baseline the
+    /// evaluation compares against; symbols are the trimmed 8-bit codes).
+    pub fn decode_gap8(&self, stream: &Gap8Stream) -> (Vec<u8>, PhaseBreakdown) {
+        huffdec_core::decode_original_gap8(&self.gpu, stream)
+    }
+
+    // ----- archive sessions -----
+
+    /// Opens an `HFZ1` archive file: every field parsed and validated once, returned
+    /// as a session handle whose fields cache their decode state (see
+    /// [`ArchiveHandle`]). Accepts snapshot files and plain concatenations alike.
+    pub fn open_archive(&self, path: &str) -> Result<ArchiveHandle> {
+        ArchiveHandle::open(path)
+    }
+
+    /// [`Codec::open_archive`] over an in-memory buffer.
+    pub fn open_archive_bytes(&self, bytes: &[u8]) -> Result<ArchiveHandle> {
+        ArchiveHandle::from_bytes(bytes)
+    }
+
+    /// Structurally summarizes an archive file — manifest, headers, and section
+    /// tables only, with **no decode-structure reassembly**. The cheap metadata path
+    /// (`hfz inspect`); use [`Codec::open_archive`] when you intend to decode.
+    pub fn inspect_archive(&self, path: &str) -> Result<crate::ArchiveSummary> {
+        crate::ArchiveSummary::open(path)
+    }
+
+    /// [`Codec::inspect_archive`] over an in-memory buffer.
+    pub fn inspect_archive_bytes(&self, bytes: &[u8]) -> Result<crate::ArchiveSummary> {
+        crate::ArchiveSummary::from_bytes(bytes)
+    }
+
+    /// Opens a snapshot archive — like [`Codec::open_archive`], but the file must
+    /// carry a manifest (name-addressed multi-field access).
+    pub fn open_snapshot(&self, path: &str) -> Result<ArchiveHandle> {
+        Self::require_manifest(ArchiveHandle::open(path)?)
+    }
+
+    /// [`Codec::open_snapshot`] over an in-memory buffer.
+    pub fn open_snapshot_bytes(&self, bytes: &[u8]) -> Result<ArchiveHandle> {
+        Self::require_manifest(ArchiveHandle::from_bytes(bytes)?)
+    }
+
+    fn require_manifest(handle: ArchiveHandle) -> Result<ArchiveHandle> {
+        if handle.manifest().is_none() {
+            return Err(HfzError::Container(
+                huffdec_container::ContainerError::Invalid {
+                    reason: "archive carries no snapshot manifest",
+                },
+            ));
+        }
+        Ok(handle)
+    }
+
+    /// Decompresses one field of an opened archive to its f32 data (payload-only
+    /// fields have no reconstruction and report a usage error).
+    pub fn decompress_field(&self, field: &FieldHandle) -> Result<DecodeOutcome> {
+        let compressed = field.compressed().ok_or_else(|| {
+            HfzError::Usage("archive is payload-only; nothing to reconstruct".to_string())
+        })?;
+        self.decompress(compressed)
+    }
+
+    /// Decodes the full symbol stream of one field of an opened archive.
+    pub fn decode_field_codes(&self, field: &FieldHandle) -> Result<DecodeResult> {
+        Ok(huffdec_core::decode(
+            &self.gpu,
+            field.decoder(),
+            field.archive().payload(),
+        )?)
+    }
+
+    /// Decodes the symbol streams of several fields of opened archives as one
+    /// overlapped wave (codes only — the batched analogue of
+    /// [`Codec::decode_field_codes`]).
+    pub fn decode_field_codes_batch(
+        &self,
+        fields: &[&FieldHandle],
+    ) -> Result<(Vec<DecodeResult>, BatchStats)> {
+        let items: Vec<_> = fields
+            .iter()
+            .map(|f| (f.decoder(), f.archive().payload()))
+            .collect();
+        Ok(huffdec_core::decode_batch(&self.gpu, &items)?)
+    }
+
+    /// Builds (or returns the cached) range-decode index of a field — the one-time
+    /// preparation cost every later [`Codec::decompress_range`] amortizes. The index
+    /// lives inside the [`FieldHandle`], so it is shared by every caller holding the
+    /// handle.
+    pub fn prepare_field<'f>(&self, field: &'f FieldHandle) -> Result<&'f PreparedDecode> {
+        field.prepared(&self.gpu)
+    }
+
+    /// Decodes exactly the symbols `[start, start+len)` of a field, launching only the
+    /// decode blocks that overlap the range. The field's cached index
+    /// ([`Codec::prepare_field`]) maps the range to its blocks; the first ranged
+    /// decode on a field pays the index build, every later one decodes only its
+    /// blocks. Ranges address the decoded symbol stream (the quantization codes) —
+    /// reconstruction to f32 is a prefix scan and needs the whole field.
+    pub fn decompress_range(
+        &self,
+        field: &FieldHandle,
+        start: u64,
+        len: u64,
+    ) -> Result<RangeDecode> {
+        let prepared = field.prepared(&self.gpu)?;
+        Ok(huffdec_core::decode_range(
+            &self.gpu,
+            field.decoder(),
+            field.archive().payload(),
+            prepared,
+            start,
+            len,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{dataset_by_name, generate};
+
+    fn tiny_codec(decoder: DecoderKind) -> Codec {
+        Codec::builder()
+            .gpu_config(GpuConfig::test_tiny())
+            .host_threads(2)
+            .decoder(decoder)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(matches!(
+            Codec::builder().alphabet_size(3).build(),
+            Err(HfzError::Usage(_))
+        ));
+        assert!(matches!(
+            Codec::builder().alphabet_size(1000).build(),
+            Err(HfzError::Usage(_))
+        ));
+        assert!(matches!(
+            Codec::builder()
+                .error_bound(ErrorBound::Relative(-1.0))
+                .build(),
+            Err(HfzError::Usage(_))
+        ));
+        assert!(matches!(
+            Codec::builder()
+                .error_bound(ErrorBound::Absolute(f64::NAN))
+                .build(),
+            Err(HfzError::Usage(_))
+        ));
+        let codec = Codec::paper_default();
+        assert_eq!(codec.decoder(), DecoderKind::OptimizedGapArray);
+        assert_eq!(codec.config().alphabet_size, 1024);
+        assert!(!codec.models_transfer());
+    }
+
+    #[test]
+    fn session_compress_matches_the_free_functions_bit_for_bit() {
+        let field = generate(&dataset_by_name("HACC").unwrap(), 30_000, 11);
+        for decoder in DecoderKind::all() {
+            let codec = tiny_codec(decoder);
+            let outcome = codec.compress(&field).unwrap();
+            let legacy = sz::compress(&field, codec.config());
+            assert_eq!(
+                huffdec_container::to_bytes(&outcome.archive).unwrap(),
+                huffdec_container::to_bytes(&legacy).unwrap(),
+                "{:?}: session archive differs from the free-function archive",
+                decoder
+            );
+            assert!(outcome.stats.total_seconds > 0.0);
+            assert!(outcome.encode_throughput_gbs() > 0.0);
+            assert!(outcome.overall_throughput_gbs() > 0.0);
+            // The untimed host path produces the same bytes.
+            let host = codec.compress_archive(&field).unwrap();
+            assert_eq!(
+                huffdec_container::to_bytes(&host).unwrap(),
+                huffdec_container::to_bytes(&outcome.archive).unwrap()
+            );
+            // And the decode inverts it.
+            let decoded = codec.decompress(&outcome.archive).unwrap();
+            assert_eq!(
+                decoded.data,
+                sz::decompress(codec.gpu(), &legacy).unwrap().data
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fields_are_usage_errors() {
+        let codec = tiny_codec(DecoderKind::OptimizedGapArray);
+        let empty = Field::new("empty".to_string(), datasets::Dims::D1(0), Vec::new());
+        assert!(matches!(codec.compress(&empty), Err(HfzError::Usage(_))));
+        assert!(matches!(
+            codec.compress_archive(&empty),
+            Err(HfzError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn transfer_modeling_is_a_session_property() {
+        let field = generate(&dataset_by_name("CESM").unwrap(), 25_000, 3);
+        let plain = tiny_codec(DecoderKind::OptimizedGapArray);
+        let with_transfer = Codec::builder()
+            .gpu_config(GpuConfig::test_tiny())
+            .host_threads(2)
+            .model_transfer(true)
+            .build()
+            .unwrap();
+        assert!(with_transfer.models_transfer());
+        let archive = plain.compress_archive(&field).unwrap();
+        let without = plain.decompress(&archive).unwrap();
+        let with = with_transfer.decompress(&archive).unwrap();
+        assert_eq!(with.data, without.data);
+        assert!(with.stats.total_seconds > without.stats.total_seconds);
+        assert!(with.stats.h2d_transfer_seconds > 0.0);
+    }
+
+    #[test]
+    fn batch_decompression_matches_serial() {
+        let codec = tiny_codec(DecoderKind::OptimizedSelfSync);
+        let archives: Vec<Compressed> = ["HACC", "CESM", "GAMESS"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let field = generate(&dataset_by_name(name).unwrap(), 20_000, 60 + i as u64);
+                codec.compress_archive(&field).unwrap()
+            })
+            .collect();
+        let refs: Vec<&Compressed> = archives.iter().collect();
+        let batch = codec.decompress_batch(&refs).unwrap();
+        assert_eq!(batch.fields.len(), 3);
+        assert!(batch.stats.overlap_speedup() >= 1.0);
+        for (c, d) in archives.iter().zip(&batch.fields) {
+            assert_eq!(d.data, codec.decompress(c).unwrap().data);
+        }
+    }
+
+    #[test]
+    fn archive_sessions_cache_the_decode_index() {
+        let dir = std::env::temp_dir().join("huffdec-codec-handle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hfz");
+        let codec = tiny_codec(DecoderKind::OptimizedGapArray);
+        let fields: Vec<(String, Compressed)> = [("aa", 5u64), ("bb", 6)]
+            .iter()
+            .map(|&(name, seed)| {
+                let field = generate(&dataset_by_name("HACC").unwrap(), 15_000, seed);
+                (name.to_string(), codec.compress_archive(&field).unwrap())
+            })
+            .collect();
+        let refs: Vec<(&str, &Compressed)> = fields.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        std::fs::write(&path, huffdec_container::snapshot_to_bytes(&refs).unwrap()).unwrap();
+
+        let handle = codec.open_snapshot(path.to_str().unwrap()).unwrap();
+        assert_eq!(handle.len(), 2);
+        assert!(handle.manifest().is_some());
+        let field = handle.field_by_name("bb").unwrap();
+        assert_eq!(field.name(), Some("bb"));
+        assert!(!field.prepared_ready());
+
+        // A ranged decode builds the index once; the second reuses the allocation.
+        let full = codec.decode_field_codes(field).unwrap();
+        let r = codec.decompress_range(field, 1_000, 64).unwrap();
+        assert_eq!(r.symbols.as_slice(), &full.symbols[1_000..1_064]);
+        assert!(field.prepared_ready());
+        let first = codec.prepare_field(field).unwrap();
+        let second = codec.prepare_field(field).unwrap();
+        assert!(std::ptr::eq(first, second));
+
+        // Whole-field decompression through the handle matches the direct path.
+        let via_handle = codec.decompress_field(field).unwrap();
+        let direct = codec.decompress(&fields[1].1).unwrap();
+        assert_eq!(via_handle.data, direct.data);
+
+        // Typed lookups.
+        assert!(matches!(
+            handle.field_by_name("zz"),
+            Err(HfzError::Container(
+                huffdec_container::ContainerError::FieldNotFound { .. }
+            ))
+        ));
+        assert!(handle.field(7).is_err());
+        assert!(handle.field_by_selector("1").is_ok());
+        assert!(handle.field_by_selector("aa").is_ok());
+
+        // open_snapshot insists on a manifest; open_archive takes anything.
+        let solo = huffdec_container::to_bytes(&fields[0].1).unwrap();
+        assert!(codec.open_snapshot_bytes(&solo).is_err());
+        assert!(codec.open_archive_bytes(&solo).is_ok());
+        assert!(codec.open_archive_bytes(b"").is_err());
+
+        // The metadata-only summary sees the same structure without reassembling
+        // decode state.
+        let summary = codec.inspect_archive(path.to_str().unwrap()).unwrap();
+        assert_eq!(summary.infos().len(), handle.len());
+        assert_eq!(summary.manifest(), handle.manifest().cloned().as_ref());
+        for (info, field) in summary.infos().iter().zip(handle.fields()) {
+            assert_eq!(info.total_bytes, field.info().total_bytes);
+            assert_eq!(info.num_symbols, field.info().num_symbols);
+        }
+        assert!(codec.inspect_archive_bytes(b"").is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Opened-archive sessions: parse once, decode many.
+//!
+//! [`ArchiveHandle`] is what [`crate::Codec::open_archive`] / [`crate::Codec::open_snapshot`]
+//! return: the whole file parsed exactly once (header, section table, decode
+//! structures), with every field kept as a [`FieldHandle`] that lazily builds and
+//! caches its range-decode index ([`PreparedDecode`]) the first time a partial decode
+//! needs it. Long-running consumers — the `hfzd` store is the canonical one — hold the
+//! handle for the archive's lifetime, so metadata queries, full decodes, and ranged
+//! decodes all reuse the same parsed state instead of re-reading the file per request.
+
+use std::sync::OnceLock;
+
+use gpu_sim::Gpu;
+use huffdec_container::{
+    read_snapshot_with_info, Archive, ArchiveInfo, ContainerError, SnapshotManifest,
+};
+use huffdec_core::{prepare_decode, DecodeError, DecoderKind, PreparedDecode};
+use sz::Compressed;
+
+use crate::error::{HfzError, Result};
+
+/// One field of an opened archive file, with all per-field cached state.
+#[derive(Debug)]
+pub struct FieldHandle {
+    /// Manifest field name (`None` for plain concatenated files, which carry no names).
+    name: Option<String>,
+    /// Parsed header and section table.
+    info: ArchiveInfo,
+    /// The reassembled decode structures.
+    archive: Archive,
+    /// The lazily built range-decode index: converged subsequence states and
+    /// output-index prefix sums (flat streams) or the chunk table (baseline). Built by
+    /// the first ranged decode through [`crate::Codec::prepare_field`], reused by all
+    /// later ones.
+    prepared: OnceLock<std::result::Result<PreparedDecode, DecodeError>>,
+}
+
+impl FieldHandle {
+    fn new(name: Option<String>, info: ArchiveInfo, archive: Archive) -> Self {
+        FieldHandle {
+            name,
+            info,
+            archive,
+            prepared: OnceLock::new(),
+        }
+    }
+
+    /// The manifest name of this field, when the file is a snapshot archive.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The parsed header and section table (metadata queries never re-read the file).
+    pub fn info(&self) -> &ArchiveInfo {
+        &self.info
+    }
+
+    /// The reassembled archive (decode structures).
+    pub fn archive(&self) -> &Archive {
+        &self.archive
+    }
+
+    /// The decoder this field's stream targets.
+    pub fn decoder(&self) -> DecoderKind {
+        self.archive.decoder()
+    }
+
+    /// The field compression, when this is a full field archive (`None` for
+    /// payload-only archives, which have no reconstruction).
+    pub fn compressed(&self) -> Option<&Compressed> {
+        match &self.archive {
+            Archive::Field(c) => Some(c),
+            Archive::Payload { .. } => None,
+        }
+    }
+
+    /// Number of f32 elements a data request addresses (field archives only).
+    pub fn data_elements(&self) -> Option<u64> {
+        self.info.field.map(|meta| meta.dims.len() as u64)
+    }
+
+    /// Number of decoded symbols a codes request addresses.
+    pub fn code_elements(&self) -> u64 {
+        self.info.num_symbols
+    }
+
+    /// Whether the range-decode index has been built yet (observability: the daemon's
+    /// `STATS` reports it, and callers use it to attribute the one-time build cost).
+    pub fn prepared_ready(&self) -> bool {
+        self.prepared.get().is_some()
+    }
+
+    /// The cached range-decode index, built on first use. The preparation cost
+    /// (synchronization or gap counting + prefix sums) is paid by whichever caller
+    /// gets here first; everyone after decodes only their blocks.
+    pub(crate) fn prepared(&self, gpu: &Gpu) -> Result<&PreparedDecode> {
+        self.prepared
+            .get_or_init(|| prepare_decode(gpu, self.archive.decoder(), self.archive.payload()))
+            .as_ref()
+            .map_err(|e| HfzError::Decode(*e))
+    }
+}
+
+/// A structural summary of an archive file: the manifest (when present) and every
+/// archive's header + section table — **no decode structures are reassembled**, so
+/// this is the cheap metadata path (`hfz inspect`, post-write reports). Use
+/// [`crate::Codec::open_archive`] when you intend to decode.
+#[derive(Debug)]
+pub struct ArchiveSummary {
+    manifest: Option<SnapshotManifest>,
+    infos: Vec<ArchiveInfo>,
+}
+
+impl ArchiveSummary {
+    /// Walks the structural pass over a buffer: manifest framing/checksum plus every
+    /// archive's header and section table.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ArchiveSummary> {
+        let snapshot = huffdec_container::Snapshot::parse(bytes)?;
+        let manifest = snapshot.manifest().cloned();
+        let mut rest = snapshot.archive_bytes();
+        let mut infos = Vec::new();
+        while !rest.is_empty() {
+            infos.push(huffdec_container::read_info(&mut rest)?);
+        }
+        if infos.is_empty() {
+            return Err(HfzError::Container(ContainerError::Invalid {
+                reason: "file holds no archives",
+            }));
+        }
+        Ok(ArchiveSummary { manifest, infos })
+    }
+
+    /// Reads and summarizes an archive file from disk.
+    pub fn open(path: &str) -> Result<ArchiveSummary> {
+        let bytes =
+            std::fs::read(path).map_err(|e| HfzError::io(format!("cannot open {}", path), e))?;
+        ArchiveSummary::from_bytes(&bytes)
+    }
+
+    /// The snapshot manifest, when the file carries one.
+    pub fn manifest(&self) -> Option<&SnapshotManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Per-archive structural summaries, in file order (always at least one).
+    pub fn infos(&self) -> &[ArchiveInfo] {
+        &self.infos
+    }
+}
+
+/// An opened archive file: every field parsed once, held for the handle's lifetime.
+///
+/// Covers both layouts of the `HFZ1` format — snapshot files (manifest + shards) and
+/// plain concatenations — exactly as the on-disk readers do. Obtain one through
+/// [`crate::Codec::open_archive`] (any layout) or [`crate::Codec::open_snapshot`]
+/// (requires a manifest).
+#[derive(Debug)]
+pub struct ArchiveHandle {
+    manifest: Option<SnapshotManifest>,
+    fields: Vec<FieldHandle>,
+    total_bytes: u64,
+}
+
+impl ArchiveHandle {
+    /// Parses an archive file from a buffer. Every archive in the file is validated
+    /// and reassembled; an empty or trailing-garbage file is an error, exactly as the
+    /// CLI and the daemon's load path always treated it.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ArchiveHandle> {
+        let (manifest, parsed) = read_snapshot_with_info(bytes)?;
+        if parsed.is_empty() {
+            return Err(HfzError::Container(ContainerError::Invalid {
+                reason: "file holds no archives",
+            }));
+        }
+        let fields = parsed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (info, archive))| {
+                let name = manifest.as_ref().map(|m| m.entries()[i].name.clone());
+                FieldHandle::new(name, info, archive)
+            })
+            .collect();
+        Ok(ArchiveHandle {
+            manifest,
+            fields,
+            total_bytes: bytes.len() as u64,
+        })
+    }
+
+    /// Reads and parses an archive file from disk.
+    pub fn open(path: &str) -> Result<ArchiveHandle> {
+        let bytes =
+            std::fs::read(path).map_err(|e| HfzError::io(format!("cannot open {}", path), e))?;
+        ArchiveHandle::from_bytes(&bytes)
+    }
+
+    /// The snapshot manifest, when the file carries one.
+    pub fn manifest(&self) -> Option<&SnapshotManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// The fields, in file order.
+    pub fn fields(&self) -> &[FieldHandle] {
+        &self.fields
+    }
+
+    /// Number of fields in the file.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Always false: opening an empty file is an error.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Total stored size of the file in bytes (manifest included).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Field `index`, as a typed error when out of range.
+    pub fn field(&self, index: usize) -> Result<&FieldHandle> {
+        self.fields.get(index).ok_or_else(|| {
+            HfzError::Container(ContainerError::FieldNotFound {
+                name: format!("#{}", index),
+            })
+        })
+    }
+
+    /// Field lookup by manifest name. Manifest-less files carry no names, so the
+    /// lookup is a typed error there.
+    pub fn field_by_name(&self, name: &str) -> Result<&FieldHandle> {
+        if self.manifest.is_none() {
+            return Err(HfzError::Container(ContainerError::Invalid {
+                reason: "archive carries no snapshot manifest; address fields by index",
+            }));
+        }
+        self.fields
+            .iter()
+            .find(|f| f.name() == Some(name))
+            .ok_or_else(|| {
+                HfzError::Container(ContainerError::FieldNotFound {
+                    name: name.to_string(),
+                })
+            })
+    }
+
+    /// Resolves a field selector the way the CLI does: a numeric selector is an index,
+    /// anything else a manifest name.
+    pub fn field_by_selector(&self, selector: &str) -> Result<&FieldHandle> {
+        match selector.parse::<usize>() {
+            Ok(index) => self.field(index),
+            Err(_) => self.field_by_name(selector),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # huffdec-codec — the session-style public API of the workspace
+//!
+//! The pipeline this workspace reproduces (quantize → codebook → encode → gap/chunk
+//! decode) is one coherent codec, and this crate is its single seam: a
+//! [`CodecBuilder`] → [`Codec`] handle that owns the simulated device, the
+//! worker-thread budget, and the compression configuration, in the style of cuSZ/phf's
+//! session `HuffmanCodec` objects. Consumers — the `hfz` CLI, the `hfzd` daemon, the
+//! benchmark harness, examples — build one codec and call methods on it instead of
+//! threading `&Gpu` + config tuples through a zoo of free functions.
+//!
+//! * [`Codec::compress`] / [`Codec::decompress`] — one field, with typed
+//!   [`EncodeOutcome`] / [`DecodeOutcome`] carrying the phase breakdowns;
+//! * [`Codec::compress_batch`] / [`Codec::decompress_batch`] — many fields, the
+//!   decodes overlapped as one wave;
+//! * [`Codec::open_archive`] / [`Codec::open_snapshot`] — archive sessions
+//!   ([`ArchiveHandle`]) that parse a file exactly once and cache each field's
+//!   range-decode index, so [`Codec::decompress_range`] launches only the blocks
+//!   overlapping a request;
+//! * [`HfzError`] — the one error type every operation reports, with `From` impls
+//!   from each layer's typed errors and a stable CLI exit-code mapping.
+//!
+//! The lower-level free functions (`sz::compress*`, `huffdec_core::decode*`, …) remain
+//! public as building blocks, but this crate is the supported surface.
+//!
+//! ```
+//! use datasets::{dataset_by_name, generate};
+//! use huffdec_codec::Codec;
+//! use huffdec_core::DecoderKind;
+//! use sz::ErrorBound;
+//!
+//! let field = generate(&dataset_by_name("CESM").unwrap(), 20_000, 7);
+//!
+//! let codec = Codec::builder()
+//!     .gpu_config(gpu_sim::GpuConfig::test_tiny())
+//!     .decoder(DecoderKind::OptimizedGapArray)
+//!     .error_bound(ErrorBound::Relative(1e-3))
+//!     .host_threads(2)
+//!     .build()
+//!     .unwrap();
+//!
+//! let encoded = codec.compress(&field).unwrap();
+//! let decoded = codec.decompress(&encoded.archive).unwrap();
+//! assert_eq!(decoded.data.len(), field.len());
+//! assert!(encoded.archive.overall_compression_ratio() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod handle;
+
+pub use codec::{BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome, EncodeOutcome};
+pub use error::{HfzError, Result};
+pub use handle::{ArchiveHandle, ArchiveSummary, FieldHandle};

@@ -113,7 +113,7 @@ impl Header {
     pub fn encode_with_crc(&self) -> [u8; HEADER_WIRE_BYTES] {
         let mut bytes = [0u8; HEADER_WIRE_BYTES];
         bytes[..HEADER_BYTES].copy_from_slice(&self.encode());
-        let crc = crate::crc32::crc32(&bytes[..HEADER_BYTES]);
+        let crc = huffdec_core::crc32(&bytes[..HEADER_BYTES]);
         bytes[HEADER_BYTES..].copy_from_slice(&crc.to_le_bytes());
         bytes
     }
@@ -135,7 +135,7 @@ impl Header {
             });
         }
         let stored = u32::from_le_bytes(bytes[HEADER_BYTES..].try_into().expect("4 bytes"));
-        let computed = crate::crc32::crc32(header);
+        let computed = huffdec_core::crc32(header);
         if stored != computed {
             return Err(ContainerError::HeaderChecksumMismatch { stored, computed });
         }

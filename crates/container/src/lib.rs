@@ -100,7 +100,6 @@
 
 pub mod archive;
 pub mod codec;
-pub mod crc32;
 pub mod error;
 pub mod header;
 pub mod inspect;
@@ -113,9 +112,12 @@ pub use archive::{
     read_snapshot_with_info, snapshot_to_bytes, to_bytes, Archive, ArchiveReader, ArchiveWriter,
     Snapshot,
 };
-pub use crc32::{crc32, crc32_symbols, Crc32};
+// The CRC-32 implementation lives in `huffdec_core::crc32` (the pipeline digests
+// decoded symbol streams without depending on this crate); the container re-exports
+// the names because every frame of the `HFZ1` format is checksummed with it.
 pub use error::{ContainerError, Result};
 pub use header::{FieldMeta, Header, FORMAT_VERSION, HEADER_BYTES, HEADER_WIRE_BYTES, MAGIC};
+pub use huffdec_core::{crc32, crc32_symbols, Crc32};
 pub use inspect::{json_escape, read_info, ArchiveInfo, SectionInfo};
 pub use manifest::{manifest_leads, ManifestEntry, SnapshotManifest};
 pub use section::SectionKind;

@@ -19,8 +19,8 @@
 use std::fmt;
 use std::io::{Read, Write};
 
-use crate::crc32::Crc32;
 use crate::error::{ContainerError, Result};
+use huffdec_core::Crc32;
 
 /// Tags of the section types of format version 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -65,6 +65,7 @@ pub trait BlockKernel: Sync {
 }
 
 /// The simulated GPU device: owns the configuration and executes kernel launches.
+#[derive(Debug, Clone)]
 pub struct Gpu {
     config: GpuConfig,
     host_threads: usize,

@@ -45,6 +45,14 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+impl From<ClientError> for huffdec_codec::HfzError {
+    /// Every client-side failure — transport, daemon error response, shape mismatch —
+    /// is a protocol error to the facade.
+    fn from(e: ClientError) -> Self {
+        huffdec_codec::HfzError::Protocol(e.to_string())
+    }
+}
+
 /// The result of a `GET`.
 #[derive(Debug, Clone)]
 pub struct GetResult {

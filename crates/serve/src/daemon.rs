@@ -16,6 +16,7 @@
 //! jobs and tests wait for it), then serves until a `SHUTDOWN` request.
 
 use gpu_sim::GpuConfig;
+use huffdec_codec::HfzError;
 
 use crate::net::ListenAddr;
 use crate::server::{Server, ServerConfig};
@@ -93,25 +94,32 @@ impl DaemonOptions {
 }
 
 /// Binds, preloads, prints the `listening on` line, and serves until shutdown.
-pub fn run(options: &DaemonOptions) -> Result<(), String> {
+///
+/// Failures keep their class through [`HfzError`] — a bind failure is I/O, an
+/// unreadable preload is I/O, a corrupt preload is a container error — so both
+/// entry points (`hfzd` and `hfz serve`) exit with the same stable codes.
+pub fn run(options: &DaemonOptions) -> Result<(), HfzError> {
     let config = ServerConfig {
         cache_bytes: options.cache_bytes,
         gpu: GpuConfig::v100(),
         host_threads: options.host_threads,
     };
     let server = Server::bind(&options.listen, &config)
-        .map_err(|e| format!("cannot bind {}: {}", options.listen, e))?;
+        .map_err(|e| HfzError::io(format!("cannot bind {}", options.listen), e))?;
     let state = server.state();
     for (name, path) in &options.preload {
-        let loaded = state
-            .store()
-            .load(name, path)
-            .map_err(|e| format!("cannot load '{}': {}", name, e))?;
+        let loaded = state.store().load(name, path).map_err(|e| match e {
+            HfzError::Io { context, source } => HfzError::Io {
+                context: format!("cannot load '{}': {}", name, context),
+                source,
+            },
+            other => other,
+        })?;
         eprintln!(
             "hfzd: loaded '{}' from {} ({} fields)",
             name,
             path,
-            loaded.fields.len()
+            loaded.fields().len()
         );
     }
     // Printed on stdout and flushed: start-up scripts wait for this line.
@@ -126,7 +134,7 @@ pub fn run(options: &DaemonOptions) -> Result<(), String> {
         );
         let _ = out.flush();
     }
-    server.run().map_err(|e| format!("server failed: {}", e))
+    server.run().map_err(|e| HfzError::io("server failed", e))
 }
 
 #[cfg(test)]

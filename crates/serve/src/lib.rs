@@ -25,7 +25,7 @@
 //! (outside every lock), inserts, and serves. A *ranged* code request that misses the
 //! cache takes the partial path instead: the field's decode index (subsequence states +
 //! output-index prefix sums, built once) maps the symbol range to the decode blocks
-//! that produce it, and only those blocks are decoded — `huffdec_core::decode_range`.
+//! that produce it, and only those blocks are decoded — `Codec::decompress_range`.
 //!
 //! ## Example
 //!
@@ -53,7 +53,8 @@ pub mod store;
 
 pub use cache::{CacheKey, CacheStats, DecodedLru};
 pub use client::{Client, ClientError, GetResult};
+pub use huffdec_codec::{ArchiveHandle, Codec, FieldHandle, HfzError};
 pub use net::{ListenAddr, Listener};
 pub use protocol::{GetKind, ProtocolError, Request, Response};
 pub use server::{ServeStats, Server, ServerConfig, ServerState};
-pub use store::{ArchiveStore, LoadedArchive, LoadedField, StoreError};
+pub use store::{ArchiveStore, LoadedArchive};

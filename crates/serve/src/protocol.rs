@@ -220,6 +220,14 @@ impl From<std::io::Error> for ProtocolError {
     }
 }
 
+impl From<ProtocolError> for huffdec_codec::HfzError {
+    /// Transport and framing failures surface as the facade's protocol variant, so CLI
+    /// consumers map every remote failure to one exit code.
+    fn from(e: ProtocolError) -> Self {
+        huffdec_codec::HfzError::Protocol(e.to_string())
+    }
+}
+
 // --- Framing ---------------------------------------------------------------------------
 
 /// Writes one frame (length prefix + body), refusing bodies over `limit` — a length

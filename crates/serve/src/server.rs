@@ -17,8 +17,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::{Gpu, GpuConfig};
-use huffdec_container::{json_escape, Archive};
-use huffdec_core::{decode, DecoderKind};
+use huffdec_codec::{Codec, FieldHandle};
+use huffdec_container::json_escape;
+use huffdec_core::DecoderKind;
 
 use crate::cache::{CacheKey, CacheStats, DecodedLru};
 use crate::net::{connect, Conn, ListenAddr, Listener};
@@ -26,7 +27,7 @@ use crate::protocol::{
     read_frame, write_frame, BatchGetItem, GetKind, Request, Response, MAX_REQUEST_BYTES,
     MAX_RESPONSE_BYTES,
 };
-use crate::store::{ArchiveStore, LoadedArchive, LoadedField};
+use crate::store::{ArchiveStore, LoadedArchive};
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -91,7 +92,7 @@ pub struct ServeStats {
 
 /// Shared state of a running daemon.
 pub struct ServerState {
-    gpu: Gpu,
+    codec: Codec,
     store: ArchiveStore,
     cache: Mutex<DecodedLru>,
     stats: Mutex<ServeStats>,
@@ -100,9 +101,14 @@ pub struct ServerState {
 }
 
 impl ServerState {
+    /// The facade session requests decode through.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
+    }
+
     /// The simulated device requests decode on.
     pub fn gpu(&self) -> &Gpu {
-        &self.gpu
+        self.codec.gpu()
     }
 
     /// The archive store (load archives directly through this before/while serving).
@@ -160,7 +166,7 @@ impl ServerState {
                         .expect("cache lock poisoned")
                         .invalidate_archive(name);
                     Response::Loaded {
-                        fields: loaded.fields.len() as u32,
+                        fields: loaded.fields().len() as u32,
                     }
                 }
                 Err(e) => Response::Error(format!("cannot load '{}': {}", name, e)),
@@ -198,11 +204,11 @@ impl ServerState {
             .get(archive)
             .ok_or_else(|| format!("no archive named '{}' is loaded", archive))?;
         let index = field as usize;
-        if index >= loaded.fields.len() {
+        if index >= loaded.fields().len() {
             return Err(format!(
                 "archive '{}' has {} fields; field {} does not exist",
                 archive,
-                loaded.fields.len(),
+                loaded.fields().len(),
                 field
             ));
         }
@@ -223,19 +229,13 @@ impl ServerState {
     }
 
     /// Decodes the full representation `kind` of a field (cache-filling slow path).
-    fn decode_full(&self, field: &LoadedField, kind: GetKind) -> Result<Vec<u8>, String> {
-        let decoder = field.archive.decoder();
+    fn decode_full(&self, field: &FieldHandle, kind: GetKind) -> Result<Vec<u8>, String> {
+        let decoder = field.decoder();
         match kind {
             GetKind::Data => {
-                let compressed = match &field.archive {
-                    Archive::Field(c) => c,
-                    Archive::Payload { .. } => {
-                        return Err(
-                            "archive is payload-only; request codes instead of data".to_string()
-                        )
-                    }
-                };
-                let decompressed = sz::decompress(&self.gpu, compressed)
+                let decompressed = self
+                    .codec
+                    .decompress_field(field)
                     .map_err(|e| format!("decode failed: {}", e))?;
                 self.record_decode(
                     |s| &mut s.full_decodes,
@@ -249,7 +249,9 @@ impl ServerState {
                 Ok(bytes)
             }
             GetKind::Codes => {
-                let result = decode(&self.gpu, decoder, field.archive.payload())
+                let result = self
+                    .codec
+                    .decode_field_codes(field)
                     .map_err(|e| format!("decode failed: {}", e))?;
                 self.record_decode(
                     |s| &mut s.full_decodes,
@@ -273,7 +275,7 @@ impl ServerState {
         range: Option<(u64, u64)>,
     ) -> Result<Response, String> {
         let (loaded, index) = self.lookup(archive, field_index)?;
-        let field = &loaded.fields[index];
+        let field = &loaded.fields()[index];
         let elements = match kind {
             GetKind::Data => field.data_elements().ok_or_else(|| {
                 "archive is payload-only; request codes instead of data".to_string()
@@ -310,10 +312,11 @@ impl ServerState {
         // inserted — it is a fragment, and caching fragments would let a sweep of
         // small ranges evict whole hot fields.
         if let (GetKind::Codes, Some((start, len))) = (kind, range) {
-            let decoder = field.archive.decoder();
+            let decoder = field.decoder();
             let built_before = field.prepared_ready();
-            let prepared = field
-                .prepared(&self.gpu)
+            let prepared = self
+                .codec
+                .prepare_field(field)
                 .map_err(|e| format!("decode index failed: {}", e))?;
             if !built_before {
                 self.record_decode(
@@ -322,15 +325,10 @@ impl ServerState {
                     prepared.timings.total_seconds(),
                 );
             }
-            let r = huffdec_core::decode_range(
-                &self.gpu,
-                decoder,
-                field.archive.payload(),
-                prepared,
-                start,
-                len,
-            )
-            .map_err(|e| format!("range decode failed: {}", e))?;
+            let r = self
+                .codec
+                .decompress_range(field, start, len)
+                .map_err(|e| format!("range decode failed: {}", e))?;
             self.record_decode(
                 |s| &mut s.partial_decodes,
                 decoder,
@@ -366,8 +364,8 @@ impl ServerState {
     }
 
     /// Serves a multi-field fetch: cache hits stream straight out, and *all* misses are
-    /// decoded as one batched wave ([`sz::decompress_batch`] /
-    /// [`huffdec_core::decode_batch`]) instead of N serial decodes, then inserted into
+    /// decoded as one batched wave ([`Codec::decompress_batch`] /
+    /// [`Codec::decode_field_codes_batch`]) instead of N serial decodes, then inserted into
     /// the same LRU single-field `GET`s use.
     fn get_batch(
         &self,
@@ -384,15 +382,15 @@ impl ServerState {
             .get(archive)
             .ok_or_else(|| format!("no archive named '{}' is loaded", archive))?;
         for &f in field_indices {
-            if f as usize >= loaded.fields.len() {
+            if f as usize >= loaded.fields().len() {
                 return Err(format!(
                     "archive '{}' has {} fields; field {} does not exist",
                     archive,
-                    loaded.fields.len(),
+                    loaded.fields().len(),
                     f
                 ));
             }
-            if kind == GetKind::Data && loaded.fields[f as usize].data_elements().is_none() {
+            if kind == GetKind::Data && loaded.fields()[f as usize].data_elements().is_none() {
                 return Err(format!(
                     "field {} is payload-only; request codes instead of data",
                     f
@@ -425,22 +423,26 @@ impl ServerState {
                 GetKind::Data => {
                     let archives: Vec<&sz::Compressed> = missing
                         .iter()
-                        .map(|&f| match &loaded.fields[f as usize].archive {
-                            Archive::Field(c) => c,
-                            Archive::Payload { .. } => unreachable!("validated above"),
+                        .map(|&f| {
+                            loaded.fields()[f as usize]
+                                .compressed()
+                                .expect("validated above")
                         })
                         .collect();
-                    let (fields, stats) = sz::decompress_batch(&self.gpu, &archives)
+                    let batch = self
+                        .codec
+                        .decompress_batch(&archives)
                         .map_err(|e| format!("batch decode failed: {}", e))?;
-                    self.record_batch_wave(stats.serial_seconds, stats.batched_seconds);
-                    for (&f, d) in missing.iter().zip(&fields) {
+                    self.record_batch_wave(batch.stats.serial_seconds, batch.stats.batched_seconds);
+                    for (&f, d) in missing.iter().zip(&batch.fields) {
                         self.record_decode(
                             |s| &mut s.full_decodes,
-                            loaded.fields[f as usize].archive.decoder(),
+                            loaded.fields()[f as usize].decoder(),
                             d.stats.total_seconds,
                         );
                     }
-                    fields
+                    batch
+                        .fields
                         .into_iter()
                         .map(|d| {
                             let mut bytes = Vec::with_capacity(d.data.len() * 4);
@@ -452,20 +454,19 @@ impl ServerState {
                         .collect()
                 }
                 GetKind::Codes => {
-                    let items: Vec<_> = missing
+                    let fields: Vec<&FieldHandle> = missing
                         .iter()
-                        .map(|&f| {
-                            let field = &loaded.fields[f as usize];
-                            (field.archive.decoder(), field.archive.payload())
-                        })
+                        .map(|&f| &loaded.fields()[f as usize])
                         .collect();
-                    let (results, stats) = huffdec_core::decode_batch(&self.gpu, &items)
+                    let (results, stats) = self
+                        .codec
+                        .decode_field_codes_batch(&fields)
                         .map_err(|e| format!("batch decode failed: {}", e))?;
                     self.record_batch_wave(stats.serial_seconds, stats.batched_seconds);
                     for (&f, r) in missing.iter().zip(&results) {
                         self.record_decode(
                             |s| &mut s.full_decodes,
-                            loaded.fields[f as usize].archive.decoder(),
+                            loaded.fields()[f as usize].decoder(),
                             r.timings.total_seconds(),
                         );
                     }
@@ -529,17 +530,19 @@ impl ServerState {
             .ok_or_else(|| format!("no archive named '{}' is loaded", archive))?;
         let mut report = String::new();
         let mut failures = 0;
-        for (i, field) in loaded.fields.iter().enumerate() {
-            let decoder = field.archive.decoder();
-            let result = decode(&self.gpu, decoder, field.archive.payload())
+        for (i, field) in loaded.fields().iter().enumerate() {
+            let decoder = field.decoder();
+            let result = self
+                .codec
+                .decode_field_codes(field)
                 .map_err(|e| format!("field {}: decode failed: {}", i, e))?;
             self.record_decode(
                 |s| &mut s.full_decodes,
                 decoder,
                 result.timings.total_seconds(),
             );
-            let line = match &field.archive {
-                Archive::Field(c) => match c.matches_decoded_crc(&result.symbols) {
+            let line = match field.compressed() {
+                Some(c) => match c.matches_decoded_crc(&result.symbols) {
                     Some(true) => format!(
                         "field {}: ok ({} symbols, digest {:08x})",
                         i,
@@ -561,7 +564,7 @@ impl ServerState {
                         result.symbols.len()
                     ),
                 },
-                Archive::Payload { .. } => format!(
+                None => format!(
                     "field {}: ok ({} symbols, payload-only)",
                     i,
                     result.symbols.len()
@@ -573,7 +576,7 @@ impl ServerState {
         report.push_str(&format!(
             "{}: {} fields, {} digest failures\n",
             archive,
-            loaded.fields.len(),
+            loaded.fields().len(),
             failures
         ));
         Ok(report)
@@ -590,14 +593,14 @@ impl ServerState {
                 json_escape(&loaded.name),
                 json_escape(&loaded.path)
             ));
-            for (j, field) in loaded.fields.iter().enumerate() {
+            for (j, field) in loaded.fields().iter().enumerate() {
                 if j > 0 {
                     s.push(',');
                 }
                 // Prefix each field object with its manifest name (snapshot archives)
                 // so clients can resolve names to indices without re-reading the file.
-                let info = field.info.to_json();
-                match &field.name {
+                let info = field.info().to_json();
+                match field.name() {
                     Some(name) => s.push_str(&format!(
                         "{{\"name\":\"{}\",{}",
                         json_escape(name),
@@ -714,7 +717,11 @@ impl Server {
         let listener = Listener::bind(addr)?;
         let resolved = listener.local_addr()?;
         let state = Arc::new(ServerState {
-            gpu: Gpu::with_host_threads(config.gpu.clone(), config.host_threads),
+            codec: Codec::builder()
+                .gpu_config(config.gpu.clone())
+                .host_threads(config.host_threads)
+                .build()
+                .expect("default codec configuration is valid"),
             store: ArchiveStore::new(),
             cache: Mutex::new(DecodedLru::new(config.cache_bytes)),
             stats: Mutex::new(ServeStats::default()),

@@ -1,71 +1,20 @@
 //! The in-memory archive store: parse once at `LOAD`, serve many.
 //!
-//! Before the daemon existed, every consumer of an `HFZ1` file re-read and re-parsed it
-//! per request (the CLI decompress path opens, checksums, and reassembles the whole
-//! archive every time). The store fixes that for the serving path: loading an archive
-//! file runs [`huffdec_container::read_archives_with_info`] exactly once, and every
-//! field keeps three levels of cached state:
-//!
-//! 1. the parsed **section table / header** ([`ArchiveInfo`]) — metadata queries
-//!    (`LIST`) never touch the file again;
-//! 2. the reassembled **decode structures** ([`Archive`]: codebook, stream, gap array,
-//!    outliers) — `GET`s decode straight from memory;
-//! 3. the lazily built **decode index** ([`PreparedDecode`]: converged subsequence
-//!    state + output-index prefix sums) — built by the first range request and reused
-//!    by all later ones, so a range `GET` launches only the overlapping blocks.
+//! The store is a thin, named registry over the facade's archive sessions
+//! ([`huffdec_codec::ArchiveHandle`]): loading an archive file opens it through the
+//! facade exactly once — header, section table, and decode structures all parsed and
+//! validated up front — and every field is a [`FieldHandle`] that lazily builds and
+//! caches its range-decode index on first use, so a ranged `GET` launches only the
+//! overlapping blocks. The store itself only adds what serving needs on top: stable
+//! names, replacement generations, and thread-safe lookup.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, RwLock};
 
-use gpu_sim::Gpu;
-use huffdec_container::{
-    read_snapshot_with_info, Archive, ArchiveInfo, ContainerError, SnapshotManifest,
-};
-use huffdec_core::{prepare_decode, DecodeError, PreparedDecode};
+use huffdec_codec::{ArchiveHandle, FieldHandle, HfzError};
+use huffdec_container::SnapshotManifest;
 
-/// One field of a loaded archive file, with all per-field cached state.
-#[derive(Debug)]
-pub struct LoadedField {
-    /// Manifest field name, when the file is a snapshot archive (`None` for plain
-    /// concatenated files, which carry no names).
-    pub name: Option<String>,
-    /// Parsed header and section table (cached; `LIST` and bounds checks read this).
-    pub info: ArchiveInfo,
-    /// The reassembled decode structures.
-    pub archive: Archive,
-    /// The lazily built range-decode index.
-    prepared: OnceLock<Result<PreparedDecode, DecodeError>>,
-}
-
-impl LoadedField {
-    /// Number of elements a `data` request addresses (f32 elements; field archives
-    /// only — payload-only archives have no reconstruction).
-    pub fn data_elements(&self) -> Option<u64> {
-        self.info.field.map(|meta| meta.dims.len() as u64)
-    }
-
-    /// Number of elements a `codes` request addresses (decoded symbols).
-    pub fn code_elements(&self) -> u64 {
-        self.info.num_symbols
-    }
-
-    /// The range-decode index, built on first use and cached for the field's lifetime.
-    /// The preparation cost (synchronization or gap counting + prefix sum) is paid by
-    /// whichever request gets here first; everyone after decodes only their blocks.
-    pub fn prepared(&self, gpu: &Gpu) -> Result<&PreparedDecode, DecodeError> {
-        self.prepared
-            .get_or_init(|| prepare_decode(gpu, self.archive.decoder(), self.archive.payload()))
-            .as_ref()
-            .map_err(|e| *e)
-    }
-
-    /// Whether the decode index has been built yet (observability for `STATS`).
-    pub fn prepared_ready(&self) -> bool {
-        self.prepared.get().is_some()
-    }
-}
-
-/// One loaded archive file: a name, its source path, and its parsed fields.
+/// One loaded archive file: a name, its source path, and the opened facade session.
 #[derive(Debug)]
 pub struct LoadedArchive {
     /// Name requests address the archive by.
@@ -76,44 +25,34 @@ pub struct LoadedArchive {
     /// decode of a *replaced* archive that races its re-load can never be served to
     /// requests addressing the new one.
     pub generation: u64,
-    /// The snapshot manifest, when the file carries one.
-    pub manifest: Option<SnapshotManifest>,
-    /// The fields, in file order.
-    pub fields: Vec<LoadedField>,
+    /// The opened archive session: every field parsed once, decode indexes cached
+    /// per field.
+    handle: ArchiveHandle,
 }
 
 impl LoadedArchive {
+    /// The opened archive session.
+    pub fn handle(&self) -> &ArchiveHandle {
+        &self.handle
+    }
+
+    /// The fields, in file order.
+    pub fn fields(&self) -> &[FieldHandle] {
+        self.handle.fields()
+    }
+
+    /// The snapshot manifest, when the file carries one.
+    pub fn manifest(&self) -> Option<&SnapshotManifest> {
+        self.handle.manifest()
+    }
+
     /// Resolves a manifest field name to its index (manifest-backed archives only).
     pub fn field_index_by_name(&self, name: &str) -> Option<u32> {
-        self.manifest
-            .as_ref()
+        self.manifest()
             .and_then(|m| m.find(name))
             .map(|(i, _)| i as u32)
     }
 }
-
-/// Everything that can go wrong loading an archive file.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Reading the file failed.
-    Io(std::io::Error),
-    /// The file is not a valid sequence of `HFZ1` archives.
-    Container(ContainerError),
-    /// The file holds no archives at all.
-    Empty,
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "cannot read archive file: {}", e),
-            StoreError::Container(e) => write!(f, "invalid archive file: {}", e),
-            StoreError::Empty => write!(f, "archive file holds no archives"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
 
 /// The daemon's set of loaded archives, shared across client threads.
 #[derive(Debug, Default)]
@@ -129,32 +68,17 @@ impl ArchiveStore {
     }
 
     /// Loads (or replaces) the archive file at `path` under `name`, parsing it exactly
-    /// once. Returns the loaded handle; the caller is responsible for invalidating any
-    /// cache entries of a replaced archive.
-    pub fn load(&self, name: &str, path: &str) -> Result<Arc<LoadedArchive>, StoreError> {
-        let bytes = std::fs::read(path).map_err(StoreError::Io)?;
-        let (manifest, parsed) = read_snapshot_with_info(&bytes).map_err(StoreError::Container)?;
-        if parsed.is_empty() {
-            return Err(StoreError::Empty);
-        }
-        let fields = parsed
-            .into_iter()
-            .enumerate()
-            .map(|(i, (info, archive))| LoadedField {
-                name: manifest.as_ref().map(|m| m.entries()[i].name.clone()),
-                info,
-                archive,
-                prepared: OnceLock::new(),
-            })
-            .collect();
+    /// once through the facade. Returns the loaded handle; the caller is responsible
+    /// for invalidating any cache entries of a replaced archive.
+    pub fn load(&self, name: &str, path: &str) -> Result<Arc<LoadedArchive>, HfzError> {
+        let handle = ArchiveHandle::open(path)?;
         let loaded = Arc::new(LoadedArchive {
             name: name.to_string(),
             path: path.to_string(),
             generation: self
                 .next_generation
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            manifest,
-            fields,
+            handle,
         });
         self.archives
             .write()
@@ -200,20 +124,27 @@ impl ArchiveStore {
 mod tests {
     use super::*;
     use datasets::{dataset_by_name, generate};
-    use gpu_sim::GpuConfig;
+    use gpu_sim::{Gpu, GpuConfig};
+    use huffdec_codec::Codec;
     use huffdec_container::ArchiveWriter;
     use huffdec_core::DecoderKind;
-    use sz::{compress, SzConfig};
+
+    fn codec() -> Codec {
+        Codec::builder()
+            .gpu_config(GpuConfig::test_tiny())
+            .host_threads(2)
+            .decoder(DecoderKind::OptimizedGapArray)
+            .build()
+            .unwrap()
+    }
 
     fn write_archive_file(path: &std::path::Path, seeds: &[u64]) {
+        let c = codec();
         let file = std::fs::File::create(path).unwrap();
         let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));
         for &seed in seeds {
             let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, seed);
-            let compressed = compress(
-                &field,
-                &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
-            );
+            let compressed = c.compress_archive(&field).unwrap();
             writer.write_compressed(&compressed).unwrap();
         }
         writer.into_inner().unwrap();
@@ -228,11 +159,11 @@ mod tests {
 
         let store = ArchiveStore::new();
         let loaded = store.load("multi", path.to_str().unwrap()).unwrap();
-        assert_eq!(loaded.fields.len(), 3);
+        assert_eq!(loaded.fields().len(), 3);
         assert_eq!(store.len(), 1);
 
         // Metadata queries come from the cached section table.
-        for field in &loaded.fields {
+        for field in loaded.fields() {
             assert_eq!(field.code_elements(), 20_000);
             assert_eq!(field.data_elements(), Some(20_000));
             assert!(!field.prepared_ready());
@@ -241,13 +172,15 @@ mod tests {
         // Deleting the file does not affect an already-loaded archive: everything is
         // in memory.
         std::fs::remove_file(&path).unwrap();
-        let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
-        let prepared = loaded.fields[0].prepared(&gpu).unwrap();
+        let c = codec();
+        let gpu: &Gpu = c.gpu();
+        assert!(gpu.config().num_sms >= 1);
+        let prepared = c.prepare_field(&loaded.fields()[0]).unwrap();
         assert!(prepared.timings.total_seconds() >= 0.0);
-        assert!(loaded.fields[0].prepared_ready());
+        assert!(loaded.fields()[0].prepared_ready());
 
         // The prepared index is built once: the same allocation comes back.
-        let again = loaded.fields[0].prepared(&gpu).unwrap();
+        let again = c.prepare_field(&loaded.fields()[0]).unwrap();
         assert!(std::ptr::eq(prepared, again));
     }
 
@@ -256,17 +189,12 @@ mod tests {
         let dir = std::env::temp_dir().join("hfzd-store-test-snapshot");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snap.hfz");
+        let c = codec();
         let fields: Vec<(String, sz::Compressed)> = [("xx", 5u64), ("yy", 6), ("zz", 7)]
             .iter()
             .map(|&(name, seed)| {
                 let field = generate(&dataset_by_name("HACC").unwrap(), 15_000, seed);
-                (
-                    name.to_string(),
-                    compress(
-                        &field,
-                        &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
-                    ),
-                )
+                (name.to_string(), c.compress_archive(&field).unwrap())
             })
             .collect();
         let refs: Vec<(&str, &sz::Compressed)> =
@@ -275,12 +203,12 @@ mod tests {
 
         let store = ArchiveStore::new();
         let loaded = store.load("snap", path.to_str().unwrap()).unwrap();
-        assert_eq!(loaded.fields.len(), 3);
-        assert!(loaded.manifest.is_some());
+        assert_eq!(loaded.fields().len(), 3);
+        assert!(loaded.manifest().is_some());
         assert_eq!(loaded.field_index_by_name("yy"), Some(1));
         assert_eq!(loaded.field_index_by_name("nope"), None);
-        for (field, (name, _)) in loaded.fields.iter().zip(&fields) {
-            assert_eq!(field.name.as_deref(), Some(name.as_str()));
+        for (field, (name, _)) in loaded.fields().iter().zip(&fields) {
+            assert_eq!(field.name(), Some(name.as_str()));
         }
     }
 
@@ -310,7 +238,7 @@ mod tests {
         let store = ArchiveStore::new();
         assert!(matches!(
             store.load("nope", "/definitely/not/here.hfz"),
-            Err(StoreError::Io(_))
+            Err(HfzError::Io { .. })
         ));
         let dir = std::env::temp_dir().join("hfzd-store-test-bad");
         std::fs::create_dir_all(&dir).unwrap();
@@ -318,13 +246,15 @@ mod tests {
         std::fs::write(&empty, b"").unwrap();
         assert!(matches!(
             store.load("empty", empty.to_str().unwrap()),
-            Err(StoreError::Empty)
+            Err(HfzError::Container(
+                huffdec_container::ContainerError::Invalid { .. }
+            ))
         ));
         let garbage = dir.join("garbage.hfz");
         std::fs::write(&garbage, b"not an archive at all").unwrap();
         assert!(matches!(
             store.load("garbage", garbage.to_str().unwrap()),
-            Err(StoreError::Container(_))
+            Err(HfzError::Container(_))
         ));
         assert!(store.is_empty(), "failed loads must not register anything");
     }

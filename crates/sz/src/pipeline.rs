@@ -80,11 +80,31 @@ pub struct Compressed {
 
 impl Compressed {
     /// The decoder this archive targets.
+    ///
+    /// ```
+    /// use datasets::{dataset_by_name, generate};
+    /// use huffdec_core::DecoderKind;
+    /// use sz::{compress, SzConfig};
+    ///
+    /// let field = generate(&dataset_by_name("HACC").unwrap(), 10_000, 1);
+    /// let compressed = compress(&field, &SzConfig::paper_default(DecoderKind::OptimizedSelfSync));
+    /// assert_eq!(compressed.decoder(), DecoderKind::OptimizedSelfSync);
+    /// ```
     pub fn decoder(&self) -> DecoderKind {
         self.config.decoder
     }
 
     /// Quantization alphabet size.
+    ///
+    /// ```
+    /// use datasets::{dataset_by_name, generate};
+    /// use huffdec_core::DecoderKind;
+    /// use sz::{compress, SzConfig, DEFAULT_ALPHABET_SIZE};
+    ///
+    /// let field = generate(&dataset_by_name("CESM").unwrap(), 10_000, 1);
+    /// let compressed = compress(&field, &SzConfig::default());
+    /// assert_eq!(compressed.alphabet_size(), DEFAULT_ALPHABET_SIZE);
+    /// ```
     pub fn alphabet_size(&self) -> usize {
         self.config.alphabet_size
     }
@@ -110,6 +130,18 @@ impl Compressed {
     /// the outlier section, and the end marker — matching `huffdec_container::to_bytes`
     /// byte for byte (a cross-crate test enforces this), so Table IV ratios and Fig. 5
     /// transfer costs use the honest stored size.
+    ///
+    /// ```
+    /// use datasets::{dataset_by_name, generate};
+    /// use sz::{compress, SzConfig};
+    ///
+    /// let field = generate(&dataset_by_name("Nyx").unwrap(), 10_000, 3);
+    /// let compressed = compress(&field, &SzConfig::default());
+    /// // Exactly the bytes the HFZ1 container stores for this field.
+    /// let stored = huffdec_container::to_bytes(&compressed).unwrap();
+    /// assert_eq!(compressed.compressed_bytes(), stored.len() as u64);
+    /// assert!(compressed.compressed_bytes() < compressed.original_bytes());
+    /// ```
     pub fn compressed_bytes(&self) -> u64 {
         let digest = if self.decoded_crc.is_some() {
             wire::decoded_crc_section()

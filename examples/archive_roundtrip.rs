@@ -5,13 +5,12 @@
 //! Run with `cargo run --release --example archive_roundtrip`.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 
-use huffdec::container::{read_info, ArchiveReader, ArchiveWriter};
-use huffdec::core_decoders::DecoderKind;
+use huffdec::container::ArchiveWriter;
 use huffdec::datasets::{dataset_by_name, generate};
-use huffdec::gpu_sim::Gpu;
-use huffdec::sz::{compress, decompress, verify_error_bound, SzConfig};
+use huffdec::sz::verify_error_bound;
+use huffdec::{Codec, DecoderKind, ErrorBound};
 
 fn main() {
     // 1. A synthetic stand-in for one Nyx cosmology field.
@@ -25,9 +24,14 @@ fn main() {
     );
 
     // 2. Compress at the paper's relative error bound, targeting the optimized
-    //    gap-array decoder.
-    let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
-    let compressed = compress(&field, &config);
+    //    gap-array decoder, through one codec session.
+    let error_bound = ErrorBound::Relative(1e-3);
+    let codec = Codec::builder()
+        .decoder(DecoderKind::OptimizedGapArray)
+        .error_bound(error_bound)
+        .build()
+        .expect("paper configuration is valid");
+    let compressed = codec.compress(&field).expect("field is non-empty").archive;
 
     // 3. Write the archive to disk.
     let path = std::env::temp_dir().join("huffdec_archive_roundtrip.hfz");
@@ -44,24 +48,20 @@ fn main() {
         field.bytes() as f64 / written as f64
     );
 
-    // 4. Inspect the stored layout.
-    let file = File::open(&path).expect("open archive");
-    let info = read_info(&mut BufReader::new(file)).expect("inspect archive");
-    println!("{}", info);
+    // 4. Open an archive session: the file is parsed and validated exactly once, and
+    //    its parsed layout is the same structure `hfz inspect` prints.
+    let handle = codec
+        .open_archive(path.to_str().expect("utf-8 temp path"))
+        .expect("open archive");
+    println!("{}", handle.fields()[0].info());
 
-    // 5. Read it back and decompress on the simulated V100.
-    let file = File::open(&path).expect("open archive");
-    let mut reader = ArchiveReader::new(BufReader::new(file));
-    let restored = reader
-        .read_archive()
-        .expect("read archive")
-        .into_field()
-        .expect("field archive");
-    let gpu = Gpu::v100();
-    let decompressed = decompress(&gpu, &restored).expect("archive payload matches its decoder");
+    // 5. Decompress the re-read field through the session.
+    let decompressed = codec
+        .decompress_field(handle.field(0).expect("one field"))
+        .expect("archive payload matches its decoder");
 
     // 6. The reconstruction from disk must honour the error bound against the original.
-    let bound = config.error_bound.to_absolute(field.range_span() as f64);
+    let bound = error_bound.to_absolute(field.range_span() as f64);
     assert!(
         verify_error_bound(&field.data, &decompressed.data, bound).is_none(),
         "error bound violated after the on-disk round-trip"

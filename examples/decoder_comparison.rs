@@ -7,10 +7,9 @@
 //!
 //! Run with `cargo run --release --example decoder_comparison [dataset-name]`.
 
-use huffdec::core_decoders::{compress_for, decode, DecoderKind};
 use huffdec::datasets::{dataset_by_name, generate};
-use huffdec::gpu_sim::Gpu;
 use huffdec::sz::{quantize, DEFAULT_ALPHABET_SIZE};
+use huffdec::{Codec, DecoderKind};
 
 fn main() {
     let name = std::env::args()
@@ -18,7 +17,6 @@ fn main() {
         .unwrap_or_else(|| "CESM".to_string());
     let spec = dataset_by_name(&name).unwrap_or_else(|| panic!("unknown dataset '{}'", name));
     let field = generate(&spec, 1_500_000, 7);
-    let gpu = Gpu::v100();
 
     // Quantization codes as cuSZ would produce them at relative error bound 1e-3.
     let eb_abs = 1e-3 * field.range_span() as f64;
@@ -33,8 +31,16 @@ fn main() {
     );
 
     for kind in DecoderKind::all() {
-        let payload = compress_for(kind, &q.codes, DEFAULT_ALPHABET_SIZE);
-        let result = decode(&gpu, kind, &payload).expect("payload matches decoder");
+        // One session per method: the codec owns the simulated V100 and the stream
+        // format the decoder consumes.
+        let codec = Codec::builder()
+            .decoder(kind)
+            .build()
+            .expect("paper configuration is valid");
+        let (payload, _) = codec.encode_symbols(&q.codes);
+        let result = codec
+            .decode_payload(&payload)
+            .expect("payload matches decoder");
         assert_eq!(result.symbols, q.codes, "{:?} decoded incorrectly", kind);
 
         println!(

@@ -9,10 +9,8 @@
 //!
 //! Run with `cargo run --release --example inmemory_compression`.
 
-use huffdec::core_decoders::DecoderKind;
 use huffdec::datasets::{dataset_by_name, generate_with_dims, Dims};
-use huffdec::gpu_sim::Gpu;
-use huffdec::sz::{compress, decompress, SzConfig};
+use huffdec::{Codec, DecoderKind};
 
 const NUM_BLOCKS: usize = 8;
 const BLOCK_ELEMENTS: usize = 250_000;
@@ -20,7 +18,15 @@ const CONSUMPTIONS: usize = 24;
 
 fn main() {
     let spec = dataset_by_name("GAMESS").expect("GAMESS is a registered dataset");
-    let gpu = Gpu::v100();
+    // Two sessions on the same simulated V100: one per decoder under comparison.
+    let baseline_codec = Codec::builder()
+        .decoder(DecoderKind::CuszBaseline)
+        .build()
+        .expect("paper configuration is valid");
+    let optimized_codec = Codec::builder()
+        .decoder(DecoderKind::OptimizedGapArray)
+        .build()
+        .expect("paper configuration is valid");
 
     // Compress each integral block once (this happens a single time per block in GAMESS).
     let mut archives = Vec::new();
@@ -28,11 +34,12 @@ fn main() {
     for block_id in 0..NUM_BLOCKS {
         let field = generate_with_dims(&spec, Dims::D1(BLOCK_ELEMENTS), 1000 + block_id as u64);
         original_bytes += field.bytes();
-        let baseline = compress(&field, &SzConfig::paper_default(DecoderKind::CuszBaseline));
-        let optimized = compress(
-            &field,
-            &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
-        );
+        let baseline = baseline_codec
+            .compress_archive(&field)
+            .expect("block is non-empty");
+        let optimized = optimized_codec
+            .compress_archive(&field)
+            .expect("block is non-empty");
         archives.push((baseline, optimized));
     }
     let compressed_bytes: u64 = archives.iter().map(|(_, o)| o.compressed_bytes()).sum();
@@ -50,8 +57,16 @@ fn main() {
     let mut optimized_seconds = 0.0;
     for i in 0..CONSUMPTIONS {
         let (baseline, optimized) = &archives[i % NUM_BLOCKS];
-        baseline_seconds += decompress(&gpu, baseline).unwrap().stats.total_seconds;
-        optimized_seconds += decompress(&gpu, optimized).unwrap().stats.total_seconds;
+        baseline_seconds += baseline_codec
+            .decompress(baseline)
+            .unwrap()
+            .stats
+            .total_seconds;
+        optimized_seconds += optimized_codec
+            .decompress(optimized)
+            .unwrap()
+            .stats
+            .total_seconds;
     }
 
     println!(

@@ -1,12 +1,12 @@
 //! Quickstart: compress a synthetic scientific field with the cuSZ-style pipeline and
-//! decompress it with the paper's optimized gap-array Huffman decoder.
+//! decompress it with the paper's optimized gap-array Huffman decoder — all through
+//! one `Codec` session, the workspace's public API.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use huffdec::core_decoders::DecoderKind;
 use huffdec::datasets::{dataset_by_name, generate};
-use huffdec::gpu_sim::Gpu;
-use huffdec::sz::{compress, decompress, verify_error_bound, SzConfig};
+use huffdec::sz::verify_error_bound;
+use huffdec::{Codec, DecoderKind, ErrorBound};
 
 fn main() {
     // 1. A synthetic stand-in for one HACC field (~2 million particles).
@@ -19,10 +19,14 @@ fn main() {
         field.bytes() as f64 / 1048576.0
     );
 
-    // 2. Compress with a point-wise relative error bound of 1e-3 (the paper's setting),
-    //    targeting the optimized gap-array decoder.
-    let config = SzConfig::paper_default(DecoderKind::OptimizedGapArray);
-    let compressed = compress(&field, &config);
+    // 2. One codec session: a simulated V100, the paper's relative error bound of
+    //    1e-3, targeting the optimized gap-array decoder.
+    let codec = Codec::builder()
+        .decoder(DecoderKind::OptimizedGapArray)
+        .error_bound(ErrorBound::Relative(1e-3))
+        .build()
+        .expect("paper configuration is valid");
+    let compressed = codec.compress(&field).expect("field is non-empty").archive;
     println!(
         "compressed: {:.2} MiB (overall ratio {:.2}x, Huffman ratio {:.2}x, {} outliers)",
         compressed.compressed_bytes() as f64 / 1048576.0,
@@ -31,11 +35,12 @@ fn main() {
         compressed.outliers.len(),
     );
 
-    // 3. Decompress on the simulated V100. The Huffman decoding runs as simulated GPU
-    //    kernels; the output is bit-exact and the timing breakdown is the paper's Table II
-    //    structure.
-    let gpu = Gpu::v100();
-    let decompressed = decompress(&gpu, &compressed).expect("payload matches decoder");
+    // 3. Decompress through the same session. The Huffman decoding runs as simulated
+    //    GPU kernels; the output is bit-exact and the timing breakdown is the paper's
+    //    Table II structure.
+    let decompressed = codec
+        .decompress(&compressed)
+        .expect("payload matches decoder");
 
     let eb_abs = 1e-3 * field.range_span() as f64;
     assert!(

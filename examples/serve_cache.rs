@@ -8,19 +8,24 @@
 //! $ cargo run --release --example serve_cache
 //! ```
 
-use datasets::{dataset_by_name, generate};
-use gpu_sim::GpuConfig;
-use huffdec_container::ArchiveWriter;
-use huffdec_core::DecoderKind;
-use huffdec_serve::client::Client;
-use huffdec_serve::net::ListenAddr;
-use huffdec_serve::protocol::GetKind;
-use huffdec_serve::server::{Server, ServerConfig};
-use sz::{compress, SzConfig};
+use huffdec::container::ArchiveWriter;
+use huffdec::datasets::{dataset_by_name, generate};
+use huffdec::gpu_sim::GpuConfig;
+use huffdec::serve::client::Client;
+use huffdec::serve::net::ListenAddr;
+use huffdec::serve::protocol::GetKind;
+use huffdec::serve::server::{Server, ServerConfig};
+use huffdec::{Codec, DecoderKind};
 
 fn write_archive(dir: &std::path::Path, name: &str, dataset: &str, decoder: DecoderKind) -> String {
     let field = generate(&dataset_by_name(dataset).unwrap(), 50_000, 7);
-    let compressed = compress(&field, &SzConfig::paper_default(decoder));
+    let codec = Codec::builder()
+        .decoder(decoder)
+        .gpu_config(GpuConfig::test_tiny())
+        .host_threads(2)
+        .build()
+        .expect("paper configuration is valid");
+    let compressed = codec.compress_archive(&field).expect("field is non-empty");
     let path = dir.join(format!("{}.hfz", name));
     let file = std::fs::File::create(&path).unwrap();
     let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));

@@ -1,5 +1,10 @@
 //! `hfz` — the archive and serving CLI of the huffdec workspace.
 //!
+//! A thin shell over the facade: every subcommand builds one [`huffdec::Codec`]
+//! session and drives the pipeline through it, and every failure is a
+//! [`huffdec::HfzError`] mapped to a stable exit code (2 usage, 3 I/O, 4 corrupt
+//! archive, 5 decode, 6 protocol/remote, 7 verification failure).
+//!
 //! Local archive operations work on `HFZ1` files; remote operations talk to a running
 //! `hfzd` daemon (`hfz serve` starts one in the foreground):
 //!
@@ -24,18 +29,16 @@
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::process::ExitCode;
 
-use datasets::{dataset_by_name, generate, Dims, Field};
-use gpu_sim::{Gpu, GpuConfig};
-use huffdec_container::{read_info, ArchiveWriter, ContainerError, Snapshot};
-use huffdec_core::DecoderKind;
-use huffdec_serve::client::Client;
-use huffdec_serve::daemon::{run as run_daemon, DaemonOptions};
-use huffdec_serve::net::ListenAddr;
-use huffdec_serve::protocol::GetKind;
-use sz::{compress_on, decompress, verify_error_bound, Compressed, ErrorBound, SzConfig};
+use huffdec::container::ArchiveWriter;
+use huffdec::datasets::{dataset_by_name, generate, Dims};
+use huffdec::serve::client::Client;
+use huffdec::serve::daemon::{run as run_daemon, DaemonOptions};
+use huffdec::serve::net::ListenAddr;
+use huffdec::serve::protocol::GetKind;
+use huffdec::{Codec, DecoderKind, EncodeOutcome, ErrorBound, Field, FieldHandle, HfzError};
 
 /// `println!` that exits quietly instead of panicking when stdout has been closed
 /// (e.g. the output is piped into `head`).
@@ -66,13 +69,17 @@ fn main() -> ExitCode {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown subcommand '{}'\n\n{}", other, USAGE)),
+        Some(other) => Err(HfzError::Usage(format!(
+            "unknown subcommand '{}'\n\n{}",
+            other, USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("hfz: {}", message);
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("hfz: {}", error);
+            // The stable exit-code mapping documented on `HfzError`.
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -109,6 +116,9 @@ OPTIONS:
   --deep           also decode and check the decoded-stream CRC32 trailer
   --digest HEX     expected decoded-stream CRC32 (overrides the stored trailer)
   ADDR             tcp:HOST:PORT or unix:PATH
+
+EXIT CODES:
+  0 ok | 2 usage | 3 I/O | 4 corrupt archive | 5 decode | 6 protocol | 7 verify failed
 ";
 
 /// Minimal flag parser: positionals plus `--flag value` pairs (and bare `--flag`
@@ -122,7 +132,7 @@ struct Args {
 const SWITCHES: &[&str] = &["json", "deep", "codes", "snapshot", "all"];
 
 impl Args {
-    fn parse(args: &[String]) -> Result<Args, String> {
+    fn parse(args: &[String]) -> Result<Args, HfzError> {
         let mut positionals = Vec::new();
         let mut flags = Vec::new();
         let mut it = args.iter();
@@ -134,7 +144,7 @@ impl Args {
                 }
                 let value = it
                     .next()
-                    .ok_or_else(|| format!("flag --{} expects a value", name))?;
+                    .ok_or_else(|| HfzError::Usage(format!("flag --{} expects a value", name)))?;
                 flags.push((name.to_string(), value.clone()));
             } else {
                 positionals.push(arg.clone());
@@ -155,180 +165,176 @@ impl Args {
         self.get(name).is_some()
     }
 
-    fn require(&self, name: &str) -> Result<&str, String> {
+    fn require(&self, name: &str) -> Result<&str, HfzError> {
         self.get(name)
-            .ok_or_else(|| format!("missing required flag --{}", name))
+            .ok_or_else(|| HfzError::Usage(format!("missing required flag --{}", name)))
     }
 }
 
-fn parse_decoder(name: &str) -> Result<DecoderKind, String> {
+fn parse_decoder(name: &str) -> Result<DecoderKind, HfzError> {
     match name {
         "baseline" | "cusz" => Ok(DecoderKind::CuszBaseline),
         "original-self-sync" | "ori-self-sync" => Ok(DecoderKind::OriginalSelfSync),
         "self-sync" | "optimized-self-sync" => Ok(DecoderKind::OptimizedSelfSync),
         "gap" | "gap-array" => Ok(DecoderKind::OptimizedGapArray),
-        other => Err(format!("unknown decoder '{}'", other)),
+        other => Err(HfzError::Usage(format!("unknown decoder '{}'", other))),
     }
 }
 
-fn parse_error_bound(spec: &str) -> Result<ErrorBound, String> {
+fn parse_error_bound(spec: &str) -> Result<ErrorBound, HfzError> {
     let (mode, value) = spec
         .split_once(':')
-        .ok_or_else(|| format!("error bound '{}' is not MODE:VALUE", spec))?;
+        .ok_or_else(|| HfzError::Usage(format!("error bound '{}' is not MODE:VALUE", spec)))?;
     let value: f64 = value
         .parse()
-        .map_err(|_| format!("bad error-bound value '{}'", value))?;
-    if !value.is_finite() || value <= 0.0 {
-        return Err(format!(
-            "error bound must be positive and finite, got {}",
-            value
-        ));
-    }
+        .map_err(|_| HfzError::Usage(format!("bad error-bound value '{}'", value)))?;
     match mode {
         "rel" | "relative" => Ok(ErrorBound::Relative(value)),
         "abs" | "absolute" => Ok(ErrorBound::Absolute(value)),
-        other => Err(format!("unknown error-bound mode '{}'", other)),
+        other => Err(HfzError::Usage(format!(
+            "unknown error-bound mode '{}'",
+            other
+        ))),
     }
 }
 
-fn parse_dims(spec: &str) -> Result<Dims, String> {
+fn parse_dims(spec: &str) -> Result<Dims, HfzError> {
     let extents: Vec<usize> = spec
         .split(',')
         .map(|p| {
             p.trim()
                 .parse::<usize>()
-                .map_err(|_| format!("bad dimension '{}'", p))
+                .map_err(|_| HfzError::Usage(format!("bad dimension '{}'", p)))
         })
         .collect::<Result<_, _>>()?;
     if extents.is_empty() || extents.len() > 4 {
-        return Err("expected 1-4 comma-separated dimensions".to_string());
+        return Err(HfzError::Usage(
+            "expected 1-4 comma-separated dimensions".to_string(),
+        ));
     }
     if extents.contains(&0) {
-        return Err("dimensions must be non-zero".to_string());
+        return Err(HfzError::Usage("dimensions must be non-zero".to_string()));
     }
     Ok(Dims::from_slice(&extents))
 }
 
 /// Loads the field named by `--input`/`--dims` or `--dataset`/`--elements`/`--seed`.
-fn load_field(args: &Args) -> Result<Field, String> {
+fn load_field(args: &Args) -> Result<Field, HfzError> {
     match (args.get("input"), args.get("dataset")) {
         (Some(path), None) => {
             let dims = parse_dims(args.require("dims")?)?;
             let mut bytes = Vec::new();
             File::open(path)
                 .and_then(|mut f| f.read_to_end(&mut bytes))
-                .map_err(|e| format!("cannot read {}: {}", path, e))?;
+                .map_err(|e| HfzError::io(format!("cannot read {}", path), e))?;
             if bytes.len() != dims.len() * 4 {
-                return Err(format!(
+                return Err(HfzError::Usage(format!(
                     "{} holds {} bytes but dims {:?} need {}",
                     path,
                     bytes.len(),
                     dims.as_vec(),
                     dims.len() * 4
-                ));
+                )));
             }
             let data: Vec<f32> = bytes
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
                 .collect();
             if data.iter().any(|v| !v.is_finite()) {
-                return Err(format!("{} contains non-finite values", path));
+                return Err(HfzError::Usage(format!(
+                    "{} contains non-finite values",
+                    path
+                )));
             }
             Ok(Field::new(path.to_string(), dims, data))
         }
         (None, Some(name)) => {
-            let spec =
-                dataset_by_name(name).ok_or_else(|| format!("unknown dataset '{}'", name))?;
+            let spec = dataset_by_name(name)
+                .ok_or_else(|| HfzError::Usage(format!("unknown dataset '{}'", name)))?;
             let elements: usize = args
                 .require("elements")?
                 .parse()
-                .map_err(|_| "bad --elements value".to_string())?;
+                .map_err(|_| HfzError::Usage("bad --elements value".to_string()))?;
             let seed: u64 = args
                 .get("seed")
                 .unwrap_or("42")
                 .parse()
-                .map_err(|_| "bad --seed value".to_string())?;
+                .map_err(|_| HfzError::Usage("bad --seed value".to_string()))?;
             Ok(generate(&spec, elements, seed))
         }
-        (Some(_), Some(_)) => Err("--input and --dataset are mutually exclusive".to_string()),
-        (None, None) => Err("provide either --input FILE --dims ... or --dataset NAME".to_string()),
+        (Some(_), Some(_)) => Err(HfzError::Usage(
+            "--input and --dataset are mutually exclusive".to_string(),
+        )),
+        (None, None) => Err(HfzError::Usage(
+            "provide either --input FILE --dims ... or --dataset NAME".to_string(),
+        )),
     }
 }
 
-fn cli_gpu() -> Gpu {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    Gpu::with_host_threads(GpuConfig::v100(), threads)
-}
-
-fn connect(args: &Args) -> Result<Client, String> {
-    let addr = ListenAddr::parse(args.require("addr")?)?;
-    Client::connect(&addr).map_err(|e| format!("cannot connect to {}: {}", addr, e))
-}
-
-/// Parses and validates the shared compression options (`--decoder/--eb/--alphabet`).
-fn parse_sz_config(args: &Args) -> Result<SzConfig, String> {
-    let decoder = parse_decoder(args.get("decoder").unwrap_or("gap"))?;
-    let error_bound = parse_error_bound(args.get("eb").unwrap_or("rel:1e-3"))?;
+/// Builds the CLI's codec session from the shared compression flags
+/// (`--decoder/--eb/--alphabet`); value validation — alphabet size, error-bound
+/// range — happens in the builder.
+fn build_codec(args: &Args) -> Result<Codec, HfzError> {
     let alphabet_size: usize = args
         .get("alphabet")
         .unwrap_or("1024")
         .parse()
-        .map_err(|_| "bad --alphabet value".to_string())?;
-    if !(4..=65536).contains(&alphabet_size) || !alphabet_size.is_power_of_two() {
-        return Err("--alphabet must be a power of two in 4..=65536".to_string());
-    }
-    Ok(SzConfig {
-        error_bound,
-        alphabet_size,
-        decoder,
-    })
+        .map_err(|_| HfzError::Usage("bad --alphabet value".to_string()))?;
+    Codec::builder()
+        .decoder(parse_decoder(args.get("decoder").unwrap_or("gap"))?)
+        .error_bound(parse_error_bound(args.get("eb").unwrap_or("rel:1e-3"))?)
+        .alphabet_size(alphabet_size)
+        .host_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+        .build()
 }
 
-fn compress_one(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, String) {
-    let (compressed, stats) = compress_on(gpu, field, config);
-    let phases = stats
+fn connect(args: &Args) -> Result<Client, HfzError> {
+    let addr = ListenAddr::parse(args.require("addr")?)?;
+    Client::connect(&addr)
+        .map_err(|e| HfzError::Protocol(format!("cannot connect to {}: {}", addr, e)))
+}
+
+fn encode_report(outcome: &EncodeOutcome) -> String {
+    let phases = outcome
+        .stats
         .encode
         .phases()
         .iter()
         .map(|(name, p)| format!("{} {:.3} ms", name, p.seconds * 1e3))
         .collect::<Vec<_>>()
         .join(" | ");
-    let report = format!(
+    format!(
         "encode: {:.3} ms simulated ({:.1} GB/s on quant codes, {:.1} GB/s overall) [{}]",
-        stats.encode.total_seconds() * 1e3,
-        stats.encode_throughput_gbs(compressed.quant_code_bytes()),
-        stats.overall_throughput_gbs(compressed.original_bytes()),
+        outcome.stats.encode.total_seconds() * 1e3,
+        outcome.encode_throughput_gbs(),
+        outcome.overall_throughput_gbs(),
         phases
-    );
-    (compressed, report)
+    )
 }
 
-fn cmd_compress(rest: &[String]) -> Result<(), String> {
+fn cmd_compress(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
+    let codec = build_codec(&args)?;
     if args.has("snapshot") {
-        return cmd_compress_snapshot(&args);
+        return cmd_compress_snapshot(&codec, &args);
     }
     let field = load_field(&args)?;
     let output = args.require("output")?;
-    let config = parse_sz_config(&args)?;
-
-    if field.is_empty() {
-        return Err("input field is empty; nothing to compress".to_string());
-    }
 
     // Encode on the simulated GPU (bit-identical to the host encoder) so the encoder
-    // throughput can be reported alongside the archive.
-    let gpu = cli_gpu();
-    let (compressed, encode_report) = compress_one(&gpu, &field, &config);
+    // throughput can be reported alongside the archive. An empty field is a usage
+    // error from the session itself.
+    let outcome = codec.compress(&field)?;
 
-    let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let file =
+        File::create(output).map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
     let mut writer = ArchiveWriter::new(BufWriter::new(file));
-    let written = writer
-        .write_compressed(&compressed)
-        .map_err(|e| e.to_string())?;
-    writer.into_inner().map_err(|e| e.to_string())?;
+    let written = writer.write_compressed(&outcome.archive)?;
+    writer.into_inner()?;
 
     out!(
         "{}: {} elements ({} bytes) -> {} ({} bytes, {:.2}x)",
@@ -339,10 +345,10 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
         written,
         field.bytes() as f64 / written as f64
     );
-    out!("{}", encode_report);
-    let file = File::open(output).map_err(|e| format!("cannot reopen {}: {}", output, e))?;
-    let info = read_info(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
-    out!("{}", info);
+    out!("{}", encode_report(&outcome));
+    // Post-write report: the cheap structural summary, not a full decode-state open.
+    let summary = codec.inspect_archive(output)?;
+    out!("{}", summary.infos()[0]);
     Ok(())
 }
 
@@ -350,47 +356,49 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
 /// archive with a manifest. Field *i* is generated with `--seed + i`, so any field can
 /// be reproduced standalone (`hfz compress --dataset NAME --seed S+i`) and compared
 /// byte-for-byte against a manifest-seek extraction.
-fn cmd_compress_snapshot(args: &Args) -> Result<(), String> {
+fn cmd_compress_snapshot(codec: &Codec, args: &Args) -> Result<(), HfzError> {
     let names: Vec<&str> = args.require("dataset")?.split(',').collect();
     if names.len() < 2 {
-        return Err("--snapshot expects at least two comma-separated datasets".to_string());
+        return Err(HfzError::Usage(
+            "--snapshot expects at least two comma-separated datasets".to_string(),
+        ));
     }
     let output = args.require("output")?;
-    let config = parse_sz_config(args)?;
     let elements: usize = args
         .require("elements")?
         .parse()
-        .map_err(|_| "bad --elements value".to_string())?;
+        .map_err(|_| HfzError::Usage("bad --elements value".to_string()))?;
     let seed: u64 = args
         .get("seed")
         .unwrap_or("42")
         .parse()
-        .map_err(|_| "bad --seed value".to_string())?;
+        .map_err(|_| HfzError::Usage("bad --seed value".to_string()))?;
 
-    let gpu = cli_gpu();
-    let mut fields: Vec<(String, Compressed)> = Vec::with_capacity(names.len());
+    let mut fields: Vec<(String, huffdec::Compressed)> = Vec::with_capacity(names.len());
     for (i, name) in names.iter().enumerate() {
-        let spec = dataset_by_name(name).ok_or_else(|| format!("unknown dataset '{}'", name))?;
+        let spec = dataset_by_name(name)
+            .ok_or_else(|| HfzError::Usage(format!("unknown dataset '{}'", name)))?;
         let field = generate(&spec, elements, seed + i as u64);
-        let (compressed, encode_report) = compress_one(&gpu, &field, &config);
+        let outcome = codec.compress(&field)?;
         out!(
             "field {} '{}': {} elements, {}",
             i,
             spec.name,
             field.len(),
-            encode_report
+            encode_report(&outcome)
         );
-        fields.push((spec.name.to_string(), compressed));
+        fields.push((spec.name.to_string(), outcome.archive));
     }
-    let refs: Vec<(&str, &Compressed)> = fields
+    let refs: Vec<(&str, &huffdec::Compressed)> = fields
         .iter()
         .map(|(name, compressed)| (name.as_str(), compressed))
         .collect();
 
-    let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let file =
+        File::create(output).map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
     let mut writer = ArchiveWriter::new(BufWriter::new(file));
-    let written = writer.write_snapshot(&refs).map_err(|e| e.to_string())?;
-    writer.into_inner().map_err(|e| e.to_string())?;
+    let written = writer.write_snapshot(&refs)?;
+    writer.into_inner()?;
 
     let original: u64 = fields.iter().map(|(_, c)| c.original_bytes()).sum();
     out!(
@@ -401,79 +409,76 @@ fn cmd_compress_snapshot(args: &Args) -> Result<(), String> {
         written,
         original as f64 / written as f64
     );
-    let bytes = read_archive_file(output)?;
-    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
+    let summary = codec.inspect_archive(output)?;
     out!(
         "{}",
-        snapshot.manifest().expect("snapshot writes a manifest")
+        summary.manifest().expect("snapshot writes a manifest")
     );
     Ok(())
 }
 
-fn write_f32(path: &str, data: &[f32]) -> Result<(), String> {
-    let out = File::create(path).map_err(|e| format!("cannot create {}: {}", path, e))?;
+fn write_f32(path: &str, data: &[f32]) -> Result<(), HfzError> {
+    let out = File::create(path).map_err(|e| HfzError::io(format!("cannot create {}", path), e))?;
     let mut out = BufWriter::new(out);
     for v in data {
         out.write_all(&v.to_le_bytes())
-            .map_err(|e| format!("write failed: {}", e))?;
+            .map_err(|e| HfzError::io("write failed", e))?;
     }
-    out.flush().map_err(|e| format!("write failed: {}", e))
+    out.flush().map_err(|e| HfzError::io("write failed", e))
 }
 
-/// Decompresses one already-read field archive to `output` and reports the timing.
+/// Decompresses one field of an opened archive to `output` and reports the timing.
 fn decompress_to(
-    gpu: &Gpu,
-    archive: huffdec_container::Archive,
+    codec: &Codec,
+    field: &FieldHandle,
     label: &str,
     output: &str,
-) -> Result<(), String> {
-    let compressed = archive
-        .into_field()
-        .ok_or_else(|| format!("{} is payload-only; nothing to reconstruct", label))?;
-    // A CRC-valid archive whose payload disagrees with its decoder tag surfaces here as
-    // a typed error, reported through `ContainerError` like any other invalid archive.
-    let decompressed =
-        decompress(gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
-    write_f32(output, &decompressed.data)?;
+) -> Result<(), HfzError> {
+    let Some(compressed) = field.compressed() else {
+        return Err(HfzError::Usage(format!(
+            "{} is payload-only; nothing to reconstruct",
+            label
+        )));
+    };
+    // A CRC-valid archive whose payload disagrees with its decoder tag surfaces here
+    // as a typed decode error.
+    let decoded = codec.decompress_field(field)?;
+    write_f32(output, &decoded.data)?;
     out!(
         "{} -> {}: {} elements, simulated decompression {:.3} ms ({:.1} GB/s overall)",
         label,
         output,
-        decompressed.data.len(),
-        decompressed.stats.total_seconds * 1e3,
-        decompressed
-            .stats
-            .overall_throughput_gbs(compressed.original_bytes())
+        decoded.data.len(),
+        decoded.stats.total_seconds * 1e3,
+        decoded.overall_throughput_gbs(compressed.original_bytes())
     );
     Ok(())
 }
 
-fn cmd_decompress(rest: &[String]) -> Result<(), String> {
+fn cmd_decompress(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let archive_path = args
         .positionals
         .first()
-        .ok_or_else(|| "expected an archive path".to_string())?;
-    let bytes = read_archive_file(archive_path)?;
-    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
-    let gpu = cli_gpu();
+        .ok_or_else(|| HfzError::Usage("expected an archive path".to_string()))?;
+    let codec = Codec::paper_default();
+    let handle = codec.open_archive(archive_path)?;
 
     // `--all`: every field into --output-dir, named by the manifest (or by index for
     // manifest-less files).
     if args.has("all") {
         let dir = args.require("output-dir")?;
-        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {}", dir, e))?;
-        let count = snapshot.field_count().map_err(|e| e.to_string())?;
-        for index in 0..count {
-            let name = snapshot
-                .manifest()
-                .map(|m| m.entries()[index].name.clone())
+        std::fs::create_dir_all(dir)
+            .map_err(|e| HfzError::io(format!("cannot create {}", dir), e))?;
+        for (index, field) in handle.fields().iter().enumerate() {
+            let name = field
+                .name()
+                .map(str::to_string)
                 .unwrap_or_else(|| format!("field{}", index));
-            let archive = snapshot.read_field(index).map_err(|e| e.to_string())?;
             let output = format!("{}/{}.f32", dir.trim_end_matches('/'), name);
             decompress_to(
-                &gpu,
-                archive,
+                &codec,
+                field,
                 &format!("{}[{}]", archive_path, name),
                 &output,
             )?;
@@ -482,74 +487,49 @@ fn cmd_decompress(rest: &[String]) -> Result<(), String> {
     }
 
     let output = args.require("output")?;
-    // `--field NAME|INDEX`: seek straight to one field via the manifest.
-    if let Some(field) = args.get("field") {
-        let archive = match field.parse::<usize>() {
-            Ok(index) => snapshot.read_field(index),
-            Err(_) => snapshot.read_field_by_name(field),
-        }
-        .map_err(|e| e.to_string())?;
+    // `--field NAME|INDEX`: one field, resolved through the manifest.
+    if let Some(selector) = args.get("field") {
+        let field = handle.field_by_selector(selector)?;
         return decompress_to(
-            &gpu,
-            archive,
-            &format!("{}[{}]", archive_path, field),
+            &codec,
+            field,
+            &format!("{}[{}]", archive_path, selector),
             output,
         );
     }
 
     // Bare decompress: the whole file must be (or start with) a single field. A
     // multi-field snapshot without a field selector is ambiguous — refuse it.
-    if let Some(manifest) = snapshot.manifest() {
-        if manifest.len() > 1 {
-            return Err(format!(
-                "snapshot has {} fields; pass --field NAME or --all --output-dir DIR",
-                manifest.len()
-            ));
-        }
+    if handle.manifest().is_some() && handle.len() > 1 {
+        return Err(HfzError::Usage(format!(
+            "snapshot has {} fields; pass --field NAME or --all --output-dir DIR",
+            handle.len()
+        )));
     }
-    let archive = snapshot.read_field(0).map_err(|e| e.to_string())?;
-    decompress_to(&gpu, archive, archive_path, output)
+    decompress_to(&codec, handle.field(0)?, archive_path, output)
 }
 
-/// Reads a whole archive file so the CLI can insist the file holds exactly a sequence
-/// of archives and nothing else (trailing bytes after the last end marker are reported,
-/// unlike the streaming reader, which by design leaves the stream open for the next
-/// archive).
-fn read_archive_file(path: &str) -> Result<Vec<u8>, String> {
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
-        .map_err(|e| format!("cannot open {}: {}", path, e))?;
-    Ok(bytes)
-}
-
-fn cmd_inspect(rest: &[String]) -> Result<(), String> {
+fn cmd_inspect(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let archive_path = args
         .positionals
         .first()
-        .ok_or_else(|| "expected an archive path".to_string())?;
-    let bytes = read_archive_file(archive_path)?;
+        .ok_or_else(|| HfzError::Usage("expected an archive path".to_string()))?;
     let json = args.has("json");
-    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
-    let mut rest = snapshot.archive_bytes();
-    let mut infos = Vec::new();
-    while !rest.is_empty() {
-        infos.push(read_info(&mut rest).map_err(|e| e.to_string())?);
-    }
-    if infos.is_empty() {
-        return Err("file is empty".to_string());
-    }
+    let codec = Codec::paper_default();
+    // Inspection is metadata-only: headers and section tables, no decode structures.
+    let summary = codec.inspect_archive(archive_path)?;
     if json {
         // Machine-readable for hfzd tooling and tests (no screen-scraping): plain files
         // keep the one-object-per-archive array; snapshot files wrap it with their
         // manifest.
-        let body = infos
+        let body = summary
+            .infos()
             .iter()
-            .map(|i| i.to_json())
+            .map(|info| info.to_json())
             .collect::<Vec<_>>()
             .join(",");
-        match snapshot.manifest() {
+        match summary.manifest() {
             Some(manifest) => out!(
                 "{{\"manifest\":{},\"archives\":[{}]}}",
                 manifest.to_json(),
@@ -558,11 +538,11 @@ fn cmd_inspect(rest: &[String]) -> Result<(), String> {
             None => out!("[{}]", body),
         }
     } else {
-        if let Some(manifest) = snapshot.manifest() {
+        if let Some(manifest) = summary.manifest() {
             out!("{}", manifest);
             out!();
         }
-        for (i, info) in infos.iter().enumerate() {
+        for (i, info) in summary.infos().iter().enumerate() {
             if i > 0 {
                 out!();
             }
@@ -572,7 +552,7 @@ fn cmd_inspect(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(rest: &[String]) -> Result<(), String> {
+fn cmd_verify(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     if args.has("addr") {
         return cmd_verify_remote(&args);
@@ -580,41 +560,33 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     let archive_path = args
         .positionals
         .first()
-        .ok_or_else(|| "expected an archive path".to_string())?;
-    let bytes = read_archive_file(archive_path)?;
+        .ok_or_else(|| HfzError::Usage("expected an archive path".to_string()))?;
 
-    // Manifest pass (snapshot archives): framing, checksum, and shard-extent
-    // validation of the index happen inside `Snapshot::parse`.
-    let snapshot = Snapshot::parse(&bytes).map_err(|e| e.to_string())?;
-    if let Some(manifest) = snapshot.manifest() {
+    // Opening the session is itself the structural pass: manifest framing/checksum and
+    // shard-extent validation, then framing, checksums, and reassembly of every
+    // archive in the file. Anything left over after the last end marker is corruption,
+    // not slack.
+    let codec = Codec::paper_default();
+    let handle = codec.open_archive(archive_path)?;
+    if let Some(manifest) = handle.manifest() {
         out!(
             "manifest:  ok ({} fields, {} shard bytes)",
             manifest.len(),
             manifest.shard_bytes()
         );
     }
-
-    // Structural pass: framing and checksums of every archive in the file; anything
-    // left over after the last end marker is corruption, not slack.
-    let mut cursor = snapshot.archive_bytes();
-    let mut count = 0;
-    while !cursor.is_empty() {
-        let info = read_info(&mut cursor).map_err(|e| e.to_string())?;
-        count += 1;
+    for (i, field) in handle.fields().iter().enumerate() {
         out!(
             "structure: ok (archive {}: {} sections, {} bytes)",
-            count,
-            info.sections.len(),
-            info.total_bytes
+            i + 1,
+            field.info().sections.len(),
+            field.info().total_bytes
         );
     }
-    if count == 0 {
-        return Err("file is empty".to_string());
-    }
-    if count > 1 && snapshot.manifest().is_none() {
+    if handle.len() > 1 && handle.manifest().is_none() {
         out!(
             "note: file concatenates {} archives; verifying the first",
-            count
+            handle.len()
         );
     }
 
@@ -623,57 +595,51 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
         .get("digest")
         .map(|hex| u32::from_str_radix(hex.trim_start_matches("0x"), 16))
         .transpose()
-        .map_err(|_| "bad --digest value (expected hex CRC32)".to_string())?;
-    let gpu = cli_gpu();
+        .map_err(|_| HfzError::Usage("bad --digest value (expected hex CRC32)".to_string()))?;
 
-    // Multi-field snapshots: reassemble every field (cross-checked against its
-    // manifest entry), and — under --deep — decode each and check its stored digest.
-    // A semantically corrupt field anywhere in the snapshot must fail verification,
-    // exactly as the daemon's VERIFY does.
-    if snapshot.manifest().map(|m| m.len() > 1).unwrap_or(false) {
+    // Multi-field snapshots: every field was already reassembled (cross-checked
+    // against its manifest entry) by the open, and — under --deep — each is decoded
+    // and checked against its stored digest. A semantically corrupt field anywhere in
+    // the snapshot must fail verification, exactly as the daemon's VERIFY does.
+    if handle.manifest().map(|m| m.len() > 1).unwrap_or(false) {
         if expected_digest.is_some() {
-            return Err(
+            return Err(HfzError::Usage(
                 "--digest applies to single-field archives; use --deep for snapshots".to_string(),
-            );
+            ));
         }
         if args.get("input").is_some() || args.get("dataset").is_some() {
-            return Err(
+            return Err(HfzError::Usage(
                 "--input/--dataset bound checks apply to single-field archives".to_string(),
-            );
+            ));
         }
-        let manifest = snapshot.manifest().expect("checked above");
-        for (index, entry) in manifest.entries().iter().enumerate() {
-            let archive = snapshot.read_field(index).map_err(|e| e.to_string())?;
+        for field in handle.fields() {
+            let name = field.name().expect("manifest-backed fields carry names");
             out!(
                 "contents:  ok (field '{}': {} symbols, decoder {})",
-                entry.name,
-                archive.payload().num_symbols(),
-                archive.decoder().name()
+                name,
+                field.archive().payload().num_symbols(),
+                field.decoder().name()
             );
             if deep {
-                let decoded = huffdec_core::decode(&gpu, archive.decoder(), archive.payload())
-                    .map_err(|e| ContainerError::from(e).to_string())?;
-                let computed = huffdec_core::crc32_symbols(&decoded.symbols);
-                let stored = match &archive {
-                    huffdec_container::Archive::Field(c) => c.decoded_crc,
-                    huffdec_container::Archive::Payload { .. } => None,
-                };
+                let decoded = codec.decode_field_codes(field)?;
+                let computed = huffdec::core_decoders::crc32_symbols(&decoded.symbols);
+                let stored = field.compressed().and_then(|c| c.decoded_crc);
                 match stored {
                     Some(expected) if computed != expected => {
-                        return Err(format!(
+                        return Err(HfzError::Verify(format!(
                             "deep verification failed: field '{}' digests to {:08x}, expected {:08x}",
-                            entry.name, computed, expected
-                        ));
+                            name, computed, expected
+                        )));
                     }
                     Some(_) => out!(
                         "deep:      ok (field '{}': decoded CRC32 {:08x} over {} symbols)",
-                        entry.name,
+                        name,
                         computed,
                         decoded.symbols.len()
                     ),
                     None => out!(
                         "deep:      field '{}' stores no decoded-stream digest",
-                        entry.name
+                        name
                     ),
                 }
             }
@@ -681,35 +647,32 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    // Semantic pass: full reassembly (cross-checked against the manifest entry when
-    // the file carries one).
-    let archive = snapshot.read_field(0).map_err(|e| e.to_string())?;
+    // Single field (or the first archive of a manifest-less concatenation).
+    let field = handle.field(0)?;
     out!(
         "contents:  ok ({} symbols, decoder {})",
-        archive.payload().num_symbols(),
-        archive.decoder().name()
+        field.archive().payload().num_symbols(),
+        field.decoder().name()
     );
 
     // Deep pass: decode the symbol stream and check it against the decoded-stream
     // digest (the stored trailer, or a caller-supplied --digest). This catches archives
     // whose sections are individually CRC-valid but decode to the wrong codes.
     if deep || expected_digest.is_some() {
-        let decoded = huffdec_core::decode(&gpu, archive.decoder(), archive.payload())
-            .map_err(|e| ContainerError::from(e).to_string())?;
-        let computed = huffdec_core::crc32_symbols(&decoded.symbols);
-        let stored = match &archive {
-            huffdec_container::Archive::Field(c) => c.decoded_crc,
-            huffdec_container::Archive::Payload { .. } => None,
-        };
+        let decoded = codec.decode_field_codes(field)?;
+        let computed = huffdec::core_decoders::crc32_symbols(&decoded.symbols);
+        let stored = field.compressed().and_then(|c| c.decoded_crc);
         let expected = expected_digest.or(stored).ok_or_else(|| {
-            "archive stores no decoded-stream digest; pass --digest HEX to check against one"
-                .to_string()
+            HfzError::Usage(
+                "archive stores no decoded-stream digest; pass --digest HEX to check against one"
+                    .to_string(),
+            )
         })?;
         if computed != expected {
-            return Err(format!(
+            return Err(HfzError::Verify(format!(
                 "deep verification failed: decoded stream digests to {:08x}, expected {:08x}",
                 computed, expected
-            ));
+            )));
         }
         out!(
             "deep:      ok (decoded CRC32 {:08x} over {} symbols)",
@@ -718,72 +681,77 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
         );
     }
 
-    let Some(compressed) = archive.into_field() else {
+    let Some(compressed) = field.compressed() else {
         out!("payload-only archive: nothing further to verify");
         return Ok(());
     };
 
     // Reconstruction pass: decode and check the error bound against the original when
     // one is provided.
-    let decompressed =
-        decompress(&gpu, &compressed).map_err(|e| ContainerError::from(e).to_string())?;
+    let decompressed = codec.decompress_field(field)?;
     out!(
         "decode:    ok ({} elements reconstructed)",
         decompressed.data.len()
     );
 
     if args.get("input").is_some() || args.get("dataset").is_some() {
-        let field = load_field(&args)?;
-        if field.len() != decompressed.data.len() {
-            return Err(format!(
+        let original = load_field(&args)?;
+        if original.len() != decompressed.data.len() {
+            return Err(HfzError::Verify(format!(
                 "original has {} elements, archive reconstructs {}",
-                field.len(),
+                original.len(),
                 decompressed.data.len()
-            ));
+            )));
         }
         let bound = compressed
             .config
             .error_bound
-            .to_absolute(field.range_span() as f64);
-        match verify_error_bound(&field.data, &decompressed.data, bound) {
+            .to_absolute(original.range_span() as f64);
+        match huffdec::sz::verify_error_bound(&original.data, &decompressed.data, bound) {
             None => out!("bound:     ok (|error| <= {:e} everywhere)", bound),
             Some(idx) => {
-                return Err(format!(
+                return Err(HfzError::Verify(format!(
                     "error bound {:e} violated at element {}: {} vs {}",
-                    bound, idx, field.data[idx], decompressed.data[idx]
-                ))
+                    bound, idx, original.data[idx], decompressed.data[idx]
+                )))
             }
         }
     }
     Ok(())
 }
 
-fn cmd_verify_remote(args: &Args) -> Result<(), String> {
+fn cmd_verify_remote(args: &Args) -> Result<(), HfzError> {
     let archive = args.require("archive")?;
     let mut client = connect(args)?;
-    let report = client.verify(archive).map_err(|e| e.to_string())?;
+    let report = client.verify(archive)?;
     out!("{}", report.trim_end());
     if report.contains("DIGEST MISMATCH") {
-        return Err("remote deep verification reported digest failures".to_string());
+        return Err(HfzError::Verify(
+            "remote deep verification reported digest failures".to_string(),
+        ));
     }
     Ok(())
 }
 
-fn cmd_serve(rest: &[String]) -> Result<(), String> {
-    let options = DaemonOptions::parse(rest)?;
+fn cmd_serve(rest: &[String]) -> Result<(), HfzError> {
+    let options = DaemonOptions::parse(rest).map_err(HfzError::Usage)?;
     run_daemon(&options)
 }
 
-fn parse_range(spec: &str) -> Result<(u64, u64), String> {
+fn parse_range(spec: &str) -> Result<(u64, u64), HfzError> {
     let (start, len) = spec
         .split_once(':')
-        .ok_or_else(|| format!("range '{}' is not START:LEN", spec))?;
-    let start: u64 = start.parse().map_err(|_| "bad range start".to_string())?;
-    let len: u64 = len.parse().map_err(|_| "bad range length".to_string())?;
+        .ok_or_else(|| HfzError::Usage(format!("range '{}' is not START:LEN", spec)))?;
+    let start: u64 = start
+        .parse()
+        .map_err(|_| HfzError::Usage("bad range start".to_string()))?;
+    let len: u64 = len
+        .parse()
+        .map_err(|_| HfzError::Usage("bad range length".to_string()))?;
     Ok((start, len))
 }
 
-fn cmd_get(rest: &[String]) -> Result<(), String> {
+fn cmd_get(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let archive = args.require("archive")?;
     let output = args.require("output")?;
@@ -791,7 +759,7 @@ fn cmd_get(rest: &[String]) -> Result<(), String> {
         .get("field")
         .unwrap_or("0")
         .parse()
-        .map_err(|_| "bad --field value".to_string())?;
+        .map_err(|_| HfzError::Usage("bad --field value".to_string()))?;
     let kind = if args.has("codes") {
         GetKind::Codes
     } else {
@@ -800,15 +768,14 @@ fn cmd_get(rest: &[String]) -> Result<(), String> {
     let range = args.get("range").map(parse_range).transpose()?;
 
     let mut client = connect(&args)?;
-    let result = client
-        .get(archive, field, kind, range)
-        .map_err(|e| e.to_string())?;
+    let result = client.get(archive, field, kind, range)?;
 
-    let file = File::create(output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+    let file =
+        File::create(output).map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
     let mut file = BufWriter::new(file);
     file.write_all(&result.bytes)
         .and_then(|_| file.flush())
-        .map_err(|e| format!("write failed: {}", e))?;
+        .map_err(|e| HfzError::io("write failed", e))?;
 
     out!(
         "{}[{}] -> {}: {} {} elements ({} bytes){}{}",
@@ -835,7 +802,7 @@ fn cmd_get(rest: &[String]) -> Result<(), String> {
 /// `hfz batch`: one `GETBATCH` round trip fetching several whole fields; the daemon
 /// decodes every cache miss as a single batched wave. Each field lands in
 /// `PREFIX.<index>`.
-fn cmd_batch(rest: &[String]) -> Result<(), String> {
+fn cmd_batch(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let archive = args.require("archive")?;
     let prefix = args.require("output-prefix")?;
@@ -845,11 +812,13 @@ fn cmd_batch(rest: &[String]) -> Result<(), String> {
         .map(|p| {
             p.trim()
                 .parse::<u32>()
-                .map_err(|_| format!("bad field index '{}'", p))
+                .map_err(|_| HfzError::Usage(format!("bad field index '{}'", p)))
         })
         .collect::<Result<_, _>>()?;
     if fields.is_empty() {
-        return Err("--fields expects at least one index".to_string());
+        return Err(HfzError::Usage(
+            "--fields expects at least one index".to_string(),
+        ));
     }
     let kind = if args.has("codes") {
         GetKind::Codes
@@ -858,17 +827,16 @@ fn cmd_batch(rest: &[String]) -> Result<(), String> {
     };
 
     let mut client = connect(&args)?;
-    let items = client
-        .get_batch(archive, kind, &fields)
-        .map_err(|e| e.to_string())?;
+    let items = client.get_batch(archive, kind, &fields)?;
     let mut cached = 0u32;
     for (field, item) in fields.iter().zip(&items) {
         let output = format!("{}.{}", prefix, field);
-        let file = File::create(&output).map_err(|e| format!("cannot create {}: {}", output, e))?;
+        let file = File::create(&output)
+            .map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
         let mut file = BufWriter::new(file);
         file.write_all(&item.bytes)
             .and_then(|_| file.flush())
-            .map_err(|e| format!("write failed: {}", e))?;
+            .map_err(|e| HfzError::io("write failed", e))?;
         cached += item.from_cache as u32;
         out!(
             "{}[{}] -> {}: {} {} elements ({} bytes){}",
@@ -890,34 +858,34 @@ fn cmd_batch(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list(rest: &[String]) -> Result<(), String> {
+fn cmd_list(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let mut client = connect(&args)?;
-    out!("{}", client.list().map_err(|e| e.to_string())?);
+    out!("{}", client.list()?);
     Ok(())
 }
 
-fn cmd_stats(rest: &[String]) -> Result<(), String> {
+fn cmd_stats(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let mut client = connect(&args)?;
-    out!("{}", client.stats().map_err(|e| e.to_string())?);
+    out!("{}", client.stats()?);
     Ok(())
 }
 
-fn cmd_load(rest: &[String]) -> Result<(), String> {
+fn cmd_load(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let name = args.require("name")?;
     let path = args.require("path")?;
     let mut client = connect(&args)?;
-    let fields = client.load(name, path).map_err(|e| e.to_string())?;
+    let fields = client.load(name, path)?;
     out!("loaded '{}' from {} ({} fields)", name, path, fields);
     Ok(())
 }
 
-fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
+fn cmd_shutdown(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let mut client = connect(&args)?;
-    client.shutdown().map_err(|e| e.to_string())?;
+    client.shutdown()?;
     out!("daemon is shutting down");
     Ok(())
 }

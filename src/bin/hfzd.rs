@@ -10,7 +10,8 @@
 
 use std::process::ExitCode;
 
-use huffdec_serve::daemon::{run, DaemonOptions};
+use huffdec::serve::daemon::{run, DaemonOptions};
+use huffdec::HfzError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,15 +22,19 @@ fn main() -> ExitCode {
             "hfzd — HFZ1 block-decode daemon\n\n\
              USAGE:\n  hfzd [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]... [--host-threads N]\n\n\
              ADDR is tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH; default {}",
-            huffdec_serve::daemon::DEFAULT_LISTEN
+            huffdec::serve::daemon::DEFAULT_LISTEN
         );
         return ExitCode::SUCCESS;
     }
-    match DaemonOptions::parse(&args).and_then(|options| run(&options)) {
+    let result = DaemonOptions::parse(&args)
+        .map_err(HfzError::Usage)
+        .and_then(|options| run(&options));
+    match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("hfzd: {}", message);
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("hfzd: {}", error);
+            // The same stable exit-code mapping the `hfz` CLI uses.
+            ExitCode::from(error.exit_code())
         }
     }
 }

@@ -1,5 +1,51 @@
-//! Workspace facade crate. Re-exports the public API of all member crates so that
-//! examples and integration tests can use a single dependency.
+//! # huffdec — the public API of the workspace
+//!
+//! The supported surface is the **session API** re-exported at the crate root: build a
+//! [`Codec`] once (it owns the simulated device, the worker-thread budget, and the
+//! compression configuration), then drive the whole pipeline through it — compress,
+//! decompress, batched waves, archive sessions with cached decode state, and one
+//! unified error type ([`HfzError`]) with a stable CLI exit-code mapping.
+//!
+//! ```
+//! use huffdec::{Codec, DecoderKind, ErrorBound};
+//! use huffdec::datasets::{dataset_by_name, generate};
+//!
+//! let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, 42);
+//!
+//! let codec = Codec::builder()
+//!     .gpu_config(huffdec::gpu_sim::GpuConfig::test_tiny())
+//!     .decoder(DecoderKind::OptimizedGapArray)
+//!     .error_bound(ErrorBound::Relative(1e-3))
+//!     .host_threads(2)
+//!     .build()
+//!     .unwrap();
+//!
+//! let encoded = codec.compress(&field).unwrap();
+//! let decoded = codec.decompress(&encoded.archive).unwrap();
+//! assert_eq!(decoded.data.len(), field.len());
+//! ```
+//!
+//! The member crates remain available below as **low-level building blocks** — the
+//! decoders, the gpu simulator, the container codecs, and the free functions the
+//! session API is built from. They are public and stable for kernel-level work
+//! (benchmark ablations, custom pipelines), but new consumers should start from
+//! [`Codec`]; everything in-tree (the `hfz`/`hfzd` binaries, the serving daemon, the
+//! bench harness, the examples) goes through it.
+
+// ----- the session API (the supported surface) -----
+
+pub use huffdec_codec::{
+    ArchiveHandle, ArchiveSummary, BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome,
+    EncodeOutcome, FieldHandle, HfzError,
+};
+
+// Companion types the session API speaks in.
+pub use datasets::Field;
+pub use huffdec_core::DecoderKind;
+pub use sz::{Compressed, ErrorBound, SzConfig};
+
+// ----- low-level building blocks (member crates, re-exported wholesale) -----
+
 pub use datasets;
 pub use gpu_sim;
 pub use huffdec_container as container;

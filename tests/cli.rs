@@ -1,7 +1,7 @@
 //! End-to-end `hfz` CLI behaviour: degenerate inputs must surface as clean errors
-//! (exit code 1 + message), never as panics; the compress path must report the
-//! simulated encoder throughput; and the serving subcommands must round-trip through
-//! a real `hfz serve` daemon process.
+//! (the stable `HfzError` exit codes + a message), never as panics; the compress path
+//! must report the simulated encoder throughput; and the serving subcommands must
+//! round-trip through a real `hfz serve` daemon process.
 
 use std::io::BufRead;
 use std::process::{Command, Stdio};
@@ -463,7 +463,8 @@ fn unknown_field_and_malformed_archive_are_typed_errors_with_nonzero_exit() {
         .unwrap()
         .success());
 
-    // Unknown field name: typed message naming the field, exit 1, no Debug panic.
+    // Unknown field name: typed message naming the field, the corrupt-archive exit
+    // code (4), no Debug panic.
     let result = hfz()
         .args([
             "decompress",
@@ -475,7 +476,7 @@ fn unknown_field_and_malformed_archive_are_typed_errors_with_nonzero_exit() {
         ])
         .output()
         .unwrap();
-    assert_eq!(result.status.code(), Some(1));
+    assert_eq!(result.status.code(), Some(4));
     let stderr = String::from_utf8_lossy(&result.stderr);
     assert!(
         stderr.contains("hfz:") && stderr.contains("no field 'NOPE'"),
@@ -496,7 +497,7 @@ fn unknown_field_and_malformed_archive_are_typed_errors_with_nonzero_exit() {
         ])
         .output()
         .unwrap();
-    assert_eq!(result.status.code(), Some(1));
+    assert_eq!(result.status.code(), Some(4));
     let stderr = String::from_utf8_lossy(&result.stderr);
     assert!(stderr.contains("hfz:"), "stderr: {}", stderr);
     assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
@@ -512,7 +513,7 @@ fn unknown_field_and_malformed_archive_are_typed_errors_with_nonzero_exit() {
             .args([subcommand, bad.to_str().unwrap()])
             .output()
             .unwrap();
-        assert_eq!(result.status.code(), Some(1), "{} must fail", subcommand);
+        assert_eq!(result.status.code(), Some(4), "{} must fail", subcommand);
         let stderr = String::from_utf8_lossy(&result.stderr);
         assert!(
             stderr.contains("hfz:") && stderr.contains("checksum mismatch"),
