@@ -216,26 +216,25 @@ impl Table {
     /// Renders the table as a JSON object: `{"title", "headers", "rows"}`, every cell a
     /// string exactly as printed.
     pub fn to_json(&self) -> String {
-        let quote_row = |cells: &[String]| {
-            format!(
-                "[{}]",
-                cells
-                    .iter()
-                    .map(|c| format!("\"{}\"", huffdec_container::json_escape(c)))
-                    .collect::<Vec<_>>()
-                    .join(",")
-            )
+        let quote_row = |w: &mut huffdec_container::JsonWriter, cells: &[String]| {
+            w.begin_array();
+            for cell in cells {
+                w.str(cell);
+            }
+            w.end_array();
         };
-        format!(
-            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
-            huffdec_container::json_escape(&self.title),
-            quote_row(&self.headers),
-            self.rows
-                .iter()
-                .map(|r| quote_row(r))
-                .collect::<Vec<_>>()
-                .join(",")
-        )
+        let mut w = huffdec_container::JsonWriter::new();
+        w.begin_object();
+        w.key("title").str(&self.title);
+        w.key("headers");
+        quote_row(&mut w, &self.headers);
+        w.key("rows").begin_array();
+        for row in &self.rows {
+            quote_row(&mut w, row);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -249,27 +248,25 @@ pub fn json_requested() -> bool {
 /// sets `verified` only after its self-verification (decoded output checked against the
 /// reference) has passed, so CI can gate on it.
 pub fn bench_json(name: &str, verified: bool, table: &Table, extra: &[(&str, String)]) -> String {
-    let mut s = String::with_capacity(512);
-    s.push_str(&format!(
-        "{{\"name\":\"{}\",\"verified\":{},\"sms\":{},\"elements_env\":{}",
-        huffdec_container::json_escape(name),
-        verified,
-        bench_sms(),
-        std::env::var(ELEMENTS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "null".to_string()),
-    ));
+    let mut w = huffdec_container::JsonWriter::with_capacity(512);
+    w.begin_object();
+    w.key("name").str(name);
+    w.key("verified").bool(verified);
+    w.key("sms").u64(bench_sms() as u64);
+    match std::env::var(ELEMENTS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(elements) => w.key("elements_env").u64(elements),
+        None => w.key("elements_env").null(),
+    };
     for (key, value) in extra {
-        s.push_str(&format!(
-            ",\"{}\":{}",
-            huffdec_container::json_escape(key),
-            value
-        ));
+        // `extra` values are caller-rendered JSON (numbers, usually) — splice as-is.
+        w.key(key).raw(value);
     }
-    s.push_str(&format!(",\"table\":{}}}", table.to_json()));
-    s
+    w.key("table").raw(&table.to_json());
+    w.end_object();
+    w.finish()
 }
 
 /// Writes `BENCH_<name>.json` into the working directory (the CI bench-smoke job parses

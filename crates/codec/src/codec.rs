@@ -8,12 +8,15 @@
 //! self-describing), so one codec can decode archives produced under any
 //! configuration.
 
+use std::sync::Arc;
+
 use datasets::Field;
 use gpu_sim::{Gpu, GpuConfig};
 use huffdec_core::{
     BatchStats, CompressedPayload, DecodeResult, DecoderKind, EncodePhaseBreakdown, Gap8Stream,
     PhaseBreakdown, PreparedDecode, RangeDecode,
 };
+use huffdec_metrics::Metrics;
 use sz::{BatchDecompressStats, CompressStats, Compressed, DecompressStats, ErrorBound, SzConfig};
 
 use crate::error::{HfzError, Result};
@@ -103,6 +106,7 @@ pub struct CodecBuilder {
     error_bound: ErrorBound,
     alphabet_size: usize,
     model_transfer: bool,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Default for CodecBuilder {
@@ -114,6 +118,7 @@ impl Default for CodecBuilder {
             error_bound: ErrorBound::paper_default(),
             alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
             model_transfer: false,
+            metrics: None,
         }
     }
 }
@@ -166,6 +171,14 @@ impl CodecBuilder {
         self
     }
 
+    /// Shares an existing [`Metrics`] registry with this codec instead of creating a
+    /// fresh one — how the daemon points its cache, its request loop, and its codec at
+    /// the same instruments.
+    pub fn metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Validates the configuration and builds the session handle.
     pub fn build(self) -> Result<Codec> {
         if !(4..=65536).contains(&self.alphabet_size) || !self.alphabet_size.is_power_of_two() {
@@ -195,6 +208,7 @@ impl CodecBuilder {
                 decoder: self.decoder,
             },
             model_transfer: self.model_transfer,
+            metrics: self.metrics.unwrap_or_default(),
         })
     }
 }
@@ -223,6 +237,7 @@ pub struct Codec {
     gpu: Gpu,
     config: SzConfig,
     model_transfer: bool,
+    metrics: Arc<Metrics>,
 }
 
 impl Codec {
@@ -259,6 +274,27 @@ impl Codec {
         self.model_transfer
     }
 
+    /// The metrics registry every operation of this session records into. Clone the
+    /// `Arc` to read (or render) the instruments from another thread; share one
+    /// registry across codecs with [`CodecBuilder::metrics`].
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Counts a decode error without consuming the result.
+    fn track_decode<T, E>(&self, result: std::result::Result<T, E>) -> std::result::Result<T, E> {
+        if result.is_err() {
+            self.metrics.decode_errors.inc();
+        }
+        result
+    }
+
+    fn record_encode_phases(&self, breakdown: &EncodePhaseBreakdown) {
+        for (i, (_, phase)) in breakdown.phases().iter().enumerate() {
+            self.metrics.encode_phase_seconds[i].add(phase.seconds);
+        }
+    }
+
     // ----- compression (uses the session configuration) -----
 
     /// Compresses a field on the simulated-GPU parallel encode pipeline, returning the
@@ -266,6 +302,12 @@ impl Codec {
     pub fn compress(&self, field: &Field) -> Result<EncodeOutcome> {
         self.check_nonempty(field)?;
         let (archive, stats) = sz::compress_on(&self.gpu, field, &self.config);
+        self.metrics.encode_seconds.observe(stats.total_seconds);
+        self.record_encode_phases(&stats.encode);
+        self.metrics.encode_bytes_in.add(archive.original_bytes());
+        self.metrics
+            .encode_bytes_out
+            .add(archive.compressed_bytes());
         Ok(EncodeOutcome { archive, stats })
     }
 
@@ -287,12 +329,21 @@ impl Codec {
     /// encode pipeline (no quantization — the Huffman stage alone, as the encode
     /// benchmarks measure it).
     pub fn encode_symbols(&self, symbols: &[u16]) -> (CompressedPayload, EncodePhaseBreakdown) {
-        huffdec_core::compress_on(
+        let (payload, breakdown) = huffdec_core::compress_on(
             &self.gpu,
             self.config.decoder,
             symbols,
             self.config.alphabet_size,
-        )
+        );
+        self.metrics
+            .encode_seconds
+            .observe(breakdown.total_seconds());
+        self.record_encode_phases(&breakdown);
+        self.metrics.encode_bytes_in.add(symbols.len() as u64 * 2);
+        self.metrics
+            .encode_bytes_out
+            .add(payload.compressed_bytes());
+        (payload, breakdown)
     }
 
     fn check_nonempty(&self, field: &Field) -> Result<()> {
@@ -311,11 +362,15 @@ impl Codec {
     /// with [`CodecBuilder::model_transfer`], the timing includes the host-to-device
     /// copy of the compressed bytes.
     pub fn decompress(&self, c: &Compressed) -> Result<DecodeOutcome> {
-        let d = if self.model_transfer {
-            sz::decompress_with_transfer(&self.gpu, c)?
+        let d = self.track_decode(if self.model_transfer {
+            sz::decompress_with_transfer(&self.gpu, c)
         } else {
-            sz::decompress(&self.gpu, c)?
-        };
+            sz::decompress(&self.gpu, c)
+        })?;
+        self.metrics
+            .observe_decode(c.decoder(), d.stats.total_seconds);
+        self.metrics.decode_bytes_in.add(c.compressed_bytes());
+        self.metrics.decode_bytes_out.add(d.data.len() as u64 * 4);
         Ok(DecodeOutcome::from_sz(d))
     }
 
@@ -323,7 +378,17 @@ impl Codec {
     /// overlapped wave across the shared worker pool, then each field is
     /// reconstructed. Outputs are bit-identical to serial [`Codec::decompress`].
     pub fn decompress_batch(&self, archives: &[&Compressed]) -> Result<BatchDecodeOutcome> {
-        let (fields, stats) = sz::decompress_batch(&self.gpu, archives)?;
+        let (fields, stats) = self.track_decode(sz::decompress_batch(&self.gpu, archives))?;
+        self.metrics.batch_serial_seconds.add(stats.serial_seconds);
+        self.metrics
+            .batch_batched_seconds
+            .add(stats.batched_seconds);
+        for (c, d) in archives.iter().zip(&fields) {
+            self.metrics
+                .observe_decode(c.decoder(), d.stats.total_seconds);
+            self.metrics.decode_bytes_in.add(c.compressed_bytes());
+            self.metrics.decode_bytes_out.add(d.data.len() as u64 * 4);
+        }
         Ok(BatchDecodeOutcome {
             fields: fields.into_iter().map(DecodeOutcome::from_sz).collect(),
             stats,
@@ -334,17 +399,31 @@ impl Codec {
     /// reverse quantization) — what digest verification and the daemon's `codes`
     /// requests consume.
     pub fn decode_codes(&self, c: &Compressed) -> Result<DecodeResult> {
-        Ok(sz::decode_codes(&self.gpu, c)?)
+        let r = self.track_decode(sz::decode_codes(&self.gpu, c))?;
+        self.metrics
+            .observe_decode(c.decoder(), r.timings.total_seconds());
+        self.metrics.decode_bytes_in.add(c.compressed_bytes());
+        self.metrics
+            .decode_bytes_out
+            .add(r.symbols.len() as u64 * 2);
+        Ok(r)
     }
 
     /// Decodes a bare payload with this session's configured decoder. Benchmark-level
     /// access for streams that never went through the field pipeline.
     pub fn decode_payload(&self, payload: &CompressedPayload) -> Result<DecodeResult> {
-        Ok(huffdec_core::decode(
+        let r = self.track_decode(huffdec_core::decode(
             &self.gpu,
             self.config.decoder,
             payload,
-        )?)
+        ))?;
+        self.metrics
+            .observe_decode(self.config.decoder, r.timings.total_seconds());
+        self.metrics.decode_bytes_in.add(payload.compressed_bytes());
+        self.metrics
+            .decode_bytes_out
+            .add(r.symbols.len() as u64 * 2);
+        Ok(r)
     }
 
     /// Decodes an original 8-bit gap-array stream (the Yamamoto et al. baseline the
@@ -412,11 +491,20 @@ impl Codec {
 
     /// Decodes the full symbol stream of one field of an opened archive.
     pub fn decode_field_codes(&self, field: &FieldHandle) -> Result<DecodeResult> {
-        Ok(huffdec_core::decode(
+        let r = self.track_decode(huffdec_core::decode(
             &self.gpu,
             field.decoder(),
             field.archive().payload(),
-        )?)
+        ))?;
+        self.metrics
+            .observe_decode(field.decoder(), r.timings.total_seconds());
+        self.metrics
+            .decode_bytes_in
+            .add(field.archive().payload().compressed_bytes());
+        self.metrics
+            .decode_bytes_out
+            .add(r.symbols.len() as u64 * 2);
+        Ok(r)
     }
 
     /// Decodes the symbol streams of several fields of opened archives as one
@@ -430,7 +518,22 @@ impl Codec {
             .iter()
             .map(|f| (f.decoder(), f.archive().payload()))
             .collect();
-        Ok(huffdec_core::decode_batch(&self.gpu, &items)?)
+        let (results, stats) = self.track_decode(huffdec_core::decode_batch(&self.gpu, &items))?;
+        self.metrics.batch_serial_seconds.add(stats.serial_seconds);
+        self.metrics
+            .batch_batched_seconds
+            .add(stats.batched_seconds);
+        for (f, r) in fields.iter().zip(&results) {
+            self.metrics
+                .observe_decode(f.decoder(), r.timings.total_seconds());
+            self.metrics
+                .decode_bytes_in
+                .add(f.archive().payload().compressed_bytes());
+            self.metrics
+                .decode_bytes_out
+                .add(r.symbols.len() as u64 * 2);
+        }
+        Ok((results, stats))
     }
 
     /// Builds (or returns the cached) range-decode index of a field — the one-time
@@ -438,7 +541,16 @@ impl Codec {
     /// lives inside the [`FieldHandle`], so it is shared by every caller holding the
     /// handle.
     pub fn prepare_field<'f>(&self, field: &'f FieldHandle) -> Result<&'f PreparedDecode> {
-        field.prepared(&self.gpu)
+        // Record the build only on the call that actually pays it; later calls see the
+        // cached index. (Two racing first calls may both record — the instruments are
+        // advisory, the index itself is built exactly once.)
+        let built_before = field.prepared_ready();
+        let prepared = self.track_decode(field.prepared(&self.gpu))?;
+        if !built_before {
+            self.metrics
+                .observe_index_build(field.decoder(), prepared.timings.total_seconds());
+        }
+        Ok(prepared)
     }
 
     /// Decodes exactly the symbols `[start, start+len)` of a field, launching only the
@@ -453,15 +565,27 @@ impl Codec {
         start: u64,
         len: u64,
     ) -> Result<RangeDecode> {
-        let prepared = field.prepared(&self.gpu)?;
-        Ok(huffdec_core::decode_range(
+        let prepared = self.prepare_field(field)?;
+        let r = self.track_decode(huffdec_core::decode_range(
             &self.gpu,
             field.decoder(),
             field.archive().payload(),
             prepared,
             start,
             len,
-        )?)
+        ))?;
+        self.metrics
+            .observe_partial_decode(field.decoder(), r.timings.total_seconds());
+        self.metrics
+            .partial_blocks_decoded
+            .add(r.decoded_blocks as u64);
+        self.metrics
+            .partial_blocks_spanned
+            .add(r.total_blocks as u64);
+        self.metrics
+            .decode_bytes_out
+            .add(r.symbols.len() as u64 * 2);
+        Ok(r)
     }
 }
 
@@ -586,6 +710,87 @@ mod tests {
         for (c, d) in archives.iter().zip(&batch.fields) {
             assert_eq!(d.data, codec.decompress(c).unwrap().data);
         }
+    }
+
+    #[test]
+    fn operations_record_into_the_metrics_registry() {
+        let field = generate(&dataset_by_name("HACC").unwrap(), 20_000, 7);
+        let codec = tiny_codec(DecoderKind::OptimizedGapArray);
+        let tag = DecoderKind::OptimizedGapArray.tag() as usize;
+
+        let outcome = codec.compress(&field).unwrap();
+        let m = codec.metrics().snapshot();
+        assert_eq!(m.encode_seconds.count(), 1);
+        assert!((m.encode_seconds.sum - outcome.stats.total_seconds).abs() < 1e-12);
+        assert_eq!(m.encode_bytes_in, outcome.archive.original_bytes());
+        assert_eq!(m.encode_bytes_out, outcome.archive.compressed_bytes());
+        assert!(m.encode_phase_seconds.iter().all(|&s| s > 0.0));
+
+        let decoded = codec.decompress(&outcome.archive).unwrap();
+        let m = codec.metrics().snapshot();
+        assert_eq!(m.decode_seconds[tag].count(), 1);
+        assert_eq!(m.decode_bytes_in, outcome.archive.compressed_bytes());
+        assert_eq!(m.decode_bytes_out, decoded.data.len() as u64 * 4);
+
+        // Batched decodes feed the wave-occupancy counters and the per-field
+        // histograms alike.
+        let refs = [&outcome.archive, &outcome.archive];
+        codec.decompress_batch(&refs).unwrap();
+        let m = codec.metrics().snapshot();
+        assert_eq!(m.decode_seconds[tag].count(), 3);
+        assert!(m.batch_serial_seconds > 0.0);
+        assert!(m.batch_batched_seconds <= m.batch_serial_seconds + 1e-15);
+
+        // A failed decode bumps the error counter.
+        let other = tiny_codec(DecoderKind::CuszBaseline);
+        let chunked = other.compress_archive(&field).unwrap();
+        assert!(codec.decode_payload(&chunked.payload).is_err());
+        assert_eq!(codec.metrics().snapshot().decode_errors, 1);
+
+        // A shared registry sees both codecs' traffic.
+        let shared = Arc::new(Metrics::new());
+        let a = Codec::builder()
+            .gpu_config(GpuConfig::test_tiny())
+            .host_threads(2)
+            .metrics(Arc::clone(&shared))
+            .build()
+            .unwrap();
+        let b = Codec::builder()
+            .gpu_config(GpuConfig::test_tiny())
+            .host_threads(2)
+            .metrics(Arc::clone(&shared))
+            .build()
+            .unwrap();
+        a.decompress(&outcome.archive).unwrap();
+        b.decompress(&outcome.archive).unwrap();
+        assert_eq!(shared.snapshot().decode_seconds[tag].count(), 2);
+    }
+
+    #[test]
+    fn ranged_decodes_split_index_builds_from_partial_decodes() {
+        let dir = std::env::temp_dir().join("huffdec-codec-metrics-range");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hfz");
+        let codec = tiny_codec(DecoderKind::OptimizedGapArray);
+        let tag = DecoderKind::OptimizedGapArray.tag() as usize;
+        let field = generate(&dataset_by_name("CESM").unwrap(), 15_000, 9);
+        let archive = codec.compress_archive(&field).unwrap();
+        std::fs::write(
+            &path,
+            huffdec_container::snapshot_to_bytes(&[("f", &archive)]).unwrap(),
+        )
+        .unwrap();
+
+        let handle = codec.open_snapshot(path.to_str().unwrap()).unwrap();
+        let fh = handle.field_by_name("f").unwrap();
+        codec.decompress_range(fh, 100, 64).unwrap();
+        codec.decompress_range(fh, 5_000, 64).unwrap();
+        let m = codec.metrics().snapshot();
+        // The index build is paid (and recorded) once; each range decode records once.
+        assert_eq!(m.index_build_seconds[tag].count(), 1);
+        assert_eq!(m.partial_decode_seconds[tag].count(), 2);
+        assert!(m.partial_blocks_decoded > 0);
+        assert!(m.partial_blocks_decoded < m.partial_blocks_spanned);
     }
 
     #[test]

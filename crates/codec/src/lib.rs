@@ -53,3 +53,6 @@ mod handle;
 pub use codec::{BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome, EncodeOutcome};
 pub use error::{HfzError, Result};
 pub use handle::{ArchiveHandle, ArchiveSummary, FieldHandle};
+// The registry every codec records into, re-exported so consumers can hold and render
+// snapshots without naming the metrics crate directly.
+pub use huffdec_metrics::{Metrics, MetricsSnapshot};

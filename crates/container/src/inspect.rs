@@ -70,62 +70,51 @@ impl ArchiveInfo {
     /// form behind `hfz inspect --json` and the daemon's `LIST` response, so tooling
     /// and tests can consume archive metadata without screen-scraping the human report.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(512);
-        s.push('{');
-        s.push_str(&format!("\"total_bytes\":{}", self.total_bytes));
-        s.push_str(&format!(
-            ",\"decoder\":\"{}\",\"decoder_tag\":{}",
-            json_escape(self.decoder.name()),
-            self.decoder.tag()
-        ));
-        s.push_str(&format!(",\"alphabet_size\":{}", self.alphabet_size));
-        s.push_str(&format!(",\"num_symbols\":{}", self.num_symbols));
-        s.push_str(&format!(",\"original_bytes\":{}", self.original_bytes()));
-        s.push_str(&format!(
-            ",\"compression_ratio\":{:.6}",
-            self.compression_ratio()
-        ));
+        let mut w = crate::json::JsonWriter::with_capacity(512);
+        w.begin_object();
+        w.key("total_bytes").u64(self.total_bytes);
+        w.key("decoder").str(self.decoder.name());
+        w.key("decoder_tag").u64(self.decoder.tag() as u64);
+        w.key("alphabet_size").u64(self.alphabet_size as u64);
+        w.key("num_symbols").u64(self.num_symbols);
+        w.key("original_bytes").u64(self.original_bytes());
+        w.key("compression_ratio")
+            .f64_fixed(self.compression_ratio(), 6);
         match self.decoded_crc {
-            Some(crc) => s.push_str(&format!(",\"decoded_crc\":{}", crc)),
-            None => s.push_str(",\"decoded_crc\":null"),
-        }
+            Some(crc) => w.key("decoded_crc").u64(crc as u64),
+            None => w.key("decoded_crc").null(),
+        };
         match &self.field {
             Some(meta) => {
                 let (mode, value) = meta.error_bound.wire_parts();
                 let mode = if mode == 0 { "absolute" } else { "relative" };
-                let dims = meta
-                    .dims
-                    .as_vec()
-                    .iter()
-                    .map(|e| e.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",");
-                s.push_str(&format!(
-                    ",\"field\":{{\"dims\":[{}],\"elements\":{},\"error_bound_mode\":\"{}\",\
-                     \"error_bound\":{:e},\"quant_step\":{:e}}}",
-                    dims,
-                    meta.dims.len(),
-                    mode,
-                    value,
-                    meta.step
-                ));
+                w.key("field").begin_object();
+                w.key("dims").begin_array();
+                for extent in meta.dims.as_vec() {
+                    w.u64(extent as u64);
+                }
+                w.end_array();
+                w.key("elements").u64(meta.dims.len() as u64);
+                w.key("error_bound_mode").str(mode);
+                w.key("error_bound").f64_sci(value);
+                w.key("quant_step").f64_sci(meta.step);
+                w.end_object();
             }
-            None => s.push_str(",\"field\":null"),
-        }
-        s.push_str(",\"sections\":[");
-        for (i, sec) in self.sections.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
+            None => {
+                w.key("field").null();
             }
-            s.push_str(&format!(
-                "{{\"kind\":\"{}\",\"payload_bytes\":{},\"stored_bytes\":{}}}",
-                json_escape(&sec.kind.to_string()),
-                sec.payload_bytes,
-                sec.stored_bytes()
-            ));
         }
-        s.push_str("]}");
-        s
+        w.key("sections").begin_array();
+        for sec in &self.sections {
+            w.begin_object();
+            w.key("kind").str(&sec.kind.to_string());
+            w.key("payload_bytes").u64(sec.payload_bytes);
+            w.key("stored_bytes").u64(sec.stored_bytes());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 }
 

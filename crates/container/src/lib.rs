@@ -103,6 +103,7 @@ pub mod codec;
 pub mod error;
 pub mod header;
 pub mod inspect;
+pub mod json;
 pub mod manifest;
 pub mod section;
 pub mod wire;
@@ -119,5 +120,6 @@ pub use error::{ContainerError, Result};
 pub use header::{FieldMeta, Header, FORMAT_VERSION, HEADER_BYTES, HEADER_WIRE_BYTES, MAGIC};
 pub use huffdec_core::{crc32, crc32_symbols, Crc32};
 pub use inspect::{json_escape, read_info, ArchiveInfo, SectionInfo};
+pub use json::JsonWriter;
 pub use manifest::{manifest_leads, ManifestEntry, SnapshotManifest};
 pub use section::SectionKind;

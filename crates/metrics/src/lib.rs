@@ -1,0 +1,1102 @@
+//! # huffdec-metrics — the workspace's one metrics registry
+//!
+//! The paper's whole argument is quantitative (per-phase decode timings, per-decoder
+//! throughput, transfer-inclusive latencies), and the serving layer needs the same
+//! signals continuously — not just in offline bench bins. This crate defines the
+//! single aggregation point: a lock-cheap [`Metrics`] registry of monotonic counters,
+//! gauges, and fixed-bucket latency histograms, owned by the `Codec` facade and shared
+//! (via `Arc`) with the daemon's cache and request loop.
+//!
+//! Every instrument is a plain atomic — recording is a handful of relaxed atomic ops,
+//! no locks, so instrumenting the decode hot path costs nanoseconds. Reading is a
+//! [`Metrics::snapshot`]: a consistent-enough copy (each instrument is read atomically;
+//! the set is not a transaction) that renders to Prometheus text exposition format
+//! ([`MetricsSnapshot::render_prometheus`]) or backs ad-hoc JSON like the daemon's
+//! `STATS` reply.
+//!
+//! The exposition parser ([`parse_prometheus`]) closes the loop for clients:
+//! `hfz stats --watch` and the exporter tests both consume the rendered text through
+//! it.
+//!
+//! ```
+//! use huffdec_core::DecoderKind;
+//! use huffdec_metrics::Metrics;
+//!
+//! let m = Metrics::new();
+//! m.observe_decode(DecoderKind::OptimizedGapArray, 1.5e-3);
+//! m.cache_hits.inc();
+//! let snap = m.snapshot();
+//! assert_eq!(snap.decode_seconds[DecoderKind::OptimizedGapArray.tag() as usize].count(), 1);
+//! let text = snap.render_prometheus();
+//! assert!(text.contains("hfz_decode_seconds_bucket"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use huffdec_core::DecoderKind;
+
+/// Number of decoder-kind slots in the per-decoder metric families (indexed by
+/// [`DecoderKind::tag`]).
+pub const DECODER_SLOTS: usize = 4;
+
+/// Encode-phase label values, matching `EncodePhaseBreakdown::phases()` order.
+pub const ENCODE_PHASES: [&str; 4] = ["histogram", "tree+codebook", "offset prefix-sum", "scatter"];
+
+/// Upper bounds (seconds, inclusive) of the latency histogram buckets; a final
+/// `+Inf` bucket is implicit. Log-spaced (×4 per bucket) from 1 µs to ~4 s of
+/// simulated time, which spans everything from a single-block partial decode to a
+/// multi-gigabyte batched wave.
+pub const LATENCY_BUCKET_BOUNDS: [f64; 12] = [
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3, 1.6384e-2, 6.5536e-2, 0.262144,
+    1.048576, 4.194304,
+];
+
+// --- Instruments -----------------------------------------------------------------------
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonic sum of `f64` contributions (simulated seconds, mostly), stored as the
+/// value's bit pattern in an `AtomicU64` and added with a CAS loop.
+#[derive(Debug)]
+pub struct FloatCounter(AtomicU64);
+
+impl Default for FloatCounter {
+    fn default() -> Self {
+        FloatCounter::new()
+    }
+}
+
+impl FloatCounter {
+    /// A sum at zero.
+    pub fn new() -> Self {
+        FloatCounter(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Adds `v` to the sum.
+    pub fn add(&self, v: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current sum.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-written-wins gauge (occupancy, budgets, loaded-archive counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram over [`LATENCY_BUCKET_BOUNDS`] plus an implicit
+/// `+Inf` bucket. Observation is two relaxed atomic ops (bucket + sum).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Per-bucket (non-cumulative) observation counts; the last slot is `+Inf`.
+    buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS.len() + 1],
+    sum: FloatCounter,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: FloatCounter::new(),
+        }
+    }
+
+    /// Records one observation of `v` (seconds).
+    pub fn observe(&self, v: f64) {
+        let slot = LATENCY_BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| v <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+
+    /// Plain copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts; one per bound in [`LATENCY_BUCKET_BOUNDS`]
+    /// plus the final `+Inf` slot.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (all buckets zero).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; LATENCY_BUCKET_BOUNDS.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+// --- The registry ----------------------------------------------------------------------
+
+/// The unified metrics registry: every counter the codec, the cache, and the daemon
+/// used to keep in scattered structs (`ServeStats`, aggregate uses of `BatchStats` /
+/// `CompressStats` / `CacheStats`), as one shared set of atomic instruments.
+///
+/// One registry is owned by each `Codec` (shareable across components with
+/// `Arc<Metrics>`); the daemon's cache and request loop record into the same registry
+/// its `/metrics` endpoint renders.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total protocol requests handled by the daemon.
+    pub requests: Counter,
+    /// `GET` requests handled.
+    pub gets: Counter,
+    /// `GETBATCH` requests handled.
+    pub batch_gets: Counter,
+    /// Fields requested across all batch requests (cache hits included).
+    pub batch_fields: Counter,
+    /// Cold fields decoded inside batched waves.
+    pub batch_decoded_fields: Counter,
+    /// What batched decodes would have cost run serially (simulated seconds).
+    pub batch_serial_seconds: FloatCounter,
+    /// What the batched waves actually cost (simulated seconds).
+    pub batch_batched_seconds: FloatCounter,
+
+    /// Decoded-field cache lookups that found their entry.
+    pub cache_hits: Counter,
+    /// Decoded-field cache lookups that did not.
+    pub cache_misses: Counter,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: Counter,
+    /// Cache entries successfully inserted.
+    pub cache_insertions: Counter,
+    /// Insertions refused because the entry alone exceeds the budget.
+    pub cache_uncacheable: Counter,
+    /// Bytes currently held by the cache.
+    pub cache_used_bytes: Gauge,
+    /// The cache's configured byte budget.
+    pub cache_budget_bytes: Gauge,
+    /// Number of cached entries.
+    pub cache_entries: Gauge,
+    /// Archives currently loaded in the daemon's store.
+    pub archives_loaded: Gauge,
+
+    /// Full-field decode latency, per decoder kind (indexed by [`DecoderKind::tag`]).
+    pub decode_seconds: [Histogram; DECODER_SLOTS],
+    /// Range-decode index build latency, per decoder kind.
+    pub index_build_seconds: [Histogram; DECODER_SLOTS],
+    /// Partial (range-limited) decode latency, per decoder kind.
+    pub partial_decode_seconds: [Histogram; DECODER_SLOTS],
+    /// Blocks actually decoded by partial decodes.
+    pub partial_blocks_decoded: Counter,
+    /// Blocks a full decode would have run for those same requests.
+    pub partial_blocks_spanned: Counter,
+    /// Decode operations that returned an error.
+    pub decode_errors: Counter,
+    /// Compressed bytes fed into decodes.
+    pub decode_bytes_in: Counter,
+    /// Decoded bytes produced (f32 data or u16 codes).
+    pub decode_bytes_out: Counter,
+
+    /// Whole-pipeline encode latency (quantize + Huffman phases).
+    pub encode_seconds: Histogram,
+    /// Accumulated simulated seconds per encode phase (see [`ENCODE_PHASES`]).
+    pub encode_phase_seconds: [FloatCounter; 4],
+    /// Uncompressed bytes fed into encodes.
+    pub encode_bytes_in: Counter,
+    /// Compressed bytes produced by encodes.
+    pub encode_bytes_out: Counter,
+}
+
+impl Metrics {
+    /// A registry with every instrument at zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one full decode of `seconds` simulated time on `decoder`.
+    pub fn observe_decode(&self, decoder: DecoderKind, seconds: f64) {
+        self.decode_seconds[decoder.tag() as usize].observe(seconds);
+    }
+
+    /// Records one range-decode index build.
+    pub fn observe_index_build(&self, decoder: DecoderKind, seconds: f64) {
+        self.index_build_seconds[decoder.tag() as usize].observe(seconds);
+    }
+
+    /// Records one partial (range-limited) decode.
+    pub fn observe_partial_decode(&self, decoder: DecoderKind, seconds: f64) {
+        self.partial_decode_seconds[decoder.tag() as usize].observe(seconds);
+    }
+
+    /// A plain copy of every instrument (each read atomically; the set is not a
+    /// transaction — counters recorded between two reads may straddle them).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.get(),
+            gets: self.gets.get(),
+            batch_gets: self.batch_gets.get(),
+            batch_fields: self.batch_fields.get(),
+            batch_decoded_fields: self.batch_decoded_fields.get(),
+            batch_serial_seconds: self.batch_serial_seconds.get(),
+            batch_batched_seconds: self.batch_batched_seconds.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
+            cache_insertions: self.cache_insertions.get(),
+            cache_uncacheable: self.cache_uncacheable.get(),
+            cache_used_bytes: self.cache_used_bytes.get(),
+            cache_budget_bytes: self.cache_budget_bytes.get(),
+            cache_entries: self.cache_entries.get(),
+            archives_loaded: self.archives_loaded.get(),
+            decode_seconds: std::array::from_fn(|i| self.decode_seconds[i].snapshot()),
+            index_build_seconds: std::array::from_fn(|i| self.index_build_seconds[i].snapshot()),
+            partial_decode_seconds: std::array::from_fn(|i| {
+                self.partial_decode_seconds[i].snapshot()
+            }),
+            partial_blocks_decoded: self.partial_blocks_decoded.get(),
+            partial_blocks_spanned: self.partial_blocks_spanned.get(),
+            decode_errors: self.decode_errors.get(),
+            decode_bytes_in: self.decode_bytes_in.get(),
+            decode_bytes_out: self.decode_bytes_out.get(),
+            encode_seconds: self.encode_seconds.snapshot(),
+            encode_phase_seconds: std::array::from_fn(|i| self.encode_phase_seconds[i].get()),
+            encode_bytes_in: self.encode_bytes_in.get(),
+            encode_bytes_out: self.encode_bytes_out.get(),
+        }
+    }
+
+    /// Renders the current state in Prometheus text exposition format (0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// A point-in-time copy of a whole [`Metrics`] registry — plain data, cheap to clone,
+/// subtract, and render. The daemon's `STATS` JSON, the `/metrics` endpoint, and the
+/// `/healthz` window evaluation all read one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::gets`].
+    pub gets: u64,
+    /// See [`Metrics::batch_gets`].
+    pub batch_gets: u64,
+    /// See [`Metrics::batch_fields`].
+    pub batch_fields: u64,
+    /// See [`Metrics::batch_decoded_fields`].
+    pub batch_decoded_fields: u64,
+    /// See [`Metrics::batch_serial_seconds`].
+    pub batch_serial_seconds: f64,
+    /// See [`Metrics::batch_batched_seconds`].
+    pub batch_batched_seconds: f64,
+    /// See [`Metrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Metrics::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Metrics::cache_evictions`].
+    pub cache_evictions: u64,
+    /// See [`Metrics::cache_insertions`].
+    pub cache_insertions: u64,
+    /// See [`Metrics::cache_uncacheable`].
+    pub cache_uncacheable: u64,
+    /// See [`Metrics::cache_used_bytes`].
+    pub cache_used_bytes: u64,
+    /// See [`Metrics::cache_budget_bytes`].
+    pub cache_budget_bytes: u64,
+    /// See [`Metrics::cache_entries`].
+    pub cache_entries: u64,
+    /// See [`Metrics::archives_loaded`].
+    pub archives_loaded: u64,
+    /// See [`Metrics::decode_seconds`].
+    pub decode_seconds: [HistogramSnapshot; DECODER_SLOTS],
+    /// See [`Metrics::index_build_seconds`].
+    pub index_build_seconds: [HistogramSnapshot; DECODER_SLOTS],
+    /// See [`Metrics::partial_decode_seconds`].
+    pub partial_decode_seconds: [HistogramSnapshot; DECODER_SLOTS],
+    /// See [`Metrics::partial_blocks_decoded`].
+    pub partial_blocks_decoded: u64,
+    /// See [`Metrics::partial_blocks_spanned`].
+    pub partial_blocks_spanned: u64,
+    /// See [`Metrics::decode_errors`].
+    pub decode_errors: u64,
+    /// See [`Metrics::decode_bytes_in`].
+    pub decode_bytes_in: u64,
+    /// See [`Metrics::decode_bytes_out`].
+    pub decode_bytes_out: u64,
+    /// See [`Metrics::encode_seconds`].
+    pub encode_seconds: HistogramSnapshot,
+    /// See [`Metrics::encode_phase_seconds`].
+    pub encode_phase_seconds: [f64; 4],
+    /// See [`Metrics::encode_bytes_in`].
+    pub encode_bytes_in: u64,
+    /// See [`Metrics::encode_bytes_out`].
+    pub encode_bytes_out: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total decode count across every decoder kind.
+    pub fn total_decodes(&self) -> u64 {
+        self.decode_seconds.iter().map(|h| h.count()).sum()
+    }
+
+    /// Total simulated decode seconds across every decoder kind.
+    pub fn total_decode_seconds(&self) -> f64 {
+        self.decode_seconds.iter().map(|h| h.sum).sum()
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format (0.0.4): `# HELP` /
+    /// `# TYPE` headers per family, cumulative `_bucket{le=...}` series plus `_sum` /
+    /// `_count` for histograms, per-decoder families labelled
+    /// `decoder="<DecoderKind::name()>"`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        counter_line(
+            &mut out,
+            "hfz_requests_total",
+            "Total protocol requests handled.",
+            self.requests,
+        );
+        counter_line(
+            &mut out,
+            "hfz_gets_total",
+            "GET requests handled.",
+            self.gets,
+        );
+        counter_line(
+            &mut out,
+            "hfz_batch_gets_total",
+            "GETBATCH requests handled.",
+            self.batch_gets,
+        );
+        counter_line(
+            &mut out,
+            "hfz_batch_fields_total",
+            "Fields requested across all batch requests (cache hits included).",
+            self.batch_fields,
+        );
+        counter_line(
+            &mut out,
+            "hfz_batch_decoded_fields_total",
+            "Cold fields decoded inside batched waves.",
+            self.batch_decoded_fields,
+        );
+        float_counter_line(
+            &mut out,
+            "hfz_batch_serial_seconds_total",
+            "Simulated seconds the batched decodes would have cost run serially.",
+            self.batch_serial_seconds,
+        );
+        float_counter_line(
+            &mut out,
+            "hfz_batch_batched_seconds_total",
+            "Simulated seconds the batched waves actually cost (wave occupancy = serial/batched).",
+            self.batch_batched_seconds,
+        );
+        counter_line(
+            &mut out,
+            "hfz_cache_hits_total",
+            "Decoded-field cache hits.",
+            self.cache_hits,
+        );
+        counter_line(
+            &mut out,
+            "hfz_cache_misses_total",
+            "Decoded-field cache misses.",
+            self.cache_misses,
+        );
+        counter_line(
+            &mut out,
+            "hfz_cache_evictions_total",
+            "Cache entries evicted to make room.",
+            self.cache_evictions,
+        );
+        counter_line(
+            &mut out,
+            "hfz_cache_insertions_total",
+            "Cache entries successfully inserted.",
+            self.cache_insertions,
+        );
+        counter_line(
+            &mut out,
+            "hfz_cache_uncacheable_total",
+            "Insertions refused because the entry alone exceeds the budget.",
+            self.cache_uncacheable,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_cache_used_bytes",
+            "Bytes currently held by the decoded-field cache.",
+            self.cache_used_bytes,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_cache_budget_bytes",
+            "Configured byte budget of the decoded-field cache.",
+            self.cache_budget_bytes,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_cache_entries",
+            "Entries currently in the decoded-field cache.",
+            self.cache_entries,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_archives_loaded",
+            "Archives currently loaded in the store.",
+            self.archives_loaded,
+        );
+        histogram_family(
+            &mut out,
+            "hfz_decode_seconds",
+            "Simulated seconds per full-field decode, by decoder kind.",
+            &self.decode_seconds,
+        );
+        histogram_family(
+            &mut out,
+            "hfz_index_build_seconds",
+            "Simulated seconds per range-decode index build, by decoder kind.",
+            &self.index_build_seconds,
+        );
+        histogram_family(
+            &mut out,
+            "hfz_partial_decode_seconds",
+            "Simulated seconds per partial (range-limited) decode, by decoder kind.",
+            &self.partial_decode_seconds,
+        );
+        counter_line(
+            &mut out,
+            "hfz_partial_blocks_decoded_total",
+            "Blocks actually decoded by partial decodes.",
+            self.partial_blocks_decoded,
+        );
+        counter_line(
+            &mut out,
+            "hfz_partial_blocks_spanned_total",
+            "Blocks a full decode would have run for the same partial requests.",
+            self.partial_blocks_spanned,
+        );
+        counter_line(
+            &mut out,
+            "hfz_decode_errors_total",
+            "Decode operations that returned an error.",
+            self.decode_errors,
+        );
+        counter_line(
+            &mut out,
+            "hfz_decode_bytes_in_total",
+            "Compressed bytes fed into decodes.",
+            self.decode_bytes_in,
+        );
+        counter_line(
+            &mut out,
+            "hfz_decode_bytes_out_total",
+            "Decoded bytes produced.",
+            self.decode_bytes_out,
+        );
+        help_and_type(
+            &mut out,
+            "hfz_encode_seconds",
+            "Simulated seconds per whole-pipeline encode.",
+            "histogram",
+        );
+        histogram_series(&mut out, "hfz_encode_seconds", None, &self.encode_seconds);
+        help_and_type(
+            &mut out,
+            "hfz_encode_phase_seconds_total",
+            "Accumulated simulated seconds per encode phase.",
+            "counter",
+        );
+        for (phase, seconds) in ENCODE_PHASES.iter().zip(self.encode_phase_seconds.iter()) {
+            out.push_str(&format!(
+                "hfz_encode_phase_seconds_total{{phase=\"{}\"}} {}\n",
+                escape_label_value(phase),
+                format_value(*seconds)
+            ));
+        }
+        counter_line(
+            &mut out,
+            "hfz_encode_bytes_in_total",
+            "Uncompressed bytes fed into encodes.",
+            self.encode_bytes_in,
+        );
+        counter_line(
+            &mut out,
+            "hfz_encode_bytes_out_total",
+            "Compressed bytes produced by encodes.",
+            self.encode_bytes_out,
+        );
+        out
+    }
+}
+
+fn help_and_type(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!(
+        "# HELP {} {}\n# TYPE {} {}\n",
+        name, help, name, kind
+    ));
+}
+
+fn counter_line(out: &mut String, name: &str, help: &str, value: u64) {
+    help_and_type(out, name, help, "counter");
+    out.push_str(&format!("{} {}\n", name, value));
+}
+
+fn float_counter_line(out: &mut String, name: &str, help: &str, value: f64) {
+    help_and_type(out, name, help, "counter");
+    out.push_str(&format!("{} {}\n", name, format_value(value)));
+}
+
+fn gauge_line(out: &mut String, name: &str, help: &str, value: u64) {
+    help_and_type(out, name, help, "gauge");
+    out.push_str(&format!("{} {}\n", name, value));
+}
+
+fn histogram_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    slots: &[HistogramSnapshot; DECODER_SLOTS],
+) {
+    help_and_type(out, name, help, "histogram");
+    for kind in DecoderKind::all() {
+        let label = ("decoder", kind.name());
+        histogram_series(out, name, Some(label), &slots[kind.tag() as usize]);
+    }
+}
+
+fn histogram_series(
+    out: &mut String,
+    name: &str,
+    label: Option<(&str, &str)>,
+    h: &HistogramSnapshot,
+) {
+    let label_prefix = |le: &str| match label {
+        Some((k, v)) => format!("{{{}=\"{}\",le=\"{}\"}}", k, escape_label_value(v), le),
+        None => format!("{{le=\"{}\"}}", le),
+    };
+    let bare = match label {
+        Some((k, v)) => format!("{{{}=\"{}\"}}", k, escape_label_value(v)),
+        None => String::new(),
+    };
+    let mut cumulative = 0u64;
+    for (i, bound) in LATENCY_BUCKET_BOUNDS.iter().enumerate() {
+        cumulative += h.buckets[i];
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name,
+            label_prefix(&format_value(*bound)),
+            cumulative
+        ));
+    }
+    cumulative += h.buckets[LATENCY_BUCKET_BOUNDS.len()];
+    out.push_str(&format!(
+        "{}_bucket{} {}\n",
+        name,
+        label_prefix("+Inf"),
+        cumulative
+    ));
+    out.push_str(&format!("{}_sum{} {}\n", name, bare, format_value(h.sum)));
+    out.push_str(&format!("{}_count{} {}\n", name, bare, cumulative));
+}
+
+fn format_value(v: f64) -> String {
+    // `{}` on f64 is the shortest representation that round-trips — integral values
+    // render bare ("0", "3") and everything re-parses exactly, which keeps the
+    // bucket-bound strings stable between renderer and parser.
+    format!("{}", v)
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+// --- Exposition parsing ----------------------------------------------------------------
+
+/// One sample parsed from Prometheus text exposition: a metric name, its labels in
+/// appearance order, and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (`hfz_decode_seconds_bucket`, ...).
+    pub name: String,
+    /// Label pairs, in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf`/`NaN` parse to the matching floats).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `key`, when present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text exposition document into its samples, validating the
+/// syntax line by line: `# HELP` / `# TYPE` comments, metric names, label quoting, and
+/// numeric values. Anything malformed is an error naming the offending line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if rest.starts_with("HELP") || rest.starts_with("TYPE") {
+                let mut parts = rest.splitn(3, ' ');
+                let keyword = parts.next().unwrap_or("");
+                let name = parts.next().unwrap_or("");
+                let payload = parts.next().unwrap_or("");
+                if name.is_empty() || !is_metric_name(name) {
+                    return Err(format!(
+                        "line {}: # {} without a metric name",
+                        lineno, keyword
+                    ));
+                }
+                if keyword == "TYPE"
+                    && !matches!(
+                        payload,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    )
+                {
+                    return Err(format!("line {}: unknown TYPE '{}'", lineno, payload));
+                }
+            }
+            continue; // other comments are legal and ignored
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {}", lineno, e))?);
+    }
+    Ok(samples)
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_and_labels, value_str) = match line.find('{') {
+        Some(_) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unterminated label block".to_string())?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let space = line
+                .find(' ')
+                .ok_or_else(|| "sample line has no value".to_string())?;
+            (&line[..space], line[space + 1..].trim())
+        }
+    };
+    let (name, labels) = match name_and_labels.find('{') {
+        Some(brace) => {
+            let name = &name_and_labels[..brace];
+            let body = &name_and_labels[brace + 1..name_and_labels.len() - 1];
+            (name, parse_labels(body)?)
+        }
+        None => (name_and_labels, Vec::new()),
+    };
+    if !is_metric_name(name) {
+        return Err(format!("invalid metric name '{}'", name));
+    }
+    // A timestamp (second token) is legal exposition; we never emit one but accept it.
+    let value_token = value_str.split(' ').next().unwrap_or("");
+    let value = match value_token {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value '{}'", other))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without '='".to_string())?;
+        let key = rest[..eq].trim();
+        if key.is_empty() || !is_metric_name(key) {
+            return Err(format!("invalid label name '{}'", key));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value is not quoted".to_string());
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    _ => return Err("bad escape in label value".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key.to_string(), value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err("labels not comma-separated".to_string());
+        }
+    }
+    Ok(labels)
+}
+
+/// Finds the value of the first sample matching `name` whose labels include every pair
+/// in `labels` (subset match). The helper `hfz stats --watch` and the exporter tests
+/// read series with.
+pub fn sample_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.label(k).map(|found| found == *v).unwrap_or(false))
+        })
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_float_sums() {
+        let m = Metrics::new();
+        m.requests.inc();
+        m.requests.add(4);
+        assert_eq!(m.requests.get(), 5);
+        m.cache_used_bytes.set(123);
+        m.cache_used_bytes.set(77);
+        assert_eq!(m.cache_used_bytes.get(), 77);
+        m.batch_serial_seconds.add(0.5);
+        m.batch_serial_seconds.add(0.25);
+        assert!((m.batch_serial_seconds.get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_counter_is_exact_under_contention() {
+        let c = FloatCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(0.5);
+                    }
+                });
+            }
+        });
+        // 0.5 is a power of two, so 4000 additions are exact in f64 regardless of the
+        // CAS interleaving.
+        assert_eq!(c.get(), 2000.0);
+    }
+
+    #[test]
+    fn counter_is_consistent_under_contention() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new();
+        h.observe(0.0); // below the first bound
+        h.observe(1e-6); // exactly the first bound (le is inclusive)
+        h.observe(2e-3);
+        h.observe(100.0); // above every bound -> +Inf slot
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - (1e-6 + 2e-3 + 100.0)).abs() < 1e-9);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(*snap.buckets.last().unwrap(), 1);
+        assert_eq!(snap.count(), 4);
+    }
+
+    #[test]
+    fn render_is_valid_exposition_with_every_family() {
+        let m = Metrics::new();
+        m.requests.add(3);
+        m.observe_decode(DecoderKind::OptimizedGapArray, 1.5e-3);
+        m.observe_index_build(DecoderKind::CuszBaseline, 2e-4);
+        m.observe_partial_decode(DecoderKind::OptimizedSelfSync, 9e-5);
+        m.encode_seconds.observe(0.02);
+        m.encode_phase_seconds[1].add(0.004);
+        m.cache_budget_bytes.set(1 << 20);
+        let text = m.render_prometheus();
+        let samples = parse_prometheus(&text).expect("rendered exposition parses");
+        for family in [
+            "hfz_requests_total",
+            "hfz_gets_total",
+            "hfz_batch_gets_total",
+            "hfz_batch_fields_total",
+            "hfz_batch_decoded_fields_total",
+            "hfz_batch_serial_seconds_total",
+            "hfz_batch_batched_seconds_total",
+            "hfz_cache_hits_total",
+            "hfz_cache_misses_total",
+            "hfz_cache_evictions_total",
+            "hfz_cache_insertions_total",
+            "hfz_cache_uncacheable_total",
+            "hfz_cache_used_bytes",
+            "hfz_cache_budget_bytes",
+            "hfz_cache_entries",
+            "hfz_archives_loaded",
+            "hfz_partial_blocks_decoded_total",
+            "hfz_partial_blocks_spanned_total",
+            "hfz_decode_errors_total",
+            "hfz_decode_bytes_in_total",
+            "hfz_decode_bytes_out_total",
+            "hfz_encode_bytes_in_total",
+            "hfz_encode_bytes_out_total",
+        ] {
+            assert!(
+                samples.iter().any(|s| s.name == family),
+                "family {} missing from exposition",
+                family
+            );
+        }
+        for family in [
+            "hfz_decode_seconds",
+            "hfz_index_build_seconds",
+            "hfz_partial_decode_seconds",
+        ] {
+            for kind in DecoderKind::all() {
+                let labels = [("decoder", kind.name())];
+                let count =
+                    sample_value(&samples, &format!("{}_count", family), &labels).expect("count");
+                let inf = sample_value(
+                    &samples,
+                    &format!("{}_bucket", family),
+                    &[("decoder", kind.name()), ("le", "+Inf")],
+                )
+                .expect("+Inf bucket");
+                assert_eq!(count, inf, "{}: +Inf bucket must equal _count", family);
+            }
+        }
+        assert_eq!(sample_value(&samples, "hfz_requests_total", &[]), Some(3.0));
+        assert_eq!(
+            sample_value(
+                &samples,
+                "hfz_decode_seconds_count",
+                &[("decoder", DecoderKind::OptimizedGapArray.name())]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            sample_value(
+                &samples,
+                "hfz_encode_phase_seconds_total",
+                &[("phase", "tree+codebook")]
+            ),
+            Some(0.004)
+        );
+    }
+
+    #[test]
+    fn rendered_buckets_are_monotone_and_sum_to_count() {
+        let m = Metrics::new();
+        for i in 0..50 {
+            m.observe_decode(DecoderKind::OptimizedGapArray, (i as f64) * 1e-4);
+        }
+        let samples = parse_prometheus(&m.render_prometheus()).unwrap();
+        let label = ("decoder", DecoderKind::OptimizedGapArray.name());
+        let mut previous = 0.0;
+        for bound in LATENCY_BUCKET_BOUNDS {
+            let v = sample_value(
+                &samples,
+                "hfz_decode_seconds_bucket",
+                &[label, ("le", &format!("{}", bound))],
+            )
+            .expect("bucket series");
+            assert!(v >= previous, "cumulative buckets must be monotone");
+            previous = v;
+        }
+        let inf = sample_value(
+            &samples,
+            "hfz_decode_seconds_bucket",
+            &[label, ("le", "+Inf")],
+        )
+        .unwrap();
+        let count = sample_value(&samples, "hfz_decode_seconds_count", &[label]).unwrap();
+        assert!(inf >= previous);
+        assert_eq!(inf, count);
+        assert_eq!(count, 50.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("hfz_x 1\n").is_ok());
+        assert!(parse_prometheus("1bad_name 1\n").is_err());
+        assert!(
+            parse_prometheus("hfz_x{l=\"v\" 1\n").is_err(),
+            "unterminated labels"
+        );
+        assert!(
+            parse_prometheus("hfz_x{l=v} 1\n").is_err(),
+            "unquoted value"
+        );
+        assert!(
+            parse_prometheus("hfz_x{=\"v\"} 1\n").is_err(),
+            "empty label name"
+        );
+        assert!(parse_prometheus("hfz_x notanumber\n").is_err());
+        assert!(parse_prometheus("# TYPE hfz_x flurble\n").is_err());
+        assert!(parse_prometheus("# arbitrary comment\n").is_ok());
+        let samples = parse_prometheus("hfz_x{a=\"with \\\"quotes\\\" and \\\\\"} 2.5\n").unwrap();
+        assert_eq!(samples[0].label("a"), Some("with \"quotes\" and \\"));
+        assert_eq!(samples[0].value, 2.5);
+        let inf = parse_prometheus("hfz_x_bucket{le=\"+Inf\"} 7\n").unwrap();
+        assert_eq!(inf[0].label("le"), Some("+Inf"));
+    }
+
+    #[test]
+    fn snapshot_is_plain_data() {
+        let m = Metrics::new();
+        m.gets.add(2);
+        m.observe_decode(DecoderKind::CuszBaseline, 0.5);
+        let a = m.snapshot();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.total_decodes(), 1);
+        assert!((a.total_decode_seconds() - 0.5).abs() < 1e-12);
+        m.gets.inc();
+        assert_eq!(a.gets, 2, "snapshots do not track the live registry");
+    }
+}

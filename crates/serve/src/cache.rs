@@ -16,6 +16,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use huffdec_metrics::Metrics;
+
 use crate::protocol::GetKind;
 
 /// Cache key: one decoded representation of one field of one loaded archive.
@@ -41,7 +43,9 @@ struct Entry {
     last_used: u64,
 }
 
-/// Monotonic counters describing the cache's lifetime behaviour.
+/// A read-back of the cache's lifetime counters (kept as a plain struct for consumers
+/// that want one coherent copy; the live counters are `cache_*` instruments in the
+/// shared [`Metrics`] registry).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// `get`s that found their entry.
@@ -57,24 +61,36 @@ pub struct CacheStats {
 }
 
 /// A bytes-budgeted LRU cache of decoded fields.
+///
+/// All counters live in a [`Metrics`] registry, so a cache built with
+/// [`DecodedLru::with_metrics`] shares its hit/miss/eviction accounting with the codec
+/// that fills it — one registry, one `/metrics` render.
 #[derive(Debug)]
 pub struct DecodedLru {
     budget_bytes: u64,
     used_bytes: u64,
     clock: u64,
     entries: HashMap<CacheKey, Entry>,
-    stats: CacheStats,
+    metrics: Arc<Metrics>,
 }
 
 impl DecodedLru {
-    /// Creates a cache that will never hold more than `budget_bytes` of decoded data.
+    /// Creates a cache that will never hold more than `budget_bytes` of decoded data,
+    /// recording into its own private registry.
     pub fn new(budget_bytes: u64) -> Self {
+        DecodedLru::with_metrics(budget_bytes, Arc::new(Metrics::new()))
+    }
+
+    /// Like [`DecodedLru::new`], but recording into a shared registry — how the daemon
+    /// points the cache and its codec at the same instruments.
+    pub fn with_metrics(budget_bytes: u64, metrics: Arc<Metrics>) -> Self {
+        metrics.cache_budget_bytes.set(budget_bytes);
         DecodedLru {
             budget_bytes,
             used_bytes: 0,
             clock: 0,
             entries: HashMap::new(),
-            stats: CacheStats::default(),
+            metrics,
         }
     }
 
@@ -98,9 +114,25 @@ impl DecodedLru {
         self.entries.is_empty()
     }
 
-    /// Snapshot of the lifetime counters.
+    /// Snapshot of the lifetime counters (read back from the shared registry).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.metrics.cache_hits.get(),
+            misses: self.metrics.cache_misses.get(),
+            evictions: self.metrics.cache_evictions.get(),
+            insertions: self.metrics.cache_insertions.get(),
+            uncacheable: self.metrics.cache_uncacheable.get(),
+        }
+    }
+
+    /// The registry this cache records into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    fn sync_gauges(&self) {
+        self.metrics.cache_used_bytes.set(self.used_bytes);
+        self.metrics.cache_entries.set(self.entries.len() as u64);
     }
 
     /// Looks up `key`, counting a hit or a miss and refreshing recency on a hit.
@@ -109,11 +141,11 @@ impl DecodedLru {
         match self.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.clock;
-                self.stats.hits += 1;
+                self.metrics.cache_hits.inc();
                 Some(Arc::clone(&entry.bytes))
             }
             None => {
-                self.stats.misses += 1;
+                self.metrics.cache_misses.inc();
                 None
             }
         }
@@ -136,7 +168,7 @@ impl DecodedLru {
         let size = bytes.len() as u64;
         let bytes = Arc::new(bytes);
         if size > self.budget_bytes {
-            self.stats.uncacheable += 1;
+            self.metrics.cache_uncacheable.inc();
             return bytes;
         }
         while self.used_bytes + size > self.budget_bytes {
@@ -148,11 +180,11 @@ impl DecodedLru {
                 .expect("used_bytes > 0 implies at least one entry");
             let evicted = self.entries.remove(&victim).expect("victim exists");
             self.used_bytes -= evicted.bytes.len() as u64;
-            self.stats.evictions += 1;
+            self.metrics.cache_evictions.inc();
         }
         self.clock += 1;
         self.used_bytes += size;
-        self.stats.insertions += 1;
+        self.metrics.cache_insertions.inc();
         self.entries.insert(
             key,
             Entry {
@@ -160,6 +192,7 @@ impl DecodedLru {
                 last_used: self.clock,
             },
         );
+        self.sync_gauges();
         bytes
     }
 
@@ -176,6 +209,7 @@ impl DecodedLru {
             let entry = self.entries.remove(&key).expect("key just listed");
             self.used_bytes -= entry.bytes.len() as u64;
         }
+        self.sync_gauges();
     }
 
     /// Checks the structural invariants the concurrency tests assert after every

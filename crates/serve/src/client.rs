@@ -128,6 +128,16 @@ impl Client {
         }
     }
 
+    /// `METRICS`: the registry in Prometheus text exposition format — the same
+    /// document the HTTP sidecar serves on `GET /metrics`, fetched over the daemon
+    /// protocol so `hfz stats --prom` works without a sidecar bound.
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
     /// `GET`: (a range of) a decoded field.
     pub fn get(
         &mut self,

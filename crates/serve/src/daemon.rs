@@ -10,14 +10,19 @@
 //! * `--cache-bytes N` — decoded-field LRU budget; default 256 MiB;
 //! * `--load NAME=PATH` — preload an archive file (repeatable); more can be loaded at
 //!   runtime via the `LOAD` command (`hfz load`);
-//! * `--host-threads N` — host threads backing the simulated device.
+//! * `--host-threads N` — host threads backing the simulated device;
+//! * `--metrics ADDR` — bind an HTTP observability sidecar on `ADDR` serving
+//!   `GET /metrics` (Prometheus text exposition) and `GET /healthz`.
 //!
 //! The daemon prints one `listening on <addr>` line once it is accepting (the smoke
-//! jobs and tests wait for it), then serves until a `SHUTDOWN` request.
+//! jobs and tests wait for it), then serves until a `SHUTDOWN` request. With
+//! `--metrics`, a `metrics on <addr>` line is printed *before* it, so anything that
+//! waited for `listening on` can already scrape.
 
 use gpu_sim::GpuConfig;
 use huffdec_codec::HfzError;
 
+use crate::http::MetricsServer;
 use crate::net::ListenAddr;
 use crate::server::{Server, ServerConfig};
 
@@ -38,14 +43,17 @@ pub struct DaemonOptions {
     pub preload: Vec<(String, String)>,
     /// Host threads for the simulated device.
     pub host_threads: usize,
+    /// Where to bind the HTTP metrics/health sidecar, when requested.
+    pub metrics: Option<ListenAddr>,
 }
 
 impl DaemonOptions {
-    /// Parses `--listen/--cache-bytes/--load/--host-threads` flags.
+    /// Parses `--listen/--cache-bytes/--load/--host-threads/--metrics` flags.
     pub fn parse(args: &[String]) -> Result<DaemonOptions, String> {
         let mut listen = ListenAddr::parse(DEFAULT_LISTEN).expect("default parses");
         let mut cache_bytes = DEFAULT_CACHE_BYTES;
         let mut preload = Vec::new();
+        let mut metrics = None;
         let mut host_threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
@@ -58,6 +66,7 @@ impl DaemonOptions {
             };
             match arg.as_str() {
                 "--listen" => listen = ListenAddr::parse(&value("--listen")?)?,
+                "--metrics" => metrics = Some(ListenAddr::parse(&value("--metrics")?)?),
                 "--cache-bytes" => {
                     cache_bytes = value("--cache-bytes")?
                         .parse()
@@ -89,6 +98,7 @@ impl DaemonOptions {
             cache_bytes,
             preload,
             host_threads,
+            metrics,
         })
     }
 }
@@ -108,7 +118,7 @@ pub fn run(options: &DaemonOptions) -> Result<(), HfzError> {
         .map_err(|e| HfzError::io(format!("cannot bind {}", options.listen), e))?;
     let state = server.state();
     for (name, path) in &options.preload {
-        let loaded = state.store().load(name, path).map_err(|e| match e {
+        let loaded = state.load_archive(name, path).map_err(|e| match e {
             HfzError::Io { context, source } => HfzError::Io {
                 context: format!("cannot load '{}': {}", name, context),
                 source,
@@ -122,6 +132,25 @@ pub fn run(options: &DaemonOptions) -> Result<(), HfzError> {
             loaded.fields().len()
         );
     }
+    // The sidecar binds (and its address is registered with the state) before the
+    // `listening on` line below, so anything that waited for it can already scrape.
+    let metrics_thread = match &options.metrics {
+        Some(addr) => {
+            let sidecar = MetricsServer::bind(addr, std::sync::Arc::clone(&state))
+                .map_err(|e| HfzError::io(format!("cannot bind metrics sidecar {}", addr), e))?;
+            let bound = sidecar
+                .local_addr()
+                .map_err(|e| HfzError::io("metrics sidecar address", e))?;
+            {
+                use std::io::Write as _;
+                let mut out = std::io::stdout();
+                let _ = writeln!(out, "hfzd: metrics on {}", bound);
+                let _ = out.flush();
+            }
+            Some(std::thread::spawn(move || sidecar.run()))
+        }
+        None => None,
+    };
     // Printed on stdout and flushed: start-up scripts wait for this line.
     {
         use std::io::Write as _;
@@ -134,7 +163,13 @@ pub fn run(options: &DaemonOptions) -> Result<(), HfzError> {
         );
         let _ = out.flush();
     }
-    server.run().map_err(|e| HfzError::io("server failed", e))
+    let result = server.run().map_err(|e| HfzError::io("server failed", e));
+    if let Some(handle) = metrics_thread {
+        // `SHUTDOWN` pokes the sidecar's accept loop too; join so its socket is gone
+        // before the entry point reports the daemon stopped.
+        let _ = handle.join();
+    }
+    result
 }
 
 #[cfg(test)]
@@ -158,11 +193,14 @@ mod tests {
             "b=/tmp/b.hfz",
             "--host-threads",
             "3",
+            "--metrics",
+            "tcp:127.0.0.1:9100",
         ]))
         .unwrap();
         assert_eq!(opts.listen, ListenAddr::Tcp("127.0.0.1:9000".into()));
         assert_eq!(opts.cache_bytes, 1024);
         assert_eq!(opts.host_threads, 3);
+        assert_eq!(opts.metrics, Some(ListenAddr::Tcp("127.0.0.1:9100".into())));
         assert_eq!(
             opts.preload,
             vec![
@@ -177,6 +215,8 @@ mod tests {
         let opts = DaemonOptions::parse(&[]).unwrap();
         assert_eq!(opts.cache_bytes, DEFAULT_CACHE_BYTES);
         assert_eq!(opts.listen, ListenAddr::parse(DEFAULT_LISTEN).unwrap());
+        assert_eq!(opts.metrics, None);
+        assert!(DaemonOptions::parse(&s(&["--metrics"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--load", "nopath"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--cache-bytes", "x"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--host-threads", "0"])).is_err());

@@ -16,6 +16,8 @@
 //!   lazily built range-decode indexes, all cached per loaded archive;
 //! * [`cache`] — the decoded-field LRU: bytes-budgeted, shared across client threads;
 //! * [`server`] — the daemon itself: thread-per-connection over one shared state;
+//! * [`http`] — the observability sidecar: `GET /metrics` (Prometheus text
+//!   exposition) and `GET /healthz` over plain HTTP/1.1;
 //! * [`client`] — the synchronous client used by `hfz get` and friends;
 //! * [`daemon`] — flag parsing and the run loop shared by `hfzd` and `hfz serve`.
 //!
@@ -46,6 +48,7 @@
 pub mod cache;
 pub mod client;
 pub mod daemon;
+pub mod http;
 pub mod net;
 pub mod protocol;
 pub mod server;
@@ -53,8 +56,9 @@ pub mod store;
 
 pub use cache::{CacheKey, CacheStats, DecodedLru};
 pub use client::{Client, ClientError, GetResult};
-pub use huffdec_codec::{ArchiveHandle, Codec, FieldHandle, HfzError};
+pub use http::MetricsServer;
+pub use huffdec_codec::{ArchiveHandle, Codec, FieldHandle, HfzError, Metrics, MetricsSnapshot};
 pub use net::{ListenAddr, Listener};
 pub use protocol::{GetKind, ProtocolError, Request, Response};
-pub use server::{ServeStats, Server, ServerConfig, ServerState};
+pub use server::{Health, Server, ServerConfig, ServerState};
 pub use store::{ArchiveStore, LoadedArchive};

@@ -14,6 +14,7 @@
 //! | 5 | `SHUTDOWN` | — | — (the daemon stops accepting and drains) |
 //! | 6 | `LOAD` | name, path | field count |
 //! | 7 | `GETBATCH` | archive, kind, field-index list | per field: `from_cache`, element count, bytes |
+//! | 8 | `METRICS` | — | Prometheus text exposition of the daemon's registry |
 //!
 //! `GETBATCH` fetches several whole fields of one archive in a single round trip; the
 //! daemon decodes every cache miss as **one batched wave** (shared worker pool,
@@ -117,6 +118,9 @@ pub enum Request {
         /// Field indices to fetch, in response order.
         fields: Vec<u32>,
     },
+    /// Fetch the daemon's metrics registry in Prometheus text exposition format (the
+    /// same document the HTTP sidecar serves at `/metrics`).
+    Metrics,
 }
 
 /// Hard ceiling on the number of fields one `GETBATCH` may request.
@@ -160,6 +164,8 @@ pub enum Response {
         /// The fetched fields.
         items: Vec<BatchGetItem>,
     },
+    /// `METRICS` result: a Prometheus text exposition document.
+    Metrics(String),
 }
 
 /// One field of a `GETBATCH` response.
@@ -376,6 +382,7 @@ const OP_VERIFY: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_LOAD: u8 = 6;
 const OP_GET_BATCH: u8 = 7;
+const OP_METRICS: u8 = 8;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
@@ -436,6 +443,7 @@ impl Request {
                 }
                 w.buf
             }
+            Request::Metrics => BodyWriter::new(OP_METRICS).buf,
         }
     }
 
@@ -491,6 +499,7 @@ impl Request {
                     fields,
                 }
             }
+            OP_METRICS => Request::Metrics,
             _ => return Err(ProtocolError::Malformed("unknown opcode")),
         };
         r.finish()?;
@@ -505,6 +514,7 @@ const RESP_VERIFY: u8 = 4;
 const RESP_SHUTDOWN: u8 = 5;
 const RESP_LOADED: u8 = 6;
 const RESP_GET_BATCH: u8 = 7;
+const RESP_METRICS: u8 = 8;
 
 impl Response {
     /// Serializes the response into a frame body.
@@ -559,6 +569,10 @@ impl Response {
                     w.u64(item.elements);
                     w.blob(&item.bytes);
                 }
+            }
+            Response::Metrics(text) => {
+                w.u8(RESP_METRICS);
+                w.text(text);
             }
         }
         w.buf
@@ -628,6 +642,7 @@ impl Response {
                 }
                 Response::GetBatch { kind, items }
             }
+            RESP_METRICS => Response::Metrics(r.text()?),
             _ => return Err(ProtocolError::Malformed("unknown response tag")),
         };
         r.finish()?;
@@ -674,6 +689,7 @@ mod tests {
                 kind: GetKind::Codes,
                 fields: vec![],
             },
+            Request::Metrics,
         ];
         for req in cases {
             let body = req.encode();
@@ -712,6 +728,7 @@ mod tests {
                     },
                 ],
             },
+            Response::Metrics("# HELP hfz_requests_total requests\n".into()),
         ];
         for resp in cases {
             let body = resp.encode();

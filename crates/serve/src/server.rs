@@ -7,19 +7,27 @@
 //! memcpy while cold fields pay one (simulated-GPU) decode.
 //!
 //! Concurrency model: one OS thread per connection, all sharing one [`ServerState`].
-//! The store uses an `RwLock` (loads are rare, lookups constant), the cache and the
-//! counters use `Mutex`es held only for bookkeeping — decodes run outside every lock,
-//! so N clients can decode N different cold fields in parallel while cache hits stream
-//! past them. The `Gpu` itself is a value-typed simulator and is shared immutably.
+//! The store uses an `RwLock` (loads are rare, lookups constant), the cache uses a
+//! `Mutex` held only for bookkeeping — decodes run outside every lock, so N clients
+//! can decode N different cold fields in parallel while cache hits stream past them.
+//! The `Gpu` itself is a value-typed simulator and is shared immutably.
+//!
+//! Observability: all counting happens in the codec's [`Metrics`] registry — the codec
+//! records decode/encode timings as it works, the cache records hits and evictions into
+//! the same registry, and the request loop adds request-level counters. `STATS` and the
+//! HTTP `/metrics` endpoint are two renders of one snapshot. Locks are recovered from
+//! poisoning (`PoisonError::into_inner`): a panicking connection thread must not take
+//! down stats or health reporting for the whole daemon.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use gpu_sim::{Gpu, GpuConfig};
 use huffdec_codec::{Codec, FieldHandle};
-use huffdec_container::json_escape;
+use huffdec_container::JsonWriter;
 use huffdec_core::DecoderKind;
+use huffdec_metrics::{Metrics, MetricsSnapshot};
 
 use crate::cache::{CacheKey, CacheStats, DecodedLru};
 use crate::net::{connect, Conn, ListenAddr, Listener};
@@ -52,52 +60,35 @@ impl Default for ServerConfig {
     }
 }
 
-/// Per-decoder decode accounting.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DecodeCounter {
-    /// Number of decode runs.
-    pub count: u64,
-    /// Accumulated simulated decode time.
-    pub simulated_seconds: f64,
-}
-
-/// Request-level counters (the cache keeps its own).
-#[derive(Debug, Clone, Default)]
-pub struct ServeStats {
-    /// Total requests handled.
-    pub requests: u64,
-    /// `GET` requests handled.
-    pub gets: u64,
-    /// Full-field decodes, per decoder kind (indexed by [`DecoderKind::tag`]).
-    pub full_decodes: [DecodeCounter; 4],
-    /// Range-decode index builds, per decoder kind.
-    pub index_builds: [DecodeCounter; 4],
-    /// Partial (range-limited) decodes, per decoder kind.
-    pub partial_decodes: [DecodeCounter; 4],
-    /// Blocks actually decoded by partial decodes.
-    pub partial_blocks_decoded: u64,
-    /// Blocks a full decode would have run for those same requests.
-    pub partial_blocks_total: u64,
-    /// `GETBATCH` requests handled.
-    pub batch_gets: u64,
-    /// Fields requested across all batch requests (cache hits included).
-    pub batch_fields: u64,
-    /// Cold fields decoded inside batched waves.
-    pub batch_decoded_fields: u64,
-    /// What those batched decodes would have cost run serially (simulated seconds).
-    pub batch_serial_seconds: f64,
-    /// What the batched waves actually cost (simulated seconds).
-    pub batch_batched_seconds: f64,
+/// Daemon health, as the HTTP sidecar's `/healthz` endpoint reports it.
+///
+/// Degradation is judged over the **last window** — the delta since the previous
+/// [`ServerState::health`] call — so a burst of decode errors or cache thrash clears
+/// once a quiet window passes, instead of latching forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Serving normally.
+    Healthy,
+    /// Still serving, but the last window saw decode errors or LRU thrash.
+    Degraded(String),
+    /// Not serving (shutdown in progress).
+    Unhealthy(String),
 }
 
 /// Shared state of a running daemon.
+#[derive(Debug)]
 pub struct ServerState {
     codec: Codec,
     store: ArchiveStore,
     cache: Mutex<DecodedLru>,
-    stats: Mutex<ServeStats>,
     shutdown: AtomicBool,
     addr: ListenAddr,
+    /// Resolved address of the HTTP metrics sidecar, when one is bound (shutdown pokes
+    /// it the same way it pokes the protocol listener).
+    metrics_addr: Mutex<Option<ListenAddr>>,
+    /// The metrics snapshot taken by the previous health check — the baseline the next
+    /// check's window is measured against.
+    health_window: Mutex<MetricsSnapshot>,
 }
 
 impl ServerState {
@@ -111,24 +102,51 @@ impl ServerState {
         self.codec.gpu()
     }
 
-    /// The archive store (load archives directly through this before/while serving).
+    /// The archive store. Prefer [`ServerState::load_archive`] for loading — it also
+    /// invalidates stale cache entries and keeps the loaded-archives gauge current.
     pub fn store(&self) -> &ArchiveStore {
         &self.store
     }
 
+    /// The metrics registry every component of this daemon records into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        self.codec.metrics()
+    }
+
+    /// One coherent read of every instrument.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics().snapshot()
+    }
+
+    /// Locks the cache, recovering from poisoning: the LRU's invariants are maintained
+    /// per-operation, so a thread that panicked elsewhere while holding the lock must
+    /// not wedge every later request.
+    fn lock_cache(&self) -> MutexGuard<'_, DecodedLru> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Snapshot of the cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock poisoned").stats()
+        self.lock_cache().stats()
     }
 
     /// Current cache occupancy in bytes.
     pub fn cache_used_bytes(&self) -> u64 {
-        self.cache.lock().expect("cache lock poisoned").used_bytes()
+        self.lock_cache().used_bytes()
     }
 
-    /// Snapshot of the request counters.
-    pub fn serve_stats(&self) -> ServeStats {
-        self.stats.lock().expect("stats lock poisoned").clone()
+    /// Loads (or replaces) an archive: parses through the store, drops any cache
+    /// entries of a replaced archive, and updates the loaded-archives gauge.
+    pub fn load_archive(
+        &self,
+        name: &str,
+        path: &str,
+    ) -> Result<Arc<LoadedArchive>, huffdec_codec::HfzError> {
+        let loaded = self.store.load(name, path)?;
+        // A re-load under the same name must not serve stale decodes.
+        self.lock_cache().invalidate_archive(name);
+        self.metrics().archives_loaded.set(self.store.len() as u64);
+        Ok(loaded)
     }
 
     /// Whether shutdown has been requested.
@@ -136,39 +154,71 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and wakes the accept loop.
+    /// Requests shutdown and wakes the accept loops (protocol and, when bound, the
+    /// HTTP metrics sidecar).
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in `accept`; a throwaway connection unblocks it.
+        // The accept loops are blocked in `accept`; throwaway connections unblock them.
         let _ = connect(&self.addr);
+        let metrics_addr = self
+            .metrics_addr
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(addr) = metrics_addr {
+            let _ = connect(&addr);
+        }
     }
 
-    fn with_stats<R>(&self, f: impl FnOnce(&mut ServeStats) -> R) -> R {
-        f(&mut self.stats.lock().expect("stats lock poisoned"))
+    /// Records the HTTP metrics sidecar's resolved address so shutdown can poke it.
+    pub(crate) fn set_metrics_addr(&self, addr: ListenAddr) {
+        *self.metrics_addr.lock().unwrap_or_else(|p| p.into_inner()) = Some(addr);
+    }
+
+    /// Evaluates daemon health for `/healthz`: unhealthy during shutdown, degraded when
+    /// the window since the previous check saw decode errors or cache thrash
+    /// (evictions with misses outnumbering hits), healthy otherwise.
+    pub fn health(&self) -> Health {
+        if self.is_shutting_down() {
+            return Health::Unhealthy("shutting down".to_string());
+        }
+        let current = self.metrics_snapshot();
+        let prev = {
+            let mut window = self.health_window.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::replace(&mut *window, current.clone())
+        };
+        let errors = current.decode_errors.saturating_sub(prev.decode_errors);
+        if errors > 0 {
+            return Health::Degraded(format!("{} decode errors in the last window", errors));
+        }
+        let evictions = current.cache_evictions.saturating_sub(prev.cache_evictions);
+        let hits = current.cache_hits.saturating_sub(prev.cache_hits);
+        let misses = current.cache_misses.saturating_sub(prev.cache_misses);
+        if evictions > 0 && misses > hits {
+            return Health::Degraded(format!(
+                "cache thrash in the last window: {} evictions, {} misses vs {} hits",
+                evictions, misses, hits
+            ));
+        }
+        Health::Healthy
     }
 
     /// Handles one request. Public so in-process consumers (tests, examples) can drive
     /// the daemon without a socket.
     pub fn handle(&self, request: &Request) -> Response {
-        self.with_stats(|s| s.requests += 1);
+        self.metrics().requests.inc();
         match request {
             Request::List => Response::List(self.list_json()),
             Request::Stats => Response::Stats(self.stats_json()),
+            Request::Metrics => Response::Metrics(self.metrics().render_prometheus()),
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::ShuttingDown
             }
-            Request::Load { name, path } => match self.store.load(name, path) {
-                Ok(loaded) => {
-                    // A re-load under the same name must not serve stale decodes.
-                    self.cache
-                        .lock()
-                        .expect("cache lock poisoned")
-                        .invalidate_archive(name);
-                    Response::Loaded {
-                        fields: loaded.fields().len() as u32,
-                    }
-                }
+            Request::Load { name, path } => match self.load_archive(name, path) {
+                Ok(loaded) => Response::Loaded {
+                    fields: loaded.fields().len() as u32,
+                },
                 Err(e) => Response::Error(format!("cannot load '{}': {}", name, e)),
             },
             Request::Verify { archive } => match self.verify(archive) {
@@ -181,7 +231,7 @@ impl ServerState {
                 kind,
                 range,
             } => {
-                self.with_stats(|s| s.gets += 1);
+                self.metrics().gets.inc();
                 match self.get(archive, *field, *kind, *range) {
                     Ok(response) => response,
                     Err(message) => Response::Error(message),
@@ -215,33 +265,15 @@ impl ServerState {
         Ok((loaded, index))
     }
 
-    fn record_decode(
-        &self,
-        slot: fn(&mut ServeStats) -> &mut [DecodeCounter; 4],
-        kind: DecoderKind,
-        seconds: f64,
-    ) {
-        self.with_stats(|s| {
-            let counter = &mut slot(s)[kind.tag() as usize];
-            counter.count += 1;
-            counter.simulated_seconds += seconds;
-        });
-    }
-
     /// Decodes the full representation `kind` of a field (cache-filling slow path).
+    /// Decode timings land in the registry inside the codec itself.
     fn decode_full(&self, field: &FieldHandle, kind: GetKind) -> Result<Vec<u8>, String> {
-        let decoder = field.decoder();
         match kind {
             GetKind::Data => {
                 let decompressed = self
                     .codec
                     .decompress_field(field)
                     .map_err(|e| format!("decode failed: {}", e))?;
-                self.record_decode(
-                    |s| &mut s.full_decodes,
-                    decoder,
-                    decompressed.stats.total_seconds,
-                );
                 let mut bytes = Vec::with_capacity(decompressed.data.len() * 4);
                 for v in &decompressed.data {
                     bytes.extend_from_slice(&v.to_le_bytes());
@@ -253,11 +285,6 @@ impl ServerState {
                     .codec
                     .decode_field_codes(field)
                     .map_err(|e| format!("decode failed: {}", e))?;
-                self.record_decode(
-                    |s| &mut s.full_decodes,
-                    decoder,
-                    result.timings.total_seconds(),
-                );
                 let mut bytes = Vec::with_capacity(result.symbols.len() * 2);
                 for s in &result.symbols {
                     bytes.extend_from_slice(&s.to_le_bytes());
@@ -302,7 +329,7 @@ impl ServerState {
         };
 
         // Fast path: the full representation is cached; any range is a slice of it.
-        let cached = self.cache.lock().expect("cache lock poisoned").get(&key);
+        let cached = self.lock_cache().get(&key);
         if let Some(bytes) = cached {
             return Ok(slice_response(&bytes, kind, range, elements, true, false));
         }
@@ -310,34 +337,13 @@ impl ServerState {
         // Miss. Ranged code requests take the partial path: decode only the
         // overlapping blocks via the field's (cached) decode index. The result is not
         // inserted — it is a fragment, and caching fragments would let a sweep of
-        // small ranges evict whole hot fields.
+        // small ranges evict whole hot fields. Index-build and partial-decode timings
+        // are recorded inside the codec.
         if let (GetKind::Codes, Some((start, len))) = (kind, range) {
-            let decoder = field.decoder();
-            let built_before = field.prepared_ready();
-            let prepared = self
-                .codec
-                .prepare_field(field)
-                .map_err(|e| format!("decode index failed: {}", e))?;
-            if !built_before {
-                self.record_decode(
-                    |s| &mut s.index_builds,
-                    decoder,
-                    prepared.timings.total_seconds(),
-                );
-            }
             let r = self
                 .codec
                 .decompress_range(field, start, len)
                 .map_err(|e| format!("range decode failed: {}", e))?;
-            self.record_decode(
-                |s| &mut s.partial_decodes,
-                decoder,
-                r.timings.total_seconds(),
-            );
-            self.with_stats(|s| {
-                s.partial_blocks_decoded += r.decoded_blocks as u64;
-                s.partial_blocks_total += r.total_blocks as u64;
-            });
             let mut bytes = Vec::with_capacity(r.symbols.len() * 2);
             for sym in &r.symbols {
                 bytes.extend_from_slice(&sym.to_le_bytes());
@@ -355,11 +361,7 @@ impl ServerState {
         // is a prefix scan, so a data range needs the whole field once — after which
         // the cache serves every later range as a slice).
         let bytes = self.decode_full(field, kind)?;
-        let bytes = self
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, bytes);
+        let bytes = self.lock_cache().insert(key, bytes);
         Ok(slice_response(&bytes, kind, range, elements, false, false))
     }
 
@@ -373,10 +375,8 @@ impl ServerState {
         kind: GetKind,
         field_indices: &[u32],
     ) -> Result<Response, String> {
-        self.with_stats(|s| {
-            s.batch_gets += 1;
-            s.batch_fields += field_indices.len() as u64;
-        });
+        self.metrics().batch_gets.inc();
+        self.metrics().batch_fields.add(field_indices.len() as u64);
         let loaded = self
             .store
             .get(archive)
@@ -406,7 +406,7 @@ impl ServerState {
 
         // One cache pass for the whole request.
         let cached: Vec<Option<Arc<Vec<u8>>>> = {
-            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            let mut cache = self.lock_cache();
             field_indices.iter().map(|&f| cache.get(&key(f))).collect()
         };
 
@@ -429,18 +429,12 @@ impl ServerState {
                                 .expect("validated above")
                         })
                         .collect();
+                    // Wave occupancy and per-field decode timings are recorded by the
+                    // codec itself.
                     let batch = self
                         .codec
                         .decompress_batch(&archives)
                         .map_err(|e| format!("batch decode failed: {}", e))?;
-                    self.record_batch_wave(batch.stats.serial_seconds, batch.stats.batched_seconds);
-                    for (&f, d) in missing.iter().zip(&batch.fields) {
-                        self.record_decode(
-                            |s| &mut s.full_decodes,
-                            loaded.fields()[f as usize].decoder(),
-                            d.stats.total_seconds,
-                        );
-                    }
                     batch
                         .fields
                         .into_iter()
@@ -458,18 +452,10 @@ impl ServerState {
                         .iter()
                         .map(|&f| &loaded.fields()[f as usize])
                         .collect();
-                    let (results, stats) = self
+                    let (results, _stats) = self
                         .codec
                         .decode_field_codes_batch(&fields)
                         .map_err(|e| format!("batch decode failed: {}", e))?;
-                    self.record_batch_wave(stats.serial_seconds, stats.batched_seconds);
-                    for (&f, r) in missing.iter().zip(&results) {
-                        self.record_decode(
-                            |s| &mut s.full_decodes,
-                            loaded.fields()[f as usize].decoder(),
-                            r.timings.total_seconds(),
-                        );
-                    }
                     results
                         .into_iter()
                         .map(|r| {
@@ -482,8 +468,10 @@ impl ServerState {
                         .collect()
                 }
             };
-            self.with_stats(|s| s.batch_decoded_fields += missing.len() as u64);
-            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            self.metrics()
+                .batch_decoded_fields
+                .add(missing.len() as u64);
+            let mut cache = self.lock_cache();
             for (&f, bytes) in missing.iter().zip(produced) {
                 decoded.push((f, cache.insert(key(f), bytes)));
             }
@@ -516,13 +504,6 @@ impl ServerState {
         Ok(Response::GetBatch { kind, items })
     }
 
-    fn record_batch_wave(&self, serial_seconds: f64, batched_seconds: f64) {
-        self.with_stats(|s| {
-            s.batch_serial_seconds += serial_seconds;
-            s.batch_batched_seconds += batched_seconds;
-        });
-    }
-
     fn verify(&self, archive: &str) -> Result<String, String> {
         let loaded = self
             .store
@@ -531,16 +512,10 @@ impl ServerState {
         let mut report = String::new();
         let mut failures = 0;
         for (i, field) in loaded.fields().iter().enumerate() {
-            let decoder = field.decoder();
             let result = self
                 .codec
                 .decode_field_codes(field)
                 .map_err(|e| format!("field {}: decode failed: {}", i, e))?;
-            self.record_decode(
-                |s| &mut s.full_decodes,
-                decoder,
-                result.timings.total_seconds(),
-            );
             let line = match field.compressed() {
                 Some(c) => match c.matches_decoded_crc(&result.symbols) {
                     Some(true) => format!(
@@ -583,93 +558,85 @@ impl ServerState {
     }
 
     fn list_json(&self) -> String {
-        let mut s = String::from("{\"archives\":[");
-        for (i, loaded) in self.store.list().iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!(
-                "{{\"name\":\"{}\",\"path\":\"{}\",\"fields\":[",
-                json_escape(&loaded.name),
-                json_escape(&loaded.path)
-            ));
-            for (j, field) in loaded.fields().iter().enumerate() {
-                if j > 0 {
-                    s.push(',');
-                }
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("archives").begin_array();
+        for loaded in self.store.list().iter() {
+            w.begin_object();
+            w.key("name").str(&loaded.name);
+            w.key("path").str(&loaded.path);
+            w.key("fields").begin_array();
+            for field in loaded.fields() {
                 // Prefix each field object with its manifest name (snapshot archives)
                 // so clients can resolve names to indices without re-reading the file.
                 let info = field.info().to_json();
                 match field.name() {
-                    Some(name) => s.push_str(&format!(
-                        "{{\"name\":\"{}\",{}",
-                        json_escape(name),
-                        &info[1..]
-                    )),
-                    None => s.push_str(&info),
+                    Some(name) => {
+                        w.begin_object();
+                        w.key("name").str(name);
+                        w.splice_fields(&info);
+                        w.end_object();
+                    }
+                    None => {
+                        w.raw(&info);
+                    }
                 }
             }
-            s.push_str("]}");
+            w.end_array();
+            w.end_object();
         }
-        s.push_str("]}");
-        s
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
+    /// Renders the legacy `STATS` JSON from one registry snapshot. The document is
+    /// byte-compatible with the pre-registry format: per-decoder counts come from the
+    /// histogram counts and `simulated_seconds` from the histogram sums.
     fn stats_json(&self) -> String {
-        let cache = {
-            let c = self.cache.lock().expect("cache lock poisoned");
-            format!(
-                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{},\
-                 \"uncacheable\":{},\"used_bytes\":{},\"budget_bytes\":{},\"entries\":{}}}",
-                c.stats().hits,
-                c.stats().misses,
-                c.stats().evictions,
-                c.stats().insertions,
-                c.stats().uncacheable,
-                c.used_bytes(),
-                c.budget_bytes(),
-                c.len()
-            )
-        };
-        let stats = self.serve_stats();
-        let decoder_json = |counters: &[DecodeCounter; 4]| {
-            let mut s = String::from("{");
-            for (i, kind) in DecoderKind::all().iter().enumerate() {
-                if i > 0 {
-                    s.push(',');
+        let m = self.metrics_snapshot();
+        let decoder_json =
+            |w: &mut JsonWriter, key: &str, hists: &[huffdec_metrics::HistogramSnapshot; 4]| {
+                w.key(key).begin_object();
+                for kind in DecoderKind::all() {
+                    let h = &hists[kind.tag() as usize];
+                    w.key(kind.name()).begin_object();
+                    w.key("count").u64(h.count());
+                    w.key("simulated_seconds").f64_sci(h.sum);
+                    w.end_object();
                 }
-                let c = counters[kind.tag() as usize];
-                s.push_str(&format!(
-                    "\"{}\":{{\"count\":{},\"simulated_seconds\":{:e}}}",
-                    json_escape(kind.name()),
-                    c.count,
-                    c.simulated_seconds
-                ));
-            }
-            s.push('}');
-            s
-        };
-        format!(
-            "{{\"requests\":{},\"gets\":{},\"archives_loaded\":{},\"cache\":{},\
-             \"full_decodes\":{},\"index_builds\":{},\"partial_decodes\":{},\
-             \"partial_blocks_decoded\":{},\"partial_blocks_total\":{},\
-             \"batch\":{{\"gets\":{},\"fields\":{},\"decoded_fields\":{},\
-             \"serial_seconds\":{:e},\"batched_seconds\":{:e}}}}}",
-            stats.requests,
-            stats.gets,
-            self.store.len(),
-            cache,
-            decoder_json(&stats.full_decodes),
-            decoder_json(&stats.index_builds),
-            decoder_json(&stats.partial_decodes),
-            stats.partial_blocks_decoded,
-            stats.partial_blocks_total,
-            stats.batch_gets,
-            stats.batch_fields,
-            stats.batch_decoded_fields,
-            stats.batch_serial_seconds,
-            stats.batch_batched_seconds,
-        )
+                w.end_object();
+            };
+        let mut w = JsonWriter::with_capacity(1024);
+        w.begin_object();
+        w.key("requests").u64(m.requests);
+        w.key("gets").u64(m.gets);
+        w.key("archives_loaded").u64(self.store.len() as u64);
+        w.key("cache").begin_object();
+        w.key("hits").u64(m.cache_hits);
+        w.key("misses").u64(m.cache_misses);
+        w.key("evictions").u64(m.cache_evictions);
+        w.key("insertions").u64(m.cache_insertions);
+        w.key("uncacheable").u64(m.cache_uncacheable);
+        w.key("used_bytes").u64(m.cache_used_bytes);
+        w.key("budget_bytes").u64(m.cache_budget_bytes);
+        w.key("entries").u64(m.cache_entries);
+        w.end_object();
+        decoder_json(&mut w, "full_decodes", &m.decode_seconds);
+        decoder_json(&mut w, "index_builds", &m.index_build_seconds);
+        decoder_json(&mut w, "partial_decodes", &m.partial_decode_seconds);
+        w.key("partial_blocks_decoded")
+            .u64(m.partial_blocks_decoded);
+        w.key("partial_blocks_total").u64(m.partial_blocks_spanned);
+        w.key("batch").begin_object();
+        w.key("gets").u64(m.batch_gets);
+        w.key("fields").u64(m.batch_fields);
+        w.key("decoded_fields").u64(m.batch_decoded_fields);
+        w.key("serial_seconds").f64_sci(m.batch_serial_seconds);
+        w.key("batched_seconds").f64_sci(m.batch_batched_seconds);
+        w.end_object();
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -716,17 +683,23 @@ impl Server {
     pub fn bind(addr: &ListenAddr, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = Listener::bind(addr)?;
         let resolved = listener.local_addr()?;
+        let codec = Codec::builder()
+            .gpu_config(config.gpu.clone())
+            .host_threads(config.host_threads)
+            .build()
+            .expect("default codec configuration is valid");
+        // The cache shares the codec's registry: one set of instruments covers the
+        // whole daemon.
+        let cache = DecodedLru::with_metrics(config.cache_bytes, Arc::clone(codec.metrics()));
+        let health_window = codec.metrics().snapshot();
         let state = Arc::new(ServerState {
-            codec: Codec::builder()
-                .gpu_config(config.gpu.clone())
-                .host_threads(config.host_threads)
-                .build()
-                .expect("default codec configuration is valid"),
+            codec,
             store: ArchiveStore::new(),
-            cache: Mutex::new(DecodedLru::new(config.cache_bytes)),
-            stats: Mutex::new(ServeStats::default()),
+            cache: Mutex::new(cache),
             shutdown: AtomicBool::new(false),
             addr: resolved,
+            metrics_addr: Mutex::new(None),
+            health_window: Mutex::new(health_window),
         });
         Ok(Server { listener, state })
     }

@@ -82,7 +82,7 @@ impl ArchiveStore {
         });
         self.archives
             .write()
-            .expect("store lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .insert(name.to_string(), Arc::clone(&loaded));
         Ok(loaded)
     }
@@ -91,7 +91,7 @@ impl ArchiveStore {
     pub fn get(&self, name: &str) -> Option<Arc<LoadedArchive>> {
         self.archives
             .read()
-            .expect("store lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(name)
             .cloned()
     }
@@ -101,7 +101,7 @@ impl ArchiveStore {
         let mut all: Vec<_> = self
             .archives
             .read()
-            .expect("store lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .values()
             .cloned()
             .collect();
@@ -111,7 +111,10 @@ impl ArchiveStore {
 
     /// Number of loaded archives.
     pub fn len(&self) -> usize {
-        self.archives.read().expect("store lock poisoned").len()
+        self.archives
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
     }
 
     /// Whether no archive has been loaded.

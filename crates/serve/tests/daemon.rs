@@ -172,11 +172,11 @@ fn daemon_serves_concurrent_clients_with_eviction() {
     assert!(cache.evictions >= 1, "no evictions: {:?}", cache);
     assert!(state.cache_used_bytes() <= budget);
 
-    let stats = state.serve_stats();
+    let stats = state.metrics_snapshot();
     assert!(stats.gets >= 4 * 16);
-    let partials: u64 = stats.partial_decodes.iter().map(|c| c.count).sum();
+    let partials: u64 = stats.partial_decode_seconds.iter().map(|h| h.count()).sum();
     assert!(partials > 0, "partial decodes must have run");
-    assert!(stats.partial_blocks_decoded < stats.partial_blocks_total);
+    assert!(stats.partial_blocks_decoded < stats.partial_blocks_spanned);
 
     // The STATS document agrees with the in-process snapshot on evictions.
     {
@@ -354,7 +354,7 @@ fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
         .is_empty());
 
     // Stats report the batched waves, and the wave is never slower than serial.
-    let stats = state.serve_stats();
+    let stats = state.metrics_snapshot();
     assert_eq!(
         stats.batch_gets, 6,
         "every GETBATCH request counts, errors included"

@@ -99,12 +99,13 @@ USAGE:
   hfz verify     --addr ADDR --archive NAME       (remote: daemon-side deep verify)
 
   hfz serve      [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]...
+                 [--metrics ADDR]                 (HTTP /metrics + /healthz sidecar)
   hfz get        --addr ADDR --archive NAME [--field I] [--codes] [--range START:LEN]
                  --output FILE
   hfz batch      --addr ADDR --archive NAME --fields I[,I...] [--codes]
                  --output-prefix PATH            (writes PATH.<index> per field)
   hfz list       --addr ADDR
-  hfz stats      --addr ADDR
+  hfz stats      --addr ADDR [--prom] [--watch SECS]
   hfz load       --addr ADDR --name NAME --path FILE
   hfz shutdown   --addr ADDR
 
@@ -115,6 +116,9 @@ OPTIONS:
   --seed S         synthetic dataset seed                            (default: 42)
   --deep           also decode and check the decoded-stream CRC32 trailer
   --digest HEX     expected decoded-stream CRC32 (overrides the stored trailer)
+  --prom           print daemon counters in Prometheus text exposition format
+  --watch SECS     re-poll the daemon every SECS seconds, printing hit-ratio and
+                   decode-latency trends (Ctrl-C to stop)
   ADDR             tcp:HOST:PORT or unix:PATH
 
 EXIT CODES:
@@ -129,7 +133,7 @@ struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["json", "deep", "codes", "snapshot", "all"];
+const SWITCHES: &[&str] = &["json", "deep", "codes", "snapshot", "all", "prom"];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, HfzError> {
@@ -868,8 +872,94 @@ fn cmd_list(rest: &[String]) -> Result<(), HfzError> {
 fn cmd_stats(rest: &[String]) -> Result<(), HfzError> {
     let args = Args::parse(rest)?;
     let mut client = connect(&args)?;
-    out!("{}", client.stats()?);
+    if let Some(secs) = args.get("watch") {
+        let secs: u64 =
+            secs.parse().ok().filter(|&s| s > 0).ok_or_else(|| {
+                HfzError::Usage("bad --watch value (positive seconds)".to_string())
+            })?;
+        return watch_stats(&mut client, secs);
+    }
+    if args.has("prom") {
+        out!("{}", client.metrics_prom()?.trim_end());
+    } else {
+        out!("{}", client.stats()?);
+    }
     Ok(())
+}
+
+/// One tick of `hfz stats --watch`: the counters the trend lines are computed from.
+#[derive(Clone, Copy)]
+struct WatchSample {
+    requests: f64,
+    hits: f64,
+    misses: f64,
+    decodes: f64,
+    decode_seconds: f64,
+}
+
+/// `hfz stats --watch SECS`: re-polls the daemon's Prometheus document and prints one
+/// trend line per tick — lifetime totals plus the delta window since the previous tick
+/// (cache hit ratio and mean simulated decode latency). Runs until interrupted or the
+/// daemon goes away.
+fn watch_stats(client: &mut Client, secs: u64) -> Result<(), HfzError> {
+    let mut prev: Option<WatchSample> = None;
+    loop {
+        let text = client.metrics_prom()?;
+        let samples = huffdec::metrics::parse_prometheus(&text)
+            .map_err(|e| HfzError::Protocol(format!("bad /metrics document: {}", e)))?;
+        // Labeled families (per-decoder histograms) are summed across their series.
+        let total = |name: &str| -> f64 {
+            samples
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.value)
+                .sum()
+        };
+        let now = WatchSample {
+            requests: total("hfz_requests_total"),
+            hits: total("hfz_cache_hits_total"),
+            misses: total("hfz_cache_misses_total"),
+            decodes: total("hfz_decode_seconds_count"),
+            decode_seconds: total("hfz_decode_seconds_sum"),
+        };
+        let ratio = |hits: f64, misses: f64| {
+            let lookups = hits + misses;
+            if lookups > 0.0 {
+                format!("{:.2}", hits / lookups)
+            } else {
+                "-".to_string()
+            }
+        };
+        let mean_ms = |decodes: f64, seconds: f64| {
+            if decodes > 0.0 {
+                format!("{:.3} ms", seconds / decodes * 1e3)
+            } else {
+                "-".to_string()
+            }
+        };
+        match prev {
+            None => out!(
+                "stats: {} requests | hit ratio {} ({} hits, {} misses) | {} decodes, mean simulated {}",
+                now.requests,
+                ratio(now.hits, now.misses),
+                now.hits,
+                now.misses,
+                now.decodes,
+                mean_ms(now.decodes, now.decode_seconds)
+            ),
+            Some(p) => out!(
+                "stats: +{} requests | window hit ratio {} (lifetime {}) | +{} decodes, window mean {} (lifetime {})",
+                now.requests - p.requests,
+                ratio(now.hits - p.hits, now.misses - p.misses),
+                ratio(now.hits, now.misses),
+                now.decodes - p.decodes,
+                mean_ms(now.decodes - p.decodes, now.decode_seconds - p.decode_seconds),
+                mean_ms(now.decodes, now.decode_seconds)
+            ),
+        }
+        prev = Some(now);
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
 }
 
 fn cmd_load(rest: &[String]) -> Result<(), HfzError> {

@@ -20,8 +20,9 @@ fn main() -> ExitCode {
     {
         eprintln!(
             "hfzd — HFZ1 block-decode daemon\n\n\
-             USAGE:\n  hfzd [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]... [--host-threads N]\n\n\
-             ADDR is tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH; default {}",
+             USAGE:\n  hfzd [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]... [--host-threads N] [--metrics ADDR]\n\n\
+             ADDR is tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH; default {}\n\
+             --metrics binds an HTTP sidecar serving GET /metrics (Prometheus) and GET /healthz",
             huffdec::serve::daemon::DEFAULT_LISTEN
         );
         return ExitCode::SUCCESS;

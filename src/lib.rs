@@ -36,7 +36,7 @@
 
 pub use huffdec_codec::{
     ArchiveHandle, ArchiveSummary, BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome,
-    EncodeOutcome, FieldHandle, HfzError,
+    EncodeOutcome, FieldHandle, HfzError, Metrics, MetricsSnapshot,
 };
 
 // Companion types the session API speaks in.
@@ -50,6 +50,7 @@ pub use datasets;
 pub use gpu_sim;
 pub use huffdec_container as container;
 pub use huffdec_core as core_decoders;
+pub use huffdec_metrics as metrics;
 pub use huffdec_serve as serve;
 pub use huffman;
 pub use sz;
