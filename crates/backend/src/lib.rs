@@ -1,0 +1,380 @@
+//! # huffdec-backend — pluggable execution backends
+//!
+//! The decode/encode pipelines in `huffdec-core` are written against abstract device
+//! operations: kernel launches over grids of blocks, device-wide prefix sums and
+//! histograms, transfer costs, and concurrent-stream timing. This crate defines the
+//! [`Backend`] trait that captures exactly that surface, plus the two implementations
+//! the workspace ships:
+//!
+//! * [`SimBackend`] (= [`gpu_sim::Gpu`]) — the simulated V100: kernels execute
+//!   functionally on host threads while the calibrated performance model produces
+//!   *modeled* timings. This backend reproduces the paper's evaluation numbers and is
+//!   the default everywhere.
+//! * [`CpuBackend`] — a real multi-threaded CPU executor: the same [`BlockKernel`]s
+//!   run chunked across cores via `std::thread::scope`, but every timing reported is
+//!   real wall-clock time, there is no transfer modeling, and concurrent "streams"
+//!   execute serially. This is what makes `hfz` actually fast on the machine it runs
+//!   on, and the seam a future CUDA/wgpu port plugs into.
+//!
+//! Both backends produce **bit-identical decoded output and archives** — only the
+//! timings differ — which the workspace's backend-equivalence test matrix enforces.
+//!
+//! ## Example
+//!
+//! ```
+//! use huffdec_backend::{Backend, BackendKind, CpuBackend};
+//! use gpu_sim::GpuConfig;
+//!
+//! let backend = BackendKind::Cpu.create(GpuConfig::test_tiny(), Some(2));
+//! assert_eq!(backend.kind(), BackendKind::Cpu);
+//! assert!(!backend.is_modeled());
+//! let cpu = CpuBackend::with_host_threads(GpuConfig::test_tiny(), 2);
+//! assert_eq!(cpu.kind().name(), "cpu");
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_sim::{
+    concurrent_time, transfer_time_s, BlockKernel, ConcurrentStats, Gpu, GpuConfig, KernelStats,
+    LaunchConfig, LaunchDevice, TransferDirection,
+};
+
+/// The environment variable that selects the default execution backend
+/// (`sim` or `cpu`). Anything else — including unset — means [`BackendKind::Sim`].
+pub const BACKEND_ENV: &str = "HFZ_BACKEND";
+
+/// Which execution backend a device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The simulated GPU with modeled timings (the default).
+    Sim,
+    /// Real multi-threaded CPU execution with wall-clock timings.
+    Cpu,
+}
+
+impl BackendKind {
+    /// The stable lower-case name (`"sim"` / `"cpu"`) used by CLI flags, the
+    /// `HFZ_BACKEND` environment variable, and the `hfz_backend` metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Cpu => "cpu",
+        }
+    }
+
+    /// Parses a backend name as the CLI flags accept it (case-insensitive).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" => Some(BackendKind::Sim),
+            "cpu" => Some(BackendKind::Cpu),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default backend: `HFZ_BACKEND=cpu` selects the CPU backend,
+    /// everything else (unset, `sim`, or unrecognized) the simulator. This is how CI
+    /// runs the whole test suite once per backend without touching every call site.
+    pub fn from_env() -> BackendKind {
+        std::env::var(BACKEND_ENV)
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+            .unwrap_or(BackendKind::Sim)
+    }
+
+    /// Constructs a device of this kind. `host_threads` bounds the executor's thread
+    /// pool (`None` = all available cores).
+    pub fn create(self, config: GpuConfig, host_threads: Option<usize>) -> Arc<dyn Backend> {
+        match (self, host_threads) {
+            (BackendKind::Sim, None) => Arc::new(Gpu::new(config)),
+            (BackendKind::Sim, Some(t)) => Arc::new(Gpu::with_host_threads(config, t)),
+            (BackendKind::Cpu, None) => Arc::new(CpuBackend::new(config)),
+            (BackendKind::Cpu, Some(t)) => Arc::new(CpuBackend::with_host_threads(config, t)),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = UnknownBackend;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::parse(s).ok_or_else(|| UnknownBackend(s.to_string()))
+    }
+}
+
+/// Error of parsing a backend name that is neither `sim` nor `cpu`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend(pub String);
+
+impl fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown backend '{}' (expected sim|cpu)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+/// An execution backend: everything the decode/encode pipelines consume from a device.
+///
+/// Extends [`LaunchDevice`] (kernel launches, host-step charging) with the pipeline-
+/// level concerns: identity, concurrent-stream timing, and transfer modeling. The
+/// pipelines take `&dyn Backend`, so a concrete [`Gpu`] coerces at every existing call
+/// site.
+pub trait Backend: LaunchDevice + Send + Sync + fmt::Debug {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// A human-readable device description (surfaced by `hfz inspect` and `STATS`).
+    fn device_name(&self) -> String;
+
+    /// Whether reported timings come from the performance model (`true` for the sim)
+    /// rather than wall-clock measurement.
+    fn is_modeled(&self) -> bool;
+
+    /// Wall-clock estimate for a set of kernels launched on independent streams.
+    ///
+    /// The sim applies the CUDA-stream overlap model; the CPU backend executed the
+    /// kernels serially, so its estimate is the serial sum (no imagined overlap).
+    fn concurrent(&self, kernels: &[KernelStats]) -> ConcurrentStats;
+
+    /// Seconds charged for moving `bytes` across the host/device boundary.
+    ///
+    /// Zero when the backend does not model transfers ([`Backend::models_transfer`]),
+    /// as on the CPU backend where decode input and output live in the same memory.
+    fn transfer_seconds(&self, bytes: u64, direction: TransferDirection) -> f64;
+
+    /// Whether PCIe-style transfers exist for this backend at all.
+    fn models_transfer(&self) -> bool;
+}
+
+/// The simulated-GPU backend: [`gpu_sim::Gpu`] with its modeled timings.
+pub type SimBackend = Gpu;
+
+impl Backend for Gpu {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn device_name(&self) -> String {
+        self.config().name.clone()
+    }
+
+    fn is_modeled(&self) -> bool {
+        true
+    }
+
+    fn concurrent(&self, kernels: &[KernelStats]) -> ConcurrentStats {
+        concurrent_time(self.config(), kernels)
+    }
+
+    fn transfer_seconds(&self, bytes: u64, direction: TransferDirection) -> f64 {
+        transfer_time_s(self.config(), bytes, direction)
+    }
+
+    fn models_transfer(&self) -> bool {
+        true
+    }
+}
+
+/// A real multi-threaded CPU execution backend.
+///
+/// Runs the same [`BlockKernel`]s as the simulator — per-core chunks of the block grid
+/// via `std::thread::scope` — so decoded output is bit-identical, but every
+/// [`KernelStats`] it returns carries the *measured* wall-clock duration of the launch
+/// instead of the model's estimate. Host-side pipeline steps are likewise charged their
+/// measured time, transfers cost nothing (host memory is device memory), and
+/// "concurrent streams" are what they really are here: serial execution.
+///
+/// The wrapped [`GpuConfig`] still supplies kernel geometry (block sizes, shared-memory
+/// budgets, `T_high`), so the paper's tuning decisions are exercised identically on
+/// both backends.
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    gpu: Gpu,
+}
+
+impl CpuBackend {
+    /// Creates a CPU backend using all available cores.
+    pub fn new(config: GpuConfig) -> Self {
+        CpuBackend {
+            gpu: Gpu::new(config),
+        }
+    }
+
+    /// Creates a CPU backend with a fixed worker-thread count.
+    pub fn with_host_threads(config: GpuConfig, host_threads: usize) -> Self {
+        CpuBackend {
+            gpu: Gpu::with_host_threads(config, host_threads),
+        }
+    }
+
+    /// Number of worker threads kernel blocks are chunked across.
+    pub fn host_threads(&self) -> usize {
+        self.gpu.host_threads()
+    }
+}
+
+impl LaunchDevice for CpuBackend {
+    fn config(&self) -> &GpuConfig {
+        self.gpu.config()
+    }
+
+    fn launch(&self, kernel: &dyn BlockKernel, cfg: LaunchConfig) -> KernelStats {
+        let start = Instant::now();
+        let mut stats = self.gpu.launch(kernel, cfg);
+        let elapsed = start.elapsed().as_secs_f64();
+        // Keep the functional aggregates (grid, memory traffic, occupancy) for
+        // reporting, but replace every timing with the measured wall clock: this
+        // backend has no launch overhead or modeled compute/memory split.
+        stats.compute_time_s = 0.0;
+        stats.mem_time_s = 0.0;
+        stats.launch_overhead_s = 0.0;
+        stats.time_s = elapsed;
+        stats
+    }
+
+    fn charge_seconds(&self, _modeled: f64, measured: f64) -> f64 {
+        measured
+    }
+}
+
+impl Backend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn device_name(&self) -> String {
+        format!("host CPU ({} threads)", self.gpu.host_threads())
+    }
+
+    fn is_modeled(&self) -> bool {
+        false
+    }
+
+    fn concurrent(&self, kernels: &[KernelStats]) -> ConcurrentStats {
+        let serial_time_s: f64 = kernels.iter().map(|k| k.time_s).sum();
+        ConcurrentStats {
+            time_s: serial_time_s,
+            serial_time_s,
+            kernels: kernels.to_vec(),
+        }
+    }
+
+    fn transfer_seconds(&self, _bytes: u64, _direction: TransferDirection) -> f64 {
+        0.0
+    }
+
+    fn models_transfer(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BlockContext, DeviceBuffer};
+
+    struct Iota<'a> {
+        out: &'a DeviceBuffer<u32>,
+    }
+
+    impl BlockKernel for Iota<'_> {
+        fn name(&self) -> &str {
+            "iota"
+        }
+        fn block(&self, ctx: &mut BlockContext) {
+            let bd = ctx.block_dim() as usize;
+            let start = ctx.block_idx() as usize * bd;
+            let end = (start + bd).min(self.out.len());
+            for i in start..end {
+                self.out.set(i, i as u32);
+            }
+            for w in 0..ctx.warp_count() {
+                ctx.global_store_contiguous(w, start as u64, ctx.config().warp_size, 4);
+                ctx.compute(w, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_roundtrip_through_parse() {
+        for kind in [BackendKind::Sim, BackendKind::Cpu] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(BackendKind::parse(&kind.name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("cuda"), None);
+    }
+
+    #[test]
+    fn both_backends_run_kernels_to_the_same_functional_result() {
+        let sim = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+        let cpu = CpuBackend::with_host_threads(GpuConfig::test_tiny(), 3);
+        let n = 5000usize;
+        let out_sim = DeviceBuffer::<u32>::zeroed(n);
+        let out_cpu = DeviceBuffer::<u32>::zeroed(n);
+        let backends: [(&dyn Backend, &DeviceBuffer<u32>); 2] =
+            [(&sim, &out_sim), (&cpu, &out_cpu)];
+        for (backend, out) in backends {
+            let stats = backend.launch(&Iota { out }, LaunchConfig::covering(n, 128));
+            assert_eq!(stats.grid_dim, (n as u32).div_ceil(128));
+        }
+        assert_eq!(out_sim.to_vec(), out_cpu.to_vec());
+    }
+
+    #[test]
+    fn cpu_timings_are_measured_not_modeled() {
+        let cpu = CpuBackend::with_host_threads(GpuConfig::test_tiny(), 2);
+        let out = DeviceBuffer::<u32>::zeroed(10_000);
+        let stats = cpu.launch(&Iota { out: &out }, LaunchConfig::covering(10_000, 128));
+        assert_eq!(stats.compute_time_s, 0.0);
+        assert_eq!(stats.mem_time_s, 0.0);
+        assert_eq!(stats.launch_overhead_s, 0.0);
+        assert!(stats.time_s > 0.0, "wall clock must have advanced");
+        assert_eq!(cpu.charge_seconds(123.0, 0.5), 0.5);
+        assert_eq!(
+            cpu.transfer_seconds(1 << 30, TransferDirection::HostToDevice),
+            0.0
+        );
+        assert!(!cpu.models_transfer());
+    }
+
+    #[test]
+    fn sim_backend_preserves_the_modeling_behaviour() {
+        let sim: Arc<dyn Backend> = BackendKind::Sim.create(GpuConfig::test_tiny(), Some(2));
+        assert!(sim.is_modeled());
+        assert!(sim.models_transfer());
+        assert_eq!(sim.device_name(), "test-tiny");
+        assert_eq!(sim.charge_seconds(7e-6, 99.0), 7e-6);
+        assert!(sim.transfer_seconds(1 << 20, TransferDirection::DeviceToHost) > 0.0);
+    }
+
+    #[test]
+    fn cpu_concurrent_is_the_serial_sum() {
+        let cpu = CpuBackend::with_host_threads(GpuConfig::test_tiny(), 2);
+        let out = DeviceBuffer::<u32>::zeroed(4096);
+        let k1 = cpu.launch(&Iota { out: &out }, LaunchConfig::covering(4096, 128));
+        let k2 = cpu.launch(&Iota { out: &out }, LaunchConfig::covering(4096, 128));
+        let stats = cpu.concurrent(&[k1.clone(), k2.clone()]);
+        assert_eq!(stats.time_s, stats.serial_time_s);
+        assert!((stats.serial_time_s - (k1.time_s + k2.time_s)).abs() < 1e-15);
+        assert_eq!(stats.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn env_selection_defaults_to_sim() {
+        // The test environment does not set HFZ_BACKEND; unknown values also fall
+        // back to the simulator (see from_env docs).
+        assert_eq!(BackendKind::parse("nope"), None);
+        let kind = BackendKind::from_env();
+        assert!(kind == BackendKind::Sim || kind == BackendKind::Cpu);
+    }
+}

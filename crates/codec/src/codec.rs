@@ -11,7 +11,8 @@
 use std::sync::Arc;
 
 use datasets::Field;
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::GpuConfig;
+use huffdec_backend::{Backend, BackendKind};
 use huffdec_core::{
     BatchStats, CompressedPayload, DecodeResult, DecoderKind, EncodePhaseBreakdown, Gap8Stream,
     PhaseBreakdown, PreparedDecode, RangeDecode,
@@ -84,8 +85,13 @@ pub struct BatchDecodeOutcome {
 
 /// Configures and builds a [`Codec`].
 ///
-/// Defaults are the paper's headline setup: a simulated V100, the optimized gap-array
-/// decoder, relative error bound `1e-3`, 1024 quantization bins, no transfer modeling.
+/// Defaults are the paper's headline setup: the **simulated** backend on a
+/// [`GpuConfig::v100`] device model (explicitly: unless [`CodecBuilder::gpu_config`] is
+/// called, every codec models an NVIDIA V100), the optimized gap-array decoder,
+/// relative error bound `1e-3`, 1024 quantization bins, no transfer modeling. The
+/// execution backend defaults to whatever the `HFZ_BACKEND` environment variable names
+/// (`sim` when unset or unrecognized) and can be pinned with
+/// [`CodecBuilder::backend`].
 ///
 /// ```
 /// use huffdec_codec::Codec;
@@ -101,6 +107,7 @@ pub struct BatchDecodeOutcome {
 #[derive(Debug, Clone)]
 pub struct CodecBuilder {
     gpu: GpuConfig,
+    backend: BackendKind,
     host_threads: Option<usize>,
     decoder: DecoderKind,
     error_bound: ErrorBound,
@@ -113,6 +120,7 @@ impl Default for CodecBuilder {
     fn default() -> Self {
         CodecBuilder {
             gpu: GpuConfig::v100(),
+            backend: BackendKind::from_env(),
             host_threads: None,
             decoder: DecoderKind::OptimizedGapArray,
             error_bound: ErrorBound::paper_default(),
@@ -129,9 +137,22 @@ impl CodecBuilder {
         CodecBuilder::default()
     }
 
-    /// The simulated device configuration (default: V100).
+    /// The simulated device configuration (default: [`GpuConfig::v100`] — a codec that
+    /// never calls this models a V100). On the CPU backend this still sets the device
+    /// model the kernels execute against functionally, but timings are measured, not
+    /// modeled.
     pub fn gpu_config(mut self, config: GpuConfig) -> Self {
         self.gpu = config;
+        self
+    }
+
+    /// The execution backend (default: [`BackendKind::from_env`], i.e. the
+    /// `HFZ_BACKEND` environment variable, falling back to the simulated backend):
+    /// [`BackendKind::Sim`] models kernel timings on the configured device,
+    /// [`BackendKind::Cpu`] runs the same kernels on real host threads and reports
+    /// wall-clock timings.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -196,19 +217,20 @@ impl CodecBuilder {
                 value
             )));
         }
-        let gpu = match self.host_threads {
-            Some(threads) => Gpu::with_host_threads(self.gpu, threads),
-            None => Gpu::new(self.gpu),
-        };
+        let backend = self.backend.create(self.gpu, self.host_threads);
+        let metrics = self.metrics.unwrap_or_default();
+        // The registry's identity series (`hfz_backend{name=...}`) follows the last
+        // codec that adopted it.
+        metrics.set_backend(backend.kind().name());
         Ok(Codec {
-            gpu,
+            backend,
             config: SzConfig {
                 error_bound: self.error_bound,
                 alphabet_size: self.alphabet_size,
                 decoder: self.decoder,
             },
             model_transfer: self.model_transfer,
-            metrics: self.metrics.unwrap_or_default(),
+            metrics,
         })
     }
 }
@@ -234,7 +256,7 @@ impl CodecBuilder {
 /// ```
 #[derive(Debug)]
 pub struct Codec {
-    gpu: Gpu,
+    backend: Arc<dyn Backend>,
     config: SzConfig,
     model_transfer: bool,
     metrics: Arc<Metrics>,
@@ -253,10 +275,22 @@ impl Codec {
             .expect("paper defaults are valid")
     }
 
-    /// The simulated device this session runs on. Exposed for low-level consumers
-    /// (kernel-level benchmarks and ablations) that drive `gpu_sim` directly.
-    pub fn gpu(&self) -> &Gpu {
-        &self.gpu
+    /// The execution backend this session runs on. Exposed for low-level consumers
+    /// (kernel-level benchmarks and ablations) that drive the launch interface
+    /// directly.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+
+    /// Which backend kind this session executes on (`sim` or `cpu`).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Human-readable device description: the simulated device model's name on the
+    /// sim backend, the host CPU (with its thread count) on the CPU backend.
+    pub fn device_name(&self) -> String {
+        self.backend.device_name()
     }
 
     /// The session's compression configuration.
@@ -295,13 +329,41 @@ impl Codec {
         }
     }
 
+    /// Publishes the perf-model occupancy of one decode's kernels to `gauge`
+    /// (permille). Breakdowns without kernel stats leave the gauge untouched.
+    fn record_occupancy(&self, gauge: &huffdec_metrics::Gauge, timings: &PhaseBreakdown) {
+        if let Some(fraction) = timings.mean_occupancy_fraction() {
+            gauge.set((fraction * 1000.0).round() as u64);
+        }
+    }
+
+    /// Like [`Codec::record_occupancy`], but time-weighted across every field of a
+    /// batched wave.
+    fn record_wave_occupancy<'a, I: IntoIterator<Item = &'a PhaseBreakdown>>(&self, waves: I) {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for timings in waves {
+            for (_, phase) in timings.phases() {
+                for k in &phase.kernels {
+                    weighted += k.occupancy.fraction * k.time_s;
+                    total += k.time_s;
+                }
+            }
+        }
+        if total > 0.0 {
+            self.metrics
+                .batch_occupancy_permille
+                .set((weighted / total * 1000.0).round() as u64);
+        }
+    }
+
     // ----- compression (uses the session configuration) -----
 
     /// Compresses a field on the simulated-GPU parallel encode pipeline, returning the
     /// archive (bit-identical to the host encoder) and the encode timing breakdown.
     pub fn compress(&self, field: &Field) -> Result<EncodeOutcome> {
         self.check_nonempty(field)?;
-        let (archive, stats) = sz::compress_on(&self.gpu, field, &self.config);
+        let (archive, stats) = sz::compress_on(self.backend.as_ref(), field, &self.config);
         self.metrics.encode_seconds.observe(stats.total_seconds);
         self.record_encode_phases(&stats.encode);
         self.metrics.encode_bytes_in.add(archive.original_bytes());
@@ -330,7 +392,7 @@ impl Codec {
     /// benchmarks measure it).
     pub fn encode_symbols(&self, symbols: &[u16]) -> (CompressedPayload, EncodePhaseBreakdown) {
         let (payload, breakdown) = huffdec_core::compress_on(
-            &self.gpu,
+            self.backend.as_ref(),
             self.config.decoder,
             symbols,
             self.config.alphabet_size,
@@ -363,14 +425,15 @@ impl Codec {
     /// copy of the compressed bytes.
     pub fn decompress(&self, c: &Compressed) -> Result<DecodeOutcome> {
         let d = self.track_decode(if self.model_transfer {
-            sz::decompress_with_transfer(&self.gpu, c)
+            sz::decompress_with_transfer(self.backend.as_ref(), c)
         } else {
-            sz::decompress(&self.gpu, c)
+            sz::decompress(self.backend.as_ref(), c)
         })?;
         self.metrics
             .observe_decode(c.decoder(), d.stats.total_seconds);
         self.metrics.decode_bytes_in.add(c.compressed_bytes());
         self.metrics.decode_bytes_out.add(d.data.len() as u64 * 4);
+        self.record_occupancy(&self.metrics.decode_occupancy_permille, &d.stats.huffman);
         Ok(DecodeOutcome::from_sz(d))
     }
 
@@ -378,7 +441,8 @@ impl Codec {
     /// overlapped wave across the shared worker pool, then each field is
     /// reconstructed. Outputs are bit-identical to serial [`Codec::decompress`].
     pub fn decompress_batch(&self, archives: &[&Compressed]) -> Result<BatchDecodeOutcome> {
-        let (fields, stats) = self.track_decode(sz::decompress_batch(&self.gpu, archives))?;
+        let (fields, stats) =
+            self.track_decode(sz::decompress_batch(self.backend.as_ref(), archives))?;
         self.metrics.batch_serial_seconds.add(stats.serial_seconds);
         self.metrics
             .batch_batched_seconds
@@ -389,6 +453,7 @@ impl Codec {
             self.metrics.decode_bytes_in.add(c.compressed_bytes());
             self.metrics.decode_bytes_out.add(d.data.len() as u64 * 4);
         }
+        self.record_wave_occupancy(fields.iter().map(|d| &d.stats.huffman));
         Ok(BatchDecodeOutcome {
             fields: fields.into_iter().map(DecodeOutcome::from_sz).collect(),
             stats,
@@ -399,13 +464,14 @@ impl Codec {
     /// reverse quantization) — what digest verification and the daemon's `codes`
     /// requests consume.
     pub fn decode_codes(&self, c: &Compressed) -> Result<DecodeResult> {
-        let r = self.track_decode(sz::decode_codes(&self.gpu, c))?;
+        let r = self.track_decode(sz::decode_codes(self.backend.as_ref(), c))?;
         self.metrics
             .observe_decode(c.decoder(), r.timings.total_seconds());
         self.metrics.decode_bytes_in.add(c.compressed_bytes());
         self.metrics
             .decode_bytes_out
             .add(r.symbols.len() as u64 * 2);
+        self.record_occupancy(&self.metrics.decode_occupancy_permille, &r.timings);
         Ok(r)
     }
 
@@ -413,7 +479,7 @@ impl Codec {
     /// access for streams that never went through the field pipeline.
     pub fn decode_payload(&self, payload: &CompressedPayload) -> Result<DecodeResult> {
         let r = self.track_decode(huffdec_core::decode(
-            &self.gpu,
+            self.backend.as_ref(),
             self.config.decoder,
             payload,
         ))?;
@@ -423,13 +489,14 @@ impl Codec {
         self.metrics
             .decode_bytes_out
             .add(r.symbols.len() as u64 * 2);
+        self.record_occupancy(&self.metrics.decode_occupancy_permille, &r.timings);
         Ok(r)
     }
 
     /// Decodes an original 8-bit gap-array stream (the Yamamoto et al. baseline the
     /// evaluation compares against; symbols are the trimmed 8-bit codes).
     pub fn decode_gap8(&self, stream: &Gap8Stream) -> (Vec<u8>, PhaseBreakdown) {
-        huffdec_core::decode_original_gap8(&self.gpu, stream)
+        huffdec_core::decode_original_gap8(self.backend.as_ref(), stream)
     }
 
     // ----- archive sessions -----
@@ -492,7 +559,7 @@ impl Codec {
     /// Decodes the full symbol stream of one field of an opened archive.
     pub fn decode_field_codes(&self, field: &FieldHandle) -> Result<DecodeResult> {
         let r = self.track_decode(huffdec_core::decode(
-            &self.gpu,
+            self.backend.as_ref(),
             field.decoder(),
             field.archive().payload(),
         ))?;
@@ -504,6 +571,7 @@ impl Codec {
         self.metrics
             .decode_bytes_out
             .add(r.symbols.len() as u64 * 2);
+        self.record_occupancy(&self.metrics.decode_occupancy_permille, &r.timings);
         Ok(r)
     }
 
@@ -518,7 +586,8 @@ impl Codec {
             .iter()
             .map(|f| (f.decoder(), f.archive().payload()))
             .collect();
-        let (results, stats) = self.track_decode(huffdec_core::decode_batch(&self.gpu, &items))?;
+        let (results, stats) =
+            self.track_decode(huffdec_core::decode_batch(self.backend.as_ref(), &items))?;
         self.metrics.batch_serial_seconds.add(stats.serial_seconds);
         self.metrics
             .batch_batched_seconds
@@ -533,6 +602,7 @@ impl Codec {
                 .decode_bytes_out
                 .add(r.symbols.len() as u64 * 2);
         }
+        self.record_wave_occupancy(results.iter().map(|r| &r.timings));
         Ok((results, stats))
     }
 
@@ -545,7 +615,7 @@ impl Codec {
         // cached index. (Two racing first calls may both record — the instruments are
         // advisory, the index itself is built exactly once.)
         let built_before = field.prepared_ready();
-        let prepared = self.track_decode(field.prepared(&self.gpu))?;
+        let prepared = self.track_decode(field.prepared(self.backend.as_ref()))?;
         if !built_before {
             self.metrics
                 .observe_index_build(field.decoder(), prepared.timings.total_seconds());
@@ -567,7 +637,7 @@ impl Codec {
     ) -> Result<RangeDecode> {
         let prepared = self.prepare_field(field)?;
         let r = self.track_decode(huffdec_core::decode_range(
-            &self.gpu,
+            self.backend.as_ref(),
             field.decoder(),
             field.archive().payload(),
             prepared,
@@ -657,7 +727,7 @@ mod tests {
             let decoded = codec.decompress(&outcome.archive).unwrap();
             assert_eq!(
                 decoded.data,
-                sz::decompress(codec.gpu(), &legacy).unwrap().data
+                sz::decompress(codec.backend(), &legacy).unwrap().data
             );
         }
     }
@@ -675,10 +745,19 @@ mod tests {
 
     #[test]
     fn transfer_modeling_is_a_session_property() {
+        // Pinned to the simulated backend: only the transfer *model* makes the
+        // with-transfer run deterministically slower (the CPU backend measures real
+        // time and performs no transfers).
         let field = generate(&dataset_by_name("CESM").unwrap(), 25_000, 3);
-        let plain = tiny_codec(DecoderKind::OptimizedGapArray);
+        let plain = Codec::builder()
+            .gpu_config(GpuConfig::test_tiny())
+            .backend(BackendKind::Sim)
+            .host_threads(2)
+            .build()
+            .unwrap();
         let with_transfer = Codec::builder()
             .gpu_config(GpuConfig::test_tiny())
+            .backend(BackendKind::Sim)
             .host_threads(2)
             .model_transfer(true)
             .build()
@@ -731,6 +810,11 @@ mod tests {
         assert_eq!(m.decode_seconds[tag].count(), 1);
         assert_eq!(m.decode_bytes_in, outcome.archive.compressed_bytes());
         assert_eq!(m.decode_bytes_out, decoded.data.len() as u64 * 4);
+        // The session stamped its backend identity at build time, and the decode
+        // published its perf-model occupancy.
+        assert_eq!(m.backend.as_deref(), Some(codec.backend_kind().name()));
+        assert!(m.decode_occupancy_permille > 0);
+        assert!(m.decode_occupancy_permille <= 1000);
 
         // Batched decodes feed the wave-occupancy counters and the per-field
         // histograms alike.
@@ -740,6 +824,8 @@ mod tests {
         assert_eq!(m.decode_seconds[tag].count(), 3);
         assert!(m.batch_serial_seconds > 0.0);
         assert!(m.batch_batched_seconds <= m.batch_serial_seconds + 1e-15);
+        assert!(m.batch_occupancy_permille > 0);
+        assert!(m.batch_occupancy_permille <= 1000);
 
         // A failed decode bumps the error counter.
         let other = tiny_codec(DecoderKind::CuszBaseline);

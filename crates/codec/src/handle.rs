@@ -10,7 +10,7 @@
 
 use std::sync::OnceLock;
 
-use gpu_sim::Gpu;
+use huffdec_backend::Backend;
 use huffdec_container::{
     read_snapshot_with_info, Archive, ArchiveInfo, ContainerError, SnapshotManifest,
 };
@@ -93,7 +93,7 @@ impl FieldHandle {
     /// The cached range-decode index, built on first use. The preparation cost
     /// (synchronization or gap counting + prefix sums) is paid by whichever caller
     /// gets here first; everyone after decodes only their blocks.
-    pub(crate) fn prepared(&self, gpu: &Gpu) -> Result<&PreparedDecode> {
+    pub(crate) fn prepared(&self, gpu: &dyn Backend) -> Result<&PreparedDecode> {
         self.prepared
             .get_or_init(|| prepare_decode(gpu, self.archive.decoder(), self.archive.payload()))
             .as_ref()

@@ -53,6 +53,9 @@ mod handle;
 pub use codec::{BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome, EncodeOutcome};
 pub use error::{HfzError, Result};
 pub use handle::{ArchiveHandle, ArchiveSummary, FieldHandle};
+// The execution-backend seam, re-exported so CLI/daemon consumers can select and
+// inspect backends without naming the backend crate directly.
+pub use huffdec_backend::{Backend, BackendKind, CpuBackend, SimBackend, BACKEND_ENV};
 // The registry every codec records into, re-exported so consumers can hold and render
 // snapshots without naming the metrics crate directly.
 pub use huffdec_metrics::{Metrics, MetricsSnapshot};

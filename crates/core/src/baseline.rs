@@ -6,7 +6,8 @@
 //! therefore coarse (one thread per chunk), per-thread work is large, and both the unit
 //! loads and the symbol stores are heavily strided across the threads of a warp.
 
-use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, LaunchConfig};
+use huffdec_backend::Backend;
 use huffman::{BitReader, ChunkedEncoded, Codebook};
 
 use crate::phases::{DecodeResult, PhaseBreakdown};
@@ -112,7 +113,11 @@ impl BlockKernel for CoarseDecodeKernel<'_> {
 }
 
 /// Decodes a chunked (cuSZ-format) stream with the baseline coarse-grained decoder.
-pub fn decode_baseline(gpu: &Gpu, encoded: &ChunkedEncoded, codebook: &Codebook) -> DecodeResult {
+pub fn decode_baseline(
+    gpu: &dyn Backend,
+    encoded: &ChunkedEncoded,
+    codebook: &Codebook,
+) -> DecodeResult {
     let output = DeviceBuffer::<u16>::zeroed(encoded.num_symbols);
     let all_chunks: Vec<u32> = (0..encoded.chunks.len() as u32).collect();
     let stats = decode_baseline_chunks(gpu, encoded, codebook, &all_chunks, &output);
@@ -133,7 +138,7 @@ pub fn decode_baseline(gpu: &Gpu, encoded: &ChunkedEncoded, codebook: &Codebook)
 /// baseline decoder's partial-decode entry point: a serving layer answering a range
 /// request launches one thread per *overlapping* chunk instead of decoding the field.
 pub fn decode_baseline_chunks(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     encoded: &ChunkedEncoded,
     codebook: &Codebook,
     chunk_indices: &[u32],
@@ -152,6 +157,7 @@ pub fn decode_baseline_chunks(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
     use huffman::encode_chunked;
 

@@ -13,7 +13,8 @@
 //! longest single field's serial phase chain (phases within a field are dependent), and
 //! can never be slower than decoding the fields serially.
 
-use gpu_sim::{concurrent_time, Gpu, KernelStats};
+use gpu_sim::KernelStats;
+use huffdec_backend::Backend;
 
 use crate::decoder::{decode, CompressedPayload, DecodeError, DecoderKind};
 use crate::phases::DecodeResult;
@@ -71,7 +72,7 @@ fn throughput(useful_bytes: u64, seconds: f64) -> f64 {
 /// fails the whole batch without wasted work, with the same typed
 /// [`DecodeError::PayloadMismatch`] the single-field path reports.
 pub fn decode_batch(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     items: &[(DecoderKind, &CompressedPayload)],
 ) -> Result<(Vec<DecodeResult>, BatchStats), DecodeError> {
     for &(kind, payload) in items {
@@ -95,6 +96,7 @@ pub fn decode_batch(
     let slots: Vec<std::sync::Mutex<Option<Result<DecodeResult, DecodeError>>>> = (0..items.len())
         .map(|_| std::sync::Mutex::new(None))
         .collect();
+    let wave_start = std::time::Instant::now();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -107,6 +109,7 @@ pub fn decode_batch(
             });
         }
     });
+    let wave_elapsed = wave_start.elapsed().as_secs_f64();
     let mut fields = Vec::with_capacity(items.len());
     for slot in slots {
         let result = slot
@@ -116,14 +119,25 @@ pub fn decode_batch(
         fields.push(result?);
     }
 
-    let stats = batch_stats(gpu, &fields);
+    let mut stats = batch_stats(gpu, &fields);
+    if !gpu.is_modeled() {
+        // A real backend does not need the stream model: the scoped workers above *are*
+        // the overlapped wave, so use its measured wall clock — clamped to the same
+        // invariants the model guarantees (never under the longest field's own chain,
+        // never over the serial sum).
+        let longest_field = fields
+            .iter()
+            .map(|f| f.timings.total_seconds())
+            .fold(0.0f64, f64::max);
+        stats.batched_seconds = wave_elapsed.max(longest_field).min(stats.serial_seconds);
+    }
     Ok((fields, stats))
 }
 
 /// Aggregates per-field decode timings into the serial baseline and the batched wave
 /// estimate. Exposed so consumers that already hold [`DecodeResult`]s (e.g. a cache
 /// layer replaying breakdowns) can compute the same statistics.
-pub fn batch_stats(gpu: &Gpu, fields: &[DecodeResult]) -> BatchStats {
+pub fn batch_stats(gpu: &dyn Backend, fields: &[DecodeResult]) -> BatchStats {
     let mut kernels: Vec<KernelStats> = Vec::new();
     let mut host_seconds = 0.0f64;
     let mut serial_seconds = 0.0f64;
@@ -140,7 +154,7 @@ pub fn batch_stats(gpu: &Gpu, fields: &[DecodeResult]) -> BatchStats {
                 (phase.seconds - phase.kernels.iter().map(|k| k.time_s).sum::<f64>()).max(0.0);
         }
     }
-    let wave = concurrent_time(gpu.config(), &kernels);
+    let wave = gpu.concurrent(&kernels);
     // Within a field the phases are serially dependent, so the wave can never undercut
     // the longest single field; across fields everything may overlap.
     let batched_seconds = (wave.time_s + host_seconds)
@@ -177,6 +191,7 @@ fn validate(kind: DecoderKind, payload: &CompressedPayload) -> Result<(), Decode
 mod tests {
     use super::*;
     use crate::decoder::compress_for;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
 
     fn quant_symbols(n: usize, salt: u32) -> Vec<u16> {

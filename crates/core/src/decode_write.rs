@@ -14,7 +14,8 @@
 //! Both kernels can operate on an arbitrary subset of sequences (`seq_indices`), which is
 //! how the shared-memory tuner launches one kernel per compression-ratio class.
 
-use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, Gpu, KernelStats, LaunchConfig};
+use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, KernelStats, LaunchConfig};
+use huffdec_backend::Backend;
 use huffman::BitReader;
 
 use crate::format::EncodedStream;
@@ -232,7 +233,7 @@ impl BlockKernel for DecodeWriteKernel<'_> {
 /// Launches the decode-and-write kernel over the given sequences and returns the kernel
 /// statistics. The output buffer is filled functionally for the selected sequences.
 pub fn run_decode_write(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     stream: &EncodedStream,
     infos: &[SubseqInfo],
     output_index: &OutputIndex,

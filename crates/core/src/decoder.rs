@@ -13,7 +13,8 @@
 
 use std::fmt;
 
-use gpu_sim::{DeviceBuffer, Gpu};
+use gpu_sim::DeviceBuffer;
+use huffdec_backend::Backend;
 use huffman::{encode_chunked, ChunkedEncoded, Codebook, DEFAULT_CHUNK_SYMBOLS};
 
 use crate::baseline::decode_baseline;
@@ -231,7 +232,7 @@ impl std::error::Error for DecodeError {}
 /// decoder given a stream without a gap array) instead of panicking — such payloads can
 /// reach this function from CRC-valid but inconsistent archives.
 pub fn decode(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     kind: DecoderKind,
     payload: &CompressedPayload,
 ) -> Result<DecodeResult, DecodeError> {
@@ -258,7 +259,7 @@ pub fn decode(
 
 /// Convenience: compress and decode in one call (used by tests and examples).
 pub fn roundtrip(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     kind: DecoderKind,
     symbols: &[u16],
     alphabet_size: usize,
@@ -267,7 +268,7 @@ pub fn roundtrip(
     decode(gpu, kind, &payload).expect("compress_for produces a payload matching the decoder")
 }
 
-fn decode_original_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
+fn decode_original_self_sync(gpu: &dyn Backend, stream: &EncodedStream) -> DecodeResult {
     let sync = synchronize(gpu, stream, SyncVariant::Original);
     let (oi, oi_phase) = compute_output_index(gpu, &sync.infos);
     let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
@@ -295,7 +296,7 @@ fn decode_original_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult 
     }
 }
 
-fn decode_optimized_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
+fn decode_optimized_self_sync(gpu: &dyn Backend, stream: &EncodedStream) -> DecodeResult {
     let sync = synchronize(gpu, stream, SyncVariant::Optimized);
     let (oi, oi_phase) = compute_output_index(gpu, &sync.infos);
     let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
@@ -314,7 +315,7 @@ fn decode_optimized_self_sync(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult
     }
 }
 
-fn decode_optimized_gap_array(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult {
+fn decode_optimized_gap_array(gpu: &dyn Backend, stream: &EncodedStream) -> DecodeResult {
     let (infos, count_phase) = gap_count_symbols(gpu, stream);
     let (oi, prefix_phase) = compute_output_index(gpu, &infos);
     let output = DeviceBuffer::<u16>::zeroed(oi.total as usize);
@@ -338,6 +339,7 @@ fn decode_optimized_gap_array(gpu: &Gpu, stream: &EncodedStream) -> DecodeResult
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
 
     fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {

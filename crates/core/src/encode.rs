@@ -28,8 +28,9 @@
 use gpu_sim::{
     cost,
     primitives::{device_exclusive_prefix_sum, device_histogram},
-    BlockContext, BlockKernel, DeviceBuffer, Gpu, GpuConfig, LaunchConfig, PhaseTime,
+    BlockContext, BlockKernel, DeviceBuffer, GpuConfig, LaunchConfig, PhaseTime,
 };
+use huffdec_backend::Backend;
 use huffman::{
     ChunkMeta, ChunkedEncoded, Codebook, Codeword, FrequencyTable, GapArray, DEFAULT_CHUNK_SYMBOLS,
 };
@@ -360,7 +361,7 @@ impl BlockKernel for GapFromOffsetsKernel<'_> {
 /// # Panics
 /// Panics if a symbol is outside the alphabet (the host encoder panics identically).
 pub fn compress_on(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     kind: DecoderKind,
     symbols: &[u16],
     alphabet_size: usize,
@@ -370,11 +371,16 @@ pub fn compress_on(
     let (counts, histogram) = device_histogram(gpu, &keys, alphabet_size);
 
     // Phase 2: canonical codebook from the frequencies (identical to the host path,
-    // which counts the same frequencies from the same symbols).
+    // which counts the same frequencies from the same symbols). The sim charges the
+    // analytic build-time model; a real backend charges the measured construction.
+    let codebook_start = std::time::Instant::now();
     let codebook = Codebook::from_frequencies(&FrequencyTable::from_counts(counts));
     let mut codebook_phase = PhaseTime::empty();
     if !symbols.is_empty() {
-        codebook_phase.push_seconds(codebook_build_time(gpu.config(), alphabet_size));
+        codebook_phase.push_seconds(gpu.charge_seconds(
+            codebook_build_time(gpu.config(), alphabet_size),
+            codebook_start.elapsed().as_secs_f64(),
+        ));
     }
 
     let mut offsets_phase = PhaseTime::empty();
@@ -526,7 +532,7 @@ pub fn compress_on(
 }
 
 fn launch_scatter(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     symbols: &DeviceBuffer<u16>,
     offsets: &DeviceBuffer<u64>,
     codewords: &[Codeword],
@@ -579,6 +585,7 @@ fn empty_payload(kind: DecoderKind, codebook: Codebook) -> CompressedPayload {
 mod tests {
     use super::*;
     use crate::decoder::{compress_for, decode};
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
 
     fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {

@@ -11,7 +11,8 @@
 //! byte; we reproduce that estimation faithfully (separate 8-bit codebook and stream,
 //! direct packed writes, compression ratio doubled by the harness for comparability).
 
-use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, Gpu, LaunchConfig, PhaseTime};
+use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, LaunchConfig, PhaseTime};
+use huffdec_backend::Backend;
 use huffman::{BitReader, Codebook};
 
 use crate::format::EncodedStream;
@@ -91,7 +92,10 @@ impl BlockKernel for GapCountKernel<'_> {
 ///
 /// # Panics
 /// Panics if the stream was encoded without a gap array.
-pub fn gap_count_symbols(gpu: &Gpu, stream: &EncodedStream) -> (Vec<SubseqInfo>, PhaseTime) {
+pub fn gap_count_symbols(
+    gpu: &dyn Backend,
+    stream: &EncodedStream,
+) -> (Vec<SubseqInfo>, PhaseTime) {
     let gap = stream
         .gap_array
         .as_ref()
@@ -171,7 +175,7 @@ pub fn encode_gap8(symbols: &[u16], alphabet_size: usize) -> Gap8Stream {
 /// Decodes an 8-bit gap-array stream with the *original* (direct-write) strategy:
 /// counting phase + prefix sum + direct writes, where each thread packs four 8-bit symbols
 /// into one 32-bit store (Yamamoto et al. write multiple symbols at a time).
-pub fn decode_original_gap8(gpu: &Gpu, g8: &Gap8Stream) -> (Vec<u8>, PhaseBreakdown) {
+pub fn decode_original_gap8(gpu: &dyn Backend, g8: &Gap8Stream) -> (Vec<u8>, PhaseBreakdown) {
     use crate::decode_write::{run_decode_write, WriteStrategy};
     use crate::output_index::compute_output_index;
 
@@ -192,12 +196,17 @@ pub fn decode_original_gap8(gpu: &Gpu, g8: &Gap8Stream) -> (Vec<u8>, PhaseBreakd
 
     // Packed 4-byte stores write one quarter of the transactions of per-symbol stores;
     // reflect that by scaling the decode/write time's store-bound component. The
-    // simulation still performed the functional work symbol-by-symbol.
+    // simulation still performed the functional work symbol-by-symbol. Measured
+    // (non-modeled) timings are left untouched: recombining them from the modeled
+    // compute/memory split would zero them out.
     let mut decode_phase = PhaseTime::empty();
     let mut adjusted = stats;
     adjusted.mem.store_sectors = adjusted.mem.store_sectors.div_ceil(2);
-    adjusted.mem_time_s *= 0.5;
-    adjusted.time_s = adjusted.compute_time_s.max(adjusted.mem_time_s) + adjusted.launch_overhead_s;
+    if gpu.is_modeled() {
+        adjusted.mem_time_s *= 0.5;
+        adjusted.time_s =
+            adjusted.compute_time_s.max(adjusted.mem_time_s) + adjusted.launch_overhead_s;
+    }
     decode_phase.push_serial(adjusted);
 
     let mut output_index_phase = count_phase;
@@ -218,6 +227,7 @@ pub fn decode_original_gap8(gpu: &Gpu, g8: &Gap8Stream) -> (Vec<u8>, PhaseBreakd
 mod tests {
     use super::*;
     use crate::subseq::reference_subseq_infos;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
 
     fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {

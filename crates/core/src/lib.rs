@@ -73,6 +73,7 @@ pub use format::{
     wire, EncodedStream, StreamGeometry, DEFAULT_SUBSEQ_UNITS, DEFAULT_THREADS_PER_BLOCK,
 };
 pub use gap_decode::{decode_original_gap8, encode_gap8, gap_count_symbols, Gap8Stream};
+pub use huffdec_backend::{Backend, BackendKind, CpuBackend, SimBackend, BACKEND_ENV};
 pub use output_index::{compute_output_index, OutputIndex};
 pub use phases::{DecodeResult, PhaseBreakdown};
 pub use range::{decode_range, prepare_decode, PreparedDecode, RangeDecode};

@@ -6,7 +6,8 @@
 //! symbol. The prefix sum runs on the simulator's CUB-equivalent primitive so the phase is
 //! charged a faithful cost.
 
-use gpu_sim::{primitives::device_exclusive_prefix_sum, Gpu, PhaseTime};
+use gpu_sim::{primitives::device_exclusive_prefix_sum, PhaseTime};
+use huffdec_backend::Backend;
 
 use crate::subseq::SubseqInfo;
 
@@ -21,7 +22,7 @@ pub struct OutputIndex {
 }
 
 /// Computes the output index on the device from per-subsequence states.
-pub fn compute_output_index(gpu: &Gpu, infos: &[SubseqInfo]) -> (OutputIndex, PhaseTime) {
+pub fn compute_output_index(gpu: &dyn Backend, infos: &[SubseqInfo]) -> (OutputIndex, PhaseTime) {
     let counts: Vec<u64> = infos.iter().map(|i| i.num_symbols).collect();
     let (offsets, total, phase) = device_exclusive_prefix_sum(gpu, &counts);
     (OutputIndex { offsets, total }, phase)
@@ -30,6 +31,7 @@ pub fn compute_output_index(gpu: &Gpu, infos: &[SubseqInfo]) -> (OutputIndex, Ph
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
 
     fn gpu() -> Gpu {

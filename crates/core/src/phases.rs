@@ -81,6 +81,28 @@ impl PhaseBreakdown {
     pub fn kernel_launches(&self) -> usize {
         self.phases().iter().map(|(_, p)| p.kernels.len()).sum()
     }
+
+    /// Time-weighted mean SM occupancy fraction (in `[0, 1]`) across every kernel
+    /// launch of the run, or `None` when no phase recorded kernel-level stats.
+    ///
+    /// The occupancy itself always comes from the gpu-sim perf model — the CPU
+    /// backend keeps the functional launch aggregates even though its *timings* are
+    /// measured — so the gauge is meaningful on either backend.
+    pub fn mean_occupancy_fraction(&self) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for (_, phase) in self.phases() {
+            for k in &phase.kernels {
+                weighted += k.occupancy.fraction * k.time_s;
+                total += k.time_s;
+            }
+        }
+        if total > 0.0 {
+            Some(weighted / total)
+        } else {
+            None
+        }
+    }
 }
 
 /// The result of a decode: the symbols plus the timing breakdown.

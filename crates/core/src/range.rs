@@ -19,7 +19,8 @@
 //! field and then answers arbitrarily many range requests by launching the
 //! decode/write kernel over only the overlapping blocks.
 
-use gpu_sim::{DeviceBuffer, Gpu};
+use gpu_sim::DeviceBuffer;
+use huffdec_backend::Backend;
 
 use crate::baseline::decode_baseline_chunks;
 use crate::decode_write::{run_decode_write, WriteStrategy};
@@ -77,7 +78,7 @@ pub struct RangeDecode {
 /// Returns [`DecodeError::PayloadMismatch`] when the payload's format does not match the
 /// decoder, exactly as [`crate::decode`] would.
 pub fn prepare_decode(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     kind: DecoderKind,
     payload: &CompressedPayload,
 ) -> Result<PreparedDecode, DecodeError> {
@@ -140,7 +141,7 @@ pub fn prepare_decode(
 /// `prepared` must come from [`prepare_decode`] over the *same* payload and decoder.
 /// Returns [`DecodeError::RangeOutOfBounds`] when the range does not fit the stream.
 pub fn decode_range(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     kind: DecoderKind,
     payload: &CompressedPayload,
     prepared: &PreparedDecode,
@@ -268,6 +269,7 @@ fn slice_range(output: &DeviceBuffer<u16>, start: u64, end: u64) -> Vec<u16> {
 mod tests {
     use super::*;
     use crate::decoder::{compress_for, decode};
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
 
     fn quant_symbols(n: usize, spread: u32) -> Vec<u16> {

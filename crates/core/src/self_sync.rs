@@ -17,7 +17,8 @@
 //!   that they start at their own boundary; this phase chains the true end of each
 //!   sequence into the next and re-synchronizes the few affected subsequences.
 
-use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, Gpu, LaunchConfig, PhaseTime};
+use gpu_sim::{cost, BlockContext, BlockKernel, DeviceBuffer, LaunchConfig, PhaseTime};
+use huffdec_backend::Backend;
 use huffman::BitReader;
 
 use crate::format::EncodedStream;
@@ -292,7 +293,7 @@ impl BlockKernel for InterSyncKernel<'_> {
 
 /// Runs the intra- and inter-sequence synchronization phases for `stream` and returns the
 /// converged per-subsequence state plus the phase timings.
-pub fn synchronize(gpu: &Gpu, stream: &EncodedStream, variant: SyncVariant) -> SyncResult {
+pub fn synchronize(gpu: &dyn Backend, stream: &EncodedStream, variant: SyncVariant) -> SyncResult {
     let total_subs = stream.num_subseqs();
     let num_seqs = stream.num_seqs();
     if total_subs == 0 {
@@ -367,6 +368,7 @@ pub fn synchronize(gpu: &Gpu, stream: &EncodedStream, variant: SyncVariant) -> S
 mod tests {
     use super::*;
     use crate::subseq::reference_subseq_infos;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
     use huffman::Codebook;
 

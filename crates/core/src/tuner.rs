@@ -16,10 +16,10 @@
 //!    all on separate CUDA streams so they may overlap.
 
 use gpu_sim::{
-    concurrent_time, cost, primitives::device_histogram, primitives::device_radix_sort_pairs,
-    transfer_time_s, BlockContext, BlockKernel, DeviceBuffer, Gpu, KernelStats, LaunchConfig,
-    PhaseTime, TransferDirection,
+    cost, primitives::device_histogram, primitives::device_radix_sort_pairs, BlockContext,
+    BlockKernel, DeviceBuffer, KernelStats, LaunchConfig, PhaseTime, TransferDirection,
 };
+use huffdec_backend::Backend;
 
 use crate::decode_write::{run_decode_write, WriteStrategy};
 use crate::format::EncodedStream;
@@ -92,7 +92,7 @@ impl BlockKernel for ClassifyKernel<'_> {
 /// Classifies sequences, sorts them by class, and launches one staged decode/write kernel
 /// per class with a class-appropriate shared-memory buffer.
 pub fn tuned_decode_write(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     stream: &EncodedStream,
     infos: &[SubseqInfo],
     output_index: &OutputIndex,
@@ -152,12 +152,11 @@ pub fn tuned_decode_write(
         device_radix_sort_pairs(gpu, &class_of_seq, &seq_indices, t_high);
     tune_phase.extend_serial(sort_phase);
 
-    // Step 4: transfer the histogram to the host and prefix-sum it into class offsets.
-    tune_phase.push_seconds(transfer_time_s(
-        gpu.config(),
-        histogram.len() as u64 * 8,
-        TransferDirection::DeviceToHost,
-    ));
+    // Step 4: transfer the histogram to the host and prefix-sum it into class offsets
+    // (free on backends that do not model a host/device boundary).
+    tune_phase.push_seconds(
+        gpu.transfer_seconds(histogram.len() as u64 * 8, TransferDirection::DeviceToHost),
+    );
     let mut class_start = vec![0usize; num_classes + 1];
     for c in 0..num_classes {
         class_start[c + 1] = class_start[c] + histogram[c] as usize;
@@ -193,7 +192,7 @@ pub fn tuned_decode_write(
         );
         kernels.push(stats);
     }
-    let concurrent = concurrent_time(gpu.config(), &kernels);
+    let concurrent = gpu.concurrent(&kernels);
     let mut decode_phase = PhaseTime::empty();
     decode_phase.push_seconds(concurrent.time_s);
     decode_phase.kernels = kernels;
@@ -211,6 +210,7 @@ mod tests {
     use super::*;
     use crate::output_index::compute_output_index;
     use crate::subseq::reference_subseq_infos;
+    use gpu_sim::Gpu;
     use gpu_sim::GpuConfig;
     use huffman::Codebook;
 

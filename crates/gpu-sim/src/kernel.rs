@@ -102,11 +102,16 @@ impl Gpu {
         &self.config
     }
 
+    /// Number of host threads used to execute thread blocks in parallel.
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
     /// Launches a kernel and blocks until every thread block has executed.
     ///
     /// Returns the aggregated [`KernelStats`] including the estimated kernel time under
     /// the device's cost model.
-    pub fn launch<K: BlockKernel>(&self, kernel: &K, cfg: LaunchConfig) -> KernelStats {
+    pub fn launch<K: BlockKernel + ?Sized>(&self, kernel: &K, cfg: LaunchConfig) -> KernelStats {
         assert!(cfg.block_dim > 0, "block_dim must be positive");
         assert!(
             cfg.shared_mem_bytes <= self.config.max_shared_mem_per_block,
@@ -184,6 +189,45 @@ impl Gpu {
             cfg.regs_per_thread,
             &all_stats,
         )
+    }
+}
+
+/// The minimal device interface kernels are launched through.
+///
+/// The decode/encode pipelines and the device-wide [`crate::primitives`] are written
+/// against this trait instead of the concrete [`Gpu`], so a different executor (e.g. a
+/// real multi-threaded CPU backend) can run the same [`BlockKernel`]s with its own
+/// notion of time. Generic consumers take `&D where D: LaunchDevice + ?Sized`, which
+/// accepts both a concrete [`Gpu`] and any trait object whose supertraits include this
+/// one.
+pub trait LaunchDevice {
+    /// The device configuration (kernel geometry plus the cost-model parameters).
+    fn config(&self) -> &GpuConfig;
+
+    /// Launches a kernel over a grid of blocks and returns its timing record.
+    fn launch(&self, kernel: &dyn BlockKernel, cfg: LaunchConfig) -> KernelStats;
+
+    /// Converts a host-side pipeline step into charged seconds.
+    ///
+    /// `modeled` is what the performance model attributes to the step (typically one
+    /// kernel-launch overhead, standing in for the small kernel a GPU would run);
+    /// `measured` is the real wall-clock duration of the step. The simulator returns
+    /// `modeled`, keeping its timings number-identical to the pre-trait pipeline; real
+    /// backends return `measured`.
+    fn charge_seconds(&self, modeled: f64, measured: f64) -> f64;
+}
+
+impl LaunchDevice for Gpu {
+    fn config(&self) -> &GpuConfig {
+        Gpu::config(self)
+    }
+
+    fn launch(&self, kernel: &dyn BlockKernel, cfg: LaunchConfig) -> KernelStats {
+        Gpu::launch(self, kernel, cfg)
+    }
+
+    fn charge_seconds(&self, modeled: f64, _measured: f64) -> f64 {
+        modeled
     }
 }
 
@@ -268,6 +312,20 @@ mod tests {
             &Iota { out: &out },
             LaunchConfig::new(1, 32).with_shared_mem(1 << 20),
         );
+    }
+
+    #[test]
+    fn launch_device_trait_object_matches_inherent_launch() {
+        let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+        let n = 2048usize;
+        let out1 = DeviceBuffer::<u32>::zeroed(n);
+        let out2 = DeviceBuffer::<u32>::zeroed(n);
+        let direct = gpu.launch(&Iota { out: &out1 }, LaunchConfig::covering(n, 64));
+        let device: &dyn LaunchDevice = &gpu;
+        let via_trait = device.launch(&Iota { out: &out2 }, LaunchConfig::covering(n, 64));
+        assert_eq!(out1.to_vec(), out2.to_vec());
+        assert!((direct.time_s - via_trait.time_s).abs() < 1e-15);
+        assert_eq!(device.charge_seconds(1.5e-6, 42.0), 1.5e-6);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use block::{cost, BlockContext, BlockStats, MemStats};
 pub use buffer::DeviceBuffer;
 pub use coalesce::{coalesce_access, coalesce_contiguous, coalesce_strided, CoalesceResult};
 pub use config::GpuConfig;
-pub use kernel::{BlockKernel, Gpu, LaunchConfig};
+pub use kernel::{BlockKernel, Gpu, LaunchConfig, LaunchDevice};
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use stream::{concurrent_time, ConcurrentStats};
 pub use timing::{estimate_kernel_time, KernelStats, PhaseTime};

@@ -7,7 +7,7 @@
 
 use crate::block::{cost, BlockContext};
 use crate::buffer::DeviceBuffer;
-use crate::kernel::{BlockKernel, Gpu, LaunchConfig};
+use crate::kernel::{BlockKernel, LaunchConfig, LaunchDevice};
 use crate::timing::PhaseTime;
 
 const BLOCK_DIM: u32 = 256;
@@ -114,7 +114,11 @@ impl BlockKernel for ReducePartialsKernel<'_> {
 /// Computes the histogram of `keys` over `num_bins` bins on the device.
 ///
 /// Every key must be `< num_bins`. Returns the bin counts and the accumulated phase time.
-pub fn device_histogram(gpu: &Gpu, keys: &[u32], num_bins: usize) -> (Vec<u64>, PhaseTime) {
+pub fn device_histogram<D: LaunchDevice + ?Sized>(
+    gpu: &D,
+    keys: &[u32],
+    num_bins: usize,
+) -> (Vec<u64>, PhaseTime) {
     let mut phase = PhaseTime::empty();
     if keys.is_empty() || num_bins == 0 {
         return (vec![0u64; num_bins], phase);
@@ -149,6 +153,7 @@ pub fn device_histogram(gpu: &Gpu, keys: &[u32], num_bins: usize) -> (Vec<u64>, 
 mod tests {
     use super::*;
     use crate::config::GpuConfig;
+    use crate::kernel::Gpu;
 
     fn reference_histogram(keys: &[u32], bins: usize) -> Vec<u64> {
         let mut h = vec![0u64; bins];

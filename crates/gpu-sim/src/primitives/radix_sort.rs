@@ -10,7 +10,7 @@
 
 use crate::block::{cost, BlockContext};
 use crate::buffer::DeviceBuffer;
-use crate::kernel::{BlockKernel, Gpu, LaunchConfig};
+use crate::kernel::{BlockKernel, LaunchConfig, LaunchDevice};
 use crate::timing::PhaseTime;
 
 const RADIX_BITS: u32 = 4;
@@ -135,8 +135,8 @@ impl BlockKernel for DownsweepKernel<'_> {
 ///
 /// `max_key` bounds the key range so the sort can stop after the necessary number of 4-bit
 /// passes (pass count = ceil(bits(max_key) / 4), minimum 1).
-pub fn device_radix_sort_pairs(
-    gpu: &Gpu,
+pub fn device_radix_sort_pairs<D: LaunchDevice + ?Sized>(
+    gpu: &D,
     keys: &[u32],
     values: &[u32],
     max_key: u32,
@@ -171,7 +171,9 @@ pub fn device_radix_sort_pairs(
         phase.push_serial(gpu.launch(&up, LaunchConfig::new(grid, BLOCK_DIM)));
 
         // Exclusive scan over digit-major (digit, block) order to obtain stable global
-        // offsets; small matrix, host-side, charged as one small kernel launch.
+        // offsets; small matrix, host-side, charged as one small kernel launch on the
+        // sim and as measured time on a real backend.
+        let host_start = std::time::Instant::now();
         let counts_host = counts.to_vec();
         let mut offsets = vec![0u64; grid as usize * RADIX];
         let mut running = 0u64;
@@ -181,7 +183,10 @@ pub fn device_radix_sort_pairs(
                 running += counts_host[block * RADIX + digit];
             }
         }
-        phase.push_seconds(gpu.config().kernel_launch_overhead_us * 1e-6);
+        phase.push_seconds(gpu.charge_seconds(
+            gpu.config().kernel_launch_overhead_us * 1e-6,
+            host_start.elapsed().as_secs_f64(),
+        ));
 
         let out_keys = DeviceBuffer::<u32>::zeroed(keys.len());
         let out_vals = DeviceBuffer::<u32>::zeroed(values.len());
@@ -206,6 +211,7 @@ pub fn device_radix_sort_pairs(
 mod tests {
     use super::*;
     use crate::config::GpuConfig;
+    use crate::kernel::Gpu;
 
     fn check_sorted_stable(keys: &[u32], values: &[u32], out_k: &[u32], out_v: &[u32]) {
         // Sorted by key.

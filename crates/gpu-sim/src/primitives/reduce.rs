@@ -6,7 +6,7 @@
 
 use crate::block::{cost, BlockContext};
 use crate::buffer::DeviceBuffer;
-use crate::kernel::{BlockKernel, Gpu, LaunchConfig};
+use crate::kernel::{BlockKernel, LaunchConfig, LaunchDevice};
 use crate::timing::PhaseTime;
 
 const BLOCK_DIM: u32 = 256;
@@ -66,7 +66,11 @@ impl BlockKernel for ReduceKernel<'_> {
     }
 }
 
-fn device_reduce(gpu: &Gpu, input: &[u64], op: ReduceOp) -> (u64, PhaseTime) {
+fn device_reduce<D: LaunchDevice + ?Sized>(
+    gpu: &D,
+    input: &[u64],
+    op: ReduceOp,
+) -> (u64, PhaseTime) {
     let mut phase = PhaseTime::empty();
     if input.is_empty() {
         return (0, phase);
@@ -83,24 +87,29 @@ fn device_reduce(gpu: &Gpu, input: &[u64], op: ReduceOp) -> (u64, PhaseTime) {
     };
     phase.push_serial(gpu.launch(&k, LaunchConfig::new(grid, BLOCK_DIM)));
 
-    // Final combine of the per-block partials (small; host-side, one launch charged).
+    // Final combine of the per-block partials (small; host-side, one launch charged on
+    // the sim, measured time on a real backend).
+    let host_start = std::time::Instant::now();
     let partials = d_partials.to_vec();
-    phase.push_seconds(gpu.config().kernel_launch_overhead_us * 1e-6);
     let result = if is_sum {
         partials.iter().sum()
     } else {
         partials.iter().cloned().max().unwrap_or(0)
     };
+    phase.push_seconds(gpu.charge_seconds(
+        gpu.config().kernel_launch_overhead_us * 1e-6,
+        host_start.elapsed().as_secs_f64(),
+    ));
     (result, phase)
 }
 
 /// Sums `input` on the device.
-pub fn device_reduce_sum(gpu: &Gpu, input: &[u64]) -> (u64, PhaseTime) {
+pub fn device_reduce_sum<D: LaunchDevice + ?Sized>(gpu: &D, input: &[u64]) -> (u64, PhaseTime) {
     device_reduce(gpu, input, ReduceOp::Sum)
 }
 
 /// Computes the maximum of `input` on the device (0 for empty input).
-pub fn device_reduce_max(gpu: &Gpu, input: &[u64]) -> (u64, PhaseTime) {
+pub fn device_reduce_max<D: LaunchDevice + ?Sized>(gpu: &D, input: &[u64]) -> (u64, PhaseTime) {
     device_reduce(gpu, input, ReduceOp::Max)
 }
 
@@ -108,6 +117,7 @@ pub fn device_reduce_max(gpu: &Gpu, input: &[u64]) -> (u64, PhaseTime) {
 mod tests {
     use super::*;
     use crate::config::GpuConfig;
+    use crate::kernel::Gpu;
 
     #[test]
     fn sum_matches_reference() {

@@ -7,7 +7,7 @@
 
 use crate::block::{cost, BlockContext};
 use crate::buffer::DeviceBuffer;
-use crate::kernel::{BlockKernel, Gpu, LaunchConfig};
+use crate::kernel::{BlockKernel, LaunchConfig, LaunchDevice};
 use crate::timing::PhaseTime;
 
 /// Work per thread in the per-block scan kernels (elements).
@@ -107,7 +107,10 @@ impl BlockKernel for AddOffsetsKernel<'_> {
 ///
 /// Returns the scanned values, the total sum, and the accumulated phase time (all kernel
 /// launches involved).
-pub fn device_exclusive_prefix_sum(gpu: &Gpu, input: &[u64]) -> (Vec<u64>, u64, PhaseTime) {
+pub fn device_exclusive_prefix_sum<D: LaunchDevice + ?Sized>(
+    gpu: &D,
+    input: &[u64],
+) -> (Vec<u64>, u64, PhaseTime) {
     let mut phase = PhaseTime::empty();
     if input.is_empty() {
         return (Vec::new(), 0, phase);
@@ -127,7 +130,9 @@ pub fn device_exclusive_prefix_sum(gpu: &Gpu, input: &[u64]) -> (Vec<u64>, u64, 
     phase.push_serial(gpu.launch(&k1, LaunchConfig::new(grid, BLOCK_DIM)));
 
     // Scan of block sums: done on the host here, standing in for the small single-block
-    // kernel CUB would launch; charge one launch overhead for it.
+    // kernel CUB would launch; the sim charges one launch overhead for it, a real
+    // backend the measured duration.
+    let host_start = std::time::Instant::now();
     let sums = d_block_sums.to_vec();
     let mut offsets = vec![0u64; sums.len()];
     let mut running = 0u64;
@@ -135,7 +140,10 @@ pub fn device_exclusive_prefix_sum(gpu: &Gpu, input: &[u64]) -> (Vec<u64>, u64, 
         offsets[i] = running;
         running += s;
     }
-    phase.push_seconds(gpu.config().kernel_launch_overhead_us * 1e-6);
+    phase.push_seconds(gpu.charge_seconds(
+        gpu.config().kernel_launch_overhead_us * 1e-6,
+        host_start.elapsed().as_secs_f64(),
+    ));
 
     let k3 = AddOffsetsKernel {
         output: &d_out,
@@ -150,6 +158,7 @@ pub fn device_exclusive_prefix_sum(gpu: &Gpu, input: &[u64]) -> (Vec<u64>, u64, 
 mod tests {
     use super::*;
     use crate::config::GpuConfig;
+    use crate::kernel::Gpu;
 
     fn reference_exclusive_scan(input: &[u64]) -> (Vec<u64>, u64) {
         let mut out = vec![0u64; input.len()];

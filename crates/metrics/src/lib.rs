@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use huffdec_core::DecoderKind;
 
@@ -284,6 +285,14 @@ pub struct Metrics {
     /// Decoded bytes produced (f32 data or u16 codes).
     pub decode_bytes_out: Counter,
 
+    /// Time-weighted mean SM occupancy of the most recent full decode's kernel
+    /// launches, in permille (0–1000). The occupancy comes from the gpu-sim perf
+    /// model on either backend (the CPU backend keeps functional launch aggregates).
+    pub decode_occupancy_permille: Gauge,
+    /// Like [`Metrics::decode_occupancy_permille`], but across every kernel of the
+    /// most recent batched decode wave.
+    pub batch_occupancy_permille: Gauge,
+
     /// Whole-pipeline encode latency (quantize + Huffman phases).
     pub encode_seconds: Histogram,
     /// Accumulated simulated seconds per encode phase (see [`ENCODE_PHASES`]).
@@ -292,6 +301,11 @@ pub struct Metrics {
     pub encode_bytes_in: Counter,
     /// Compressed bytes produced by encodes.
     pub encode_bytes_out: Counter,
+
+    /// The execution backend's name (`"sim"` / `"cpu"`), rendered as the info-style
+    /// series `hfz_backend{name="..."} 1`. Last write wins (a `Codec` sets it at
+    /// build time), `None` until any codec adopts the registry.
+    backend: RwLock<Option<String>>,
 }
 
 impl Metrics {
@@ -313,6 +327,17 @@ impl Metrics {
     /// Records one partial (range-limited) decode.
     pub fn observe_partial_decode(&self, decoder: DecoderKind, seconds: f64) {
         self.partial_decode_seconds[decoder.tag() as usize].observe(seconds);
+    }
+
+    /// Sets the execution-backend name the registry reports via
+    /// `hfz_backend{name="..."}`. Last write wins.
+    pub fn set_backend(&self, name: &str) {
+        *self.backend.write().expect("backend label lock") = Some(name.to_string());
+    }
+
+    /// The backend name last recorded with [`Metrics::set_backend`], if any.
+    pub fn backend(&self) -> Option<String> {
+        self.backend.read().expect("backend label lock").clone()
     }
 
     /// A plain copy of every instrument (each read atomically; the set is not a
@@ -345,6 +370,9 @@ impl Metrics {
             decode_errors: self.decode_errors.get(),
             decode_bytes_in: self.decode_bytes_in.get(),
             decode_bytes_out: self.decode_bytes_out.get(),
+            decode_occupancy_permille: self.decode_occupancy_permille.get(),
+            batch_occupancy_permille: self.batch_occupancy_permille.get(),
+            backend: self.backend(),
             encode_seconds: self.encode_seconds.snapshot(),
             encode_phase_seconds: std::array::from_fn(|i| self.encode_phase_seconds[i].get()),
             encode_bytes_in: self.encode_bytes_in.get(),
@@ -411,6 +439,12 @@ pub struct MetricsSnapshot {
     pub decode_bytes_in: u64,
     /// See [`Metrics::decode_bytes_out`].
     pub decode_bytes_out: u64,
+    /// See [`Metrics::decode_occupancy_permille`].
+    pub decode_occupancy_permille: u64,
+    /// See [`Metrics::batch_occupancy_permille`].
+    pub batch_occupancy_permille: u64,
+    /// See [`Metrics::set_backend`]; `None` when no codec adopted the registry yet.
+    pub backend: Option<String>,
     /// See [`Metrics::encode_seconds`].
     pub encode_seconds: HistogramSnapshot,
     /// See [`Metrics::encode_phase_seconds`].
@@ -438,6 +472,19 @@ impl MetricsSnapshot {
     /// `decoder="<DecoderKind::name()>"`.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(8192);
+        // Info-style identity series: value is always 1, the payload is the label.
+        help_and_type(
+            &mut out,
+            "hfz_backend",
+            "Execution backend of the session (sim = modeled device, cpu = host threads).",
+            "gauge",
+        );
+        if let Some(backend) = &self.backend {
+            out.push_str(&format!(
+                "hfz_backend{{name=\"{}\"}} 1\n",
+                escape_label_value(backend)
+            ));
+        }
         counter_line(
             &mut out,
             "hfz_requests_total",
@@ -581,6 +628,18 @@ impl MetricsSnapshot {
             "hfz_decode_bytes_out_total",
             "Decoded bytes produced.",
             self.decode_bytes_out,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_decode_occupancy_permille",
+            "Time-weighted SM occupancy of the most recent full decode (permille, perf model).",
+            self.decode_occupancy_permille,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_batch_occupancy_permille",
+            "Time-weighted SM occupancy of the most recent batched decode wave (permille).",
+            self.batch_occupancy_permille,
         );
         help_and_type(
             &mut out,
@@ -959,6 +1018,9 @@ mod tests {
         m.encode_seconds.observe(0.02);
         m.encode_phase_seconds[1].add(0.004);
         m.cache_budget_bytes.set(1 << 20);
+        m.decode_occupancy_permille.set(250);
+        m.batch_occupancy_permille.set(500);
+        m.set_backend("sim");
         let text = m.render_prometheus();
         let samples = parse_prometheus(&text).expect("rendered exposition parses");
         for family in [
@@ -983,6 +1045,9 @@ mod tests {
             "hfz_decode_errors_total",
             "hfz_decode_bytes_in_total",
             "hfz_decode_bytes_out_total",
+            "hfz_decode_occupancy_permille",
+            "hfz_batch_occupancy_permille",
+            "hfz_backend",
             "hfz_encode_bytes_in_total",
             "hfz_encode_bytes_out_total",
         ] {
@@ -1011,6 +1076,18 @@ mod tests {
             }
         }
         assert_eq!(sample_value(&samples, "hfz_requests_total", &[]), Some(3.0));
+        assert_eq!(
+            sample_value(&samples, "hfz_backend", &[("name", "sim")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            sample_value(&samples, "hfz_decode_occupancy_permille", &[]),
+            Some(250.0)
+        );
+        assert_eq!(
+            sample_value(&samples, "hfz_batch_occupancy_permille", &[]),
+            Some(500.0)
+        );
         assert_eq!(
             sample_value(
                 &samples,

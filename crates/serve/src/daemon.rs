@@ -11,6 +11,8 @@
 //! * `--load NAME=PATH` — preload an archive file (repeatable); more can be loaded at
 //!   runtime via the `LOAD` command (`hfz load`);
 //! * `--host-threads N` — host threads backing the simulated device;
+//! * `--backend sim|cpu` — execution backend requests decode on (default: the
+//!   `HFZ_BACKEND` environment variable, falling back to the simulated device);
 //! * `--metrics ADDR` — bind an HTTP observability sidecar on `ADDR` serving
 //!   `GET /metrics` (Prometheus text exposition) and `GET /healthz`.
 //!
@@ -20,6 +22,7 @@
 //! waited for `listening on` can already scrape.
 
 use gpu_sim::GpuConfig;
+use huffdec_backend::BackendKind;
 use huffdec_codec::HfzError;
 
 use crate::http::MetricsServer;
@@ -43,17 +46,20 @@ pub struct DaemonOptions {
     pub preload: Vec<(String, String)>,
     /// Host threads for the simulated device.
     pub host_threads: usize,
+    /// Execution backend requests decode on.
+    pub backend: BackendKind,
     /// Where to bind the HTTP metrics/health sidecar, when requested.
     pub metrics: Option<ListenAddr>,
 }
 
 impl DaemonOptions {
-    /// Parses `--listen/--cache-bytes/--load/--host-threads/--metrics` flags.
+    /// Parses `--listen/--cache-bytes/--load/--host-threads/--backend/--metrics` flags.
     pub fn parse(args: &[String]) -> Result<DaemonOptions, String> {
         let mut listen = ListenAddr::parse(DEFAULT_LISTEN).expect("default parses");
         let mut cache_bytes = DEFAULT_CACHE_BYTES;
         let mut preload = Vec::new();
         let mut metrics = None;
+        let mut backend = BackendKind::from_env();
         let mut host_threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
@@ -71,6 +77,12 @@ impl DaemonOptions {
                     cache_bytes = value("--cache-bytes")?
                         .parse()
                         .map_err(|_| "bad --cache-bytes value".to_string())?
+                }
+                "--backend" => {
+                    let name = value("--backend")?;
+                    backend = name
+                        .parse()
+                        .map_err(|_| format!("--backend '{}' is not sim|cpu", name))?;
                 }
                 "--host-threads" => {
                     host_threads = value("--host-threads")?
@@ -98,6 +110,7 @@ impl DaemonOptions {
             cache_bytes,
             preload,
             host_threads,
+            backend,
             metrics,
         })
     }
@@ -112,6 +125,7 @@ pub fn run(options: &DaemonOptions) -> Result<(), HfzError> {
     let config = ServerConfig {
         cache_bytes: options.cache_bytes,
         gpu: GpuConfig::v100(),
+        backend: options.backend,
         host_threads: options.host_threads,
     };
     let server = Server::bind(&options.listen, &config)
@@ -193,6 +207,8 @@ mod tests {
             "b=/tmp/b.hfz",
             "--host-threads",
             "3",
+            "--backend",
+            "cpu",
             "--metrics",
             "tcp:127.0.0.1:9100",
         ]))
@@ -200,6 +216,7 @@ mod tests {
         assert_eq!(opts.listen, ListenAddr::Tcp("127.0.0.1:9000".into()));
         assert_eq!(opts.cache_bytes, 1024);
         assert_eq!(opts.host_threads, 3);
+        assert_eq!(opts.backend, BackendKind::Cpu);
         assert_eq!(opts.metrics, Some(ListenAddr::Tcp("127.0.0.1:9100".into())));
         assert_eq!(
             opts.preload,
@@ -220,6 +237,8 @@ mod tests {
         assert!(DaemonOptions::parse(&s(&["--load", "nopath"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--cache-bytes", "x"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--host-threads", "0"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--backend", "cuda"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--backend"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--bogus"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--listen"])).is_err());
     }

@@ -57,7 +57,9 @@ pub mod store;
 pub use cache::{CacheKey, CacheStats, DecodedLru};
 pub use client::{Client, ClientError, GetResult};
 pub use http::MetricsServer;
-pub use huffdec_codec::{ArchiveHandle, Codec, FieldHandle, HfzError, Metrics, MetricsSnapshot};
+pub use huffdec_codec::{
+    ArchiveHandle, Backend, BackendKind, Codec, FieldHandle, HfzError, Metrics, MetricsSnapshot,
+};
 pub use net::{ListenAddr, Listener};
 pub use protocol::{GetKind, ProtocolError, Request, Response};
 pub use server::{Health, Server, ServerConfig, ServerState};

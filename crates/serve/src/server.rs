@@ -10,7 +10,7 @@
 //! The store uses an `RwLock` (loads are rare, lookups constant), the cache uses a
 //! `Mutex` held only for bookkeeping — decodes run outside every lock, so N clients
 //! can decode N different cold fields in parallel while cache hits stream past them.
-//! The `Gpu` itself is a value-typed simulator and is shared immutably.
+//! The execution backend itself is a value-typed engine and is shared immutably.
 //!
 //! Observability: all counting happens in the codec's [`Metrics`] registry — the codec
 //! records decode/encode timings as it works, the cache records hits and evictions into
@@ -23,7 +23,8 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::GpuConfig;
+use huffdec_backend::{Backend, BackendKind};
 use huffdec_codec::{Codec, FieldHandle};
 use huffdec_container::JsonWriter;
 use huffdec_core::DecoderKind;
@@ -44,6 +45,9 @@ pub struct ServerConfig {
     pub cache_bytes: u64,
     /// Simulated device configuration.
     pub gpu: GpuConfig,
+    /// Execution backend requests decode on (default: the `HFZ_BACKEND` environment
+    /// variable, falling back to the simulated backend).
+    pub backend: BackendKind,
     /// Host threads backing the simulated device's block execution.
     pub host_threads: usize,
 }
@@ -53,6 +57,7 @@ impl Default for ServerConfig {
         ServerConfig {
             cache_bytes: 256 << 20,
             gpu: GpuConfig::v100(),
+            backend: BackendKind::from_env(),
             host_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
@@ -97,9 +102,9 @@ impl ServerState {
         &self.codec
     }
 
-    /// The simulated device requests decode on.
-    pub fn gpu(&self) -> &Gpu {
-        self.codec.gpu()
+    /// The execution backend requests decode on.
+    pub fn backend(&self) -> &dyn Backend {
+        self.codec.backend()
     }
 
     /// The archive store. Prefer [`ServerState::load_archive`] for loading — it also
@@ -609,6 +614,8 @@ impl ServerState {
             };
         let mut w = JsonWriter::with_capacity(1024);
         w.begin_object();
+        w.key("backend").str(self.codec.backend_kind().name());
+        w.key("device").str(&self.codec.device_name());
         w.key("requests").u64(m.requests);
         w.key("gets").u64(m.gets);
         w.key("archives_loaded").u64(self.store.len() as u64);
@@ -685,6 +692,7 @@ impl Server {
         let resolved = listener.local_addr()?;
         let codec = Codec::builder()
             .gpu_config(config.gpu.clone())
+            .backend(config.backend)
             .host_threads(config.host_threads)
             .build()
             .expect("default codec configuration is valid");

@@ -127,7 +127,7 @@ impl ArchiveStore {
 mod tests {
     use super::*;
     use datasets::{dataset_by_name, generate};
-    use gpu_sim::{Gpu, GpuConfig};
+    use gpu_sim::GpuConfig;
     use huffdec_codec::Codec;
     use huffdec_container::ArchiveWriter;
     use huffdec_core::DecoderKind;
@@ -176,8 +176,8 @@ mod tests {
         // in memory.
         std::fs::remove_file(&path).unwrap();
         let c = codec();
-        let gpu: &Gpu = c.gpu();
-        assert!(gpu.config().num_sms >= 1);
+        let backend = c.backend();
+        assert!(backend.config().num_sms >= 1);
         let prepared = c.prepare_field(&loaded.fields()[0]).unwrap();
         assert!(prepared.timings.total_seconds() >= 0.0);
         assert!(loaded.fields()[0].prepared_ready());

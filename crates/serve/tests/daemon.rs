@@ -15,6 +15,7 @@ use huffdec_serve::client::Client;
 use huffdec_serve::net::ListenAddr;
 use huffdec_serve::protocol::GetKind;
 use huffdec_serve::server::{Server, ServerConfig};
+use huffdec_serve::BackendKind;
 use sz::{compress, decode_codes, decompress, Compressed, SzConfig};
 
 const ELEMENTS: usize = 20_000;
@@ -94,6 +95,7 @@ fn daemon_serves_concurrent_clients_with_eviction() {
     let config = ServerConfig {
         cache_bytes: budget,
         gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
         host_threads: 2,
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
@@ -215,6 +217,7 @@ fn daemon_rejects_bad_requests_cleanly() {
     let config = ServerConfig {
         cache_bytes: 1 << 20,
         gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
         host_threads: 2,
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
@@ -293,6 +296,7 @@ fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
     let config = ServerConfig {
         cache_bytes: 4 << 20,
         gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
         host_threads: 2,
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();

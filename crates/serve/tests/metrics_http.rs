@@ -14,6 +14,7 @@ use huffdec_serve::http::MetricsServer;
 use huffdec_serve::net::{connect, ListenAddr};
 use huffdec_serve::protocol::{GetKind, Request, Response};
 use huffdec_serve::server::{Health, Server, ServerConfig, ServerState};
+use huffdec_serve::BackendKind;
 
 /// Issues one `GET` against the sidecar and splits the response into
 /// `(status, head, body)`.
@@ -52,6 +53,7 @@ fn sidecar_fixture(dir_name: &str) -> (Arc<ServerState>, ListenAddr) {
     let config = ServerConfig {
         cache_bytes: 1 << 20,
         gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
         host_threads: 2,
     };
     let server = Server::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap(), &config).unwrap();
@@ -195,6 +197,9 @@ fn metrics_endpoint_serves_valid_exposition() {
         "hfz_decode_errors_total",
         "hfz_decode_bytes_in_total",
         "hfz_decode_bytes_out_total",
+        "hfz_decode_occupancy_permille",
+        "hfz_batch_occupancy_permille",
+        "hfz_backend",
         "hfz_encode_seconds",
         "hfz_encode_phase_seconds_total",
         "hfz_encode_bytes_in_total",
@@ -215,6 +220,17 @@ fn metrics_endpoint_serves_valid_exposition() {
     // The traffic above is visible: 4 requests, 4 gets, one hit and one miss, one full
     // decode and one partial decode of the gap-array decoder, an index build, bytes.
     let v = |name: &str| sample_value(&samples, name, &[]).unwrap_or_else(|| panic!("{}", name));
+    // The identity series names whichever backend the daemon was built on, and the
+    // full decode above published its perf-model occupancy.
+    assert_eq!(
+        sample_value(
+            &samples,
+            "hfz_backend",
+            &[("name", BackendKind::from_env().name())]
+        ),
+        Some(1.0)
+    );
+    assert!(v("hfz_decode_occupancy_permille") > 0.0);
     assert_eq!(v("hfz_requests_total"), 4.0);
     assert_eq!(v("hfz_gets_total"), 4.0);
     assert_eq!(v("hfz_cache_hits_total"), 1.0);

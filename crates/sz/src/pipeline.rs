@@ -10,7 +10,8 @@
 //! decompression throughput figures of the paper (Figs. 4 and 5) can be regenerated.
 
 use datasets::Field;
-use gpu_sim::{transfer_time_s, Gpu, TransferDirection};
+use gpu_sim::TransferDirection;
+use huffdec_backend::Backend;
 use huffdec_core::{
     compress_for, decode, wire, CompressedPayload, DecodeError, DecoderKind, EncodePhaseBreakdown,
     PhaseBreakdown,
@@ -245,7 +246,7 @@ impl CompressStats {
 /// Estimated time of the Lorenzo dual-quantization kernel: one f32 read, one prediction
 /// neighbourhood re-read (cached, charged as half), and one 2-byte code write per
 /// element, a few cycles of compute, one launch.
-pub fn quantize_kernel_time(gpu: &Gpu, num_elements: usize) -> f64 {
+pub fn quantize_kernel_time(gpu: &dyn Backend, num_elements: usize) -> f64 {
     let cfg = gpu.config();
     let traffic_bytes = num_elements as f64 * 8.0;
     let mem_time = traffic_bytes / (cfg.mem_bandwidth_gbps * 1e9);
@@ -285,11 +286,18 @@ pub fn compress(field: &Field, config: &SzConfig) -> Compressed {
 /// Compresses a field with the simulated-GPU parallel encode pipeline
 /// ([`huffdec_core::compress_on`]), returning the archive (bit-identical to
 /// [`compress`]) and the compression timing breakdown.
-pub fn compress_on(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, CompressStats) {
+pub fn compress_on(
+    gpu: &dyn Backend,
+    field: &Field,
+    config: &SzConfig,
+) -> (Compressed, CompressStats) {
+    let quantize_start = std::time::Instant::now();
     let (q, step) = quantize_field(field, config);
+    let quantize_elapsed = quantize_start.elapsed().as_secs_f64();
     let (payload, encode) =
         huffdec_core::compress_on(gpu, config.decoder, &q.codes, config.alphabet_size);
-    let quantize_seconds = quantize_kernel_time(gpu, field.len());
+    let quantize_seconds =
+        gpu.charge_seconds(quantize_kernel_time(gpu, field.len()), quantize_elapsed);
     let total_seconds = quantize_seconds + encode.total_seconds();
     let stats = CompressStats {
         quantize_seconds,
@@ -305,7 +313,7 @@ pub fn compress_on(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, 
 /// read of the 2-byte codes, one intermediate 4-byte partial-sum read+write, and one
 /// 4-byte output write per element (14 bytes/element of DRAM traffic), a few cycles of
 /// compute per element, and two kernel launches.
-pub fn reconstruct_kernel_time(gpu: &Gpu, num_elements: usize) -> f64 {
+pub fn reconstruct_kernel_time(gpu: &dyn Backend, num_elements: usize) -> f64 {
     let cfg = gpu.config();
     let traffic_bytes = num_elements as f64 * 14.0;
     let mem_time = traffic_bytes / (cfg.mem_bandwidth_gbps * 1e9);
@@ -316,14 +324,14 @@ pub fn reconstruct_kernel_time(gpu: &Gpu, num_elements: usize) -> f64 {
 }
 
 /// Estimated time of the outlier scatter kernel (read the outlier list, patch the grid).
-pub fn outlier_scatter_time(gpu: &Gpu, num_outliers: usize) -> f64 {
+pub fn outlier_scatter_time(gpu: &dyn Backend, num_outliers: usize) -> f64 {
     let cfg = gpu.config();
     let traffic = num_outliers as f64 * (12.0 + 8.0);
     traffic / (cfg.mem_bandwidth_gbps * 1e9) + cfg.kernel_launch_overhead_us * 1e-6
 }
 
 fn decompress_inner(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     c: &Compressed,
     include_transfer: bool,
 ) -> Result<Decompressed, DecodeError> {
@@ -338,7 +346,7 @@ fn decompress_inner(
 /// patching, and the analytic kernel/transfer costs. Shared by the single-field and
 /// batched decompression paths so both report identical per-field statistics.
 fn reconstruct(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     c: &Compressed,
     decode_result: huffdec_core::phases::DecodeResult,
     include_transfer: bool,
@@ -351,15 +359,21 @@ fn reconstruct(
         step: c.step,
         dims: c.dims,
     };
+    let reconstruct_start = std::time::Instant::now();
     let data = dequantize(&q);
+    let reconstruct_elapsed = reconstruct_start.elapsed().as_secs_f64();
 
-    let reconstruct_seconds = reconstruct_kernel_time(gpu, data.len());
-    let outlier_scatter_seconds = outlier_scatter_time(gpu, c.outliers.len());
-    let h2d_transfer_seconds = transfer_time_s(
-        gpu.config(),
-        c.compressed_bytes(),
-        TransferDirection::HostToDevice,
+    // On the simulated backend both kernels are charged analytically; on a real backend
+    // the measured dequantize (which already patches outliers) stands in for both, so
+    // the scatter kernel contributes zero extra time.
+    let reconstruct_seconds = gpu.charge_seconds(
+        reconstruct_kernel_time(gpu, data.len()),
+        reconstruct_elapsed,
     );
+    let outlier_scatter_seconds =
+        gpu.charge_seconds(outlier_scatter_time(gpu, c.outliers.len()), 0.0);
+    let h2d_transfer_seconds =
+        gpu.transfer_seconds(c.compressed_bytes(), TransferDirection::HostToDevice);
 
     let mut total_seconds =
         decode_result.timings.total_seconds() + reconstruct_seconds + outlier_scatter_seconds;
@@ -384,7 +398,7 @@ fn reconstruct(
 /// `codes` requests and `hfz verify --deep` — use: the returned symbols are exactly
 /// what [`Compressed::matches_decoded_crc`] digests.
 pub fn decode_codes(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     c: &Compressed,
 ) -> Result<huffdec_core::phases::DecodeResult, DecodeError> {
     decode(gpu, c.decoder(), &c.payload)
@@ -395,7 +409,7 @@ pub fn decode_codes(
 ///
 /// Returns [`DecodeError::PayloadMismatch`] if the payload's stream format does not
 /// match the archive's configured decoder.
-pub fn decompress(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError> {
+pub fn decompress(gpu: &dyn Backend, c: &Compressed) -> Result<Decompressed, DecodeError> {
     decompress_inner(gpu, c, false)
 }
 
@@ -404,7 +418,10 @@ pub fn decompress(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError
 ///
 /// Returns [`DecodeError::PayloadMismatch`] if the payload's stream format does not
 /// match the archive's configured decoder.
-pub fn decompress_with_transfer(gpu: &Gpu, c: &Compressed) -> Result<Decompressed, DecodeError> {
+pub fn decompress_with_transfer(
+    gpu: &dyn Backend,
+    c: &Compressed,
+) -> Result<Decompressed, DecodeError> {
     decompress_inner(gpu, c, true)
 }
 
@@ -459,7 +476,7 @@ impl BatchDecompressStats {
 /// [`decompress`] field by field (each [`Decompressed`] carries the same per-field
 /// statistics the serial path reports).
 pub fn decompress_batch(
-    gpu: &Gpu,
+    gpu: &dyn Backend,
     archives: &[&Compressed],
 ) -> Result<(Vec<Decompressed>, BatchDecompressStats), DecodeError> {
     let items: Vec<_> = archives.iter().map(|c| (c.decoder(), &c.payload)).collect();
@@ -484,7 +501,11 @@ pub fn decompress_batch(
 
 /// Compresses and decompresses a field, asserting the error bound holds. Returns the
 /// archive and the reconstruction. Convenience for tests, examples, and benches.
-pub fn roundtrip(gpu: &Gpu, field: &Field, config: &SzConfig) -> (Compressed, Decompressed) {
+pub fn roundtrip(
+    gpu: &dyn Backend,
+    field: &Field,
+    config: &SzConfig,
+) -> (Compressed, Decompressed) {
     let compressed = compress(field, config);
     let decompressed =
         decompress(gpu, &compressed).expect("compress produces a payload matching its decoder");
@@ -506,6 +527,7 @@ fn c_abs_bound(field: &Field, config: &SzConfig) -> f64 {
 mod tests {
     use super::*;
     use datasets::{dataset_by_name, generate};
+    use gpu_sim::Gpu;
 
     fn gpu() -> Gpu {
         Gpu::with_host_threads(gpu_sim::GpuConfig::test_tiny(), 4)

@@ -19,6 +19,7 @@ use huffdec::serve::http::MetricsServer;
 use huffdec::serve::net::{connect, ListenAddr};
 use huffdec::serve::protocol::GetKind;
 use huffdec::serve::server::{Server, ServerConfig};
+use huffdec::serve::BackendKind;
 use huffdec::{Codec, DecoderKind};
 
 /// One HTTP/1.1 GET against the sidecar; returns `(status_line, body)`.
@@ -56,6 +57,7 @@ fn main() {
     let config = ServerConfig {
         cache_bytes: 1 << 20,
         gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
         host_threads: 2,
     };
     let server = Server::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap(), &config).unwrap();

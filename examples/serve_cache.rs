@@ -44,6 +44,7 @@ fn main() {
     let config = ServerConfig {
         cache_bytes: 250_000,
         gpu: GpuConfig::test_tiny(),
+        backend: huffdec_serve::BackendKind::from_env(),
         host_threads: 2,
     };
     let server = Server::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap(), &config).unwrap();

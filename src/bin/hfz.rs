@@ -38,7 +38,9 @@ use huffdec::serve::client::Client;
 use huffdec::serve::daemon::{run as run_daemon, DaemonOptions};
 use huffdec::serve::net::ListenAddr;
 use huffdec::serve::protocol::GetKind;
-use huffdec::{Codec, DecoderKind, EncodeOutcome, ErrorBound, Field, FieldHandle, HfzError};
+use huffdec::{
+    BackendKind, Codec, DecoderKind, EncodeOutcome, ErrorBound, Field, FieldHandle, HfzError,
+};
 
 /// `println!` that exits quietly instead of panicking when stdout has been closed
 /// (e.g. the output is piped into `head`).
@@ -111,6 +113,8 @@ USAGE:
 
 OPTIONS:
   --decoder KIND   baseline | original-self-sync | self-sync | gap   (default: gap)
+  --backend NAME   sim (modeled V100 timings) | cpu (real threads,   (default: sim, or
+                   wall-clock timings)                                $HFZ_BACKEND)
   --eb MODE:VALUE  rel:1e-3 or abs:0.05                              (default: rel:1e-3)
   --alphabet N     quantization bins, power of two >= 4              (default: 1024)
   --seed S         synthetic dataset seed                            (default: 42)
@@ -172,6 +176,15 @@ impl Args {
     fn require(&self, name: &str) -> Result<&str, HfzError> {
         self.get(name)
             .ok_or_else(|| HfzError::Usage(format!("missing required flag --{}", name)))
+    }
+}
+
+/// Resolves `--backend` (falling back to `HFZ_BACKEND`, then the simulator).
+fn parse_backend(args: &Args) -> Result<BackendKind, HfzError> {
+    match args.get("backend") {
+        None => Ok(BackendKind::from_env()),
+        Some(name) => BackendKind::parse(name)
+            .ok_or_else(|| HfzError::Usage(format!("unknown backend '{}' (sim|cpu)", name))),
     }
 }
 
@@ -286,6 +299,7 @@ fn build_codec(args: &Args) -> Result<Codec, HfzError> {
         .map_err(|_| HfzError::Usage("bad --alphabet value".to_string()))?;
     Codec::builder()
         .decoder(parse_decoder(args.get("decoder").unwrap_or("gap"))?)
+        .backend(parse_backend(args)?)
         .error_bound(parse_error_bound(args.get("eb").unwrap_or("rel:1e-3"))?)
         .alphabet_size(alphabet_size)
         .host_threads(
@@ -296,13 +310,19 @@ fn build_codec(args: &Args) -> Result<Codec, HfzError> {
         .build()
 }
 
+/// The decode-side session: paper defaults (the archive itself supplies decode
+/// parameters) plus the caller's `--backend` selection.
+fn decode_codec(args: &Args) -> Result<Codec, HfzError> {
+    Codec::builder().backend(parse_backend(args)?).build()
+}
+
 fn connect(args: &Args) -> Result<Client, HfzError> {
     let addr = ListenAddr::parse(args.require("addr")?)?;
     Client::connect(&addr)
         .map_err(|e| HfzError::Protocol(format!("cannot connect to {}: {}", addr, e)))
 }
 
-fn encode_report(outcome: &EncodeOutcome) -> String {
+fn encode_report(codec: &Codec, outcome: &EncodeOutcome) -> String {
     let phases = outcome
         .stats
         .encode
@@ -312,8 +332,13 @@ fn encode_report(outcome: &EncodeOutcome) -> String {
         .collect::<Vec<_>>()
         .join(" | ");
     format!(
-        "encode: {:.3} ms simulated ({:.1} GB/s on quant codes, {:.1} GB/s overall) [{}]",
+        "encode: {:.3} ms {} ({:.1} GB/s on quant codes, {:.1} GB/s overall) [{}]",
         outcome.stats.encode.total_seconds() * 1e3,
+        if codec.backend().is_modeled() {
+            "simulated"
+        } else {
+            "measured"
+        },
         outcome.encode_throughput_gbs(),
         outcome.overall_throughput_gbs(),
         phases
@@ -329,9 +354,9 @@ fn cmd_compress(rest: &[String]) -> Result<(), HfzError> {
     let field = load_field(&args)?;
     let output = args.require("output")?;
 
-    // Encode on the simulated GPU (bit-identical to the host encoder) so the encoder
-    // throughput can be reported alongside the archive. An empty field is a usage
-    // error from the session itself.
+    // Encode through the selected backend (the archive bytes are identical on every
+    // backend) so the encoder throughput can be reported alongside the archive. An
+    // empty field is a usage error from the session itself.
     let outcome = codec.compress(&field)?;
 
     let file =
@@ -349,7 +374,7 @@ fn cmd_compress(rest: &[String]) -> Result<(), HfzError> {
         written,
         field.bytes() as f64 / written as f64
     );
-    out!("{}", encode_report(&outcome));
+    out!("{}", encode_report(&codec, &outcome));
     // Post-write report: the cheap structural summary, not a full decode-state open.
     let summary = codec.inspect_archive(output)?;
     out!("{}", summary.infos()[0]);
@@ -389,7 +414,7 @@ fn cmd_compress_snapshot(codec: &Codec, args: &Args) -> Result<(), HfzError> {
             i,
             spec.name,
             field.len(),
-            encode_report(&outcome)
+            encode_report(codec, &outcome)
         );
         fields.push((spec.name.to_string(), outcome.archive));
     }
@@ -449,10 +474,15 @@ fn decompress_to(
     let decoded = codec.decompress_field(field)?;
     write_f32(output, &decoded.data)?;
     out!(
-        "{} -> {}: {} elements, simulated decompression {:.3} ms ({:.1} GB/s overall)",
+        "{} -> {}: {} elements, {} decompression {:.3} ms ({:.1} GB/s overall)",
         label,
         output,
         decoded.data.len(),
+        if codec.backend().is_modeled() {
+            "simulated"
+        } else {
+            "measured"
+        },
         decoded.stats.total_seconds * 1e3,
         decoded.overall_throughput_gbs(compressed.original_bytes())
     );
@@ -465,7 +495,7 @@ fn cmd_decompress(rest: &[String]) -> Result<(), HfzError> {
         .positionals
         .first()
         .ok_or_else(|| HfzError::Usage("expected an archive path".to_string()))?;
-    let codec = Codec::paper_default();
+    let codec = decode_codec(&args)?;
     let handle = codec.open_archive(archive_path)?;
 
     // `--all`: every field into --output-dir, named by the manifest (or by index for
@@ -520,7 +550,7 @@ fn cmd_inspect(rest: &[String]) -> Result<(), HfzError> {
         .first()
         .ok_or_else(|| HfzError::Usage("expected an archive path".to_string()))?;
     let json = args.has("json");
-    let codec = Codec::paper_default();
+    let codec = decode_codec(&args)?;
     // Inspection is metadata-only: headers and section tables, no decode structures.
     let summary = codec.inspect_archive(archive_path)?;
     if json {
@@ -542,6 +572,13 @@ fn cmd_inspect(rest: &[String]) -> Result<(), HfzError> {
             None => out!("[{}]", body),
         }
     } else {
+        // Session context first (the JSON form stays archive-only: tooling parses it).
+        out!(
+            "backend: {} ({})",
+            codec.backend_kind().name(),
+            codec.device_name()
+        );
+        out!();
         if let Some(manifest) = summary.manifest() {
             out!("{}", manifest);
             out!();
@@ -570,7 +607,7 @@ fn cmd_verify(rest: &[String]) -> Result<(), HfzError> {
     // shard-extent validation, then framing, checksums, and reassembly of every
     // archive in the file. Anything left over after the last end marker is corruption,
     // not slack.
-    let codec = Codec::paper_default();
+    let codec = decode_codec(&args)?;
     let handle = codec.open_archive(archive_path)?;
     if let Some(manifest) = handle.manifest() {
         out!(

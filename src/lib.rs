@@ -35,8 +35,9 @@
 // ----- the session API (the supported surface) -----
 
 pub use huffdec_codec::{
-    ArchiveHandle, ArchiveSummary, BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome,
-    EncodeOutcome, FieldHandle, HfzError, Metrics, MetricsSnapshot,
+    ArchiveHandle, ArchiveSummary, Backend, BackendKind, BatchDecodeOutcome, Codec, CodecBuilder,
+    CpuBackend, DecodeOutcome, EncodeOutcome, FieldHandle, HfzError, Metrics, MetricsSnapshot,
+    SimBackend, BACKEND_ENV,
 };
 
 // Companion types the session API speaks in.
