@@ -124,6 +124,13 @@ impl SnapshotManifest {
             .find(|(_, e)| e.name == name)
     }
 
+    /// The field names, in shard order — the identity a placement layer hashes on
+    /// (`archive/field` → shard), so routing stays stable however the daemon indexes
+    /// the fields internally.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
     /// Total bytes of the shard region the manifest describes (offsets tile, so this is
     /// the last shard's end).
     pub fn shard_bytes(&self) -> u64 {
@@ -250,6 +257,7 @@ mod tests {
         assert_eq!(m.shard_bytes(), 30);
         assert_eq!(m.find("b").unwrap().0, 1);
         assert!(m.find("missing").is_none());
+        assert_eq!(m.names().collect::<Vec<_>>(), ["a", "b"]);
         let json = m.to_json();
         assert!(json.contains("\"name\":\"a\""));
         assert!(json.contains("\"shard_bytes\":30"));

@@ -221,6 +221,20 @@ impl HistogramSnapshot {
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Element-wise sum of two snapshots (fleet aggregation). Both sides always carry
+    /// the same bucket layout ([`LATENCY_BUCKET_BOUNDS`] plus `+Inf`); if a hand-built
+    /// snapshot disagrees, the shorter side is zero-extended.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let at = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        HistogramSnapshot {
+            buckets: (0..len)
+                .map(|i| at(&self.buckets, i) + at(&other.buckets, i))
+                .collect(),
+            sum: self.sum + other.sum,
+        }
+    }
 }
 
 // --- The registry ----------------------------------------------------------------------
@@ -464,6 +478,66 @@ impl MetricsSnapshot {
     /// Total simulated decode seconds across every decoder kind.
     pub fn total_decode_seconds(&self) -> f64 {
         self.decode_seconds.iter().map(|h| h.sum).sum()
+    }
+
+    /// Fleet aggregation: the snapshot a single registry *would* have held if it had
+    /// observed both sides' traffic. Counters, byte totals, and histograms are summed
+    /// element-wise; the occupancy gauges are ratios, so the merge keeps the maximum
+    /// (the busiest shard bounds the fleet); `backend` stays when both sides agree and
+    /// becomes `"mixed"` when they do not.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let merge_slots = |a: &[HistogramSnapshot; DECODER_SLOTS],
+                           b: &[HistogramSnapshot; DECODER_SLOTS]| {
+            std::array::from_fn(|i| a[i].merge(&b[i]))
+        };
+        let backend = match (&self.backend, &other.backend) {
+            (Some(a), Some(b)) if a == b => Some(a.clone()),
+            (Some(_), Some(_)) => Some("mixed".to_string()),
+            (Some(a), None) => Some(a.clone()),
+            (None, b) => b.clone(),
+        };
+        MetricsSnapshot {
+            requests: self.requests + other.requests,
+            gets: self.gets + other.gets,
+            batch_gets: self.batch_gets + other.batch_gets,
+            batch_fields: self.batch_fields + other.batch_fields,
+            batch_decoded_fields: self.batch_decoded_fields + other.batch_decoded_fields,
+            batch_serial_seconds: self.batch_serial_seconds + other.batch_serial_seconds,
+            batch_batched_seconds: self.batch_batched_seconds + other.batch_batched_seconds,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
+            cache_insertions: self.cache_insertions + other.cache_insertions,
+            cache_uncacheable: self.cache_uncacheable + other.cache_uncacheable,
+            cache_used_bytes: self.cache_used_bytes + other.cache_used_bytes,
+            cache_budget_bytes: self.cache_budget_bytes + other.cache_budget_bytes,
+            cache_entries: self.cache_entries + other.cache_entries,
+            archives_loaded: self.archives_loaded + other.archives_loaded,
+            decode_seconds: merge_slots(&self.decode_seconds, &other.decode_seconds),
+            index_build_seconds: merge_slots(&self.index_build_seconds, &other.index_build_seconds),
+            partial_decode_seconds: merge_slots(
+                &self.partial_decode_seconds,
+                &other.partial_decode_seconds,
+            ),
+            partial_blocks_decoded: self.partial_blocks_decoded + other.partial_blocks_decoded,
+            partial_blocks_spanned: self.partial_blocks_spanned + other.partial_blocks_spanned,
+            decode_errors: self.decode_errors + other.decode_errors,
+            decode_bytes_in: self.decode_bytes_in + other.decode_bytes_in,
+            decode_bytes_out: self.decode_bytes_out + other.decode_bytes_out,
+            decode_occupancy_permille: self
+                .decode_occupancy_permille
+                .max(other.decode_occupancy_permille),
+            batch_occupancy_permille: self
+                .batch_occupancy_permille
+                .max(other.batch_occupancy_permille),
+            backend,
+            encode_seconds: self.encode_seconds.merge(&other.encode_seconds),
+            encode_phase_seconds: std::array::from_fn(|i| {
+                self.encode_phase_seconds[i] + other.encode_phase_seconds[i]
+            }),
+            encode_bytes_in: self.encode_bytes_in + other.encode_bytes_in,
+            encode_bytes_out: self.encode_bytes_out + other.encode_bytes_out,
+        }
     }
 
     /// Renders the snapshot in Prometheus text exposition format (0.0.4): `# HELP` /
@@ -943,6 +1017,114 @@ pub fn sample_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> 
         .map(|s| s.value)
 }
 
+/// Merges several Prometheus text expositions into one fleet document, tagging every
+/// sample of part *i* with an extra `shard="<label>"` label.
+///
+/// This is the `hfzr` router's `/metrics` aggregation: each `hfzd` shard renders its
+/// own registry, the router labels and concatenates the families so a scraper sees one
+/// well-formed document where per-shard series stay distinguishable (and sums over a
+/// family ignore the label, so fleet totals fall out of the usual `sum by` queries).
+/// Every family keeps exactly one `# HELP`/`# TYPE` header (first shard's copy wins);
+/// family order follows first appearance across the parts.
+///
+/// Each input must itself parse as an exposition ([`parse_prometheus`]); a part that
+/// does not is reported as an error rather than corrupting the merged document. Labels
+/// must not contain `"`, `\` or newlines.
+pub fn merge_expositions(parts: &[(&str, &str)]) -> Result<String, String> {
+    struct Family {
+        help: Option<String>,
+        kind: Option<String>,
+        samples: Vec<String>,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut families: Vec<Family> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut family_at =
+        |name: &str, order: &mut Vec<String>, families: &mut Vec<Family>| -> usize {
+            *index.entry(name.to_string()).or_insert_with(|| {
+                order.push(name.to_string());
+                families.push(Family {
+                    help: None,
+                    kind: None,
+                    samples: Vec::new(),
+                });
+                families.len() - 1
+            })
+        };
+    for (label, text) in parts {
+        if label.contains(['"', '\\', '\n']) {
+            return Err(format!("shard label {:?} needs escaping", label));
+        }
+        parse_prometheus(text).map_err(|e| format!("shard {:?}: {}", label, e))?;
+        // Families arrive contiguously (HELP/TYPE headers, then their samples); track
+        // the current one so `_bucket`/`_sum`/`_count` series land with their base.
+        let mut current: Option<String> = None;
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, payload) = rest.split_once(' ').unwrap_or((rest, ""));
+                let slot = family_at(name, &mut order, &mut families);
+                families[slot]
+                    .help
+                    .get_or_insert_with(|| payload.to_string());
+                current = Some(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, payload) = rest.split_once(' ').unwrap_or((rest, ""));
+                let slot = family_at(name, &mut order, &mut families);
+                families[slot]
+                    .kind
+                    .get_or_insert_with(|| payload.to_string());
+                current = Some(name.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // other comments carry no cross-shard meaning
+            }
+            let split = line
+                .find(['{', ' '])
+                .ok_or_else(|| format!("shard {:?}: sample line {:?} has no value", label, line))?;
+            let (series, rest) = line.split_at(split);
+            let labelled = if let Some(inner) = rest.strip_prefix('{') {
+                if let Some(empty) = inner.strip_prefix('}') {
+                    format!("{}{{shard=\"{}\"}}{}", series, label, empty)
+                } else {
+                    format!("{}{{shard=\"{}\",{}", series, label, inner)
+                }
+            } else {
+                format!("{}{{shard=\"{}\"}}{}", series, label, rest)
+            };
+            let family = match &current {
+                Some(name) if series == name || series.starts_with(&format!("{}_", name)) => {
+                    name.clone()
+                }
+                // A bare sample with no preceding header forms its own family.
+                _ => series.to_string(),
+            };
+            let slot = family_at(&family, &mut order, &mut families);
+            families[slot].samples.push(labelled);
+        }
+    }
+    let mut out = String::new();
+    for name in &order {
+        let family = &families[index[name]];
+        if let Some(help) = &family.help {
+            out.push_str(&format!("# HELP {} {}\n", name, help));
+        }
+        if let Some(kind) = &family.kind {
+            out.push_str(&format!("# TYPE {} {}\n", name, kind));
+        }
+        for sample in &family.samples {
+            out.push_str(sample);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1175,5 +1357,103 @@ mod tests {
         assert!((a.total_decode_seconds() - 0.5).abs() < 1e-12);
         m.gets.inc();
         assert_eq!(a.gets, 2, "snapshots do not track the live registry");
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_histograms() {
+        let a = Metrics::new();
+        a.requests.add(3);
+        a.gets.add(2);
+        a.cache_hits.add(5);
+        a.cache_used_bytes.set(100);
+        a.decode_occupancy_permille.set(700);
+        a.observe_decode(DecoderKind::CuszBaseline, 0.5);
+        a.set_backend("gpu-sim (sim)");
+        let b = Metrics::new();
+        b.requests.add(4);
+        b.cache_misses.add(1);
+        b.cache_used_bytes.set(50);
+        b.decode_occupancy_permille.set(400);
+        b.observe_decode(DecoderKind::CuszBaseline, 0.25);
+        b.observe_decode(DecoderKind::OptimizedGapArray, 0.1);
+        b.set_backend("gpu-sim (sim)");
+
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.requests, 7);
+        assert_eq!(merged.gets, 2);
+        assert_eq!(merged.cache_hits, 5);
+        assert_eq!(merged.cache_misses, 1);
+        assert_eq!(
+            merged.cache_used_bytes, 150,
+            "byte gauges sum across shards"
+        );
+        assert_eq!(
+            merged.decode_occupancy_permille, 700,
+            "occupancy is a ratio: the merge keeps the max, not a sum"
+        );
+        assert_eq!(merged.total_decodes(), 3);
+        assert!((merged.total_decode_seconds() - 0.85).abs() < 1e-12);
+        assert_eq!(merged.backend.as_deref(), Some("gpu-sim (sim)"));
+
+        b.set_backend("cpu (2 threads)");
+        let mixed = a.snapshot().merge(&b.snapshot());
+        assert_eq!(mixed.backend.as_deref(), Some("mixed"));
+
+        // Merging with an empty snapshot is the identity on every summed field.
+        let identity = a.snapshot().merge(&Metrics::new().snapshot());
+        assert_eq!(identity.requests, a.snapshot().requests);
+        assert_eq!(identity.total_decodes(), a.snapshot().total_decodes());
+    }
+
+    #[test]
+    fn merge_expositions_labels_every_sample() {
+        let a = Metrics::new();
+        a.requests.add(3);
+        a.observe_decode(DecoderKind::CuszBaseline, 0.5);
+        a.set_backend("gpu-sim (sim)");
+        let b = Metrics::new();
+        b.requests.add(4);
+        b.observe_decode(DecoderKind::CuszBaseline, 0.25);
+        b.set_backend("gpu-sim (sim)");
+        let docs = [a.render_prometheus(), b.render_prometheus()];
+        let merged = merge_expositions(&[("0", &docs[0]), ("1", &docs[1])]).unwrap();
+
+        // The merged document is itself a valid exposition…
+        let samples = parse_prometheus(&merged).unwrap();
+        // …every sample carries the shard label…
+        assert!(samples.iter().all(|s| s.label("shard").is_some()));
+        // …per-shard series stay addressable…
+        assert_eq!(
+            sample_value(&samples, "hfz_requests_total", &[("shard", "0")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            sample_value(&samples, "hfz_requests_total", &[("shard", "1")]),
+            Some(4.0)
+        );
+        // …and fleet totals are plain sums over the family.
+        let total: f64 = samples
+            .iter()
+            .filter(|s| s.name == "hfz_requests_total")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(total, 7.0);
+        let decodes: f64 = samples
+            .iter()
+            .filter(|s| s.name == "hfz_decode_seconds_count")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(decodes, 2.0);
+        // Histogram series keep their original labels next to the shard label.
+        assert!(merged.contains("hfz_decode_seconds_bucket{shard=\"0\",decoder="));
+
+        // Exactly one HELP/TYPE header per family, even with two shards contributing.
+        for header in ["# HELP hfz_requests_total", "# TYPE hfz_decode_seconds"] {
+            assert_eq!(merged.matches(header).count(), 1, "duplicate {}", header);
+        }
+
+        // Broken inputs are reported, not merged.
+        assert!(merge_expositions(&[("0", "hfz_x notanumber\n")]).is_err());
+        assert!(merge_expositions(&[("bad\"label", &docs[0])]).is_err());
     }
 }

@@ -1,0 +1,178 @@
+//! Shard links: the router's side of each `hfzd` connection.
+//!
+//! A [`ShardLink`] wraps one [`PooledClient`] (which re-dials once when a kept socket
+//! turns out to be dead, so a shard *restart* heals invisibly) plus a `down` flag the
+//! router flips when even the re-dial fails (the shard is actually gone). Links are
+//! either **attached** — the daemon was started by someone else, the router only
+//! dials it — or **spawned** — the router forked the `hfzd` process itself and owns
+//! its lifetime (shutdown is propagated, the child is reaped).
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use huffdec_serve::client::{ClientError, PooledClient};
+use huffdec_serve::net::ListenAddr;
+use huffdec_serve::protocol::{Request, Response};
+
+/// One shard of the fleet.
+pub struct ShardLink {
+    id: usize,
+    addr: ListenAddr,
+    link: Mutex<PooledClient>,
+    down: AtomicBool,
+    /// The `hfzd` child process, for spawned shards only.
+    process: Mutex<Option<Child>>,
+}
+
+impl ShardLink {
+    /// A link to a daemon someone else runs.
+    pub fn attach(id: usize, addr: ListenAddr) -> ShardLink {
+        ShardLink {
+            id,
+            addr: addr.clone(),
+            link: Mutex::new(PooledClient::new(addr)),
+            down: AtomicBool::new(false),
+            process: Mutex::new(None),
+        }
+    }
+
+    /// A link to a daemon the router spawned (see [`spawn_shard`]).
+    pub fn spawned(id: usize, addr: ListenAddr, child: Child) -> ShardLink {
+        ShardLink {
+            id,
+            addr: addr.clone(),
+            link: Mutex::new(PooledClient::new(addr)),
+            down: AtomicBool::new(false),
+            process: Mutex::new(Some(child)),
+        }
+    }
+
+    /// The shard's slot in the placement table.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Where the shard serves.
+    pub fn addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// Whether the router has marked this shard down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Marks the shard down; returns `true` when this call did the flip (so the
+    /// caller bumps the down-event counter exactly once per failure).
+    pub fn set_down(&self) -> bool {
+        !self.down.swap(true, Ordering::SeqCst)
+    }
+
+    /// Marks the shard live again (after an operator restarted it).
+    pub fn set_up(&self) {
+        self.down.store(false, Ordering::SeqCst);
+        self.lock_link().disconnect();
+    }
+
+    /// True when the router spawned (and therefore owns) the shard process.
+    pub fn is_spawned(&self) -> bool {
+        self.lock_process().is_some()
+    }
+
+    /// The spawned shard's process id, when the router owns one.
+    pub fn pid(&self) -> Option<u32> {
+        self.lock_process().as_ref().map(|c| c.id())
+    }
+
+    fn lock_link(&self) -> std::sync::MutexGuard<'_, PooledClient> {
+        self.link.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_process(&self) -> std::sync::MutexGuard<'_, Option<Child>> {
+        self.process.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Sends one request over the pooled connection. The pool already retries once on
+    /// a dead *reused* socket; an error escaping here means the shard is unreachable
+    /// right now, and [`ClientError::is_disconnect`] tells the router whether to mark
+    /// it down.
+    pub fn request(&self, request: &Request) -> Result<Response, ClientError> {
+        self.lock_link().request(request)
+    }
+
+    /// Asks a spawned shard to exit and reaps the child; attached shards are left
+    /// alone (the router does not own them). Errors are swallowed — at shutdown the
+    /// shard may already be gone, which is fine.
+    pub fn shutdown_spawned(&self) {
+        let child = self.lock_process().take();
+        if let Some(mut child) = child {
+            let _ = self.request(&Request::Shutdown);
+            let _ = child.wait();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardLink")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("down", &self.is_down())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Spawns one `hfzd` shard on an ephemeral port and waits for its `listening on`
+/// line to learn the resolved address.
+///
+/// `extra_args` is appended verbatim (`--cache-bytes`, `--backend`, …). The child's
+/// stdout keeps draining on a background thread so the daemon can never block on a
+/// full pipe.
+pub fn spawn_shard(hfzd: &str, extra_args: &[String]) -> std::io::Result<(ListenAddr, Child)> {
+    let mut child = Command::new(hfzd)
+        .arg("--listen")
+        .arg("tcp:127.0.0.1:0")
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                // "hfzd: listening on tcp:127.0.0.1:PORT (cache budget N bytes)"
+                if let Some(rest) = line.split("listening on ").nth(1) {
+                    let addr = rest.split_whitespace().next().unwrap_or("");
+                    match ListenAddr::parse(addr) {
+                        Ok(addr) => break addr,
+                        Err(e) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("shard printed an unparseable address: {}", e),
+                            ));
+                        }
+                    }
+                }
+            }
+            Some(Err(e)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+            None => {
+                let _ = child.wait();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "shard exited before printing its listening address",
+                ));
+            }
+        }
+    };
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    Ok((addr, child))
+}

@@ -1,0 +1,278 @@
+//! Router entry point shared by the `hfzr` binary.
+//!
+//! ```text
+//! hfzr --spawn 3 --hfzd-bin target/release/hfzd --load hacc=/data/hacc.hfz
+//! hfzr --shard tcp:127.0.0.1:4806 --shard tcp:10.0.0.2:4806
+//! ```
+//!
+//! Flags:
+//! * `--listen ADDR` — where the router serves the `hfzd` protocol; default
+//!   `tcp:127.0.0.1:4807` (one above the daemon default, so both fit on a laptop);
+//! * `--shard ADDR` — **attach** to a daemon someone else runs (repeatable; shard ids
+//!   follow flag order);
+//! * `--spawn N` — **spawn** N `hfzd` children on ephemeral ports (ids continue after
+//!   the attached shards); their lifetime is the router's;
+//! * `--hfzd-bin PATH` — the binary `--spawn` forks; default `hfzd` (from `$PATH`);
+//! * `--cache-bytes N` / `--backend sim|cpu` — forwarded to every spawned shard;
+//! * `--load NAME=PATH` — place an archive across the fleet at start-up (repeatable);
+//! * `--metrics ADDR` — HTTP sidecar serving the *fleet* `GET /metrics` (shard
+//!   families merged under a `shard` label) and `GET /healthz` (degraded while a
+//!   shard death is being absorbed).
+//!
+//! Start-up prints one line per shard, then `metrics on <addr>` (when requested),
+//! then the `listening on <addr>` line the smoke jobs wait for — same contract as
+//! `hfzd` itself.
+
+use std::sync::Arc;
+
+use huffdec_codec::HfzError;
+use huffdec_serve::http::HttpServer;
+use huffdec_serve::net::ListenAddr;
+use huffdec_serve::protocol::{Request, Response};
+
+use crate::fleet::{spawn_shard, ShardLink};
+use crate::router::{RouterServer, RouterState};
+
+/// Default listen address when `--listen` is absent.
+pub const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:4807";
+
+/// Parsed router options.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Where the router serves the protocol.
+    pub listen: ListenAddr,
+    /// Daemons to attach to, in shard-id order.
+    pub shards: Vec<ListenAddr>,
+    /// How many `hfzd` children to spawn on ephemeral ports.
+    pub spawn: usize,
+    /// The binary `--spawn` forks.
+    pub hfzd_bin: String,
+    /// Flags forwarded to every spawned shard (`--cache-bytes`, `--backend`).
+    pub shard_args: Vec<String>,
+    /// `(name, path)` archives to place across the fleet at start-up.
+    pub preload: Vec<(String, String)>,
+    /// Where to bind the fleet HTTP metrics/health sidecar, when requested.
+    pub metrics: Option<ListenAddr>,
+}
+
+impl RouterOptions {
+    /// Parses `--listen/--shard/--spawn/--hfzd-bin/--cache-bytes/--backend/--load/--metrics`.
+    pub fn parse(args: &[String]) -> Result<RouterOptions, String> {
+        let mut listen = ListenAddr::parse(DEFAULT_LISTEN).expect("default parses");
+        let mut shards = Vec::new();
+        let mut spawn = 0usize;
+        let mut hfzd_bin = "hfzd".to_string();
+        let mut shard_args = Vec::new();
+        let mut preload = Vec::new();
+        let mut metrics = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {} expects a value", name))
+            };
+            match arg.as_str() {
+                "--listen" => listen = ListenAddr::parse(&value("--listen")?)?,
+                "--shard" => shards.push(ListenAddr::parse(&value("--shard")?)?),
+                "--spawn" => {
+                    spawn = value("--spawn")?
+                        .parse()
+                        .map_err(|_| "bad --spawn value".to_string())?
+                }
+                "--hfzd-bin" => hfzd_bin = value("--hfzd-bin")?,
+                "--cache-bytes" => {
+                    let v = value("--cache-bytes")?;
+                    v.parse::<u64>()
+                        .map_err(|_| "bad --cache-bytes value".to_string())?;
+                    shard_args.push("--cache-bytes".to_string());
+                    shard_args.push(v);
+                }
+                "--backend" => {
+                    shard_args.push("--backend".to_string());
+                    shard_args.push(value("--backend")?);
+                }
+                "--load" => {
+                    let spec = value("--load")?;
+                    let (name, path) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("--load '{}' is not NAME=PATH", spec))?;
+                    if name.is_empty() || path.is_empty() {
+                        return Err("--load needs a non-empty NAME=PATH".to_string());
+                    }
+                    preload.push((name.to_string(), path.to_string()));
+                }
+                "--metrics" => metrics = Some(ListenAddr::parse(&value("--metrics")?)?),
+                other => return Err(format!("unknown router flag '{}'", other)),
+            }
+        }
+        if shards.is_empty() && spawn == 0 {
+            return Err("a router needs shards: pass --shard ADDR and/or --spawn N".to_string());
+        }
+        Ok(RouterOptions {
+            listen,
+            shards,
+            spawn,
+            hfzd_bin,
+            shard_args,
+            preload,
+            metrics,
+        })
+    }
+}
+
+/// Builds the fleet, binds, preloads, prints the `listening on` line, and routes
+/// until shutdown. Failure classes mirror the daemon's so `hfzr` exits with the
+/// same stable codes as `hfzd`.
+pub fn run(options: &RouterOptions) -> Result<(), HfzError> {
+    use std::io::Write as _;
+    let mut links: Vec<ShardLink> = Vec::new();
+    for addr in &options.shards {
+        let id = links.len();
+        println!("hfzr: shard {} attached on {}", id, addr);
+        links.push(ShardLink::attach(id, addr.clone()));
+    }
+    for _ in 0..options.spawn {
+        let id = links.len();
+        let (addr, child) = spawn_shard(&options.hfzd_bin, &options.shard_args)
+            .map_err(|e| HfzError::io(format!("cannot spawn shard {}", id), e))?;
+        println!(
+            "hfzr: shard {} pid {} listening on {}",
+            id,
+            child.id(),
+            addr
+        );
+        links.push(ShardLink::spawned(id, addr, child));
+    }
+    let state = Arc::new(RouterState::new(links));
+    let server = RouterServer::bind(&options.listen, Arc::clone(&state))
+        .map_err(|e| HfzError::io(format!("cannot bind {}", options.listen), e))?;
+    for (name, path) in &options.preload {
+        match state.handle(&Request::Load {
+            name: name.clone(),
+            path: path.clone(),
+        }) {
+            Response::Loaded { fields } => {
+                eprintln!("hfzr: placed '{}' from {} ({} fields)", name, path, fields);
+            }
+            Response::Error(message) => {
+                return Err(HfzError::io(
+                    format!("cannot place '{}'", name),
+                    std::io::Error::other(message),
+                ));
+            }
+            other => {
+                return Err(HfzError::io(
+                    format!("cannot place '{}'", name),
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected response: {:?}", other),
+                    ),
+                ));
+            }
+        }
+    }
+    // Sidecar first (and flushed), so anything that waits for `listening on` below can
+    // already scrape — the same ordering contract as the daemon.
+    let metrics_thread = match &options.metrics {
+        Some(addr) => {
+            let sidecar = HttpServer::bind(addr, Arc::clone(&state))
+                .map_err(|e| HfzError::io(format!("cannot bind metrics sidecar {}", addr), e))?;
+            let bound = sidecar
+                .local_addr()
+                .map_err(|e| HfzError::io("metrics sidecar address", e))?;
+            {
+                let mut out = std::io::stdout();
+                let _ = writeln!(out, "hfzr: metrics on {}", bound);
+                let _ = out.flush();
+            }
+            Some(std::thread::spawn(move || sidecar.run()))
+        }
+        None => None,
+    };
+    {
+        let mut out = std::io::stdout();
+        let _ = writeln!(
+            out,
+            "hfzr: listening on {} ({} shards)",
+            server.local_addr(),
+            state.links().len()
+        );
+        let _ = out.flush();
+    }
+    let result = server.run().map_err(|e| HfzError::io("router failed", e));
+    if let Some(handle) = metrics_thread {
+        let _ = handle.join();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let opts = RouterOptions::parse(&s(&[
+            "--listen",
+            "tcp:127.0.0.1:9900",
+            "--shard",
+            "tcp:127.0.0.1:9000",
+            "--shard",
+            "unix:/tmp/shard.sock",
+            "--spawn",
+            "2",
+            "--hfzd-bin",
+            "target/release/hfzd",
+            "--cache-bytes",
+            "1024",
+            "--backend",
+            "cpu",
+            "--load",
+            "a=/tmp/a.hfz",
+            "--metrics",
+            "tcp:127.0.0.1:9910",
+        ]))
+        .unwrap();
+        assert_eq!(opts.listen, ListenAddr::Tcp("127.0.0.1:9900".into()));
+        assert_eq!(
+            opts.shards,
+            vec![
+                ListenAddr::Tcp("127.0.0.1:9000".into()),
+                ListenAddr::Unix("/tmp/shard.sock".into()),
+            ]
+        );
+        assert_eq!(opts.spawn, 2);
+        assert_eq!(opts.hfzd_bin, "target/release/hfzd");
+        assert_eq!(
+            opts.shard_args,
+            s(&["--cache-bytes", "1024", "--backend", "cpu"])
+        );
+        assert_eq!(
+            opts.preload,
+            vec![("a".to_string(), "/tmp/a.hfz".to_string())]
+        );
+        assert_eq!(opts.metrics, Some(ListenAddr::Tcp("127.0.0.1:9910".into())));
+    }
+
+    #[test]
+    fn defaults_and_bad_flags() {
+        // No shards at all is a configuration error, not a silently idle router.
+        assert!(RouterOptions::parse(&[]).is_err());
+        let opts = RouterOptions::parse(&s(&["--spawn", "2"])).unwrap();
+        assert_eq!(opts.listen, ListenAddr::parse(DEFAULT_LISTEN).unwrap());
+        assert_eq!(opts.hfzd_bin, "hfzd");
+        assert!(opts.shards.is_empty());
+        assert!(opts.shard_args.is_empty());
+        assert_eq!(opts.metrics, None);
+        assert!(RouterOptions::parse(&s(&["--spawn", "x"])).is_err());
+        assert!(RouterOptions::parse(&s(&["--shard"])).is_err());
+        assert!(RouterOptions::parse(&s(&["--cache-bytes", "x"])).is_err());
+        assert!(RouterOptions::parse(&s(&["--load", "nopath", "--spawn", "1"])).is_err());
+        assert!(RouterOptions::parse(&s(&["--bogus"])).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The placement table: which shard owns which `archive/field` key.
+//!
+//! The router hashes every key with **rendezvous (highest-random-weight) hashing**:
+//! each live shard gets a deterministic weight `h(key, shard)` and the highest weight
+//! wins. Two properties make it the right table for a fleet:
+//!
+//! * **Stability across runs** — the weight is a pure FNV-1a mix of the key bytes and
+//!   the shard id. The same fleet size always maps a key to the same shard, so a
+//!   restarted router re-derives the exact table its predecessor used, with no state
+//!   to persist or exchange.
+//! * **Minimal movement on failure** — when shard *d* goes down, keys owned by other
+//!   shards keep their maximum weight untouched; only keys whose winner *was* `d`
+//!   re-resolve (to their second-highest weight). A `mark_up` restores the original
+//!   assignment exactly. Modulo hashing would reshuffle almost every key instead.
+//!
+//! Keys use the manifest field *names* when the archive has a manifest (so routing is
+//! stable under internal re-indexing) and `#<index>` otherwise.
+
+/// 64-bit FNV-1a over a byte string — small, dependency-free, and stable forever,
+/// which is the property the placement table actually needs (not cryptographic
+/// strength; a hostile archive name can at worst skew the balance).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The rendezvous weight of `(archive, field)` on `shard`. NUL separators keep
+/// `("ab", "c")` and `("a", "bc")` distinct; field names never contain NUL (the
+/// manifest forbids it) and synthetic `#<index>` keys cannot either.
+fn weight(archive: &str, field: &str, shard: usize) -> u64 {
+    let mut key = Vec::with_capacity(archive.len() + field.len() + 10);
+    key.extend_from_slice(archive.as_bytes());
+    key.push(0);
+    key.extend_from_slice(field.as_bytes());
+    key.push(0);
+    key.extend_from_slice(&(shard as u64).to_le_bytes());
+    fnv1a64(&key)
+}
+
+/// The key a field routes on: its manifest name when it has one, `#<index>` otherwise.
+pub fn field_key(name: Option<&str>, index: usize) -> String {
+    match name {
+        Some(name) => name.to_string(),
+        None => format!("#{}", index),
+    }
+}
+
+/// The placement table: a fixed set of shard slots, each live or down.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    live: Vec<bool>,
+}
+
+impl Placement {
+    /// A table over `shards` slots, all live.
+    pub fn new(shards: usize) -> Placement {
+        Placement {
+            live: vec![true; shards],
+        }
+    }
+
+    /// Total shard slots (live or not).
+    pub fn shard_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of live shards.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Whether `shard` is currently live.
+    pub fn is_live(&self, shard: usize) -> bool {
+        self.live.get(shard).copied().unwrap_or(false)
+    }
+
+    /// Marks `shard` down: its keys re-resolve to the surviving shards.
+    pub fn mark_down(&mut self, shard: usize) {
+        if let Some(slot) = self.live.get_mut(shard) {
+            *slot = false;
+        }
+    }
+
+    /// Marks `shard` live again: exactly the keys it originally owned come back.
+    pub fn mark_up(&mut self, shard: usize) {
+        if let Some(slot) = self.live.get_mut(shard) {
+            *slot = true;
+        }
+    }
+
+    /// The live shard owning `(archive, field)`, or `None` when no shard is live.
+    /// Ties (astronomically unlikely with 64-bit weights) break to the lower id, so
+    /// the choice is still deterministic.
+    pub fn owner(&self, archive: &str, field: &str) -> Option<usize> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, &live)| live)
+            .map(|(id, _)| (weight(archive, field, id), id))
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A spread of keys across several archives, named and index-addressed.
+    fn keys() -> Vec<(String, String)> {
+        let mut keys = Vec::new();
+        for archive in ["hacc", "qmcpack", "snapshot-0042"] {
+            for field in 0..40usize {
+                keys.push((archive.to_string(), format!("field_{}", field)));
+                keys.push((archive.to_string(), field_key(None, field)));
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_pinned() {
+        let p = Placement::new(5);
+        let q = Placement::new(5);
+        for (archive, field) in keys() {
+            assert_eq!(
+                p.owner(&archive, &field),
+                q.owner(&archive, &field),
+                "same key must resolve identically in independent tables"
+            );
+        }
+        // Golden values pin the hash itself: if the mixing ever changes, a rolling
+        // restart would re-home every key, so a change here must be deliberate.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"hfzr"), 0x0305_e7cc_5ba6_88ab);
+        assert_eq!(p.owner("hacc", "field_0"), Some(3));
+        assert_eq!(p.owner("hacc", "field_1"), Some(2));
+        assert_eq!(p.owner("qmcpack", "#0"), Some(2));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let p = Placement::new(3);
+        let mut per_shard = [0usize; 3];
+        for (archive, field) in keys() {
+            per_shard[p.owner(&archive, &field).unwrap()] += 1;
+        }
+        for (shard, &count) in per_shard.iter().enumerate() {
+            assert!(count > 0, "shard {} owns nothing out of 240 keys", shard);
+        }
+    }
+
+    #[test]
+    fn shard_down_moves_only_the_dead_shards_keys() {
+        let mut p = Placement::new(4);
+        let before: Vec<_> = keys().iter().map(|(a, f)| p.owner(a, f).unwrap()).collect();
+        let dead = 2;
+        p.mark_down(dead);
+        assert_eq!(p.live_count(), 3);
+        let mut moved = 0;
+        for ((archive, field), &was) in keys().iter().zip(&before) {
+            let now = p.owner(archive, field).unwrap();
+            if was == dead {
+                assert_ne!(now, dead, "keys of the dead shard must re-home");
+                moved += 1;
+            } else {
+                assert_eq!(
+                    now, was,
+                    "key {}/{} moved although its owner {} is still live",
+                    archive, field, was
+                );
+            }
+        }
+        assert!(moved > 0, "the dead shard owned no keys — test is vacuous");
+        // Recovery restores the original table exactly.
+        p.mark_up(dead);
+        let after: Vec<_> = keys().iter().map(|(a, f)| p.owner(a, f).unwrap()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn no_live_shards_means_no_owner() {
+        let mut p = Placement::new(2);
+        p.mark_down(0);
+        p.mark_down(1);
+        assert_eq!(p.owner("hacc", "x"), None);
+        assert_eq!(p.live_count(), 0);
+        assert!(!p.is_live(0));
+        assert!(!p.is_live(7), "out-of-range shards are never live");
+    }
+}

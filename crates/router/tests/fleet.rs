@@ -1,0 +1,358 @@
+//! End-to-end fleet test: the acceptance scenario of the router.
+//!
+//! Three in-process `hfzd` shards behind a `RouterServer`. The client speaks to the
+//! router exactly as it would to a single daemon and must not be able to tell the
+//! difference: every `GET` and `GETBATCH` byte-identical to a direct decode, fleet
+//! `STATS` totals equal to the sum of the per-shard rows, and — the point of the
+//! subsystem — killing a shard mid-run re-homes its fields onto the survivors with
+//! at most one transparent retry for the in-flight request.
+
+use std::sync::Arc;
+
+use datasets::{dataset_by_name, generate, Field};
+use gpu_sim::{Gpu, GpuConfig};
+use huffdec_container::ArchiveWriter;
+use huffdec_core::DecoderKind;
+use huffdec_router::{RouterServer, RouterState, ShardLink};
+use huffdec_serve::client::Client;
+use huffdec_serve::net::ListenAddr;
+use huffdec_serve::protocol::GetKind;
+use huffdec_serve::server::{Server, ServerConfig};
+use huffdec_serve::BackendKind;
+use sz::{compress, decompress, Compressed, SzConfig};
+
+const ELEMENTS: usize = 8_000;
+const FIELDS: usize = 6;
+
+/// A six-field snapshot archive plus the reference decode of every field.
+struct TestSnapshot {
+    path: std::path::PathBuf,
+    field_names: Vec<String>,
+    reference: Vec<Vec<f32>>,
+}
+
+fn build_snapshot(dir: &std::path::Path, gpu: &Gpu) -> TestSnapshot {
+    let datasets = ["HACC", "GAMESS", "CESM"];
+    let mut compressed: Vec<(String, Compressed)> = Vec::new();
+    let mut reference = Vec::new();
+    for i in 0..FIELDS {
+        let field: Field = generate(
+            &dataset_by_name(datasets[i % datasets.len()]).unwrap(),
+            ELEMENTS,
+            (i + 1) as u64,
+        );
+        let c = compress(
+            &field,
+            &SzConfig::paper_default(DecoderKind::OptimizedGapArray),
+        );
+        reference.push(decompress(gpu, &c).unwrap().data);
+        compressed.push((format!("field_{}", i), c));
+    }
+    let path = dir.join("snapshot.hfz");
+    let file = std::fs::File::create(&path).unwrap();
+    let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));
+    let fields: Vec<(&str, &Compressed)> =
+        compressed.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    writer.write_snapshot(&fields).unwrap();
+    writer.into_inner().unwrap();
+    TestSnapshot {
+        path,
+        field_names: compressed.into_iter().map(|(n, _)| n).collect(),
+        reference,
+    }
+}
+
+fn f32_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// One in-process shard on an ephemeral port.
+fn start_shard() -> (
+    ListenAddr,
+    Arc<huffdec_serve::ServerState>,
+    std::thread::JoinHandle<()>,
+) {
+    let config = ServerConfig {
+        cache_bytes: 8 << 20,
+        gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
+        host_threads: 2,
+    };
+    let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
+    let server = Server::bind(&addr, &config).unwrap();
+    let addr = server.local_addr();
+    let state = server.state();
+    let thread = std::thread::spawn(move || server.run().unwrap());
+    (addr, state, thread)
+}
+
+/// Pulls `"key":<u64>` out of a JSON document fragment starting at `from`.
+fn json_u64(doc: &str, from: usize, key: &str) -> u64 {
+    let pat = format!("\"{}\":", key);
+    let at = doc[from..].find(&pat).expect(key) + from + pat.len();
+    doc[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn three_shard_fleet_serves_and_survives_a_kill() {
+    let dir = std::env::temp_dir().join("hfzr-fleet-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+    let snapshot = build_snapshot(&dir, &gpu);
+
+    // Three shards, then the router in front of them.
+    let shards: Vec<_> = (0..3).map(|_| start_shard()).collect();
+    let links: Vec<ShardLink> = shards
+        .iter()
+        .enumerate()
+        .map(|(id, (addr, _, _))| ShardLink::attach(id, addr.clone()))
+        .collect();
+    let state = Arc::new(RouterState::new(links));
+    let router = RouterServer::bind(
+        &ListenAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        Arc::clone(&state),
+    )
+    .unwrap();
+    let router_addr = router.local_addr();
+    let router_thread = std::thread::spawn(move || router.run().unwrap());
+
+    // One LOAD through the router places the archive across the fleet.
+    let mut client = Client::connect(&router_addr).unwrap();
+    let fields = client
+        .load("snap", snapshot.path.to_str().unwrap())
+        .unwrap();
+    assert_eq!(fields as usize, FIELDS);
+
+    // Rendezvous hashing must actually shard: with 6 fields on 3 shards, more than
+    // one shard owns something (all-on-one has probability 3·(1/3)^6 ≈ 0.4%, and the
+    // placement is deterministic, so this cannot flake).
+    let owners: Vec<usize> = (0..3)
+        .filter(|&s| {
+            let mut c = Client::connect(&shards[s].0).unwrap();
+            c.list().unwrap().contains("\"snap\"")
+        })
+        .collect();
+    assert!(
+        owners.len() > 1,
+        "placement sent every field to one shard: {:?}",
+        owners
+    );
+
+    // A reference single daemon holding the same archive: the fleet must be
+    // byte-identical to it on every request shape.
+    let (single_addr, _, single_thread) = start_shard();
+    let mut single = Client::connect(&single_addr).unwrap();
+    single
+        .load("snap", snapshot.path.to_str().unwrap())
+        .unwrap();
+
+    // GET every field through the router: byte-identical to the single daemon and
+    // to the direct decode.
+    for (i, reference) in snapshot.reference.iter().enumerate() {
+        let via_router = client.get("snap", i as u32, GetKind::Data, None).unwrap();
+        let via_single = single.get("snap", i as u32, GetKind::Data, None).unwrap();
+        assert_eq!(via_router.bytes, f32_bytes(reference), "field {}", i);
+        assert_eq!(via_router.bytes, via_single.bytes, "field {}", i);
+        assert_eq!(via_router.elements, via_single.elements);
+    }
+    // Ranged GET proxies too.
+    let ranged = client
+        .get("snap", 2, GetKind::Data, Some((100, 64)))
+        .unwrap();
+    assert_eq!(ranged.bytes, f32_bytes(&snapshot.reference[2][100..164]));
+
+    // GETBATCH fans out across the owning shards and merges in request order —
+    // including a deliberately shuffled, repeating field list.
+    let batch_fields: Vec<u32> = vec![5, 0, 3, 1, 5, 4, 2];
+    let via_router = client
+        .get_batch("snap", GetKind::Data, &batch_fields)
+        .unwrap();
+    let via_single = single
+        .get_batch("snap", GetKind::Data, &batch_fields)
+        .unwrap();
+    assert_eq!(via_router.len(), batch_fields.len());
+    for ((item, single_item), &f) in via_router.iter().zip(&via_single).zip(&batch_fields) {
+        assert_eq!(
+            item.bytes,
+            f32_bytes(&snapshot.reference[f as usize]),
+            "batch item for field {}",
+            f
+        );
+        assert_eq!(item.bytes, single_item.bytes);
+        assert_eq!(item.elements, single_item.elements);
+    }
+
+    // LIST through the router names the archive and all six fields once.
+    let list = client.list().unwrap();
+    assert!(list.contains("\"snap\""));
+    for name in &snapshot.field_names {
+        assert_eq!(
+            list.matches(&format!("\"{}\"", name)).count(),
+            1,
+            "field {} must appear exactly once in the merged list: {}",
+            name,
+            list
+        );
+    }
+
+    // Fleet STATS: the fleet block equals the sum of the per-shard rows.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"role\":\"router\""));
+    assert_eq!(json_u64(&stats, 0, "shards_total"), 3);
+    assert_eq!(json_u64(&stats, 0, "shards_up"), 3);
+    let fleet_at = stats.find("\"fleet\"").unwrap();
+    let shards_at = stats.find("\"shards\":[").unwrap();
+    for key in [
+        "requests",
+        "gets",
+        "batch_gets",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        let fleet_total = json_u64(&stats, fleet_at, key);
+        let mut per_shard_sum = 0;
+        let mut at = shards_at;
+        for _ in 0..3 {
+            at = stats[at..].find(&format!("\"{}\":", key)).unwrap() + at;
+            per_shard_sum += json_u64(&stats, at, key);
+            at += key.len();
+        }
+        assert_eq!(
+            fleet_total, per_shard_sum,
+            "fleet {} must equal the sum of the shard rows: {}",
+            key, stats
+        );
+    }
+    // And it agrees with the shards' own STATS documents.
+    let mut direct_gets = 0;
+    for (addr, _, _) in &shards {
+        let mut c = Client::connect(addr).unwrap();
+        direct_gets += json_u64(&c.stats().unwrap(), 0, "gets");
+    }
+    assert_eq!(json_u64(&stats, fleet_at, "gets"), direct_gets);
+
+    // Fleet METRICS: per-shard series stay addressable under the shard label and the
+    // router's own families are present.
+    let prom = client.metrics_prom().unwrap();
+    assert!(prom.contains("hfzr_shard_up{shard=\"0\"} 1"));
+    assert!(prom.contains("shard=\"1\""));
+    assert!(prom.contains("hfzr_requests_total"));
+    assert_eq!(
+        prom.matches("# TYPE hfz_requests_total").count(),
+        1,
+        "one TYPE line per merged family"
+    );
+
+    // A second, single-field archive lives on exactly one shard — killing that shard
+    // forces a real re-`LOAD` onto a survivor that never held it (the snapshot's
+    // survivors already hold the whole file, so its failover needs no reroute).
+    let solo_field: Field = generate(&dataset_by_name("QMCPACK").unwrap(), ELEMENTS, 99);
+    let solo_c = compress(
+        &solo_field,
+        &SzConfig::paper_default(DecoderKind::OptimizedSelfSync),
+    );
+    let solo_reference = decompress(&gpu, &solo_c).unwrap().data;
+    let solo_path = dir.join("solo.hfz");
+    let file = std::fs::File::create(&solo_path).unwrap();
+    let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));
+    writer.write_compressed(&solo_c).unwrap();
+    writer.into_inner().unwrap();
+    assert_eq!(client.load("solo", solo_path.to_str().unwrap()).unwrap(), 1);
+    let solo = client.get("solo", 0, GetKind::Data, None).unwrap();
+    assert_eq!(solo.bytes, f32_bytes(&solo_reference));
+    let solo_owners: Vec<usize> = (0..3)
+        .filter(|&s| {
+            let mut c = Client::connect(&shards[s].0).unwrap();
+            c.list().unwrap().contains("\"solo\"")
+        })
+        .collect();
+    assert_eq!(
+        solo_owners.len(),
+        1,
+        "one field places on exactly one shard"
+    );
+
+    // ---- Kill the shard owning `solo` mid-run. ----
+    //
+    // In-process, `request_shutdown` is the kill switch: the shard stops accepting
+    // and drops every connection — including the router's pooled link — at its next
+    // frame, which is exactly what the router observes when a remote daemon dies.
+    let dead = solo_owners[0];
+    shards[dead].1.request_shutdown();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // The in-flight request against the dead shard: marked down, `solo` re-loaded
+    // onto a survivor from the router's registry, retried once — the client just
+    // sees the answer.
+    let solo = client.get("solo", 0, GetKind::Data, None).unwrap();
+    assert_eq!(
+        solo.bytes,
+        f32_bytes(&solo_reference),
+        "solo after the kill"
+    );
+
+    // Every field — including the dead shard's — still serves through the router,
+    // byte-identical, with at most one transparent retry. The first request that
+    // touches the dead shard triggers mark-down + re-LOAD onto the survivors.
+    for (i, reference) in snapshot.reference.iter().enumerate() {
+        let r = client.get("snap", i as u32, GetKind::Data, None).unwrap();
+        assert_eq!(r.bytes, f32_bytes(reference), "field {} after the kill", i);
+    }
+    let via_router = client
+        .get_batch("snap", GetKind::Data, &batch_fields)
+        .unwrap();
+    for (item, &f) in via_router.iter().zip(&batch_fields) {
+        assert_eq!(
+            item.bytes,
+            f32_bytes(&snapshot.reference[f as usize]),
+            "batch item for field {} after the kill",
+            f
+        );
+    }
+
+    // The fleet knows: one shard down, down events and reroutes counted, and the
+    // router marked the death exactly once.
+    let stats = client.stats().unwrap();
+    assert_eq!(json_u64(&stats, 0, "shards_up"), 2);
+    let router_at = stats.find("\"router\"").unwrap();
+    assert_eq!(json_u64(&stats, router_at, "down_events"), 1);
+    assert!(json_u64(&stats, router_at, "reroutes") >= 1);
+    // Exactly one client-visible retry: the solo GET that found its owner dead.
+    // Every later request re-routed *before* being sent.
+    assert_eq!(json_u64(&stats, router_at, "retries"), 1);
+    let prom = client.metrics_prom().unwrap();
+    assert!(prom.contains(&format!("hfzr_shard_up{{shard=\"{}\"}} 0", dead)));
+    assert!(prom.contains("hfzr_shard_down_events_total 1"));
+
+    // Health: the death was absorbed — one degraded window, then healthy again.
+    match state.health() {
+        huffdec_serve::Health::Degraded(_) => {}
+        other => panic!(
+            "first health check after a kill must be degraded: {:?}",
+            other
+        ),
+    }
+    assert!(matches!(state.health(), huffdec_serve::Health::Healthy));
+
+    // Shut the fleet down: the router first, then the surviving shards. The router
+    // state must go before the shards do — its pooled links hold their sockets, and
+    // a shard's shutdown join waits for every connection to hang up.
+    client.shutdown().unwrap();
+    router_thread.join().unwrap();
+    drop(state);
+    single.shutdown().unwrap();
+    single_thread.join().unwrap();
+    for (id, (addr, _, handle)) in shards.into_iter().enumerate() {
+        if id == dead {
+            handle.join().unwrap();
+            continue;
+        }
+        Client::connect(&addr).unwrap().shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}

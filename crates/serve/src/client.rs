@@ -2,7 +2,10 @@
 //!
 //! Used by the `hfz` remote subcommands (`get`, `list`, `stats`, `load`, `shutdown`,
 //! `verify --addr`), the CI smoke job, and the concurrency tests — each test thread
-//! holds its own [`Client`].
+//! holds its own [`Client`]. Long-lived links (the `hfzr` router's shard connections)
+//! wrap a [`PooledClient`] instead: it re-dials and retries once when a previously
+//! working connection turns out to be dead, so one daemon restart does not poison the
+//! link forever.
 
 use crate::net::{connect, Conn, ListenAddr};
 use crate::protocol::{
@@ -19,6 +22,33 @@ pub enum ClientError {
     Remote(String),
     /// The daemon answered with a response of the wrong shape.
     UnexpectedResponse,
+}
+
+impl ClientError {
+    /// True when the failure means the *connection* died (broken pipe, reset, EOF
+    /// before the response) or could not be made at all (refused — the peer is gone),
+    /// rather than the request being bad. Disconnects are the retryable class: the
+    /// peer may have restarted, so re-dialing can succeed where the poisoned
+    /// connection cannot — and for the router they are the mark-the-shard-down
+    /// signal. Remote errors and malformed responses are not retryable — the daemon
+    /// answered, it just did not like the request.
+    pub fn is_disconnect(&self) -> bool {
+        match self {
+            ClientError::Protocol(ProtocolError::Io(e)) => matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::NotConnected
+            ),
+            ClientError::Protocol(ProtocolError::Malformed(reason)) => {
+                *reason == EOF_BEFORE_RESPONSE
+            }
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -86,8 +116,13 @@ impl GetResult {
     }
 }
 
+/// The `Malformed` reason [`Client::request`] reports when the daemon hangs up before
+/// answering — kept as one constant so [`ClientError::is_disconnect`] can recognize it.
+const EOF_BEFORE_RESPONSE: &str = "connection closed before the response";
+
 /// One connection to a daemon.
 pub struct Client {
+    addr: ListenAddr,
     conn: Conn,
 }
 
@@ -95,15 +130,29 @@ impl Client {
     /// Dials the daemon at `addr`.
     pub fn connect(addr: &ListenAddr) -> Result<Client, ClientError> {
         Ok(Client {
+            addr: addr.clone(),
             conn: connect(addr)?,
         })
+    }
+
+    /// The address this client dialed.
+    pub fn addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// Drops the current connection and dials the same address again. The broken-pipe
+    /// recovery path: after a daemon restart the old socket is dead, but the address
+    /// still serves.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.conn = connect(&self.addr)?;
+        Ok(())
     }
 
     /// Sends one request and reads one response.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.conn, &request.encode(), MAX_REQUEST_BYTES)?;
         let body = read_frame(&mut self.conn, MAX_RESPONSE_BYTES)?.ok_or(ClientError::Protocol(
-            ProtocolError::Malformed("connection closed before the response"),
+            ProtocolError::Malformed(EOF_BEFORE_RESPONSE),
         ))?;
         let response = Response::decode(&body)?;
         if let Response::Error(message) = response {
@@ -219,6 +268,119 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+/// A reconnecting wrapper around [`Client`] for long-lived links.
+///
+/// A plain [`Client`] is poisoned by one daemon restart: the kept socket EOFs and every
+/// later request fails. `PooledClient` keeps the *address* authoritative instead of the
+/// socket — it dials lazily, and when a request on a **reused** connection fails with a
+/// disconnect ([`ClientError::is_disconnect`]) it re-dials once and retries that one
+/// request. A failure on a freshly dialed connection is reported as-is (the daemon is
+/// actually gone), so callers like the router see at most one retry per request.
+pub struct PooledClient {
+    addr: ListenAddr,
+    client: Option<Client>,
+}
+
+impl PooledClient {
+    /// Creates a pool for `addr` without dialing; the first request connects.
+    pub fn new(addr: ListenAddr) -> PooledClient {
+        PooledClient { addr, client: None }
+    }
+
+    /// The address requests are sent to.
+    pub fn addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// True when a connection is currently held (it may still be dead on the wire;
+    /// the next request finds out).
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Drops the held connection, forcing the next request to dial fresh.
+    pub fn disconnect(&mut self) {
+        self.client = None;
+    }
+
+    /// Sends one request, transparently re-dialing once if a reused connection turns
+    /// out to be dead. All daemon requests are idempotent (`LOAD` included — loading
+    /// the same path again replaces the entry), so the single retry is safe.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let reused = self.client.is_some();
+        let client = match &mut self.client {
+            Some(client) => client,
+            None => self.client.insert(Client::connect(&self.addr)?),
+        };
+        match client.request(request) {
+            Err(e) if reused && e.is_disconnect() => {
+                // The kept socket died since the last request (daemon restart, idle
+                // timeout, …). Re-dial and retry exactly once.
+                self.client = None;
+                let client = self.client.insert(Client::connect(&self.addr)?);
+                client.request(request)
+            }
+            other => {
+                if other
+                    .as_ref()
+                    .err()
+                    .map(ClientError::is_disconnect)
+                    .unwrap_or(false)
+                {
+                    // Fresh dial, dead anyway: drop the socket so the next attempt
+                    // re-dials instead of reusing a half-broken connection.
+                    self.client = None;
+                }
+                other
+            }
+        }
+    }
+
+    /// Typed `GET` through the pool (see [`Client::get`]).
+    pub fn get(
+        &mut self,
+        archive: &str,
+        field: u32,
+        kind: GetKind,
+        range: Option<(u64, u64)>,
+    ) -> Result<GetResult, ClientError> {
+        let request = Request::Get {
+            archive: archive.to_string(),
+            field,
+            kind,
+            range,
+        };
+        match self.request(&request)? {
+            Response::Get {
+                kind,
+                from_cache,
+                partial,
+                elements,
+                bytes,
+            } => Ok(GetResult {
+                kind,
+                from_cache,
+                partial,
+                elements,
+                bytes,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Typed `LOAD` through the pool (see [`Client::load`]).
+    pub fn load(&mut self, name: &str, path: &str) -> Result<u32, ClientError> {
+        let request = Request::Load {
+            name: name.to_string(),
+            path: path.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Loaded { fields } => Ok(fields),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }

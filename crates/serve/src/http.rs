@@ -23,20 +23,64 @@ use crate::server::{Health, ServerState};
 /// Longest request head (request line + headers) the sidecar will read.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// The metrics/health HTTP listener, bound next to a daemon's request socket.
-#[derive(Debug)]
-pub struct MetricsServer {
-    listener: Listener,
-    state: Arc<ServerState>,
+/// What a component must expose to get the `/metrics` + `/healthz` sidecar.
+///
+/// The sidecar used to be welded to [`ServerState`]; the router (`hfzr`) serves the
+/// same two endpoints over *fleet-wide* documents, so the HTTP plumbing is generic
+/// over this trait instead.
+pub trait HttpEndpoints: Send + Sync + 'static {
+    /// The `/metrics` body: a Prometheus text exposition document.
+    fn metrics_text(&self) -> String;
+    /// The `/healthz` verdict.
+    fn health(&self) -> Health;
+    /// True once shutdown has been requested; the accept loop exits on the next
+    /// connection (the shutdown path dials once to unblock it).
+    fn is_shutting_down(&self) -> bool;
+    /// Called once with the resolved bound address (ephemeral ports resolved), so the
+    /// owner can record where the sidecar lives and poke it on shutdown.
+    fn sidecar_bound(&self, addr: ListenAddr) {
+        let _ = addr;
+    }
 }
 
-impl MetricsServer {
-    /// Binds the sidecar on `addr` and registers the resolved address (ephemeral
-    /// ports resolved) with the server state, so `SHUTDOWN` can poke the accept loop.
-    pub fn bind(addr: &ListenAddr, state: Arc<ServerState>) -> std::io::Result<MetricsServer> {
+impl HttpEndpoints for ServerState {
+    fn metrics_text(&self) -> String {
+        self.metrics().render_prometheus()
+    }
+
+    fn health(&self) -> Health {
+        ServerState::health(self)
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        ServerState::is_shutting_down(self)
+    }
+
+    fn sidecar_bound(&self, addr: ListenAddr) {
+        self.set_metrics_addr(addr);
+    }
+}
+
+/// The metrics/health HTTP listener, bound next to a daemon's request socket.
+pub struct HttpServer<E: HttpEndpoints> {
+    listener: Listener,
+    endpoints: Arc<E>,
+}
+
+/// The daemon's sidecar: [`HttpServer`] over [`ServerState`].
+pub type MetricsServer = HttpServer<ServerState>;
+
+impl<E: HttpEndpoints> HttpServer<E> {
+    /// Binds the sidecar on `addr` and reports the resolved address (ephemeral ports
+    /// resolved) back through [`HttpEndpoints::sidecar_bound`], so shutdown can poke
+    /// the accept loop.
+    pub fn bind(addr: &ListenAddr, endpoints: Arc<E>) -> std::io::Result<HttpServer<E>> {
         let listener = Listener::bind(addr)?;
-        state.set_metrics_addr(listener.local_addr()?);
-        Ok(MetricsServer { listener, state })
+        endpoints.sidecar_bound(listener.local_addr()?);
+        Ok(HttpServer {
+            listener,
+            endpoints,
+        })
     }
 
     /// The bound address, with ephemeral TCP ports resolved.
@@ -44,29 +88,37 @@ impl MetricsServer {
         self.listener.local_addr()
     }
 
-    /// Accepts and serves scrapes until the daemon shuts down. Each connection gets a
+    /// Accepts and serves scrapes until the owner shuts down. Each connection gets a
     /// short-lived thread; responses always carry `Connection: close`.
     pub fn run(self) -> std::io::Result<()> {
         loop {
             let conn = self.listener.accept()?;
-            if self.state.is_shutting_down() {
+            if self.endpoints.is_shutting_down() {
                 // The shutdown path connects once to unblock `accept`; answer that
                 // probe (and any racing scrape) with the unhealthy page, then stop.
-                let state = Arc::clone(&self.state);
-                let _ = serve_connection(conn, &state);
+                let endpoints = Arc::clone(&self.endpoints);
+                let _ = serve_connection(conn, &*endpoints);
                 return Ok(());
             }
-            let state = Arc::clone(&self.state);
+            let endpoints = Arc::clone(&self.endpoints);
             thread::spawn(move || {
-                let _ = serve_connection(conn, &state);
+                let _ = serve_connection(conn, &*endpoints);
             });
         }
     }
 }
 
+impl<E: HttpEndpoints> std::fmt::Debug for HttpServer<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("listener", &self.listener)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Reads one request head and writes one response. Any parse problem is answered with
 /// a `400`; I/O errors are returned for the caller to drop.
-fn serve_connection(mut conn: Conn, state: &ServerState) -> std::io::Result<()> {
+fn serve_connection<E: HttpEndpoints>(mut conn: Conn, state: &E) -> std::io::Result<()> {
     let head = match read_head(&mut conn) {
         Ok(head) => head,
         Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
@@ -95,7 +147,7 @@ fn serve_connection(mut conn: Conn, state: &ServerState) -> std::io::Result<()> 
             200,
             "OK",
             "text/plain; version=0.0.4; charset=utf-8",
-            &state.metrics().render_prometheus(),
+            &state.metrics_text(),
         ),
         "/healthz" => match state.health() {
             Health::Healthy => write_response(&mut conn, 200, "OK", "text/plain", "healthy\n"),

@@ -55,8 +55,8 @@ pub mod server;
 pub mod store;
 
 pub use cache::{CacheKey, CacheStats, DecodedLru};
-pub use client::{Client, ClientError, GetResult};
-pub use http::MetricsServer;
+pub use client::{Client, ClientError, GetResult, PooledClient};
+pub use http::{HttpEndpoints, HttpServer, MetricsServer};
 pub use huffdec_codec::{
     ArchiveHandle, Backend, BackendKind, Codec, FieldHandle, HfzError, Metrics, MetricsSnapshot,
 };

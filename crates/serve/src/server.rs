@@ -752,6 +752,12 @@ fn serve_connection(state: Arc<ServerState>, mut conn: Conn) {
             Ok(None) => return, // clean EOF
             Err(_) => return,   // protocol violation: drop the connection
         };
+        // Once SHUTDOWN has been accepted, concurrent connections are dropped rather
+        // than served: the daemon must be able to exit without waiting for every
+        // keepalive client to hang up on its own.
+        if state.is_shutting_down() {
+            return;
+        }
         let response = match Request::decode(&body) {
             Ok(request) => state.handle(&request),
             Err(e) => Response::Error(format!("bad request: {}", e)),

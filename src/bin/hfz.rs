@@ -122,7 +122,9 @@ OPTIONS:
   --digest HEX     expected decoded-stream CRC32 (overrides the stored trailer)
   --prom           print daemon counters in Prometheus text exposition format
   --watch SECS     re-poll the daemon every SECS seconds, printing hit-ratio and
-                   decode-latency trends (Ctrl-C to stop)
+                   decode-latency trends (Ctrl-C to stop); against a router, adds
+                   one per-shard row under each fleet-total line
+  --router ADDR    alias for --addr (an hfzr fleet router speaks the same protocol)
   ADDR             tcp:HOST:PORT or unix:PATH
 
 EXIT CODES:
@@ -317,7 +319,13 @@ fn decode_codec(args: &Args) -> Result<Codec, HfzError> {
 }
 
 fn connect(args: &Args) -> Result<Client, HfzError> {
-    let addr = ListenAddr::parse(args.require("addr")?)?;
+    // `--router` is an alias for `--addr`: an `hfzr` fleet router speaks the same
+    // protocol as a single daemon, so every remote subcommand works against either.
+    let addr = args
+        .get("addr")
+        .or_else(|| args.get("router"))
+        .ok_or_else(|| HfzError::Usage("missing required flag --addr (or --router)".to_string()))?;
+    let addr = ListenAddr::parse(addr)?;
     Client::connect(&addr)
         .map_err(|e| HfzError::Protocol(format!("cannot connect to {}: {}", addr, e)))
 }
@@ -993,6 +1001,38 @@ fn watch_stats(client: &mut Client, secs: u64) -> Result<(), HfzError> {
                 mean_ms(now.decodes - p.decodes, now.decode_seconds - p.decode_seconds),
                 mean_ms(now.decodes, now.decode_seconds)
             ),
+        }
+        // Against an `hfzr` router the merged document labels every shard family with
+        // `shard="N"` (and exports `hfzr_shard_up`); one sub-row per shard turns the
+        // fleet line above into a fleet-total + per-shard table. Against a single
+        // daemon no `shard` labels exist and the loop body never runs.
+        let mut shard_ids: Vec<&str> = samples.iter().filter_map(|s| s.label("shard")).collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        for id in shard_ids {
+            let for_shard = |name: &str| -> f64 {
+                samples
+                    .iter()
+                    .filter(|s| s.name == name && s.label("shard") == Some(id))
+                    .map(|s| s.value)
+                    .sum()
+            };
+            let up = samples.iter().any(|s| {
+                s.name == "hfzr_shard_up" && s.label("shard") == Some(id) && s.value > 0.0
+            });
+            let decodes = for_shard("hfz_decode_seconds_count");
+            out!(
+                "  shard {} [{}]: {} requests | hit ratio {} | {} decodes, mean simulated {}",
+                id,
+                if up { "up" } else { "down" },
+                for_shard("hfz_requests_total"),
+                ratio(
+                    for_shard("hfz_cache_hits_total"),
+                    for_shard("hfz_cache_misses_total")
+                ),
+                decodes,
+                mean_ms(decodes, for_shard("hfz_decode_seconds_sum"))
+            );
         }
         prev = Some(now);
         std::thread::sleep(std::time::Duration::from_secs(secs));
