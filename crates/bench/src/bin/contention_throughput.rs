@@ -1,0 +1,177 @@
+//! Same-field contention throughput — N concurrent clients hammering one cold field
+//! against the daemon's single-flight scheduler vs. the serial (uncoalesced) cost.
+//!
+//! Spawns an in-process daemon (`Daemon::builder().spawn()`), releases eight client
+//! threads simultaneously against one cold field, and measures the wall-clock until
+//! every reply lands. The serial baseline is what those eight requests would cost
+//! without the single-flight table: eight independent cold decodes, run back to back
+//! through the same codec. The headline numbers are the wall-clock ratio and the
+//! **duplicate decode count** — decodes beyond the one the first miss admits. The
+//! scheduler's single-flight table makes that count 0 by construction, and the bench
+//! hard-fails if contention ever decodes the same field twice.
+//!
+//! Self-verifying: every concurrent reply must be byte-identical to the direct
+//! decompress of the archived field.
+//!
+//! Pass `--json` to also write `BENCH_contention.json` (the CI bench-smoke job
+//! gates on `duplicate_decodes`).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use huffdec_bench::{fmt_ratio, json_requested, write_bench_json, Table, BENCH_SEED, ELEMENTS_ENV};
+use huffdec_codec::Codec;
+use huffdec_container::ArchiveWriter;
+use huffdec_core::DecoderKind;
+use huffdec_serve::client::Connection;
+use huffdec_serve::net::ListenAddr;
+use huffdec_serve::protocol::GetKind;
+use huffdec_serve::Daemon;
+use sz::ErrorBound;
+
+/// Concurrent clients in the contention phase (the acceptance scenario's eight).
+const CLIENTS: usize = 8;
+
+fn main() {
+    let elements: usize = std::env::var(ELEMENTS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    // One archive, one field — the contended resource. The codec mirrors the
+    // daemon's own decode configuration (full V100 model) so the serial baseline
+    // prices exactly the work the daemon would repeat without coalescing.
+    let codec = Codec::builder()
+        .gpu_config(gpu_sim::GpuConfig::v100())
+        .decoder(DecoderKind::OptimizedGapArray)
+        .error_bound(ErrorBound::Relative(1e-3))
+        .build()
+        .expect("bench codec configuration is valid");
+    let spec = datasets::dataset_by_name("HACC").expect("paper dataset");
+    let field = datasets::generate(&spec, elements, BENCH_SEED);
+    let compressed = codec.compress_archive(&field).expect("non-empty field");
+
+    let dir = std::env::temp_dir().join("hfz-bench-contention");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("contended.hfz");
+    let file = std::fs::File::create(&path).expect("archive file");
+    let mut writer = ArchiveWriter::new(std::io::BufWriter::new(file));
+    writer
+        .write_compressed(&compressed)
+        .expect("archive writes");
+    writer.into_inner().expect("archive flushes");
+
+    // Serial baseline: the eight requests as eight independent cold decodes —
+    // the pre-coalescing daemon repeated the full decode per concurrent miss.
+    let reference = codec.decompress(&compressed).expect("reference decode");
+    let serial_start = Instant::now();
+    for _ in 0..CLIENTS {
+        let out = codec.decompress(&compressed).expect("serial decode");
+        assert_eq!(out.data, reference.data, "serial decode must be stable");
+    }
+    let serial_seconds = serial_start.elapsed().as_secs_f64();
+    let expected: Vec<u8> = reference
+        .data
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+
+    // Contended phase: a fresh daemon (cold cache), eight clients released together
+    // against the one field.
+    let handle = Daemon::builder()
+        .listen(ListenAddr::parse("tcp:127.0.0.1:0").expect("addr parses"))
+        .preload("contended", path.to_str().expect("utf-8 temp path"))
+        .spawn()
+        .expect("daemon spawns");
+    let addr = handle.local_addr().clone();
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Connection::connect(&addr).expect("client connects");
+                barrier.wait();
+                client
+                    .get("contended", 0, GetKind::Data, None)
+                    .expect("contended GET succeeds")
+            })
+        })
+        .collect();
+    barrier.wait();
+    let coalesced_start = Instant::now();
+    let results: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let coalesced_seconds = coalesced_start.elapsed().as_secs_f64();
+
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.bytes, expected,
+            "self-verification failed: client {} diverged from the direct decode",
+            i
+        );
+    }
+
+    // The single-flight table must have admitted exactly one decode.
+    let stats = handle.state().metrics_snapshot();
+    let decodes: u64 = stats.decode_seconds.iter().map(|h| h.count()).sum();
+    let duplicate_decodes = decodes.saturating_sub(1);
+    assert_eq!(
+        duplicate_decodes, 0,
+        "same-field contention must coalesce into one decode, saw {}",
+        decodes
+    );
+
+    let mut table = Table::new(
+        "Same-field contention: 8 uncoalesced cold decodes vs. 8 coalesced clients (simulated V100)",
+        &["phase", "requests", "decodes", "wall ms", "ms/request"],
+    );
+    table.push_row(vec![
+        "serial".to_string(),
+        CLIENTS.to_string(),
+        CLIENTS.to_string(),
+        format!("{:.3}", serial_seconds * 1e3),
+        format!("{:.3}", serial_seconds * 1e3 / CLIENTS as f64),
+    ]);
+    table.push_row(vec![
+        "coalesced".to_string(),
+        CLIENTS.to_string(),
+        decodes.to_string(),
+        format!("{:.3}", coalesced_seconds * 1e3),
+        format!("{:.3}", coalesced_seconds * 1e3 / CLIENTS as f64),
+    ]);
+    table.print();
+
+    let speedup = serial_seconds / coalesced_seconds.max(1e-12);
+    println!(
+        "contention: {} clients, {} decode(s), {} duplicate(s)  |  serial {:.3} ms vs coalesced {:.3} ms  |  speedup {}x",
+        CLIENTS,
+        decodes,
+        duplicate_decodes,
+        serial_seconds * 1e3,
+        coalesced_seconds * 1e3,
+        fmt_ratio(speedup)
+    );
+
+    if json_requested() {
+        write_bench_json(
+            "contention",
+            true,
+            &table,
+            &[
+                ("clients", CLIENTS.to_string()),
+                ("decodes", decodes.to_string()),
+                ("duplicate_decodes", duplicate_decodes.to_string()),
+                ("serial_seconds", format!("{:.6}", serial_seconds)),
+                ("coalesced_seconds", format!("{:.6}", coalesced_seconds)),
+                ("speedup", format!("{:.6}", speedup)),
+            ],
+        );
+    }
+
+    let mut shutter = Connection::connect(&addr).expect("shutdown connection");
+    shutter.shutdown().expect("daemon drains");
+    handle.join().expect("daemon exits cleanly");
+}

@@ -606,6 +606,57 @@ impl Codec {
         Ok((results, stats))
     }
 
+    /// Decodes one scheduler wave of fields to wire-ready little-endian f32 bytes.
+    ///
+    /// This is the submission API the daemon's decode scheduler drives: hand it every
+    /// cold field of one wave and the codec picks the execution shape — a lone field
+    /// decodes through the serial path ([`Codec::decompress_field`]), two or more run
+    /// as one overlapped batch ([`Codec::decompress_batch`]), so multi-field waves
+    /// record the batch instruments while a single miss stays off them. Outputs are
+    /// bit-identical to serial decodes, in input order.
+    pub fn decompress_wave(&self, fields: &[&FieldHandle]) -> Result<Vec<Vec<u8>>> {
+        match fields {
+            [] => Ok(Vec::new()),
+            [field] => Ok(vec![f32_le_bytes(&self.decompress_field(field)?.data)]),
+            many => {
+                let archives: Vec<&Compressed> = many
+                    .iter()
+                    .map(|f| {
+                        f.compressed().ok_or_else(|| {
+                            HfzError::Usage(
+                                "archive is payload-only; nothing to reconstruct".to_string(),
+                            )
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let batch = self.decompress_batch(&archives)?;
+                Ok(batch
+                    .fields
+                    .into_iter()
+                    .map(|d| f32_le_bytes(&d.data))
+                    .collect())
+            }
+        }
+    }
+
+    /// The codes analogue of [`Codec::decompress_wave`]: decodes a wave of fields'
+    /// symbol streams to little-endian u16 bytes, serial for one field
+    /// ([`Codec::decode_field_codes`]) and batched for several
+    /// ([`Codec::decode_field_codes_batch`]).
+    pub fn decode_codes_wave(&self, fields: &[&FieldHandle]) -> Result<Vec<Vec<u8>>> {
+        match fields {
+            [] => Ok(Vec::new()),
+            [field] => Ok(vec![u16_le_bytes(&self.decode_field_codes(field)?.symbols)]),
+            many => {
+                let (results, _stats) = self.decode_field_codes_batch(many)?;
+                Ok(results
+                    .into_iter()
+                    .map(|r| u16_le_bytes(&r.symbols))
+                    .collect())
+            }
+        }
+    }
+
     /// Builds (or returns the cached) range-decode index of a field — the one-time
     /// preparation cost every later [`Codec::decompress_range`] amortizes. The index
     /// lives inside the [`FieldHandle`], so it is shared by every caller holding the
@@ -657,6 +708,24 @@ impl Codec {
             .add(r.symbols.len() as u64 * 2);
         Ok(r)
     }
+}
+
+/// Serializes reconstructed f32 data to the wire layout (little-endian, 4 B/element).
+fn f32_le_bytes(data: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Serializes decoded symbols to the wire layout (little-endian, 2 B/element).
+fn u16_le_bytes(symbols: &[u16]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(symbols.len() * 2);
+    for s in symbols {
+        bytes.extend_from_slice(&s.to_le_bytes());
+    }
+    bytes
 }
 
 #[cfg(test)]
@@ -741,6 +810,48 @@ mod tests {
             codec.compress_archive(&empty),
             Err(HfzError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn wave_api_matches_serial_decodes_bit_for_bit() {
+        let codec = tiny_codec(DecoderKind::OptimizedGapArray);
+        let fields: Vec<_> = (0..3u64)
+            .map(|i| generate(&dataset_by_name("HACC").unwrap(), 9_000, 20 + i))
+            .collect();
+        let archives: Vec<_> = fields
+            .iter()
+            .map(|f| codec.compress(f).unwrap().archive)
+            .collect();
+        let named: Vec<(&str, &Compressed)> = archives
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (["xx", "vv", "qq"][i], a))
+            .collect();
+        let bytes = huffdec_container::snapshot_to_bytes(&named).unwrap();
+        let handle = codec.open_snapshot_bytes(&bytes).unwrap();
+        let refs: Vec<&FieldHandle> = handle.fields().iter().collect();
+
+        // Empty wave is a no-op; one field takes the serial path; several batch.
+        assert!(codec.decompress_wave(&[]).unwrap().is_empty());
+        let single = codec.decompress_wave(&refs[..1]).unwrap();
+        let wave = codec.decompress_wave(&refs).unwrap();
+        assert_eq!(wave.len(), 3);
+        assert_eq!(single[0], wave[0]);
+        for (field, produced) in refs.iter().zip(&wave) {
+            let serial = codec.decompress_field(field).unwrap();
+            let expected: Vec<u8> = serial.data.iter().flat_map(|v| v.to_le_bytes()).collect();
+            assert_eq!(produced, &expected, "wave output differs from serial");
+        }
+        let code_wave = codec.decode_codes_wave(&refs).unwrap();
+        for (field, produced) in refs.iter().zip(&code_wave) {
+            let serial = codec.decode_field_codes(field).unwrap();
+            let expected: Vec<u8> = serial
+                .symbols
+                .iter()
+                .flat_map(|s| s.to_le_bytes())
+                .collect();
+            assert_eq!(produced, &expected, "code wave output differs from serial");
+        }
     }
 
     #[test]

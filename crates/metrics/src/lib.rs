@@ -263,6 +263,20 @@ pub struct Metrics {
     /// What the batched waves actually cost (simulated seconds).
     pub batch_batched_seconds: FloatCounter,
 
+    /// Requests that joined an already-in-flight decode of the same field
+    /// (single-flight coalescing) instead of triggering their own.
+    pub sched_coalesced: Counter,
+    /// Decode waves the scheduler submitted (each drains the pending queue once).
+    pub sched_waves: Counter,
+    /// Cold fields decoded across all scheduler waves.
+    pub sched_wave_fields: Counter,
+    /// Waves that carried more than one distinct field (cross-request batching).
+    pub sched_multi_field_waves: Counter,
+    /// Requests shed with a `BUSY` reply because the pending-decode queue was full.
+    pub sched_shed: Counter,
+    /// Decode tasks currently waiting in the scheduler's pending queue.
+    pub sched_queue_depth: Gauge,
+
     /// Decoded-field cache lookups that found their entry.
     pub cache_hits: Counter,
     /// Decoded-field cache lookups that did not.
@@ -365,6 +379,12 @@ impl Metrics {
             batch_decoded_fields: self.batch_decoded_fields.get(),
             batch_serial_seconds: self.batch_serial_seconds.get(),
             batch_batched_seconds: self.batch_batched_seconds.get(),
+            sched_coalesced: self.sched_coalesced.get(),
+            sched_waves: self.sched_waves.get(),
+            sched_wave_fields: self.sched_wave_fields.get(),
+            sched_multi_field_waves: self.sched_multi_field_waves.get(),
+            sched_shed: self.sched_shed.get(),
+            sched_queue_depth: self.sched_queue_depth.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             cache_evictions: self.cache_evictions.get(),
@@ -419,6 +439,18 @@ pub struct MetricsSnapshot {
     pub batch_serial_seconds: f64,
     /// See [`Metrics::batch_batched_seconds`].
     pub batch_batched_seconds: f64,
+    /// See [`Metrics::sched_coalesced`].
+    pub sched_coalesced: u64,
+    /// See [`Metrics::sched_waves`].
+    pub sched_waves: u64,
+    /// See [`Metrics::sched_wave_fields`].
+    pub sched_wave_fields: u64,
+    /// See [`Metrics::sched_multi_field_waves`].
+    pub sched_multi_field_waves: u64,
+    /// See [`Metrics::sched_shed`].
+    pub sched_shed: u64,
+    /// See [`Metrics::sched_queue_depth`].
+    pub sched_queue_depth: u64,
     /// See [`Metrics::cache_hits`].
     pub cache_hits: u64,
     /// See [`Metrics::cache_misses`].
@@ -504,6 +536,12 @@ impl MetricsSnapshot {
             batch_decoded_fields: self.batch_decoded_fields + other.batch_decoded_fields,
             batch_serial_seconds: self.batch_serial_seconds + other.batch_serial_seconds,
             batch_batched_seconds: self.batch_batched_seconds + other.batch_batched_seconds,
+            sched_coalesced: self.sched_coalesced + other.sched_coalesced,
+            sched_waves: self.sched_waves + other.sched_waves,
+            sched_wave_fields: self.sched_wave_fields + other.sched_wave_fields,
+            sched_multi_field_waves: self.sched_multi_field_waves + other.sched_multi_field_waves,
+            sched_shed: self.sched_shed + other.sched_shed,
+            sched_queue_depth: self.sched_queue_depth + other.sched_queue_depth,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
@@ -600,6 +638,42 @@ impl MetricsSnapshot {
             "hfz_batch_batched_seconds_total",
             "Simulated seconds the batched waves actually cost (wave occupancy = serial/batched).",
             self.batch_batched_seconds,
+        );
+        counter_line(
+            &mut out,
+            "hfz_sched_coalesced_total",
+            "Requests that joined an in-flight decode of the same field (single-flight).",
+            self.sched_coalesced,
+        );
+        counter_line(
+            &mut out,
+            "hfz_sched_waves_total",
+            "Decode waves the scheduler submitted.",
+            self.sched_waves,
+        );
+        counter_line(
+            &mut out,
+            "hfz_sched_wave_fields_total",
+            "Cold fields decoded across scheduler waves.",
+            self.sched_wave_fields,
+        );
+        counter_line(
+            &mut out,
+            "hfz_sched_multi_field_waves_total",
+            "Waves that carried more than one distinct field (cross-request batching).",
+            self.sched_multi_field_waves,
+        );
+        counter_line(
+            &mut out,
+            "hfz_sched_shed_total",
+            "Requests shed with BUSY because the pending-decode queue was full.",
+            self.sched_shed,
+        );
+        gauge_line(
+            &mut out,
+            "hfz_sched_queue_depth",
+            "Decode tasks currently waiting in the scheduler's pending queue.",
+            self.sched_queue_depth,
         );
         counter_line(
             &mut out,
@@ -1213,6 +1287,12 @@ mod tests {
             "hfz_batch_decoded_fields_total",
             "hfz_batch_serial_seconds_total",
             "hfz_batch_batched_seconds_total",
+            "hfz_sched_coalesced_total",
+            "hfz_sched_waves_total",
+            "hfz_sched_wave_fields_total",
+            "hfz_sched_multi_field_waves_total",
+            "hfz_sched_shed_total",
+            "hfz_sched_queue_depth",
             "hfz_cache_hits_total",
             "hfz_cache_misses_total",
             "hfz_cache_evictions_total",

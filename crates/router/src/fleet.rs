@@ -1,6 +1,6 @@
 //! Shard links: the router's side of each `hfzd` connection.
 //!
-//! A [`ShardLink`] wraps one [`PooledClient`] (which re-dials once when a kept socket
+//! A [`ShardLink`] wraps one [`Connection`] (which re-dials once when a kept socket
 //! turns out to be dead, so a shard *restart* heals invisibly) plus a `down` flag the
 //! router flips when even the re-dial fails (the shard is actually gone). Links are
 //! either **attached** — the daemon was started by someone else, the router only
@@ -9,10 +9,10 @@
 
 use std::io::BufRead;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use huffdec_serve::client::{ClientError, PooledClient};
+use huffdec_serve::client::{ClientError, Connection};
 use huffdec_serve::net::ListenAddr;
 use huffdec_serve::protocol::{Request, Response};
 
@@ -20,7 +20,7 @@ use huffdec_serve::protocol::{Request, Response};
 pub struct ShardLink {
     id: usize,
     addr: ListenAddr,
-    link: Mutex<PooledClient>,
+    link: Mutex<Connection>,
     down: AtomicBool,
     /// The `hfzd` child process, for spawned shards only.
     process: Mutex<Option<Child>>,
@@ -32,7 +32,7 @@ impl ShardLink {
         ShardLink {
             id,
             addr: addr.clone(),
-            link: Mutex::new(PooledClient::new(addr)),
+            link: Mutex::new(Connection::new(addr)),
             down: AtomicBool::new(false),
             process: Mutex::new(None),
         }
@@ -43,7 +43,7 @@ impl ShardLink {
         ShardLink {
             id,
             addr: addr.clone(),
-            link: Mutex::new(PooledClient::new(addr)),
+            link: Mutex::new(Connection::new(addr)),
             down: AtomicBool::new(false),
             process: Mutex::new(Some(child)),
         }
@@ -86,7 +86,7 @@ impl ShardLink {
         self.lock_process().as_ref().map(|c| c.id())
     }
 
-    fn lock_link(&self) -> std::sync::MutexGuard<'_, PooledClient> {
+    fn lock_link(&self) -> std::sync::MutexGuard<'_, Connection> {
         self.link.lock().unwrap_or_else(|p| p.into_inner())
     }
 
@@ -94,10 +94,10 @@ impl ShardLink {
         self.process.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Sends one request over the pooled connection. The pool already retries once on
-    /// a dead *reused* socket; an error escaping here means the shard is unreachable
-    /// right now, and [`ClientError::is_disconnect`] tells the router whether to mark
-    /// it down.
+    /// Sends one request over the shard connection. The connection's retry policy
+    /// already re-dials once on a dead *reused* socket; an error escaping here means
+    /// the shard is unreachable right now, and [`ClientError::is_disconnect`] tells
+    /// the router whether to mark it down.
     pub fn request(&self, request: &Request) -> Result<Response, ClientError> {
         self.lock_link().request(request)
     }
@@ -124,55 +124,73 @@ impl std::fmt::Debug for ShardLink {
     }
 }
 
-/// Spawns one `hfzd` shard on an ephemeral port and waits for its `listening on`
-/// line to learn the resolved address.
+/// Distinguishes concurrent spawns within one process so addr-file paths never
+/// collide.
+static SPAWN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Spawns one `hfzd` shard on an ephemeral port and learns the resolved address from
+/// the shard's `--addr-file` (written atomically once the shard is accepting) — no
+/// stdout scraping.
 ///
 /// `extra_args` is appended verbatim (`--cache-bytes`, `--backend`, …). The child's
-/// stdout keeps draining on a background thread so the daemon can never block on a
-/// full pipe.
+/// stdout is piped and drained on a background thread so the daemon can never block
+/// on a full pipe.
 pub fn spawn_shard(hfzd: &str, extra_args: &[String]) -> std::io::Result<(ListenAddr, Child)> {
+    let addr_file = std::env::temp_dir().join(format!(
+        "hfzd-addr-{}-{}",
+        std::process::id(),
+        SPAWN_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_file(&addr_file);
     let mut child = Command::new(hfzd)
         .arg("--listen")
         .arg("tcp:127.0.0.1:0")
+        .arg("--addr-file")
+        .arg(&addr_file)
         .args(extra_args)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .spawn()?;
     let stdout = child.stdout.take().expect("stdout was piped");
-    let mut lines = std::io::BufReader::new(stdout).lines();
+    let lines = std::io::BufReader::new(stdout).lines();
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
     let addr = loop {
-        match lines.next() {
-            Some(Ok(line)) => {
-                // "hfzd: listening on tcp:127.0.0.1:PORT (cache budget N bytes)"
-                if let Some(rest) = line.split("listening on ").nth(1) {
-                    let addr = rest.split_whitespace().next().unwrap_or("");
-                    match ListenAddr::parse(addr) {
-                        Ok(addr) => break addr,
-                        Err(e) => {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                            return Err(std::io::Error::new(
-                                std::io::ErrorKind::InvalidData,
-                                format!("shard printed an unparseable address: {}", e),
-                            ));
-                        }
+        if let Ok(contents) = std::fs::read_to_string(&addr_file) {
+            let spec = contents.trim();
+            if !spec.is_empty() {
+                match ListenAddr::parse(spec) {
+                    Ok(addr) => break addr,
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        let _ = std::fs::remove_file(&addr_file);
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("shard wrote an unparseable address: {}", e),
+                        ));
                     }
                 }
             }
-            Some(Err(e)) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(e);
-            }
-            None => {
-                let _ = child.wait();
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "shard exited before printing its listening address",
-                ));
-            }
         }
+        if let Some(status) = child.try_wait()? {
+            let _ = std::fs::remove_file(&addr_file);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("shard exited ({}) before writing its address file", status),
+            ));
+        }
+        if std::time::Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(&addr_file);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "shard did not write its address file in time",
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
     };
-    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    let _ = std::fs::remove_file(&addr_file);
     Ok((addr, child))
 }

@@ -21,15 +21,16 @@
 //! * [`placement`] — the rendezvous (highest-random-weight) table: stable across
 //!   restarts, and a shard death moves only the dead shard's keys;
 //! * [`fleet`] — shard links (attach to a running daemon, or spawn-and-own an
-//!   `hfzd` child) over the pooled reconnecting client;
+//!   `hfzd` child) over the redialing [`Connection`](huffdec_serve::Connection);
 //! * [`router`] — [`RouterState`] request dispatch, failure
 //!   handling (mark down → re-`LOAD` onto survivors → retry once), fleet
 //!   `STATS`/`METRICS` aggregation, and the accept loop;
-//! * [`options`] — flag parsing and the run loop behind the `hfzr` binary.
+//! * [`options`] — flag parsing, the spawnable [`Router`] builder API, and the
+//!   blocking foreground loop behind the `hfzr` binary.
 //!
 //! ## Failure model
 //!
-//! A dead connection that survives the pool's redial marks the shard **down**. The
+//! A dead connection that survives the link's redial marks the shard **down**. The
 //! placement table re-resolves its keys to the survivors (rendezvous hashing keeps
 //! every other key where it was), the router re-`LOAD`s the affected archives onto
 //! their new owners from its registry, and the in-flight request is retried once.
@@ -44,6 +45,8 @@ pub mod placement;
 pub mod router;
 
 pub use fleet::{spawn_shard, ShardLink};
-pub use options::{run, RouterOptions, DEFAULT_LISTEN};
+pub use options::{
+    run_foreground, Router, RouterBuilder, RouterHandle, RouterOptions, DEFAULT_LISTEN,
+};
 pub use placement::{field_key, Placement};
 pub use router::{RouterServer, RouterState};

@@ -17,13 +17,20 @@
 //! * `--load NAME=PATH` — place an archive across the fleet at start-up (repeatable);
 //! * `--metrics ADDR` — HTTP sidecar serving the *fleet* `GET /metrics` (shard
 //!   families merged under a `shard` label) and `GET /healthz` (degraded while a
-//!   shard death is being absorbed).
+//!   shard death is being absorbed);
+//! * `--addr-file PATH` — write the resolved listen address to `PATH` (atomically,
+//!   via a sibling temp file + rename) once the router is accepting, so supervisors
+//!   learn ephemeral ports without scraping stdout.
 //!
-//! Start-up prints one line per shard, then `metrics on <addr>` (when requested),
-//! then the `listening on <addr>` line the smoke jobs wait for — same contract as
-//! `hfzd` itself.
+//! Embedders use [`Router::builder()`] → [`RouterBuilder::spawn`] and get a
+//! [`RouterHandle`] back (resolved address, shared state, `shutdown()`/`join()`);
+//! the `hfzr` binary is a thin wrapper over [`run_foreground`], which prints one
+//! line per shard, then `metrics on <addr>` (when requested), then the
+//! `listening on <addr>` line — same contract as `hfzd` itself.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use huffdec_codec::HfzError;
 use huffdec_serve::http::HttpServer;
@@ -53,10 +60,13 @@ pub struct RouterOptions {
     pub preload: Vec<(String, String)>,
     /// Where to bind the fleet HTTP metrics/health sidecar, when requested.
     pub metrics: Option<ListenAddr>,
+    /// Where to write the resolved listen address once accepting, when requested.
+    pub addr_file: Option<PathBuf>,
 }
 
 impl RouterOptions {
-    /// Parses `--listen/--shard/--spawn/--hfzd-bin/--cache-bytes/--backend/--load/--metrics`.
+    /// Parses
+    /// `--listen/--shard/--spawn/--hfzd-bin/--cache-bytes/--backend/--load/--metrics/--addr-file`.
     pub fn parse(args: &[String]) -> Result<RouterOptions, String> {
         let mut listen = ListenAddr::parse(DEFAULT_LISTEN).expect("default parses");
         let mut shards = Vec::new();
@@ -65,6 +75,7 @@ impl RouterOptions {
         let mut shard_args = Vec::new();
         let mut preload = Vec::new();
         let mut metrics = None;
+        let mut addr_file = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| {
@@ -103,6 +114,7 @@ impl RouterOptions {
                     preload.push((name.to_string(), path.to_string()));
                 }
                 "--metrics" => metrics = Some(ListenAddr::parse(&value("--metrics")?)?),
+                "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
                 other => return Err(format!("unknown router flag '{}'", other)),
             }
         }
@@ -117,94 +129,291 @@ impl RouterOptions {
             shard_args,
             preload,
             metrics,
+            addr_file,
         })
     }
 }
 
-/// Builds the fleet, binds, preloads, prints the `listening on` line, and routes
-/// until shutdown. Failure classes mirror the daemon's so `hfzr` exits with the
-/// same stable codes as `hfzd`.
-pub fn run(options: &RouterOptions) -> Result<(), HfzError> {
+/// Entry point of the builder API: [`Router::builder()`] configures a fleet and
+/// [`RouterBuilder::spawn`] runs it on background threads behind a [`RouterHandle`].
+#[derive(Debug)]
+pub struct Router;
+
+impl Router {
+    /// A builder with the same defaults the `hfzr` flags have.
+    pub fn builder() -> RouterBuilder {
+        RouterBuilder::default()
+    }
+}
+
+/// Configures and spawns a router (see [`Router::builder`]).
+#[derive(Debug, Clone)]
+pub struct RouterBuilder {
+    listen: ListenAddr,
+    shards: Vec<ListenAddr>,
+    spawn: usize,
+    hfzd_bin: String,
+    shard_args: Vec<String>,
+    preload: Vec<(String, String)>,
+    metrics: Option<ListenAddr>,
+    addr_file: Option<PathBuf>,
+}
+
+impl Default for RouterBuilder {
+    fn default() -> RouterBuilder {
+        RouterBuilder {
+            listen: ListenAddr::parse(DEFAULT_LISTEN).expect("default parses"),
+            shards: Vec::new(),
+            spawn: 0,
+            hfzd_bin: "hfzd".to_string(),
+            shard_args: Vec::new(),
+            preload: Vec::new(),
+            metrics: None,
+            addr_file: None,
+        }
+    }
+}
+
+impl RouterBuilder {
+    /// A builder mirroring parsed `hfzr` flags.
+    pub fn from_options(options: &RouterOptions) -> RouterBuilder {
+        RouterBuilder {
+            listen: options.listen.clone(),
+            shards: options.shards.clone(),
+            spawn: options.spawn,
+            hfzd_bin: options.hfzd_bin.clone(),
+            shard_args: options.shard_args.clone(),
+            preload: options.preload.clone(),
+            metrics: options.metrics.clone(),
+            addr_file: options.addr_file.clone(),
+        }
+    }
+
+    /// Where the router serves the protocol (default `tcp:127.0.0.1:4807`).
+    pub fn listen(mut self, addr: ListenAddr) -> Self {
+        self.listen = addr;
+        self
+    }
+
+    /// Attaches a daemon someone else runs (repeatable; ids follow call order).
+    pub fn attach(mut self, addr: ListenAddr) -> Self {
+        self.shards.push(addr);
+        self
+    }
+
+    /// Spawns `n` `hfzd` children on ephemeral ports (ids continue after attached
+    /// shards; their lifetime is the router's).
+    pub fn spawn_shards(mut self, n: usize) -> Self {
+        self.spawn = n;
+        self
+    }
+
+    /// The binary spawned shards fork (default `hfzd`, from `$PATH`).
+    pub fn hfzd_bin(mut self, bin: &str) -> Self {
+        self.hfzd_bin = bin.to_string();
+        self
+    }
+
+    /// A flag forwarded verbatim to every spawned shard.
+    pub fn shard_arg(mut self, arg: &str) -> Self {
+        self.shard_args.push(arg.to_string());
+        self
+    }
+
+    /// Places an archive across the fleet at start-up (repeatable).
+    pub fn preload(mut self, name: &str, path: &str) -> Self {
+        self.preload.push((name.to_string(), path.to_string()));
+        self
+    }
+
+    /// Binds the fleet HTTP metrics/health sidecar.
+    pub fn metrics(mut self, addr: ListenAddr) -> Self {
+        self.metrics = Some(addr);
+        self
+    }
+
+    /// Writes the resolved listen address to `path` once the router is accepting.
+    pub fn addr_file(mut self, path: PathBuf) -> Self {
+        self.addr_file = Some(path);
+        self
+    }
+
+    /// Builds the fleet, binds, preloads, and starts routing on a background
+    /// thread. On return the listener (and sidecar, when requested) is accepting
+    /// and the addr file (when requested) is written. Failure classes mirror the
+    /// daemon's so `hfzr` exits with the same stable codes as `hfzd`.
+    pub fn spawn(self) -> Result<RouterHandle, HfzError> {
+        let mut links: Vec<ShardLink> = Vec::new();
+        for addr in &self.shards {
+            links.push(ShardLink::attach(links.len(), addr.clone()));
+        }
+        for _ in 0..self.spawn {
+            let id = links.len();
+            let (addr, child) = spawn_shard(&self.hfzd_bin, &self.shard_args)
+                .map_err(|e| HfzError::io(format!("cannot spawn shard {}", id), e))?;
+            links.push(ShardLink::spawned(id, addr, child));
+        }
+        if links.is_empty() {
+            return Err(HfzError::Usage(
+                "a router needs shards: attach at least one or spawn some".to_string(),
+            ));
+        }
+        let state = Arc::new(RouterState::new(links));
+        let server = RouterServer::bind(&self.listen, Arc::clone(&state))
+            .map_err(|e| HfzError::io(format!("cannot bind {}", self.listen), e))?;
+        let addr = server.local_addr();
+        for (name, path) in &self.preload {
+            match state.handle(&Request::Load {
+                name: name.clone(),
+                path: path.clone(),
+            }) {
+                Response::Loaded { .. } => {}
+                Response::Error(message) => {
+                    return Err(HfzError::io(
+                        format!("cannot place '{}'", name),
+                        std::io::Error::other(message),
+                    ));
+                }
+                other => {
+                    return Err(HfzError::io(
+                        format!("cannot place '{}'", name),
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("unexpected response: {:?}", other),
+                        ),
+                    ));
+                }
+            }
+        }
+        // Sidecar before the addr file: by the time a supervisor learns the address,
+        // the fleet is already scrapable — the same ordering contract as the daemon.
+        let mut metrics_addr = None;
+        let sidecar = match &self.metrics {
+            Some(addr) => {
+                let sidecar = HttpServer::bind(addr, Arc::clone(&state)).map_err(|e| {
+                    HfzError::io(format!("cannot bind metrics sidecar {}", addr), e)
+                })?;
+                let bound = sidecar
+                    .local_addr()
+                    .map_err(|e| HfzError::io("metrics sidecar address", e))?;
+                metrics_addr = Some(bound);
+                Some(std::thread::spawn(move || {
+                    let _ = sidecar.run();
+                }))
+            }
+            None => None,
+        };
+        if let Some(path) = &self.addr_file {
+            write_addr_file(path, &addr)
+                .map_err(|e| HfzError::io(format!("cannot write {}", path.display()), e))?;
+        }
+        let server_thread = std::thread::spawn(move || server.run());
+        Ok(RouterHandle {
+            state,
+            addr,
+            metrics_addr,
+            server: Some(server_thread),
+            sidecar,
+        })
+    }
+}
+
+/// Writes `addr` to `path` atomically: a sibling temp file, then a rename, so a
+/// reader polling the path never observes a partial write.
+fn write_addr_file(path: &std::path::Path, addr: &ListenAddr) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, format!("{}\n", addr))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// A spawned router: the resolved addresses, the shared state, and the lifecycle.
+///
+/// Dropping the handle *detaches* — the router keeps serving until someone sends
+/// `SHUTDOWN` or calls [`RouterHandle::shutdown`]. Call [`RouterHandle::join`] for
+/// a clean blocking wait.
+#[derive(Debug)]
+pub struct RouterHandle {
+    state: Arc<RouterState>,
+    addr: ListenAddr,
+    metrics_addr: Option<ListenAddr>,
+    server: Option<JoinHandle<std::io::Result<()>>>,
+    sidecar: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound protocol address, with ephemeral TCP ports resolved.
+    pub fn local_addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// The bound metrics sidecar address, when one was requested.
+    pub fn metrics_addr(&self) -> Option<&ListenAddr> {
+        self.metrics_addr.as_ref()
+    }
+
+    /// The shared router state (stats, health, shard links).
+    pub fn state(&self) -> Arc<RouterState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Requests shutdown; pair with [`RouterHandle::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Blocks until the router exits (after a [`RouterHandle::shutdown`] or a
+    /// protocol `SHUTDOWN`) and surfaces how the accept loop ended.
+    pub fn join(mut self) -> Result<(), HfzError> {
+        let result = match self.server.take() {
+            Some(handle) => match handle.join() {
+                Ok(result) => result.map_err(|e| HfzError::io("router failed", e)),
+                Err(_) => Err(HfzError::Protocol("router thread panicked".to_string())),
+            },
+            None => Ok(()),
+        };
+        if let Some(sidecar) = self.sidecar.take() {
+            let _ = sidecar.join();
+        }
+        result
+    }
+}
+
+/// Builds the fleet from parsed flags, spawns it, prints the start-up lines the
+/// smoke jobs expect (one per shard, `metrics on`, then `listening on`), and blocks
+/// until shutdown — the body of the `hfzr` binary.
+pub fn run_foreground(options: &RouterOptions) -> Result<(), HfzError> {
     use std::io::Write as _;
-    let mut links: Vec<ShardLink> = Vec::new();
-    for addr in &options.shards {
-        let id = links.len();
-        println!("hfzr: shard {} attached on {}", id, addr);
-        links.push(ShardLink::attach(id, addr.clone()));
+    let handle = RouterBuilder::from_options(options).spawn()?;
+    let state = handle.state();
+    for link in state.links() {
+        match link.pid() {
+            Some(pid) => println!(
+                "hfzr: shard {} pid {} listening on {}",
+                link.id(),
+                pid,
+                link.addr()
+            ),
+            None => println!("hfzr: shard {} attached on {}", link.id(), link.addr()),
+        }
     }
-    for _ in 0..options.spawn {
-        let id = links.len();
-        let (addr, child) = spawn_shard(&options.hfzd_bin, &options.shard_args)
-            .map_err(|e| HfzError::io(format!("cannot spawn shard {}", id), e))?;
-        println!(
-            "hfzr: shard {} pid {} listening on {}",
-            id,
-            child.id(),
-            addr
-        );
-        links.push(ShardLink::spawned(id, addr, child));
-    }
-    let state = Arc::new(RouterState::new(links));
-    let server = RouterServer::bind(&options.listen, Arc::clone(&state))
-        .map_err(|e| HfzError::io(format!("cannot bind {}", options.listen), e))?;
     for (name, path) in &options.preload {
-        match state.handle(&Request::Load {
-            name: name.clone(),
-            path: path.clone(),
-        }) {
-            Response::Loaded { fields } => {
-                eprintln!("hfzr: placed '{}' from {} ({} fields)", name, path, fields);
-            }
-            Response::Error(message) => {
-                return Err(HfzError::io(
-                    format!("cannot place '{}'", name),
-                    std::io::Error::other(message),
-                ));
-            }
-            other => {
-                return Err(HfzError::io(
-                    format!("cannot place '{}'", name),
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("unexpected response: {:?}", other),
-                    ),
-                ));
-            }
-        }
+        let fields = state.archive_field_count(name).unwrap_or(0);
+        eprintln!("hfzr: placed '{}' from {} ({} fields)", name, path, fields);
     }
-    // Sidecar first (and flushed), so anything that waits for `listening on` below can
-    // already scrape — the same ordering contract as the daemon.
-    let metrics_thread = match &options.metrics {
-        Some(addr) => {
-            let sidecar = HttpServer::bind(addr, Arc::clone(&state))
-                .map_err(|e| HfzError::io(format!("cannot bind metrics sidecar {}", addr), e))?;
-            let bound = sidecar
-                .local_addr()
-                .map_err(|e| HfzError::io("metrics sidecar address", e))?;
-            {
-                let mut out = std::io::stdout();
-                let _ = writeln!(out, "hfzr: metrics on {}", bound);
-                let _ = out.flush();
-            }
-            Some(std::thread::spawn(move || sidecar.run()))
-        }
-        None => None,
-    };
-    {
-        let mut out = std::io::stdout();
-        let _ = writeln!(
-            out,
-            "hfzr: listening on {} ({} shards)",
-            server.local_addr(),
-            state.links().len()
-        );
-        let _ = out.flush();
+    let mut out = std::io::stdout();
+    if let Some(bound) = handle.metrics_addr() {
+        let _ = writeln!(out, "hfzr: metrics on {}", bound);
     }
-    let result = server.run().map_err(|e| HfzError::io("router failed", e));
-    if let Some(handle) = metrics_thread {
-        let _ = handle.join();
-    }
-    result
+    let _ = writeln!(
+        out,
+        "hfzr: listening on {} ({} shards)",
+        handle.local_addr(),
+        state.links().len()
+    );
+    let _ = out.flush();
+    handle.join()
 }
 
 #[cfg(test)]
@@ -236,6 +445,8 @@ mod tests {
             "a=/tmp/a.hfz",
             "--metrics",
             "tcp:127.0.0.1:9910",
+            "--addr-file",
+            "/tmp/hfzr.addr",
         ]))
         .unwrap();
         assert_eq!(opts.listen, ListenAddr::Tcp("127.0.0.1:9900".into()));
@@ -257,6 +468,7 @@ mod tests {
             vec![("a".to_string(), "/tmp/a.hfz".to_string())]
         );
         assert_eq!(opts.metrics, Some(ListenAddr::Tcp("127.0.0.1:9910".into())));
+        assert_eq!(opts.addr_file, Some(PathBuf::from("/tmp/hfzr.addr")));
     }
 
     #[test]
@@ -269,7 +481,9 @@ mod tests {
         assert!(opts.shards.is_empty());
         assert!(opts.shard_args.is_empty());
         assert_eq!(opts.metrics, None);
+        assert_eq!(opts.addr_file, None);
         assert!(RouterOptions::parse(&s(&["--spawn", "x"])).is_err());
+        assert!(RouterOptions::parse(&s(&["--addr-file"])).is_err());
         assert!(RouterOptions::parse(&s(&["--shard"])).is_err());
         assert!(RouterOptions::parse(&s(&["--cache-bytes", "x"])).is_err());
         assert!(RouterOptions::parse(&s(&["--load", "nopath", "--spawn", "1"])).is_err());

@@ -14,11 +14,14 @@
 //! * `STATS` / `METRICS` — fleet aggregation: summed counters and the shards'
 //!   Prometheus families merged under a `shard` label.
 //!
-//! **Failure handling.** A disconnect that survives the [`PooledClient`](huffdec_serve::PooledClient)'s own
-//! redial means the shard is gone: the router marks it down, re-resolves its keys
+//! **Failure handling.** A disconnect that survives the [`Connection`](huffdec_serve::Connection)'s
+//! own redial means the shard is gone: the router marks it down, re-resolves its keys
 //! against the surviving shards (rendezvous hashing moves *only* the dead shard's
 //! keys), re-`LOAD`s the affected archives onto their new owners, and retries the
-//! in-flight request once. Clients see one slow request, not an error.
+//! in-flight request once. Clients see one slow request, not an error. A `BUSY`
+//! reply is different: the shard is alive but shedding load, so the router backs off
+//! briefly and retries the *same* shard once — never marking it down — and
+//! propagates the typed `BUSY` to the client only if the shard is still saturated.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +40,11 @@ use huffdec_serve::server::Health;
 
 use crate::fleet::ShardLink;
 use crate::placement::{field_key, Placement};
+
+/// Back-off before retrying a shard that answered `BUSY`: long enough for several
+/// scheduling ticks to drain the shard's decode queue, short enough that the client
+/// just sees one slower request.
+const BUSY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(15);
 
 /// One archive the router has placed: where the file lives, how its fields are
 /// keyed, and which shards currently hold it.
@@ -95,6 +103,15 @@ impl RouterState {
     /// The shard links, indexed by placement slot.
     pub fn links(&self) -> &[ShardLink] {
         &self.links
+    }
+
+    /// Number of fields of an archive the router has placed, when it knows it.
+    pub fn archive_field_count(&self, name: &str) -> Option<usize> {
+        self.archives
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .map(|entry| entry.fields.len())
     }
 
     /// Number of shards currently serving.
@@ -206,7 +223,10 @@ impl RouterState {
     }
 
     /// Proxies a single-field request (`GET`, `VERIFY`) to its owner, failing over
-    /// once if the owner is dead.
+    /// once if the owner is dead. A `BUSY` shard gets one backed-off retry (it is
+    /// alive, just shedding load — its queue drains within a scheduling tick), and
+    /// only a second `BUSY` propagates to the client. Neither touches the down flag
+    /// or the retry counter: those mean "a shard died", which a full queue does not.
     fn proxy_field(&self, archive: &str, field: u32, request: &Request) -> Response {
         let owner = match self.owner_of(archive, field) {
             Ok(owner) => owner,
@@ -214,6 +234,15 @@ impl RouterState {
         };
         match self.links[owner].request(request) {
             Ok(response) => response,
+            Err(ClientError::Busy) => {
+                std::thread::sleep(BUSY_BACKOFF);
+                match self.links[owner].request(request) {
+                    Ok(response) => response,
+                    Err(ClientError::Busy) => Response::Busy,
+                    Err(ClientError::Remote(message)) => Response::Error(message),
+                    Err(e) => Response::Error(format!("shard {}: {}", owner, e)),
+                }
+            }
             Err(e) if e.is_disconnect() => {
                 self.mark_down(owner);
                 self.retries.fetch_add(1, Ordering::Relaxed);
@@ -254,7 +283,7 @@ impl RouterState {
         let mut items: Vec<Option<BatchGetItem>> = vec![None; fields.len()];
         let failed = match self.fan_out(archive, kind, groups, &mut items) {
             Ok(failed) => failed,
-            Err(message) => return Response::Error(message),
+            Err(response) => return response,
         };
         if !failed.is_empty() {
             // The one retry: re-resolve the failed positions (their owners are down
@@ -274,7 +303,7 @@ impl RouterState {
                         "a re-routed shard failed too; batch abandoned after one retry".to_string(),
                     )
                 }
-                Err(message) => return Response::Error(message),
+                Err(response) => return response,
             }
         }
         match items.into_iter().collect::<Option<Vec<_>>>() {
@@ -285,8 +314,10 @@ impl RouterState {
 
     /// Runs one fan-out round: every group's sub-batch on its own thread against its
     /// shard. Successful items land in `items` at their request positions; positions
-    /// whose shard disconnected come back for the caller to retry. Remote errors
-    /// (the shard answered: bad field, unknown archive, …) abort the whole batch.
+    /// whose shard disconnected come back for the caller to retry. A `BUSY` shard is
+    /// retried once in-thread after a short backoff (no down-marking — the shard is
+    /// alive); a second `BUSY` propagates typed to the client. Remote errors (the
+    /// shard answered: bad field, unknown archive, …) abort the whole batch.
     #[allow(clippy::type_complexity)]
     fn fan_out(
         &self,
@@ -294,7 +325,7 @@ impl RouterState {
         kind: GetKind,
         groups: BTreeMap<usize, Vec<(usize, u32)>>,
         items: &mut [Option<BatchGetItem>],
-    ) -> Result<Vec<(usize, u32)>, String> {
+    ) -> Result<Vec<(usize, u32)>, Response> {
         let results: Vec<(usize, Vec<(usize, u32)>, Result<Response, ClientError>)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = groups
@@ -306,7 +337,11 @@ impl RouterState {
                                 kind,
                                 fields: positions.iter().map(|&(_, f)| f).collect(),
                             };
-                            let result = self.links[shard].request(&sub);
+                            let mut result = self.links[shard].request(&sub);
+                            if matches!(result, Err(ClientError::Busy)) {
+                                std::thread::sleep(BUSY_BACKOFF);
+                                result = self.links[shard].request(&sub);
+                            }
                             (shard, positions, result)
                         })
                     })
@@ -325,14 +360,18 @@ impl RouterState {
                     }
                 }
                 Ok(_) => {
-                    return Err(format!("shard {} sent an unexpected batch response", shard));
+                    return Err(Response::Error(format!(
+                        "shard {} sent an unexpected batch response",
+                        shard
+                    )));
                 }
                 Err(e) if e.is_disconnect() => {
                     self.mark_down(shard);
                     failed.extend(positions);
                 }
-                Err(ClientError::Remote(message)) => return Err(message),
-                Err(e) => return Err(format!("shard {}: {}", shard, e)),
+                Err(ClientError::Busy) => return Err(Response::Busy),
+                Err(ClientError::Remote(message)) => return Err(Response::Error(message)),
+                Err(e) => return Err(Response::Error(format!("shard {}: {}", shard, e))),
             }
         }
         Ok(failed)

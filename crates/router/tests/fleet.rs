@@ -14,7 +14,7 @@ use gpu_sim::{Gpu, GpuConfig};
 use huffdec_container::ArchiveWriter;
 use huffdec_core::DecoderKind;
 use huffdec_router::{RouterServer, RouterState, ShardLink};
-use huffdec_serve::client::Client;
+use huffdec_serve::client::Connection;
 use huffdec_serve::net::ListenAddr;
 use huffdec_serve::protocol::GetKind;
 use huffdec_serve::server::{Server, ServerConfig};
@@ -77,6 +77,7 @@ fn start_shard() -> (
         gpu: GpuConfig::test_tiny(),
         backend: BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
     let server = Server::bind(&addr, &config).unwrap();
@@ -122,7 +123,7 @@ fn three_shard_fleet_serves_and_survives_a_kill() {
     let router_thread = std::thread::spawn(move || router.run().unwrap());
 
     // One LOAD through the router places the archive across the fleet.
-    let mut client = Client::connect(&router_addr).unwrap();
+    let mut client = Connection::connect(&router_addr).unwrap();
     let fields = client
         .load("snap", snapshot.path.to_str().unwrap())
         .unwrap();
@@ -133,7 +134,7 @@ fn three_shard_fleet_serves_and_survives_a_kill() {
     // placement is deterministic, so this cannot flake).
     let owners: Vec<usize> = (0..3)
         .filter(|&s| {
-            let mut c = Client::connect(&shards[s].0).unwrap();
+            let mut c = Connection::connect(&shards[s].0).unwrap();
             c.list().unwrap().contains("\"snap\"")
         })
         .collect();
@@ -146,7 +147,7 @@ fn three_shard_fleet_serves_and_survives_a_kill() {
     // A reference single daemon holding the same archive: the fleet must be
     // byte-identical to it on every request shape.
     let (single_addr, _, single_thread) = start_shard();
-    let mut single = Client::connect(&single_addr).unwrap();
+    let mut single = Connection::connect(&single_addr).unwrap();
     single
         .load("snap", snapshot.path.to_str().unwrap())
         .unwrap();
@@ -231,7 +232,7 @@ fn three_shard_fleet_serves_and_survives_a_kill() {
     // And it agrees with the shards' own STATS documents.
     let mut direct_gets = 0;
     for (addr, _, _) in &shards {
-        let mut c = Client::connect(addr).unwrap();
+        let mut c = Connection::connect(addr).unwrap();
         direct_gets += json_u64(&c.stats().unwrap(), 0, "gets");
     }
     assert_eq!(json_u64(&stats, fleet_at, "gets"), direct_gets);
@@ -267,7 +268,7 @@ fn three_shard_fleet_serves_and_survives_a_kill() {
     assert_eq!(solo.bytes, f32_bytes(&solo_reference));
     let solo_owners: Vec<usize> = (0..3)
         .filter(|&s| {
-            let mut c = Client::connect(&shards[s].0).unwrap();
+            let mut c = Connection::connect(&shards[s].0).unwrap();
             c.list().unwrap().contains("\"solo\"")
         })
         .collect();
@@ -352,7 +353,7 @@ fn three_shard_fleet_serves_and_survives_a_kill() {
             handle.join().unwrap();
             continue;
         }
-        Client::connect(&addr).unwrap().shutdown().unwrap();
+        Connection::connect(&addr).unwrap().shutdown().unwrap();
         handle.join().unwrap();
     }
 }

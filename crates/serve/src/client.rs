@@ -1,11 +1,20 @@
-//! Client side of the `hfzd` protocol: one connection, synchronous request/response.
+//! Client side of the `hfzd` protocol: one [`Connection`], synchronous
+//! request/response.
 //!
 //! Used by the `hfz` remote subcommands (`get`, `list`, `stats`, `load`, `shutdown`,
-//! `verify --addr`), the CI smoke job, and the concurrency tests — each test thread
-//! holds its own [`Client`]. Long-lived links (the `hfzr` router's shard connections)
-//! wrap a [`PooledClient`] instead: it re-dials and retries once when a previously
-//! working connection turns out to be dead, so one daemon restart does not poison the
-//! link forever.
+//! `verify --addr`), the `hfzr` router's shard links, the CI smoke job, and the
+//! concurrency tests — each test thread holds its own `Connection`.
+//!
+//! A `Connection` keeps the *address* authoritative rather than the socket: it can
+//! dial eagerly ([`Connection::connect`]) or lazily ([`Connection::new`]), and its
+//! [`RetryPolicy`] governs what happens when a previously working socket turns out to
+//! be dead — by default it re-dials once and retries that one request, so a daemon
+//! restart does not poison a long-lived link forever. Socket timeouts are part of the
+//! same policy: a dead peer surfaces as the typed [`ClientError::TimedOut`] instead of
+//! hanging a blocking read forever, and the daemon's overload reply surfaces as
+//! [`ClientError::Busy`].
+
+use std::time::Duration;
 
 use crate::net::{connect, Conn, ListenAddr};
 use crate::protocol::{
@@ -20,6 +29,13 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The daemon answered with an error message.
     Remote(String),
+    /// The daemon shed the request: its decode queue is full. Retryable after a
+    /// backoff — the daemon is alive, just saturated.
+    Busy,
+    /// A socket timeout expired mid-request. The connection is dropped (a late reply
+    /// would desync the stream) but this is *not* a disconnect: the peer may be alive
+    /// and slow, so the request is not transparently retried.
+    TimedOut,
     /// The daemon answered with a response of the wrong shape.
     UnexpectedResponse,
 }
@@ -30,8 +46,9 @@ impl ClientError {
     /// rather than the request being bad. Disconnects are the retryable class: the
     /// peer may have restarted, so re-dialing can succeed where the poisoned
     /// connection cannot — and for the router they are the mark-the-shard-down
-    /// signal. Remote errors and malformed responses are not retryable — the daemon
-    /// answered, it just did not like the request.
+    /// signal. Remote errors, `BUSY`, timeouts, and malformed responses are not
+    /// disconnects — the daemon (probably) answered, it just did not like the request
+    /// or could not take it right now.
     pub fn is_disconnect(&self) -> bool {
         match self {
             ClientError::Protocol(ProtocolError::Io(e)) => matches!(
@@ -56,6 +73,8 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Protocol(e) => write!(f, "{}", e),
             ClientError::Remote(message) => write!(f, "daemon error: {}", message),
+            ClientError::Busy => write!(f, "daemon is busy: decode queue is full"),
+            ClientError::TimedOut => write!(f, "request timed out"),
             ClientError::UnexpectedResponse => write!(f, "daemon sent an unexpected response"),
         }
     }
@@ -116,49 +135,134 @@ impl GetResult {
     }
 }
 
-/// The `Malformed` reason [`Client::request`] reports when the daemon hangs up before
-/// answering — kept as one constant so [`ClientError::is_disconnect`] can recognize it.
+/// The `Malformed` reason [`Connection::request`] reports when the daemon hangs up
+/// before answering — kept as one constant so [`ClientError::is_disconnect`] can
+/// recognize it.
 const EOF_BEFORE_RESPONSE: &str = "connection closed before the response";
 
-/// One connection to a daemon.
-pub struct Client {
-    addr: ListenAddr,
-    conn: Conn,
+/// How a [`Connection`] behaves when the wire misbehaves.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// How many times a request on a **reused** connection that fails with a
+    /// disconnect is re-dialed and retried. A failure on a freshly dialed connection
+    /// is reported as-is (the daemon is actually gone), so callers see at most
+    /// `redials` transparent retries per request. All daemon requests are idempotent
+    /// (`LOAD` included — loading the same path again replaces the entry), so the
+    /// retry is safe.
+    pub redials: u32,
+    /// Socket read timeout (`None` = block forever). An expiry surfaces as
+    /// [`ClientError::TimedOut`].
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None` = block forever).
+    pub write_timeout: Option<Duration>,
 }
 
-impl Client {
-    /// Dials the daemon at `addr`.
-    pub fn connect(addr: &ListenAddr) -> Result<Client, ClientError> {
-        Ok(Client {
-            addr: addr.clone(),
-            conn: connect(addr)?,
-        })
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            redials: 1,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+/// One logical connection to a daemon: an address, a policy, and (when dialed) a
+/// socket.
+pub struct Connection {
+    addr: ListenAddr,
+    policy: RetryPolicy,
+    conn: Option<Conn>,
+}
+
+impl Connection {
+    /// Dials the daemon at `addr` now (so an unreachable daemon fails here, not on the
+    /// first request), with the default policy.
+    pub fn connect(addr: &ListenAddr) -> Result<Connection, ClientError> {
+        let mut connection = Connection::new(addr.clone());
+        connection.dial()?;
+        Ok(connection)
     }
 
-    /// The address this client dialed.
+    /// A connection for `addr` that dials lazily on the first request, with the
+    /// default policy. This is the long-lived-link constructor (the router's shard
+    /// links): the peer does not need to be up yet.
+    pub fn new(addr: ListenAddr) -> Connection {
+        Connection::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A lazily dialing connection with an explicit policy.
+    pub fn with_policy(addr: ListenAddr, policy: RetryPolicy) -> Connection {
+        Connection {
+            addr,
+            policy,
+            conn: None,
+        }
+    }
+
+    /// The address requests are sent to.
     pub fn addr(&self) -> &ListenAddr {
         &self.addr
     }
 
-    /// Drops the current connection and dials the same address again. The broken-pipe
-    /// recovery path: after a daemon restart the old socket is dead, but the address
-    /// still serves.
-    pub fn reconnect(&mut self) -> Result<(), ClientError> {
-        self.conn = connect(&self.addr)?;
-        Ok(())
+    /// True when a socket is currently held (it may still be dead on the wire; the
+    /// next request finds out).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
     }
 
-    /// Sends one request and reads one response.
-    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.conn, &request.encode(), MAX_REQUEST_BYTES)?;
-        let body = read_frame(&mut self.conn, MAX_RESPONSE_BYTES)?.ok_or(ClientError::Protocol(
-            ProtocolError::Malformed(EOF_BEFORE_RESPONSE),
-        ))?;
-        let response = Response::decode(&body)?;
-        if let Response::Error(message) = response {
-            return Err(ClientError::Remote(message));
+    /// Drops the held socket, forcing the next request to dial fresh.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn dial(&mut self) -> Result<&mut Conn, ClientError> {
+        if self.conn.is_none() {
+            let conn = connect(&self.addr)?;
+            conn.set_timeouts(self.policy.read_timeout, self.policy.write_timeout)?;
+            self.conn = Some(conn);
         }
-        Ok(response)
+        Ok(self.conn.as_mut().expect("just dialed"))
+    }
+
+    /// Sends one request and reads one response, applying the policy: a reused socket
+    /// that turns out to be dead is re-dialed up to `redials` times, a timeout drops
+    /// the socket and surfaces as [`ClientError::TimedOut`] (no transparent retry),
+    /// and the daemon's overload reply surfaces as [`ClientError::Busy`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut redials_left = self.policy.redials;
+        let mut reused = self.conn.is_some();
+        loop {
+            let conn = self.dial()?;
+            match request_once(conn, request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    if let ClientError::Protocol(ProtocolError::Io(io)) = &e {
+                        if matches!(
+                            io.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) {
+                            // A late reply would desync the stream; the socket is
+                            // unusable even though the peer may be alive.
+                            self.conn = None;
+                            return Err(ClientError::TimedOut);
+                        }
+                    }
+                    if e.is_disconnect() {
+                        // Dead socket: never reuse it.
+                        self.conn = None;
+                        if reused && redials_left > 0 {
+                            // The kept socket died since the last request (daemon
+                            // restart, idle timeout, …). Re-dial and retry.
+                            redials_left -= 1;
+                            reused = false;
+                            continue;
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// `LIST`: the archive/field metadata JSON document.
@@ -273,115 +377,43 @@ impl Client {
     }
 }
 
-/// A reconnecting wrapper around [`Client`] for long-lived links.
-///
-/// A plain [`Client`] is poisoned by one daemon restart: the kept socket EOFs and every
-/// later request fails. `PooledClient` keeps the *address* authoritative instead of the
-/// socket — it dials lazily, and when a request on a **reused** connection fails with a
-/// disconnect ([`ClientError::is_disconnect`]) it re-dials once and retries that one
-/// request. A failure on a freshly dialed connection is reported as-is (the daemon is
-/// actually gone), so callers like the router see at most one retry per request.
-pub struct PooledClient {
-    addr: ListenAddr,
-    client: Option<Client>,
+/// One request/response exchange on an already-dialed socket. Maps the daemon's typed
+/// failure replies (`ERROR`, `BUSY`) to their [`ClientError`] variants.
+fn request_once(conn: &mut Conn, request: &Request) -> Result<Response, ClientError> {
+    write_frame(conn, &request.encode(), MAX_REQUEST_BYTES)?;
+    let body = read_frame(conn, MAX_RESPONSE_BYTES)?.ok_or(ClientError::Protocol(
+        ProtocolError::Malformed(EOF_BEFORE_RESPONSE),
+    ))?;
+    match Response::decode(&body)? {
+        Response::Error(message) => Err(ClientError::Remote(message)),
+        Response::Busy => Err(ClientError::Busy),
+        response => Ok(response),
+    }
 }
 
-impl PooledClient {
-    /// Creates a pool for `addr` without dialing; the first request connects.
-    pub fn new(addr: ListenAddr) -> PooledClient {
-        PooledClient { addr, client: None }
-    }
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Listener;
 
-    /// The address requests are sent to.
-    pub fn addr(&self) -> &ListenAddr {
-        &self.addr
-    }
-
-    /// True when a connection is currently held (it may still be dead on the wire;
-    /// the next request finds out).
-    pub fn is_connected(&self) -> bool {
-        self.client.is_some()
-    }
-
-    /// Drops the held connection, forcing the next request to dial fresh.
-    pub fn disconnect(&mut self) {
-        self.client = None;
-    }
-
-    /// Sends one request, transparently re-dialing once if a reused connection turns
-    /// out to be dead. All daemon requests are idempotent (`LOAD` included — loading
-    /// the same path again replaces the entry), so the single retry is safe.
-    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let reused = self.client.is_some();
-        let client = match &mut self.client {
-            Some(client) => client,
-            None => self.client.insert(Client::connect(&self.addr)?),
+    #[test]
+    fn read_timeout_surfaces_as_timed_out() {
+        // A listener that accepts (at the kernel level) but never replies.
+        let listener = Listener::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let policy = RetryPolicy {
+            redials: 0,
+            read_timeout: Some(Duration::from_millis(50)),
+            write_timeout: Some(Duration::from_millis(50)),
         };
-        match client.request(request) {
-            Err(e) if reused && e.is_disconnect() => {
-                // The kept socket died since the last request (daemon restart, idle
-                // timeout, …). Re-dial and retry exactly once.
-                self.client = None;
-                let client = self.client.insert(Client::connect(&self.addr)?);
-                client.request(request)
-            }
-            other => {
-                if other
-                    .as_ref()
-                    .err()
-                    .map(ClientError::is_disconnect)
-                    .unwrap_or(false)
-                {
-                    // Fresh dial, dead anyway: drop the socket so the next attempt
-                    // re-dials instead of reusing a half-broken connection.
-                    self.client = None;
-                }
-                other
-            }
-        }
-    }
-
-    /// Typed `GET` through the pool (see [`Client::get`]).
-    pub fn get(
-        &mut self,
-        archive: &str,
-        field: u32,
-        kind: GetKind,
-        range: Option<(u64, u64)>,
-    ) -> Result<GetResult, ClientError> {
-        let request = Request::Get {
-            archive: archive.to_string(),
-            field,
-            kind,
-            range,
-        };
-        match self.request(&request)? {
-            Response::Get {
-                kind,
-                from_cache,
-                partial,
-                elements,
-                bytes,
-            } => Ok(GetResult {
-                kind,
-                from_cache,
-                partial,
-                elements,
-                bytes,
-            }),
-            _ => Err(ClientError::UnexpectedResponse),
-        }
-    }
-
-    /// Typed `LOAD` through the pool (see [`Client::load`]).
-    pub fn load(&mut self, name: &str, path: &str) -> Result<u32, ClientError> {
-        let request = Request::Load {
-            name: name.to_string(),
-            path: path.to_string(),
-        };
-        match self.request(&request)? {
-            Response::Loaded { fields } => Ok(fields),
-            _ => Err(ClientError::UnexpectedResponse),
-        }
+        let mut conn = Connection::with_policy(addr, policy);
+        let err = conn.request(&Request::Stats).unwrap_err();
+        assert!(
+            matches!(err, ClientError::TimedOut),
+            "expected TimedOut, got: {}",
+            err
+        );
+        assert!(!err.is_disconnect(), "a timeout is not a disconnect");
+        assert!(!conn.is_connected(), "the timed-out socket is dropped");
     }
 }

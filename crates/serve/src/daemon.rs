@@ -1,4 +1,5 @@
-//! Daemon entry point shared by the `hfzd` binary and `hfz serve`.
+//! Daemon entry point shared by the `hfzd` binary and `hfz serve`, and the spawnable
+//! [`Daemon`] builder API for embedding a daemon in-process.
 //!
 //! ```text
 //! hfzd --listen tcp:127.0.0.1:4806 --cache-bytes 268435456 --load hacc=/data/hacc.hfz
@@ -14,12 +15,37 @@
 //! * `--backend sim|cpu` — execution backend requests decode on (default: the
 //!   `HFZ_BACKEND` environment variable, falling back to the simulated device);
 //! * `--metrics ADDR` — bind an HTTP observability sidecar on `ADDR` serving
-//!   `GET /metrics` (Prometheus text exposition) and `GET /healthz`.
+//!   `GET /metrics` (Prometheus text exposition) and `GET /healthz`;
+//! * `--addr-file PATH` — write the resolved listen address to `PATH` (atomically:
+//!   temp file + rename) once the daemon is accepting. This is how scripts and
+//!   supervisors learn an ephemeral port without scraping stdout.
 //!
-//! The daemon prints one `listening on <addr>` line once it is accepting (the smoke
-//! jobs and tests wait for it), then serves until a `SHUTDOWN` request. With
-//! `--metrics`, a `metrics on <addr>` line is printed *before* it, so anything that
-//! waited for `listening on` can already scrape.
+//! The daemon prints one `listening on <addr>` line once it is accepting, then serves
+//! until a `SHUTDOWN` request. With `--metrics`, a `metrics on <addr>` line is printed
+//! *before* it, so anything that waited for `listening on` can already scrape.
+//!
+//! ## Embedding
+//!
+//! In-process consumers (tests, the router's test fleets, anything that wants a
+//! daemon without a child process) use the builder instead of the blocking entry
+//! point:
+//!
+//! ```no_run
+//! use huffdec_serve::daemon::Daemon;
+//! use huffdec_serve::net::ListenAddr;
+//!
+//! let handle = Daemon::builder()
+//!     .listen(ListenAddr::parse("tcp:127.0.0.1:0").unwrap())
+//!     .cache_bytes(64 << 20)
+//!     .spawn()
+//!     .unwrap();
+//! println!("serving on {}", handle.local_addr());
+//! handle.shutdown();
+//! handle.join().unwrap();
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
 
 use gpu_sim::GpuConfig;
 use huffdec_backend::BackendKind;
@@ -27,7 +53,7 @@ use huffdec_codec::HfzError;
 
 use crate::http::MetricsServer;
 use crate::net::ListenAddr;
-use crate::server::{Server, ServerConfig};
+use crate::server::{Server, ServerConfig, ServerState};
 
 /// Default listen address when `--listen` is absent.
 pub const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:4806";
@@ -50,15 +76,19 @@ pub struct DaemonOptions {
     pub backend: BackendKind,
     /// Where to bind the HTTP metrics/health sidecar, when requested.
     pub metrics: Option<ListenAddr>,
+    /// Where to write the resolved listen address, when requested.
+    pub addr_file: Option<PathBuf>,
 }
 
 impl DaemonOptions {
-    /// Parses `--listen/--cache-bytes/--load/--host-threads/--backend/--metrics` flags.
+    /// Parses `--listen/--cache-bytes/--load/--host-threads/--backend/--metrics/
+    /// --addr-file` flags.
     pub fn parse(args: &[String]) -> Result<DaemonOptions, String> {
         let mut listen = ListenAddr::parse(DEFAULT_LISTEN).expect("default parses");
         let mut cache_bytes = DEFAULT_CACHE_BYTES;
         let mut preload = Vec::new();
         let mut metrics = None;
+        let mut addr_file = None;
         let mut backend = BackendKind::from_env();
         let mut host_threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -73,6 +103,7 @@ impl DaemonOptions {
             match arg.as_str() {
                 "--listen" => listen = ListenAddr::parse(&value("--listen")?)?,
                 "--metrics" => metrics = Some(ListenAddr::parse(&value("--metrics")?)?),
+                "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
                 "--cache-bytes" => {
                     cache_bytes = value("--cache-bytes")?
                         .parse()
@@ -112,78 +143,290 @@ impl DaemonOptions {
             host_threads,
             backend,
             metrics,
+            addr_file,
         })
     }
 }
 
-/// Binds, preloads, prints the `listening on` line, and serves until shutdown.
+/// Namespace for [`Daemon::builder`].
+#[derive(Debug)]
+pub struct Daemon;
+
+impl Daemon {
+    /// Starts configuring an in-process daemon. See [`DaemonBuilder`].
+    pub fn builder() -> DaemonBuilder {
+        DaemonBuilder::default()
+    }
+}
+
+/// Configures and spawns an in-process daemon; [`DaemonBuilder::spawn`] returns a
+/// [`ServerHandle`].
 ///
-/// Failures keep their class through [`HfzError`] — a bind failure is I/O, an
-/// unreadable preload is I/O, a corrupt preload is a container error — so both
-/// entry points (`hfzd` and `hfz serve`) exit with the same stable codes.
-pub fn run(options: &DaemonOptions) -> Result<(), HfzError> {
-    let config = ServerConfig {
-        cache_bytes: options.cache_bytes,
-        gpu: GpuConfig::v100(),
-        backend: options.backend,
-        host_threads: options.host_threads,
-    };
-    let server = Server::bind(&options.listen, &config)
-        .map_err(|e| HfzError::io(format!("cannot bind {}", options.listen), e))?;
-    let state = server.state();
-    for (name, path) in &options.preload {
-        let loaded = state.load_archive(name, path).map_err(|e| match e {
-            HfzError::Io { context, source } => HfzError::Io {
-                context: format!("cannot load '{}': {}", name, context),
-                source,
-            },
-            other => other,
-        })?;
+/// Everything the CLI flags express is available programmatically, plus the scheduler
+/// knobs ([`DaemonBuilder::queue_bound`], [`DaemonBuilder::wave_tick`]) the
+/// contention tests and benches pin down.
+#[derive(Debug, Clone)]
+pub struct DaemonBuilder {
+    listen: ListenAddr,
+    cache_bytes: u64,
+    preload: Vec<(String, String)>,
+    host_threads: usize,
+    backend: BackendKind,
+    metrics: Option<ListenAddr>,
+    addr_file: Option<PathBuf>,
+    queue_bound: usize,
+    wave_tick: Duration,
+}
+
+impl Default for DaemonBuilder {
+    fn default() -> Self {
+        let defaults = ServerConfig::default();
+        DaemonBuilder {
+            listen: ListenAddr::parse(DEFAULT_LISTEN).expect("default parses"),
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            preload: Vec::new(),
+            host_threads: defaults.host_threads,
+            backend: defaults.backend,
+            metrics: None,
+            addr_file: None,
+            queue_bound: defaults.queue_bound,
+            wave_tick: defaults.wave_tick,
+        }
+    }
+}
+
+impl DaemonBuilder {
+    /// A builder carrying everything a parsed flag set expresses.
+    pub fn from_options(options: &DaemonOptions) -> DaemonBuilder {
+        let mut builder = Daemon::builder()
+            .listen(options.listen.clone())
+            .cache_bytes(options.cache_bytes)
+            .backend(options.backend)
+            .host_threads(options.host_threads);
+        for (name, path) in &options.preload {
+            builder = builder.preload(name, path);
+        }
+        if let Some(addr) = &options.metrics {
+            builder = builder.metrics(addr.clone());
+        }
+        if let Some(path) = &options.addr_file {
+            builder = builder.addr_file(path.clone());
+        }
+        builder
+    }
+
+    /// Where to listen (default `tcp:127.0.0.1:4806`; use port 0 for ephemeral).
+    pub fn listen(mut self, addr: ListenAddr) -> Self {
+        self.listen = addr;
+        self
+    }
+
+    /// Decoded-field LRU budget in bytes (default 256 MiB).
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Execution backend requests decode on.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Host threads backing the simulated device.
+    pub fn host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads;
+        self
+    }
+
+    /// Preloads an archive before the daemon starts serving (repeatable). A preload
+    /// failure surfaces from [`DaemonBuilder::spawn`], before any thread starts.
+    pub fn preload(mut self, name: &str, path: &str) -> Self {
+        self.preload.push((name.to_string(), path.to_string()));
+        self
+    }
+
+    /// Binds the HTTP metrics/health sidecar on `addr`.
+    pub fn metrics(mut self, addr: ListenAddr) -> Self {
+        self.metrics = Some(addr);
+        self
+    }
+
+    /// Writes the resolved listen address to `path` (atomically) once bound.
+    pub fn addr_file(mut self, path: PathBuf) -> Self {
+        self.addr_file = Some(path);
+        self
+    }
+
+    /// Admission bound on not-yet-started decodes (the `BUSY` threshold).
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound;
+        self
+    }
+
+    /// How long the wave worker holds a decode wave open for merging.
+    pub fn wave_tick(mut self, tick: Duration) -> Self {
+        self.wave_tick = tick;
+        self
+    }
+
+    /// Binds, preloads, writes the addr-file, and spawns the serving threads.
+    ///
+    /// Everything that can fail does so *here*, synchronously, with its class kept
+    /// through [`HfzError`] — a bind failure is I/O, an unreadable preload is I/O, a
+    /// corrupt preload is a container error — so both entry points (`hfzd` and
+    /// `hfz serve`) exit with the same stable codes, and embedders never have to fish
+    /// an error out of a thread.
+    pub fn spawn(self) -> Result<ServerHandle, HfzError> {
+        let config = ServerConfig {
+            cache_bytes: self.cache_bytes,
+            gpu: GpuConfig::v100(),
+            backend: self.backend,
+            host_threads: self.host_threads,
+            queue_bound: self.queue_bound,
+            wave_tick: self.wave_tick,
+        };
+        let server = Server::bind(&self.listen, &config)
+            .map_err(|e| HfzError::io(format!("cannot bind {}", self.listen), e))?;
+        let state = server.state();
+        for (name, path) in &self.preload {
+            state.load_archive(name, path).map_err(|e| match e {
+                HfzError::Io { context, source } => HfzError::Io {
+                    context: format!("cannot load '{}': {}", name, context),
+                    source,
+                },
+                other => other,
+            })?;
+        }
+        // The sidecar binds (and its address is registered with the state) before the
+        // addr-file is written, so anything that waited on the file can already scrape.
+        let mut metrics_addr = None;
+        let sidecar = match &self.metrics {
+            Some(addr) => {
+                let sidecar =
+                    MetricsServer::bind(addr, std::sync::Arc::clone(&state)).map_err(|e| {
+                        HfzError::io(format!("cannot bind metrics sidecar {}", addr), e)
+                    })?;
+                let bound = sidecar
+                    .local_addr()
+                    .map_err(|e| HfzError::io("metrics sidecar address", e))?;
+                metrics_addr = Some(bound);
+                Some(std::thread::spawn(move || {
+                    let _ = sidecar.run();
+                }))
+            }
+            None => None,
+        };
+        let addr = server.local_addr();
+        if let Some(path) = &self.addr_file {
+            write_addr_file(path, &addr)
+                .map_err(|e| HfzError::io(format!("cannot write {}", path.display()), e))?;
+        }
+        let server_thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            state,
+            addr,
+            metrics_addr,
+            server: Some(server_thread),
+            sidecar,
+        })
+    }
+}
+
+/// Writes `addr` to `path` atomically (sibling temp file + rename), so a reader
+/// polling the file never observes a partial address.
+fn write_addr_file(path: &std::path::Path, addr: &ListenAddr) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, format!("{}\n", addr))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// A running in-process daemon: the serving threads, their shared state, and the
+/// resolved addresses.
+///
+/// Dropping the handle *detaches* the daemon (the threads keep serving); stopping it
+/// is explicit — [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    state: std::sync::Arc<ServerState>,
+    addr: ListenAddr,
+    metrics_addr: Option<ListenAddr>,
+    server: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    sidecar: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The resolved listen address (for `tcp:...:0` it carries the actual port).
+    pub fn local_addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// The metrics sidecar's resolved address, when one was bound.
+    pub fn metrics_addr(&self) -> Option<&ListenAddr> {
+        self.metrics_addr.as_ref()
+    }
+
+    /// Handle to the shared state (for in-process loading, stats, and tests).
+    pub fn state(&self) -> std::sync::Arc<ServerState> {
+        std::sync::Arc::clone(&self.state)
+    }
+
+    /// Requests shutdown (idempotent; does not wait — follow with
+    /// [`ServerHandle::join`]).
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Waits for the serving threads to exit (after a [`ServerHandle::shutdown`] or a
+    /// client's `SHUTDOWN` request).
+    pub fn join(mut self) -> Result<(), HfzError> {
+        if let Some(server) = self.server.take() {
+            let result = server
+                .join()
+                .map_err(|_| HfzError::Protocol("server thread panicked".to_string()))?;
+            result.map_err(|e| HfzError::io("server failed", e))?;
+        }
+        if let Some(sidecar) = self.sidecar.take() {
+            // `SHUTDOWN` pokes the sidecar's accept loop too; join so its socket is
+            // gone before the entry point reports the daemon stopped.
+            let _ = sidecar.join();
+        }
+        Ok(())
+    }
+}
+
+/// The blocking entry point `hfzd` and `hfz serve` wrap: spawns via the builder,
+/// prints the start-up lines, and waits until shutdown.
+pub fn run_foreground(options: &DaemonOptions) -> Result<(), HfzError> {
+    let handle = DaemonBuilder::from_options(options).spawn()?;
+    for loaded in handle.state().store().list().iter() {
         eprintln!(
             "hfzd: loaded '{}' from {} ({} fields)",
-            name,
-            path,
+            loaded.name,
+            loaded.path,
             loaded.fields().len()
         );
     }
-    // The sidecar binds (and its address is registered with the state) before the
-    // `listening on` line below, so anything that waited for it can already scrape.
-    let metrics_thread = match &options.metrics {
-        Some(addr) => {
-            let sidecar = MetricsServer::bind(addr, std::sync::Arc::clone(&state))
-                .map_err(|e| HfzError::io(format!("cannot bind metrics sidecar {}", addr), e))?;
-            let bound = sidecar
-                .local_addr()
-                .map_err(|e| HfzError::io("metrics sidecar address", e))?;
-            {
-                use std::io::Write as _;
-                let mut out = std::io::stdout();
-                let _ = writeln!(out, "hfzd: metrics on {}", bound);
-                let _ = out.flush();
-            }
-            Some(std::thread::spawn(move || sidecar.run()))
-        }
-        None => None,
-    };
-    // Printed on stdout and flushed: start-up scripts wait for this line.
+    use std::io::Write as _;
+    if let Some(addr) = handle.metrics_addr() {
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "hfzd: metrics on {}", addr);
+        let _ = out.flush();
+    }
+    // Printed on stdout and flushed: start-up scripts wait for this line (scripts
+    // that need the address itself should prefer `--addr-file`).
     {
-        use std::io::Write as _;
         let mut out = std::io::stdout();
         let _ = writeln!(
             out,
             "hfzd: listening on {} (cache budget {} bytes)",
-            server.local_addr(),
+            handle.local_addr(),
             options.cache_bytes
         );
         let _ = out.flush();
     }
-    let result = server.run().map_err(|e| HfzError::io("server failed", e));
-    if let Some(handle) = metrics_thread {
-        // `SHUTDOWN` pokes the sidecar's accept loop too; join so its socket is gone
-        // before the entry point reports the daemon stopped.
-        let _ = handle.join();
-    }
-    result
+    handle.join()
 }
 
 #[cfg(test)]
@@ -211,6 +454,8 @@ mod tests {
             "cpu",
             "--metrics",
             "tcp:127.0.0.1:9100",
+            "--addr-file",
+            "/tmp/hfzd.addr",
         ]))
         .unwrap();
         assert_eq!(opts.listen, ListenAddr::Tcp("127.0.0.1:9000".into()));
@@ -218,6 +463,7 @@ mod tests {
         assert_eq!(opts.host_threads, 3);
         assert_eq!(opts.backend, BackendKind::Cpu);
         assert_eq!(opts.metrics, Some(ListenAddr::Tcp("127.0.0.1:9100".into())));
+        assert_eq!(opts.addr_file, Some(PathBuf::from("/tmp/hfzd.addr")));
         assert_eq!(
             opts.preload,
             vec![
@@ -233,7 +479,9 @@ mod tests {
         assert_eq!(opts.cache_bytes, DEFAULT_CACHE_BYTES);
         assert_eq!(opts.listen, ListenAddr::parse(DEFAULT_LISTEN).unwrap());
         assert_eq!(opts.metrics, None);
+        assert_eq!(opts.addr_file, None);
         assert!(DaemonOptions::parse(&s(&["--metrics"])).is_err());
+        assert!(DaemonOptions::parse(&s(&["--addr-file"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--load", "nopath"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--cache-bytes", "x"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--host-threads", "0"])).is_err());
@@ -241,5 +489,26 @@ mod tests {
         assert!(DaemonOptions::parse(&s(&["--backend"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--bogus"])).is_err());
         assert!(DaemonOptions::parse(&s(&["--listen"])).is_err());
+    }
+
+    #[test]
+    fn addr_file_is_written_atomically_on_spawn() {
+        let dir = std::env::temp_dir().join(format!("hfzd-addrfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("daemon.addr");
+        let handle = Daemon::builder()
+            .listen(ListenAddr::parse("tcp:127.0.0.1:0").unwrap())
+            .cache_bytes(1 << 20)
+            .addr_file(addr_file.clone())
+            .spawn()
+            .unwrap();
+        let written = std::fs::read_to_string(&addr_file).unwrap();
+        assert_eq!(written.trim(), handle.local_addr().to_string());
+        // The advertised address is dialable, and shutdown/join tears everything down.
+        let parsed = ListenAddr::parse(written.trim()).unwrap();
+        assert_eq!(&parsed, handle.local_addr());
+        handle.shutdown();
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,36 +10,44 @@
 //! The crate splits into:
 //!
 //! * [`protocol`] — the length-prefixed binary request/response format
-//!   (`LIST`/`GET`/`STATS`/`VERIFY`/`LOAD`/`SHUTDOWN`);
+//!   (`LIST`/`GET`/`STATS`/`VERIFY`/`LOAD`/`SHUTDOWN`, plus the `BUSY` overload reply);
 //! * [`net`] — `tcp:HOST:PORT` / `unix:PATH` transport;
 //! * [`store`] — the parse-once archive store: section tables, decode structures, and
 //!   lazily built range-decode indexes, all cached per loaded archive;
-//! * [`cache`] — the decoded-field LRU: bytes-budgeted, shared across client threads;
-//! * [`server`] — the daemon itself: thread-per-connection over one shared state;
+//! * [`cache`] — the decoded-field LRU: bytes-budgeted, shared across requests;
+//! * [`server`] — the daemon itself: an event-loop reactor over one shared state,
+//!   with a single-flight/wave scheduler feeding one decode-worker thread;
 //! * [`http`] — the observability sidecar: `GET /metrics` (Prometheus text
 //!   exposition) and `GET /healthz` over plain HTTP/1.1;
-//! * [`client`] — the synchronous client used by `hfz get` and friends;
-//! * [`daemon`] — flag parsing and the run loop shared by `hfzd` and `hfz serve`.
+//! * [`client`] — the synchronous [`Connection`] used by `hfz get`, the router's
+//!   shard links, and friends;
+//! * [`daemon`] — flag parsing, the spawnable [`Daemon`] builder API, and the
+//!   blocking foreground loop shared by `hfzd` and `hfz serve`.
 //!
 //! ## Request flow
 //!
-//! A full-field `GET` checks the LRU first; on a miss it decodes on the simulated GPU
-//! (outside every lock), inserts, and serves. A *ranged* code request that misses the
-//! cache takes the partial path instead: the field's decode index (subsequence states +
-//! output-index prefix sums, built once) maps the symbol range to the decode blocks
-//! that produce it, and only those blocks are decoded — `Codec::decompress_range`.
+//! A full-field `GET` checks the LRU first. On a miss it becomes a *decode future*:
+//! the reactor submits it to the scheduler and keeps serving other traffic. Concurrent
+//! misses of the same field coalesce into one decode (single-flight) whose result fans
+//! back out to every waiter; misses of distinct fields that land within one scheduling
+//! tick merge into one batched decode wave. When the pending-decode queue is full the
+//! daemon sheds load with the typed `BUSY` reply instead of queueing unboundedly. A
+//! *ranged* code request that misses the cache takes the partial path instead: the
+//! field's decode index (subsequence states + output-index prefix sums, built once)
+//! maps the symbol range to the decode blocks that produce it, and only those blocks
+//! are decoded — `Codec::decompress_range`.
 //!
 //! ## Example
 //!
 //! ```no_run
-//! use huffdec_serve::client::Client;
+//! use huffdec_serve::client::Connection;
 //! use huffdec_serve::net::ListenAddr;
 //! use huffdec_serve::protocol::GetKind;
 //!
 //! let addr = ListenAddr::parse("tcp:127.0.0.1:4806").unwrap();
-//! let mut client = Client::connect(&addr).unwrap();
-//! client.load("hacc", "/data/hacc.hfz").unwrap();
-//! let field = client.get("hacc", 0, GetKind::Data, None).unwrap();
+//! let mut conn = Connection::connect(&addr).unwrap();
+//! conn.load("hacc", "/data/hacc.hfz").unwrap();
+//! let field = conn.get("hacc", 0, GetKind::Data, None).unwrap();
 //! println!("{} elements, cached: {}", field.elements, field.from_cache);
 //! ```
 
@@ -51,11 +59,13 @@ pub mod daemon;
 pub mod http;
 pub mod net;
 pub mod protocol;
+mod sched;
 pub mod server;
 pub mod store;
 
 pub use cache::{CacheKey, CacheStats, DecodedLru};
-pub use client::{Client, ClientError, GetResult, PooledClient};
+pub use client::{ClientError, Connection, GetResult, RetryPolicy};
+pub use daemon::{Daemon, DaemonBuilder, DaemonOptions, ServerHandle};
 pub use http::{HttpEndpoints, HttpServer, MetricsServer};
 pub use huffdec_codec::{
     ArchiveHandle, Backend, BackendKind, Codec, FieldHandle, HfzError, Metrics, MetricsSnapshot,

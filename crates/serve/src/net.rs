@@ -65,6 +65,38 @@ pub enum Conn {
     Unix(UnixStream),
 }
 
+impl Conn {
+    /// Switches the stream between blocking and non-blocking mode (the event-loop
+    /// server runs every accepted connection non-blocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Sets the read and write timeouts (`None` means block forever). Clients use
+    /// this so a dead peer surfaces as `TimedOut` instead of hanging a blocking read.
+    pub fn set_timeouts(
+        &self,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+        }
+    }
+}
+
 impl Read for Conn {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
@@ -148,12 +180,22 @@ impl Listener {
         }
     }
 
-    /// Blocks until the next connection.
+    /// Blocks until the next connection (or returns `WouldBlock` immediately when the
+    /// listener is in non-blocking mode and nothing is pending).
     pub fn accept(&self) -> std::io::Result<Conn> {
         match self {
             Listener::Tcp(l) => Ok(Conn::Tcp(l.accept()?.0)),
             #[cfg(unix)]
             Listener::Unix(l, _) => Ok(Conn::Unix(l.accept()?.0)),
+        }
+    }
+
+    /// Switches the listener between blocking and non-blocking accept.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nonblocking),
         }
     }
 }

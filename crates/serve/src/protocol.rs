@@ -16,6 +16,11 @@
 //! | 7 | `GETBATCH` | archive, kind, field-index list | per field: `from_cache`, element count, bytes |
 //! | 8 | `METRICS` | — | Prometheus text exposition of the daemon's registry |
 //!
+//! Additionally, a saturated daemon may answer `GET`/`GETBATCH` with a `BUSY` reply
+//! (tag 9, no operands): the pending-decode queue is full and the request was shed
+//! rather than queued. `BUSY` is admission control, not an error — the client should
+//! back off and retry (the `hfzr` router does this on the failover path).
+//!
 //! `GETBATCH` fetches several whole fields of one archive in a single round trip; the
 //! daemon decodes every cache miss as **one batched wave** (shared worker pool,
 //! overlapped kernels) instead of N serial decodes, then fills the same LRU single-field
@@ -166,6 +171,9 @@ pub enum Response {
     },
     /// `METRICS` result: a Prometheus text exposition document.
     Metrics(String),
+    /// The daemon's pending-decode queue is saturated and the request was shed;
+    /// back off and retry. Only `GET`/`GETBATCH` can be answered this way.
+    Busy,
 }
 
 /// One field of a `GETBATCH` response.
@@ -515,6 +523,7 @@ const RESP_SHUTDOWN: u8 = 5;
 const RESP_LOADED: u8 = 6;
 const RESP_GET_BATCH: u8 = 7;
 const RESP_METRICS: u8 = 8;
+const RESP_BUSY: u8 = 9;
 
 impl Response {
     /// Serializes the response into a frame body.
@@ -573,6 +582,9 @@ impl Response {
             Response::Metrics(text) => {
                 w.u8(RESP_METRICS);
                 w.text(text);
+            }
+            Response::Busy => {
+                w.u8(RESP_BUSY);
             }
         }
         w.buf
@@ -643,6 +655,7 @@ impl Response {
                 Response::GetBatch { kind, items }
             }
             RESP_METRICS => Response::Metrics(r.text()?),
+            RESP_BUSY => Response::Busy,
             _ => return Err(ProtocolError::Malformed("unknown response tag")),
         };
         r.finish()?;
@@ -729,6 +742,7 @@ mod tests {
                 ],
             },
             Response::Metrics("# HELP hfz_requests_total requests\n".into()),
+            Response::Busy,
         ];
         for resp in cases {
             let body = resp.encode();

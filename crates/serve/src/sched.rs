@@ -1,0 +1,284 @@
+//! The decode scheduler: single-flight coalescing plus tick-merged batch waves.
+//!
+//! The daemon's request path hands every full-field cache miss to this scheduler
+//! instead of decoding on the requesting thread. Two properties fall out:
+//!
+//! * **Single-flight** — a per-`(archive, generation, field, kind)` in-flight table
+//!   deduplicates concurrent misses of the *same* field: the first miss creates a
+//!   [`FlightSlot`], every later one joins it, and the one decode's result fans back
+//!   out to all waiters (`sched_coalesced` counts the joins).
+//! * **Wave batching** — misses on *distinct* fields that arrive within one scheduling
+//!   tick drain together as a single wave, which the worker submits through the
+//!   codec's wave API (`decompress_wave` / `decode_codes_wave`) so they run as one
+//!   overlapped batch — the serving-side analogue of the paper's batched kernel
+//!   launches (`sched_waves` / `sched_wave_fields` / `sched_multi_field_waves`).
+//!
+//! Admission control: the pending queue is bounded. A submission that would push it
+//! past the bound is **shed** — nothing is enqueued, `sched_shed` is bumped, and the
+//! server answers the typed `BUSY` protocol reply instead of queueing unbounded work
+//! under overload.
+//!
+//! The scheduler is pure bookkeeping (a mutex, a condvar, a map); the decode itself
+//! runs on the daemon's wave-worker thread, which loops on [`Scheduler::next_wave`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use huffdec_metrics::Metrics;
+
+use crate::cache::CacheKey;
+use crate::store::LoadedArchive;
+
+/// One in-flight decode: waiters block on (or poll) the slot until the wave worker
+/// completes it with either the decoded bytes or an error message.
+#[derive(Debug, Default)]
+pub(crate) struct FlightSlot {
+    done: Mutex<Option<Result<Arc<Vec<u8>>, String>>>,
+    cv: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Arc<FlightSlot> {
+        Arc::new(FlightSlot::default())
+    }
+
+    /// Blocks until the flight completes.
+    pub fn wait(&self) -> Result<Arc<Vec<u8>>, String> {
+        let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = self.cv.wait(done).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking read: `Some` once the flight completed (the event loop polls this).
+    pub fn try_get(&self) -> Option<Result<Arc<Vec<u8>>, String>> {
+        self.done.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Completes the flight and wakes every waiter. First completion wins.
+    pub(crate) fn complete(&self, result: Result<Arc<Vec<u8>>, String>) {
+        let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        if done.is_none() {
+            *done = Some(result);
+        }
+        drop(done);
+        self.cv.notify_all();
+    }
+}
+
+/// One pending decode the wave worker will run: which field, and the slot its result
+/// fans out through. The task pins the loaded archive alive for the decode's duration.
+#[derive(Debug)]
+pub(crate) struct DecodeTask {
+    /// Cache key of the representation being decoded (`key.kind` selects the wave).
+    pub key: CacheKey,
+    /// The archive the field lives in.
+    pub loaded: Arc<LoadedArchive>,
+    /// Field index within the archive.
+    pub field: usize,
+    /// Where the result lands.
+    pub slot: Arc<FlightSlot>,
+}
+
+/// What a submission resolved to: the flight to wait on, and whether this submission
+/// *created* it (vs. joining one already in flight).
+#[derive(Debug)]
+pub(crate) struct SubmitOutcome {
+    /// The flight carrying this field's decode.
+    pub slot: Arc<FlightSlot>,
+    /// True when this submission enqueued the decode (false = coalesced join).
+    pub created: bool,
+}
+
+#[derive(Debug)]
+struct SchedInner {
+    pending: Vec<DecodeTask>,
+    inflight: HashMap<CacheKey, Arc<FlightSlot>>,
+    stop: bool,
+}
+
+/// The single-flight table and bounded pending queue shared by every connection.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    inner: Mutex<SchedInner>,
+    wake: Condvar,
+    queue_bound: usize,
+    tick: Duration,
+    metrics: Arc<Metrics>,
+}
+
+impl Scheduler {
+    /// A scheduler admitting at most `queue_bound` not-yet-started decodes, holding
+    /// each wave open for `tick` so concurrent misses can merge into it.
+    pub fn new(queue_bound: usize, tick: Duration, metrics: Arc<Metrics>) -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(SchedInner {
+                pending: Vec::new(),
+                inflight: HashMap::new(),
+                stop: false,
+            }),
+            wake: Condvar::new(),
+            queue_bound,
+            tick,
+            metrics,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Submits one request's cold fields as a single admission decision. Keys must be
+    /// distinct within the group (the server dedups duplicates in a batch request).
+    ///
+    /// Fields already in flight are joined (no queue slot consumed, `sched_coalesced`
+    /// bumped); the rest are enqueued for the next wave. If enqueueing the new fields
+    /// would push the pending queue past the bound — or the daemon is shutting down —
+    /// the **whole group** is shed: nothing is enqueued, `sched_shed` is bumped once,
+    /// and `None` tells the server to answer `BUSY`.
+    pub fn submit_group(
+        &self,
+        wants: &[(CacheKey, Arc<LoadedArchive>, usize)],
+    ) -> Option<Vec<SubmitOutcome>> {
+        let mut inner = self.lock();
+        let new_needed = wants
+            .iter()
+            .filter(|(key, _, _)| !inner.inflight.contains_key(key))
+            .count();
+        if inner.stop || inner.pending.len() + new_needed > self.queue_bound {
+            self.metrics.sched_shed.inc();
+            return None;
+        }
+        let mut outcomes = Vec::with_capacity(wants.len());
+        for (key, loaded, field) in wants {
+            if let Some(slot) = inner.inflight.get(key) {
+                self.metrics.sched_coalesced.inc();
+                outcomes.push(SubmitOutcome {
+                    slot: Arc::clone(slot),
+                    created: false,
+                });
+                continue;
+            }
+            let slot = FlightSlot::new();
+            inner.inflight.insert(key.clone(), Arc::clone(&slot));
+            inner.pending.push(DecodeTask {
+                key: key.clone(),
+                loaded: Arc::clone(loaded),
+                field: *field,
+                slot: Arc::clone(&slot),
+            });
+            outcomes.push(SubmitOutcome {
+                slot,
+                created: true,
+            });
+        }
+        self.metrics
+            .sched_queue_depth
+            .set(inner.pending.len() as u64);
+        drop(inner);
+        self.wake.notify_all();
+        Some(outcomes)
+    }
+
+    /// Worker side: blocks until at least one decode is pending, holds the wave open
+    /// for one tick so concurrent misses can merge into it, then drains the whole
+    /// queue as one wave. Returns `None` once the scheduler is stopped and drained.
+    pub fn next_wave(&self) -> Option<Vec<DecodeTask>> {
+        loop {
+            {
+                let mut inner = self.lock();
+                loop {
+                    if !inner.pending.is_empty() {
+                        break;
+                    }
+                    if inner.stop {
+                        return None;
+                    }
+                    inner = self.wake.wait(inner).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+            // The merge window: sleep outside the lock so submitters can still get in.
+            if !self.tick.is_zero() {
+                std::thread::sleep(self.tick);
+            }
+            let tasks: Vec<DecodeTask> = {
+                let mut inner = self.lock();
+                inner.pending.drain(..).collect()
+            };
+            self.metrics.sched_queue_depth.set(0);
+            if tasks.is_empty() {
+                continue; // a stop() raced the tick and failed the queue
+            }
+            self.metrics.sched_waves.inc();
+            self.metrics.sched_wave_fields.add(tasks.len() as u64);
+            if tasks.len() > 1 {
+                self.metrics.sched_multi_field_waves.inc();
+            }
+            return Some(tasks);
+        }
+    }
+
+    /// Removes a completed flight from the in-flight table. Called by the worker
+    /// *after* the cache insert and the slot completion, so any miss that no longer
+    /// finds the flight is guaranteed to find the cache entry (or redo the decode —
+    /// correct either way, the cache's first-insert-wins dedups the bytes).
+    pub fn finish(&self, key: &CacheKey) {
+        self.lock().inflight.remove(key);
+    }
+
+    /// Stops the scheduler: fails every still-pending task (so blocked waiters get an
+    /// error instead of hanging) and wakes the worker so it can exit.
+    pub fn stop(&self) {
+        let tasks: Vec<DecodeTask> = {
+            let mut inner = self.lock();
+            inner.stop = true;
+            let tasks: Vec<DecodeTask> = inner.pending.drain(..).collect();
+            for task in &tasks {
+                inner.inflight.remove(&task.key);
+            }
+            tasks
+        };
+        self.metrics.sched_queue_depth.set(0);
+        for task in tasks {
+            task.slot
+                .complete(Err("daemon is shutting down".to_string()));
+        }
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_slot_fans_out_to_every_waiter() {
+        let slot = FlightSlot::new();
+        assert!(slot.try_get().is_none());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || slot.wait())
+            })
+            .collect();
+        let bytes = Arc::new(vec![1u8, 2, 3]);
+        slot.complete(Ok(Arc::clone(&bytes)));
+        for waiter in waiters {
+            let got = waiter.join().unwrap().expect("completed ok");
+            assert!(Arc::ptr_eq(&got, &bytes), "all waiters share one buffer");
+        }
+        assert!(slot.try_get().is_some(), "completion is sticky");
+    }
+
+    #[test]
+    fn flight_slot_first_completion_wins() {
+        let slot = FlightSlot::new();
+        slot.complete(Err("first".to_string()));
+        slot.complete(Ok(Arc::new(vec![9])));
+        assert_eq!(slot.wait(), Err("first".to_string()));
+    }
+}

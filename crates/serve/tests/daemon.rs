@@ -11,7 +11,7 @@ use datasets::{dataset_by_name, generate, Field};
 use gpu_sim::{Gpu, GpuConfig};
 use huffdec_container::ArchiveWriter;
 use huffdec_core::DecoderKind;
-use huffdec_serve::client::Client;
+use huffdec_serve::client::Connection;
 use huffdec_serve::net::ListenAddr;
 use huffdec_serve::protocol::GetKind;
 use huffdec_serve::server::{Server, ServerConfig};
@@ -97,6 +97,7 @@ fn daemon_serves_concurrent_clients_with_eviction() {
         gpu: GpuConfig::test_tiny(),
         backend: BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
     let server = Server::bind(&addr, &config).unwrap();
@@ -106,7 +107,7 @@ fn daemon_serves_concurrent_clients_with_eviction() {
 
     // Load both archives over the protocol (the runtime LOAD path).
     {
-        let mut client = Client::connect(&addr).unwrap();
+        let mut client = Connection::connect(&addr).unwrap();
         for archive in archives.iter() {
             let fields = client
                 .load(archive.name, archive.path.to_str().unwrap())
@@ -123,7 +124,7 @@ fn daemon_serves_concurrent_clients_with_eviction() {
         let addr = addr.clone();
         let archives = Arc::clone(&archives);
         workers.push(std::thread::spawn(move || {
-            let mut client = Client::connect(&addr).unwrap();
+            let mut client = Connection::connect(&addr).unwrap();
             for i in 0..12u64 {
                 let archive = &archives[((t + i) % 2) as usize];
                 match i % 3 {
@@ -182,7 +183,7 @@ fn daemon_serves_concurrent_clients_with_eviction() {
 
     // The STATS document agrees with the in-process snapshot on evictions.
     {
-        let mut client = Client::connect(&addr).unwrap();
+        let mut client = Connection::connect(&addr).unwrap();
         let json = client.stats().unwrap();
         assert!(
             json.contains(&format!("\"evictions\":{}", cache.evictions)),
@@ -207,7 +208,7 @@ fn daemon_serves_concurrent_clients_with_eviction() {
     // After shutdown the address no longer accepts (give the OS a beat to close).
     std::thread::sleep(std::time::Duration::from_millis(50));
     assert!(
-        Client::connect(&addr).is_err(),
+        Connection::connect(&addr).is_err(),
         "daemon must stop accepting"
     );
 }
@@ -219,6 +220,7 @@ fn daemon_rejects_bad_requests_cleanly() {
         gpu: GpuConfig::test_tiny(),
         backend: BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
     let server = Server::bind(&addr, &config).unwrap();
@@ -230,7 +232,7 @@ fn daemon_rejects_bad_requests_cleanly() {
     let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
     let archive = build_archive(&dir, &gpu, "solo", "CESM", DecoderKind::CuszBaseline, 3);
 
-    let mut client = Client::connect(&addr).unwrap();
+    let mut client = Connection::connect(&addr).unwrap();
     client
         .load(archive.name, archive.path.to_str().unwrap())
         .unwrap();
@@ -298,6 +300,7 @@ fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
         gpu: GpuConfig::test_tiny(),
         backend: BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
     let server = Server::bind(&addr, &config).unwrap();
@@ -305,7 +308,7 @@ fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
     let state = server.state();
     let server_thread = std::thread::spawn(move || server.run().unwrap());
 
-    let mut client = Client::connect(&addr).unwrap();
+    let mut client = Connection::connect(&addr).unwrap();
     assert_eq!(client.load("snap", path.to_str().unwrap()).unwrap(), 3);
 
     // LIST exposes the manifest names.
@@ -371,7 +374,7 @@ fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
     assert!(stats.batch_batched_seconds > 0.0);
     assert!(stats.batch_batched_seconds <= stats.batch_serial_seconds + 1e-15);
     let json = {
-        let mut c = Client::connect(&addr).unwrap();
+        let mut c = Connection::connect(&addr).unwrap();
         c.stats().unwrap()
     };
     assert!(json.contains("\"batch\":{"), "stats JSON: {}", json);

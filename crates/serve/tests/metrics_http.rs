@@ -55,6 +55,7 @@ fn sidecar_fixture(dir_name: &str) -> (Arc<ServerState>, ListenAddr) {
         gpu: GpuConfig::test_tiny(),
         backend: BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let server = Server::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap(), &config).unwrap();
     let state = server.state();
@@ -180,6 +181,12 @@ fn metrics_endpoint_serves_valid_exposition() {
         "hfz_batch_decoded_fields_total",
         "hfz_batch_serial_seconds_total",
         "hfz_batch_batched_seconds_total",
+        "hfz_sched_coalesced_total",
+        "hfz_sched_waves_total",
+        "hfz_sched_wave_fields_total",
+        "hfz_sched_multi_field_waves_total",
+        "hfz_sched_shed_total",
+        "hfz_sched_queue_depth",
         "hfz_cache_hits_total",
         "hfz_cache_misses_total",
         "hfz_cache_evictions_total",

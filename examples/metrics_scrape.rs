@@ -14,7 +14,7 @@ use huffdec::container::ArchiveWriter;
 use huffdec::datasets::{dataset_by_name, generate};
 use huffdec::gpu_sim::GpuConfig;
 use huffdec::metrics::{parse_prometheus, sample_value};
-use huffdec::serve::client::Client;
+use huffdec::serve::client::Connection;
 use huffdec::serve::http::MetricsServer;
 use huffdec::serve::net::{connect, ListenAddr};
 use huffdec::serve::protocol::GetKind;
@@ -59,6 +59,7 @@ fn main() {
         gpu: GpuConfig::test_tiny(),
         backend: BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let server = Server::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap(), &config).unwrap();
     let addr = server.local_addr();
@@ -74,7 +75,7 @@ fn main() {
     println!("daemon on {}, metrics on {}", addr, metrics_addr);
 
     // Traffic: a cold decode, a cache hit, and a ranged partial decode.
-    let mut client = Client::connect(&addr).unwrap();
+    let mut client = Connection::connect(&addr).unwrap();
     client.load("hacc", path.to_str().unwrap()).unwrap();
     client.get("hacc", 0, GetKind::Data, None).unwrap();
     client.get("hacc", 0, GetKind::Data, None).unwrap();

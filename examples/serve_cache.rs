@@ -11,7 +11,7 @@
 use huffdec::container::ArchiveWriter;
 use huffdec::datasets::{dataset_by_name, generate};
 use huffdec::gpu_sim::GpuConfig;
-use huffdec::serve::client::Client;
+use huffdec::serve::client::Connection;
 use huffdec::serve::net::ListenAddr;
 use huffdec::serve::protocol::GetKind;
 use huffdec::serve::server::{Server, ServerConfig};
@@ -46,6 +46,7 @@ fn main() {
         gpu: GpuConfig::test_tiny(),
         backend: huffdec_serve::BackendKind::from_env(),
         host_threads: 2,
+        ..ServerConfig::default()
     };
     let server = Server::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap(), &config).unwrap();
     let addr = server.local_addr();
@@ -53,11 +54,11 @@ fn main() {
     let server_thread = std::thread::spawn(move || server.run().unwrap());
     println!("daemon listening on {}", addr);
 
-    let mut client = Client::connect(&addr).unwrap();
+    let mut client = Connection::connect(&addr).unwrap();
     client.load("hacc", &hacc).unwrap();
     client.load("gamess", &gamess).unwrap();
 
-    let fetch = |client: &mut Client, archive: &str, range| {
+    let fetch = |client: &mut Connection, archive: &str, range| {
         let r = client.get(archive, 0, GetKind::Data, range).unwrap();
         println!(
             "GET {}{}: {} elements{}{}",

@@ -34,8 +34,8 @@ use std::process::ExitCode;
 
 use huffdec::container::ArchiveWriter;
 use huffdec::datasets::{dataset_by_name, generate, Dims};
-use huffdec::serve::client::Client;
-use huffdec::serve::daemon::{run as run_daemon, DaemonOptions};
+use huffdec::serve::client::Connection;
+use huffdec::serve::daemon::{run_foreground as run_daemon, DaemonOptions};
 use huffdec::serve::net::ListenAddr;
 use huffdec::serve::protocol::GetKind;
 use huffdec::{
@@ -102,6 +102,7 @@ USAGE:
 
   hfz serve      [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]...
                  [--metrics ADDR]                 (HTTP /metrics + /healthz sidecar)
+                 [--addr-file PATH]               (write resolved address to PATH)
   hfz get        --addr ADDR --archive NAME [--field I] [--codes] [--range START:LEN]
                  --output FILE
   hfz batch      --addr ADDR --archive NAME --fields I[,I...] [--codes]
@@ -318,7 +319,7 @@ fn decode_codec(args: &Args) -> Result<Codec, HfzError> {
     Codec::builder().backend(parse_backend(args)?).build()
 }
 
-fn connect(args: &Args) -> Result<Client, HfzError> {
+fn connect(args: &Args) -> Result<Connection, HfzError> {
     // `--router` is an alias for `--addr`: an `hfzr` fleet router speaks the same
     // protocol as a single daemon, so every remote subcommand works against either.
     let addr = args
@@ -326,7 +327,7 @@ fn connect(args: &Args) -> Result<Client, HfzError> {
         .or_else(|| args.get("router"))
         .ok_or_else(|| HfzError::Usage("missing required flag --addr (or --router)".to_string()))?;
     let addr = ListenAddr::parse(addr)?;
-    Client::connect(&addr)
+    Connection::connect(&addr)
         .map_err(|e| HfzError::Protocol(format!("cannot connect to {}: {}", addr, e)))
 }
 
@@ -946,7 +947,7 @@ struct WatchSample {
 /// trend line per tick — lifetime totals plus the delta window since the previous tick
 /// (cache hit ratio and mean simulated decode latency). Runs until interrupted or the
 /// daemon goes away.
-fn watch_stats(client: &mut Client, secs: u64) -> Result<(), HfzError> {
+fn watch_stats(client: &mut Connection, secs: u64) -> Result<(), HfzError> {
     let mut prev: Option<WatchSample> = None;
     loop {
         let text = client.metrics_prom()?;

@@ -10,7 +10,7 @@
 
 use std::process::ExitCode;
 
-use huffdec::serve::daemon::{run, DaemonOptions};
+use huffdec::serve::daemon::{run_foreground, DaemonOptions};
 use huffdec::HfzError;
 
 fn main() -> ExitCode {
@@ -20,16 +20,17 @@ fn main() -> ExitCode {
     {
         eprintln!(
             "hfzd — HFZ1 block-decode daemon\n\n\
-             USAGE:\n  hfzd [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]... [--host-threads N] [--metrics ADDR]\n\n\
+             USAGE:\n  hfzd [--listen ADDR] [--cache-bytes N] [--load NAME=PATH]... [--host-threads N] [--metrics ADDR] [--addr-file PATH]\n\n\
              ADDR is tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH; default {}\n\
-             --metrics binds an HTTP sidecar serving GET /metrics (Prometheus) and GET /healthz",
+             --metrics binds an HTTP sidecar serving GET /metrics (Prometheus) and GET /healthz\n\
+             --addr-file writes the resolved listen address to PATH once accepting",
             huffdec::serve::daemon::DEFAULT_LISTEN
         );
         return ExitCode::SUCCESS;
     }
     let result = DaemonOptions::parse(&args)
         .map_err(HfzError::Usage)
-        .and_then(|options| run(&options));
+        .and_then(|options| run_foreground(&options));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {

@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use huffdec::router::{run, RouterOptions};
+use huffdec::router::{run_foreground, RouterOptions};
 use huffdec::HfzError;
 
 fn main() -> ExitCode {
@@ -24,18 +24,19 @@ fn main() -> ExitCode {
         eprintln!(
             "hfzr — sharded hfzd fleet router\n\n\
              USAGE:\n  hfzr [--listen ADDR] (--shard ADDR)... [--spawn N] [--hfzd-bin PATH]\n       \
-             [--cache-bytes N] [--backend sim|cpu] [--load NAME=PATH]... [--metrics ADDR]\n\n\
+             [--cache-bytes N] [--backend sim|cpu] [--load NAME=PATH]... [--metrics ADDR]\n       [--addr-file PATH]\n\n\
              ADDR is tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH; default {}\n\
              --shard attaches to a running hfzd; --spawn forks N hfzd children on ephemeral\n\
              ports (--cache-bytes/--backend are forwarded to them)\n\
-             --metrics binds an HTTP sidecar serving the fleet GET /metrics and GET /healthz",
+             --metrics binds an HTTP sidecar serving the fleet GET /metrics and GET /healthz\n\
+             --addr-file writes the resolved listen address to PATH once accepting",
             huffdec::router::DEFAULT_LISTEN
         );
         return ExitCode::SUCCESS;
     }
     let result = RouterOptions::parse(&args)
         .map_err(HfzError::Usage)
-        .and_then(|options| run(&options));
+        .and_then(|options| run_foreground(&options));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
