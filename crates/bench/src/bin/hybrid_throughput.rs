@@ -1,0 +1,174 @@
+//! Hybrid RLE+Huffman decode throughput and compression ratio across sparsity
+//! profiles (format v2).
+//!
+//! Builds bounded-random-walk fields at four zero fractions (0%, 50%, 90%, 99% of
+//! elements landing in the center quantization bin), compresses each twice — once
+//! through the `rle+huff hybrid` path and once through the best dense stream
+//! (`opt. gap-array`) — and decodes both through the session facade on the simulated
+//! device. Reports decode throughput and the hybrid/dense stored-size ratio per
+//! profile.
+//!
+//! Self-verifying: the hybrid reconstruction must be bit-identical to the dense
+//! reconstruction of the same field (they share one quantization), both must match
+//! the encoder-stamped decoded-CRC digest, and at ≥90% zeros the hybrid archive must
+//! be strictly smaller than the dense one (the point of the format).
+//!
+//! Pass `--json` to also write `BENCH_hybrid.json`.
+
+use huffdec_bench::{
+    bench_sms, fmt_gbs, fmt_ratio, json_requested, scaled_v100, write_bench_json, Table,
+    BENCH_SEED, ELEMENTS_ENV,
+};
+use huffdec_codec::Codec;
+use huffdec_core::DecoderKind;
+use sz::ErrorBound;
+
+/// Zero-fraction profiles, in percent of flat (center-bin) steps in the walk.
+const PROFILES: [u64; 4] = [0, 50, 90, 99];
+
+/// A bounded random walk: `zero_pct`% of steps repeat the previous value (a center-bin
+/// code under an absolute error bound), the rest jump by at most ±200 quantization bins.
+fn walk_field(n: usize, zero_pct: u64, seed: u64) -> datasets::Field {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut value = 0.0f32;
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            if rng() % 100 >= zero_pct {
+                value += (rng() % 401) as f32 - 200.0;
+            }
+            value
+        })
+        .collect();
+    datasets::Field::new(format!("walk{}", zero_pct), datasets::Dims::D1(n), data)
+}
+
+fn main() {
+    let sms = bench_sms();
+    let (cfg, scale) = scaled_v100(sms);
+    let elements: usize = std::env::var(ELEMENTS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    let session = |decoder: DecoderKind| {
+        Codec::builder()
+            .gpu_config(cfg.clone())
+            .decoder(decoder)
+            .error_bound(ErrorBound::Absolute(0.5))
+            // Explicit decoder choice per session: auto-selection is exercised by the
+            // facade tests, this harness measures both paths on every profile.
+            .auto_hybrid(None)
+            .build()
+            .expect("bench codec configuration is valid")
+    };
+    let hybrid_codec = session(DecoderKind::RleHybrid);
+    let dense_codec = session(DecoderKind::OptimizedGapArray);
+
+    let mut table = Table::new(
+        "RLE+Huffman hybrid vs. best dense stream across sparsity (simulated, V100-normalized)",
+        &[
+            "zeros %",
+            "hybrid bytes",
+            "dense bytes",
+            "size ratio",
+            "hybrid GB/s",
+            "dense GB/s",
+        ],
+    );
+    let mut metrics: Vec<(&str, String)> = Vec::new();
+    let mut metric_values: Vec<(u64, f64, f64, f64)> = Vec::new();
+
+    for (i, &zero_pct) in PROFILES.iter().enumerate() {
+        let field = walk_field(elements, zero_pct, BENCH_SEED + i as u64);
+        let hybrid = hybrid_codec
+            .compress_archive(&field)
+            .expect("non-empty field");
+        let dense = dense_codec
+            .compress_archive(&field)
+            .expect("non-empty field");
+
+        let hybrid_out = hybrid_codec
+            .decompress(&hybrid)
+            .expect("hybrid payload matches decoder");
+        let dense_out = dense_codec
+            .decompress(&dense)
+            .expect("dense payload matches decoder");
+
+        // Self-verification: one quantization, two stream formats, identical output.
+        assert_eq!(
+            hybrid_out.data, dense_out.data,
+            "self-verification failed: hybrid decode diverged from dense at {}% zeros",
+            zero_pct
+        );
+        for (name, codec, archive) in [
+            ("hybrid", &hybrid_codec, &hybrid),
+            ("dense", &dense_codec, &dense),
+        ] {
+            let codes = codec
+                .decode_codes(archive)
+                .expect("payload matches decoder");
+            assert_eq!(
+                archive.matches_decoded_crc(&codes.symbols),
+                Some(true),
+                "self-verification failed: {} decode at {}% zeros does not match its digest",
+                name,
+                zero_pct
+            );
+        }
+        let hybrid_bytes = hybrid.compressed_bytes();
+        let dense_bytes = dense.compressed_bytes();
+        if zero_pct >= 90 {
+            assert!(
+                hybrid_bytes < dense_bytes,
+                "self-verification failed: at {}% zeros the hybrid archive ({} B) must \
+                 beat the dense one ({} B)",
+                zero_pct,
+                hybrid_bytes,
+                dense_bytes
+            );
+        }
+
+        let original = hybrid.original_bytes() as f64;
+        let hybrid_gbs = scale * original / hybrid_out.stats.total_seconds / 1e9;
+        let dense_gbs = scale * original / dense_out.stats.total_seconds / 1e9;
+        let size_ratio = hybrid_bytes as f64 / dense_bytes as f64;
+        table.push_row(vec![
+            zero_pct.to_string(),
+            hybrid_bytes.to_string(),
+            dense_bytes.to_string(),
+            fmt_ratio(size_ratio),
+            fmt_gbs(hybrid_gbs),
+            fmt_gbs(dense_gbs),
+        ]);
+        metric_values.push((zero_pct, hybrid_gbs, dense_gbs, size_ratio));
+    }
+    table.print();
+
+    // Stable metric keys for the CI ±10% reference band (the simulation is
+    // deterministic; the size ratios are exact).
+    let mut keyed: Vec<(String, String)> = Vec::new();
+    for &(zero_pct, hybrid_gbs, _dense_gbs, size_ratio) in &metric_values {
+        keyed.push((
+            format!("hybrid_gbs_z{}", zero_pct),
+            format!("{:.6}", hybrid_gbs),
+        ));
+        keyed.push((
+            format!("size_ratio_z{}", zero_pct),
+            format!("{:.6}", size_ratio),
+        ));
+    }
+    for (key, value) in &keyed {
+        println!("{} = {}", key, value);
+        metrics.push((key.as_str(), value.clone()));
+    }
+
+    if json_requested() {
+        write_bench_json("hybrid", true, &table, &metrics);
+    }
+}

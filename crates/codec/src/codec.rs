@@ -13,10 +13,12 @@ use std::sync::Arc;
 use datasets::Field;
 use gpu_sim::GpuConfig;
 use huffdec_backend::{Backend, BackendKind};
+use huffdec_container::FormatVersion;
 use huffdec_core::{
     BatchStats, CompressedPayload, DecodeResult, DecoderKind, EncodePhaseBreakdown, Gap8Stream,
     PhaseBreakdown, PreparedDecode, RangeDecode,
 };
+use huffdec_hybrid::AUTO_HYBRID_ZERO_FRACTION;
 use huffdec_metrics::Metrics;
 use sz::{BatchDecompressStats, CompressStats, Compressed, DecompressStats, ErrorBound, SzConfig};
 
@@ -113,6 +115,8 @@ pub struct CodecBuilder {
     error_bound: ErrorBound,
     alphabet_size: usize,
     model_transfer: bool,
+    format: FormatVersion,
+    auto_hybrid: Option<f64>,
     metrics: Option<Arc<Metrics>>,
 }
 
@@ -126,6 +130,8 @@ impl Default for CodecBuilder {
             error_bound: ErrorBound::paper_default(),
             alphabet_size: sz::DEFAULT_ALPHABET_SIZE,
             model_transfer: false,
+            format: FormatVersion::V1,
+            auto_hybrid: Some(AUTO_HYBRID_ZERO_FRACTION),
             metrics: None,
         }
     }
@@ -192,6 +198,27 @@ impl CodecBuilder {
         self
     }
 
+    /// The container format version this session writes (default: v1, so preexisting
+    /// `HFZ1` consumers keep reading default output byte-for-byte). Format v2 unlocks
+    /// snapshot codebook dictionaries, tuning hints, and — together with
+    /// [`CodecBuilder::auto_hybrid`] — automatic RLE+Huffman hybrid selection for
+    /// sparse fields. Building with the hybrid decoder upgrades v1 to v2 implicitly
+    /// (hybrid streams do not exist in v1).
+    pub fn format(mut self, format: FormatVersion) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The zero-fraction threshold at or above which a format-v2 session compresses a
+    /// field with the RLE+Huffman hybrid instead of the configured dense decoder
+    /// (default: [`AUTO_HYBRID_ZERO_FRACTION`]). `None` disables automatic selection;
+    /// the threshold only engages under [`FormatVersion::V2`], and an explicitly
+    /// hybrid session decoder bypasses it entirely.
+    pub fn auto_hybrid(mut self, threshold: Option<f64>) -> Self {
+        self.auto_hybrid = threshold;
+        self
+    }
+
     /// Shares an existing [`Metrics`] registry with this codec instead of creating a
     /// fresh one — how the daemon points its cache, its request loop, and its codec at
     /// the same instruments.
@@ -217,6 +244,21 @@ impl CodecBuilder {
                 value
             )));
         }
+        if let Some(t) = self.auto_hybrid {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(HfzError::Usage(format!(
+                    "auto-hybrid threshold must be a fraction in 0..=1, got {}",
+                    t
+                )));
+            }
+        }
+        // Hybrid streams exist only in format v2; an explicitly hybrid session
+        // silently upgrades rather than erroring on every compress.
+        let format = if self.decoder.is_hybrid() {
+            FormatVersion::V2
+        } else {
+            self.format
+        };
         let backend = self.backend.create(self.gpu, self.host_threads);
         let metrics = self.metrics.unwrap_or_default();
         // The registry's identity series (`hfz_backend{name=...}`) follows the last
@@ -230,6 +272,8 @@ impl CodecBuilder {
                 decoder: self.decoder,
             },
             model_transfer: self.model_transfer,
+            format,
+            auto_hybrid: self.auto_hybrid,
             metrics,
         })
     }
@@ -259,6 +303,8 @@ pub struct Codec {
     backend: Arc<dyn Backend>,
     config: SzConfig,
     model_transfer: bool,
+    format: FormatVersion,
+    auto_hybrid: Option<f64>,
     metrics: Arc<Metrics>,
 }
 
@@ -306,6 +352,33 @@ impl Codec {
     /// Whether decompression timing includes the host-to-device transfer.
     pub fn models_transfer(&self) -> bool {
         self.model_transfer
+    }
+
+    /// The container format version this session writes.
+    pub fn format(&self) -> FormatVersion {
+        self.format
+    }
+
+    /// The automatic hybrid-selection threshold, when enabled (only meaningful under
+    /// format v2 — see [`CodecBuilder::auto_hybrid`]).
+    pub fn auto_hybrid_threshold(&self) -> Option<f64> {
+        self.auto_hybrid
+    }
+
+    /// The configuration one compress call actually uses: under format v2 with
+    /// automatic hybrid selection enabled, a dense session decoder switches to the
+    /// RLE+Huffman hybrid when the field's center-bin (zero-residual) fraction reaches
+    /// the threshold. Exposed so callers can predict which decoder a field will get.
+    pub fn config_for(&self, field: &Field) -> SzConfig {
+        let mut config = self.config;
+        if self.format == FormatVersion::V2 && !config.decoder.is_hybrid() {
+            if let Some(threshold) = self.auto_hybrid {
+                if sz::field_zero_fraction(field, &config) >= threshold {
+                    config.decoder = DecoderKind::RleHybrid;
+                }
+            }
+        }
+        config
     }
 
     /// The metrics registry every operation of this session records into. Clone the
@@ -363,7 +436,8 @@ impl Codec {
     /// archive (bit-identical to the host encoder) and the encode timing breakdown.
     pub fn compress(&self, field: &Field) -> Result<EncodeOutcome> {
         self.check_nonempty(field)?;
-        let (archive, stats) = sz::compress_on(self.backend.as_ref(), field, &self.config);
+        let config = self.config_for(field);
+        let (archive, stats) = sz::compress_on(self.backend.as_ref(), field, &config);
         self.metrics.encode_seconds.observe(stats.total_seconds);
         self.record_encode_phases(&stats.encode);
         self.metrics.encode_bytes_in.add(archive.original_bytes());
@@ -378,7 +452,7 @@ impl Codec {
     /// tests and benchmarks that only need the archive.
     pub fn compress_archive(&self, field: &Field) -> Result<Compressed> {
         self.check_nonempty(field)?;
-        Ok(sz::compress(field, &self.config))
+        Ok(sz::compress(field, &self.config_for(field)))
     }
 
     /// Compresses several fields, returning one [`EncodeOutcome`] per field in input
@@ -475,10 +549,11 @@ impl Codec {
         Ok(r)
     }
 
-    /// Decodes a bare payload with this session's configured decoder. Benchmark-level
-    /// access for streams that never went through the field pipeline.
+    /// Decodes a bare payload with this session's configured decoder (hybrid payloads
+    /// route through the `huffdec-hybrid` decoder). Benchmark-level access for streams
+    /// that never went through the field pipeline.
     pub fn decode_payload(&self, payload: &CompressedPayload) -> Result<DecodeResult> {
-        let r = self.track_decode(huffdec_core::decode(
+        let r = self.track_decode(sz::decode_payload(
             self.backend.as_ref(),
             self.config.decoder,
             payload,
@@ -497,6 +572,28 @@ impl Codec {
     /// evaluation compares against; symbols are the trimmed 8-bit codes).
     pub fn decode_gap8(&self, stream: &Gap8Stream) -> (Vec<u8>, PhaseBreakdown) {
         huffdec_core::decode_original_gap8(self.backend.as_ref(), stream)
+    }
+
+    // ----- serialization (uses the session format version) -----
+
+    /// Serializes a field compression with the session's format version: v1 sessions
+    /// write `HFZ1` (hybrid archives upgrade themselves to v2 — they do not exist in
+    /// v1), v2 sessions always write `HFZ2`.
+    pub fn archive_to_bytes(&self, c: &Compressed) -> Result<Vec<u8>> {
+        Ok(match self.format {
+            FormatVersion::V1 => huffdec_container::to_bytes(c)?,
+            FormatVersion::V2 => huffdec_container::to_bytes_v2(c)?,
+        })
+    }
+
+    /// Serializes a named snapshot with the session's format version. v2 snapshots
+    /// carry the shared codebook dictionary and decoder tuning hints; a v1 session
+    /// holding any hybrid field upgrades the whole snapshot to v2.
+    pub fn snapshot_to_bytes(&self, fields: &[(&str, &Compressed)]) -> Result<Vec<u8>> {
+        Ok(match self.format {
+            FormatVersion::V1 => huffdec_container::snapshot_to_bytes(fields)?,
+            FormatVersion::V2 => huffdec_container::snapshot_to_bytes_v2(fields)?,
+        })
     }
 
     // ----- archive sessions -----
@@ -558,7 +655,7 @@ impl Codec {
 
     /// Decodes the full symbol stream of one field of an opened archive.
     pub fn decode_field_codes(&self, field: &FieldHandle) -> Result<DecodeResult> {
-        let r = self.track_decode(huffdec_core::decode(
+        let r = self.track_decode(sz::decode_payload(
             self.backend.as_ref(),
             field.decoder(),
             field.archive().payload(),
@@ -587,7 +684,7 @@ impl Codec {
             .map(|f| (f.decoder(), f.archive().payload()))
             .collect();
         let (results, stats) =
-            self.track_decode(huffdec_core::decode_batch(self.backend.as_ref(), &items))?;
+            self.track_decode(sz::decode_payload_batch(self.backend.as_ref(), &items))?;
         self.metrics.batch_serial_seconds.add(stats.serial_seconds);
         self.metrics
             .batch_batched_seconds
@@ -662,6 +759,15 @@ impl Codec {
     /// lives inside the [`FieldHandle`], so it is shared by every caller holding the
     /// handle.
     pub fn prepare_field<'f>(&self, field: &'f FieldHandle) -> Result<&'f PreparedDecode> {
+        if field.decoder().is_hybrid() {
+            // Ranges address the decoded symbol stream, but a hybrid token's output
+            // position depends on every zero run before it — there is no per-block
+            // entry point to seek to.
+            return Err(HfzError::Usage(
+                "ranged decode is not supported for hybrid streams; decode the full field"
+                    .to_string(),
+            ));
+        }
         // Record the build only on the call that actually pays it; later calls see the
         // cached index. (Two racing first calls may both record — the instruments are
         // advisory, the index itself is built exactly once.)
@@ -799,6 +905,110 @@ mod tests {
                 sz::decompress(codec.backend(), &legacy).unwrap().data
             );
         }
+    }
+
+    /// A 1D random walk whose increments are zero with probability `zero_pct`% and
+    /// otherwise spread over ±200 quantization steps — under an absolute error bound
+    /// of 0.5 (step 1.0) the Lorenzo residuals are exactly the increments, so the
+    /// field's center-bin fraction is directly controlled.
+    fn walk_field(n: usize, zero_pct: u64, seed: u64) -> Field {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut value = 0.0f32;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                if rng() % 100 >= zero_pct {
+                    value += (rng() % 401) as f32 - 200.0;
+                }
+                value
+            })
+            .collect();
+        Field::new("walk".to_string(), datasets::Dims::D1(n), data)
+    }
+
+    #[test]
+    fn hybrid_sessions_roundtrip_and_reject_ranged_decodes() {
+        // An explicitly hybrid session decoder upgrades the format to v2 at build.
+        let codec = tiny_codec(DecoderKind::RleHybrid);
+        assert_eq!(codec.format(), FormatVersion::V2);
+        let field = generate(&dataset_by_name("CESM").unwrap(), 20_000, 31);
+        let outcome = codec.compress(&field).unwrap();
+        assert!(outcome.archive.decoder().is_hybrid());
+        let decoded = codec.decompress(&outcome.archive).unwrap();
+        let dense = tiny_codec(DecoderKind::OptimizedSelfSync);
+        let reference = dense
+            .decompress(&dense.compress(&field).unwrap().archive)
+            .unwrap();
+        assert_eq!(decoded.data, reference.data);
+        // Hybrid decodes record into the hybrid histogram slot.
+        let tag = DecoderKind::RleHybrid.tag() as usize;
+        assert!(codec.metrics().snapshot().decode_seconds[tag].count() >= 1);
+        // The session writer emits HFZ2 bytes the standard reader round-trips.
+        let bytes = codec.archive_to_bytes(&outcome.archive).unwrap();
+        assert_eq!(&bytes[..4], b"HFZ2");
+        let handle = codec.open_archive_bytes(&bytes).unwrap();
+        let fh = handle.field(0).unwrap();
+        assert_eq!(codec.decompress_field(fh).unwrap().data, decoded.data);
+        // The codes path and the wave path cover hybrid fields too.
+        let codes = codec.decode_field_codes(fh).unwrap();
+        assert_eq!(
+            outcome.archive.matches_decoded_crc(&codes.symbols),
+            Some(true)
+        );
+        assert_eq!(
+            codec.decompress_wave(&[fh, fh]).unwrap()[0],
+            decoded
+                .data
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<u8>>()
+        );
+        // Ranged decode of a hybrid stream is a typed usage error, not a panic.
+        assert!(matches!(codec.prepare_field(fh), Err(HfzError::Usage(_))));
+        assert!(matches!(
+            codec.decompress_range(fh, 0, 8),
+            Err(HfzError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn auto_hybrid_selection_thresholds_on_sparsity() {
+        let sparse = walk_field(20_000, 95, 7);
+        let dense_field = walk_field(20_000, 0, 8);
+        let builder = || {
+            Codec::builder()
+                .gpu_config(GpuConfig::test_tiny())
+                .host_threads(2)
+                .error_bound(ErrorBound::Absolute(0.5))
+        };
+        let v2 = builder().format(FormatVersion::V2).build().unwrap();
+        assert!(v2.config_for(&sparse).decoder.is_hybrid());
+        assert!(!v2.config_for(&dense_field).decoder.is_hybrid());
+        // compress honours the automatic pick, and the archive still round-trips.
+        let archive = v2.compress_archive(&sparse).unwrap();
+        assert!(archive.decoder().is_hybrid());
+        let decoded = v2.decompress(&archive).unwrap();
+        assert_eq!(decoded.data.len(), sparse.len());
+        // The v1 default and a disabled threshold never auto-pick hybrid.
+        let v1 = builder().build().unwrap();
+        assert_eq!(v1.format(), FormatVersion::V1);
+        assert!(!v1.config_for(&sparse).decoder.is_hybrid());
+        let off = builder()
+            .format(FormatVersion::V2)
+            .auto_hybrid(None)
+            .build()
+            .unwrap();
+        assert!(!off.config_for(&sparse).decoder.is_hybrid());
+        // An out-of-range threshold is a usage error.
+        assert!(matches!(
+            builder().auto_hybrid(Some(1.5)).build(),
+            Err(HfzError::Usage(_))
+        ));
     }
 
     #[test]

@@ -52,7 +52,11 @@ mod handle;
 
 pub use codec::{BatchDecodeOutcome, Codec, CodecBuilder, DecodeOutcome, EncodeOutcome};
 pub use error::{HfzError, Result};
+// The container format-version switch and the auto-hybrid default, re-exported so
+// CLI/daemon consumers can speak format v2 without naming the lower crates directly.
 pub use handle::{ArchiveHandle, ArchiveSummary, FieldHandle};
+pub use huffdec_container::FormatVersion;
+pub use huffdec_hybrid::AUTO_HYBRID_ZERO_FRACTION;
 // The execution-backend seam, re-exported so CLI/daemon consumers can select and
 // inspect backends without naming the backend crate directly.
 pub use huffdec_backend::{Backend, BackendKind, CpuBackend, SimBackend, BACKEND_ENV};

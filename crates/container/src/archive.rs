@@ -11,10 +11,22 @@ use huffdec_core::{CompressedPayload, DecoderKind, EncodedStream};
 use sz::{Compressed, SzConfig};
 
 use crate::codec;
+use crate::dict::{dict_section_leads, hints_section_leads, CodebookDict, TuningHint, TuningHints};
 use crate::error::{ContainerError, Result};
-use crate::header::{FieldMeta, Header, HEADER_WIRE_BYTES};
+use crate::header::{FieldMeta, Header, FORMAT_VERSION, FORMAT_VERSION_V2, HEADER_WIRE_BYTES};
 use crate::manifest::{manifest_leads, ManifestEntry, SnapshotManifest};
 use crate::section::{read_exact, read_section, write_section, SectionKind};
+
+/// The format version an archive of `payload` is written as when the caller does not
+/// ask for one explicitly: hybrid payloads exist only in v2; everything else stays v1
+/// so preexisting `HFZ1` consumers keep reading default output byte-for-byte.
+fn default_version_for(payload: &CompressedPayload) -> u16 {
+    if matches!(payload, CompressedPayload::Hybrid(_)) {
+        FORMAT_VERSION_V2
+    } else {
+        FORMAT_VERSION
+    }
+}
 
 /// One decoded archive: either a full sz-pipeline field compression or a bare Huffman
 /// payload.
@@ -72,7 +84,26 @@ impl<W: Write> ArchiveWriter<W> {
     }
 
     /// Writes one full field archive; returns its size in bytes.
+    ///
+    /// Dense fields are written as format v1 (byte-identical to what this crate always
+    /// produced); hybrid fields require and automatically get format v2. Use
+    /// [`ArchiveWriter::write_compressed_v2`] to force v2 for dense fields too.
     pub fn write_compressed(&mut self, compressed: &Compressed) -> Result<u64> {
+        self.write_compressed_opts(compressed, default_version_for(&compressed.payload), None)
+    }
+
+    /// Writes one full field archive as format v2 (`HFZ2` header), regardless of the
+    /// payload kind.
+    pub fn write_compressed_v2(&mut self, compressed: &Compressed) -> Result<u64> {
+        self.write_compressed_opts(compressed, FORMAT_VERSION_V2, None)
+    }
+
+    fn write_compressed_opts(
+        &mut self,
+        compressed: &Compressed,
+        version: u16,
+        dict: Option<&CodebookDict>,
+    ) -> Result<u64> {
         let meta = FieldMeta {
             error_bound: compressed.config.error_bound,
             step: compressed.step,
@@ -84,12 +115,17 @@ impl<W: Write> ArchiveWriter<W> {
             });
         }
         let header = Header {
+            version,
             decoder: compressed.decoder(),
             alphabet_size: compressed.alphabet_size() as u32,
             field: Some(meta),
         };
-        let mut total =
-            self.write_header_and_payload(&header, &compressed.payload, compressed.decoder())?;
+        let mut total = self.write_header_and_payload(
+            &header,
+            &compressed.payload,
+            compressed.decoder(),
+            dict,
+        )?;
         total += write_section(
             &mut self.inner,
             SectionKind::Outliers,
@@ -118,13 +154,15 @@ impl<W: Write> ArchiveWriter<W> {
         let alphabet_size = match payload {
             CompressedPayload::Chunked { codebook, .. } => codebook.alphabet_size(),
             CompressedPayload::Flat(stream) => stream.codebook.alphabet_size(),
+            CompressedPayload::Hybrid(hybrid) => hybrid.symbols.codebook.alphabet_size(),
         };
         let header = Header {
+            version: default_version_for(payload),
             decoder,
             alphabet_size: alphabet_size as u32,
             field: None,
         };
-        let mut total = self.write_header_and_payload(&header, payload, decoder)?;
+        let mut total = self.write_header_and_payload(&header, payload, decoder, None)?;
         total += write_section(&mut self.inner, SectionKind::End, &[])?;
         Ok(total)
     }
@@ -134,12 +172,22 @@ impl<W: Write> ArchiveWriter<W> {
         header: &Header,
         payload: &CompressedPayload,
         decoder: DecoderKind,
+        dict: Option<&CodebookDict>,
     ) -> Result<u64> {
         // Refuse to write anything the reader would reject: the header decoder enforces
         // this range, so a write-then-read of accepted input must never fail.
         if !(4..=65536).contains(&header.alphabet_size) {
             return Err(ContainerError::Invalid {
                 reason: "alphabet size out of range",
+            });
+        }
+        if decoder.is_hybrid() != matches!(payload, CompressedPayload::Hybrid(_)) {
+            return Err(ContainerError::Invalid {
+                reason: if decoder.is_hybrid() {
+                    "dense payload for the hybrid decoder"
+                } else {
+                    "hybrid payload for a dense decoder"
+                },
             });
         }
         match payload {
@@ -160,6 +208,11 @@ impl<W: Write> ArchiveWriter<W> {
                     });
                 }
             }
+            CompressedPayload::Hybrid(_) if header.version < FORMAT_VERSION_V2 => {
+                return Err(ContainerError::Invalid {
+                    reason: "hybrid payloads require format version 2",
+                });
+            }
             _ => {}
         }
 
@@ -167,11 +220,7 @@ impl<W: Write> ArchiveWriter<W> {
         let mut total = HEADER_WIRE_BYTES as u64;
         match payload {
             CompressedPayload::Chunked { encoded, codebook } => {
-                total += write_section(
-                    &mut self.inner,
-                    SectionKind::Codebook,
-                    &codec::encode_codebook(codebook),
-                )?;
+                total += self.write_codebook_or_ref(header, codebook, dict)?;
                 total += write_section(
                     &mut self.inner,
                     SectionKind::ChunkedStream,
@@ -179,11 +228,7 @@ impl<W: Write> ArchiveWriter<W> {
                 )?;
             }
             CompressedPayload::Flat(stream) => {
-                total += write_section(
-                    &mut self.inner,
-                    SectionKind::Codebook,
-                    &codec::encode_codebook(&stream.codebook),
-                )?;
+                total += self.write_codebook_or_ref(header, &stream.codebook, dict)?;
                 total += write_section(
                     &mut self.inner,
                     SectionKind::FlatStream,
@@ -197,8 +242,42 @@ impl<W: Write> ArchiveWriter<W> {
                     )?;
                 }
             }
+            CompressedPayload::Hybrid(hybrid) => {
+                // Both substream codebooks live inline inside the hybrid section; the
+                // snapshot dictionary covers only dense codebooks.
+                total += write_section(
+                    &mut self.inner,
+                    SectionKind::HybridStream,
+                    &codec::encode_hybrid_stream(hybrid),
+                )?;
+            }
         }
         Ok(total)
+    }
+
+    /// Writes a dense archive's codebook: a 4-byte dictionary reference when the
+    /// snapshot dictionary holds an identical entry (format v2 only), the inline
+    /// codebook section otherwise.
+    fn write_codebook_or_ref(
+        &mut self,
+        header: &Header,
+        codebook: &huffman::Codebook,
+        dict: Option<&CodebookDict>,
+    ) -> Result<u64> {
+        if header.version >= FORMAT_VERSION_V2 {
+            if let Some(id) = dict.and_then(|d| d.find(codebook)) {
+                return write_section(
+                    &mut self.inner,
+                    SectionKind::CodebookRef,
+                    &codec::encode_codebook_ref(id),
+                );
+            }
+        }
+        write_section(
+            &mut self.inner,
+            SectionKind::Codebook,
+            &codec::encode_codebook(codebook),
+        )
     }
 
     /// Writes a snapshot-manifest section. Only valid at the very start of a file,
@@ -217,27 +296,61 @@ impl<W: Write> ArchiveWriter<W> {
     /// Field names must be unique and non-empty; each field's shard is byte-identical
     /// to what [`ArchiveWriter::write_compressed`] would produce on its own, so a field
     /// extracted by a manifest seek decodes exactly like a standalone archive.
+    ///
+    /// All-dense snapshots are written as format v1, byte-identical to what this crate
+    /// always produced; a snapshot containing a hybrid field requires (and
+    /// automatically gets) the v2 layout of [`ArchiveWriter::write_snapshot_v2`].
     pub fn write_snapshot(&mut self, fields: &[(&str, &Compressed)]) -> Result<u64> {
-        let mut shards = Vec::with_capacity(fields.len());
-        let mut entries = Vec::with_capacity(fields.len());
-        let mut offset = 0u64;
-        for (name, compressed) in fields {
-            let shard = to_bytes(compressed)?;
-            entries.push(ManifestEntry {
-                name: name.to_string(),
-                offset,
-                length: shard.len() as u64,
-                decoder: compressed.decoder(),
-                alphabet_size: compressed.alphabet_size() as u32,
-                num_symbols: compressed.payload.num_symbols() as u64,
-                dims: Some(compressed.dims),
-                decoded_crc: compressed.decoded_crc,
-            });
-            offset += shard.len() as u64;
-            shards.push(shard);
+        if fields.iter().any(|(_, c)| c.decoder().is_hybrid()) {
+            return self.write_snapshot_v2(fields);
         }
-        let manifest = SnapshotManifest::new(entries)?;
+        let (manifest, shards) = snapshot_parts(fields, FORMAT_VERSION, None)?;
         let mut total = self.write_manifest(&manifest)?;
+        for shard in &shards {
+            self.inner.write_all(shard)?;
+            total += shard.len() as u64;
+        }
+        Ok(total)
+    }
+
+    /// Writes a format-v2 snapshot: `[manifest] [codebook dictionary] [tuning hints]
+    /// [shards…]`. Dense fields' identical codebooks are deduplicated into the
+    /// snapshot-level dictionary and their shards carry 4-byte references instead;
+    /// hybrid fields keep their codebooks inline in the hybrid-stream section. The
+    /// tuning-hints section records an advisory shared-memory decode-buffer size for
+    /// each decoder the snapshot uses (the quantity Algorithm 2 tunes online).
+    pub fn write_snapshot_v2(&mut self, fields: &[(&str, &Compressed)]) -> Result<u64> {
+        let dict = CodebookDict::dedup(fields.iter().filter_map(|(_, c)| match &c.payload {
+            CompressedPayload::Chunked { codebook, .. } => Some(codebook),
+            CompressedPayload::Flat(stream) => Some(&stream.codebook),
+            CompressedPayload::Hybrid(_) => None,
+        }));
+        let mut hint_list: Vec<TuningHint> = Vec::new();
+        for (_, c) in fields {
+            let decoder = c.decoder();
+            if !hint_list.iter().any(|h| h.decoder == decoder) {
+                hint_list.push(TuningHint {
+                    decoder,
+                    buffer_symbols: huffdec_core::HIGH_CR_BUFFER_SYMBOLS,
+                });
+            }
+        }
+        let (manifest, shards) = snapshot_parts(fields, FORMAT_VERSION_V2, dict.as_ref())?;
+        let mut total = self.write_manifest(&manifest)?;
+        if let Some(dict) = &dict {
+            total += write_section(
+                &mut self.inner,
+                SectionKind::CodebookDict,
+                &codec::encode_codebook_dict(dict),
+            )?;
+        }
+        if !hint_list.is_empty() {
+            total += write_section(
+                &mut self.inner,
+                SectionKind::TuningHints,
+                &codec::encode_tuning_hints(&TuningHints::new(hint_list)?),
+            )?;
+        }
         for shard in &shards {
             self.inner.write_all(shard)?;
             total += shard.len() as u64;
@@ -265,7 +378,18 @@ impl<R: Read> ArchiveReader<R> {
     }
 
     /// Reads, checksums, validates, and reassembles exactly one archive.
+    ///
+    /// Archives whose codebook is a dictionary reference (format-v2 snapshot shards)
+    /// need the snapshot's dictionary — read those through
+    /// [`ArchiveReader::read_archive_with_dict`] (or the [`Snapshot`] API, which
+    /// threads the dictionary automatically).
     pub fn read_archive(&mut self) -> Result<Archive> {
+        self.read_archive_with_dict(None)
+    }
+
+    /// [`ArchiveReader::read_archive`] with a snapshot codebook dictionary available
+    /// for resolving codebook-reference sections.
+    pub fn read_archive_with_dict(&mut self, dict: Option<&CodebookDict>) -> Result<Archive> {
         let mut header_bytes = [0u8; HEADER_WIRE_BYTES];
         read_exact(&mut self.inner, &mut header_bytes, "header")?;
         let header = Header::decode_with_crc(&header_bytes)?;
@@ -277,8 +401,15 @@ impl<R: Read> ArchiveReader<R> {
         let mut outlier_payload: Option<Vec<u8>> = None;
         let mut chunked_payload: Option<Vec<u8>> = None;
         let mut decoded_crc_payload: Option<Vec<u8>> = None;
+        let mut hybrid_payload: Option<Vec<u8>> = None;
+        let mut codebook_ref_payload: Option<Vec<u8>> = None;
         loop {
             let (kind, payload) = read_section(&mut self.inner)?;
+            if kind.requires_v2() && header.version < FORMAT_VERSION_V2 {
+                return Err(ContainerError::Invalid {
+                    reason: "format v2 section in a version-1 archive",
+                });
+            }
             let slot = match kind {
                 SectionKind::End => {
                     if !payload.is_empty() {
@@ -294,9 +425,21 @@ impl<R: Read> ArchiveReader<R> {
                 SectionKind::Outliers => &mut outlier_payload,
                 SectionKind::ChunkedStream => &mut chunked_payload,
                 SectionKind::DecodedCrc => &mut decoded_crc_payload,
+                SectionKind::HybridStream => &mut hybrid_payload,
+                SectionKind::CodebookRef => &mut codebook_ref_payload,
                 SectionKind::Manifest => {
                     return Err(ContainerError::Invalid {
                         reason: "manifest section inside an archive",
+                    })
+                }
+                SectionKind::CodebookDict => {
+                    return Err(ContainerError::Invalid {
+                        reason: "codebook dictionary section inside an archive",
+                    })
+                }
+                SectionKind::TuningHints => {
+                    return Err(ContainerError::Invalid {
+                        reason: "tuning-hints section inside an archive",
                     })
                 }
             };
@@ -317,46 +460,88 @@ impl<R: Read> ArchiveReader<R> {
             }
         };
 
-        let codebook = codec::parse_codebook(
-            &require(codebook_payload, SectionKind::Codebook)?,
-            header.alphabet_size,
-        )?;
-
-        let payload = if header.decoder.uses_chunked_encoding() {
-            reject_if_present(&flat_payload, "flat stream in a chunked archive")?;
-            reject_if_present(&gap_payload, "gap array in a chunked archive")?;
-            let encoded = codec::parse_chunked_stream(&require(
-                chunked_payload,
-                SectionKind::ChunkedStream,
-            )?)?;
-            CompressedPayload::Chunked { encoded, codebook }
+        let payload = if header.decoder.is_hybrid() {
+            reject_if_present(&codebook_payload, "inline codebook in a hybrid archive")?;
+            reject_if_present(
+                &codebook_ref_payload,
+                "codebook reference in a hybrid archive",
+            )?;
+            reject_if_present(&flat_payload, "flat stream in a hybrid archive")?;
+            reject_if_present(&gap_payload, "gap array in a hybrid archive")?;
+            reject_if_present(&chunked_payload, "chunked stream in a hybrid archive")?;
+            let hybrid = codec::parse_hybrid_stream(
+                &require(hybrid_payload, SectionKind::HybridStream)?,
+                header.alphabet_size,
+            )?;
+            CompressedPayload::Hybrid(hybrid)
         } else {
-            reject_if_present(&chunked_payload, "chunked stream in a fine-grained archive")?;
-            let parts = codec::parse_flat_stream(&require(flat_payload, SectionKind::FlatStream)?)?;
-            let gap_array = match (header.decoder.requires_gap_array(), gap_payload) {
-                (true, Some(payload)) => Some(codec::parse_gap_array(&payload)?),
-                (true, None) => {
-                    return Err(ContainerError::MissingSection {
-                        section: SectionKind::GapArray,
-                    })
-                }
-                (false, Some(_)) => {
+            reject_if_present(&hybrid_payload, "hybrid stream for a dense decoder")?;
+            let codebook = match (codebook_payload, codebook_ref_payload) {
+                (Some(_), Some(_)) => {
                     return Err(ContainerError::Invalid {
-                        reason: "gap array for a self-synchronization decoder",
+                        reason: "both an inline codebook and a dictionary reference",
                     })
                 }
-                (false, None) => None,
+                (Some(inline), None) => codec::parse_codebook(&inline, header.alphabet_size)?,
+                (None, Some(ref_payload)) => {
+                    let id = codec::parse_codebook_ref(&ref_payload)?;
+                    let dict = dict.ok_or(ContainerError::Invalid {
+                        reason: "codebook reference outside a snapshot with a dictionary",
+                    })?;
+                    let entry = dict.get(id).ok_or(ContainerError::Invalid {
+                        reason: "dangling codebook dictionary id",
+                    })?;
+                    if entry.alphabet_size() != header.alphabet_size as usize {
+                        return Err(ContainerError::Invalid {
+                            reason: "dictionary codebook alphabet disagrees with the header",
+                        });
+                    }
+                    entry.clone()
+                }
+                (None, None) => {
+                    return Err(ContainerError::MissingSection {
+                        section: SectionKind::Codebook,
+                    })
+                }
             };
-            let stream = EncodedStream::from_parts(
-                parts.units,
-                parts.bit_len,
-                parts.num_symbols,
-                codebook,
-                parts.geometry,
-                gap_array,
-            )
-            .map_err(|reason| ContainerError::Invalid { reason })?;
-            CompressedPayload::Flat(stream)
+
+            if header.decoder.uses_chunked_encoding() {
+                reject_if_present(&flat_payload, "flat stream in a chunked archive")?;
+                reject_if_present(&gap_payload, "gap array in a chunked archive")?;
+                let encoded = codec::parse_chunked_stream(&require(
+                    chunked_payload,
+                    SectionKind::ChunkedStream,
+                )?)?;
+                CompressedPayload::Chunked { encoded, codebook }
+            } else {
+                reject_if_present(&chunked_payload, "chunked stream in a fine-grained archive")?;
+                let parts =
+                    codec::parse_flat_stream(&require(flat_payload, SectionKind::FlatStream)?)?;
+                let gap_array = match (header.decoder.requires_gap_array(), gap_payload) {
+                    (true, Some(payload)) => Some(codec::parse_gap_array(&payload)?),
+                    (true, None) => {
+                        return Err(ContainerError::MissingSection {
+                            section: SectionKind::GapArray,
+                        })
+                    }
+                    (false, Some(_)) => {
+                        return Err(ContainerError::Invalid {
+                            reason: "gap array for a self-synchronization decoder",
+                        })
+                    }
+                    (false, None) => None,
+                };
+                let stream = EncodedStream::from_parts(
+                    parts.units,
+                    parts.bit_len,
+                    parts.num_symbols,
+                    codebook,
+                    parts.geometry,
+                    gap_array,
+                )
+                .map_err(|reason| ContainerError::Invalid { reason })?;
+                CompressedPayload::Flat(stream)
+            }
         };
 
         match header.field {
@@ -409,10 +594,50 @@ impl<R: Read> ArchiveReader<R> {
     }
 }
 
-/// Serializes a field compression into a standalone archive buffer.
+/// Builds the manifest and per-field shard buffers of a snapshot. Each shard is a
+/// standalone archive at `version` (dense codebooks replaced by dictionary references
+/// when `dict` holds them).
+fn snapshot_parts(
+    fields: &[(&str, &Compressed)],
+    version: u16,
+    dict: Option<&CodebookDict>,
+) -> Result<(SnapshotManifest, Vec<Vec<u8>>)> {
+    let mut shards = Vec::with_capacity(fields.len());
+    let mut entries = Vec::with_capacity(fields.len());
+    let mut offset = 0u64;
+    for (name, compressed) in fields {
+        let shard_version = version.max(default_version_for(&compressed.payload));
+        let mut writer = ArchiveWriter::new(Vec::new());
+        writer.write_compressed_opts(compressed, shard_version, dict)?;
+        let shard = writer.into_inner()?;
+        entries.push(ManifestEntry {
+            name: name.to_string(),
+            offset,
+            length: shard.len() as u64,
+            decoder: compressed.decoder(),
+            alphabet_size: compressed.alphabet_size() as u32,
+            num_symbols: compressed.payload.num_symbols() as u64,
+            dims: Some(compressed.dims),
+            decoded_crc: compressed.decoded_crc,
+        });
+        offset += shard.len() as u64;
+        shards.push(shard);
+    }
+    Ok((SnapshotManifest::new(entries)?, shards))
+}
+
+/// Serializes a field compression into a standalone archive buffer (format v1 for
+/// dense payloads, v2 for hybrid — see [`ArchiveWriter::write_compressed`]).
 pub fn to_bytes(compressed: &Compressed) -> Result<Vec<u8>> {
     let mut writer = ArchiveWriter::new(Vec::new());
     writer.write_compressed(compressed)?;
+    writer.into_inner()
+}
+
+/// Serializes a field compression into a standalone format-v2 archive buffer.
+pub fn to_bytes_v2(compressed: &Compressed) -> Result<Vec<u8>> {
+    let mut writer = ArchiveWriter::new(Vec::new());
+    writer.write_compressed_v2(compressed)?;
     writer.into_inner()
 }
 
@@ -436,9 +661,15 @@ pub fn payload_to_bytes(payload: &CompressedPayload, decoder: DecoderKind) -> Re
 
 /// Reads one archive of either kind from a buffer, rejecting trailing bytes.
 pub fn read_one_archive(bytes: &[u8]) -> Result<Archive> {
+    read_one_archive_with_dict(bytes, None)
+}
+
+/// [`read_one_archive`] with a snapshot codebook dictionary available for resolving
+/// codebook-reference sections (format-v2 snapshot shards).
+pub fn read_one_archive_with_dict(bytes: &[u8], dict: Option<&CodebookDict>) -> Result<Archive> {
     let mut cursor = bytes;
     let mut reader = ArchiveReader::new(&mut cursor);
-    let archive = reader.read_archive()?;
+    let archive = reader.read_archive_with_dict(dict)?;
     if !cursor.is_empty() {
         return Err(ContainerError::Invalid {
             reason: "trailing bytes after the archive",
@@ -458,13 +689,22 @@ pub fn read_one_archive(bytes: &[u8]) -> Result<Archive> {
 /// which is the right trade at load frequency. An empty input yields an empty vector;
 /// any corruption anywhere in the file fails the whole load.
 pub fn read_archives_with_info(bytes: &[u8]) -> Result<Vec<(crate::ArchiveInfo, Archive)>> {
+    read_archives_with_info_dict(bytes, None)
+}
+
+/// [`read_archives_with_info`] with a snapshot codebook dictionary available for
+/// resolving codebook-reference sections.
+pub fn read_archives_with_info_dict(
+    bytes: &[u8],
+    dict: Option<&CodebookDict>,
+) -> Result<Vec<(crate::ArchiveInfo, Archive)>> {
     let mut remaining = bytes;
     let mut out = Vec::new();
     while !remaining.is_empty() {
         let mut info_cursor = remaining;
         let info = crate::inspect::read_info(&mut info_cursor)?;
         let mut archive_cursor = remaining;
-        let archive = ArchiveReader::new(&mut archive_cursor).read_archive()?;
+        let archive = ArchiveReader::new(&mut archive_cursor).read_archive_with_dict(dict)?;
         remaining = archive_cursor;
         out.push((info, archive));
     }
@@ -479,6 +719,15 @@ pub fn snapshot_to_bytes(fields: &[(&str, &Compressed)]) -> Result<Vec<u8>> {
     writer.into_inner()
 }
 
+/// Serializes a format-v2 snapshot — manifest, shared codebook dictionary, tuning
+/// hints, then the shards — into a standalone buffer. See
+/// [`ArchiveWriter::write_snapshot_v2`].
+pub fn snapshot_to_bytes_v2(fields: &[(&str, &Compressed)]) -> Result<Vec<u8>> {
+    let mut writer = ArchiveWriter::new(Vec::new());
+    writer.write_snapshot_v2(fields)?;
+    writer.into_inner()
+}
+
 /// A parsed view of a snapshot (or plain concatenated) archive buffer.
 ///
 /// When the file leads with a manifest section, field reads **seek**: a
@@ -489,19 +738,32 @@ pub fn snapshot_to_bytes(fields: &[(&str, &Compressed)]) -> Result<Vec<u8>> {
 #[derive(Debug)]
 pub struct Snapshot<'a> {
     manifest: Option<SnapshotManifest>,
-    /// The archive region: everything after the manifest section (the whole buffer for
+    /// Format-v2 prologue: the shared codebook dictionary shard codebook-reference
+    /// sections resolve against.
+    dict: Option<CodebookDict>,
+    /// Format-v2 prologue: advisory per-decoder shared-memory buffer sizes.
+    hints: Option<TuningHints>,
+    /// The archive region: everything after the prologue sections (the whole buffer for
     /// manifest-less files).
     shards: &'a [u8],
 }
 
 impl<'a> Snapshot<'a> {
-    /// Parses the manifest prologue (verifying its framing and checksum) and validates
-    /// its shard extents against the actual file size. The shards themselves are *not*
-    /// parsed — that is the point of the manifest.
+    /// Parses the prologue — the manifest plus, for format-v2 snapshots, the codebook
+    /// dictionary and tuning-hints sections (verifying framing and checksums) — and
+    /// validates the manifest's shard extents against the actual file size. The shards
+    /// themselves are *not* parsed — that is the point of the manifest.
     pub fn parse(bytes: &'a [u8]) -> Result<Snapshot<'a>> {
         if !manifest_leads(bytes) {
+            if dict_section_leads(bytes) || hints_section_leads(bytes) {
+                return Err(ContainerError::Invalid {
+                    reason: "format v2 prologue section without a manifest",
+                });
+            }
             return Ok(Snapshot {
                 manifest: None,
+                dict: None,
+                hints: None,
                 shards: bytes,
             });
         }
@@ -509,6 +771,20 @@ impl<'a> Snapshot<'a> {
         let (kind, payload) = read_section(&mut cursor)?;
         debug_assert_eq!(kind, SectionKind::Manifest);
         let manifest = codec::parse_manifest(&payload)?;
+        let dict = if dict_section_leads(cursor) {
+            let (kind, payload) = read_section(&mut cursor)?;
+            debug_assert_eq!(kind, SectionKind::CodebookDict);
+            Some(codec::parse_codebook_dict(&payload)?)
+        } else {
+            None
+        };
+        let hints = if hints_section_leads(cursor) {
+            let (kind, payload) = read_section(&mut cursor)?;
+            debug_assert_eq!(kind, SectionKind::TuningHints);
+            Some(codec::parse_tuning_hints(&payload)?)
+        } else {
+            None
+        };
         // Every shard must lie inside the file, and the shards must cover it exactly —
         // a manifest pointing past EOF (truncated file, corrupted length) is corruption.
         if manifest.shard_bytes() != cursor.len() as u64 {
@@ -518,6 +794,8 @@ impl<'a> Snapshot<'a> {
         }
         Ok(Snapshot {
             manifest: Some(manifest),
+            dict,
+            hints,
             shards: cursor,
         })
     }
@@ -525,6 +803,17 @@ impl<'a> Snapshot<'a> {
     /// The manifest, when the file carries one.
     pub fn manifest(&self) -> Option<&SnapshotManifest> {
         self.manifest.as_ref()
+    }
+
+    /// The shared codebook dictionary, when this is a format-v2 snapshot that carries
+    /// one.
+    pub fn codebook_dict(&self) -> Option<&CodebookDict> {
+        self.dict.as_ref()
+    }
+
+    /// The decoder tuning hints, when this is a format-v2 snapshot that carries them.
+    pub fn tuning_hints(&self) -> Option<&TuningHints> {
+        self.hints.as_ref()
     }
 
     /// The archive region (everything after the manifest section). Sequential
@@ -603,7 +892,7 @@ impl<'a> Snapshot<'a> {
         // this shard. The shard must hold exactly one archive.
         let lo = entry.offset as usize;
         let hi = (entry.offset + entry.length) as usize;
-        let archive = read_one_archive(&self.shards[lo..hi])?;
+        let archive = read_one_archive_with_dict(&self.shards[lo..hi], self.dict.as_ref())?;
         // Cross-check the index against what the shard actually holds: a manifest that
         // disagrees with its shards must never be trusted for decode planning.
         let matches = archive.decoder() == entry.decoder
@@ -636,7 +925,7 @@ pub fn read_snapshot_with_info(
     bytes: &[u8],
 ) -> Result<(Option<SnapshotManifest>, Vec<(crate::ArchiveInfo, Archive)>)> {
     let snapshot = Snapshot::parse(bytes)?;
-    let fields = read_archives_with_info(snapshot.archive_bytes())?;
+    let fields = read_archives_with_info_dict(snapshot.archive_bytes(), snapshot.codebook_dict())?;
     if let Some(manifest) = snapshot.manifest() {
         if manifest.len() != fields.len() {
             return Err(ContainerError::Invalid {

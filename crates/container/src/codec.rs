@@ -4,10 +4,13 @@
 //! treat every field as hostile — each is bounds-checked, cross-validated against the
 //! structures it must agree with, and rejected with a typed error instead of a panic.
 
-use huffdec_core::{EncodedStream, StreamGeometry};
+use huffdec_core::{
+    EncodedStream, HybridStream, StreamGeometry, HYBRID_RUN_ALPHABET, HYBRID_RUN_CAP,
+};
 use huffman::{ChunkMeta, ChunkedEncoded, Codebook, GapArray};
 use sz::Outlier;
 
+use crate::dict::{CodebookDict, TuningHint, TuningHints};
 use crate::error::{ContainerError, Result};
 use crate::wire::{ByteCursor, ByteWriter};
 
@@ -19,22 +22,32 @@ fn invalid(reason: &'static str) -> ContainerError {
 
 /// Encodes a codebook as `(symbol, code length)` pairs (count-prefixed).
 pub fn encode_codebook(codebook: &Codebook) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(4 + codebook.length_pairs().len() * 3);
+    encode_codebook_into(&mut w, codebook);
+    w.into_bytes()
+}
+
+/// Appends the count-prefixed `(symbol, code length)` pair table to `w` (shared by the
+/// standalone codebook section, hybrid substream codebooks, and dictionary entries).
+fn encode_codebook_into(w: &mut ByteWriter, codebook: &Codebook) {
     let pairs = codebook.length_pairs();
-    let mut w = ByteWriter::with_capacity(4 + pairs.len() * 3);
     w.put_u32(pairs.len() as u32);
     for (sym, len) in pairs {
         w.put_u16(sym);
         w.put_u8(len);
     }
-    w.into_bytes()
 }
 
-/// Parses and validates a codebook payload for an alphabet of `alphabet_size` symbols.
-pub fn parse_codebook(payload: &[u8], alphabet_size: u32) -> Result<Codebook> {
-    let mut c = ByteCursor::new(payload, "codebook section");
+/// Parses a count-prefixed pair table from the cursor and rebuilds the canonical
+/// codebook over `alphabet_size` symbols.
+fn parse_codebook_pairs(c: &mut ByteCursor, alphabet_size: u32) -> Result<Codebook> {
     let npairs = c.get_u32()? as usize;
     if npairs > alphabet_size as usize {
         return Err(invalid("more codebook entries than alphabet symbols"));
+    }
+    // Each pair is 3 payload bytes; bound the allocation by what is actually left.
+    if npairs > c.remaining() / 3 {
+        return Err(invalid("codebook entry count exceeds the section size"));
     }
     let mut pairs = Vec::with_capacity(npairs);
     for _ in 0..npairs {
@@ -42,9 +55,16 @@ pub fn parse_codebook(payload: &[u8], alphabet_size: u32) -> Result<Codebook> {
         let len = c.get_u8()?;
         pairs.push((sym, len));
     }
-    c.expect_end("trailing bytes in codebook section")?;
     Codebook::from_length_pairs(alphabet_size as usize, &pairs)
         .map_err(|reason| ContainerError::Invalid { reason })
+}
+
+/// Parses and validates a codebook payload for an alphabet of `alphabet_size` symbols.
+pub fn parse_codebook(payload: &[u8], alphabet_size: u32) -> Result<Codebook> {
+    let mut c = ByteCursor::new(payload, "codebook section");
+    let codebook = parse_codebook_pairs(&mut c, alphabet_size)?;
+    c.expect_end("trailing bytes in codebook section")?;
+    Ok(codebook)
 }
 
 // --- Flat stream -----------------------------------------------------------------------
@@ -440,6 +460,180 @@ pub fn parse_chunked_stream(payload: &[u8]) -> Result<ChunkedEncoded> {
     })
 }
 
+// --- Hybrid stream (format v2) ---------------------------------------------------------
+
+/// Encodes the RLE+Huffman hybrid payload: code count and run cap, then each substream
+/// (flat-stream prologue + packed units) immediately followed by its inline codebook.
+pub fn encode_hybrid_stream(hybrid: &HybridStream) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(
+        12 + 64
+            + (hybrid.symbols.units.len() + hybrid.runs.units.len()) * 4
+            + 8
+            + (hybrid.symbols.codebook.length_pairs().len()
+                + hybrid.runs.codebook.length_pairs().len())
+                * 3,
+    );
+    w.put_u64(hybrid.num_codes);
+    w.put_u32(HYBRID_RUN_CAP as u32);
+    encode_hybrid_substream_into(&mut w, &hybrid.symbols);
+    encode_hybrid_substream_into(&mut w, &hybrid.runs);
+    w.into_bytes()
+}
+
+fn encode_hybrid_substream_into(w: &mut ByteWriter, stream: &EncodedStream) {
+    w.put_u64(stream.bit_len);
+    w.put_u64(stream.num_symbols as u64);
+    w.put_u32(stream.geometry.subseq_units);
+    w.put_u32(stream.geometry.subseqs_per_seq);
+    w.put_u64(stream.units.len() as u64);
+    for &unit in &stream.units {
+        w.put_u32(unit);
+    }
+    encode_codebook_into(w, &stream.codebook);
+}
+
+/// Parses and validates a hybrid-stream payload for a quant alphabet of
+/// `alphabet_size` symbols (the run substream's alphabet is fixed by the format).
+pub fn parse_hybrid_stream(payload: &[u8], alphabet_size: u32) -> Result<HybridStream> {
+    let mut c = ByteCursor::new(payload, "hybrid-stream section");
+    let num_codes = c.get_u64()?;
+    let run_cap = c.get_u32()?;
+    if run_cap != HYBRID_RUN_CAP as u32 {
+        return Err(invalid("unsupported hybrid run cap"));
+    }
+    let symbols = parse_hybrid_substream(&mut c, alphabet_size)?;
+    let runs = parse_hybrid_substream(&mut c, HYBRID_RUN_ALPHABET as u32)?;
+    c.expect_end("trailing bytes in hybrid-stream section")?;
+    HybridStream::from_parts(symbols, runs, num_codes)
+        .map_err(|reason| ContainerError::Invalid { reason })
+}
+
+fn parse_hybrid_substream(c: &mut ByteCursor, alphabet_size: u32) -> Result<EncodedStream> {
+    let bit_len = c.get_u64()?;
+    let num_symbols =
+        usize::try_from(c.get_u64()?).map_err(|_| invalid("symbol count exceeds usize"))?;
+    let subseq_units = c.get_u32()?;
+    let subseqs_per_seq = c.get_u32()?;
+    let geometry = StreamGeometry::checked(subseq_units, subseqs_per_seq)
+        .map_err(|reason| ContainerError::Invalid { reason })?;
+    let unit_count = c.get_u64()?;
+    if unit_count != bit_len.div_ceil(32) {
+        return Err(invalid("unit count does not cover the bit length"));
+    }
+    if num_symbols as u64 > bit_len {
+        return Err(invalid("more symbols than bits in the stream"));
+    }
+    let unit_count =
+        usize::try_from(unit_count).map_err(|_| invalid("unit count exceeds usize"))?;
+    // Bound the allocation by what the section can actually hold before reserving.
+    if unit_count > c.remaining() / 4 {
+        return Err(invalid("unit count exceeds the section size"));
+    }
+    let mut units = Vec::with_capacity(unit_count);
+    for _ in 0..unit_count {
+        units.push(c.get_u32()?);
+    }
+    let codebook = parse_codebook_pairs(c, alphabet_size)?;
+    EncodedStream::from_parts(units, bit_len, num_symbols, codebook, geometry, None)
+        .map_err(|reason| ContainerError::Invalid { reason })
+}
+
+// --- Codebook dictionary (format v2) ---------------------------------------------------
+
+/// Fixed wire bytes per dictionary entry, excluding its pairs: alphabet size (u32) +
+/// pair count (u32).
+const DICT_ENTRY_FIXED_BYTES: usize = 4 + 4;
+
+/// Encodes the snapshot codebook dictionary: count-prefixed entries of
+/// `alphabet size (u32)`, then the entry's count-prefixed pair table.
+pub fn encode_codebook_dict(dict: &CodebookDict) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(4 + dict.len() * 64);
+    w.put_u32(dict.len() as u32);
+    for entry in dict.entries() {
+        w.put_u32(entry.alphabet_size() as u32);
+        encode_codebook_into(&mut w, entry);
+    }
+    w.into_bytes()
+}
+
+/// Parses and validates a codebook-dictionary payload. Entry-level invariants (no
+/// identical duplicates) are enforced by [`CodebookDict::new`].
+pub fn parse_codebook_dict(payload: &[u8]) -> Result<CodebookDict> {
+    let mut c = ByteCursor::new(payload, "codebook-dict section");
+    let count = c.get_u32()? as usize;
+    // Bound the allocation by what the section can actually hold before reserving.
+    if count > payload.len() / DICT_ENTRY_FIXED_BYTES {
+        return Err(invalid("dictionary entry count exceeds the section size"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let alphabet_size = c.get_u32()?;
+        if !(4..=65536).contains(&alphabet_size) {
+            return Err(invalid("dictionary codebook alphabet size out of range"));
+        }
+        entries.push(parse_codebook_pairs(&mut c, alphabet_size)?);
+    }
+    c.expect_end("trailing bytes in codebook-dict section")?;
+    CodebookDict::new(entries)
+}
+
+// --- Tuning hints (format v2) ----------------------------------------------------------
+
+/// Wire bytes per tuning hint: decoder tag (u8) + buffer symbols (u32).
+const HINT_BYTES: usize = 1 + 4;
+
+/// Encodes the decoder-tuning-hints section (count-prefixed entries).
+pub fn encode_tuning_hints(hints: &TuningHints) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(4 + hints.len() * HINT_BYTES);
+    w.put_u32(hints.len() as u32);
+    for hint in hints.hints() {
+        w.put_u8(hint.decoder.tag());
+        w.put_u32(hint.buffer_symbols);
+    }
+    w.into_bytes()
+}
+
+/// Parses and validates a tuning-hints payload. Hint-level invariants (bounds, one
+/// hint per decoder) are enforced by [`TuningHints::new`].
+pub fn parse_tuning_hints(payload: &[u8]) -> Result<TuningHints> {
+    let mut c = ByteCursor::new(payload, "tuning-hints section");
+    let count = c.get_u32()? as usize;
+    // Bound the allocation by what the section can actually hold before reserving.
+    if count > payload.len() / HINT_BYTES {
+        return Err(invalid("tuning hint count exceeds the section size"));
+    }
+    let mut hints = Vec::with_capacity(count);
+    for _ in 0..count {
+        let decoder = huffdec_core::DecoderKind::from_tag(c.get_u8()?)
+            .ok_or_else(|| invalid("unknown decoder kind tag in the tuning hints"))?;
+        let buffer_symbols = c.get_u32()?;
+        hints.push(TuningHint {
+            decoder,
+            buffer_symbols,
+        });
+    }
+    c.expect_end("trailing bytes in tuning-hints section")?;
+    TuningHints::new(hints)
+}
+
+// --- Codebook reference (format v2) ----------------------------------------------------
+
+/// Encodes a codebook-reference section: the dictionary entry id.
+pub fn encode_codebook_ref(id: u32) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(4);
+    w.put_u32(id);
+    w.into_bytes()
+}
+
+/// Parses a codebook-reference payload. Whether the id resolves is checked against the
+/// snapshot's dictionary by the archive reader.
+pub fn parse_codebook_ref(payload: &[u8]) -> Result<u32> {
+    let mut c = ByteCursor::new(payload, "codebook-ref section");
+    let id = c.get_u32()?;
+    c.expect_end("trailing bytes in codebook-ref section")?;
+    Ok(id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,5 +842,134 @@ mod tests {
         let mut enc = encode_chunked(&cb, &syms, 1024);
         enc.num_symbols += 1;
         assert!(parse_chunked_stream(&encode_chunked_stream(&enc)).is_err());
+    }
+
+    fn sample_hybrid() -> HybridStream {
+        let nonzeros = symbols(300);
+        let tokens: Vec<u16> = (0..300u16).map(|i| (i * 7) % 250).collect();
+        let symbols = EncodedStream::encode(&Codebook::from_symbols(&nonzeros, 1024), &nonzeros);
+        let runs = EncodedStream::encode(
+            &Codebook::from_symbols(&tokens, HYBRID_RUN_ALPHABET),
+            &tokens,
+        );
+        let num_codes = 300 + tokens.iter().map(|&t| t as u64).sum::<u64>();
+        HybridStream::from_parts(symbols, runs, num_codes).unwrap()
+    }
+
+    #[test]
+    fn hybrid_stream_roundtrip() {
+        let hybrid = sample_hybrid();
+        let payload = encode_hybrid_stream(&hybrid);
+        // The payload size matches the wire-accounting formula minus the framing.
+        assert_eq!(
+            payload.len() as u64 + 16,
+            hybrid.compressed_bytes(),
+            "hybrid wire accounting"
+        );
+        let back = parse_hybrid_stream(&payload, 1024).unwrap();
+        assert_eq!(back, hybrid);
+
+        // Truncations anywhere are typed errors, never panics.
+        for cut in [0, 8, 11, 20, 60, payload.len() - 1] {
+            assert!(
+                parse_hybrid_stream(&payload[..cut], 1024).is_err(),
+                "cut {}",
+                cut
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_stream_with_bad_run_cap_rejected() {
+        let mut payload = encode_hybrid_stream(&sample_hybrid());
+        payload[8..12].copy_from_slice(&64u32.to_le_bytes());
+        assert!(matches!(
+            parse_hybrid_stream(&payload, 1024),
+            Err(ContainerError::Invalid {
+                reason: "unsupported hybrid run cap"
+            })
+        ));
+    }
+
+    #[test]
+    fn hybrid_stream_with_inconsistent_population_rejected() {
+        // Claim fewer codes than nonzero symbols: from_parts must reject on parse.
+        let mut payload = encode_hybrid_stream(&sample_hybrid());
+        payload[0..8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(parse_hybrid_stream(&payload, 1024).is_err());
+    }
+
+    #[test]
+    fn codebook_dict_roundtrip_and_validation() {
+        let a = Codebook::from_symbols(&symbols(4000), 1024);
+        let b = Codebook::from_symbols(&symbols(300), 2048);
+        let dict = crate::dict::CodebookDict::new(vec![a.clone(), b]).unwrap();
+        let payload = encode_codebook_dict(&dict);
+        let back = parse_codebook_dict(&payload).unwrap();
+        assert_eq!(back, dict);
+        assert_eq!(back.find(&a), Some(0));
+
+        for cut in [0, 3, 6, payload.len() - 1] {
+            assert!(parse_codebook_dict(&payload[..cut]).is_err(), "cut {}", cut);
+        }
+        // A tiny section claiming astronomically many entries is rejected before any
+        // allocation is attempted.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        assert!(parse_codebook_dict(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_dict_entries_rejected_on_parse() {
+        let a = Codebook::from_symbols(&symbols(4000), 1024);
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        for _ in 0..2 {
+            w.put_u32(1024);
+            let encoded = encode_codebook(&a);
+            w.put_bytes(&encoded);
+        }
+        assert!(matches!(
+            parse_codebook_dict(&w.into_bytes()),
+            Err(ContainerError::Invalid {
+                reason: "duplicate codebook dictionary entries"
+            })
+        ));
+    }
+
+    #[test]
+    fn tuning_hints_roundtrip_and_validation() {
+        use huffdec_core::DecoderKind;
+        let hints = crate::dict::TuningHints::new(vec![
+            crate::dict::TuningHint {
+                decoder: DecoderKind::OptimizedSelfSync,
+                buffer_symbols: 4096,
+            },
+            crate::dict::TuningHint {
+                decoder: DecoderKind::RleHybrid,
+                buffer_symbols: 2048,
+            },
+        ])
+        .unwrap();
+        let payload = encode_tuning_hints(&hints);
+        assert_eq!(parse_tuning_hints(&payload).unwrap(), hints);
+
+        // Unknown decoder tag rejected.
+        let mut bad = payload.clone();
+        bad[4] = 0x7F;
+        assert!(parse_tuning_hints(&bad).is_err());
+        for cut in [0, 3, 6, payload.len() - 1] {
+            assert!(parse_tuning_hints(&payload[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn codebook_ref_roundtrip() {
+        let payload = encode_codebook_ref(7);
+        assert_eq!(parse_codebook_ref(&payload).unwrap(), 7);
+        assert!(parse_codebook_ref(&payload[..3]).is_err());
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(parse_codebook_ref(&long).is_err());
     }
 }

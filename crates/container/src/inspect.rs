@@ -8,7 +8,7 @@ use std::io::Read;
 use huffdec_core::DecoderKind;
 
 use crate::error::{ContainerError, Result};
-use crate::header::{FieldMeta, Header, HEADER_WIRE_BYTES};
+use crate::header::{FieldMeta, Header, FORMAT_VERSION_V2, HEADER_WIRE_BYTES};
 use crate::section::{read_exact, read_section, SectionKind, CRC_BYTES, FRAME_BYTES};
 use crate::wire::ByteCursor;
 
@@ -31,6 +31,8 @@ impl SectionInfo {
 /// Everything `hfz inspect` reports about an archive.
 #[derive(Debug, Clone)]
 pub struct ArchiveInfo {
+    /// Container format version (1 for `HFZ1`, 2 for `HFZ2`).
+    pub format_version: u16,
     /// The decoder the archive targets.
     pub decoder: DecoderKind,
     /// Quantization alphabet size.
@@ -44,6 +46,9 @@ pub struct ArchiveInfo {
     /// CRC32 over the decoded symbol stream, when the archive carries the optional
     /// decoded-CRC trailer (deep verification).
     pub decoded_crc: Option<u32>,
+    /// Snapshot codebook-dictionary entry id, when the archive stores a codebook
+    /// reference instead of an inline codebook (format-v2 snapshot shards).
+    pub dict_id: Option<u32>,
     /// Total archive size in bytes, header and end marker included.
     pub total_bytes: u64,
 }
@@ -72,6 +77,7 @@ impl ArchiveInfo {
     pub fn to_json(&self) -> String {
         let mut w = crate::json::JsonWriter::with_capacity(512);
         w.begin_object();
+        w.key("format_version").u64(self.format_version as u64);
         w.key("total_bytes").u64(self.total_bytes);
         w.key("decoder").str(self.decoder.name());
         w.key("decoder_tag").u64(self.decoder.tag() as u64);
@@ -83,6 +89,10 @@ impl ArchiveInfo {
         match self.decoded_crc {
             Some(crc) => w.key("decoded_crc").u64(crc as u64),
             None => w.key("decoded_crc").null(),
+        };
+        match self.dict_id {
+            Some(id) => w.key("dict_id").u64(id as u64),
+            None => w.key("dict_id").null(),
         };
         match &self.field {
             Some(meta) => {
@@ -120,7 +130,11 @@ impl ArchiveInfo {
 
 impl fmt::Display for ArchiveInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "HFZ1 archive, {} bytes", self.total_bytes)?;
+        writeln!(
+            f,
+            "HFZ{} archive, {} bytes",
+            self.format_version, self.total_bytes
+        )?;
         writeln!(f, "  decoder:       {}", self.decoder.name())?;
         writeln!(f, "  alphabet:      {} symbols", self.alphabet_size)?;
         writeln!(f, "  symbols:       {}", self.num_symbols)?;
@@ -148,6 +162,9 @@ impl fmt::Display for ArchiveInfo {
         }
         if let Some(crc) = self.decoded_crc {
             writeln!(f, "  decoded crc:   {:08x}", crc)?;
+        }
+        if let Some(id) = self.dict_id {
+            writeln!(f, "  codebook:      dictionary entry #{}", id)?;
         }
         writeln!(f, "  sections:")?;
         writeln!(
@@ -187,6 +204,7 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
     let mut sections = Vec::new();
     let mut num_symbols = 0u64;
     let mut decoded_crc = None;
+    let mut dict_id = None;
     let mut total = HEADER_WIRE_BYTES as u64;
     loop {
         let (kind, payload) = read_section(r)?;
@@ -201,7 +219,18 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
                 reason: "manifest section inside an archive",
             });
         }
-        // The symbol count sits at a fixed offset in both stream section layouts.
+        if matches!(kind, SectionKind::CodebookDict | SectionKind::TuningHints) {
+            // Like the manifest, these are snapshot prologue sections.
+            return Err(ContainerError::Invalid {
+                reason: "snapshot prologue section inside an archive",
+            });
+        }
+        if kind.requires_v2() && header.version < FORMAT_VERSION_V2 {
+            return Err(ContainerError::Invalid {
+                reason: "format v2 section in a version-1 archive",
+            });
+        }
+        // The symbol count sits at a fixed offset in every stream section layout.
         if kind == SectionKind::FlatStream {
             let mut c = ByteCursor::new(&payload, "flat-stream section");
             let _bit_len = c.get_u64()?;
@@ -210,10 +239,15 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
             let mut c = ByteCursor::new(&payload, "chunked-stream section");
             let _chunk_symbols = c.get_u64()?;
             num_symbols = c.get_u64()?;
+        } else if kind == SectionKind::HybridStream {
+            let mut c = ByteCursor::new(&payload, "hybrid-stream section");
+            num_symbols = c.get_u64()?;
         } else if kind == SectionKind::DecodedCrc {
             let mut c = ByteCursor::new(&payload, "decoded-crc section");
             let _covered_symbols = c.get_u64()?;
             decoded_crc = Some(c.get_u32()?);
+        } else if kind == SectionKind::CodebookRef {
+            dict_id = Some(crate::codec::parse_codebook_ref(&payload)?);
         }
         sections.push(SectionInfo {
             kind,
@@ -221,22 +255,26 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<ArchiveInfo> {
         });
     }
 
-    if !sections
-        .iter()
-        .any(|s| matches!(s.kind, SectionKind::FlatStream | SectionKind::ChunkedStream))
-    {
+    if !sections.iter().any(|s| {
+        matches!(
+            s.kind,
+            SectionKind::FlatStream | SectionKind::ChunkedStream | SectionKind::HybridStream
+        )
+    }) {
         return Err(ContainerError::MissingSection {
             section: SectionKind::FlatStream,
         });
     }
 
     Ok(ArchiveInfo {
+        format_version: header.version,
         decoder: header.decoder,
         alphabet_size: header.alphabet_size,
         field: header.field,
         sections,
         num_symbols,
         decoded_crc,
+        dict_id,
         total_bytes: total,
     })
 }

@@ -1,4 +1,4 @@
-//! # huffdec-container — the `HFZ1` on-disk archive format
+//! # huffdec-container — the `HFZ1`/`HFZ2` on-disk archive format
 //!
 //! Everything upstream of this crate lives in memory: [`sz`] compresses fields into
 //! [`sz::Compressed`], [`huffdec_core`] decodes [`huffdec_core::CompressedPayload`]s.
@@ -7,7 +7,7 @@
 //! header + canonical codebook + bitstream + outliers archives) is defined by, and the
 //! prerequisite for serving compressed data between processes and machines.
 //!
-//! ## `HFZ1` format specification
+//! ## Format specification
 //!
 //! An archive is a fixed little-endian **header** (with its own trailing CRC32)
 //! followed by a sequence of framed **sections**, terminated by an end marker. Multiple
@@ -16,13 +16,24 @@
 //! archive by name and byte extent, so readers seek straight to any field (see
 //! [`manifest`] and [`Snapshot`]); manifest-less files keep reading unchanged.
 //!
+//! Two format versions exist, distinguished by the header magic:
+//!
+//! * **Version 1** (`"HFZ1"`) — the original format: section tags 0–6 in archives,
+//!   tag 7 (manifest) as a snapshot prologue. Still the default on write.
+//! * **Version 2** (`"HFZ2"`) — adds the RLE+Huffman **hybrid stream** payload
+//!   (tag 10) for sparse fields, the snapshot-level **codebook dictionary** (tag 8)
+//!   with per-shard **codebook references** (tag 11) deduplicating identical
+//!   codebooks, and advisory **decoder tuning hints** (tag 9). v1 files remain
+//!   readable byte-for-byte; a v1 archive containing any v2 section is rejected as
+//!   corrupt, not forward-compatible.
+//!
 //! ### Header (64 bytes + 4-byte CRC32)
 //!
 //! | offset | size | field |
 //! |-------:|-----:|-------|
-//! | 0      | 4    | magic `"HFZ1"` |
-//! | 4      | 2    | format version (currently 1) |
-//! | 6      | 1    | decoder kind tag (0 baseline, 1 original self-sync, 2 optimized self-sync, 3 optimized gap-array) |
+//! | 0      | 4    | magic `"HFZ1"` (version 1) or `"HFZ2"` (version 2) |
+//! | 4      | 2    | format version (must agree with the magic) |
+//! | 6      | 1    | decoder kind tag (0 baseline, 1 original self-sync, 2 optimized self-sync, 3 optimized gap-array, 4 rle+huff hybrid — v2 only) |
 //! | 7      | 1    | flags — bit 0: field metadata present |
 //! | 8      | 1    | error-bound mode (0 absolute, 1 relative) |
 //! | 9      | 1    | number of dimensions (1–4; 0 for payload-only archives) |
@@ -53,14 +64,24 @@
 //! | 5   | chunked stream | `chunk symbols u64`, `symbol count u64`, `chunk count u64`, per-chunk metadata (5 × u64), `unit count u64`, units |
 //! | 6   | decoded crc | `symbol count u64`, `CRC32 u32` over the decoded symbol stream (optional trailer; deep verification) |
 //! | 7   | manifest | `count u32`, then per field: `name (u16 len + UTF-8)`, `shard offset u64`, `shard length u64`, `decoder tag u8`, `alphabet u32`, `symbol count u64`, `ndim u8` + 4 × u64 dims, `CRC flag u8` + `CRC32 u32` — snapshot index; valid only as a file prologue |
+//! | 8   | codebook dict (v2) | `count u32`, then per entry: `alphabet u32`, codebook pair table — deduplicated snapshot-level codebooks; prologue-only, after the manifest |
+//! | 9   | tuning hints (v2) | `count u32`, then per hint: `decoder tag u8`, `buffer symbols u32` — advisory shared-memory decode-buffer sizes; prologue-only |
+//! | 10  | hybrid stream (v2) | `code count u64`, `run cap u32`, then nonzero-symbol and zero-run substreams (each: geometry, units, inline codebook) |
+//! | 11  | codebook ref (v2) | `dictionary id u32` — replaces the inline codebook of a dense shard inside a snapshot with a dictionary |
 //!
 //! A *chunked* archive (baseline decoder) carries sections {codebook, chunked stream};
 //! a *flat* archive carries {codebook, flat stream} plus a gap array exactly when the
-//! decoder requires one. Field archives additionally carry {outliers} and, since the
+//! decoder requires one; a *hybrid* archive (v2) carries a single {hybrid stream}
+//! section whose two substreams embed their own codebooks. Inside a v2 snapshot with a
+//! codebook dictionary, dense shards may replace the inline codebook with a {codebook
+//! ref}. Field archives additionally carry {outliers} and, since the
 //! trailer was introduced, {decoded crc} — a digest over the *decoded* quantization
 //! codes, which `hfz verify --deep` checks so that archives whose sections are
 //! individually CRC-valid but decode to the wrong symbols are caught. Anything else —
 //! missing, duplicated, or format-mismatched sections — is rejected.
+//!
+//! A v2 snapshot's prologue is `[manifest][codebook dict?][tuning hints?]`, then the
+//! shards; shard offsets are relative to the first byte after the whole prologue.
 //!
 //! ### Guarantees
 //!
@@ -100,6 +121,7 @@
 
 pub mod archive;
 pub mod codec;
+pub mod dict;
 pub mod error;
 pub mod header;
 pub mod inspect;
@@ -109,15 +131,22 @@ pub mod section;
 pub mod wire;
 
 pub use archive::{
-    from_bytes, payload_to_bytes, read_archives_with_info, read_one_archive,
-    read_snapshot_with_info, snapshot_to_bytes, to_bytes, Archive, ArchiveReader, ArchiveWriter,
-    Snapshot,
+    from_bytes, payload_to_bytes, read_archives_with_info, read_archives_with_info_dict,
+    read_one_archive, read_one_archive_with_dict, read_snapshot_with_info, snapshot_to_bytes,
+    snapshot_to_bytes_v2, to_bytes, to_bytes_v2, Archive, ArchiveReader, ArchiveWriter, Snapshot,
+};
+pub use dict::{
+    dict_section_leads, hints_section_leads, CodebookDict, TuningHint, TuningHints,
+    MAX_HINT_BUFFER_SYMBOLS,
 };
 // The CRC-32 implementation lives in `huffdec_core::crc32` (the pipeline digests
 // decoded symbol streams without depending on this crate); the container re-exports
 // the names because every frame of the `HFZ1` format is checksummed with it.
 pub use error::{ContainerError, Result};
-pub use header::{FieldMeta, Header, FORMAT_VERSION, HEADER_BYTES, HEADER_WIRE_BYTES, MAGIC};
+pub use header::{
+    FieldMeta, FormatVersion, Header, FORMAT_VERSION, FORMAT_VERSION_V2, HEADER_BYTES,
+    HEADER_WIRE_BYTES, MAGIC, MAGIC_V2,
+};
 pub use huffdec_core::{crc32, crc32_symbols, Crc32};
 pub use inspect::{json_escape, read_info, ArchiveInfo, SectionInfo};
 pub use json::JsonWriter;

@@ -22,7 +22,8 @@ use std::io::{Read, Write};
 use crate::error::{ContainerError, Result};
 use huffdec_core::Crc32;
 
-/// Tags of the section types of format version 1.
+/// Tags of the section types (tags 0–7 are format version 1; 8–11 were added by
+/// format version 2 and are rejected inside version-1 archives).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SectionKind {
     /// Terminates the section sequence (empty payload).
@@ -42,6 +43,19 @@ pub enum SectionKind {
     /// Snapshot manifest: per-field name, shard offset/length, and decode metadata.
     /// Only valid as a file prologue (before the first archive), never inside one.
     Manifest,
+    /// Snapshot codebook dictionary (v2): deduplicated codebooks that per-field
+    /// codebook-reference sections point into. Prologue-only, after the manifest.
+    CodebookDict,
+    /// Decoder tuning hints (v2): advisory shared-memory buffer sizes per decoder
+    /// (Algorithm 2 of the paper). Prologue-only, after the dictionary.
+    TuningHints,
+    /// RLE+Huffman hybrid stream (v2): paired nonzero-symbol and zero-run substreams,
+    /// each with its own inline codebook. Replaces codebook + flat-stream sections in
+    /// hybrid archives.
+    HybridStream,
+    /// Codebook reference (v2): a dictionary entry id replacing the inline codebook of
+    /// a dense archive stored inside a snapshot with a codebook dictionary.
+    CodebookRef,
 }
 
 impl SectionKind {
@@ -56,6 +70,10 @@ impl SectionKind {
             SectionKind::ChunkedStream => 5,
             SectionKind::DecodedCrc => 6,
             SectionKind::Manifest => 7,
+            SectionKind::CodebookDict => 8,
+            SectionKind::TuningHints => 9,
+            SectionKind::HybridStream => 10,
+            SectionKind::CodebookRef => 11,
         }
     }
 
@@ -70,8 +88,24 @@ impl SectionKind {
             5 => Some(SectionKind::ChunkedStream),
             6 => Some(SectionKind::DecodedCrc),
             7 => Some(SectionKind::Manifest),
+            8 => Some(SectionKind::CodebookDict),
+            9 => Some(SectionKind::TuningHints),
+            10 => Some(SectionKind::HybridStream),
+            11 => Some(SectionKind::CodebookRef),
             _ => None,
         }
+    }
+
+    /// True for the section kinds introduced by format version 2 — a version-1 archive
+    /// or prologue containing one is corrupt, not forward-compatible.
+    pub fn requires_v2(&self) -> bool {
+        matches!(
+            self,
+            SectionKind::CodebookDict
+                | SectionKind::TuningHints
+                | SectionKind::HybridStream
+                | SectionKind::CodebookRef
+        )
     }
 }
 
@@ -86,6 +120,10 @@ impl fmt::Display for SectionKind {
             SectionKind::ChunkedStream => "chunked-stream",
             SectionKind::DecodedCrc => "decoded-crc",
             SectionKind::Manifest => "manifest",
+            SectionKind::CodebookDict => "codebook-dict",
+            SectionKind::TuningHints => "tuning-hints",
+            SectionKind::HybridStream => "hybrid-stream",
+            SectionKind::CodebookRef => "codebook-ref",
         };
         f.write_str(name)
     }
@@ -189,8 +227,13 @@ mod tests {
             SectionKind::ChunkedStream,
             SectionKind::DecodedCrc,
             SectionKind::Manifest,
+            SectionKind::CodebookDict,
+            SectionKind::TuningHints,
+            SectionKind::HybridStream,
+            SectionKind::CodebookRef,
         ] {
             assert_eq!(SectionKind::from_tag(kind.tag()), Some(kind));
+            assert_eq!(kind.requires_v2(), kind.tag() >= 8);
         }
         assert_eq!(SectionKind::from_tag(0xEE), None);
     }

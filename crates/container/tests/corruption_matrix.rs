@@ -375,6 +375,306 @@ fn snapshot_bit_flips_and_garbage_never_panic() {
     }
 }
 
+// --- Format v2 corruption matrix -------------------------------------------------------
+
+/// A sparse bounded random walk that quantizes to a center-bin-heavy stream under an
+/// absolute bound of 0.5.
+fn walk_field(n: usize, zero_pct: u64, seed: u64) -> datasets::Field {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut value = 0.0f32;
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            if rng() % 100 >= zero_pct {
+                value += (rng() % 401) as f32 - 200.0;
+            }
+            value
+        })
+        .collect();
+    datasets::Field::new("walk".to_string(), datasets::Dims::D1(n), data)
+}
+
+fn walk_config(decoder: DecoderKind) -> SzConfig {
+    SzConfig {
+        error_bound: sz::ErrorBound::Absolute(0.5),
+        alphabet_size: 1024,
+        decoder,
+    }
+}
+
+/// A v2 snapshot with every v2 section kind: one hybrid field (hybrid-stream), two
+/// dense fields sharing a codebook (codebook dictionary + per-shard references), and
+/// the decoder tuning hints.
+fn sample_v2_snapshot() -> (Vec<(String, Compressed)>, Vec<u8>) {
+    let sparse = walk_field(12_000, 95, 71);
+    let dense = walk_field(12_000, 10, 72);
+    let fields = vec![
+        (
+            "hy".to_string(),
+            compress(&sparse, &walk_config(DecoderKind::RleHybrid)),
+        ),
+        (
+            "d1".to_string(),
+            compress(&dense, &walk_config(DecoderKind::OptimizedGapArray)),
+        ),
+        (
+            "d2".to_string(),
+            compress(&dense, &walk_config(DecoderKind::OptimizedGapArray)),
+        ),
+    ];
+    let refs: Vec<(&str, &Compressed)> = fields.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    let bytes = snapshot_to_bytes(&refs).unwrap();
+    (fields, bytes)
+}
+
+/// `(tag, payload_start, payload_len, frame_total)` of the section frame at `at`.
+fn section_frame(bytes: &[u8], at: usize) -> (u8, usize, usize, usize) {
+    let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+    (bytes[at], at + 12, len, 12 + len + 4)
+}
+
+/// Offsets of the prologue's dictionary and hints sections and the start of the shard
+/// region in a v2 snapshot.
+fn v2_prologue_layout(bytes: &[u8]) -> (usize, usize, usize) {
+    let manifest_len = manifest_section_len(bytes);
+    let (dict_tag, _, _, dict_total) = section_frame(bytes, manifest_len);
+    assert_eq!(dict_tag, huffdec_container::SectionKind::CodebookDict.tag());
+    let hints_at = manifest_len + dict_total;
+    let (hints_tag, _, _, hints_total) = section_frame(bytes, hints_at);
+    assert_eq!(hints_tag, huffdec_container::SectionKind::TuningHints.tag());
+    (manifest_len, hints_at, hints_at + hints_total)
+}
+
+#[test]
+fn hybrid_v2_archive_truncations_and_flips_are_typed() {
+    let compressed = compress(
+        &walk_field(12_000, 95, 73),
+        &walk_config(DecoderKind::RleHybrid),
+    );
+    let bytes = to_bytes(&compressed).unwrap();
+    assert_eq!(&bytes[..4], b"HFZ2");
+    // Every truncation errors; none panics.
+    for cut in 0..bytes.len() {
+        assert!(
+            from_bytes(&bytes[..cut]).is_err(),
+            "cut {} unexpectedly parsed",
+            cut
+        );
+    }
+    // Every bit flip across the archive prefix returns (typed) rather than panics,
+    // and flips inside the hybrid-stream body are caught by the section CRC.
+    let probe = bytes.len().min(2000);
+    for byte in 0..probe {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            let _ = from_bytes(&corrupt);
+        }
+    }
+    let mut corrupt = bytes.clone();
+    corrupt[HEADER_BYTES + 4 + 40] ^= 0x08;
+    assert!(matches!(
+        from_bytes(&corrupt),
+        Err(ContainerError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn v2_prologue_bit_flips_fail_the_section_checksums() {
+    let (_, bytes) = sample_v2_snapshot();
+    let (dict_at, hints_at, _) = v2_prologue_layout(&bytes);
+    for (at, kind) in [
+        (dict_at, huffdec_container::SectionKind::CodebookDict),
+        (hints_at, huffdec_container::SectionKind::TuningHints),
+    ] {
+        let (_, payload_at, payload_len, _) = section_frame(&bytes, at);
+        // Flip a byte in the payload body and one in the trailing CRC.
+        for target in [payload_at + payload_len / 2, payload_at + payload_len + 2] {
+            let mut corrupt = bytes.clone();
+            corrupt[target] ^= 0x11;
+            match Snapshot::parse(&corrupt) {
+                Err(ContainerError::ChecksumMismatch { section, .. }) => {
+                    assert_eq!(section, kind, "flip at {}", target)
+                }
+                other => panic!(
+                    "flip in {} at {}: expected ChecksumMismatch, got {:?}",
+                    kind, target, other
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn dangling_dictionary_id_is_typed() {
+    let (fields, bytes) = sample_v2_snapshot();
+    let (_, _, shards_at) = v2_prologue_layout(&bytes);
+    // Walk the first dense shard (field index 1) to its codebook-ref section.
+    let (_, infos) = read_snapshot_with_info(&bytes).unwrap();
+    let shard_at = shards_at + infos[0].0.total_bytes as usize;
+    let mut at = shard_at + HEADER_BYTES + 4;
+    loop {
+        let (tag, _, _, total) = section_frame(&bytes, at);
+        if tag == huffdec_container::SectionKind::CodebookRef.tag() {
+            break;
+        }
+        assert_ne!(tag, 0, "shard ended without a codebook-ref section");
+        at += total;
+    }
+    let (_, _, payload_len, total) = section_frame(&bytes, at);
+    assert_eq!(payload_len, 4, "a codebook ref is one u32 id");
+
+    // Rewrite the reference to an id the dictionary does not hold, with a valid CRC.
+    let mut reframed = Vec::new();
+    huffdec_container::section::write_section(
+        &mut reframed,
+        huffdec_container::SectionKind::CodebookRef,
+        &huffdec_container::codec::encode_codebook_ref(250),
+    )
+    .unwrap();
+    assert_eq!(reframed.len(), total, "same-length splice");
+    let mut corrupt = bytes.clone();
+    corrupt[at..at + total].copy_from_slice(&reframed);
+
+    let snapshot = Snapshot::parse(&corrupt).expect("prologue and framing stay valid");
+    match snapshot.read_field(1) {
+        Err(ContainerError::Invalid { reason }) => {
+            assert!(reason.contains("dangling"), "reason: {}", reason)
+        }
+        other => panic!("expected a dangling-id error, got {:?}", other),
+    }
+    // The hybrid shard (index 0) is untouched and still reads.
+    assert!(snapshot.read_field(0).is_ok());
+
+    // The same shard extracted standalone has no dictionary at all: also typed.
+    let shard_len = infos[1].0.total_bytes as usize;
+    let shard = &bytes[shard_at..shard_at + shard_len];
+    match read_one_archive(shard) {
+        Err(ContainerError::Invalid { reason }) => {
+            assert!(reason.contains("outside a snapshot"), "reason: {}", reason)
+        }
+        other => panic!("expected a no-dictionary error, got {:?}", other),
+    }
+    let _ = fields;
+}
+
+#[test]
+fn duplicate_dictionary_entries_in_a_file_rejected() {
+    let (_, bytes) = sample_v2_snapshot();
+    let (dict_at, _, _) = v2_prologue_layout(&bytes);
+    let (_, payload_at, payload_len, total) = section_frame(&bytes, dict_at);
+    let payload = &bytes[payload_at..payload_at + payload_len];
+    let count = u32::from_le_bytes(payload[..4].try_into().unwrap());
+    assert_eq!(count, 1, "the dense twins dedup to one dictionary entry");
+
+    // Duplicate the lone entry: count = 2, entry bytes twice, fresh section CRC.
+    let mut doubled = 2u32.to_le_bytes().to_vec();
+    doubled.extend_from_slice(&payload[4..]);
+    doubled.extend_from_slice(&payload[4..]);
+    let mut reframed = Vec::new();
+    huffdec_container::section::write_section(
+        &mut reframed,
+        huffdec_container::SectionKind::CodebookDict,
+        &doubled,
+    )
+    .unwrap();
+    let mut corrupt = bytes[..dict_at].to_vec();
+    corrupt.extend_from_slice(&reframed);
+    corrupt.extend_from_slice(&bytes[dict_at + total..]);
+
+    match Snapshot::parse(&corrupt) {
+        Err(ContainerError::Invalid { reason }) => {
+            assert!(reason.contains("duplicate"), "reason: {}", reason)
+        }
+        other => panic!("expected a duplicate-entry error, got {:?}", other),
+    }
+}
+
+#[test]
+fn v2_sections_inside_a_v1_archive_rejected() {
+    let bytes = sample_archive(DecoderKind::OptimizedGapArray);
+    assert_eq!(&bytes[..4], b"HFZ1");
+    let header_end = HEADER_BYTES + 4;
+
+    // Splice each CRC-valid v2 section kind into the v1 section sequence: the reader
+    // must reject the version violation, not parse forward-compatibly.
+    let hints = huffdec_container::TuningHints::new(vec![huffdec_container::TuningHint {
+        decoder: DecoderKind::OptimizedGapArray,
+        buffer_symbols: 4096,
+    }])
+    .unwrap();
+    let sparse = compress(
+        &walk_field(12_000, 95, 74),
+        &walk_config(DecoderKind::RleHybrid),
+    );
+    let hybrid_bytes = to_bytes(&sparse).unwrap();
+    let (hs_tag, hs_payload_at, hs_payload_len, _) = section_frame(&hybrid_bytes, HEADER_BYTES + 4);
+    assert_eq!(hs_tag, huffdec_container::SectionKind::HybridStream.tag());
+
+    let splices: Vec<(huffdec_container::SectionKind, Vec<u8>)> = vec![
+        (
+            huffdec_container::SectionKind::TuningHints,
+            huffdec_container::codec::encode_tuning_hints(&hints),
+        ),
+        (
+            huffdec_container::SectionKind::CodebookRef,
+            huffdec_container::codec::encode_codebook_ref(0),
+        ),
+        (
+            huffdec_container::SectionKind::HybridStream,
+            hybrid_bytes[hs_payload_at..hs_payload_at + hs_payload_len].to_vec(),
+        ),
+    ];
+    for (kind, payload) in splices {
+        let mut section = Vec::new();
+        huffdec_container::section::write_section(&mut section, kind, &payload).unwrap();
+        let mut spliced = Vec::new();
+        spliced.extend_from_slice(&bytes[..header_end]);
+        spliced.extend_from_slice(&section);
+        spliced.extend_from_slice(&bytes[header_end..]);
+        assert!(
+            from_bytes(&spliced).is_err(),
+            "v1 archive accepted a spliced {} section",
+            kind
+        );
+        assert!(read_info(&mut spliced.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn v2_snapshot_random_flips_and_truncations_never_panic() {
+    let (_, bytes) = sample_v2_snapshot();
+    let mut rng = Rng::seed_from_u64(0xD1C7_F1A6);
+    for _ in 0..200 {
+        let mut corrupt = bytes.clone();
+        let pos = rng.gen_index(corrupt.len());
+        corrupt[pos] ^= 1 << rng.gen_index(8);
+        if let Ok(snapshot) = Snapshot::parse(&corrupt) {
+            if let Some(m) = snapshot.manifest().cloned() {
+                for i in 0..m.len() {
+                    let _ = snapshot.read_field(i);
+                }
+            }
+        }
+        let _ = read_snapshot_with_info(&corrupt);
+    }
+    for _ in 0..100 {
+        let cut = rng.gen_index(bytes.len());
+        if let Ok(snapshot) = Snapshot::parse(&bytes[..cut]) {
+            assert!(
+                snapshot.manifest().is_none() || snapshot.read_field(0).is_err() || cut == 0,
+                "cut {} silently served a truncated v2 snapshot",
+                cut
+            );
+        }
+    }
+}
+
 // --- Snapshot randomized round-trip ----------------------------------------------------
 
 #[test]

@@ -48,6 +48,51 @@ fn payload_archive_size_matches_payload_bytes_exactly() {
 }
 
 #[test]
+fn hybrid_archive_size_matches_compressed_bytes_exactly() {
+    // The hybrid wire formulas must pin the stored `HFZ2` bytes exactly, across
+    // sparsity profiles from all-zeros to fully dense.
+    for (zero_pct, seed) in [(100u64, 5u64), (99, 6), (50, 7), (0, 8)] {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut value = 0.0f32;
+        let data: Vec<f32> = (0..30_000)
+            .map(|_| {
+                if rng() % 100 >= zero_pct {
+                    value += (rng() % 401) as f32 - 200.0;
+                }
+                value
+            })
+            .collect();
+        let field = datasets::Field::new(
+            format!("walk{}", zero_pct),
+            datasets::Dims::D1(data.len()),
+            data,
+        );
+        let compressed = compress(
+            &field,
+            &SzConfig {
+                error_bound: sz::ErrorBound::Absolute(0.5),
+                alphabet_size: 1024,
+                decoder: DecoderKind::RleHybrid,
+            },
+        );
+        let bytes = to_bytes(&compressed).unwrap();
+        assert_eq!(&bytes[..4], b"HFZ2", "hybrid archives are format v2");
+        assert_eq!(
+            compressed.compressed_bytes(),
+            bytes.len() as u64,
+            "{}% zeros: hybrid accounting diverges from the stored archive",
+            zero_pct
+        );
+    }
+}
+
+#[test]
 fn accounting_tracks_outlier_count() {
     // compressed_bytes must move with the stored outlier list, not a hardcoded stride.
     let spec = dataset_by_name("EXAALT").unwrap();

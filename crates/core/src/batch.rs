@@ -70,7 +70,10 @@ fn throughput(useful_bytes: u64, seconds: f64) -> f64 {
 ///
 /// Payload/decoder mismatches are validated **before** any decode runs, so a bad item
 /// fails the whole batch without wasted work, with the same typed
-/// [`DecodeError::PayloadMismatch`] the single-field path reports.
+/// [`DecodeError::PayloadMismatch`] the single-field path reports. Hybrid payloads are
+/// rejected the same way: like [`decode`], this entry point covers only the dense
+/// formats (the `sz` dispatch layer partitions hybrid fields out of a wave and routes
+/// them to the `huffdec-hybrid` decoder).
 pub fn decode_batch(
     gpu: &dyn Backend,
     items: &[(DecoderKind, &CompressedPayload)],

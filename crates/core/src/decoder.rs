@@ -6,10 +6,14 @@
 //! | `OriginalSelfSync`       | flat stream                           | intra sync, inter sync, output idx, direct decode/write |
 //! | `OptimizedSelfSync`      | flat stream                           | optimized intra sync, inter sync, output idx, tune, staged decode/write |
 //! | `OptimizedGapArray`      | flat stream **with gap array**        | output idx (redundant decode + prefix sum), tune, staged decode/write |
+//! | `RleHybrid`              | RLE+Huffman hybrid (two flat streams) | decoded by the `huffdec-hybrid` crate |
 //!
 //! The original 8-bit gap-array baseline (Table V) lives in
 //! [`crate::gap_decode::decode_original_gap8`] because it decodes a different (trimmed)
-//! symbol stream.
+//! symbol stream. The RLE+Huffman hybrid ([`CompressedPayload::Hybrid`]) splits a sparse
+//! quant-code field into a nonzero-symbol stream and a zero-run-length stream; its
+//! encoder and decoder live in the `huffdec-hybrid` crate (the `sz` pipeline dispatches
+//! there), so [`decode`] and [`compress_for`] here cover only the dense formats.
 
 use std::fmt;
 
@@ -19,7 +23,7 @@ use huffman::{encode_chunked, ChunkedEncoded, Codebook, DEFAULT_CHUNK_SYMBOLS};
 
 use crate::baseline::decode_baseline;
 use crate::decode_write::{run_decode_write, WriteStrategy};
-use crate::format::{wire, EncodedStream};
+use crate::format::{wire, EncodedStream, HybridStream};
 use crate::gap_decode::gap_count_symbols;
 use crate::output_index::compute_output_index;
 use crate::phases::{DecodeResult, PhaseBreakdown};
@@ -38,10 +42,16 @@ pub enum DecoderKind {
     OptimizedSelfSync,
     /// The paper's optimized multi-byte gap-array decoder (§IV-B/C).
     OptimizedGapArray,
+    /// The RLE+Huffman hybrid for sparse quant-code fields (cuSZ+-style paired
+    /// symbol/zero-run streams). Encoded and decoded by the `huffdec-hybrid` crate.
+    RleHybrid,
 }
 
 impl DecoderKind {
-    /// All decoder kinds, in the order the paper's tables list them.
+    /// The dense decoder kinds evaluated in the paper, in the order its tables list
+    /// them. Excludes [`DecoderKind::RleHybrid`], which is a format-v2 stream layout
+    /// rather than one of the paper's decode methods (bench tables and equivalence
+    /// suites iterate exactly these four).
     pub fn all() -> [DecoderKind; 4] {
         [
             DecoderKind::CuszBaseline,
@@ -58,7 +68,13 @@ impl DecoderKind {
             DecoderKind::OriginalSelfSync => "ori. self-sync",
             DecoderKind::OptimizedSelfSync => "opt. self-sync",
             DecoderKind::OptimizedGapArray => "opt. gap-array",
+            DecoderKind::RleHybrid => "rle+huff hybrid",
         }
+    }
+
+    /// Whether the decoder consumes the RLE+Huffman hybrid stream format.
+    pub fn is_hybrid(&self) -> bool {
+        matches!(self, DecoderKind::RleHybrid)
     }
 
     /// Whether the decoder requires the encoder to produce a gap array (and therefore
@@ -80,6 +96,7 @@ impl DecoderKind {
             DecoderKind::OriginalSelfSync => 1,
             DecoderKind::OptimizedSelfSync => 2,
             DecoderKind::OptimizedGapArray => 3,
+            DecoderKind::RleHybrid => 4,
         }
     }
 
@@ -91,9 +108,14 @@ impl DecoderKind {
             1 => Some(DecoderKind::OriginalSelfSync),
             2 => Some(DecoderKind::OptimizedSelfSync),
             3 => Some(DecoderKind::OptimizedGapArray),
+            4 => Some(DecoderKind::RleHybrid),
             _ => None,
         }
     }
+
+    /// Number of wire tags in use (one past the highest [`DecoderKind::tag`]); sized
+    /// per-decoder metric families use this.
+    pub const TAG_SLOTS: usize = 5;
 }
 
 /// A compressed Huffman payload in whichever format a decoder consumes.
@@ -111,6 +133,9 @@ pub enum CompressedPayload {
     },
     /// The flat format consumed by the fine-grained decoders (optionally with gap array).
     Flat(EncodedStream),
+    /// The RLE+Huffman hybrid format for sparse fields: a nonzero-symbol stream paired
+    /// with a zero-run-length stream, each with its own codebook ([`DecoderKind::RleHybrid`]).
+    Hybrid(HybridStream),
 }
 
 impl CompressedPayload {
@@ -124,6 +149,7 @@ impl CompressedPayload {
                     + wire::codebook_section(codebook.coded_symbols())
             }
             CompressedPayload::Flat(stream) => stream.compressed_bytes(),
+            CompressedPayload::Hybrid(hybrid) => hybrid.compressed_bytes(),
         }
     }
 
@@ -132,6 +158,7 @@ impl CompressedPayload {
         match self {
             CompressedPayload::Chunked { encoded, .. } => encoded.num_symbols,
             CompressedPayload::Flat(stream) => stream.num_symbols,
+            CompressedPayload::Hybrid(hybrid) => hybrid.num_codes as usize,
         }
     }
 
@@ -152,7 +179,15 @@ impl CompressedPayload {
 }
 
 /// Encodes `symbols` in the format `kind` consumes.
+///
+/// # Panics
+/// Panics for [`DecoderKind::RleHybrid`]: the hybrid encoder lives in the
+/// `huffdec-hybrid` crate (the `sz` pipeline dispatches there before reaching this
+/// function).
 pub fn compress_for(kind: DecoderKind, symbols: &[u16], alphabet_size: usize) -> CompressedPayload {
+    if kind.is_hybrid() {
+        panic!("RLE+Huffman hybrid payloads are produced by the huffdec-hybrid crate");
+    }
     let codebook = Codebook::from_symbols(symbols, alphabet_size);
     match kind {
         DecoderKind::CuszBaseline => CompressedPayload::Chunked {
@@ -165,6 +200,7 @@ pub fn compress_for(kind: DecoderKind, symbols: &[u16], alphabet_size: usize) ->
         DecoderKind::OptimizedGapArray => {
             CompressedPayload::Flat(EncodedStream::encode_with_gap_array(&codebook, symbols))
         }
+        DecoderKind::RleHybrid => unreachable!("rejected above"),
     }
 }
 
@@ -189,6 +225,14 @@ pub enum DecodeError {
         /// Number of symbols the stream actually encodes.
         num_symbols: u64,
     },
+    /// An RLE+Huffman hybrid payload whose substreams are mutually inconsistent (run
+    /// tokens and nonzero symbols that cannot reassemble exactly `num_codes` codes).
+    /// Like [`DecodeError::PayloadMismatch`], this can surface from CRC-valid but
+    /// hand-assembled payloads.
+    InvalidHybrid {
+        /// What the substreams disagree about.
+        reason: &'static str,
+    },
 }
 
 impl DecodeError {
@@ -197,6 +241,7 @@ impl DecodeError {
         match self {
             DecodeError::PayloadMismatch { .. } => "payload format does not match the decoder",
             DecodeError::RangeOutOfBounds { .. } => "requested symbol range is out of bounds",
+            DecodeError::InvalidHybrid { reason } => reason,
         }
     }
 }
@@ -218,6 +263,9 @@ impl fmt::Display for DecodeError {
                 start + len,
                 num_symbols
             ),
+            DecodeError::InvalidHybrid { reason } => {
+                write!(f, "invalid hybrid payload: {}", reason)
+            }
         }
     }
 }
@@ -230,7 +278,10 @@ impl std::error::Error for DecodeError {}
 /// Returns [`DecodeError::PayloadMismatch`] when the payload's format does not match the
 /// decoder (e.g. a chunked payload handed to a fine-grained decoder, or a gap-array
 /// decoder given a stream without a gap array) instead of panicking — such payloads can
-/// reach this function from CRC-valid but inconsistent archives.
+/// reach this function from CRC-valid but inconsistent archives. Hybrid payloads (and
+/// [`DecoderKind::RleHybrid`]) also report a mismatch here: the hybrid decoder lives in
+/// the `huffdec-hybrid` crate, and the `sz` dispatch layer routes to it before this
+/// function is reached.
 pub fn decode(
     gpu: &dyn Backend,
     kind: DecoderKind,

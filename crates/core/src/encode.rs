@@ -359,13 +359,18 @@ impl BlockKernel for GapFromOffsetsKernel<'_> {
 /// same codebook.
 ///
 /// # Panics
-/// Panics if a symbol is outside the alphabet (the host encoder panics identically).
+/// Panics if a symbol is outside the alphabet (the host encoder panics identically), or
+/// for [`DecoderKind::RleHybrid`] — the hybrid encoder lives in the `huffdec-hybrid`
+/// crate, which calls back into this function for each dense substream.
 pub fn compress_on(
     gpu: &dyn Backend,
     kind: DecoderKind,
     symbols: &[u16],
     alphabet_size: usize,
 ) -> (CompressedPayload, EncodePhaseBreakdown) {
+    if kind.is_hybrid() {
+        panic!("RLE+Huffman hybrid payloads are produced by the huffdec-hybrid crate");
+    }
     // Phase 1: device histogram of the symbol stream.
     let keys: Vec<u32> = symbols.iter().map(|&s| s as u32).collect();
     let (counts, histogram) = device_histogram(gpu, &keys, alphabet_size);
@@ -520,6 +525,7 @@ pub fn compress_on(
                 gap_array,
             })
         }
+        DecoderKind::RleHybrid => unreachable!("rejected above"),
     };
 
     let breakdown = EncodePhaseBreakdown {
@@ -578,6 +584,7 @@ fn empty_payload(kind: DecoderKind, codebook: Codebook) -> CompressedPayload {
                 gap_array,
             })
         }
+        DecoderKind::RleHybrid => unreachable!("the hybrid crate never requests this"),
     }
 }
 

@@ -70,6 +70,22 @@ pub mod wire {
     pub const fn decoded_crc_section() -> u64 {
         12 + SECTION_OVERHEAD
     }
+
+    /// Stored size of the hybrid-stream section (format v2): code count + run cap
+    /// (12 bytes), two 32-byte flat-substream prologues with their packed units, and two
+    /// inline codebooks (u32 pair count + 3 bytes per pair), plus framing.
+    pub fn hybrid_stream_section(
+        symbol_units: usize,
+        run_units: usize,
+        symbol_pairs: usize,
+        run_pairs: usize,
+    ) -> u64 {
+        12 + 2 * 32
+            + (symbol_units as u64 + run_units as u64) * 4
+            + 2 * 4
+            + (symbol_pairs as u64 + run_pairs as u64) * 3
+            + SECTION_OVERHEAD
+    }
 }
 
 /// Geometry of the stream decomposition.
@@ -287,6 +303,78 @@ impl EncodedStream {
                 (symbols as f64 * 2.0) / seq_bytes
             })
             .collect()
+    }
+}
+
+/// Largest zero-run a single run token encodes. A token `t < HYBRID_RUN_CAP` means
+/// "`t` zeros, then the next nonzero symbol"; a token equal to the cap means "the cap's
+/// worth of zeros, consume no symbol" (longer runs split into repeated cap tokens).
+pub const HYBRID_RUN_CAP: u16 = 255;
+/// Alphabet size of the run-length codebook: tokens `0..=HYBRID_RUN_CAP`.
+pub const HYBRID_RUN_ALPHABET: usize = HYBRID_RUN_CAP as usize + 1;
+
+/// The RLE+Huffman hybrid payload for sparse quant-code fields (format v2): the field is
+/// split into a nonzero-symbol stream and a zero-run-length stream, each canonically
+/// Huffman-coded with its own codebook as a flat substream (no gap arrays — the hybrid
+/// decodes its substreams with the optimized self-synchronization kernels).
+///
+/// "Zero" is the center quantization bin (`alphabet_size / 2`, the exactly-predicted
+/// Lorenzo bin), recoverable from the symbol codebook's alphabet. The encoder and
+/// decoder live in the `huffdec-hybrid` crate; this type is the wire-shaped payload the
+/// container serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridStream {
+    /// The nonzero-symbol substream (codebook over the original quant alphabet).
+    pub symbols: EncodedStream,
+    /// The zero-run-length substream (codebook over [`HYBRID_RUN_ALPHABET`] tokens).
+    pub runs: EncodedStream,
+    /// Total number of quant codes the hybrid reassembles (zeros + nonzeros).
+    pub num_codes: u64,
+}
+
+impl HybridStream {
+    /// Assembles a hybrid payload from deserialized parts, validating the structural
+    /// invariants shared by every consumer: substreams must be gap-free flat streams,
+    /// the run codebook must cover the token alphabet, and the stream populations must
+    /// be mutually consistent (full token/symbol agreement is checked at decode time).
+    pub fn from_parts(
+        symbols: EncodedStream,
+        runs: EncodedStream,
+        num_codes: u64,
+    ) -> Result<Self, &'static str> {
+        if symbols.gap_array.is_some() || runs.gap_array.is_some() {
+            return Err("hybrid substreams must not carry gap arrays");
+        }
+        if runs.codebook.alphabet_size() != HYBRID_RUN_ALPHABET {
+            return Err("hybrid run codebook alphabet is not the token alphabet");
+        }
+        if symbols.num_symbols as u64 > num_codes {
+            return Err("more nonzero symbols than codes in the hybrid stream");
+        }
+        if (num_codes > 0) != (runs.num_symbols > 0) {
+            return Err("hybrid run-token population disagrees with the code count");
+        }
+        Ok(HybridStream {
+            symbols,
+            runs,
+            num_codes,
+        })
+    }
+
+    /// Size of the uncompressed quant codes in bytes (2 bytes per code).
+    pub fn original_bytes(&self) -> u64 {
+        self.num_codes * 2
+    }
+
+    /// Compressed size in bytes as the `HFZ2` container stores this payload: one
+    /// hybrid-stream section holding both substreams and both codebooks inline.
+    pub fn compressed_bytes(&self) -> u64 {
+        wire::hybrid_stream_section(
+            self.symbols.units.len(),
+            self.runs.units.len(),
+            self.symbols.codebook.coded_symbols(),
+            self.runs.codebook.coded_symbols(),
+        )
     }
 }
 

@@ -70,7 +70,8 @@ pub use decode_write::{run_decode_write, DecodeWriteKernel, WriteStrategy};
 pub use decoder::{compress_for, decode, roundtrip, CompressedPayload, DecodeError, DecoderKind};
 pub use encode::{compress_on, EncodePhaseBreakdown};
 pub use format::{
-    wire, EncodedStream, StreamGeometry, DEFAULT_SUBSEQ_UNITS, DEFAULT_THREADS_PER_BLOCK,
+    wire, EncodedStream, HybridStream, StreamGeometry, DEFAULT_SUBSEQ_UNITS,
+    DEFAULT_THREADS_PER_BLOCK, HYBRID_RUN_ALPHABET, HYBRID_RUN_CAP,
 };
 pub use gap_decode::{decode_original_gap8, encode_gap8, gap_count_symbols, Gap8Stream};
 pub use huffdec_backend::{Backend, BackendKind, CpuBackend, SimBackend, BACKEND_ENV};

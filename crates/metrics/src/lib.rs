@@ -39,8 +39,8 @@ use std::sync::RwLock;
 use huffdec_core::DecoderKind;
 
 /// Number of decoder-kind slots in the per-decoder metric families (indexed by
-/// [`DecoderKind::tag`]).
-pub const DECODER_SLOTS: usize = 4;
+/// [`DecoderKind::tag`]; covers every tag, the RLE+Huffman hybrid included).
+pub const DECODER_SLOTS: usize = DecoderKind::TAG_SLOTS;
 
 /// Encode-phase label values, matching `EncodePhaseBreakdown::phases()` order.
 pub const ENCODE_PHASES: [&str; 4] = ["histogram", "tree+codebook", "offset prefix-sum", "scatter"];
@@ -854,9 +854,12 @@ fn histogram_family(
     slots: &[HistogramSnapshot; DECODER_SLOTS],
 ) {
     help_and_type(out, name, help, "histogram");
-    for kind in DecoderKind::all() {
+    // Every tag slot, not `DecoderKind::all()` — the hybrid layout is excluded from
+    // the dense-decoder iterator but its series must still be exposed.
+    for tag in 0..DECODER_SLOTS as u8 {
+        let kind = DecoderKind::from_tag(tag).expect("every slot below TAG_SLOTS is a decoder");
         let label = ("decoder", kind.name());
-        histogram_series(out, name, Some(label), &slots[kind.tag() as usize]);
+        histogram_series(out, name, Some(label), &slots[tag as usize]);
     }
 }
 

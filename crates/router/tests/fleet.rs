@@ -99,6 +99,120 @@ fn json_u64(doc: &str, from: usize, key: &str) -> u64 {
         .unwrap()
 }
 
+/// A bounded random walk with `zero_pct`% flat steps: quantizes to a controllably
+/// center-bin-heavy code stream under an absolute bound of 0.5 (step 1.0).
+fn walk_field(n: usize, zero_pct: u64, seed: u64) -> Field {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut value = 0.0f32;
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            if rng() % 100 >= zero_pct {
+                value += (rng() % 401) as f32 - 200.0;
+            }
+            value
+        })
+        .collect();
+    Field::new("walk".to_string(), datasets::Dims::D1(n), data)
+}
+
+#[test]
+fn fleet_serves_hybrid_v2_snapshot_fields() {
+    let dir = std::env::temp_dir().join("hfzr-fleet-hybrid");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+
+    // A mixed v2 snapshot: sparse hybrid fields interleaved with dense ones, enough
+    // of them that rendezvous placement spreads the archive across both shards.
+    let config = |decoder| SzConfig {
+        error_bound: sz::ErrorBound::Absolute(0.5),
+        alphabet_size: 1024,
+        decoder,
+    };
+    let mut compressed: Vec<(String, Compressed)> = Vec::new();
+    let mut reference: Vec<Vec<f32>> = Vec::new();
+    for i in 0..FIELDS {
+        let (field, decoder) = if i % 2 == 0 {
+            (
+                walk_field(ELEMENTS, 95, 60 + i as u64),
+                DecoderKind::RleHybrid,
+            )
+        } else {
+            (
+                walk_field(ELEMENTS, 10, 60 + i as u64),
+                DecoderKind::OptimizedGapArray,
+            )
+        };
+        let c = compress(&field, &config(decoder));
+        reference.push(decompress(&gpu, &c).unwrap().data);
+        compressed.push((format!("field_{}", i), c));
+    }
+    let refs: Vec<(&str, &Compressed)> = compressed.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    let path = dir.join("hybrid-snap.hfz");
+    std::fs::write(&path, huffdec_container::snapshot_to_bytes(&refs).unwrap()).unwrap();
+
+    let shards: Vec<_> = (0..2).map(|_| start_shard()).collect();
+    let links: Vec<ShardLink> = shards
+        .iter()
+        .enumerate()
+        .map(|(id, (addr, _, _))| ShardLink::attach(id, addr.clone()))
+        .collect();
+    let state = Arc::new(RouterState::new(links));
+    let router = RouterServer::bind(
+        &ListenAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        Arc::clone(&state),
+    )
+    .unwrap();
+    let router_addr = router.local_addr();
+    let router_thread = std::thread::spawn(move || router.run().unwrap());
+
+    let mut client = Connection::connect(&router_addr).unwrap();
+    assert_eq!(
+        client.load("hy", path.to_str().unwrap()).unwrap() as usize,
+        FIELDS
+    );
+
+    // Every field — hybrid and dense alike — is byte-identical through the router.
+    for (i, reference) in reference.iter().enumerate() {
+        let r = client.get("hy", i as u32, GetKind::Data, None).unwrap();
+        assert_eq!(r.bytes, f32_bytes(reference), "field {} via router", i);
+    }
+
+    // A shuffled GETBATCH fans the mixed decoders out across the owning shards and
+    // merges in request order.
+    let batch_fields: Vec<u32> = vec![4, 1, 0, 5, 2, 0, 3];
+    let items = client
+        .get_batch("hy", GetKind::Data, &batch_fields)
+        .unwrap();
+    assert_eq!(items.len(), batch_fields.len());
+    for (item, &f) in items.iter().zip(&batch_fields) {
+        assert_eq!(
+            item.bytes,
+            f32_bytes(&reference[f as usize]),
+            "batch item for field {} via router",
+            f
+        );
+    }
+
+    // The merged LIST carries the v2 format version and the hybrid decoder tag.
+    let list = client.list().unwrap();
+    assert!(list.contains("\"format_version\":2"), "{}", list);
+    assert!(list.contains("\"decoder\":\"rle+huff hybrid\""), "{}", list);
+
+    client.shutdown().unwrap();
+    router_thread.join().unwrap();
+    drop(state);
+    for (addr, _, handle) in shards {
+        Connection::connect(&addr).unwrap().shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}
+
 #[test]
 fn three_shard_fleet_serves_and_survives_a_kill() {
     let dir = std::env::temp_dir().join("hfzr-fleet-e2e");

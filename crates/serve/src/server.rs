@@ -655,18 +655,22 @@ impl ServerState {
     /// histogram counts and `simulated_seconds` from the histogram sums.
     fn stats_json(&self) -> String {
         let m = self.metrics_snapshot();
-        let decoder_json =
-            |w: &mut JsonWriter, key: &str, hists: &[huffdec_metrics::HistogramSnapshot; 4]| {
-                w.key(key).begin_object();
-                for kind in DecoderKind::all() {
-                    let h = &hists[kind.tag() as usize];
-                    w.key(kind.name()).begin_object();
-                    w.key("count").u64(h.count());
-                    w.key("simulated_seconds").f64_sci(h.sum);
-                    w.end_object();
-                }
+        let decoder_json = |w: &mut JsonWriter,
+                            key: &str,
+                            hists: &[huffdec_metrics::HistogramSnapshot;
+                                 huffdec_metrics::DECODER_SLOTS]| {
+            w.key(key).begin_object();
+            // Every tag slot (the hybrid layout is not in `DecoderKind::all()`).
+            for tag in 0..huffdec_metrics::DECODER_SLOTS as u8 {
+                let kind = DecoderKind::from_tag(tag).expect("tag slots are decoders");
+                let h = &hists[tag as usize];
+                w.key(kind.name()).begin_object();
+                w.key("count").u64(h.count());
+                w.key("simulated_seconds").f64_sci(h.sum);
                 w.end_object();
-            };
+            }
+            w.end_object();
+        };
         let mut w = JsonWriter::with_capacity(1024);
         w.begin_object();
         w.key("backend").str(self.codec.backend_kind().name());

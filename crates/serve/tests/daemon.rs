@@ -269,6 +269,182 @@ fn daemon_rejects_bad_requests_cleanly() {
     server_thread.join().unwrap();
 }
 
+/// A bounded random walk whose increments stay inside the quantization alphabet under
+/// an absolute bound of 0.5 (step 1.0), with `zero_pct`% of steps flat — so the
+/// center-bin fraction of the quantized codes is directly controlled.
+fn walk_field(n: usize, zero_pct: u64, seed: u64) -> Field {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut value = 0.0f32;
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            if rng() % 100 >= zero_pct {
+                value += (rng() % 401) as f32 - 200.0;
+            }
+            value
+        })
+        .collect();
+    Field::new("walk".to_string(), datasets::Dims::D1(n), data)
+}
+
+#[test]
+fn daemon_serves_hybrid_v2_snapshot() {
+    let dir = std::env::temp_dir().join("hfzd-daemon-hybrid");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpu = Gpu::with_host_threads(GpuConfig::test_tiny(), 2);
+
+    // One sparse hybrid field plus two dense fields with identical codebooks (same
+    // dataset, same seed), so the v2 snapshot carries a deduplicated dictionary.
+    let config = |decoder| SzConfig {
+        error_bound: sz::ErrorBound::Absolute(0.5),
+        alphabet_size: 1024,
+        decoder,
+    };
+    let sparse = walk_field(ELEMENTS, 95, 41);
+    let dense = walk_field(ELEMENTS, 10, 42);
+    let fields: Vec<(&str, Compressed)> = vec![
+        ("sparse", compress(&sparse, &config(DecoderKind::RleHybrid))),
+        (
+            "dense",
+            compress(&dense, &config(DecoderKind::OptimizedGapArray)),
+        ),
+        (
+            "dense2",
+            compress(&dense, &config(DecoderKind::OptimizedGapArray)),
+        ),
+    ];
+    let refs: Vec<(&str, &Compressed)> = fields.iter().map(|(n, c)| (*n, c)).collect();
+    let bytes = huffdec_container::snapshot_to_bytes(&refs).unwrap();
+    // A hybrid field upgrades the whole snapshot to format v2: every shard header
+    // carries the v2 magic and none stay on v1.
+    assert!(bytes.windows(4).any(|w| w == b"HFZ2"));
+    assert!(bytes.windows(4).all(|w| w != b"HFZ1"));
+    let path = dir.join("hybrid.hfz");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let expected: Vec<(Vec<f32>, Vec<u16>)> = fields
+        .iter()
+        .map(|(_, c)| {
+            (
+                decompress(&gpu, c).unwrap().data,
+                decode_codes(&gpu, c).unwrap().symbols,
+            )
+        })
+        .collect();
+
+    let config = ServerConfig {
+        cache_bytes: 4 << 20,
+        gpu: GpuConfig::test_tiny(),
+        backend: BackendKind::from_env(),
+        host_threads: 2,
+        ..ServerConfig::default()
+    };
+    let addr = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
+    let server = Server::bind(&addr, &config).unwrap();
+    let addr = server.local_addr();
+    let state = server.state();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Connection::connect(&addr).unwrap();
+    assert_eq!(client.load("hy", path.to_str().unwrap()).unwrap(), 3);
+
+    // LIST reports the container format version and the per-field dictionary slot:
+    // the dense twins share a dictionary entry, the hybrid field has none.
+    let list = client.list().unwrap();
+    assert!(
+        list.contains("\"format_version\":2"),
+        "LIST must expose the v2 format version: {}",
+        list
+    );
+    assert!(
+        list.contains("\"dict_id\":0"),
+        "dense fields must reference the dictionary: {}",
+        list
+    );
+    assert!(
+        list.contains("\"dict_id\":null"),
+        "the hybrid field keeps its codebooks inline: {}",
+        list
+    );
+    assert!(list.contains("\"decoder\":\"rle+huff hybrid\""), "{}", list);
+
+    // Cold GETBATCH: the mixed hybrid+dense wave decodes everything in request order.
+    let items = client.get_batch("hy", GetKind::Data, &[2, 0, 1]).unwrap();
+    assert_eq!(items.len(), 3);
+    for (item, index) in items.iter().zip([2usize, 0, 1]) {
+        assert!(!item.from_cache, "cold batch must decode field {}", index);
+        assert_eq!(item.bytes, f32_bytes(&expected[index].0));
+    }
+    // While the codes cache is still cold: a ranged codes request on the hybrid
+    // field takes the partial-decode path, which hybrid streams reject with a typed
+    // remote error (no block index) — and the connection stays usable. The dense
+    // neighbour partial-decodes the same range fine.
+    assert!(client
+        .get("hy", 0, GetKind::Codes, Some((100, 64)))
+        .is_err());
+    let r = client
+        .get("hy", 1, GetKind::Codes, Some((100, 64)))
+        .unwrap();
+    assert!(r.partial);
+    assert_eq!(r.as_u16(), &expected[1].1[100..164]);
+
+    let items = client.get_batch("hy", GetKind::Codes, &[0, 1]).unwrap();
+    for (item, index) in items.iter().zip([0usize, 1]) {
+        let codes: Vec<u8> = expected[index]
+            .1
+            .iter()
+            .flat_map(|s| s.to_le_bytes())
+            .collect();
+        assert_eq!(item.bytes, codes, "batched codes for field {}", index);
+    }
+
+    // Full GETs: every field — hybrid included — is byte-identical to direct decodes.
+    for (index, (data, codes)) in expected.iter().enumerate() {
+        let r = client.get("hy", index as u32, GetKind::Data, None).unwrap();
+        assert_eq!(r.bytes, f32_bytes(data), "field {} data diverged", index);
+        let r = client
+            .get("hy", index as u32, GetKind::Codes, None)
+            .unwrap();
+        assert_eq!(r.as_u16(), &codes[..], "field {} codes diverged", index);
+    }
+
+    // A repeat GET of the hybrid field is a decoded-LRU hit, not a second decode.
+    let before = state.cache_stats();
+    let r = client.get("hy", 0, GetKind::Data, None).unwrap();
+    assert_eq!(r.bytes, f32_bytes(&expected[0].0));
+    let after = state.cache_stats();
+    assert_eq!(after.hits, before.hits + 1, "hybrid decode must be cached");
+
+    // With the full decode resident, a ranged data request on the hybrid field is
+    // served by slicing the cached bytes — no range decode needed.
+    let r = client.get("hy", 0, GetKind::Data, Some((100, 64))).unwrap();
+    assert!(r.from_cache);
+    assert_eq!(r.bytes, f32_bytes(&expected[0].0[100..164]));
+
+    // The hybrid decodes landed in the metrics under their own decoder slot.
+    let stats = state.metrics_snapshot();
+    let hybrid_decodes = stats.decode_seconds[DecoderKind::RleHybrid.tag() as usize].count();
+    assert!(hybrid_decodes >= 2, "hybrid decodes must be observed");
+    let json = client.stats().unwrap();
+    assert!(
+        json.contains("\"rle+huff hybrid\""),
+        "STATS must report the hybrid decoder slot: {}",
+        json
+    );
+
+    // Deep verification passes over the wire for the hybrid archive too.
+    let report = client.verify("hy").unwrap();
+    assert!(report.contains("0 digest failures"), "{}", report);
+
+    client.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
 #[test]
 fn batch_get_serves_snapshots_and_decodes_misses_as_one_wave() {
     let dir = std::env::temp_dir().join("hfzd-daemon-batch");

@@ -44,9 +44,9 @@ pub use error_bound::ErrorBound;
 pub use huffdec_core::DecodeError;
 pub use lorenzo::{dequantize, quantize, Outlier, Quantized};
 pub use pipeline::{
-    compress, compress_on, decode_codes, decompress, decompress_batch, decompress_with_transfer,
-    outlier_scatter_time, quantize_kernel_time, reconstruct_kernel_time, roundtrip,
-    BatchDecompressStats, CompressStats, Compressed, DecompressStats, Decompressed, SzConfig,
-    DEFAULT_ALPHABET_SIZE,
+    compress, compress_on, decode_codes, decode_payload, decode_payload_batch, decompress,
+    decompress_batch, decompress_with_transfer, field_zero_fraction, outlier_scatter_time,
+    quantize_kernel_time, reconstruct_kernel_time, roundtrip, BatchDecompressStats, CompressStats,
+    Compressed, DecompressStats, Decompressed, SzConfig, DEFAULT_ALPHABET_SIZE,
 };
 pub use stats::{max_abs_error, psnr, verify_error_bound};

@@ -276,10 +276,25 @@ fn assemble(q: Quantized, step: f64, config: &SzConfig, payload: CompressedPaylo
     }
 }
 
+/// The fraction of a field's quantization codes that land in the center ("zero
+/// residual") bin — the sparsity statistic automatic hybrid selection thresholds on.
+/// Quantizes the field without encoding it.
+pub fn field_zero_fraction(field: &Field, config: &SzConfig) -> f64 {
+    let (q, _) = quantize_field(field, config);
+    huffdec_hybrid::zero_fraction(&q.codes, config.alphabet_size)
+}
+
 /// Compresses a field with the single-threaded host encoder.
+///
+/// [`DecoderKind::RleHybrid`] dispatches to the `huffdec-hybrid` RLE+Huffman encoder
+/// (format v2); every dense decoder goes through [`huffdec_core::compress_for`].
 pub fn compress(field: &Field, config: &SzConfig) -> Compressed {
     let (q, step) = quantize_field(field, config);
-    let payload = compress_for(config.decoder, &q.codes, config.alphabet_size);
+    let payload = if config.decoder.is_hybrid() {
+        huffdec_hybrid::compress_hybrid(&q.codes, config.alphabet_size)
+    } else {
+        compress_for(config.decoder, &q.codes, config.alphabet_size)
+    };
     assemble(q, step, config, payload)
 }
 
@@ -294,8 +309,11 @@ pub fn compress_on(
     let quantize_start = std::time::Instant::now();
     let (q, step) = quantize_field(field, config);
     let quantize_elapsed = quantize_start.elapsed().as_secs_f64();
-    let (payload, encode) =
-        huffdec_core::compress_on(gpu, config.decoder, &q.codes, config.alphabet_size);
+    let (payload, encode) = if config.decoder.is_hybrid() {
+        huffdec_hybrid::compress_hybrid_on(gpu, &q.codes, config.alphabet_size)
+    } else {
+        huffdec_core::compress_on(gpu, config.decoder, &q.codes, config.alphabet_size)
+    };
     let quantize_seconds =
         gpu.charge_seconds(quantize_kernel_time(gpu, field.len()), quantize_elapsed);
     let total_seconds = quantize_seconds + encode.total_seconds();
@@ -330,6 +348,81 @@ pub fn outlier_scatter_time(gpu: &dyn Backend, num_outliers: usize) -> f64 {
     traffic / (cfg.mem_bandwidth_gbps * 1e9) + cfg.kernel_launch_overhead_us * 1e-6
 }
 
+/// Decodes one payload with whichever decoder `kind` names: hybrid payloads route to
+/// the `huffdec-hybrid` RLE+Huffman decoder, dense payloads to [`huffdec_core::decode`].
+/// This is the single-payload dispatch point every sz decompression path goes through.
+///
+/// Returns [`DecodeError::PayloadMismatch`] when the payload's stream format disagrees
+/// with `kind` (a hybrid decoder pointed at a dense stream, or vice versa).
+pub fn decode_payload(
+    gpu: &dyn Backend,
+    kind: DecoderKind,
+    payload: &CompressedPayload,
+) -> Result<huffdec_core::phases::DecodeResult, DecodeError> {
+    if kind.is_hybrid() {
+        match payload {
+            CompressedPayload::Hybrid(stream) => huffdec_hybrid::decode_hybrid(gpu, stream),
+            _ => Err(DecodeError::PayloadMismatch { decoder: kind }),
+        }
+    } else {
+        decode(gpu, kind, payload)
+    }
+}
+
+/// Decodes several payloads as one batch, routing each to its decoder: the dense fields
+/// run as a single overlapped wave ([`huffdec_core::decode_batch`]) while hybrid fields
+/// decode one-after-another (their two-substream pipeline manages its own kernels), with
+/// the hybrid time charged identically to the serial and the batched estimate. Results
+/// come back in input order; every item is validated up front so a mismatched payload
+/// fails the whole batch before any decoding runs.
+pub fn decode_payload_batch(
+    gpu: &dyn Backend,
+    items: &[(DecoderKind, &CompressedPayload)],
+) -> Result<
+    (
+        Vec<huffdec_core::phases::DecodeResult>,
+        huffdec_core::BatchStats,
+    ),
+    DecodeError,
+> {
+    for &(kind, payload) in items {
+        if kind.is_hybrid() && !matches!(payload, CompressedPayload::Hybrid(_)) {
+            return Err(DecodeError::PayloadMismatch { decoder: kind });
+        }
+    }
+    let dense: Vec<_> = items
+        .iter()
+        .filter(|(kind, _)| !kind.is_hybrid())
+        .map(|&(kind, payload)| (kind, payload))
+        .collect();
+    let (dense_results, mut stats) = huffdec_core::decode_batch(gpu, &dense)?;
+
+    let mut dense_iter = dense_results.into_iter();
+    let mut results = Vec::with_capacity(items.len());
+    for &(kind, payload) in items {
+        if let (true, CompressedPayload::Hybrid(stream)) = (kind.is_hybrid(), payload) {
+            let result = huffdec_hybrid::decode_hybrid(gpu, stream)?;
+            let seconds = result.timings.total_seconds();
+            // Hybrid fields do not join the overlapped wave: their cost lands on both
+            // sides of the comparison, so the overlap speedup reflects only the dense
+            // wave the model actually batches.
+            stats.serial_seconds += seconds;
+            stats.batched_seconds += seconds;
+            stats.kernel_launches += result
+                .timings
+                .phases()
+                .iter()
+                .map(|(_, phase)| phase.kernels.len())
+                .sum::<usize>();
+            results.push(result);
+        } else {
+            results.push(dense_iter.next().expect("one dense result per dense item"));
+        }
+    }
+    stats.fields = items.len();
+    Ok((results, stats))
+}
+
 fn decompress_inner(
     gpu: &dyn Backend,
     c: &Compressed,
@@ -338,7 +431,7 @@ fn decompress_inner(
     // Huffman decode (simulated kernels, functional output). A hand-assembled
     // `Compressed` whose payload format disagrees with its configured decoder surfaces
     // as a typed error instead of a panic.
-    let decode_result = decode(gpu, c.decoder(), &c.payload)?;
+    let decode_result = decode_payload(gpu, c.decoder(), &c.payload)?;
     Ok(reconstruct(gpu, c, decode_result, include_transfer))
 }
 
@@ -401,7 +494,7 @@ pub fn decode_codes(
     gpu: &dyn Backend,
     c: &Compressed,
 ) -> Result<huffdec_core::phases::DecodeResult, DecodeError> {
-    decode(gpu, c.decoder(), &c.payload)
+    decode_payload(gpu, c.decoder(), &c.payload)
 }
 
 /// Decompresses an archive, assuming the compressed data is already resident in GPU
@@ -480,7 +573,7 @@ pub fn decompress_batch(
     archives: &[&Compressed],
 ) -> Result<(Vec<Decompressed>, BatchDecompressStats), DecodeError> {
     let items: Vec<_> = archives.iter().map(|c| (c.decoder(), &c.payload)).collect();
-    let (decoded, huffman) = huffdec_core::decode_batch(gpu, &items)?;
+    let (decoded, huffman) = decode_payload_batch(gpu, &items)?;
     let fields: Vec<Decompressed> = archives
         .iter()
         .zip(decoded)
@@ -729,6 +822,90 @@ mod tests {
         let mut broken = archives[1].clone();
         broken.config.decoder = DecoderKind::CuszBaseline;
         assert!(decompress_batch(&g, &[&archives[0], &broken]).is_err());
+    }
+
+    #[test]
+    fn hybrid_roundtrip_matches_dense_reconstruction() {
+        // Lorenzo residuals of a smooth field are overwhelmingly the center bin, so the
+        // hybrid RLE front-end is in its element on ordinary paper datasets.
+        let spec = dataset_by_name("CESM").unwrap();
+        let field = generate(&spec, 50_000, 21);
+        let g = gpu();
+        let dense = {
+            let config = SzConfig::paper_default(DecoderKind::OptimizedSelfSync);
+            roundtrip(&g, &field, &config)
+        };
+        let config = SzConfig::paper_default(DecoderKind::RleHybrid);
+        let (compressed, decompressed) = roundtrip(&g, &field, &config);
+        assert_eq!(
+            decompressed.data, dense.1.data,
+            "hybrid reconstruction differs"
+        );
+        assert!(compressed.overall_compression_ratio() > 1.0);
+        // The decoded-codes digest covers the hybrid path. (The container's
+        // wire-accounting tests pin `compressed_bytes` against the stored HFZ2 bytes —
+        // the dev-only cycle makes the two `Compressed` types distinct in unit tests.)
+        let decoded = decode_codes(&g, &compressed).unwrap();
+        assert_eq!(compressed.matches_decoded_crc(&decoded.symbols), Some(true));
+    }
+
+    #[test]
+    fn hybrid_gpu_compression_matches_host() {
+        let spec = dataset_by_name("HACC").unwrap();
+        let field = generate(&spec, 40_000, 23);
+        let g = gpu();
+        let config = SzConfig::paper_default(DecoderKind::RleHybrid);
+        let host = compress(&field, &config);
+        let (dev, stats) = compress_on(&g, &field, &config);
+        assert_eq!(dev.compressed_bytes(), host.compressed_bytes());
+        assert_eq!(dev.decoded_crc, host.decoded_crc);
+        assert!(stats.quantize_seconds > 0.0);
+        assert!(stats.encode.total_seconds() > 0.0);
+        let a = decompress(&g, &host).unwrap();
+        let b = decompress(&g, &dev).unwrap();
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn mixed_batch_with_hybrid_matches_serial() {
+        let g = gpu();
+        let decoders = [
+            DecoderKind::RleHybrid,
+            DecoderKind::OptimizedGapArray,
+            DecoderKind::RleHybrid,
+            DecoderKind::CuszBaseline,
+        ];
+        let archives: Vec<Compressed> = decoders
+            .iter()
+            .enumerate()
+            .map(|(i, &decoder)| {
+                let field = generate(&dataset_by_name("CESM").unwrap(), 30_000, 60 + i as u64);
+                compress(&field, &SzConfig::paper_default(decoder))
+            })
+            .collect();
+        let refs: Vec<&Compressed> = archives.iter().collect();
+        let (batched, stats) = decompress_batch(&g, &refs).unwrap();
+        assert_eq!(batched.len(), 4);
+        assert_eq!(stats.huffman.fields, 4);
+        for (c, d) in archives.iter().zip(&batched) {
+            let serial = decompress(&g, c).unwrap();
+            assert_eq!(d.data, serial.data, "batched field diverged from serial");
+        }
+        assert!(stats.batched_seconds <= stats.serial_seconds + 1e-15);
+        assert!(stats.overlap_speedup() >= 1.0);
+        // A hybrid archive relabelled as dense (and vice versa) fails the whole batch.
+        let mut broken = archives[0].clone();
+        broken.config.decoder = DecoderKind::OptimizedSelfSync;
+        assert!(decompress_batch(&g, &[&archives[1], &broken]).is_err());
+        let mut broken = archives[1].clone();
+        broken.config.decoder = DecoderKind::RleHybrid;
+        let err = decompress_batch(&g, &[&archives[0], &broken]).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::PayloadMismatch {
+                decoder: DecoderKind::RleHybrid
+            }
+        );
     }
 
     #[test]

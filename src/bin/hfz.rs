@@ -5,12 +5,13 @@
 //! [`huffdec::HfzError`] mapped to a stable exit code (2 usage, 3 I/O, 4 corrupt
 //! archive, 5 decode, 6 protocol/remote, 7 verification failure).
 //!
-//! Local archive operations work on `HFZ1` files; remote operations talk to a running
-//! `hfzd` daemon (`hfz serve` starts one in the foreground):
+//! Local archive operations work on `HFZ1`/`HFZ2` files; remote operations talk to a
+//! running `hfzd` daemon (`hfz serve` starts one in the foreground):
 //!
 //! ```text
 //! hfz compress   --dataset HACC --elements 200000 --seed 42 --output hacc.hfz
 //! hfz compress   --input field.f32 --dims 512,512 --output field.hfz --decoder gap --eb rel:1e-3
+//! hfz compress   --input sparse.f32 --dims 1048576 --output sparse.hfz --hybrid --format v2
 //! hfz compress   --snapshot --dataset HACC,GAMESS,CESM --elements 200000 --output snap.hfz
 //! hfz decompress hacc.hfz --output hacc.f32
 //! hfz decompress snap.hfz --field GAMESS --output gamess.f32
@@ -32,14 +33,14 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::process::ExitCode;
 
-use huffdec::container::ArchiveWriter;
 use huffdec::datasets::{dataset_by_name, generate, Dims};
 use huffdec::serve::client::Connection;
 use huffdec::serve::daemon::{run_foreground as run_daemon, DaemonOptions};
 use huffdec::serve::net::ListenAddr;
 use huffdec::serve::protocol::GetKind;
 use huffdec::{
-    BackendKind, Codec, DecoderKind, EncodeOutcome, ErrorBound, Field, FieldHandle, HfzError,
+    BackendKind, Codec, DecoderKind, EncodeOutcome, ErrorBound, Field, FieldHandle, FormatVersion,
+    HfzError,
 };
 
 /// `println!` that exits quietly instead of panicking when stdout has been closed
@@ -87,11 +88,12 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-hfz — HFZ1 archive and serving tool for error-bounded lossy compression
+hfz — HFZ1/HFZ2 archive and serving tool for error-bounded lossy compression
 
 USAGE:
   hfz compress   (--input FILE --dims A[,B[,C[,D]]] | --dataset NAME --elements N [--seed S])
-                 --output FILE [--decoder KIND] [--eb MODE:VALUE] [--alphabet N]
+                 --output FILE [--decoder KIND] [--hybrid] [--format v1|v2]
+                 [--eb MODE:VALUE] [--alphabet N] [--auto-hybrid FRAC|off]
   hfz compress   --snapshot --dataset NAME[,NAME...] --elements N [--seed S] --output FILE
                  (one sharded snapshot archive with a manifest; field i uses seed S+i)
   hfz decompress ARCHIVE [--field NAME|INDEX | --all --output-dir DIR] --output FILE
@@ -114,6 +116,13 @@ USAGE:
 
 OPTIONS:
   --decoder KIND   baseline | original-self-sync | self-sync | gap   (default: gap)
+                   | hybrid (RLE+Huffman for sparse fields; implies --format v2)
+  --hybrid         shorthand for --decoder hybrid
+  --format VER     container format: v1 (classic) or v2 (codebook    (default: v1;
+                   dictionary + tuning hints; enables auto-hybrid)    hybrid forces v2)
+  --auto-hybrid X  with --format v2, fields whose quantized stream   (default: 0.5)
+                   is >= X center-bin symbols switch to the hybrid
+                   decoder automatically; 'off' disables the switch
   --backend NAME   sim (modeled V100 timings) | cpu (real threads,   (default: sim, or
                    wall-clock timings)                                $HFZ_BACKEND)
   --eb MODE:VALUE  rel:1e-3 or abs:0.05                              (default: rel:1e-3)
@@ -140,7 +149,7 @@ struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["json", "deep", "codes", "snapshot", "all", "prom"];
+const SWITCHES: &[&str] = &["json", "deep", "codes", "snapshot", "all", "prom", "hybrid"];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, HfzError> {
@@ -197,6 +206,7 @@ fn parse_decoder(name: &str) -> Result<DecoderKind, HfzError> {
         "original-self-sync" | "ori-self-sync" => Ok(DecoderKind::OriginalSelfSync),
         "self-sync" | "optimized-self-sync" => Ok(DecoderKind::OptimizedSelfSync),
         "gap" | "gap-array" => Ok(DecoderKind::OptimizedGapArray),
+        "hybrid" | "rle-hybrid" => Ok(DecoderKind::RleHybrid),
         other => Err(HfzError::Usage(format!("unknown decoder '{}'", other))),
     }
 }
@@ -300,8 +310,30 @@ fn build_codec(args: &Args) -> Result<Codec, HfzError> {
         .unwrap_or("1024")
         .parse()
         .map_err(|_| HfzError::Usage("bad --alphabet value".to_string()))?;
+    // `--hybrid` forces the RLE+Huffman decoder (and with it format v2); otherwise
+    // `--decoder` picks one, and `--format v2` enables the auto-hybrid switch that
+    // upgrades sufficiently sparse fields on its own.
+    let decoder = if args.has("hybrid") {
+        DecoderKind::RleHybrid
+    } else {
+        parse_decoder(args.get("decoder").unwrap_or("gap"))?
+    };
+    let format = match args.get("format") {
+        None => FormatVersion::V1,
+        Some(spec) => FormatVersion::parse(spec)
+            .ok_or_else(|| HfzError::Usage(format!("unknown format '{}' (v1|v2)", spec)))?,
+    };
+    let auto_hybrid = match args.get("auto-hybrid") {
+        None => Some(huffdec::AUTO_HYBRID_ZERO_FRACTION),
+        Some("off") => None,
+        Some(spec) => Some(spec.parse::<f64>().map_err(|_| {
+            HfzError::Usage("bad --auto-hybrid value (fraction in 0..=1, or 'off')".to_string())
+        })?),
+    };
     Codec::builder()
-        .decoder(parse_decoder(args.get("decoder").unwrap_or("gap"))?)
+        .decoder(decoder)
+        .format(format)
+        .auto_hybrid(auto_hybrid)
         .backend(parse_backend(args)?)
         .error_bound(parse_error_bound(args.get("eb").unwrap_or("rel:1e-3"))?)
         .alphabet_size(alphabet_size)
@@ -368,11 +400,12 @@ fn cmd_compress(rest: &[String]) -> Result<(), HfzError> {
     // empty field is a usage error from the session itself.
     let outcome = codec.compress(&field)?;
 
-    let file =
-        File::create(output).map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
-    let mut writer = ArchiveWriter::new(BufWriter::new(file));
-    let written = writer.write_compressed(&outcome.archive)?;
-    writer.into_inner()?;
+    // Serialize through the session so `--format v2` (and the hybrid auto-upgrade)
+    // decides the container layout in one place.
+    let bytes = codec.archive_to_bytes(&outcome.archive)?;
+    let written = bytes.len() as u64;
+    std::fs::write(output, &bytes)
+        .map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
 
     out!(
         "{}: {} elements ({} bytes) -> {} ({} bytes, {:.2}x)",
@@ -432,11 +465,10 @@ fn cmd_compress_snapshot(codec: &Codec, args: &Args) -> Result<(), HfzError> {
         .map(|(name, compressed)| (name.as_str(), compressed))
         .collect();
 
-    let file =
-        File::create(output).map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
-    let mut writer = ArchiveWriter::new(BufWriter::new(file));
-    let written = writer.write_snapshot(&refs)?;
-    writer.into_inner()?;
+    let bytes = codec.snapshot_to_bytes(&refs)?;
+    let written = bytes.len() as u64;
+    std::fs::write(output, &bytes)
+        .map_err(|e| HfzError::io(format!("cannot create {}", output), e))?;
 
     let original: u64 = fields.iter().map(|(_, c)| c.original_bytes()).sum();
     out!(

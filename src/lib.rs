@@ -36,8 +36,8 @@
 
 pub use huffdec_codec::{
     ArchiveHandle, ArchiveSummary, Backend, BackendKind, BatchDecodeOutcome, Codec, CodecBuilder,
-    CpuBackend, DecodeOutcome, EncodeOutcome, FieldHandle, HfzError, Metrics, MetricsSnapshot,
-    SimBackend, BACKEND_ENV,
+    CpuBackend, DecodeOutcome, EncodeOutcome, FieldHandle, FormatVersion, HfzError, Metrics,
+    MetricsSnapshot, SimBackend, AUTO_HYBRID_ZERO_FRACTION, BACKEND_ENV,
 };
 
 // Companion types the session API speaks in.

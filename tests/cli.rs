@@ -443,6 +443,185 @@ fn snapshot_compress_extract_roundtrips_byte_identically() {
     assert!(!stderr.contains("panicked"), "stderr: {}", stderr);
 }
 
+/// Writes a sparse bounded random walk (95% flat steps) as a little-endian f32 file
+/// and returns its element count.
+fn write_sparse_walk(path: &std::path::Path, n: usize, seed: u64) -> usize {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut value = 0.0f32;
+    let mut bytes = Vec::with_capacity(n * 4);
+    for _ in 0..n {
+        if rng() % 100 >= 95 {
+            value += (rng() % 401) as f32 - 200.0;
+        }
+        bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    std::fs::write(path, &bytes).unwrap();
+    n
+}
+
+#[test]
+fn hybrid_compress_roundtrips_and_beats_dense_on_sparse_fields() {
+    let dir = std::env::temp_dir().join("hfz-cli-test-hybrid");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("sparse.f32");
+    let elements = write_sparse_walk(&input, 40_000, 17);
+
+    // The same sparse field through the hybrid and the best dense pipeline. An
+    // absolute bound keeps the walk's increments inside the quantization alphabet.
+    let hybrid = dir.join("sparse-hybrid.hfz");
+    let dense = dir.join("sparse-dense.hfz");
+    for (path, extra) in [
+        (&hybrid, &["--hybrid", "--format", "v2"][..]),
+        (&dense, &[][..]),
+    ] {
+        let result = hfz()
+            .args([
+                "compress",
+                "--input",
+                input.to_str().unwrap(),
+                "--dims",
+                &elements.to_string(),
+                "--eb",
+                "abs:0.5",
+                "--output",
+                path.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .expect("hfz runs");
+        assert!(
+            result.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&result.stderr)
+        );
+    }
+    let hybrid_bytes = std::fs::metadata(&hybrid).unwrap().len();
+    let dense_bytes = std::fs::metadata(&dense).unwrap().len();
+    assert!(
+        hybrid_bytes < dense_bytes,
+        "at 95% zeros the hybrid archive must be smaller: {} vs {}",
+        hybrid_bytes,
+        dense_bytes
+    );
+
+    // inspect --json names the v2 format, the hybrid decoder, and its sections.
+    let result = hfz()
+        .args(["inspect", hybrid.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(result.status.success());
+    let doc = String::from_utf8_lossy(&result.stdout);
+    for key in [
+        "\"format_version\":2",
+        "\"decoder\":\"rle+huff hybrid\"",
+        "\"sections\":[{\"kind\":\"hybrid-stream\"",
+        "\"dict_id\":null",
+    ] {
+        assert!(doc.contains(key), "missing {} in {}", key, doc);
+    }
+
+    // Deep verification decodes the hybrid stream and checks the stored digest.
+    let result = hfz()
+        .args(["verify", hybrid.to_str().unwrap(), "--deep"])
+        .output()
+        .unwrap();
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("decoded CRC32"), "stdout: {}", stdout);
+
+    // Both pipelines quantize identically, so the reconstructions are byte-identical.
+    let from_hybrid = dir.join("hybrid.f32");
+    let from_dense = dir.join("dense.f32");
+    for (archive, out) in [(&hybrid, &from_hybrid), (&dense, &from_dense)] {
+        assert!(hfz()
+            .args([
+                "decompress",
+                archive.to_str().unwrap(),
+                "--output",
+                out.to_str().unwrap(),
+            ])
+            .status()
+            .unwrap()
+            .success());
+    }
+    assert_eq!(
+        std::fs::read(&from_hybrid).unwrap(),
+        std::fs::read(&from_dense).unwrap(),
+        "hybrid and dense reconstructions must agree bit-for-bit"
+    );
+
+    // `--format v2` with auto-hybrid picks the hybrid stream for this field on its
+    // own; `--auto-hybrid off` keeps it dense.
+    let auto = dir.join("auto.hfz");
+    assert!(hfz()
+        .args([
+            "compress",
+            "--input",
+            input.to_str().unwrap(),
+            "--dims",
+            &elements.to_string(),
+            "--eb",
+            "abs:0.5",
+            "--format",
+            "v2",
+            "--output",
+            auto.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let result = hfz()
+        .args(["inspect", auto.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    let doc = String::from_utf8_lossy(&result.stdout);
+    assert!(
+        doc.contains("\"decoder\":\"rle+huff hybrid\""),
+        "auto-hybrid must upgrade a 95%-sparse field: {}",
+        doc
+    );
+    let manual = dir.join("manual.hfz");
+    assert!(hfz()
+        .args([
+            "compress",
+            "--input",
+            input.to_str().unwrap(),
+            "--dims",
+            &elements.to_string(),
+            "--eb",
+            "abs:0.5",
+            "--format",
+            "v2",
+            "--auto-hybrid",
+            "off",
+            "--output",
+            manual.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let result = hfz()
+        .args(["inspect", manual.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    let doc = String::from_utf8_lossy(&result.stdout);
+    assert!(
+        doc.contains("\"decoder\":\"opt. gap-array\""),
+        "--auto-hybrid off must keep the dense decoder: {}",
+        doc
+    );
+}
+
 #[test]
 fn unknown_field_and_malformed_archive_are_typed_errors_with_nonzero_exit() {
     let dir = std::env::temp_dir().join("hfz-cli-test-field-errors");
